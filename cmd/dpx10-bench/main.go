@@ -1,0 +1,43 @@
+// Command dpx10-bench regenerates the tables and figures of the paper's
+// evaluation (§VIII) and the repository's ablations.
+//
+// Usage:
+//
+//	dpx10-bench -fig all            # everything, paper-scale models
+//	dpx10-bench -fig 10             # one figure
+//	dpx10-bench -fig 12 -quick      # smaller sizes for a fast pass
+//	dpx10-bench -fig 11 -csv        # machine-readable output
+//
+// Figures 10/11/13 run on the deterministic cluster simulator at the
+// paper's vertex counts; figure 12 and the ablations run on the real
+// runtime on this machine. See EXPERIMENTS.md for the paper-vs-measured
+// record.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"github.com/dpx10/dpx10/internal/bench"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "figure to regenerate: "+strings.Join(bench.Names(), ", ")+", or all")
+	quick := flag.Bool("quick", false, "use reduced sizes (fast smoke pass)")
+	asCSV := flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	outDir := flag.String("out", "", "also write each report to this directory (.txt and .csv)")
+	flag.Parse()
+
+	var err error
+	if *outDir != "" {
+		err = bench.RunFiles(*fig, *quick, *outDir, os.Stdout)
+	} else {
+		err = bench.Run(*fig, *quick, *asCSV, os.Stdout)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dpx10-bench:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,46 @@
+// Command dpx10-run executes one of the built-in DP applications on the
+// single-process DPX10 runtime.
+//
+// Examples:
+//
+//	dpx10-run -app swlag -m 400 -n 400 -places 8 -threads 4 -verify
+//	dpx10-run -app knapsack -items 80 -capacity 600 -places 6
+//	dpx10-run -app mtp -m 300 -n 300 -kill 2       # fault injection demo
+//	dpx10-run -app lps -m 250 -strategy mincomm -cache 64
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"github.com/dpx10/dpx10/internal/cli"
+)
+
+func main() {
+	var p cli.Params
+	flag.StringVar(&p.App, "app", "swlag", "application: "+strings.Join(cli.AppNames(), " | "))
+	flag.IntVar(&p.M, "m", 200, "first dimension (sequence/grid size)")
+	flag.IntVar(&p.N, "n", 0, "second dimension (defaults to -m)")
+	flag.IntVar(&p.Items, "items", 50, "knapsack: number of items")
+	flag.IntVar(&p.Capacity, "capacity", 400, "knapsack: capacity")
+	flag.Int64Var(&p.Seed, "seed", 1, "workload seed")
+	flag.StringVar(&p.FileA, "file-a", "", "FASTA/plain-text file for the first sequence (alignment apps)")
+	flag.StringVar(&p.FileB, "file-b", "", "FASTA/plain-text file for the second sequence")
+	flag.IntVar(&p.Places, "places", 4, "number of places (X10_NPLACES)")
+	flag.IntVar(&p.Threads, "threads", 2, "worker threads per place (X10_NTHREADS)")
+	flag.StringVar(&p.Strategy, "strategy", "local", "scheduling: local | random | mincomm")
+	flag.StringVar(&p.Dist, "dist", "blockrow", "distribution: blockrow | blockcol | cyclicrow | cycliccol")
+	flag.IntVar(&p.Cache, "cache", 0, "remote-vertex cache entries per place (0 = off)")
+	flag.BoolVar(&p.RestoreRemote, "restore-remote", false, "recovery copies moved results instead of recomputing")
+	flag.BoolVar(&p.Verify, "verify", false, "check the result against the serial reference")
+	flag.IntVar(&p.Kill, "kill", -1, "kill this place at ~50% progress (fault-tolerance demo)")
+	flag.BoolVar(&p.Trace, "trace", false, "print per-place utilization after the run")
+	flag.Parse()
+
+	if err := cli.RunLocal(p, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "dpx10-run:", err)
+		os.Exit(1)
+	}
+}

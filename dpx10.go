@@ -1,0 +1,181 @@
+// Package dpx10 is a Go implementation of DPX10, the distributed framework
+// for dynamic-programming applications introduced in "DPX10: An Efficient
+// X10 Framework for Dynamic Programming Applications" (Wang, Yu, Sun,
+// Meng; ICPP 2015).
+//
+// A DPX10 program is specified by a DAG pattern — which matrix cells
+// depend on which — and a compute method that produces one value per cell.
+// The framework owns everything else: distributing the vertex matrix over
+// places, scheduling ready vertices, moving dependency values between
+// places (with a per-place FIFO cache), and transparently recovering from
+// place failures by redistributing the array over the survivors.
+//
+// Writing an application takes the paper's three steps:
+//
+//  1. Choose a built-in DAG pattern (GridPattern, DiagonalPattern, ...) or
+//     implement the Pattern interface for a custom one.
+//
+//  2. Implement App: Compute(i, j, deps) and AppFinished(dag).
+//
+//  3. Run it:
+//
+//     dag, err := dpx10.Run[int32](app, dpx10.DiagonalPattern(n, m),
+//     dpx10.Places[int32](8), dpx10.Threads[int32](6))
+//
+// The number of places and worker threads per place mirror X10's
+// X10_NPLACES and X10_NTHREADS environment variables.
+package dpx10
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/dpx10/dpx10/internal/codec"
+	"github.com/dpx10/dpx10/internal/core"
+	"github.com/dpx10/dpx10/internal/dag"
+)
+
+// VertexID identifies one cell (i, j) of the DP matrix.
+type VertexID = dag.VertexID
+
+// Cell is one dependency passed to Compute: the id and finished value of a
+// vertex the current cell depends on.
+type Cell[T any] = core.Cell[T]
+
+// Pattern describes a DP algorithm's dependency structure; see the
+// built-in constructors or implement it (plus, optionally, Sparse) for a
+// custom algorithm such as 0/1 knapsack.
+type Pattern = dag.Pattern
+
+// Sparse marks patterns that use only part of the matrix; inactive cells
+// are treated as finished with the zero value.
+type Sparse = dag.Sparse
+
+// Codec serializes vertex values for cross-place transfer. Int32Codec,
+// Int64Codec and Float64Codec cover the common scalar cases; any other
+// value type defaults to gob encoding unless WithCodec supplies a custom
+// implementation.
+type Codec[T any] = codec.Codec[T]
+
+// Built-in scalar codecs.
+type (
+	Int32Codec   = codec.Int32
+	Int64Codec   = codec.Int64
+	Float64Codec = codec.Float64
+)
+
+// Stats reports what one run did: computed cells, remote traffic, cache
+// effectiveness, recoveries and recovery time.
+type Stats = core.Stats
+
+// ErrPlaceZeroDead is returned when place 0 fails; like Resilient X10,
+// DPX10 cannot survive the death of place 0.
+var ErrPlaceZeroDead = core.ErrPlaceZeroDead
+
+// ErrCanceled is returned by Wait after Cancel.
+var ErrCanceled = core.ErrCanceled
+
+// App is the user-facing interface of a DPX10 application, mirroring the
+// paper's DPX10App (Figure 2). Compute is executed once per active vertex,
+// concurrently across places and worker threads, with the vertex's
+// dependencies resolved and passed in the order the pattern lists them.
+// AppFinished is invoked once, after every vertex completed.
+type App[T any] interface {
+	Compute(i, j int32, deps []Cell[T]) T
+	AppFinished(dag *Dag[T])
+}
+
+// Dag is the completed computation handed to AppFinished and returned by
+// Run: read access to every vertex value plus run statistics (the paper's
+// Dag argument, Figure 2/3).
+type Dag[T any] struct {
+	res     *core.Result[T]
+	stats   Stats
+	elapsed time.Duration
+}
+
+// Width returns the number of columns of the vertex matrix.
+func (d *Dag[T]) Width() int32 { _, w := d.res.Bounds(); return w }
+
+// Height returns the number of rows of the vertex matrix.
+func (d *Dag[T]) Height() int32 { h, _ := d.res.Bounds(); return h }
+
+// Result returns the computed value of vertex (i, j) — the paper's
+// Vertex.getResult(). Inactive cells hold the zero value.
+func (d *Dag[T]) Result(i, j int32) T { return d.res.Value(i, j) }
+
+// Finished reports whether vertex (i, j) completed (always true after a
+// successful run; exposed for symmetry with the paper's vertex flag).
+func (d *Dag[T]) Finished(i, j int32) bool { return d.res.Finished(i, j) }
+
+// Stats returns the run's counters.
+func (d *Dag[T]) Stats() Stats { return d.stats }
+
+// Elapsed returns the wall time of the run.
+func (d *Dag[T]) Elapsed() time.Duration { return d.elapsed }
+
+// Run executes app over pattern to completion, invokes app.AppFinished,
+// and returns the completed Dag.
+func Run[T any](app App[T], pattern Pattern, opts ...Option[T]) (*Dag[T], error) {
+	job, err := Launch[T](app, pattern, opts...)
+	if err != nil {
+		return nil, err
+	}
+	return job.Wait()
+}
+
+// Job is a running DPX10 computation started by Launch. It exposes the
+// handles the paper's fault-tolerance experiments need: progress polling
+// and failure injection.
+type Job[T any] struct {
+	app     App[T]
+	cluster *core.Cluster[T]
+	done    chan error
+}
+
+// Launch starts app over pattern asynchronously.
+func Launch[T any](app App[T], pattern Pattern, opts ...Option[T]) (*Job[T], error) {
+	if app == nil {
+		return nil, fmt.Errorf("dpx10: nil app")
+	}
+	cfg := core.Config[T]{
+		Places:  1,
+		Pattern: pattern,
+		Compute: app.Compute,
+	}
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	cl, err := core.NewCluster(cfg)
+	if err != nil {
+		return nil, err
+	}
+	job := &Job[T]{app: app, cluster: cl, done: make(chan error, 1)}
+	go func() { job.done <- cl.Run() }()
+	return job, nil
+}
+
+// Kill fails place p, triggering the recovery mechanism (or aborting the
+// run if p is 0).
+func (j *Job[T]) Kill(p int) { j.cluster.Kill(p) }
+
+// Cancel aborts the run; Wait will return ErrCanceled.
+func (j *Job[T]) Cancel() { j.cluster.Cancel() }
+
+// Progress returns how many vertices have finished so far.
+func (j *Job[T]) Progress() int64 { return j.cluster.Progress() }
+
+// Wait blocks until the run completes, invokes AppFinished and returns
+// the Dag.
+func (j *Job[T]) Wait() (*Dag[T], error) {
+	if err := <-j.done; err != nil {
+		return nil, err
+	}
+	res, err := j.cluster.Result()
+	if err != nil {
+		return nil, err
+	}
+	d := &Dag[T]{res: res, stats: j.cluster.Stats(), elapsed: j.cluster.Elapsed()}
+	j.app.AppFinished(d)
+	return d, nil
+}

@@ -1,0 +1,84 @@
+package dpx10_test
+
+import (
+	"fmt"
+
+	"github.com/dpx10/dpx10"
+)
+
+// editApp computes Levenshtein distance: the canonical three-neighbour DP
+// on the Diagonal pattern.
+type editApp struct{ a, b string }
+
+func (e *editApp) Compute(i, j int32, deps []dpx10.Cell[int32]) int32 {
+	if i == 0 {
+		return j
+	}
+	if j == 0 {
+		return i
+	}
+	var diag, top, left int32
+	for _, d := range deps {
+		switch {
+		case d.ID.I == i-1 && d.ID.J == j-1:
+			diag = d.Value
+		case d.ID.I == i-1:
+			top = d.Value
+		default:
+			left = d.Value
+		}
+	}
+	cost := int32(1)
+	if e.a[i-1] == e.b[j-1] {
+		cost = 0
+	}
+	return min(diag+cost, top+1, left+1)
+}
+
+func (e *editApp) AppFinished(dag *dpx10.Dag[int32]) {}
+
+// Run a DP application: supply a DAG pattern and a compute method; the
+// framework distributes, schedules and communicates.
+func ExampleRun() {
+	app := &editApp{a: "kitten", b: "sitting"}
+	dag, err := dpx10.Run[int32](app,
+		dpx10.DiagonalPattern(int32(len(app.a)+1), int32(len(app.b)+1)),
+		dpx10.Places[int32](4),
+		dpx10.WithCodec[int32](dpx10.Int32Codec{}))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("edit distance:", dag.Result(int32(len(app.a)), int32(len(app.b))))
+	// Output: edit distance: 3
+}
+
+// Launch + Kill: inject a place failure mid-run; the computation recovers
+// transparently and still produces the correct answer.
+func ExampleJob_Kill() {
+	app := &editApp{a: "GATTACAGATTACAGATTACA", b: "CATACGATTACATACGATTA"}
+	job, err := dpx10.Launch[int32](app,
+		dpx10.DiagonalPattern(int32(len(app.a)+1), int32(len(app.b)+1)),
+		dpx10.Places[int32](4))
+	if err != nil {
+		panic(err)
+	}
+	for job.Progress() < 50 {
+	}
+	job.Kill(2) // place 2 dies; survivors redistribute and continue
+	dag, err := job.Wait()
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("recovered; edit distance:", dag.Result(int32(len(app.a)), int32(len(app.b))))
+	// Output: recovered; edit distance: 8
+}
+
+// CheckPattern validates a custom pattern before running on it.
+func ExampleCheckPattern() {
+	pattern, err := dpx10.KnapsackPattern([]int32{3, 1, 4}, 10)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("consistent:", dpx10.CheckPattern(pattern) == nil)
+	// Output: consistent: true
+}

@@ -1,0 +1,3 @@
+module github.com/dpx10/dpx10
+
+go 1.24

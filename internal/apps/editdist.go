@@ -1,0 +1,99 @@
+package apps
+
+import (
+	"fmt"
+
+	"github.com/dpx10/dpx10"
+)
+
+// EditDistance computes the Levenshtein distance between two strings —
+// not in the paper's evaluation, but the canonical 2D/0D algorithm its
+// §III classification describes, and a natural extra workload:
+//
+//	D(i,0) = i, D(0,j) = j
+//	D(i,j) = min{ D(i-1,j)+1, D(i,j-1)+1, D(i-1,j-1)+cost(a_i,b_j) }
+//
+// on the Diagonal pattern.
+type EditDistance struct {
+	A, B string
+}
+
+// NewEditDistance builds the app for the two strings.
+func NewEditDistance(a, b string) *EditDistance { return &EditDistance{A: a, B: b} }
+
+// Pattern returns the Diagonal pattern sized for the strings.
+func (e *EditDistance) Pattern() dpx10.Pattern {
+	return dpx10.DiagonalPattern(int32(len(e.A))+1, int32(len(e.B))+1)
+}
+
+// Compute implements the Levenshtein recurrence.
+func (e *EditDistance) Compute(i, j int32, deps []dpx10.Cell[int32]) int32 {
+	if i == 0 {
+		return j
+	}
+	if j == 0 {
+		return i
+	}
+	cost := int32(1)
+	if e.A[i-1] == e.B[j-1] {
+		cost = 0
+	}
+	d := mustDep(deps, i-1, j-1) + cost
+	if v := mustDep(deps, i-1, j) + 1; v < d {
+		d = v
+	}
+	if v := mustDep(deps, i, j-1) + 1; v < d {
+		d = v
+	}
+	return d
+}
+
+// AppFinished is a no-op.
+func (e *EditDistance) AppFinished(*dpx10.Dag[int32]) {}
+
+// Distance returns the edit distance from a completed run.
+func (e *EditDistance) Distance(dag *dpx10.Dag[int32]) int32 {
+	return dag.Result(int32(len(e.A)), int32(len(e.B)))
+}
+
+// Serial computes the full matrix with nested loops.
+func (e *EditDistance) Serial() [][]int32 {
+	d := make([][]int32, len(e.A)+1)
+	for i := range d {
+		d[i] = make([]int32, len(e.B)+1)
+		d[i][0] = int32(i)
+	}
+	for j := 0; j <= len(e.B); j++ {
+		d[0][j] = int32(j)
+	}
+	for i := 1; i <= len(e.A); i++ {
+		for j := 1; j <= len(e.B); j++ {
+			cost := int32(1)
+			if e.A[i-1] == e.B[j-1] {
+				cost = 0
+			}
+			v := d[i-1][j-1] + cost
+			if x := d[i-1][j] + 1; x < v {
+				v = x
+			}
+			if x := d[i][j-1] + 1; x < v {
+				v = x
+			}
+			d[i][j] = v
+		}
+	}
+	return d
+}
+
+// Verify checks the distributed result cell by cell against Serial.
+func (e *EditDistance) Verify(dag *dpx10.Dag[int32]) error {
+	want := e.Serial()
+	for i := 0; i <= len(e.A); i++ {
+		for j := 0; j <= len(e.B); j++ {
+			if got := dag.Result(int32(i), int32(j)); got != want[i][j] {
+				return fmt.Errorf("editdist: D(%d,%d) = %d, want %d", i, j, got, want[i][j])
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,184 @@
+package apps
+
+import (
+	"fmt"
+
+	"github.com/dpx10/dpx10"
+	"github.com/dpx10/dpx10/internal/workload"
+)
+
+// FloydWarshall computes all-pairs shortest paths — a demonstration that
+// the framework's 2-D vertex space expresses DPs beyond the paper's
+// 2D/0D class by embedding: stage k of the classic recurrence
+//
+//	D_k(i,j) = min{ D_{k-1}(i,j), D_{k-1}(i,k) + D_{k-1}(k,j) }
+//
+// becomes matrix row k, with the n×n distance matrix flattened into the
+// columns. Cell (k, i·n+j) depends on three cells of row k-1 — a custom
+// pattern with data-dependent column offsets, like the knapsack's.
+type FloydWarshall struct {
+	N    int32   // vertices in the graph
+	Edge []int64 // row-major adjacency: Edge[i*N+j], -1 = no edge
+}
+
+// fwInf is the "no path" distance; high but addition-safe.
+const fwInf int64 = 1 << 40
+
+// NewRandomFloydWarshall builds a random directed graph with n vertices
+// where each ordered pair has an edge with probability ~degree/n and
+// weight in [1, maxW], deterministic in seed.
+func NewRandomFloydWarshall(n int32, degree int, maxW int64, seed int64) *FloydWarshall {
+	fw := &FloydWarshall{N: n, Edge: make([]int64, int(n)*int(n))}
+	for i := int32(0); i < n; i++ {
+		for j := int32(0); j < n; j++ {
+			idx := int(i)*int(n) + int(j)
+			switch {
+			case i == j:
+				fw.Edge[idx] = 0
+			case workload.Hash2(i, j, seed)%uint64(n) < uint64(degree):
+				fw.Edge[idx] = int64(workload.Hash2(j, i, seed)%uint64(maxW)) + 1
+			default:
+				fw.Edge[idx] = -1
+			}
+		}
+	}
+	return fw
+}
+
+// fwPattern is the stage-embedded dependency structure: row 0 has no
+// dependencies (the adjacency matrix); cell (k, i·n+j) for k >= 1 needs
+// (k-1, i·n+j), (k-1, i·n+(k-1)) and (k-1, (k-1)·n+j) — note stage k
+// relaxes through graph vertex k-1.
+type fwPattern struct{ n int32 }
+
+func (p fwPattern) Bounds() (int32, int32) { return p.n + 1, p.n * p.n }
+
+func (p fwPattern) Dependencies(k, c int32, buf []dpx10.VertexID) []dpx10.VertexID {
+	if k == 0 {
+		return buf
+	}
+	i, j := c/p.n, c%p.n
+	v := k - 1 // the vertex being relaxed through
+	buf = append(buf, dpx10.VertexID{I: k - 1, J: c})
+	if viaOut := i*p.n + v; viaOut != c {
+		buf = append(buf, dpx10.VertexID{I: k - 1, J: viaOut})
+	}
+	if viaIn := v*p.n + j; viaIn != c && viaIn != i*p.n+v {
+		buf = append(buf, dpx10.VertexID{I: k - 1, J: viaIn})
+	}
+	return buf
+}
+
+func (p fwPattern) AntiDependencies(k, c int32, buf []dpx10.VertexID) []dpx10.VertexID {
+	if k >= p.n {
+		return buf
+	}
+	i, j := c/p.n, c%p.n
+	v := k // stage k+1 relaxes through vertex k
+	buf = append(buf, dpx10.VertexID{I: k + 1, J: c})
+	if j == v {
+		// (k, i·n+v) feeds every (k+1, i·n+j') in row i except itself.
+		for jp := int32(0); jp < p.n; jp++ {
+			if t := i*p.n + jp; t != c {
+				buf = append(buf, dpx10.VertexID{I: k + 1, J: t})
+			}
+		}
+	}
+	if i == v {
+		// (k, v·n+j) feeds every (k+1, i'·n+j) in column j except those
+		// already listed.
+		for ip := int32(0); ip < p.n; ip++ {
+			t := ip*p.n + j
+			if t == c || (j == v && ip == i) {
+				continue
+			}
+			// Skip targets already emitted by the row-i loop above.
+			if j == v && t/p.n == i {
+				continue
+			}
+			buf = append(buf, dpx10.VertexID{I: k + 1, J: t})
+		}
+	}
+	return buf
+}
+
+// Pattern returns the stage-embedded custom pattern.
+func (fw *FloydWarshall) Pattern() dpx10.Pattern { return fwPattern{n: fw.N} }
+
+// Compute implements the staged relaxation; -1 encodes "unreachable" in
+// the adjacency row and fwInf internally.
+func (fw *FloydWarshall) Compute(k, c int32, deps []dpx10.Cell[int64]) int64 {
+	n := fw.N
+	if k == 0 {
+		if e := fw.Edge[c]; e >= 0 {
+			return e
+		}
+		return fwInf
+	}
+	i, j := c/n, c%n
+	v := k - 1
+	cur := mustDep(deps, k-1, c)
+	out, okOut := depValue(deps, k-1, i*n+v)
+	if !okOut {
+		out = cur // c == i·n+v: the dependency is the cell itself
+	}
+	in, okIn := depValue(deps, k-1, v*n+j)
+	if !okIn {
+		if v*n+j == c {
+			in = cur
+		} else {
+			in = out // v·n+j == i·n+v only when i == j == v
+		}
+	}
+	if via := out + in; via < cur {
+		return via
+	}
+	return cur
+}
+
+// AppFinished is a no-op; use Dist.
+func (fw *FloydWarshall) AppFinished(*dpx10.Dag[int64]) {}
+
+// Dist returns the shortest-path distance from i to j after a completed
+// run; ok reports reachability.
+func (fw *FloydWarshall) Dist(dag *dpx10.Dag[int64], i, j int32) (int64, bool) {
+	v := dag.Result(fw.N, i*fw.N+j)
+	return v, v < fwInf
+}
+
+// Serial computes all-pairs shortest paths with the classic triple loop.
+func (fw *FloydWarshall) Serial() []int64 {
+	n := int(fw.N)
+	d := make([]int64, n*n)
+	for idx, e := range fw.Edge {
+		if e >= 0 {
+			d[idx] = e
+		} else {
+			d[idx] = fwInf
+		}
+	}
+	for v := 0; v < n; v++ {
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if via := d[i*n+v] + d[v*n+j]; via < d[i*n+j] {
+					d[i*n+j] = via
+				}
+			}
+		}
+	}
+	return d
+}
+
+// Verify checks the final stage against Serial.
+func (fw *FloydWarshall) Verify(dag *dpx10.Dag[int64]) error {
+	want := fw.Serial()
+	n := fw.N
+	for i := int32(0); i < n; i++ {
+		for j := int32(0); j < n; j++ {
+			if got := dag.Result(n, i*n+j); got != want[i*int32(n)+j] {
+				return fmt.Errorf("floydwarshall: D(%d,%d) = %d, want %d", i, j, got, want[i*int32(n)+j])
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,170 @@
+package apps
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"github.com/dpx10/dpx10"
+)
+
+// Viterbi decodes the most likely hidden-state sequence of an HMM — the
+// canonical workload of the RowWave pattern (Figure 5c): row t is the set
+// of states at time t and every cell needs the entire previous row:
+//
+//	v(0,s) = log π_s + log b_s(o_0)
+//	v(t,s) = max_{s'} { v(t-1,s') + log a_{s',s} } + log b_s(o_t)
+//
+// Probabilities are kept in log space; the per-vertex value is the best
+// log-probability of any path ending in state s at time t.
+type Viterbi struct {
+	States int
+	// LogInit[s], LogTrans[s'][s], LogEmit[s][o] are log probabilities.
+	LogInit  []float64
+	LogTrans [][]float64
+	LogEmit  [][]float64
+	Obs      []int // observation sequence
+}
+
+// NewRandomViterbi builds a random but well-formed HMM with `states`
+// hidden states, `symbols` observable symbols and an observation
+// sequence of length obsLen, deterministic in seed.
+func NewRandomViterbi(states, symbols, obsLen int, seed int64) *Viterbi {
+	rng := rand.New(rand.NewSource(seed))
+	randDist := func(n int) []float64 {
+		raw := make([]float64, n)
+		sum := 0.0
+		for k := range raw {
+			raw[k] = rng.Float64() + 0.01
+			sum += raw[k]
+		}
+		for k := range raw {
+			raw[k] = math.Log(raw[k] / sum)
+		}
+		return raw
+	}
+	v := &Viterbi{
+		States:   states,
+		LogInit:  randDist(states),
+		LogTrans: make([][]float64, states),
+		LogEmit:  make([][]float64, states),
+		Obs:      make([]int, obsLen),
+	}
+	for s := 0; s < states; s++ {
+		v.LogTrans[s] = randDist(states)
+		v.LogEmit[s] = randDist(symbols)
+	}
+	for t := range v.Obs {
+		v.Obs[t] = rng.Intn(symbols)
+	}
+	return v
+}
+
+// Pattern returns the RowWave pattern: len(Obs) rows of States columns.
+func (v *Viterbi) Pattern() dpx10.Pattern {
+	return dpx10.RowWavePattern(int32(len(v.Obs)), int32(v.States))
+}
+
+// Compute implements the log-space recurrence; j is the state index.
+func (v *Viterbi) Compute(i, j int32, deps []dpx10.Cell[float64]) float64 {
+	if i == 0 {
+		return v.LogInit[j] + v.LogEmit[j][v.Obs[0]]
+	}
+	best := math.Inf(-1)
+	for _, d := range deps { // the whole previous row
+		if cand := d.Value + v.LogTrans[d.ID.J][j]; cand > best {
+			best = cand
+		}
+	}
+	return best + v.LogEmit[j][v.Obs[i]]
+}
+
+// AppFinished is a no-op; use Best and Path.
+func (v *Viterbi) AppFinished(*dpx10.Dag[float64]) {}
+
+// Best returns the log-probability of the most likely path.
+func (v *Viterbi) Best(dag *dpx10.Dag[float64]) float64 {
+	t := int32(len(v.Obs)) - 1
+	best := math.Inf(-1)
+	for s := int32(0); s < int32(v.States); s++ {
+		if p := dag.Result(t, s); p > best {
+			best = p
+		}
+	}
+	return best
+}
+
+// Path backtracks the most likely hidden-state sequence.
+func (v *Viterbi) Path(dag *dpx10.Dag[float64]) []int {
+	T := len(v.Obs)
+	path := make([]int, T)
+	// Last state: argmax of the final row.
+	best := math.Inf(-1)
+	for s := 0; s < v.States; s++ {
+		if p := dag.Result(int32(T-1), int32(s)); p > best {
+			best, path[T-1] = p, s
+		}
+	}
+	// Walk backwards, picking any predecessor that reproduces the value.
+	for t := T - 1; t > 0; t-- {
+		cur := path[t]
+		target := dag.Result(int32(t), int32(cur)) - v.LogEmit[cur][v.Obs[t]]
+		found := false
+		for s := 0; s < v.States; s++ {
+			if approxEq(dag.Result(int32(t-1), int32(s))+v.LogTrans[s][cur], target) {
+				path[t-1] = s
+				found = true
+				break
+			}
+		}
+		if !found {
+			panic(fmt.Sprintf("viterbi: no predecessor reproduces v(%d,%d)", t, cur))
+		}
+	}
+	return path
+}
+
+func approxEq(a, b float64) bool {
+	return math.Abs(a-b) <= 1e-9*(1+math.Abs(a)+math.Abs(b))
+}
+
+// Serial computes the trellis with nested loops.
+func (v *Viterbi) Serial() [][]float64 {
+	T := len(v.Obs)
+	t := make([][]float64, T)
+	for i := range t {
+		t[i] = make([]float64, v.States)
+	}
+	for s := 0; s < v.States; s++ {
+		t[0][s] = v.LogInit[s] + v.LogEmit[s][v.Obs[0]]
+	}
+	for i := 1; i < T; i++ {
+		for s := 0; s < v.States; s++ {
+			best := math.Inf(-1)
+			for sp := 0; sp < v.States; sp++ {
+				if cand := t[i-1][sp] + v.LogTrans[sp][s]; cand > best {
+					best = cand
+				}
+			}
+			t[i][s] = best + v.LogEmit[s][v.Obs[i]]
+		}
+	}
+	return t
+}
+
+// Verify checks the distributed trellis against Serial. Floating-point
+// values compare within a relative tolerance: both sides perform the same
+// operations in the same order per cell, but tolerance keeps the check
+// robust.
+func (v *Viterbi) Verify(dag *dpx10.Dag[float64]) error {
+	want := v.Serial()
+	for i := 0; i < len(v.Obs); i++ {
+		for s := 0; s < v.States; s++ {
+			got := dag.Result(int32(i), int32(s))
+			if !approxEq(got, want[i][s]) {
+				return fmt.Errorf("viterbi: v(%d,%d) = %g, want %g", i, s, got, want[i][s])
+			}
+		}
+	}
+	return nil
+}

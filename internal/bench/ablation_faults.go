@@ -1,0 +1,64 @@
+package bench
+
+import (
+	"fmt"
+
+	"github.com/dpx10/dpx10/internal/dist"
+	"github.com/dpx10/dpx10/internal/simcluster"
+)
+
+// AblationFaults extends Figure 13 to multiple failures: SWLAG on 8 nodes
+// with k faults injected at evenly spaced progress points. Each recovery
+// redistributes over fewer survivors, so both the per-recovery scan and
+// the recomputed work grow — the experiment quantifies how gracefully the
+// paper's mechanism degrades (one fault is Figure 13's case; the paper
+// does not evaluate more).
+func AblationFaults(quick bool) (Report, error) {
+	totalCells := int64(300) * million
+	if quick {
+		totalCells = 3 * million
+	}
+	g := gridFor(quick)
+	spec := Specs()[0] // SWLAG
+	const nodes = 8
+	places := nodesToPlaces(nodes)
+
+	rep := Report{
+		Title:  fmt.Sprintf("Extension — multiple faults (SWLAG, %d M vertices, %d nodes)", totalCells/million, nodes),
+		Header: []string{"faults", "survivors", "time(s)", "normalized", "recovery(s)", "recomputed(tiles)"},
+	}
+	var base float64
+	for faults := 0; faults <= 4; faults++ {
+		pat, tile := spec.Build(totalCells, g)
+		h, w := pat.Bounds()
+		sim, err := simcluster.New(pat, dist.NewBlockRow(h, w, places), tile.Model(threadsPerPlace))
+		if err != nil {
+			return rep, err
+		}
+		active := sim.Active()
+		for k := 1; k <= faults; k++ {
+			// Faults at k/(faults+1) of the total work, like the paper's
+			// single mid-run fault generalized.
+			target := active * int64(k) / int64(faults+1)
+			if sim.Done() < target {
+				sim.RunUntil(target)
+			}
+			if _, err := sim.Fault(places-k, false); err != nil {
+				return rep, fmt.Errorf("fault %d: %w", k, err)
+			}
+		}
+		res, err := sim.Run()
+		if err != nil {
+			return rep, fmt.Errorf("faults=%d: %w", faults, err)
+		}
+		if faults == 0 {
+			base = res.Makespan
+		}
+		rep.Add(d(int64(faults)), d(int64(places-faults)), f3(res.Makespan),
+			f2(res.Makespan/base), f3(res.RecoveryTime), d(res.ComputedCells-active))
+	}
+	rep.Notes = append(rep.Notes,
+		"faults are spread evenly across the run; each kills the highest surviving place",
+		"normalized = makespan / fault-free makespan (Figure 13b generalized)")
+	return rep, nil
+}

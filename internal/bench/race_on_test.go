@@ -1,0 +1,8 @@
+//go:build race
+
+package bench
+
+// raceEnabled reports that this test binary runs under the race detector,
+// whose instrumentation skews wall-clock comparisons (it multiplies the
+// framework's atomic-heavy paths far more than tight native loops).
+const raceEnabled = true

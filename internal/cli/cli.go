@@ -1,0 +1,381 @@
+// Package cli implements the shared application dispatch of the
+// dpx10-run and dpx10-worker commands: building a named DP application at
+// a requested size, running it on the local (single-process) runtime or
+// as one place of a TCP deployment, and summarizing the result.
+package cli
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"github.com/dpx10/dpx10"
+	"github.com/dpx10/dpx10/internal/apps"
+	"github.com/dpx10/dpx10/internal/codec"
+	"github.com/dpx10/dpx10/internal/core"
+	"github.com/dpx10/dpx10/internal/dag"
+	"github.com/dpx10/dpx10/internal/dist"
+	"github.com/dpx10/dpx10/internal/sched"
+	"github.com/dpx10/dpx10/internal/workload"
+)
+
+// Params selects and sizes a run.
+type Params struct {
+	App      string // lcs | sw | swlag | editdist | mtp | lps | knapsack
+	M, N     int    // sequence/grid dimensions
+	Items    int    // knapsack items
+	Capacity int    // knapsack capacity
+	Seed     int64
+	// FileA/FileB load real sequences (FASTA or plain text) for the
+	// alignment apps instead of generating random ones; M/N are ignored
+	// for a dimension whose file is set.
+	FileA, FileB string
+
+	Places        int
+	Threads       int
+	Strategy      string // local | random | mincomm
+	Dist          string // blockrow | blockcol | cyclicrow | cycliccol
+	Cache         int
+	RestoreRemote bool
+
+	Verify bool
+	Kill   int  // place to kill at ~50% progress; -1 disables
+	Trace  bool // print per-place utilization after the run
+}
+
+// AppNames lists the runnable applications.
+func AppNames() []string {
+	return []string{
+		"lcs", "sw", "swlag", "editdist", "mtp", "lps", "knapsack",
+		"nw", "lcsubstr", "matrixchain", "viterbi", "floydwarshall", "obst", "cyk",
+	}
+}
+
+func (p *Params) normalize() error {
+	if p.M <= 0 {
+		p.M = 200
+	}
+	if p.N <= 0 {
+		p.N = p.M
+	}
+	if p.Items <= 0 {
+		p.Items = 50
+	}
+	if p.Capacity <= 0 {
+		p.Capacity = 400
+	}
+	if p.Places <= 0 {
+		p.Places = 4
+	}
+	if p.Strategy == "" {
+		p.Strategy = "local"
+	}
+	if p.Dist == "" {
+		p.Dist = "blockrow"
+	}
+	if _, err := sched.ParseStrategy(p.Strategy); err != nil {
+		return err
+	}
+	switch p.Dist {
+	case "blockrow", "blockcol", "cyclicrow", "cycliccol":
+	default:
+		return fmt.Errorf("cli: unknown dist %q", p.Dist)
+	}
+	return nil
+}
+
+func options[T any](p Params) []dpx10.Option[T] {
+	st, _ := sched.ParseStrategy(p.Strategy)
+	opts := []dpx10.Option[T]{
+		dpx10.Places[T](p.Places),
+		dpx10.WithStrategy[T](st),
+		dpx10.WithDist[T](dpx10.DistKind(p.Dist)),
+		dpx10.CacheSize[T](p.Cache),
+	}
+	if p.Threads > 0 {
+		opts = append(opts, dpx10.Threads[T](p.Threads))
+	}
+	if p.RestoreRemote {
+		opts = append(opts, dpx10.RestoreRemote[T]())
+	}
+	return opts
+}
+
+// RunLocal executes the named app on the single-process runtime and
+// prints a summary to w.
+func RunLocal(p Params, w io.Writer) error {
+	if err := p.normalize(); err != nil {
+		return err
+	}
+	switch p.App {
+	case "lcs":
+		app := apps.NewLCS(seqs(p))
+		return drive[int32](p, w, app, app.Pattern(), codec.Int32{}, app.Verify,
+			func(d *dpx10.Dag[int32]) string {
+				return fmt.Sprintf("LCS length = %d, subsequence = %q", app.Length(d), clip(app.Backtrack(d)))
+			})
+	case "sw":
+		app := apps.NewSW(seqs(p))
+		return drive[int32](p, w, app, app.Pattern(), codec.Int32{}, app.Verify,
+			func(d *dpx10.Dag[int32]) string {
+				best, at := app.Best(d)
+				a, b := app.Backtrack(d)
+				return fmt.Sprintf("best local alignment score = %d at %v\n  %s\n  %s", best, at, clip(a), clip(b))
+			})
+	case "swlag":
+		app := apps.NewSWLAG(seqs(p))
+		return drive[apps.AffineCell](p, w, app, app.Pattern(), app.Codec(), app.Verify,
+			func(d *dpx10.Dag[apps.AffineCell]) string {
+				return fmt.Sprintf("best affine-gap local alignment score = %d", app.Best(d))
+			})
+	case "editdist":
+		app := apps.NewEditDistance(seqs(p))
+		return drive[int32](p, w, app, app.Pattern(), codec.Int32{}, app.Verify,
+			func(d *dpx10.Dag[int32]) string {
+				return fmt.Sprintf("edit distance = %d", app.Distance(d))
+			})
+	case "mtp":
+		app := apps.NewMTP(int32(p.M), int32(p.N), 100, p.Seed)
+		return drive[int64](p, w, app, app.Pattern(), codec.Int64{}, app.Verify,
+			func(d *dpx10.Dag[int64]) string {
+				return fmt.Sprintf("heaviest monotone path weight = %d (%d steps)", app.Best(d), len(app.Path(d))-1)
+			})
+	case "lps":
+		app := apps.NewLPS(workload.Sequence(p.M, workload.DNA, p.Seed))
+		return drive[int32](p, w, app, app.Pattern(), codec.Int32{}, app.Verify,
+			func(d *dpx10.Dag[int32]) string {
+				return fmt.Sprintf("longest palindromic subsequence length = %d: %q", app.Length(d), clip(app.Subsequence(d)))
+			})
+	case "knapsack":
+		app := apps.NewRandomKnapsack(p.Items, 10, 100, int32(p.Capacity), p.Seed)
+		pat, err := app.Pattern()
+		if err != nil {
+			return err
+		}
+		return drive[int64](p, w, app, pat, codec.Int64{}, app.Verify,
+			func(d *dpx10.Dag[int64]) string {
+				return fmt.Sprintf("best knapsack value = %d using items %v", app.Best(d), app.Chosen(d))
+			})
+	case "nw":
+		app := apps.NewNW(seqs(p))
+		return drive[int32](p, w, app, app.Pattern(), codec.Int32{}, app.Verify,
+			func(d *dpx10.Dag[int32]) string {
+				a, b := app.Backtrack(d)
+				return fmt.Sprintf("global alignment score = %d\n  %s\n  %s", app.Score(d), clip(a), clip(b))
+			})
+	case "lcsubstr":
+		app := apps.NewLCSubstr(seqs(p))
+		return drive[int32](p, w, app, app.Pattern(), codec.Int32{}, app.Verify,
+			func(d *dpx10.Dag[int32]) string {
+				sub, n := app.Longest(d)
+				return fmt.Sprintf("longest common substring = %q (length %d)", clip(sub), n)
+			})
+	case "matrixchain":
+		app := apps.NewRandomMatrixChain(p.M, 60, p.Seed)
+		return drive[int64](p, w, app, app.Pattern(), codec.Int64{}, app.Verify,
+			func(d *dpx10.Dag[int64]) string {
+				return fmt.Sprintf("optimal chain cost = %d: %s", app.Cost(d), clip(app.Parenthesization(d)))
+			})
+	case "viterbi":
+		app := apps.NewRandomViterbi(p.N, 6, p.M, p.Seed)
+		return drive[float64](p, w, app, app.Pattern(), codec.Float64{}, app.Verify,
+			func(d *dpx10.Dag[float64]) string {
+				path := app.Path(d)
+				return fmt.Sprintf("most likely path log-probability = %.3f (%d steps)", app.Best(d), len(path))
+			})
+	case "obst":
+		app := apps.NewRandomOBST(p.M, 50, p.Seed)
+		return drive[int64](p, w, app, app.Pattern(), codec.Int64{}, app.Verify,
+			func(d *dpx10.Dag[int64]) string {
+				root := -1
+				for k, par := range app.Tree(d) {
+					if par == -1 {
+						root = k
+					}
+				}
+				return fmt.Sprintf("optimal BST over %d keys: weighted cost %d, root key %d", app.N(), app.Cost(d), root)
+			})
+	case "cyk":
+		app := apps.NewRandomCYK(12, 40, p.M, p.Seed)
+		return drive[uint64](p, w, app, app.Pattern(), app.Codec(), app.Verify,
+			func(d *dpx10.Dag[uint64]) string {
+				return fmt.Sprintf("CYK over %d symbols: accepted=%v, %d derivable spans",
+					len(app.Input), app.Accepts(d), app.Parseable(d))
+			})
+	case "floydwarshall":
+		app := apps.NewRandomFloydWarshall(int32(p.M), 4, 50, p.Seed)
+		return drive[int64](p, w, app, app.Pattern(), codec.Int64{}, app.Verify,
+			func(d *dpx10.Dag[int64]) string {
+				dist01, ok := app.Dist(d, 0, app.N-1)
+				if !ok {
+					return fmt.Sprintf("all-pairs shortest paths over %d vertices; 0 -> %d unreachable", app.N, app.N-1)
+				}
+				return fmt.Sprintf("all-pairs shortest paths over %d vertices; dist(0, %d) = %d", app.N, app.N-1, dist01)
+			})
+	default:
+		return fmt.Errorf("cli: unknown app %q (have %v)", p.App, AppNames())
+	}
+}
+
+func seqs(p Params) (string, string) {
+	a := workload.Sequence(p.M, workload.DNA, p.Seed)
+	b := workload.Sequence(p.N, workload.DNA, p.Seed+1)
+	if p.FileA != "" {
+		if _, s, err := workload.ReadFASTAFile(p.FileA); err == nil {
+			a = s
+		}
+	}
+	if p.FileB != "" {
+		if _, s, err := workload.ReadFASTAFile(p.FileB); err == nil {
+			b = s
+		}
+	}
+	return a, b
+}
+
+func clip(s string) string {
+	if len(s) > 60 {
+		return s[:57] + "..."
+	}
+	return s
+}
+
+// drive runs one app through the public API, optionally injecting a
+// fault, then verifies and summarizes.
+func drive[T any](p Params, w io.Writer, app dpx10.App[T], pattern dpx10.Pattern,
+	cd dpx10.Codec[T], verify func(*dpx10.Dag[T]) error, summarize func(*dpx10.Dag[T]) string) error {
+
+	opts := append(options[T](p), dpx10.WithCodec[T](cd))
+	var tr *dpx10.Trace
+	if p.Trace {
+		tr = dpx10.NewTrace(p.Places, 0)
+		opts = append(opts, dpx10.WithTrace[T](tr))
+	}
+	job, err := dpx10.Launch[T](app, pattern, opts...)
+	if err != nil {
+		return err
+	}
+	if p.Kill >= 0 {
+		h, wd := pattern.Bounds()
+		half := int64(h) * int64(wd) / 2
+		go func() {
+			for job.Progress() < half {
+				time.Sleep(time.Millisecond)
+			}
+			fmt.Fprintf(w, "killing place %d at ~50%% progress...\n", p.Kill)
+			job.Kill(p.Kill)
+		}()
+	}
+	d, err := job.Wait()
+	if err != nil {
+		return err
+	}
+	if p.Verify {
+		if err := verify(d); err != nil {
+			return fmt.Errorf("verification FAILED: %w", err)
+		}
+		fmt.Fprintln(w, "verified against serial reference: OK")
+	}
+	fmt.Fprintln(w, summarize(d))
+	printStats(w, d.Stats(), d.Elapsed())
+	if tr != nil {
+		threads := p.Threads
+		if threads <= 0 {
+			threads = 2
+		}
+		fmt.Fprintf(w, "per-place utilization (imbalance %.2f):\n%s", tr.Imbalance(),
+			tr.Summary(d.Elapsed(), threads))
+	}
+	return nil
+}
+
+func printStats(w io.Writer, s dpx10.Stats, elapsed time.Duration) {
+	fmt.Fprintf(w, "elapsed %.3fs  places=%d epochs=%d recoveries=%d (%.1fms in recovery)\n",
+		elapsed.Seconds(), s.Places, s.Epochs, s.Recoveries, float64(s.RecoveryNanos)/1e6)
+	fmt.Fprintf(w, "cells=%d localReads=%d remoteFetches=%d cacheHits=%d migrated=%d msgs=%d bytes=%d\n",
+		s.ComputedCells, s.LocalReads, s.RemoteFetches, s.CacheHits, s.ExecMigrated, s.MsgsSent, s.BytesSent)
+}
+
+// BuildConfig builds the core.Config for a TCP worker of the named app.
+// Only value types are erased here, so each app needs its own arm; the
+// returned runner drives the node to completion and summarizes on place 0.
+func RunWorker(p Params, self int, addrs []string, w io.Writer) error {
+	if err := p.normalize(); err != nil {
+		return err
+	}
+	p.Places = len(addrs)
+	switch p.App {
+	case "swlag":
+		app := apps.NewSWLAG(seqs(p))
+		return driveWorker[apps.AffineCell](p, self, addrs, w, app.Compute, app.Pattern(), app.Codec())
+	case "mtp":
+		app := apps.NewMTP(int32(p.M), int32(p.N), 100, p.Seed)
+		return driveWorker[int64](p, self, addrs, w, app.Compute, app.Pattern(), codec.Int64{})
+	case "lps":
+		app := apps.NewLPS(workload.Sequence(p.M, workload.DNA, p.Seed))
+		return driveWorker[int32](p, self, addrs, w, app.Compute, app.Pattern(), codec.Int32{})
+	case "lcs":
+		app := apps.NewLCS(seqs(p))
+		return driveWorker[int32](p, self, addrs, w, app.Compute, app.Pattern(), codec.Int32{})
+	case "knapsack":
+		app := apps.NewRandomKnapsack(p.Items, 10, 100, int32(p.Capacity), p.Seed)
+		pat, err := app.Pattern()
+		if err != nil {
+			return err
+		}
+		return driveWorker[int64](p, self, addrs, w, app.Compute, pat, codec.Int64{})
+	default:
+		return fmt.Errorf("cli: app %q not supported in worker mode", p.App)
+	}
+}
+
+func driveWorker[T any](p Params, self int, addrs []string, w io.Writer,
+	compute core.ComputeFunc[T], pattern dag.Pattern, cd codec.Codec[T]) error {
+
+	st, _ := sched.ParseStrategy(p.Strategy)
+	cfg := core.Config[T]{
+		Places:        len(addrs),
+		Threads:       p.Threads,
+		Pattern:       pattern,
+		Compute:       compute,
+		Codec:         cd,
+		Strategy:      st,
+		CacheSize:     p.Cache,
+		RestoreRemote: p.RestoreRemote,
+		NewDist:       distFactory(p.Dist),
+	}
+	node, err := core.StartTCPNode(cfg, self, addrs)
+	if err != nil {
+		return err
+	}
+	defer node.Close()
+	fmt.Fprintf(w, "place %d listening on %s\n", self, node.Addr())
+	if err := node.Run(); err != nil {
+		return err
+	}
+	s := node.Stats()
+	fmt.Fprintf(w, "place %d done in %.3fs: computed=%d remoteFetches=%d msgs=%d\n",
+		self, node.Elapsed().Seconds(), s.ComputedCells, s.RemoteFetches, s.MsgsSent)
+	if self == 0 {
+		h, wd := pattern.Bounds()
+		v, err := node.Value(h-1, wd-1)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "corner vertex (%d,%d) = %v; recoveries=%d\n", h-1, wd-1, v, s.Recoveries)
+	}
+	return nil
+}
+
+func distFactory(name string) func(h, w int32, n int) dist.Dist {
+	switch name {
+	case "blockcol":
+		return func(h, w int32, n int) dist.Dist { return dist.NewBlockCol(h, w, n) }
+	case "cyclicrow":
+		return func(h, w int32, n int) dist.Dist { return dist.NewCyclicRow(h, w, n) }
+	case "cycliccol":
+		return func(h, w int32, n int) dist.Dist { return dist.NewCyclicCol(h, w, n) }
+	default:
+		return func(h, w int32, n int) dist.Dist { return dist.NewBlockRow(h, w, n) }
+	}
+}

@@ -1,0 +1,146 @@
+package cli
+
+import (
+	"bytes"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func smallParams(app string) Params {
+	return Params{
+		App: app, M: 40, N: 36, Items: 10, Capacity: 60,
+		Seed: 3, Places: 3, Threads: 2, Verify: true, Kill: -1,
+	}
+}
+
+func TestRunLocalAllApps(t *testing.T) {
+	for _, app := range AppNames() {
+		app := app
+		t.Run(app, func(t *testing.T) {
+			p := smallParams(app)
+			if app == "matrixchain" {
+				p.M = 14 // chain length, O(n^3) work
+			}
+			if app == "viterbi" {
+				p.M, p.N = 30, 5 // timesteps, states
+			}
+			var out bytes.Buffer
+			if err := RunLocal(p, &out); err != nil {
+				t.Fatalf("RunLocal: %v", err)
+			}
+			got := out.String()
+			if !strings.Contains(got, "verified against serial reference: OK") {
+				t.Fatalf("missing verification line:\n%s", got)
+			}
+			if !strings.Contains(got, "elapsed") {
+				t.Fatalf("missing stats line:\n%s", got)
+			}
+		})
+	}
+}
+
+func TestRunLocalWithKill(t *testing.T) {
+	p := smallParams("mtp")
+	p.M, p.N = 120, 120
+	p.Places = 4
+	p.Kill = 2
+	var out bytes.Buffer
+	if err := RunLocal(p, &out); err != nil {
+		t.Fatalf("RunLocal: %v", err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "killing place 2") {
+		t.Fatalf("fault injection never fired:\n%s", got)
+	}
+	if !strings.Contains(got, "recoveries=1") {
+		t.Fatalf("no recovery recorded:\n%s", got)
+	}
+	if !strings.Contains(got, "verified against serial reference: OK") {
+		t.Fatalf("result wrong after recovery:\n%s", got)
+	}
+}
+
+func TestRunLocalOptionsMatrix(t *testing.T) {
+	for _, strat := range []string{"local", "random", "mincomm", "steal"} {
+		for _, dist := range []string{"blockrow", "blockcol", "cyclicrow", "cycliccol"} {
+			p := smallParams("lcs")
+			p.Strategy = strat
+			p.Dist = dist
+			p.Cache = 16
+			var out bytes.Buffer
+			if err := RunLocal(p, &out); err != nil {
+				t.Fatalf("%s/%s: %v", strat, dist, err)
+			}
+		}
+	}
+}
+
+func TestRunLocalRejectsBadInput(t *testing.T) {
+	p := smallParams("nosuchapp")
+	if err := RunLocal(p, &bytes.Buffer{}); err == nil {
+		t.Fatal("unknown app accepted")
+	}
+	p = smallParams("lcs")
+	p.Strategy = "bogus"
+	if err := RunLocal(p, &bytes.Buffer{}); err == nil {
+		t.Fatal("bad strategy accepted")
+	}
+	p = smallParams("lcs")
+	p.Dist = "bogus"
+	if err := RunLocal(p, &bytes.Buffer{}); err == nil {
+		t.Fatal("bad dist accepted")
+	}
+}
+
+// freePorts reserves n distinct loopback ports.
+func freePorts(t *testing.T, n int) []string {
+	t.Helper()
+	addrs := make([]string, n)
+	listeners := make([]net.Listener, n)
+	for k := 0; k < n; k++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		listeners[k] = ln
+		addrs[k] = ln.Addr().String()
+	}
+	for _, ln := range listeners {
+		ln.Close()
+	}
+	return addrs
+}
+
+func TestRunWorkerCluster(t *testing.T) {
+	addrs := freePorts(t, 3)
+	var wg sync.WaitGroup
+	outs := make([]bytes.Buffer, 3)
+	errs := make([]error, 3)
+	for place := 0; place < 3; place++ {
+		wg.Add(1)
+		go func(place int) {
+			defer wg.Done()
+			p := smallParams("swlag")
+			p.Kill = -1
+			errs[place] = RunWorker(p, place, addrs, &outs[place])
+		}(place)
+	}
+	wg.Wait()
+	for place, err := range errs {
+		if err != nil {
+			t.Fatalf("place %d: %v\n%s", place, err, outs[place].String())
+		}
+	}
+	if !strings.Contains(outs[0].String(), "corner vertex") {
+		t.Fatalf("coordinator summary missing:\n%s", outs[0].String())
+	}
+}
+
+func TestRunWorkerRejectsUnsupportedApp(t *testing.T) {
+	p := smallParams("sw") // local-only app in worker mode
+	if err := RunWorker(p, 0, []string{"127.0.0.1:0"}, &bytes.Buffer{}); err == nil {
+		t.Fatal("unsupported worker app accepted")
+	}
+}

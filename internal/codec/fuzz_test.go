@@ -1,0 +1,50 @@
+package codec
+
+import "testing"
+
+// FuzzGobDecode hardens the catch-all codec against corrupt wire bytes.
+func FuzzGobDecode(f *testing.F) {
+	type cell struct{ A, B int32 }
+	c := Gob[cell]{}
+	f.Add(c.Encode(nil, cell{1, 2}))
+	f.Add([]byte{})
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0x7F, 1, 2, 3}) // huge claimed length
+	f.Fuzz(func(t *testing.T, data []byte) {
+		v, n, err := c.Decode(data)
+		if err != nil {
+			return
+		}
+		if n <= 0 || n > len(data) {
+			t.Fatalf("consumed %d of %d bytes", n, len(data))
+		}
+		// A successful decode must re-encode and decode to the same value.
+		re := c.Encode(nil, v)
+		v2, _, err2 := c.Decode(re)
+		if err2 != nil || v2 != v {
+			t.Fatalf("round trip: %v vs %v (%v)", v, v2, err2)
+		}
+	})
+}
+
+// FuzzScalarDecode checks the fixed-width codecs never over-consume.
+func FuzzScalarDecode(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if v, n, err := (Int32{}).Decode(data); err == nil {
+			if n != 4 {
+				t.Fatalf("int32 consumed %d", n)
+			}
+			b := (Int32{}).Encode(nil, v)
+			if v2, _, _ := (Int32{}).Decode(b); v2 != v {
+				t.Fatal("int32 round trip")
+			}
+		}
+		if _, n, err := (Int64{}).Decode(data); err == nil && n != 8 {
+			t.Fatalf("int64 consumed %d", n)
+		}
+		if _, n, err := (Float64{}).Decode(data); err == nil && n != 8 {
+			t.Fatalf("float64 consumed %d", n)
+		}
+	})
+}

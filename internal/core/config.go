@@ -1,0 +1,165 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/dpx10/dpx10/internal/codec"
+	"github.com/dpx10/dpx10/internal/dag"
+	"github.com/dpx10/dpx10/internal/dist"
+	"github.com/dpx10/dpx10/internal/distarray"
+	"github.com/dpx10/dpx10/internal/sched"
+	"github.com/dpx10/dpx10/internal/trace"
+)
+
+// Cell is a dependency handed to Compute: the identity and finished value
+// of one vertex the computing cell depends on. It corresponds to the
+// paper's Vertex parameter of compute() (Figure 2) — users match cells by
+// ID and read the value, without knowing where the data lived.
+type Cell[T any] struct {
+	ID    dag.VertexID
+	Value T
+}
+
+// ComputeFunc is the user's compute() method: given the cell coordinates
+// and its dependencies (in the order the pattern lists them), return the
+// cell's value. It runs concurrently on the place worker pools and must be
+// safe for concurrent invocation.
+type ComputeFunc[T any] func(i, j int32, deps []Cell[T]) T
+
+// RecoveryMode selects how lost state is reconstructed after a failure.
+type RecoveryMode int
+
+const (
+	// RecoverRedistribute is the paper's mechanism (§VI-D): rebuild the
+	// distributed array over the survivors, keeping finished vertices
+	// whose owner did not change and recomputing the rest.
+	RecoverRedistribute RecoveryMode = iota
+	// RecoverSnapshot is the ResilientDistArray baseline: restore all
+	// finished vertices from the last committed snapshot. Requires
+	// Snapshot to be configured.
+	RecoverSnapshot
+)
+
+// Config parameterizes one DPX10 run.
+type Config[T any] struct {
+	// Places is the number of places (X10_NPLACES). Must be >= 1.
+	Places int
+	// Threads is the per-place worker pool width (X10_NTHREADS).
+	// Defaults to 2.
+	Threads int
+	// Pattern is the DAG pattern describing the computation.
+	Pattern dag.Pattern
+	// Compute is the user's per-vertex function.
+	Compute ComputeFunc[T]
+	// Codec serializes vertex values; defaults to codec.Gob[T].
+	Codec codec.Codec[T]
+	// NewDist builds the initial distribution; defaults to block-row.
+	NewDist func(h, w int32, places int) dist.Dist
+	// Strategy selects the scheduling policy (paper §VI-C); default Local.
+	Strategy sched.Strategy
+	// CacheSize is the per-place remote-vertex cache capacity in entries
+	// (paper §VI-C); 0 disables the cache.
+	CacheSize int
+	// RestoreRemote, when set, copies finished vertices to their new
+	// owners during recovery instead of recomputing them (§VI-E).
+	RestoreRemote bool
+	// Recovery selects the recovery mechanism; default RecoverRedistribute.
+	Recovery RecoveryMode
+	// Snapshot, if non-nil, receives a full snapshot of finished vertices
+	// every SnapshotEvery local completions per place — the periodic
+	// snapshot baseline. Required for RecoverSnapshot.
+	Snapshot      *distarray.SnapshotStore[T]
+	SnapshotEvery int64
+	// Trace, when non-nil, collects per-place telemetry (busy time,
+	// vertices executed, fetch-wait) at the cost of two clock reads per
+	// vertex.
+	Trace *trace.Collector
+	// Spill, when non-nil, keeps each chunk's vertex values in a paged
+	// disk-backed store instead of RAM — the paper's §X future work for
+	// problems larger than memory. Indegrees and flags stay resident.
+	Spill *SpillConfig
+	// ProbeInterval is the failure-detector heartbeat period. Place 0
+	// pings every place at this interval and treats a dead-place error as
+	// a fault, mirroring the X10 runtime's own failure detection — pure
+	// communication-based detection can deadlock when the dead place was
+	// the only one holding runnable work. Default 25ms; negative disables.
+	ProbeInterval time.Duration
+}
+
+func (c *Config[T]) validate() error {
+	if c.Places < 1 {
+		return fmt.Errorf("core: Places = %d, need >= 1", c.Places)
+	}
+	if c.Pattern == nil {
+		return fmt.Errorf("core: Pattern is required")
+	}
+	if c.Compute == nil {
+		return fmt.Errorf("core: Compute is required")
+	}
+	if h, w := c.Pattern.Bounds(); h <= 0 || w <= 0 {
+		return fmt.Errorf("core: pattern bounds %dx%d invalid", h, w)
+	}
+	if c.Recovery == RecoverSnapshot && c.Snapshot == nil {
+		return fmt.Errorf("core: RecoverSnapshot requires a Snapshot store")
+	}
+	if c.Threads == 0 {
+		c.Threads = 2
+	}
+	if c.Threads < 0 {
+		return fmt.Errorf("core: Threads = %d, need >= 1", c.Threads)
+	}
+	if c.Codec == nil {
+		c.Codec = codec.Gob[T]{}
+	}
+	if c.ProbeInterval == 0 {
+		c.ProbeInterval = 25 * time.Millisecond
+	}
+	if c.Spill != nil {
+		c.Spill.normalize()
+	}
+	if c.NewDist == nil {
+		c.NewDist = func(h, w int32, places int) dist.Dist {
+			return dist.NewBlockRow(h, w, places)
+		}
+	}
+	return nil
+}
+
+// SpillConfig sizes the disk-backed value store.
+type SpillConfig struct {
+	// Dir is the scratch directory; "" uses the OS temp dir.
+	Dir string
+	// PageVals is the number of vertex values per page (default 4096).
+	PageVals int
+	// ResidentPages bounds how many pages stay in RAM per place
+	// (default 64).
+	ResidentPages int
+}
+
+func (sc *SpillConfig) normalize() {
+	if sc.PageVals <= 0 {
+		sc.PageVals = 4096
+	}
+	if sc.ResidentPages <= 0 {
+		sc.ResidentPages = 64
+	}
+}
+
+// Stats aggregates observable behaviour of one run, for the benchmark
+// harness and the overhead/recovery experiments.
+type Stats struct {
+	Places        int
+	Epochs        int   // 1 + number of recoveries
+	Recoveries    int   // failures survived
+	RecoveryNanos int64 // total wall time spent inside recovery
+	ComputedCells int64 // compute() invocations that produced a result
+	RemoteFetches int64 // dependency values moved between places
+	LocalReads    int64 // dependency values served from the local chunk
+	CacheHits     int64
+	CacheMisses   int64
+	ExecMigrated  int64 // vertices executed away from their owner
+	Stolen        int64 // vertices pulled by idle workers (steal strategy)
+	MsgsSent      int64 // transport messages (sends + calls)
+	BytesSent     int64 // transport payload bytes
+}

@@ -1,0 +1,240 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+	"time"
+
+	"github.com/dpx10/dpx10/internal/transport"
+)
+
+// debugf logs coordinator-side protocol progress when DPX10_DEBUG is set.
+func debugf(format string, args ...interface{}) {
+	if os.Getenv("DPX10_DEBUG") != "" {
+		log.Printf("dpx10: "+format, args...)
+	}
+}
+
+// coEvent is a notification delivered to the coordinator on place 0:
+// either "place p finished all local vertices in epoch e" or "place p
+// looks dead".
+type coEvent struct {
+	fault bool
+	place int
+	epoch uint64
+}
+
+// coordinator runs on place 0 (paper §VI-A: execution starts at Place 0).
+// It detects global termination — every alive place has reported that all
+// of its local vertices finished — and serializes recovery when a place
+// dies. All phase transitions are synchronous Calls, so a phase only
+// begins after every survivor completed the previous one.
+type coordinator[T any] struct {
+	pe       *placeEngine[T]
+	events   chan coEvent
+	abort    <-chan struct{}
+	abortErr func() error
+	// autoStop broadcasts stop as soon as the computation completes. The
+	// single-process cluster does that; a TCP deployment defers the
+	// broadcast until place 0 finished its post-run reads, so survivors
+	// keep serving readVal until then.
+	autoStop bool
+
+	epoch uint64
+	alive map[int]bool
+	done  map[int]bool
+
+	recoveries    int
+	recoveryNanos int64
+}
+
+func newCoordinator[T any](pe *placeEngine[T], abort <-chan struct{}, abortErr func() error, autoStop bool) *coordinator[T] {
+	co := &coordinator[T]{
+		pe:       pe,
+		events:   make(chan coEvent, 4096),
+		abort:    abort,
+		abortErr: abortErr,
+		autoStop: autoStop,
+		alive:    make(map[int]bool, pe.cfg.Places),
+		done:     make(map[int]bool),
+	}
+	for p := 0; p < pe.cfg.Places; p++ {
+		co.alive[p] = true
+	}
+	return co
+}
+
+// alivePlaces returns the alive place ids in ascending order.
+func (co *coordinator[T]) alivePlaces() []int {
+	out := make([]int, 0, len(co.alive))
+	for p, ok := range co.alive {
+		if ok {
+			out = append(out, p)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+func (co *coordinator[T]) deadPlaces() []int {
+	out := make([]int, 0, 4)
+	for p, ok := range co.alive {
+		if !ok {
+			out = append(out, p)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// run processes events until the computation completes or aborts. It
+// returns nil on success.
+func (co *coordinator[T]) run() error {
+	for {
+		select {
+		case <-co.pe.stopCh:
+			// The hosting node was torn down mid-run (Close before
+			// completion); normal completion returns before stop lands.
+			return ErrCanceled
+		case <-co.abort:
+			if err := co.abortErr(); err != nil {
+				return err
+			}
+			return errors.New("core: run aborted")
+		case ev := <-co.events:
+			if ev.fault {
+				debugf("fault event: place %d (epoch %d)", ev.place, ev.epoch)
+				if ev.place == 0 {
+					return ErrPlaceZeroDead
+				}
+				if !co.alive[ev.place] {
+					continue // duplicate report, already recovered
+				}
+				if err := co.recoverFrom(ev.place); err != nil {
+					return err
+				}
+			} else {
+				debugf("done event: place %d (epoch %d/%d)", ev.place, ev.epoch, co.epoch)
+				if ev.epoch != co.epoch {
+					continue // completion report from a superseded epoch
+				}
+				co.done[ev.place] = true
+			}
+			if co.allDone() {
+				if co.autoStop {
+					co.broadcastStop()
+				}
+				return nil
+			}
+		}
+	}
+}
+
+func (co *coordinator[T]) allDone() bool {
+	for _, p := range co.alivePlaces() {
+		if !co.done[p] {
+			return false
+		}
+	}
+	return true
+}
+
+func (co *coordinator[T]) broadcastStop() {
+	payload := putU64(nil, co.epoch)
+	for _, p := range co.alivePlaces() {
+		// Best effort: a place dying during shutdown no longer matters.
+		co.pe.tr.Send(p, kindStop, payload) //nolint:errcheck
+	}
+}
+
+// recoverFrom executes the recovery protocol of §VI-D after the death of
+// place dead. If another place dies mid-recovery, the protocol restarts
+// with the enlarged dead set and a fresh epoch; state rebuilt by the
+// abandoned attempt is superseded wholesale, so the restart is safe.
+func (co *coordinator[T]) recoverFrom(dead int) error {
+	t0 := time.Now()
+	defer func() {
+		co.recoveryNanos += time.Since(t0).Nanoseconds()
+		co.recoveries++
+	}()
+
+	co.alive[dead] = false
+	for {
+		survivors := co.alivePlaces()
+		if len(survivors) == 0 || !co.alive[0] {
+			return ErrPlaceZeroDead
+		}
+		co.epoch++
+		newDead, err := co.attemptRecovery(survivors)
+		if err == nil {
+			return nil
+		}
+		if newDead < 0 {
+			return err
+		}
+		if newDead == 0 {
+			return ErrPlaceZeroDead
+		}
+		co.alive[newDead] = false
+	}
+}
+
+// attemptRecovery drives one pass of the five phases over the survivors.
+// On a dead-place error it returns that place's id (>= 0) so the caller
+// can restart; on any other error it returns -1 and the error.
+func (co *coordinator[T]) attemptRecovery(survivors []int) (int, error) {
+	// Phase 1: pause. Payload carries the new epoch and full dead set so
+	// every survivor derives the identical restricted distribution.
+	pause := putU64(nil, co.epoch)
+	deads := co.deadPlaces()
+	pause = putU32(pause, uint32(len(deads)))
+	for _, p := range deads {
+		pause = putU32(pause, uint32(p))
+	}
+	if p, err := co.phase(survivors, kindPause, pause, nil); err != nil {
+		return p, err
+	}
+
+	epochOnly := putU64(nil, co.epoch)
+	for _, kind := range []uint8{kindRebuild, kindRestore, kindReplay} {
+		if p, err := co.phase(survivors, kind, epochOnly, nil); err != nil {
+			return p, err
+		}
+	}
+
+	// Phase 5: resume. Replies seed the done set for the new epoch.
+	co.done = make(map[int]bool)
+	onReply := func(p int, reply []byte) {
+		if len(reply) == 1 && reply[0] == 1 {
+			co.done[p] = true
+		}
+	}
+	if p, err := co.phase(survivors, kindResume, epochOnly, onReply); err != nil {
+		return p, err
+	}
+	return 0, nil
+}
+
+// phase issues one synchronous Call per survivor. It returns the failing
+// place id when a survivor died during the phase, or -1 with the error for
+// non-failure faults.
+func (co *coordinator[T]) phase(survivors []int, kind uint8, payload []byte, onReply func(p int, reply []byte)) (int, error) {
+	for _, p := range survivors {
+		debugf("recovery phase %d -> place %d", kind, p)
+		reply, err := co.pe.tr.Call(p, kind, payload)
+		debugf("recovery phase %d <- place %d (err=%v)", kind, p, err)
+		if err == transport.ErrDeadPlace {
+			return p, err
+		}
+		if err != nil {
+			return -1, fmt.Errorf("core: recovery phase %d at place %d: %w", kind, p, err)
+		}
+		if onReply != nil {
+			onReply(p, reply)
+		}
+	}
+	return 0, nil
+}

@@ -1,0 +1,285 @@
+package core
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+
+	"github.com/dpx10/dpx10/internal/codec"
+	"github.com/dpx10/dpx10/internal/dag"
+	"github.com/dpx10/dpx10/internal/dag/patterns"
+	"github.com/dpx10/dpx10/internal/dist"
+	"github.com/dpx10/dpx10/internal/sched"
+)
+
+// sumCompute is a deterministic compute(): a cell is a function of its
+// coordinates and dependency values, so any correct execution — serial,
+// concurrent, or recovered — produces identical results.
+func sumCompute(i, j int32, deps []Cell[int64]) int64 {
+	v := int64(i)*31 + int64(j)*17
+	for _, d := range deps {
+		v += d.Value
+	}
+	return v
+}
+
+// refValues computes the expected result with Kahn's algorithm, no engine.
+func refValues(pat dag.Pattern) map[dag.VertexID]int64 {
+	h, w := pat.Bounds()
+	vals := make(map[dag.VertexID]int64)
+	indeg := make(map[dag.VertexID]int32)
+	var queue []dag.VertexID
+	var buf []dag.VertexID
+	for i := int32(0); i < h; i++ {
+		for j := int32(0); j < w; j++ {
+			if !dag.IsActive(pat, i, j) {
+				continue
+			}
+			buf = pat.Dependencies(i, j, buf[:0])
+			indeg[dag.VertexID{I: i, J: j}] = int32(len(buf))
+			if len(buf) == 0 {
+				queue = append(queue, dag.VertexID{I: i, J: j})
+			}
+		}
+	}
+	for len(queue) > 0 {
+		v := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		buf = pat.Dependencies(v.I, v.J, buf[:0])
+		cells := make([]Cell[int64], len(buf))
+		for k, d := range buf {
+			cells[k] = Cell[int64]{ID: d, Value: vals[d]}
+		}
+		vals[v] = sumCompute(v.I, v.J, cells)
+		buf = pat.AntiDependencies(v.I, v.J, buf[:0])
+		for _, a := range buf {
+			indeg[a]--
+			if indeg[a] == 0 {
+				queue = append(queue, a)
+			}
+		}
+	}
+	return vals
+}
+
+func baseConfig(pat dag.Pattern, places int) Config[int64] {
+	return Config[int64]{
+		Places:  places,
+		Threads: 2,
+		Pattern: pat,
+		Compute: sumCompute,
+		Codec:   codec.Int64{},
+	}
+}
+
+func runAndCheck(t *testing.T, cfg Config[int64]) *Cluster[int64] {
+	t.Helper()
+	cl, err := NewCluster(cfg)
+	if err != nil {
+		t.Fatalf("NewCluster: %v", err)
+	}
+	if err := cl.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	res, err := cl.Result()
+	if err != nil {
+		t.Fatalf("Result: %v", err)
+	}
+	want := refValues(cfg.Pattern)
+	for id, wv := range want {
+		if !res.Finished(id.I, id.J) {
+			t.Fatalf("cell %v not finished", id)
+		}
+		if got := res.Value(id.I, id.J); got != wv {
+			t.Fatalf("cell %v = %d, want %d", id, got, wv)
+		}
+	}
+	return cl
+}
+
+func TestRunAllPatternsMatchReference(t *testing.T) {
+	pats := map[string]dag.Pattern{
+		"grid":     patterns.NewGrid(15, 12),
+		"diagonal": patterns.NewDiagonal(14, 14),
+		"rowwave":  patterns.NewRowWave(9, 7),
+		"interval": patterns.NewInterval(12),
+		"colwave":  patterns.NewColWave(7, 9),
+		"chain":    patterns.NewChain(6, 20),
+		"triangle": patterns.NewTriangle(10),
+		"banded":   patterns.NewBanded(16, 16, 3),
+	}
+	ks, err := patterns.NewKnapsack([]int32{3, 5, 2, 7, 1, 4}, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pats["knapsack"] = ks
+	for name, pat := range pats {
+		for _, places := range []int{1, 3, 4} {
+			name, pat, places := name, pat, places
+			t.Run(fmt.Sprintf("%s/p%d", name, places), func(t *testing.T) {
+				runAndCheck(t, baseConfig(pat, places))
+			})
+		}
+	}
+}
+
+func TestRunAcrossDistributions(t *testing.T) {
+	pat := patterns.NewDiagonal(16, 16)
+	dists := map[string]func(h, w int32, n int) dist.Dist{
+		"blockrow":  func(h, w int32, n int) dist.Dist { return dist.NewBlockRow(h, w, n) },
+		"blockcol":  func(h, w int32, n int) dist.Dist { return dist.NewBlockCol(h, w, n) },
+		"cyclicrow": func(h, w int32, n int) dist.Dist { return dist.NewCyclicRow(h, w, n) },
+		"cycliccol": func(h, w int32, n int) dist.Dist { return dist.NewCyclicCol(h, w, n) },
+		"block2d":   func(h, w int32, n int) dist.Dist { return dist.NewBlock2D(h, w, 2, 2) },
+	}
+	for name, nd := range dists {
+		name, nd := name, nd
+		t.Run(name, func(t *testing.T) {
+			cfg := baseConfig(pat, 4)
+			cfg.NewDist = nd
+			runAndCheck(t, cfg)
+		})
+	}
+}
+
+func TestRunAcrossStrategies(t *testing.T) {
+	pat := patterns.NewDiagonal(14, 14)
+	for _, s := range []sched.Strategy{sched.Local, sched.Random, sched.MinComm} {
+		s := s
+		t.Run(s.String(), func(t *testing.T) {
+			cfg := baseConfig(pat, 3)
+			cfg.Strategy = s
+			cl := runAndCheck(t, cfg)
+			if s != sched.Local {
+				st := cl.Stats()
+				if st.ExecMigrated == 0 && s == sched.Random {
+					t.Error("random strategy never migrated a vertex")
+				}
+			}
+		})
+	}
+}
+
+func TestCacheReducesRemoteFetches(t *testing.T) {
+	pat := patterns.NewColWave(8, 12) // every cell needs the whole previous column
+	run := func(cacheSize int) Stats {
+		cfg := baseConfig(pat, 3)
+		cfg.CacheSize = cacheSize
+		cl := runAndCheck(t, cfg)
+		return cl.Stats()
+	}
+	noCache := run(0)
+	cached := run(64)
+	if noCache.CacheHits != 0 {
+		t.Fatalf("cache disabled but %d hits", noCache.CacheHits)
+	}
+	if cached.CacheHits == 0 {
+		t.Fatal("cache enabled but no hits on a colwave pattern")
+	}
+	if cached.RemoteFetches >= noCache.RemoteFetches {
+		t.Fatalf("cache did not reduce remote fetches: %d >= %d", cached.RemoteFetches, noCache.RemoteFetches)
+	}
+}
+
+func TestStatsAccounting(t *testing.T) {
+	pat := patterns.NewGrid(12, 12)
+	cl := runAndCheck(t, baseConfig(pat, 4))
+	st := cl.Stats()
+	if st.ComputedCells != 144 {
+		t.Fatalf("ComputedCells = %d, want 144", st.ComputedCells)
+	}
+	if st.RemoteFetches == 0 {
+		t.Fatal("no remote fetches across 4 places on a grid")
+	}
+	if st.Epochs != 1 || st.Recoveries != 0 {
+		t.Fatalf("epochs/recoveries = %d/%d on a fault-free run", st.Epochs, st.Recoveries)
+	}
+	if st.MsgsSent == 0 || st.BytesSent == 0 {
+		t.Fatal("transport counters empty")
+	}
+}
+
+func TestSinglePlaceNoMessagesForData(t *testing.T) {
+	pat := patterns.NewDiagonal(10, 10)
+	cl := runAndCheck(t, baseConfig(pat, 1))
+	st := cl.Stats()
+	if st.RemoteFetches != 0 {
+		t.Fatalf("single place made %d remote fetches", st.RemoteFetches)
+	}
+	if st.LocalReads == 0 {
+		t.Fatal("no local reads recorded")
+	}
+}
+
+func TestOneCellMatrix(t *testing.T) {
+	runAndCheck(t, baseConfig(patterns.NewGrid(1, 1), 1))
+}
+
+func TestMorePlacesThanRows(t *testing.T) {
+	// 6 places, 3 rows: some places own nothing and must still report done.
+	cfg := baseConfig(patterns.NewGrid(3, 8), 6)
+	runAndCheck(t, cfg)
+}
+
+func TestConfigValidation(t *testing.T) {
+	pat := patterns.NewGrid(4, 4)
+	cases := []Config[int64]{
+		{Places: 0, Pattern: pat, Compute: sumCompute},
+		{Places: 2, Compute: sumCompute},
+		{Places: 2, Pattern: pat},
+		{Places: 2, Pattern: pat, Compute: sumCompute, Threads: -1},
+		{Places: 2, Pattern: pat, Compute: sumCompute, Recovery: RecoverSnapshot},
+	}
+	for n, cfg := range cases {
+		if _, err := NewCluster(cfg); err == nil {
+			t.Fatalf("case %d: invalid config accepted", n)
+		}
+	}
+}
+
+func TestRunTwiceFails(t *testing.T) {
+	cl, err := NewCluster(baseConfig(patterns.NewGrid(4, 4), 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Run(); err == nil {
+		t.Fatal("second Run did not fail")
+	}
+}
+
+func TestComputeSeesDepsInPatternOrder(t *testing.T) {
+	pat := patterns.NewDiagonal(6, 6)
+	var bad atomic.Int32
+	cfg := Config[int64]{
+		Places:  2,
+		Pattern: pat,
+		Codec:   codec.Int64{},
+		Compute: func(i, j int32, deps []Cell[int64]) int64 {
+			var want []dag.VertexID
+			want = pat.Dependencies(i, j, want)
+			if len(want) != len(deps) {
+				bad.Add(1)
+				return 0
+			}
+			for k := range want {
+				if deps[k].ID != want[k] {
+					bad.Add(1)
+				}
+			}
+			return sumCompute(i, j, deps)
+		},
+	}
+	cl, err := NewCluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if bad.Load() != 0 {
+		t.Fatalf("%d compute calls saw out-of-order or missing deps", bad.Load())
+	}
+}

@@ -1,0 +1,51 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/dpx10/dpx10/internal/dag"
+)
+
+// FuzzDecodeIDBatch hardens the wire decoder shared by fetch requests,
+// decrement batches and replay batches: arbitrary bytes must never panic
+// or allocate absurdly, and every valid encoding must round-trip.
+func FuzzDecodeIDBatch(f *testing.F) {
+	f.Add(encodeIDBatch(0, nil))
+	f.Add(encodeIDBatch(7, []dag.VertexID{{I: 1, J: 2}, {I: -3, J: 1 << 30}}))
+	f.Add([]byte{})
+	f.Add([]byte{1, 2, 3})
+	f.Add(putU32(putU64(nil, 1), 0xFFFFFFFF)) // huge claimed count
+	f.Fuzz(func(t *testing.T, data []byte) {
+		epoch, ids, err := decodeIDBatch(data, nil)
+		if err != nil {
+			return
+		}
+		// A successful decode must re-encode to a prefix-compatible batch.
+		re := encodeIDBatch(epoch, ids)
+		epoch2, ids2, err2 := decodeIDBatch(re, nil)
+		if err2 != nil || epoch2 != epoch || len(ids2) != len(ids) {
+			t.Fatalf("round trip failed: %v / %d->%d ids", err2, len(ids), len(ids2))
+		}
+		for k := range ids {
+			if ids[k] != ids2[k] {
+				t.Fatalf("id %d changed: %v -> %v", k, ids[k], ids2[k])
+			}
+		}
+	})
+}
+
+// FuzzReader hardens the little-endian field reader against truncation.
+func FuzzReader(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(putU64(putU32(nil, 5), 9))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := reader{b: data}
+		_ = r.u64()
+		_ = r.u32()
+		_ = r.id()
+		_ = r.rest()
+		if r.err == nil && r.off > len(data) {
+			t.Fatalf("reader consumed %d of %d bytes without error", r.off, len(data))
+		}
+	})
+}

@@ -1,0 +1,412 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/dpx10/dpx10/internal/dag"
+	"github.com/dpx10/dpx10/internal/distarray"
+)
+
+func (pe *placeEngine[T]) registerHandlers() {
+	pe.tr.Handle(kindFetch, pe.handleFetch)
+	pe.tr.Handle(kindDecrement, pe.handleDecrement)
+	pe.tr.Handle(kindExec, pe.handleExec)
+	pe.tr.Handle(kindPause, pe.handlePause)
+	pe.tr.Handle(kindRebuild, pe.handleRebuild)
+	pe.tr.Handle(kindRestore, pe.handleRestore)
+	pe.tr.Handle(kindRestoreTx, pe.handleRestoreTx)
+	pe.tr.Handle(kindReplay, pe.handleReplay)
+	pe.tr.Handle(kindReplayTx, pe.handleReplayTx)
+	pe.tr.Handle(kindResume, pe.handleResume)
+	pe.tr.Handle(kindStop, pe.handleStop)
+	pe.tr.Handle(kindReadVal, pe.handleReadVal)
+	pe.tr.Handle(kindPlaceDone, pe.handleCoordinatorEvent(false))
+	pe.tr.Handle(kindFault, pe.handleCoordinatorEvent(true))
+	pe.tr.Handle(kindPing, func(int, []byte) ([]byte, error) { return nil, nil })
+	pe.tr.Handle(kindSteal, pe.handleSteal)
+	pe.tr.Handle(kindStealDone, pe.handleStealDone)
+}
+
+// handleCoordinatorEvent adapts placeDone/fault notifications into
+// coordinator events. Only place 0 has a coordinator; other places ignore
+// the traffic (it should never reach them).
+func (pe *placeEngine[T]) handleCoordinatorEvent(fault bool) func(int, []byte) ([]byte, error) {
+	return func(from int, payload []byte) ([]byte, error) {
+		if pe.events == nil {
+			return nil, nil
+		}
+		r := reader{b: payload}
+		epoch := r.u64()
+		place := int(r.u32())
+		if r.err != nil {
+			return nil, r.err
+		}
+		select {
+		case pe.events <- coEvent{fault: fault, place: place, epoch: epoch}:
+		case <-pe.stopCh:
+		}
+		return nil, nil
+	}
+}
+
+// stateAt returns the live epoch state iff it matches the message's
+// epoch. A nil state (the engine has not started yet — possible when a
+// fast peer races this place's initialization) is treated like a stale
+// epoch: Calls fail with errStaleEpoch and one-way traffic is dropped,
+// which the sender already handles.
+func (pe *placeEngine[T]) stateAt(epoch uint64) (*epochState[T], error) {
+	st := pe.current()
+	if st == nil || st.epoch != epoch {
+		return nil, errStaleEpoch
+	}
+	return st, nil
+}
+
+// handleFetch serves finished vertex values to a peer resolving its
+// dependencies. Values are encoded in request order.
+func (pe *placeEngine[T]) handleFetch(from int, payload []byte) ([]byte, error) {
+	epoch, ids, err := decodeIDBatch(payload, nil)
+	if err != nil {
+		return nil, err
+	}
+	st, err := pe.stateAt(epoch)
+	if err != nil {
+		return nil, err
+	}
+	reply := make([]byte, 0, len(ids)*8)
+	for _, id := range ids {
+		if st.d.Place(id.I, id.J) != pe.self {
+			return nil, fmt.Errorf("core: place %d asked to fetch %v owned by %d", pe.self, id, st.d.Place(id.I, id.J))
+		}
+		off := st.d.LocalOffset(id.I, id.J)
+		if !st.chunk.Finished(off) {
+			return nil, fmt.Errorf("core: fetch of unfinished vertex %v from place %d", id, from)
+		}
+		reply = pe.cfg.Codec.Encode(reply, st.chunk.Value(off))
+	}
+	return reply, nil
+}
+
+// handleDecrement applies a batch of indegree decrements from a finished
+// remote vertex, scheduling any cell that becomes ready. Stale-epoch
+// batches are dropped: the recovery replay has already accounted for them.
+func (pe *placeEngine[T]) handleDecrement(from int, payload []byte) ([]byte, error) {
+	epoch, ids, err := decodeIDBatch(payload, nil)
+	if err != nil {
+		return nil, err
+	}
+	st, serr := pe.stateAt(epoch)
+	if serr != nil {
+		return nil, nil // stale or pre-start: the recovery replay covers it
+	}
+	for _, id := range ids {
+		pe.applyDecrement(st, id, true)
+	}
+	return nil, nil
+}
+
+// handleExec runs compute() for a vertex owned by another place — the
+// execution half of the random and min-communication strategies. The
+// result is returned to the owner, which stores it; this place's chunk is
+// untouched.
+func (pe *placeEngine[T]) handleExec(from int, payload []byte) ([]byte, error) {
+	r := reader{b: payload}
+	epoch := r.u64()
+	id := r.id()
+	if r.err != nil {
+		return nil, r.err
+	}
+	st, err := pe.stateAt(epoch)
+	if err != nil {
+		return nil, err
+	}
+	var depIDs []dag.VertexID
+	depIDs = pe.cfg.Pattern.Dependencies(id.I, id.J, depIDs)
+	v, err := pe.computeHere(st, id.I, id.J, depIDs)
+	if err != nil {
+		return nil, err
+	}
+	return pe.cfg.Codec.Encode(nil, v), nil
+}
+
+// handleSteal hands one locally ready vertex to an idle thief. The vertex
+// leaves the ready list; it completes when the thief's steal-done arrives.
+// If the thief (or this place) dies first, the vertex is neither finished
+// nor queued — exactly the state the recovery's rebuilt ready lists cover.
+func (pe *placeEngine[T]) handleSteal(from int, payload []byte) ([]byte, error) {
+	r := reader{b: payload}
+	epoch := r.u64()
+	if r.err != nil {
+		return nil, r.err
+	}
+	st, err := pe.stateAt(epoch)
+	if err != nil {
+		return nil, err
+	}
+	select {
+	case off := <-st.ready:
+		i, j := st.d.CellAt(pe.self, off)
+		reply := []byte{1}
+		reply = putID(reply, dag.VertexID{I: i, J: j})
+		return reply, nil
+	default:
+		return []byte{0}, nil
+	}
+}
+
+// handleStealDone receives a stolen vertex's computed value from the
+// thief and completes it locally.
+func (pe *placeEngine[T]) handleStealDone(from int, payload []byte) ([]byte, error) {
+	r := reader{b: payload}
+	epoch := r.u64()
+	id := r.id()
+	if r.err != nil {
+		return nil, r.err
+	}
+	st, err := pe.stateAt(epoch)
+	if err != nil {
+		return nil, err
+	}
+	v, _, derr := pe.cfg.Codec.Decode(r.rest())
+	if derr != nil {
+		return nil, fmt.Errorf("core: steal-done decode: %w", derr)
+	}
+	off := st.d.LocalOffset(id.I, id.J)
+	pe.completeVertex(st, off, id.I, id.J, v)
+	return nil, nil
+}
+
+// --- recovery protocol (paper §VI-D) ----------------------------------
+//
+// The coordinator drives five synchronous phases across the survivors:
+// pause → rebuild → restore → replay → resume. Each phase only starts
+// after every place acknowledged the previous one, so a place handler can
+// rely on cluster-wide phase ordering.
+
+// handlePause quiesces the worker pool and records the authoritative dead
+// set. After it returns, no activity of this place mutates pre-recovery
+// state and no new epoch-stamped messages leave it.
+func (pe *placeEngine[T]) handlePause(from int, payload []byte) ([]byte, error) {
+	r := reader{b: payload}
+	_ = r.u64() // new epoch; installed at rebuild
+	nDead := r.u32()
+	for k := uint32(0); k < nDead; k++ {
+		p := int(r.u32())
+		if r.err != nil {
+			return nil, r.err
+		}
+		if p >= 0 && p < len(pe.alive) {
+			pe.alive[p].Store(false)
+		}
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	if st := pe.current(); st != nil {
+		st.closeQuit()
+		st.workers.Wait()
+	}
+	return nil, nil
+}
+
+// handleRebuild creates this place's chunk under the restricted
+// distribution, carrying over surviving results per the configured
+// recovery mode, and installs the new epoch state (workers not yet
+// running).
+func (pe *placeEngine[T]) handleRebuild(from int, payload []byte) ([]byte, error) {
+	r := reader{b: payload}
+	newEpoch := r.u64()
+	if r.err != nil {
+		return nil, r.err
+	}
+	old := pe.current()
+	if old == nil {
+		return nil, errStaleEpoch
+	}
+	newDist, err := old.d.Restrict(pe.isAlive)
+	if err != nil {
+		return nil, err
+	}
+	chunk := pe.newChunk(newDist)
+	chunk.InitIndegrees(pe.cfg.Pattern)
+	var transfers []distarray.Transfer[T]
+	switch pe.cfg.Recovery {
+	case RecoverSnapshot:
+		pe.cfg.Snapshot.RestoreInto(chunk, pe.cfg.Pattern)
+	default:
+		transfers = distarray.CarryOver(old.chunk, chunk, pe.cfg.Pattern, pe.cfg.RestoreRemote)
+	}
+	// The superseded chunk's storage (spill scratch file, if any) is no
+	// longer reachable once the new state is installed.
+	defer old.chunk.Close()
+	pe.pendingTransfers = transfers
+	st := &epochState[T]{
+		epoch: newEpoch,
+		d:     newDist,
+		chunk: chunk,
+		ready: make(chan int, chunk.Len()+16),
+		quit:  make(chan struct{}),
+		cache: pe.newCache(),
+	}
+	pe.st.Store(st)
+	return nil, nil
+}
+
+// handleRestore ships this place's outbound transfers (finished vertices
+// whose owner changed, restore-remote mode only) to their new owners.
+func (pe *placeEngine[T]) handleRestore(from int, payload []byte) ([]byte, error) {
+	r := reader{b: payload}
+	epoch := r.u64()
+	if r.err != nil {
+		return nil, r.err
+	}
+	byDest := make(map[int][]distarray.Transfer[T])
+	for _, tr := range pe.pendingTransfers {
+		byDest[tr.To] = append(byDest[tr.To], tr)
+	}
+	for dest, trs := range byDest {
+		msg := make([]byte, 0, 12+len(trs)*12)
+		msg = putU64(msg, epoch)
+		msg = putU32(msg, uint32(len(trs)))
+		for _, tr := range trs {
+			msg = putID(msg, tr.ID)
+			msg = pe.cfg.Codec.Encode(msg, tr.Value)
+		}
+		if _, err := pe.tr.Call(dest, kindRestoreTx, msg); err != nil {
+			return nil, err
+		}
+	}
+	pe.pendingTransfers = nil
+	return nil, nil
+}
+
+// handleRestoreTx installs restored finished values into the new chunk.
+func (pe *placeEngine[T]) handleRestoreTx(from int, payload []byte) ([]byte, error) {
+	r := reader{b: payload}
+	epoch := r.u64()
+	n := r.u32()
+	if r.err != nil {
+		return nil, r.err
+	}
+	st, serr := pe.stateAt(epoch)
+	if serr != nil {
+		return nil, serr
+	}
+	for k := uint32(0); k < n; k++ {
+		id := r.id()
+		if r.err != nil {
+			return nil, r.err
+		}
+		v, used, err := pe.cfg.Codec.Decode(r.rest())
+		if err != nil {
+			return nil, fmt.Errorf("core: restore decode: %w", err)
+		}
+		r.off += used
+		st.chunk.SetResult(st.d.LocalOffset(id.I, id.J), v)
+	}
+	return nil, r.err
+}
+
+// handleReplay re-derives indegrees: every finished local vertex emits its
+// anti-dependency decrements, batched per owning place. Combined with the
+// full indegrees set at rebuild, this leaves each unfinished vertex's
+// indegree equal to its number of unfinished dependencies.
+func (pe *placeEngine[T]) handleReplay(from int, payload []byte) ([]byte, error) {
+	r := reader{b: payload}
+	epoch := r.u64()
+	if r.err != nil {
+		return nil, r.err
+	}
+	st, err := pe.stateAt(epoch)
+	if err != nil {
+		return nil, err
+	}
+	remote := make(map[int][]dag.VertexID)
+	distarray.ReplayDecrements(st.chunk, pe.cfg.Pattern, func(target dag.VertexID) {
+		owner := st.d.Place(target.I, target.J)
+		if owner == pe.self {
+			st.chunk.DecrementIndegree(st.d.LocalOffset(target.I, target.J))
+			return
+		}
+		remote[owner] = append(remote[owner], target)
+	})
+	for owner, ids := range remote {
+		if _, err := pe.tr.Call(owner, kindReplayTx, encodeIDBatch(epoch, ids)); err != nil {
+			return nil, err
+		}
+	}
+	return nil, nil
+}
+
+// handleReplayTx applies replayed decrements. Unlike runtime decrements
+// these never schedule anything — ready lists are derived in the resume
+// phase, after all replays have completed.
+func (pe *placeEngine[T]) handleReplayTx(from int, payload []byte) ([]byte, error) {
+	epoch, ids, err := decodeIDBatch(payload, nil)
+	if err != nil {
+		return nil, err
+	}
+	st, serr := pe.stateAt(epoch)
+	if serr != nil {
+		return nil, serr
+	}
+	for _, id := range ids {
+		st.chunk.DecrementIndegree(st.d.LocalOffset(id.I, id.J))
+	}
+	return nil, nil
+}
+
+// handleResume seeds the ready list from the rebuilt indegrees and
+// restarts the worker pool. It replies 1 if this place already has no
+// unfinished work so the coordinator can count it done immediately.
+func (pe *placeEngine[T]) handleResume(from int, payload []byte) ([]byte, error) {
+	r := reader{b: payload}
+	epoch := r.u64()
+	if r.err != nil {
+		return nil, r.err
+	}
+	st, err := pe.stateAt(epoch)
+	if err != nil {
+		return nil, err
+	}
+	for _, off := range distarray.ReadyOffsets(st.chunk) {
+		pe.enqueue(st, off)
+	}
+	pe.spawnWorkers(st)
+	if st.chunk.AllFinished() {
+		st.doneReported.Store(true)
+		return []byte{1}, nil
+	}
+	return []byte{0}, nil
+}
+
+// handleStop ends the run for this place.
+func (pe *placeEngine[T]) handleStop(from int, payload []byte) ([]byte, error) {
+	if st := pe.current(); st != nil {
+		st.closeQuit()
+	}
+	pe.stop()
+	return nil, nil
+}
+
+// handleReadVal serves post-run result access for multi-process
+// deployments: [id] -> [finished u8][value?].
+func (pe *placeEngine[T]) handleReadVal(from int, payload []byte) ([]byte, error) {
+	r := reader{b: payload}
+	id := r.id()
+	if r.err != nil {
+		return nil, r.err
+	}
+	st := pe.current()
+	if st == nil {
+		return nil, errStaleEpoch
+	}
+	if st.d.Place(id.I, id.J) != pe.self {
+		return nil, fmt.Errorf("core: readval for %v: not the owner", id)
+	}
+	off := st.d.LocalOffset(id.I, id.J)
+	if !st.chunk.Finished(off) {
+		return []byte{0}, nil
+	}
+	return pe.cfg.Codec.Encode([]byte{1}, st.chunk.Value(off)), nil
+}

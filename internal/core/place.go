@@ -1,0 +1,540 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/dpx10/dpx10/internal/dag"
+	"github.com/dpx10/dpx10/internal/dist"
+	"github.com/dpx10/dpx10/internal/distarray"
+	"github.com/dpx10/dpx10/internal/sched"
+	"github.com/dpx10/dpx10/internal/spill"
+	"github.com/dpx10/dpx10/internal/transport"
+	"github.com/dpx10/dpx10/internal/vcache"
+)
+
+// epochState is the per-epoch mutable state of one place. A recovery
+// replaces the whole struct atomically; goroutines capture one state and
+// work against it, so activities from a previous epoch mutate only the
+// discarded state and their outbound messages are rejected by peers'
+// epoch checks.
+type epochState[T any] struct {
+	epoch uint64
+	d     dist.Dist
+	chunk *distarray.Chunk[T]
+	ready chan int // local offsets of schedulable vertices
+	quit  chan struct{}
+	cache *vcache.Cache[T]
+
+	workers      sync.WaitGroup
+	doneReported atomic.Bool
+	quitOnce     sync.Once
+}
+
+// closeQuit tears the epoch's workers down; safe to call repeatedly (a
+// restarted recovery may re-pause an epoch that never started workers).
+func (st *epochState[T]) closeQuit() {
+	st.quitOnce.Do(func() { close(st.quit) })
+}
+
+// placeEngine runs one place: worker pool, protocol handlers and the
+// local chunk of the distributed array (paper §VI-C).
+type placeEngine[T any] struct {
+	self int
+	cfg  *Config[T]
+	tr   transport.Transport
+
+	st    atomic.Pointer[epochState[T]]
+	alive []atomic.Bool
+
+	// abort tears the whole run down (unrecoverable error).
+	abort func(error)
+	// events feeds the coordinator; non-nil only on place 0.
+	events chan coEvent
+
+	stopCh   chan struct{}
+	stopOnce sync.Once
+
+	// pendingTransfers buffers outbound restore-remote values between the
+	// rebuild and restore recovery phases; only the serialized recovery
+	// protocol touches it.
+	pendingTransfers []distarray.Transfer[T]
+
+	snapSeq atomic.Int64 // local completions since the last snapshot
+
+	// counters for Stats
+	computed      atomic.Int64
+	remoteFetches atomic.Int64
+	localReads    atomic.Int64
+	cacheHits     atomic.Int64
+	cacheMisses   atomic.Int64
+	execMigrated  atomic.Int64
+	stolen        atomic.Int64
+}
+
+func newPlaceEngine[T any](self int, cfg *Config[T], tr transport.Transport, abort func(error)) *placeEngine[T] {
+	pe := &placeEngine[T]{
+		self:   self,
+		cfg:    cfg,
+		tr:     tr,
+		alive:  make([]atomic.Bool, cfg.Places),
+		abort:  abort,
+		stopCh: make(chan struct{}),
+	}
+	for p := 0; p < cfg.Places; p++ {
+		pe.alive[p].Store(true)
+	}
+	pe.registerHandlers()
+	return pe
+}
+
+// prepare initializes epoch 0: distribute and initialize the local
+// vertices and seed the ready list with zero-indegree ones (paper §VI-A
+// step 1). Every place must have prepared before any place launches —
+// otherwise an early decrement could reach a place with no state to
+// receive it and be lost with nothing to replay it.
+func (pe *placeEngine[T]) prepare(d dist.Dist) {
+	chunk := pe.newChunk(d)
+	ready := chunk.InitIndegrees(pe.cfg.Pattern)
+	st := &epochState[T]{
+		epoch: 0,
+		d:     d,
+		chunk: chunk,
+		ready: make(chan int, chunk.Len()+16),
+		quit:  make(chan struct{}),
+		cache: vcache.New[T](pe.cfg.CacheSize),
+	}
+	for _, off := range ready {
+		pe.enqueue(st, off)
+	}
+	pe.st.Store(st)
+}
+
+// launch starts the worker pool on the prepared epoch-0 state
+// (paper §VI-A step 2).
+func (pe *placeEngine[T]) launch() {
+	st := pe.current()
+	pe.spawnWorkers(st)
+	pe.maybeReportDone(st)
+}
+
+func (pe *placeEngine[T]) spawnWorkers(st *epochState[T]) {
+	for w := 0; w < pe.cfg.Threads; w++ {
+		st.workers.Add(1)
+		seed := int64(pe.self)<<32 | int64(w)<<8 | int64(st.epoch&0xff)
+		go pe.worker(st, seed)
+	}
+}
+
+// worker pulls ready vertices and executes them until the epoch is torn
+// down or the run stops. One Picker per worker keeps random scheduling
+// deterministic per seed without locking.
+func (pe *placeEngine[T]) worker(st *epochState[T], seed int64) {
+	defer st.workers.Done()
+	defer func() {
+		if r := recover(); r != nil {
+			pe.abort(fmt.Errorf("core: place %d worker panic: %v", pe.self, r))
+		}
+	}()
+	pk := sched.NewPicker(pe.cfg.Strategy, st.d, pe.isAlive, pe.valueSize(), seed)
+	rng := rand.New(rand.NewSource(seed ^ 0x5bd1e995))
+	for {
+		select {
+		case <-st.quit:
+			return
+		case <-pe.stopCh:
+			return
+		case off := <-st.ready:
+			pe.runVertex(st, pk, off)
+			continue
+		default:
+		}
+		// Idle. Under the stealing strategy, try to pull work from a peer,
+		// then park briefly and retry; other strategies park on the ready
+		// list without polling.
+		if pe.cfg.Strategy == sched.Steal {
+			if pe.trySteal(st, rng) {
+				continue
+			}
+			select {
+			case <-st.quit:
+				return
+			case <-pe.stopCh:
+				return
+			case off := <-st.ready:
+				pe.runVertex(st, pk, off)
+			case <-time.After(200 * time.Microsecond):
+				// Retry cadence for the next steal attempt.
+			}
+			continue
+		}
+		select {
+		case <-st.quit:
+			return
+		case <-pe.stopCh:
+			return
+		case off := <-st.ready:
+			pe.runVertex(st, pk, off)
+		}
+	}
+}
+
+// trySteal asks one random alive peer for a ready vertex, computes it
+// here and returns the result to the owner (which stores it and
+// propagates decrements). Returns whether any work was done.
+func (pe *placeEngine[T]) trySteal(st *epochState[T], rng *rand.Rand) bool {
+	places := st.d.Places()
+	victim := places[rng.Intn(len(places))]
+	if victim == pe.self || !pe.isAlive(victim) {
+		return false
+	}
+	reply, err := pe.tr.Call(victim, kindSteal, putU64(nil, st.epoch))
+	if err != nil {
+		pe.peerError(victim, err)
+		return false
+	}
+	if len(reply) == 0 || reply[0] == 0 {
+		return false // victim had nothing ready
+	}
+	r := reader{b: reply[1:]}
+	id := r.id()
+	if r.err != nil {
+		return false
+	}
+	var depIDs []dag.VertexID
+	depIDs = pe.cfg.Pattern.Dependencies(id.I, id.J, depIDs)
+	v, err := pe.computeHere(st, id.I, id.J, depIDs)
+	if err != nil {
+		return false // victim's recovery will reschedule the vertex
+	}
+	pe.stolen.Add(1)
+	msg := putU64(nil, st.epoch)
+	msg = putID(msg, id)
+	msg = pe.cfg.Codec.Encode(msg, v)
+	if _, err := pe.tr.Call(victim, kindStealDone, msg); err != nil {
+		pe.peerError(victim, err)
+	}
+	return true
+}
+
+func (pe *placeEngine[T]) isAlive(p int) bool {
+	return p >= 0 && p < len(pe.alive) && pe.alive[p].Load()
+}
+
+func (pe *placeEngine[T]) valueSize() int {
+	var zero T
+	return len(pe.cfg.Codec.Encode(nil, zero))
+}
+
+// newChunk allocates this place's chunk under d, disk-backed when the
+// run is configured to spill vertex values (paper §X future work).
+func (pe *placeEngine[T]) newChunk(d dist.Dist) *distarray.Chunk[T] {
+	if sc := pe.cfg.Spill; sc != nil {
+		n := d.LocalCount(pe.self)
+		store, err := spill.NewMapped[T](n, sc.PageVals, sc.ResidentPages,
+			pe.cfg.Codec, sc.Dir, spillRemap(d, pe.self, n))
+		if err != nil {
+			// Spilling is an explicit opt-in; failing to set it up is an
+			// unrecoverable configuration/environment error.
+			pe.abort(fmt.Errorf("core: place %d spill store: %w", pe.self, err))
+			return distarray.NewChunk[T](pe.self, d)
+		}
+		return distarray.NewChunkBacked[T](pe.self, d, store)
+	}
+	return distarray.NewChunk[T](pe.self, d)
+}
+
+// spillRemap picks the spill store's page-locality permutation. Under a
+// row partition, boundary values arrive from the upstream place in column
+// bursts, so a place works through its block in column bands spanning all
+// local rows; with row-major local offsets every band touches one page
+// per row, while a column-major permutation packs a band into a handful
+// of pages (measured ~5x faster on spilled SWLAG). Column-partitioned
+// chunks are already band-friendly; other layouts keep identity.
+func spillRemap(d dist.Dist, self, n int) func(int) int {
+	switch d.(type) {
+	case *dist.BlockRow, *dist.CyclicRow:
+		_, w32 := d.Bounds()
+		w := int(w32)
+		if w == 0 || n%w != 0 {
+			return nil
+		}
+		rows := n / w
+		return func(off int) int {
+			r, c := off/w, off%w
+			return c*rows + r
+		}
+	default:
+		return nil
+	}
+}
+
+// newCache builds a fresh per-epoch remote-vertex cache. Recovery must not
+// reuse the old one: cached values may have lived on the dead place and
+// been recomputed to the same ids.
+func (pe *placeEngine[T]) newCache() *vcache.Cache[T] {
+	return vcache.New[T](pe.cfg.CacheSize)
+}
+
+// current returns the live epoch state.
+func (pe *placeEngine[T]) current() *epochState[T] { return pe.st.Load() }
+
+// stale reports whether st has been superseded by a recovery.
+func (pe *placeEngine[T]) stale(st *epochState[T]) bool { return pe.st.Load() != st }
+
+// runVertex executes one ready vertex end to end: resolve dependencies,
+// run (or ship) compute, publish the result and propagate decrements
+// (paper §VI-C).
+func (pe *placeEngine[T]) runVertex(st *epochState[T], pk *sched.Picker, off int) {
+	i, j := st.d.CellAt(pe.self, off)
+	var depIDs []dag.VertexID
+	depIDs = pe.cfg.Pattern.Dependencies(i, j, depIDs)
+
+	var value T
+	var err error
+	exec := pk.Pick(pe.self, i, j, depIDs)
+	if exec != pe.self && pe.isAlive(exec) {
+		value, err = pe.execRemote(st, exec, i, j)
+		if err == nil {
+			pe.execMigrated.Add(1)
+		}
+	} else {
+		value, err = pe.computeHere(st, i, j, depIDs)
+	}
+	if err != nil {
+		// Dead peer or superseded epoch: the vertex will be rescheduled
+		// by the recovery's rebuilt ready list.
+		return
+	}
+	if pe.stale(st) {
+		return
+	}
+	pe.completeVertex(st, off, i, j, value)
+}
+
+// completeVertex publishes a computed value for a locally owned vertex:
+// store it, propagate indegree decrements (local directly, remote batched
+// per owning place) and report place completion. Called from runVertex
+// and from the steal-done handler.
+func (pe *placeEngine[T]) completeVertex(st *epochState[T], off int, i, j int32, value T) {
+	st.chunk.SetResult(off, value)
+	pe.computed.Add(1)
+	pe.maybeSnapshot(st)
+
+	var antiBuf []dag.VertexID
+	antiBuf = pe.cfg.Pattern.AntiDependencies(i, j, antiBuf)
+	var remote map[int][]dag.VertexID
+	for _, a := range antiBuf {
+		owner := st.d.Place(a.I, a.J)
+		if owner == pe.self {
+			pe.applyDecrement(st, a, true)
+			continue
+		}
+		if remote == nil {
+			remote = make(map[int][]dag.VertexID, 2)
+		}
+		remote[owner] = append(remote[owner], a)
+	}
+	for owner, ids := range remote {
+		if err := pe.tr.Send(owner, kindDecrement, encodeIDBatch(st.epoch, ids)); err != nil {
+			pe.peerError(owner, err)
+		}
+	}
+	pe.maybeReportDone(st)
+}
+
+// applyDecrement lowers the indegree of the locally owned vertex id and
+// schedules it when it becomes ready. Finished vertices (restored by a
+// recovery) absorb decrements without being re-scheduled.
+func (pe *placeEngine[T]) applyDecrement(st *epochState[T], id dag.VertexID, enqueue bool) {
+	off := st.d.LocalOffset(id.I, id.J)
+	if st.chunk.DecrementIndegree(off) == 0 && enqueue && !st.chunk.Finished(off) {
+		pe.enqueue(st, off)
+	}
+}
+
+// enqueue puts a locally owned ready vertex on the ready list, exactly
+// once per epoch: a vertex can reach readiness through two concurrent
+// paths during recovery (an early remote decrement and the resume scan),
+// and the chunk's queued flag arbitrates.
+func (pe *placeEngine[T]) enqueue(st *epochState[T], off int) {
+	if !st.chunk.TryMarkQueued(off) {
+		return
+	}
+	select {
+	case st.ready <- off:
+	default:
+		// The ready channel is sized for every local vertex; hitting
+		// this means double-scheduling, which must not be masked.
+		panic(fmt.Sprintf("core: ready overflow at place %d offset %d", pe.self, off))
+	}
+}
+
+// computeHere gathers dependency values (locally, from the cache, or by
+// remote fetch) and invokes the user's compute function on this place. It
+// runs at the executing place — the owner under local scheduling, the
+// target under exec migration, the thief under stealing — so telemetry
+// recorded here attributes work to where it actually ran.
+func (pe *placeEngine[T]) computeHere(st *epochState[T], i, j int32, depIDs []dag.VertexID) (T, error) {
+	var t0 time.Time
+	if pe.cfg.Trace != nil {
+		t0 = time.Now()
+	}
+	cells, err := pe.gatherDeps(st, depIDs)
+	if err != nil {
+		var zero T
+		return zero, err
+	}
+	v := pe.cfg.Compute(i, j, cells)
+	if pe.cfg.Trace != nil {
+		pe.cfg.Trace.RecordCompute(pe.self, i, j, t0, time.Since(t0))
+	}
+	return v, nil
+}
+
+// gatherDeps resolves dependency values in the pattern's order.
+func (pe *placeEngine[T]) gatherDeps(st *epochState[T], depIDs []dag.VertexID) ([]Cell[T], error) {
+	cells := make([]Cell[T], len(depIDs))
+	var remote map[int][]int // owner -> indexes into cells
+	for k, id := range depIDs {
+		cells[k].ID = id
+		owner := st.d.Place(id.I, id.J)
+		if owner == pe.self {
+			off := st.d.LocalOffset(id.I, id.J)
+			if !st.chunk.Finished(off) {
+				return nil, fmt.Errorf("core: place %d scheduled a vertex before local dependency %v finished", pe.self, id)
+			}
+			cells[k].Value = st.chunk.Value(off)
+			pe.localReads.Add(1)
+			continue
+		}
+		if v, ok := st.cache.Get(id); ok {
+			cells[k].Value = v
+			pe.cacheHits.Add(1)
+			continue
+		}
+		pe.cacheMisses.Add(1)
+		if remote == nil {
+			remote = make(map[int][]int, 2)
+		}
+		remote[owner] = append(remote[owner], k)
+	}
+	for owner, idxs := range remote {
+		ids := make([]dag.VertexID, len(idxs))
+		for n, k := range idxs {
+			ids[n] = depIDs[k]
+		}
+		var f0 time.Time
+		if pe.cfg.Trace != nil {
+			f0 = time.Now()
+		}
+		reply, err := pe.tr.Call(owner, kindFetch, encodeIDBatch(st.epoch, ids))
+		if pe.cfg.Trace != nil {
+			pe.cfg.Trace.AddFetchWait(pe.self, time.Since(f0))
+		}
+		if err != nil {
+			pe.peerError(owner, err)
+			return nil, err
+		}
+		buf := reply
+		for _, k := range idxs {
+			v, n, derr := pe.cfg.Codec.Decode(buf)
+			if derr != nil {
+				return nil, fmt.Errorf("core: fetch decode from place %d: %w", owner, derr)
+			}
+			buf = buf[n:]
+			cells[k].Value = v
+			st.cache.Put(depIDs[k], v)
+			pe.remoteFetches.Add(1)
+		}
+	}
+	return cells, nil
+}
+
+// execRemote ships the vertex to another place for execution
+// (random / min-communication scheduling) and returns the computed value.
+func (pe *placeEngine[T]) execRemote(st *epochState[T], exec int, i, j int32) (T, error) {
+	var zero T
+	payload := make([]byte, 0, 16)
+	payload = putU64(payload, st.epoch)
+	payload = putID(payload, dag.VertexID{I: i, J: j})
+	reply, err := pe.tr.Call(exec, kindExec, payload)
+	if err != nil {
+		pe.peerError(exec, err)
+		return zero, err
+	}
+	v, _, derr := pe.cfg.Codec.Decode(reply)
+	if derr != nil {
+		return zero, fmt.Errorf("core: exec decode from place %d: %w", exec, derr)
+	}
+	return v, nil
+}
+
+// peerError classifies a transport error: dead peers are reported to the
+// coordinator; anything else is ignored here (stale epochs resolve via
+// recovery, other errors surface through aborts elsewhere).
+func (pe *placeEngine[T]) peerError(peer int, err error) {
+	if err == transport.ErrDeadPlace {
+		pe.reportFault(peer)
+	}
+}
+
+// reportFault tells the coordinator that peer appears dead. The death of
+// place 0 is unrecoverable (paper §VI-D) and aborts the run.
+func (pe *placeEngine[T]) reportFault(peer int) {
+	if !pe.tr.Alive(pe.self) {
+		return // this place is itself dead; its observations are void
+	}
+	if peer == 0 {
+		pe.abort(ErrPlaceZeroDead)
+		return
+	}
+	st := pe.current()
+	payload := make([]byte, 0, 12)
+	payload = putU64(payload, st.epoch)
+	payload = putU32(payload, uint32(peer))
+	if err := pe.tr.Send(0, kindFault, payload); err == transport.ErrDeadPlace {
+		pe.abort(ErrPlaceZeroDead)
+	}
+}
+
+// maybeReportDone notifies the coordinator once every local active vertex
+// has finished ("once all local vertices are finished the worker exits",
+// paper §VI-A).
+func (pe *placeEngine[T]) maybeReportDone(st *epochState[T]) {
+	if !pe.tr.Alive(pe.self) {
+		return
+	}
+	if !st.chunk.AllFinished() || st.doneReported.Swap(true) {
+		return
+	}
+	payload := make([]byte, 0, 12)
+	payload = putU64(payload, st.epoch)
+	payload = putU32(payload, uint32(pe.self))
+	if err := pe.tr.Send(0, kindPlaceDone, payload); err == transport.ErrDeadPlace {
+		pe.abort(ErrPlaceZeroDead)
+	}
+}
+
+// maybeSnapshot feeds the periodic-snapshot baseline when configured.
+func (pe *placeEngine[T]) maybeSnapshot(st *epochState[T]) {
+	if pe.cfg.Snapshot == nil || pe.cfg.SnapshotEvery <= 0 {
+		return
+	}
+	if pe.snapSeq.Add(1)%pe.cfg.SnapshotEvery != 0 {
+		return
+	}
+	pe.cfg.Snapshot.Save(st.chunk, pe.cfg.Pattern)
+	pe.cfg.Snapshot.Commit()
+}
+
+// stop ends the run for this place.
+func (pe *placeEngine[T]) stop() {
+	pe.stopOnce.Do(func() { close(pe.stopCh) })
+}
+
+// wait blocks until the run is stopped.
+func (pe *placeEngine[T]) wait() { <-pe.stopCh }

@@ -1,0 +1,148 @@
+// Package core implements the DPX10 runtime engine (paper §VI).
+//
+// The engine is SPMD: every place runs a placeEngine that owns one chunk
+// of the distributed vertex array, schedules its local ready vertices on a
+// bounded worker pool, and exchanges protocol messages with its peers over
+// a transport.Transport. Place 0 additionally runs the coordinator, which
+// detects global termination and drives the recovery protocol when a place
+// dies (§VI-D). A single-process run wires the place engines to a
+// transport.LocalFabric; a multi-process run gives each place a
+// transport.TCP endpoint — the engine code is identical.
+//
+// Epochs. Every run starts in epoch 0. Each recovery bumps the epoch and
+// rebuilds per-epoch state (distribution, chunk, ready list, cache) on the
+// surviving places. All cross-place messages carry their sender's epoch
+// and receivers drop stale ones, which makes in-flight messages from
+// before a failure harmless: the recovery's decrement replay regenerates
+// exactly the information they carried.
+package core
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"github.com/dpx10/dpx10/internal/dag"
+)
+
+// Message kinds on the transport. Kind 0 is reserved by the TCP framing
+// for responses.
+const (
+	kindFetch     uint8 = 1  // Call: fetch finished vertex values
+	kindDecrement uint8 = 2  // Send: batched indegree decrements
+	kindExec      uint8 = 3  // Call: execute a vertex here (random/mincomm)
+	kindPlaceDone uint8 = 4  // Send: place finished all local vertices
+	kindFault     uint8 = 5  // Send: place observed a dead peer
+	kindPause     uint8 = 6  // Call: coordinator -> place, quiesce workers
+	kindRebuild   uint8 = 7  // Call: coordinator -> place, rebuild chunk
+	kindRestore   uint8 = 8  // Call: coordinator -> place, send transfers
+	kindRestoreTx uint8 = 9  // Call: place -> place, restored values
+	kindReplay    uint8 = 10 // Call: coordinator -> place, replay decrements
+	kindReplayTx  uint8 = 11 // Call: place -> place, replayed decrements
+	kindResume    uint8 = 12 // Call: coordinator -> place, restart workers
+	kindStop      uint8 = 13 // Send: coordinator -> place, run finished
+	kindReadVal   uint8 = 14 // Call: post-run result access
+	kindPing      uint8 = 15 // Call: failure-detector heartbeat
+	kindHello     uint8 = 16 // Call: place -> place 0, "my state is prepared"
+	kindBegin     uint8 = 17 // Call: place 0 -> place, "launch workers"
+	kindSteal     uint8 = 18 // Call: idle place asks a victim for one ready vertex
+	kindStealDone uint8 = 19 // Call: thief returns the stolen vertex's value
+)
+
+// errStaleEpoch is returned by handlers that receive a message from a
+// previous epoch; the sender abandons the operation.
+var errStaleEpoch = errors.New("core: stale epoch")
+
+// ErrCanceled is returned when the user cancels a run.
+var ErrCanceled = errors.New("core: run canceled")
+
+// ErrPlaceZeroDead is returned when place 0 fails. Resilient X10 cannot
+// survive the death of place 0 (paper §VI-D) and neither can DPX10; the
+// run aborts.
+var ErrPlaceZeroDead = errors.New("core: place 0 died; run aborted")
+
+// --- wire helpers -----------------------------------------------------
+//
+// All payloads are little-endian. IDs are encoded as two uint32 words.
+
+func putU32(dst []byte, v uint32) []byte { return binary.LittleEndian.AppendUint32(dst, v) }
+func putU64(dst []byte, v uint64) []byte { return binary.LittleEndian.AppendUint64(dst, v) }
+
+type reader struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (r *reader) u32() uint32 {
+	if r.err != nil {
+		return 0
+	}
+	if r.off+4 > len(r.b) {
+		r.err = fmt.Errorf("core: truncated message at offset %d", r.off)
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(r.b[r.off:])
+	r.off += 4
+	return v
+}
+
+func (r *reader) u64() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	if r.off+8 > len(r.b) {
+		r.err = fmt.Errorf("core: truncated message at offset %d", r.off)
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(r.b[r.off:])
+	r.off += 8
+	return v
+}
+
+func (r *reader) id() dag.VertexID {
+	i := r.u32()
+	j := r.u32()
+	return dag.VertexID{I: int32(i), J: int32(j)}
+}
+
+func (r *reader) rest() []byte {
+	if r.err != nil {
+		return nil
+	}
+	return r.b[r.off:]
+}
+
+func putID(dst []byte, id dag.VertexID) []byte {
+	dst = putU32(dst, uint32(id.I))
+	return putU32(dst, uint32(id.J))
+}
+
+// encodeIDBatch builds [epoch][n][ids...]: the layout shared by fetch
+// requests, decrement batches and replay batches.
+func encodeIDBatch(epoch uint64, ids []dag.VertexID) []byte {
+	dst := make([]byte, 0, 12+8*len(ids))
+	dst = putU64(dst, epoch)
+	dst = putU32(dst, uint32(len(ids)))
+	for _, id := range ids {
+		dst = putID(dst, id)
+	}
+	return dst
+}
+
+// decodeIDBatch parses [epoch][n][ids...], appending ids to buf.
+func decodeIDBatch(payload []byte, buf []dag.VertexID) (epoch uint64, ids []dag.VertexID, err error) {
+	r := reader{b: payload}
+	epoch = r.u64()
+	n := r.u32()
+	if r.err != nil {
+		return 0, nil, r.err
+	}
+	if int(n) > (len(payload)-12)/8 {
+		return 0, nil, fmt.Errorf("core: id batch count %d exceeds payload", n)
+	}
+	for k := uint32(0); k < n; k++ {
+		buf = append(buf, r.id())
+	}
+	return epoch, buf, r.err
+}

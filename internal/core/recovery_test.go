@@ -1,0 +1,229 @@
+package core
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+
+	"github.com/dpx10/dpx10/internal/dag"
+	"github.com/dpx10/dpx10/internal/dag/patterns"
+	"github.com/dpx10/dpx10/internal/distarray"
+)
+
+// gatedConfig builds a config whose compute blocks after gateAt cells have
+// been computed, giving the test a deterministic window to inject faults.
+// Call the returned release() exactly once after killing.
+func gatedConfig(pat dag.Pattern, places, gateAt int) (Config[int64], chan struct{}, func()) {
+	gate := make(chan struct{})
+	resume := make(chan struct{})
+	var count atomic.Int64
+	cfg := baseConfig(pat, places)
+	cfg.Compute = func(i, j int32, deps []Cell[int64]) int64 {
+		n := count.Add(1)
+		if n == int64(gateAt) {
+			close(gate)
+		}
+		if n >= int64(gateAt) {
+			<-resume
+		}
+		return sumCompute(i, j, deps)
+	}
+	var released atomic.Bool
+	release := func() {
+		if !released.Swap(true) {
+			close(resume)
+		}
+	}
+	return cfg, gate, release
+}
+
+func checkResult(t *testing.T, cl *Cluster[int64], pat dag.Pattern) {
+	t.Helper()
+	res, err := cl.Result()
+	if err != nil {
+		t.Fatalf("Result: %v", err)
+	}
+	for id, wv := range refValues(pat) {
+		if !res.Finished(id.I, id.J) {
+			t.Fatalf("cell %v unfinished after recovery", id)
+		}
+		if got := res.Value(id.I, id.J); got != wv {
+			t.Fatalf("cell %v = %d, want %d", id, got, wv)
+		}
+	}
+}
+
+func TestKillMidRunRecovers(t *testing.T) {
+	for _, restoreRemote := range []bool{false, true} {
+		pat := patterns.NewDiagonal(24, 18)
+		cfg, gate, release := gatedConfig(pat, 4, 150)
+		cfg.RestoreRemote = restoreRemote
+		cl, err := NewCluster(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		done := make(chan error, 1)
+		go func() { done <- cl.Run() }()
+		<-gate
+		cl.Kill(2)
+		release()
+		if err := <-done; err != nil {
+			t.Fatalf("restoreRemote=%v: Run: %v", restoreRemote, err)
+		}
+		st := cl.Stats()
+		if st.Recoveries < 1 {
+			t.Fatalf("restoreRemote=%v: no recovery recorded", restoreRemote)
+		}
+		if st.RecoveryNanos <= 0 {
+			t.Fatalf("recovery time not measured")
+		}
+		checkResult(t, cl, pat)
+	}
+}
+
+func TestKillEarlyAndLate(t *testing.T) {
+	for _, gateAt := range []int{5, 350} {
+		pat := patterns.NewGrid(20, 20)
+		cfg, gate, release := gatedConfig(pat, 5, gateAt)
+		cl, err := NewCluster(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		done := make(chan error, 1)
+		go func() { done <- cl.Run() }()
+		<-gate
+		cl.Kill(3)
+		release()
+		if err := <-done; err != nil {
+			t.Fatalf("gateAt=%d: Run: %v", gateAt, err)
+		}
+		checkResult(t, cl, pat)
+	}
+}
+
+func TestDoubleFault(t *testing.T) {
+	pat := patterns.NewDiagonal(24, 24)
+	cfg, gate, release := gatedConfig(pat, 5, 120)
+	cl, err := NewCluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- cl.Run() }()
+	<-gate
+	cl.Kill(2)
+	cl.Kill(4)
+	release()
+	if err := <-done; err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	st := cl.Stats()
+	if st.Recoveries < 1 {
+		t.Fatal("no recovery recorded after double fault")
+	}
+	checkResult(t, cl, pat)
+}
+
+func TestKillPlaceZeroAborts(t *testing.T) {
+	pat := patterns.NewGrid(30, 30)
+	cfg, gate, release := gatedConfig(pat, 3, 100)
+	cl, err := NewCluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- cl.Run() }()
+	<-gate
+	cl.Kill(0)
+	release()
+	if err := <-done; !errors.Is(err, ErrPlaceZeroDead) {
+		t.Fatalf("Run after killing place 0: err = %v, want ErrPlaceZeroDead", err)
+	}
+	if _, err := cl.Result(); err == nil {
+		t.Fatal("Result succeeded after aborted run")
+	}
+}
+
+func TestFaultDetectedByCommunicationAlone(t *testing.T) {
+	// Kill without the runtime-level notification: survivors must discover
+	// the death through failing sends/fetches. ColWave guarantees constant
+	// cross-place traffic.
+	pat := patterns.NewColWave(10, 16)
+	cfg, gate, release := gatedConfig(pat, 4, 40)
+	cfg.NewDist = nil // default blockrow: colwave deps cross every boundary
+	cl, err := NewCluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- cl.Run() }()
+	<-gate
+	// Simulate a raw crash: transport dead + workers gone, no coordinator
+	// courtesy call.
+	cl.fabric.Kill(2)
+	cl.engines[2].current().closeQuit()
+	cl.engines[2].stop()
+	release()
+	if err := <-done; err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if st := cl.Stats(); st.Recoveries < 1 {
+		t.Fatal("communication-based failure detection never triggered recovery")
+	}
+	checkResult(t, cl, pat)
+}
+
+func TestSnapshotRecovery(t *testing.T) {
+	pat := patterns.NewDiagonal(20, 16)
+	cfg, gate, release := gatedConfig(pat, 4, 120)
+	cfg.Recovery = RecoverSnapshot
+	cfg.Snapshot = distarray.NewSnapshotStore[int64](8)
+	cfg.SnapshotEvery = 10
+	cl, err := NewCluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- cl.Run() }()
+	<-gate
+	cl.Kill(1)
+	release()
+	if err := <-done; err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	snaps, bytes := cfg.Snapshot.Stats()
+	if snaps == 0 || bytes == 0 {
+		t.Fatalf("snapshot baseline never saved (snaps=%d bytes=%d)", snaps, bytes)
+	}
+	checkResult(t, cl, pat)
+}
+
+func TestRecoveryWithKnapsackPattern(t *testing.T) {
+	// Nondeterministic dependency shape (paper §VIII-A's explanation for
+	// 0/1KP's weaker scaling) across a fault.
+	ks, err := patterns.NewKnapsack([]int32{4, 7, 2, 9, 3, 5, 6}, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, gate, release := gatedConfig(ks, 4, 80)
+	cl, err := NewCluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- cl.Run() }()
+	<-gate
+	cl.Kill(3)
+	release()
+	if err := <-done; err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	checkResult(t, cl, ks)
+}
+
+func TestKillAfterCompletionIsHarmless(t *testing.T) {
+	pat := patterns.NewGrid(8, 8)
+	cl := runAndCheck(t, baseConfig(pat, 3))
+	cl.Kill(1) // run already over; must not panic or corrupt results
+	checkResult(t, cl, pat)
+}

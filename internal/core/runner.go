@@ -1,0 +1,270 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/dpx10/dpx10/internal/dag"
+	"github.com/dpx10/dpx10/internal/transport"
+)
+
+// Cluster is a single-process DPX10 deployment: cfg.Places place engines
+// wired to a transport.LocalFabric, with the coordinator on place 0. It is
+// the Go analogue of launching an X10 program with X10_NPLACES=n on one
+// host — and, with Kill, the harness for every fault-tolerance experiment.
+type Cluster[T any] struct {
+	cfg     Config[T]
+	fabric  *transport.LocalFabric
+	engines []*placeEngine[T]
+	co      *coordinator[T]
+
+	abortCh   chan struct{}
+	abortOnce sync.Once
+	abortErr  error
+	abortMu   sync.Mutex
+
+	ran      bool
+	elapsed  time.Duration
+	runError error
+}
+
+// NewCluster validates cfg and builds the places. Run starts the
+// computation.
+func NewCluster[T any](cfg Config[T]) (*Cluster[T], error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	cl := &Cluster[T]{
+		cfg:     cfg,
+		fabric:  transport.NewLocalFabric(cfg.Places),
+		abortCh: make(chan struct{}),
+	}
+	cl.engines = make([]*placeEngine[T], cfg.Places)
+	for p := 0; p < cfg.Places; p++ {
+		cl.engines[p] = newPlaceEngine[T](p, &cl.cfg, cl.fabric.Endpoint(p), cl.abortWith)
+	}
+	cl.co = newCoordinator(cl.engines[0], cl.abortCh, cl.abortError, true)
+	cl.engines[0].events = cl.co.events
+	return cl, nil
+}
+
+// abortError returns the recorded abort cause, if any.
+func (cl *Cluster[T]) abortError() error {
+	cl.abortMu.Lock()
+	defer cl.abortMu.Unlock()
+	return cl.abortErr
+}
+
+func (cl *Cluster[T]) abortWith(err error) {
+	cl.abortOnce.Do(func() {
+		cl.abortMu.Lock()
+		cl.abortErr = err
+		cl.abortMu.Unlock()
+		close(cl.abortCh)
+	})
+}
+
+// Run executes the computation to completion and returns the terminal
+// error, if any. It may be called once.
+func (cl *Cluster[T]) Run() error {
+	if cl.ran {
+		return fmt.Errorf("core: cluster already ran")
+	}
+	cl.ran = true
+	start := time.Now()
+	h, w := cl.cfg.Pattern.Bounds()
+	d := cl.cfg.NewDist(h, w, cl.cfg.Places)
+	if got := len(d.Places()); got != cl.cfg.Places {
+		return fmt.Errorf("core: distribution covers %d places, cluster has %d", got, cl.cfg.Places)
+	}
+	// Two-phase start: every place installs its epoch-0 state before any
+	// worker runs, so no early message finds a place without state.
+	for _, pe := range cl.engines {
+		pe.prepare(d)
+	}
+	for _, pe := range cl.engines {
+		pe.launch()
+	}
+	if cl.cfg.ProbeInterval > 0 {
+		go cl.probe()
+	}
+	err := cl.co.run()
+	if err == nil {
+		// Make sure every place observed the stop before returning.
+		for _, pe := range cl.engines {
+			if cl.co.alive[pe.self] {
+				pe.wait()
+			}
+		}
+	} else {
+		cl.abortWith(err)
+		for _, pe := range cl.engines {
+			pe.stop()
+		}
+	}
+	cl.elapsed = time.Since(start)
+	cl.runError = err
+	cl.fabric.Close()
+	return err
+}
+
+// probe is the failure detector: it heartbeats every place from place 0
+// and reports dead ones to the coordinator, guaranteeing detection even
+// when no survivor has cause to contact the dead place (paper §VI-D
+// assumes the X10 runtime raises DeadPlaceException runtime-wide).
+func (cl *Cluster[T]) probe() {
+	ep := cl.engines[0].tr
+	tick := time.NewTicker(cl.cfg.ProbeInterval)
+	defer tick.Stop()
+	reported := make([]bool, cl.cfg.Places)
+	for {
+		select {
+		case <-cl.abortCh:
+			return
+		case <-cl.engines[0].stopCh:
+			return
+		case <-tick.C:
+			for p := 1; p < cl.cfg.Places; p++ {
+				if reported[p] {
+					continue
+				}
+				if _, err := ep.Call(p, kindPing, nil); err == transport.ErrDeadPlace {
+					reported[p] = true
+					select {
+					case cl.co.events <- coEvent{fault: true, place: p}:
+					case <-cl.abortCh:
+						return
+					case <-cl.engines[0].stopCh:
+						return
+					}
+				}
+			}
+		}
+	}
+}
+
+// Cancel aborts the run with ErrCanceled. Safe to call at any time; a
+// run that already finished is unaffected.
+func (cl *Cluster[T]) Cancel() {
+	cl.abortWith(ErrCanceled)
+	for _, pe := range cl.engines {
+		pe.stop()
+	}
+}
+
+// Kill fails place p mid-run, as the paper's recovery experiments do by
+// triggering a failure "manually in the middle of the execution". Killing
+// place 0 aborts the run (Resilient X10 limitation, §VI-D).
+func (cl *Cluster[T]) Kill(p int) {
+	cl.fabric.Kill(p)
+	if p == 0 {
+		cl.abortWith(ErrPlaceZeroDead)
+		return
+	}
+	// Stop the dead place's workers; a real crash would take them too.
+	if st := cl.engines[p].current(); st != nil {
+		st.closeQuit()
+	}
+	cl.engines[p].stop()
+	// Runtime-level failure detection: X10 raises DeadPlaceException at
+	// every place when a place dies, not only on the next communication
+	// attempt. Without this, a dead place that no survivor happens to
+	// contact again would stall its dependents forever.
+	select {
+	case cl.co.events <- coEvent{fault: true, place: p}:
+	case <-cl.abortCh:
+	}
+}
+
+// Progress returns the number of vertices finished in the current epoch
+// across alive places; the fault-injection harness polls it to time kills.
+func (cl *Cluster[T]) Progress() int64 {
+	var n int64
+	for p, pe := range cl.engines {
+		st := pe.current()
+		if st == nil { // Run not started yet
+			continue
+		}
+		if cl.fabric.Alive(p) {
+			n += st.chunk.FinishedCount()
+		}
+	}
+	return n
+}
+
+// Elapsed returns the wall time of Run.
+func (cl *Cluster[T]) Elapsed() time.Duration { return cl.elapsed }
+
+// Result gives read access to the finished vertex values. Call after Run
+// returned nil.
+func (cl *Cluster[T]) Result() (*Result[T], error) {
+	if !cl.ran {
+		return nil, fmt.Errorf("core: Result before Run")
+	}
+	if cl.runError != nil {
+		return nil, fmt.Errorf("core: run failed: %w", cl.runError)
+	}
+	var ref *placeEngine[T]
+	for p, pe := range cl.engines {
+		if cl.co.alive[p] {
+			ref = pe
+			break
+		}
+	}
+	if ref == nil {
+		return nil, fmt.Errorf("core: no surviving places")
+	}
+	return &Result[T]{cluster: cl, d: ref.current().d, pattern: cl.cfg.Pattern}, nil
+}
+
+// Stats aggregates counters across places; meaningful after Run.
+func (cl *Cluster[T]) Stats() Stats {
+	s := Stats{
+		Places:        cl.cfg.Places,
+		Epochs:        int(cl.co.epoch) + 1,
+		Recoveries:    cl.co.recoveries,
+		RecoveryNanos: cl.co.recoveryNanos,
+	}
+	for _, pe := range cl.engines {
+		s.ComputedCells += pe.computed.Load()
+		s.RemoteFetches += pe.remoteFetches.Load()
+		s.LocalReads += pe.localReads.Load()
+		s.ExecMigrated += pe.execMigrated.Load()
+		s.Stolen += pe.stolen.Load()
+		s.CacheHits += pe.cacheHits.Load()
+		s.CacheMisses += pe.cacheMisses.Load()
+		ts := pe.tr.Stats().Snapshot()
+		s.MsgsSent += ts.SendsOut + ts.CallsOut
+		s.BytesSent += ts.BytesOut
+	}
+	return s
+}
+
+// Result reads finished vertex values after a successful run — the dag
+// argument handed to the paper's appFinished() callback.
+type Result[T any] struct {
+	cluster *Cluster[T]
+	d       interface {
+		Bounds() (int32, int32)
+		Place(i, j int32) int
+		LocalOffset(i, j int32) int
+	}
+	pattern dag.Pattern
+}
+
+// Bounds returns the matrix dimensions.
+func (r *Result[T]) Bounds() (h, w int32) { return r.d.Bounds() }
+
+// Finished reports whether cell (i,j) holds a computed value. Inactive
+// cells report true with the zero value.
+func (r *Result[T]) Finished(i, j int32) bool {
+	pe := r.cluster.engines[r.d.Place(i, j)]
+	return pe.current().chunk.Finished(r.d.LocalOffset(i, j))
+}
+
+// Value returns the computed value of cell (i,j).
+func (r *Result[T]) Value(i, j int32) T {
+	pe := r.cluster.engines[r.d.Place(i, j)]
+	return pe.current().chunk.Value(r.d.LocalOffset(i, j))
+}

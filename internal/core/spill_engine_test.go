@@ -1,0 +1,56 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/dpx10/dpx10/internal/dag/patterns"
+)
+
+func TestRunWithSpilledValues(t *testing.T) {
+	pat := patterns.NewDiagonal(40, 40)
+	cfg := baseConfig(pat, 3)
+	cfg.Spill = &SpillConfig{Dir: t.TempDir(), PageVals: 16, ResidentPages: 2}
+	runAndCheck(t, cfg)
+}
+
+func TestSpilledRecovery(t *testing.T) {
+	pat := patterns.NewDiagonal(30, 30)
+	cfg, gate, release := gatedConfig(pat, 4, 200)
+	cfg.Spill = &SpillConfig{Dir: t.TempDir(), PageVals: 8, ResidentPages: 3}
+	cl, err := NewCluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- cl.Run() }()
+	<-gate
+	cl.Kill(2)
+	release()
+	if err := <-done; err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if cl.Stats().Recoveries < 1 {
+		t.Fatal("no recovery")
+	}
+	checkResult(t, cl, pat)
+}
+
+func TestSpilledRestoreRemoteRecovery(t *testing.T) {
+	pat := patterns.NewGrid(32, 16)
+	cfg, gate, release := gatedConfig(pat, 4, 180)
+	cfg.Spill = &SpillConfig{Dir: t.TempDir(), PageVals: 8, ResidentPages: 2}
+	cfg.RestoreRemote = true
+	cl, err := NewCluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- cl.Run() }()
+	<-gate
+	cl.Kill(1)
+	release()
+	if err := <-done; err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	checkResult(t, cl, pat)
+}

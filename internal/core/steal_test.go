@@ -1,0 +1,78 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/dpx10/dpx10/internal/dag"
+	"github.com/dpx10/dpx10/internal/dag/patterns"
+	"github.com/dpx10/dpx10/internal/sched"
+)
+
+func stealConfig(pat dag.Pattern, places int) Config[int64] {
+	cfg := baseConfig(pat, places)
+	cfg.Strategy = sched.Steal
+	return cfg
+}
+
+func TestStealStrategyCorrect(t *testing.T) {
+	pats := map[string]dag.Pattern{
+		// Triangle is heavily imbalanced under blockrow: early rows own
+		// far more active cells than late rows, so idle places really
+		// have something to pull.
+		"triangle": patterns.NewTriangle(20),
+		"diagonal": patterns.NewDiagonal(18, 18),
+		"grid":     patterns.NewGrid(16, 16),
+		"interval": patterns.NewInterval(16),
+		"chain":    patterns.NewChain(8, 30),
+	}
+	for name, pat := range pats {
+		name, pat := name, pat
+		t.Run(name, func(t *testing.T) {
+			runAndCheck(t, stealConfig(pat, 4))
+		})
+	}
+}
+
+func TestStealActuallySteals(t *testing.T) {
+	// On an imbalanced DAG with idle places, at least some vertices must
+	// move. Triangle(32) under blockrow over 4 places: the last place owns
+	// almost no active cells.
+	cl := runAndCheck(t, stealConfig(patterns.NewTriangle(32), 4))
+	if st := cl.Stats(); st.Stolen == 0 {
+		t.Fatal("steal strategy never stole on an imbalanced DAG")
+	}
+}
+
+func TestStealSinglePlace(t *testing.T) {
+	// Nothing to steal from; must still terminate correctly.
+	runAndCheck(t, stealConfig(patterns.NewGrid(10, 10), 1))
+}
+
+func TestStealSurvivesFault(t *testing.T) {
+	pat := patterns.NewDiagonal(24, 24)
+	cfg, gate, release := gatedConfig(pat, 4, 150)
+	cfg.Strategy = sched.Steal
+	cl, err := NewCluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- cl.Run() }()
+	<-gate
+	cl.Kill(2)
+	release()
+	if err := <-done; err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if cl.Stats().Recoveries < 1 {
+		t.Fatal("no recovery recorded")
+	}
+	checkResult(t, cl, pat)
+}
+
+func TestStealWithSpill(t *testing.T) {
+	pat := patterns.NewTriangle(16)
+	cfg := stealConfig(pat, 3)
+	cfg.Spill = &SpillConfig{Dir: t.TempDir(), PageVals: 8, ResidentPages: 2}
+	runAndCheck(t, cfg)
+}

@@ -1,0 +1,286 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/dpx10/dpx10/internal/dag"
+	"github.com/dpx10/dpx10/internal/transport"
+)
+
+// TCPNode is one place of a multi-process DPX10 deployment: every place
+// runs in its own OS process (as X10's Socket runtime launches places)
+// and communicates over TCP. All processes must be started with the same
+// Config and address table; place 0 coordinates and exposes the result.
+type TCPNode[T any] struct {
+	cfg  Config[T]
+	self int
+	tr   *transport.TCP
+	pe   *placeEngine[T]
+	co   *coordinator[T]
+
+	abortCh  chan struct{}
+	abortErr error
+	ran      bool
+	elapsed  time.Duration
+
+	helloCh chan int      // place 0: prepared-peer notifications
+	beginCh chan struct{} // non-zero places: closed when place 0 says go
+}
+
+// StartTCPNode binds place `self` to addrs[self] and prepares the engine.
+// Run starts the computation; all places must call Run within each
+// other's dial window.
+func StartTCPNode[T any](cfg Config[T], self int, addrs []string) (*TCPNode[T], error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Places != len(addrs) {
+		return nil, fmt.Errorf("core: %d places but %d addresses", cfg.Places, len(addrs))
+	}
+	if self < 0 || self >= cfg.Places {
+		return nil, fmt.Errorf("core: place %d out of range", self)
+	}
+	tr, err := transport.NewTCP(self, addrs)
+	if err != nil {
+		return nil, err
+	}
+	n := &TCPNode[T]{cfg: cfg, self: self, tr: tr, abortCh: make(chan struct{})}
+	abort := func(err error) {
+		if n.abortErr == nil {
+			n.abortErr = err
+		}
+		select {
+		case <-n.abortCh:
+		default:
+			close(n.abortCh)
+		}
+	}
+	n.pe = newPlaceEngine[T](self, &n.cfg, tr, abort)
+	if self == 0 {
+		n.co = newCoordinator(n.pe, n.abortCh, func() error { return n.abortErr }, false)
+		n.pe.events = n.co.events
+		n.helloCh = make(chan int, cfg.Places)
+		tr.Handle(kindHello, func(from int, _ []byte) ([]byte, error) {
+			select {
+			case n.helloCh <- from:
+			default:
+			}
+			return nil, nil
+		})
+	} else {
+		n.beginCh = make(chan struct{})
+		var beginOnce sync.Once
+		tr.Handle(kindBegin, func(int, []byte) ([]byte, error) {
+			// Launch inside the handler: the coordinator's begin Call must
+			// not return until this place's workers exist, or a fast
+			// recovery pause could race worker spawning.
+			beginOnce.Do(func() {
+				n.pe.launch()
+				close(n.beginCh)
+			})
+			return nil, nil
+		})
+	}
+	return n, nil
+}
+
+// Addr returns the address this node actually listens on.
+func (n *TCPNode[T]) Addr() string { return n.tr.Addr() }
+
+// Run executes this place's share of the computation. On place 0 it
+// returns when the whole computation finished (or failed); on other
+// places it returns once the coordinator broadcast stop or the place
+// becomes unreachable from the cluster.
+func (n *TCPNode[T]) Run() error {
+	if n.ran {
+		return fmt.Errorf("core: node already ran")
+	}
+	n.ran = true
+	start := time.Now()
+	h, w := n.cfg.Pattern.Bounds()
+	d := n.cfg.NewDist(h, w, n.cfg.Places)
+	n.pe.prepare(d)
+
+	// Startup barrier: no place may launch workers before every place has
+	// prepared its state, or early messages could find a place with
+	// nothing to receive them. Non-zero places say hello to place 0;
+	// place 0 broadcasts begin once everyone checked in.
+	if n.self == 0 {
+		if err := n.awaitCluster(); err != nil {
+			return err
+		}
+		n.pe.launch()
+		if n.cfg.ProbeInterval > 0 {
+			go n.probe()
+		}
+		err := n.co.run()
+		n.elapsed = time.Since(start)
+		return err
+	}
+	if _, err := n.tr.Call(0, kindHello, nil); err != nil {
+		return fmt.Errorf("core: place %d cannot reach the coordinator: %w", n.self, err)
+	}
+	// Watch the coordinator: if place 0 dies, the run is unrecoverable
+	// (Resilient X10 limitation) and this process must not linger.
+	if n.cfg.ProbeInterval > 0 {
+		go n.watchCoordinator()
+	}
+	// The begin handler launches the workers; serve until stopped or
+	// aborted.
+	select {
+	case <-n.pe.stopCh:
+		n.elapsed = time.Since(start)
+		return nil
+	case <-n.abortCh:
+		n.elapsed = time.Since(start)
+		return n.abortErr
+	}
+}
+
+// awaitCluster gathers hello from every other place, then broadcasts
+// begin. Missing places fail the start — the cluster never formed.
+func (n *TCPNode[T]) awaitCluster() error {
+	seen := map[int]bool{}
+	timeout := time.After(30 * time.Second)
+	for len(seen) < n.cfg.Places-1 {
+		select {
+		case p := <-n.helloCh:
+			seen[p] = true
+		case <-n.abortCh:
+			return n.abortErr
+		case <-timeout:
+			return fmt.Errorf("core: only %d of %d places joined within the startup window", len(seen)+1, n.cfg.Places)
+		}
+	}
+	for p := 1; p < n.cfg.Places; p++ {
+		if _, err := n.tr.Call(p, kindBegin, nil); err != nil {
+			return fmt.Errorf("core: begin broadcast to place %d: %w", p, err)
+		}
+	}
+	return nil
+}
+
+// watchCoordinator pings place 0 from a non-zero place and aborts when it
+// becomes unreachable — a coordinator crash must terminate the whole
+// deployment, including places still waiting at the startup barrier.
+func (n *TCPNode[T]) watchCoordinator() {
+	tick := time.NewTicker(n.cfg.ProbeInterval * 4)
+	defer tick.Stop()
+	for {
+		select {
+		case <-n.abortCh:
+			return
+		case <-n.pe.stopCh:
+			return
+		case <-tick.C:
+			if _, err := n.tr.Call(0, kindPing, nil); err == transport.ErrDeadPlace {
+				n.pe.abort(ErrPlaceZeroDead)
+				return
+			}
+		}
+	}
+}
+
+// probe heartbeats the peers from place 0, mirroring Cluster.probe for
+// the TCP deployment: a connection failure marks the peer dead at the
+// transport and reports the fault to the coordinator.
+func (n *TCPNode[T]) probe() {
+	tick := time.NewTicker(n.cfg.ProbeInterval)
+	defer tick.Stop()
+	reported := make([]bool, n.cfg.Places)
+	for {
+		select {
+		case <-n.abortCh:
+			return
+		case <-n.pe.stopCh:
+			return
+		case <-tick.C:
+			for p := 1; p < n.cfg.Places; p++ {
+				if reported[p] {
+					continue
+				}
+				if _, err := n.tr.Call(p, kindPing, nil); err == transport.ErrDeadPlace {
+					reported[p] = true
+					select {
+					case n.co.events <- coEvent{fault: true, place: p}:
+					case <-n.abortCh:
+						return
+					case <-n.pe.stopCh:
+						return
+					}
+				}
+			}
+		}
+	}
+}
+
+// Elapsed returns this node's wall time for Run.
+func (n *TCPNode[T]) Elapsed() time.Duration { return n.elapsed }
+
+// Stats returns this node's local counters (not cluster-aggregated).
+func (n *TCPNode[T]) Stats() Stats {
+	s := Stats{Places: n.cfg.Places}
+	s.ComputedCells = n.pe.computed.Load()
+	s.RemoteFetches = n.pe.remoteFetches.Load()
+	s.LocalReads = n.pe.localReads.Load()
+	s.ExecMigrated = n.pe.execMigrated.Load()
+	s.CacheHits = n.pe.cacheHits.Load()
+	s.CacheMisses = n.pe.cacheMisses.Load()
+	ts := n.tr.Stats().Snapshot()
+	s.MsgsSent = ts.SendsOut + ts.CallsOut
+	s.BytesSent = ts.BytesOut
+	if n.co != nil {
+		s.Epochs = int(n.co.epoch) + 1
+		s.Recoveries = n.co.recoveries
+		s.RecoveryNanos = n.co.recoveryNanos
+	}
+	return s
+}
+
+// Value reads a finished vertex value after a successful run. On place 0
+// it fetches remote values with a readval call; other places can read
+// their local cells only.
+func (n *TCPNode[T]) Value(i, j int32) (T, error) {
+	var zero T
+	st := n.pe.current()
+	if st == nil {
+		return zero, fmt.Errorf("core: node not started")
+	}
+	owner := st.d.Place(i, j)
+	if owner == n.self {
+		off := st.d.LocalOffset(i, j)
+		if !st.chunk.Finished(off) {
+			return zero, fmt.Errorf("core: vertex (%d,%d) not finished", i, j)
+		}
+		return st.chunk.Value(off), nil
+	}
+	payload := putID(nil, dag.VertexID{I: i, J: j})
+	reply, err := n.tr.Call(owner, kindReadVal, payload)
+	if err != nil {
+		return zero, err
+	}
+	if len(reply) == 0 || reply[0] == 0 {
+		return zero, fmt.Errorf("core: vertex (%d,%d) not finished at place %d", i, j, owner)
+	}
+	v, _, err := n.cfg.Codec.Decode(reply[1:])
+	return v, err
+}
+
+// Close releases the node. On place 0 it first broadcasts stop, releasing
+// the other places (which keep serving post-run reads until then); call it
+// after all result access is done.
+func (n *TCPNode[T]) Close() error {
+	if n.self == 0 && n.co != nil {
+		n.co.broadcastStop()
+	}
+	n.pe.stop()
+	return n.tr.Close()
+}
+
+// SetAddrTable replaces the address table before Run; used by tests that
+// bind every node to port 0 first and then exchange real addresses.
+func (n *TCPNode[T]) SetAddrTable(addrs []string) error {
+	return n.tr.SetAddrs(addrs)
+}

@@ -1,0 +1,175 @@
+package core
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/dpx10/dpx10/internal/codec"
+	"github.com/dpx10/dpx10/internal/dag/patterns"
+)
+
+// startTCPNodes boots an n-place TCP deployment on loopback with
+// OS-assigned ports. The nodes run in one test process but communicate
+// only over real sockets, exercising the exact code path of a
+// multi-process launch.
+func startTCPNodes(t *testing.T, cfg Config[int64], n int) []*TCPNode[int64] {
+	t.Helper()
+	nodes := make([]*TCPNode[int64], n)
+	addrs := make([]string, n)
+	placeholder := make([]string, n)
+	for i := range placeholder {
+		placeholder[i] = "127.0.0.1:0"
+	}
+	for p := 0; p < n; p++ {
+		node, err := StartTCPNode(cfg, p, placeholder)
+		if err != nil {
+			t.Fatalf("StartTCPNode(%d): %v", p, err)
+		}
+		nodes[p] = node
+		addrs[p] = node.Addr()
+	}
+	for _, node := range nodes {
+		if err := node.SetAddrTable(addrs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	t.Cleanup(func() {
+		for _, node := range nodes {
+			node.Close()
+		}
+	})
+	return nodes
+}
+
+func TestTCPNodeEndToEnd(t *testing.T) {
+	pat := patterns.NewDiagonal(20, 20)
+	cfg := Config[int64]{
+		Places:  3,
+		Threads: 2,
+		Pattern: pat,
+		Compute: sumCompute,
+		Codec:   codec.Int64{},
+	}
+	nodes := startTCPNodes(t, cfg, 3)
+	var workers sync.WaitGroup
+	errs := make([]error, 3)
+	for p := 2; p >= 1; p-- {
+		workers.Add(1)
+		go func(p int) {
+			defer workers.Done()
+			errs[p] = nodes[p].Run()
+		}(p)
+	}
+	if err := nodes[0].Run(); err != nil {
+		t.Fatalf("coordinator: %v", err)
+	}
+	// Post-run reads happen while the workers still serve; Close then
+	// broadcasts stop and releases them.
+	want := refValues(pat)
+	for id, wv := range want {
+		got, err := nodes[0].Value(id.I, id.J)
+		if err != nil {
+			t.Fatalf("Value(%v): %v", id, err)
+		}
+		if got != wv {
+			t.Fatalf("cell %v = %d, want %d", id, got, wv)
+		}
+	}
+	st := nodes[0].Stats()
+	if st.Recoveries != 0 || st.Epochs != 1 {
+		t.Fatalf("fault-free TCP run recorded recoveries: %+v", st)
+	}
+	nodes[0].Close()
+	workers.Wait()
+	for p := 1; p < 3; p++ {
+		if errs[p] != nil {
+			t.Fatalf("place %d: %v", p, errs[p])
+		}
+	}
+}
+
+func TestTCPNodeFaultRecovery(t *testing.T) {
+	pat := patterns.NewDiagonal(24, 24)
+	gateCfg, gate, release := gatedConfig(pat, 4, 150)
+	gateCfg.Codec = codec.Int64{}
+	nodes := startTCPNodes(t, gateCfg, 4)
+	var workers sync.WaitGroup
+	coDone := make(chan error, 1)
+	for p := 1; p < 4; p++ {
+		workers.Add(1)
+		go func(p int) {
+			defer workers.Done()
+			nodes[p].Run() //nolint:errcheck // place 2 is crashed below
+		}(p)
+	}
+	go func() { coDone <- nodes[0].Run() }()
+	<-gate
+	// Crash place 2: close its transport; peers learn via connection
+	// errors and the place-0 prober.
+	nodes[2].Close()
+	release()
+	if err := <-coDone; err != nil {
+		t.Fatalf("coordinator: %v", err)
+	}
+	st := nodes[0].Stats()
+	if st.Recoveries < 1 {
+		t.Fatal("TCP deployment did not recover from the crash")
+	}
+	for id, wv := range refValues(pat) {
+		got, err := nodes[0].Value(id.I, id.J)
+		if err != nil {
+			t.Fatalf("Value(%v): %v", id, err)
+		}
+		if got != wv {
+			t.Fatalf("cell %v = %d, want %d", id, got, wv)
+		}
+	}
+	nodes[0].Close()
+	workers.Wait()
+}
+
+func TestTCPNodeValidation(t *testing.T) {
+	cfg := Config[int64]{Places: 2, Pattern: patterns.NewGrid(4, 4), Compute: sumCompute}
+	if _, err := StartTCPNode(cfg, 5, []string{"127.0.0.1:0", "127.0.0.1:0"}); err == nil {
+		t.Fatal("out-of-range self accepted")
+	}
+	if _, err := StartTCPNode(cfg, 0, []string{"127.0.0.1:0"}); err == nil {
+		t.Fatal("mismatched address table accepted")
+	}
+}
+
+func TestTCPNodeCoordinatorCrashTerminatesWorkers(t *testing.T) {
+	pat := patterns.NewDiagonal(30, 30)
+	cfg, gate, release := gatedConfig(pat, 3, 100)
+	cfg.Codec = codec.Int64{}
+	nodes := startTCPNodes(t, cfg, 3)
+	var wg sync.WaitGroup
+	errs := make([]error, 3)
+	for p := 0; p < 3; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			errs[p] = nodes[p].Run()
+		}(p)
+	}
+	<-gate
+	// Crash the coordinator: kill its transport without the orderly stop
+	// broadcast Close performs. Workers must notice and exit with an
+	// error rather than waiting forever.
+	nodes[0].tr.Close()
+	nodes[0].pe.stop()
+	release()
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("workers did not terminate after coordinator crash")
+	}
+	for p := 1; p < 3; p++ {
+		if errs[p] == nil {
+			t.Fatalf("place %d exited cleanly despite coordinator death", p)
+		}
+	}
+}

@@ -1,0 +1,85 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/dpx10/dpx10/internal/dag"
+	"github.com/dpx10/dpx10/internal/dag/patterns"
+	"github.com/dpx10/dpx10/internal/dist"
+	"github.com/dpx10/dpx10/internal/sched"
+)
+
+// TestEngineQuickTorture drives the engine across randomized
+// configurations — pattern, shape, place count, threads, strategy,
+// distribution, cache size — and checks every cell against the serial
+// reference. This is the broad-spectrum safety net behind the directed
+// tests.
+func TestEngineQuickTorture(t *testing.T) {
+	f := func(patSel, hs, ws, placeSel, threadSel, stratSel, distSel, cacheSel uint8) bool {
+		h := int32(hs%14) + 2
+		w := int32(ws%14) + 2
+		var pat dag.Pattern
+		switch patSel % 6 {
+		case 0:
+			pat = patterns.NewGrid(h, w)
+		case 1:
+			pat = patterns.NewDiagonal(h, w)
+		case 2:
+			pat = patterns.NewInterval(h)
+			w = h
+		case 3:
+			pat = patterns.NewTriangle(h)
+			w = h
+		case 4:
+			pat = patterns.NewBanded(h, w, w/3+1)
+		default:
+			pat = patterns.NewRowWave(h, w)
+		}
+		places := int(placeSel%5) + 1
+		threads := int(threadSel%3) + 1
+		strategies := []sched.Strategy{sched.Local, sched.Random, sched.MinComm, sched.Steal}
+		strategy := strategies[int(stratSel)%len(strategies)]
+		var nd func(h, w int32, n int) dist.Dist
+		switch distSel % 4 {
+		case 0:
+			nd = func(h, w int32, n int) dist.Dist { return dist.NewBlockRow(h, w, n) }
+		case 1:
+			nd = func(h, w int32, n int) dist.Dist { return dist.NewBlockCol(h, w, n) }
+		case 2:
+			nd = func(h, w int32, n int) dist.Dist { return dist.NewCyclicRow(h, w, n) }
+		default:
+			nd = func(h, w int32, n int) dist.Dist { return dist.NewBlockCyclicRow(h, w, 2, n) }
+		}
+
+		cfg := baseConfig(pat, places)
+		cfg.Threads = threads
+		cfg.Strategy = strategy
+		cfg.NewDist = nd
+		cfg.CacheSize = int(cacheSel % 32)
+		cl, err := NewCluster(cfg)
+		if err != nil {
+			t.Logf("NewCluster: %v", err)
+			return false
+		}
+		if err := cl.Run(); err != nil {
+			t.Logf("Run(%T places=%d threads=%d strat=%v): %v", pat, places, threads, strategy, err)
+			return false
+		}
+		res, err := cl.Result()
+		if err != nil {
+			t.Logf("Result: %v", err)
+			return false
+		}
+		for id, wv := range refValues(pat) {
+			if got := res.Value(id.I, id.J); got != wv {
+				t.Logf("%T places=%d strat=%v: cell %v = %d, want %d", pat, places, strategy, id, got, wv)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,129 @@
+package dag
+
+import (
+	"strings"
+	"testing"
+)
+
+// twoCell is a minimal valid pattern: (0,1) depends on (0,0).
+type twoCell struct{}
+
+func (twoCell) Bounds() (int32, int32) { return 1, 2 }
+func (twoCell) Dependencies(i, j int32, buf []VertexID) []VertexID {
+	if j == 1 {
+		buf = append(buf, VertexID{0, 0})
+	}
+	return buf
+}
+func (twoCell) AntiDependencies(i, j int32, buf []VertexID) []VertexID {
+	if j == 0 {
+		buf = append(buf, VertexID{0, 1})
+	}
+	return buf
+}
+
+// cycle is 2 cells depending on each other.
+type cycle struct{}
+
+func (cycle) Bounds() (int32, int32) { return 1, 2 }
+func (cycle) Dependencies(i, j int32, buf []VertexID) []VertexID {
+	return append(buf, VertexID{0, 1 - j})
+}
+func (cycle) AntiDependencies(i, j int32, buf []VertexID) []VertexID {
+	return append(buf, VertexID{0, 1 - j})
+}
+
+// oob depends on a cell outside the matrix.
+type oob struct{ twoCell }
+
+func (oob) Dependencies(i, j int32, buf []VertexID) []VertexID {
+	if j == 1 {
+		buf = append(buf, VertexID{5, 5})
+	}
+	return buf
+}
+
+// dupDep lists the same dependency twice.
+type dupDep struct{ twoCell }
+
+func (dupDep) Dependencies(i, j int32, buf []VertexID) []VertexID {
+	if j == 1 {
+		buf = append(buf, VertexID{0, 0}, VertexID{0, 0})
+	}
+	return buf
+}
+
+// inactiveDep is sparse with an active cell depending on an inactive one.
+type inactiveDep struct{ twoCell }
+
+func (inactiveDep) Active(i, j int32) bool { return j == 1 }
+
+func TestCheckValid(t *testing.T) {
+	if err := Check(twoCell{}); err != nil {
+		t.Fatalf("valid pattern rejected: %v", err)
+	}
+}
+
+func TestCheckDetects(t *testing.T) {
+	cases := []struct {
+		name string
+		p    Pattern
+		want string
+	}{
+		{"cycle", cycle{}, "cycle"},
+		{"out-of-bounds", oob{}, "out-of-bounds"},
+		{"duplicate", dupDep{}, "twice"},
+		{"inactive-dep", inactiveDep{}, "inactive"},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			err := Check(c.p)
+			if err == nil {
+				t.Fatalf("Check accepted a %s pattern", c.name)
+			}
+			if !strings.Contains(err.Error(), c.want) {
+				t.Fatalf("err = %v, want mention of %q", err, c.want)
+			}
+		})
+	}
+}
+
+func TestVertexIDLinear(t *testing.T) {
+	v := VertexID{I: 3, J: 4}
+	if got := v.Linear(10); got != 34 {
+		t.Fatalf("Linear = %d, want 34", got)
+	}
+	if s := v.String(); s != "(3,4)" {
+		t.Fatalf("String = %q", s)
+	}
+}
+
+func TestActiveCountDense(t *testing.T) {
+	if got := ActiveCount(twoCell{}); got != 2 {
+		t.Fatalf("ActiveCount = %d, want 2", got)
+	}
+}
+
+func TestIsActiveDefaultsTrue(t *testing.T) {
+	if !IsActive(twoCell{}, 0, 0) {
+		t.Fatal("dense pattern reported inactive cell")
+	}
+	if IsActive(inactiveDep{}, 0, 0) || !IsActive(inactiveDep{}, 0, 1) {
+		t.Fatal("sparse Active not honored")
+	}
+}
+
+func TestProfile(t *testing.T) {
+	st := Profile(twoCell{})
+	if st.Cells != 2 || st.ActiveCells != 2 || st.Edges != 1 {
+		t.Fatalf("profile = %+v", st)
+	}
+	if st.Sources != 1 || st.Sinks != 1 || st.MaxInDeg != 1 || st.MaxOutDeg != 1 {
+		t.Fatalf("profile = %+v", st)
+	}
+	sp := Profile(inactiveDep{})
+	if sp.ActiveCells != 1 || sp.Cells != 2 {
+		t.Fatalf("sparse profile = %+v", sp)
+	}
+}

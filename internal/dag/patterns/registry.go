@@ -1,0 +1,57 @@
+package patterns
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Factory builds a pattern of the library for an h×w matrix. Patterns with
+// extra parameters (Banded, Knapsack) register curried defaults here; the
+// registry exists so CLI tools can select patterns by name.
+type Factory func(h, w int32) (interface{ Bounds() (int32, int32) }, error)
+
+var registry = map[string]Factory{
+	"grid":     func(h, w int32) (interface{ Bounds() (int32, int32) }, error) { return NewGrid(h, w), nil },
+	"diagonal": func(h, w int32) (interface{ Bounds() (int32, int32) }, error) { return NewDiagonal(h, w), nil },
+	"rowwave":  func(h, w int32) (interface{ Bounds() (int32, int32) }, error) { return NewRowWave(h, w), nil },
+	"interval": func(h, w int32) (interface{ Bounds() (int32, int32) }, error) {
+		if h != w {
+			return nil, fmt.Errorf("patterns: interval needs a square matrix, got %dx%d", h, w)
+		}
+		return NewInterval(h), nil
+	},
+	"colwave": func(h, w int32) (interface{ Bounds() (int32, int32) }, error) { return NewColWave(h, w), nil },
+	"chain":   func(h, w int32) (interface{ Bounds() (int32, int32) }, error) { return NewChain(h, w), nil },
+	"triangle": func(h, w int32) (interface{ Bounds() (int32, int32) }, error) {
+		if h != w {
+			return nil, fmt.Errorf("patterns: triangle needs a square matrix, got %dx%d", h, w)
+		}
+		return NewTriangle(h), nil
+	},
+	"banded": func(h, w int32) (interface{ Bounds() (int32, int32) }, error) {
+		band := h / 8
+		if band < 1 {
+			band = 1
+		}
+		return NewBanded(h, w, band), nil
+	},
+}
+
+// Names lists the built-in pattern names in sorted order.
+func Names() []string {
+	out := make([]string, 0, len(registry))
+	for name := range registry {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ByName builds the named built-in pattern for an h×w matrix.
+func ByName(name string, h, w int32) (interface{ Bounds() (int32, int32) }, error) {
+	f, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("patterns: unknown pattern %q (have %v)", name, Names())
+	}
+	return f(h, w)
+}

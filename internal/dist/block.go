@@ -1,0 +1,112 @@
+package dist
+
+import "fmt"
+
+// BlockRow splits the rows into contiguous balanced blocks, one per place.
+// The paper's example in Figure 6 uses this layout ("divided by the row");
+// it is the layout the four evaluation applications run with.
+type BlockRow struct {
+	h, w   int32
+	places []int
+	starts []int32 // row boundaries, len(places)+1
+}
+
+// NewBlockRow builds a row-block distribution of an h×w space over n
+// places numbered 0..n-1.
+func NewBlockRow(h, w int32, n int) *BlockRow {
+	return newBlockRowOver(h, w, identityPlaces(n))
+}
+
+func newBlockRowOver(h, w int32, places []int) *BlockRow {
+	checkArgs(h, w, places)
+	return &BlockRow{h: h, w: w, places: places, starts: blockStarts(h, len(places))}
+}
+
+func (d *BlockRow) Name() string           { return "blockrow" }
+func (d *BlockRow) Bounds() (int32, int32) { return d.h, d.w }
+func (d *BlockRow) Places() []int          { return d.places }
+
+func (d *BlockRow) Place(i, j int32) int {
+	return d.places[blockIndex(i, d.h, len(d.places))]
+}
+
+func (d *BlockRow) LocalCount(p int) int {
+	k := rankOf(d.places, p)
+	if k < 0 {
+		return 0
+	}
+	return int(d.starts[k+1]-d.starts[k]) * int(d.w)
+}
+
+func (d *BlockRow) LocalOffset(i, j int32) int {
+	k := blockIndex(i, d.h, len(d.places))
+	return int(i-d.starts[k])*int(d.w) + int(j)
+}
+
+func (d *BlockRow) CellAt(p int, off int) (int32, int32) {
+	k := rankOf(d.places, p)
+	return d.starts[k] + int32(off/int(d.w)), int32(off % int(d.w))
+}
+
+func (d *BlockRow) Restrict(alive func(p int) bool) (Dist, error) {
+	ps, err := survivors(d.places, alive)
+	if err != nil {
+		return nil, fmt.Errorf("blockrow: %w", err)
+	}
+	return newBlockRowOver(d.h, d.w, ps), nil
+}
+
+// BlockCol splits the columns into contiguous balanced blocks, one per
+// place — the paper's default ("by default vertices are spliced and
+// distributed along with column", §VI-B).
+type BlockCol struct {
+	h, w   int32
+	places []int
+	starts []int32 // column boundaries
+}
+
+// NewBlockCol builds a column-block distribution over n places.
+func NewBlockCol(h, w int32, n int) *BlockCol {
+	return newBlockColOver(h, w, identityPlaces(n))
+}
+
+func newBlockColOver(h, w int32, places []int) *BlockCol {
+	checkArgs(h, w, places)
+	return &BlockCol{h: h, w: w, places: places, starts: blockStarts(w, len(places))}
+}
+
+func (d *BlockCol) Name() string           { return "blockcol" }
+func (d *BlockCol) Bounds() (int32, int32) { return d.h, d.w }
+func (d *BlockCol) Places() []int          { return d.places }
+
+func (d *BlockCol) Place(i, j int32) int {
+	return d.places[blockIndex(j, d.w, len(d.places))]
+}
+
+func (d *BlockCol) LocalCount(p int) int {
+	k := rankOf(d.places, p)
+	if k < 0 {
+		return 0
+	}
+	return int(d.starts[k+1]-d.starts[k]) * int(d.h)
+}
+
+func (d *BlockCol) LocalOffset(i, j int32) int {
+	k := blockIndex(j, d.w, len(d.places))
+	cols := int(d.starts[k+1] - d.starts[k])
+	return int(i)*cols + int(j-d.starts[k])
+}
+
+func (d *BlockCol) CellAt(p int, off int) (int32, int32) {
+	k := rankOf(d.places, p)
+	cols := int(d.starts[k+1] - d.starts[k])
+	return int32(off / cols), d.starts[k] + int32(off%cols)
+}
+
+func (d *BlockCol) Restrict(alive func(p int) bool) (Dist, error) {
+	ps, err := survivors(d.places, alive)
+	if err != nil {
+		return nil, fmt.Errorf("blockcol: %w", err)
+	}
+	return newBlockColOver(d.h, d.w, ps), nil
+}

@@ -1,0 +1,112 @@
+// Package dist maps the 2-D vertex index space of a DAG onto places.
+//
+// A Dist is the Go analogue of X10's Dist structure (paper §VI-B): it
+// decides which place owns each cell (i,j) of the h×w matrix and how a
+// cell is addressed inside its owner's contiguous local chunk. The engine
+// and the distributed array are written purely against this interface, so
+// the partitioning strategy (paper §VI-E "Distribution of DAG") is a
+// plug-in decision.
+//
+// Every Dist supports Restrict, which rebuilds the same partitioning shape
+// over a subset of the original places. Restrict is the geometric half of
+// the paper's recovery mechanism (§VI-D): after a place dies, the engine
+// creates a new distributed array laid out by dist.Restrict(survivors).
+package dist
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Dist assigns each cell of an h×w index space to an owning place and a
+// dense offset within that place's chunk.
+//
+// Conventions: i is the row index in [0,h), j is the column index in
+// [0,w). Offsets at each place are dense in [0, LocalCount(p)).
+type Dist interface {
+	// Name identifies the distribution strategy, e.g. "blockrow".
+	Name() string
+	// Bounds returns the height (rows) and width (columns) of the space.
+	Bounds() (h, w int32)
+	// Places returns the owning place ids in ascending order. A freshly
+	// built Dist over n places returns 0..n-1; a restricted Dist returns
+	// the survivors.
+	Places() []int
+	// Place returns the place id owning cell (i,j).
+	Place(i, j int32) int
+	// LocalCount returns how many cells place p owns (0 if p owns none).
+	LocalCount(p int) int
+	// LocalOffset returns the dense offset of (i,j) within its owner's
+	// chunk. Calling it for a cell and a non-owner is undefined.
+	LocalOffset(i, j int32) int
+	// CellAt is the inverse of LocalOffset for place p.
+	CellAt(p int, off int) (i, j int32)
+	// Restrict rebuilds this distribution shape over only the places for
+	// which alive[p] is true. It fails if no owner survives.
+	Restrict(alive func(p int) bool) (Dist, error)
+}
+
+// blockStarts computes balanced contiguous block boundaries: part k of n
+// covers [starts[k], starts[k+1]). Blocks differ in size by at most one.
+func blockStarts(total int32, n int) []int32 {
+	starts := make([]int32, n+1)
+	for k := 0; k <= n; k++ {
+		starts[k] = int32(int64(k) * int64(total) / int64(n))
+	}
+	return starts
+}
+
+// blockIndex returns k such that starts[k] <= x < starts[k+1] for
+// boundaries produced by blockStarts(total, n).
+func blockIndex(x, total int32, n int) int {
+	k := int((int64(x)*int64(n) + int64(n) - 1) / int64(total))
+	// Integer rounding can land one off; correct against the exact bounds.
+	for k > 0 && int32(int64(k)*int64(total)/int64(n)) > x {
+		k--
+	}
+	for k < n-1 && int32(int64(k+1)*int64(total)/int64(n)) <= x {
+		k++
+	}
+	return k
+}
+
+func survivors(places []int, alive func(p int) bool) ([]int, error) {
+	var out []int
+	for _, p := range places {
+		if alive(p) {
+			out = append(out, p)
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("dist: no surviving places")
+	}
+	sort.Ints(out)
+	return out, nil
+}
+
+func checkArgs(h, w int32, places []int) {
+	if h <= 0 || w <= 0 {
+		panic(fmt.Sprintf("dist: non-positive bounds %dx%d", h, w))
+	}
+	if len(places) == 0 {
+		panic("dist: need at least one place")
+	}
+}
+
+// identityPlaces returns [0, 1, ..., n-1].
+func identityPlaces(n int) []int {
+	ps := make([]int, n)
+	for i := range ps {
+		ps[i] = i
+	}
+	return ps
+}
+
+// rankOf returns the index of place p in the ascending places slice, or -1.
+func rankOf(places []int, p int) int {
+	i := sort.SearchInts(places, p)
+	if i < len(places) && places[i] == p {
+		return i
+	}
+	return -1
+}

@@ -1,0 +1,221 @@
+// Package distarray provides the distributed 2-D vertex array that backs a
+// DPX10 computation (paper §VI-B) and the state transfer that implements
+// its recovery mechanism (§VI-D).
+//
+// The array is SPMD: each place holds one Chunk — the values, indegrees
+// and finished flags of the cells it owns under the current dist.Dist.
+// Cross-place reads and writes are the engine's job (they go through the
+// transport); this package is deliberately communication-free so that it
+// can be tested exhaustively in isolation and shared between the real
+// runtime and the cluster simulator.
+//
+// SnapshotArray implements the periodic-snapshot recovery baseline that
+// the paper argues against (X10's ResilientDistArray); it exists so the
+// recovery ablation benchmark has the paper's comparison point.
+package distarray
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"github.com/dpx10/dpx10/internal/dag"
+	"github.com/dpx10/dpx10/internal/dist"
+)
+
+// Chunk is one place's partition of the distributed vertex array. Values
+// and flags are indexed by the dense local offset defined by the Dist.
+//
+// Concurrency: SetResult, Finished, Value and DecrementIndegree are safe
+// for concurrent use by a place's worker pool. A finished flag is set with
+// release ordering after the value write, so any goroutine that observes
+// Finished(off) == true also observes the value.
+type Chunk[T any] struct {
+	place  int
+	d      dist.Dist
+	values []T           // dense in-memory values (nil when store != nil)
+	store  ValueStore[T] // optional disk-backed value storage
+	n      int
+	indeg  []int32
+	flags  []uint32 // 0 unfinished, 1 finished
+	queued []uint32 // 1 once the cell has entered a ready list this epoch
+	done   atomic.Int64
+	active int64 // cells that participate (finished inactive ones pre-counted)
+}
+
+// ValueStore is pluggable storage for a chunk's vertex values — the hook
+// for the disk-spilling store (paper §X future work: "spilling some data
+// to local disk to enable computations on large scale of DP problems").
+// A fresh store must read as zero values. Implementations must be safe
+// for concurrent use.
+type ValueStore[T any] interface {
+	Get(off int) T
+	Set(off int, v T)
+	Close() error
+}
+
+// NewChunk allocates place p's chunk under d with all cells unfinished,
+// values held densely in memory.
+func NewChunk[T any](p int, d dist.Dist) *Chunk[T] {
+	n := d.LocalCount(p)
+	return &Chunk[T]{
+		place:  p,
+		d:      d,
+		values: make([]T, n),
+		n:      n,
+		indeg:  make([]int32, n),
+		flags:  make([]uint32, n),
+		queued: make([]uint32, n),
+	}
+}
+
+// NewChunkBacked is NewChunk with vertex values kept in vs instead of a
+// dense slice. vs must cover d.LocalCount(p) values and start zeroed.
+func NewChunkBacked[T any](p int, d dist.Dist, vs ValueStore[T]) *Chunk[T] {
+	n := d.LocalCount(p)
+	return &Chunk[T]{
+		place:  p,
+		d:      d,
+		store:  vs,
+		n:      n,
+		indeg:  make([]int32, n),
+		flags:  make([]uint32, n),
+		queued: make([]uint32, n),
+	}
+}
+
+func (c *Chunk[T]) getValue(off int) T {
+	if c.store != nil {
+		return c.store.Get(off)
+	}
+	return c.values[off]
+}
+
+func (c *Chunk[T]) setValue(off int, v T) {
+	if c.store != nil {
+		c.store.Set(off, v)
+		return
+	}
+	c.values[off] = v
+}
+
+// Close releases value storage (the spill scratch file, if any).
+func (c *Chunk[T]) Close() error {
+	if c.store != nil {
+		return c.store.Close()
+	}
+	return nil
+}
+
+// Place returns the owning place id.
+func (c *Chunk[T]) Place() int { return c.place }
+
+// Dist returns the distribution the chunk is laid out by.
+func (c *Chunk[T]) Dist() dist.Dist { return c.d }
+
+// Len returns the number of local cells.
+func (c *Chunk[T]) Len() int { return c.n }
+
+// InitIndegrees walks the local cells of pattern pat, setting each active
+// cell's indegree to its full dependency count and marking inactive cells
+// finished with the zero value (paper §VI-E: unneeded vertices are set as
+// finished at initialization). It returns the local offsets that are
+// immediately schedulable — active cells with zero indegree — which seed
+// the place's ready list.
+func (c *Chunk[T]) InitIndegrees(pat dag.Pattern) []int {
+	var ready []int
+	var buf []dag.VertexID
+	c.done.Store(0)
+	c.active = 0
+	for off := 0; off < c.n; off++ {
+		i, j := c.d.CellAt(c.place, off)
+		if !dag.IsActive(pat, i, j) {
+			// Inactive cells keep the zero value their fresh storage
+			// already holds; writing it would needlessly page a spilled
+			// store.
+			c.indeg[off] = 0
+			c.flags[off] = 1
+			continue
+		}
+		c.active++
+		buf = pat.Dependencies(i, j, buf[:0])
+		c.indeg[off] = int32(len(buf))
+		c.flags[off] = 0
+		if len(buf) == 0 {
+			ready = append(ready, off)
+		}
+	}
+	return ready
+}
+
+// ActiveCount returns the number of local cells that participate in the
+// computation (inactive cells excluded).
+func (c *Chunk[T]) ActiveCount() int64 { return c.active }
+
+// FinishedCount returns how many active local cells have finished.
+func (c *Chunk[T]) FinishedCount() int64 { return c.done.Load() }
+
+// AllFinished reports whether every active local cell is finished.
+func (c *Chunk[T]) AllFinished() bool { return c.done.Load() == c.active }
+
+// SetResult stores the computed value of the cell at off and marks it
+// finished. It panics if the cell was already finished: a vertex must
+// complete exactly once per epoch, and a double completion indicates an
+// engine bug (e.g. a stale pre-recovery activity slipping through).
+func (c *Chunk[T]) SetResult(off int, v T) {
+	c.setValue(off, v)
+	if !atomic.CompareAndSwapUint32(&c.flags[off], 0, 1) {
+		i, j := c.d.CellAt(c.place, off)
+		panic(fmt.Sprintf("distarray: vertex (%d,%d) finished twice", i, j))
+	}
+	c.done.Add(1)
+}
+
+// TryMarkQueued atomically claims the right to enqueue the cell on the
+// place's ready list. A vertex may hit indegree zero through two
+// concurrent paths in the same epoch — e.g. a remote decrement arriving
+// between a recovery's rebuild and its resume scan, and the scan itself —
+// and must still be scheduled exactly once; only the caller that wins
+// this flag enqueues.
+func (c *Chunk[T]) TryMarkQueued(off int) bool {
+	return atomic.CompareAndSwapUint32(&c.queued[off], 0, 1)
+}
+
+// Finished reports whether the cell at off has completed.
+func (c *Chunk[T]) Finished(off int) bool {
+	return atomic.LoadUint32(&c.flags[off]) == 1
+}
+
+// Value returns the cell's value. Callers must have observed
+// Finished(off) == true for the value to be meaningful.
+func (c *Chunk[T]) Value(off int) T { return c.getValue(off) }
+
+// DecrementIndegree atomically lowers the cell's indegree by one and
+// returns the new count. The engine schedules the cell when it reaches 0.
+func (c *Chunk[T]) DecrementIndegree(off int) int32 {
+	nv := atomic.AddInt32(&c.indeg[off], -1)
+	if nv < 0 {
+		i, j := c.d.CellAt(c.place, off)
+		panic(fmt.Sprintf("distarray: vertex (%d,%d) indegree went negative", i, j))
+	}
+	return nv
+}
+
+// Indegree returns the cell's current indegree.
+func (c *Chunk[T]) Indegree(off int) int32 {
+	return atomic.LoadInt32(&c.indeg[off])
+}
+
+// ForEachFinished calls f for every finished active local cell. Intended
+// for quiesced phases (result collection, recovery); it does not lock.
+func (c *Chunk[T]) ForEachFinished(pat dag.Pattern, f func(i, j int32, off int, v T)) {
+	for off := 0; off < c.n; off++ {
+		if atomic.LoadUint32(&c.flags[off]) != 1 {
+			continue
+		}
+		i, j := c.d.CellAt(c.place, off)
+		if !dag.IsActive(pat, i, j) {
+			continue
+		}
+		f(i, j, off, c.getValue(off))
+	}
+}

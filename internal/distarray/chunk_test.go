@@ -1,0 +1,123 @@
+package distarray
+
+import (
+	"testing"
+
+	"github.com/dpx10/dpx10/internal/dag"
+	"github.com/dpx10/dpx10/internal/dag/patterns"
+	"github.com/dpx10/dpx10/internal/dist"
+)
+
+func TestInitIndegrees(t *testing.T) {
+	pat := patterns.NewDiagonal(4, 4)
+	d := dist.NewBlockRow(4, 4, 2)
+	c0 := NewChunk[int32](0, d)
+	ready := c0.InitIndegrees(pat)
+	// Place 0 owns rows 0-1; the only source is (0,0).
+	if len(ready) != 1 {
+		t.Fatalf("ready = %v, want exactly the origin", ready)
+	}
+	if i, j := d.CellAt(0, ready[0]); i != 0 || j != 0 {
+		t.Fatalf("ready cell = (%d,%d), want (0,0)", i, j)
+	}
+	c1 := NewChunk[int32](1, d)
+	if ready := c1.InitIndegrees(pat); len(ready) != 0 {
+		t.Fatalf("place 1 ready = %v, want none (all cells have deps)", ready)
+	}
+	// Indegree of (1,1) is 3 under the diagonal pattern.
+	if got := c0.Indegree(d.LocalOffset(1, 1)); got != 3 {
+		t.Fatalf("indegree(1,1) = %d, want 3", got)
+	}
+}
+
+func TestInactiveCellsPreFinished(t *testing.T) {
+	pat := patterns.NewInterval(4) // lower triangle inactive
+	d := dist.NewBlockRow(4, 4, 1)
+	c := NewChunk[int32](0, d)
+	ready := c.InitIndegrees(pat)
+	// Sources are the diagonal cells (i,i).
+	if len(ready) != 4 {
+		t.Fatalf("%d ready cells, want 4 diagonal sources", len(ready))
+	}
+	if !c.Finished(d.LocalOffset(2, 0)) {
+		t.Fatal("inactive cell (2,0) not pre-finished")
+	}
+	if c.ActiveCount() != 10 {
+		t.Fatalf("ActiveCount = %d, want 10", c.ActiveCount())
+	}
+	if c.FinishedCount() != 0 {
+		t.Fatalf("FinishedCount = %d, want 0 (inactive cells don't count)", c.FinishedCount())
+	}
+}
+
+func TestSetResultLifecycle(t *testing.T) {
+	pat := patterns.NewGrid(2, 2)
+	d := dist.NewBlockRow(2, 2, 1)
+	c := NewChunk[int64](0, d)
+	c.InitIndegrees(pat)
+	off := d.LocalOffset(0, 0)
+	if c.Finished(off) {
+		t.Fatal("cell finished before SetResult")
+	}
+	c.SetResult(off, 77)
+	if !c.Finished(off) || c.Value(off) != 77 {
+		t.Fatalf("after SetResult: finished=%v value=%d", c.Finished(off), c.Value(off))
+	}
+	if c.FinishedCount() != 1 {
+		t.Fatalf("FinishedCount = %d", c.FinishedCount())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double SetResult did not panic")
+		}
+	}()
+	c.SetResult(off, 78)
+}
+
+func TestDecrementUnderflowPanics(t *testing.T) {
+	pat := patterns.NewGrid(2, 2)
+	d := dist.NewBlockRow(2, 2, 1)
+	c := NewChunk[int32](0, d)
+	c.InitIndegrees(pat)
+	off := d.LocalOffset(0, 1) // indegree 1
+	if nv := c.DecrementIndegree(off); nv != 0 {
+		t.Fatalf("decrement -> %d, want 0", nv)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("indegree underflow did not panic")
+		}
+	}()
+	c.DecrementIndegree(off)
+}
+
+func TestAllFinished(t *testing.T) {
+	pat := patterns.NewChain(2, 3)
+	d := dist.NewBlockRow(2, 3, 1)
+	c := NewChunk[int32](0, d)
+	c.InitIndegrees(pat)
+	for off := 0; off < c.Len(); off++ {
+		if c.AllFinished() {
+			t.Fatal("AllFinished true before completion")
+		}
+		c.SetResult(off, int32(off))
+	}
+	if !c.AllFinished() {
+		t.Fatal("AllFinished false after completing every cell")
+	}
+}
+
+func TestForEachFinishedSkipsInactive(t *testing.T) {
+	pat := patterns.NewInterval(3)
+	d := dist.NewBlockRow(3, 3, 1)
+	c := NewChunk[int32](0, d)
+	c.InitIndegrees(pat)
+	c.SetResult(d.LocalOffset(0, 0), 5)
+	var got []dag.VertexID
+	c.ForEachFinished(pat, func(i, j int32, _ int, v int32) {
+		got = append(got, dag.VertexID{I: i, J: j})
+	})
+	if len(got) != 1 || got[0] != (dag.VertexID{I: 0, J: 0}) {
+		t.Fatalf("ForEachFinished visited %v, want only (0,0)", got)
+	}
+}

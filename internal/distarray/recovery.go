@@ -1,0 +1,94 @@
+package distarray
+
+import (
+	"github.com/dpx10/dpx10/internal/dag"
+	"github.com/dpx10/dpx10/internal/dist"
+)
+
+// Transfer is a finished vertex value that must move to a new owner during
+// recovery. RebuildChunk emits transfers only in restore-remote mode; the
+// engine ships them over the transport.
+type Transfer[T any] struct {
+	To    int // new owning place
+	ID    dag.VertexID
+	Value T
+}
+
+// RebuildChunk performs the local half of the paper's recovery mechanism
+// (§VI-D): given the chunk this place held under the old distribution, it
+// allocates this place's chunk under newDist and carries surviving results
+// into it.
+//
+// A finished vertex is kept in place iff its owner is unchanged — the
+// paper's Figure 6, where vertex (2,2) is dropped because its result lives
+// on a *remote* alive place and "it may take less time to recompute them
+// rather than copy them across the network". With restoreRemote set (the
+// §VI-E "Restore manner" refinement), those vertices are not dropped:
+// they are returned as Transfers for the engine to deliver to their new
+// owners.
+//
+// The rebuilt chunk has full indegrees for every unfinished cell. The
+// engine then replays decrements from all finished vertices cluster-wide,
+// which leaves indegree = |unfinished dependencies| exactly — the "reset
+// the indegree" step of §VI-D.
+func RebuildChunk[T any](old *Chunk[T], pat dag.Pattern, newDist dist.Dist, restoreRemote bool) (*Chunk[T], []Transfer[T]) {
+	nc := NewChunk[T](old.place, newDist)
+	nc.InitIndegrees(pat)
+	return nc, CarryOver(old, nc, pat, restoreRemote)
+}
+
+// CarryOver applies the keep/drop rule from old into the freshly
+// initialized nc (same place, new distribution) and returns the outbound
+// transfers. Split out of RebuildChunk so the engine can construct nc
+// itself — e.g. with a disk-backed value store.
+func CarryOver[T any](old, nc *Chunk[T], pat dag.Pattern, restoreRemote bool) []Transfer[T] {
+	newDist := nc.Dist()
+	var out []Transfer[T]
+	old.ForEachFinished(pat, func(i, j int32, _ int, v T) {
+		newOwner := newDist.Place(i, j)
+		if newOwner == old.place {
+			nc.SetResult(newDist.LocalOffset(i, j), v)
+			return
+		}
+		if restoreRemote {
+			out = append(out, Transfer[T]{To: newOwner, ID: dag.VertexID{I: i, J: j}, Value: v})
+		}
+		// Otherwise dropped: the new owner recomputes it.
+	})
+	return out
+}
+
+// ReplayDecrements walks the finished active cells of c and invokes emit
+// for every anti-dependency edge leaving them. The engine routes each edge
+// to the (possibly remote) owner of the target cell, whose chunk applies
+// DecrementIndegree — to finished targets as well, so that every
+// dependency edge contributes exactly one decrement per epoch (replayed
+// here for finished deps, at runtime for recomputed ones) and indegrees
+// can never underflow. After every place has replayed, each unfinished
+// cell's indegree equals its count of unfinished dependencies; finished
+// cells must simply never be re-enqueued by the scheduler.
+func ReplayDecrements[T any](c *Chunk[T], pat dag.Pattern, emit func(target dag.VertexID)) {
+	var buf []dag.VertexID
+	c.ForEachFinished(pat, func(i, j int32, _ int, _ T) {
+		buf = pat.AntiDependencies(i, j, buf[:0])
+		for _, a := range buf {
+			emit(a)
+		}
+	})
+}
+
+// ReadyOffsets returns the local offsets of unfinished active cells whose
+// indegree is zero — the ready-list seed after a recovery's decrement
+// replay has completed.
+func ReadyOffsets[T any](c *Chunk[T]) []int {
+	var ready []int
+	for off := 0; off < c.Len(); off++ {
+		if c.Finished(off) {
+			continue
+		}
+		if c.Indegree(off) == 0 {
+			ready = append(ready, off)
+		}
+	}
+	return ready
+}

@@ -1,0 +1,84 @@
+package native
+
+import (
+	"testing"
+
+	"github.com/dpx10/dpx10/internal/apps"
+	"github.com/dpx10/dpx10/internal/workload"
+)
+
+// bestSerial computes the expected best score via the apps reference.
+func bestSerial(a, b string) int32 {
+	app := apps.NewSWLAG(a, b)
+	m := app.Serial()
+	var best int32
+	for i := range m {
+		for j := range m[i] {
+			if m[i][j].H > best {
+				best = m[i][j].H
+			}
+		}
+	}
+	return best
+}
+
+func TestRunStripMatchesSerial(t *testing.T) {
+	for _, tc := range []struct {
+		n, m, places, stripW int
+	}{
+		{50, 60, 1, 16}, {50, 60, 4, 16}, {80, 40, 8, 8},
+		{33, 77, 3, 1000}, {3, 90, 6, 7}, {90, 3, 5, 7},
+	} {
+		a := workload.Sequence(tc.n, workload.DNA, 1)
+		b := workload.Sequence(tc.m, workload.DNA, 2)
+		res, err := RunStrip(a, b, tc.places, tc.stripW, 0)
+		if err != nil {
+			t.Fatalf("%+v: %v", tc, err)
+		}
+		if want := bestSerial(a, b); res.BestH != want {
+			t.Fatalf("%+v: best = %d, want %d", tc, res.BestH, want)
+		}
+		if want := int64(tc.n+1) * int64(tc.m+1); res.Cells != want {
+			t.Fatalf("%+v: cells = %d, want %d", tc, res.Cells, want)
+		}
+	}
+}
+
+func TestRunStripMorePlacesThanRows(t *testing.T) {
+	a := workload.Sequence(2, workload.DNA, 1) // 3 rows, 6 places
+	b := workload.Sequence(40, workload.DNA, 2)
+	res, err := RunStrip(a, b, 6, 8, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := bestSerial(a, b); res.BestH != want {
+		t.Fatalf("best = %d, want %d", res.BestH, want)
+	}
+}
+
+func TestRunVertexMatchesSerial(t *testing.T) {
+	for _, tc := range []struct {
+		n, m, places, threads int
+	}{
+		{40, 50, 1, 1}, {40, 50, 4, 2}, {25, 25, 3, 3},
+	} {
+		a := workload.Sequence(tc.n, workload.DNA, 3)
+		b := workload.Sequence(tc.m, workload.DNA, 4)
+		res, err := RunVertex(a, b, tc.places, tc.threads, 0)
+		if err != nil {
+			t.Fatalf("%+v: %v", tc, err)
+		}
+		if want := bestSerial(a, b); res.BestH != want {
+			t.Fatalf("%+v: best = %d, want %d", tc, res.BestH, want)
+		}
+	}
+}
+
+func TestBadArgs(t *testing.T) {
+	if _, err := RunStrip("A", "C", 0, 8, 0); err == nil {
+		t.Fatal("places=0 accepted")
+	}
+	if _, err := RunVertex("A", "C", 1, 0, 0); err == nil {
+		t.Fatal("threads=0 accepted")
+	}
+}

@@ -1,0 +1,159 @@
+// Package sched implements DPX10's vertex scheduling strategies
+// (paper §VI-C, §VI-E).
+//
+// When a vertex becomes ready, its owning place decides where the
+// compute() call runs:
+//
+//   - Local: on the owner itself — the paper's default, no extra decision
+//     cost, dependencies may need remote fetches.
+//   - Random: on a uniformly random alive place — a load-scattering
+//     baseline, usually worse, kept faithful to the paper.
+//   - MinComm: on the place minimizing the total bytes moved — the sum of
+//     fetches for dependencies not resident at the execution place plus,
+//     when executing away from the owner, the write-back of the result.
+//     The paper notes this "introduces some extra overhead and should be
+//     used in appropriate scenarios".
+package sched
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/dpx10/dpx10/internal/dag"
+	"github.com/dpx10/dpx10/internal/dist"
+)
+
+// Strategy selects which scheduling policy a run uses.
+type Strategy int
+
+const (
+	// Local executes every vertex at its owning place (default).
+	Local Strategy = iota
+	// Random executes each vertex at a uniformly random alive place.
+	Random
+	// MinComm executes each vertex at the place that minimizes the
+	// modeled communication volume.
+	MinComm
+	// Steal keeps owner-local execution but lets idle workers pull ready
+	// vertices from busy places — the work-stealing direction the paper
+	// cites as future work (SLAW, X10's work-stealing scheduler).
+	Steal
+)
+
+// ParseStrategy maps a CLI name to a Strategy.
+func ParseStrategy(name string) (Strategy, error) {
+	switch name {
+	case "local":
+		return Local, nil
+	case "random":
+		return Random, nil
+	case "mincomm":
+		return MinComm, nil
+	case "steal":
+		return Steal, nil
+	}
+	return 0, fmt.Errorf("sched: unknown strategy %q (have local, random, mincomm, steal)", name)
+}
+
+func (s Strategy) String() string {
+	switch s {
+	case Local:
+		return "local"
+	case Random:
+		return "random"
+	case MinComm:
+		return "mincomm"
+	case Steal:
+		return "steal"
+	default:
+		return fmt.Sprintf("Strategy(%d)", int(s))
+	}
+}
+
+// Picker makes per-vertex execution-place decisions for one place's
+// worker. It is not safe for concurrent use; each worker thread owns one.
+type Picker struct {
+	strategy  Strategy
+	d         dist.Dist
+	alive     func(p int) bool
+	valueSize int // modeled bytes to move one vertex value
+	rng       *rand.Rand
+}
+
+// NewPicker builds a Picker. valueSize is the encoded width of one vertex
+// value; seed makes Random reproducible per worker.
+func NewPicker(s Strategy, d dist.Dist, alive func(p int) bool, valueSize int, seed int64) *Picker {
+	if valueSize <= 0 {
+		valueSize = 1
+	}
+	return &Picker{
+		strategy:  s,
+		d:         d,
+		alive:     alive,
+		valueSize: valueSize,
+		rng:       rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Rebind points the picker at a new distribution (after recovery).
+func (pk *Picker) Rebind(d dist.Dist) { pk.d = d }
+
+// Pick returns the place where the ready vertex (i,j), owned by owner,
+// should execute. deps are its dependencies.
+func (pk *Picker) Pick(owner int, i, j int32, deps []dag.VertexID) int {
+	switch pk.strategy {
+	case Random:
+		places := pk.d.Places()
+		// Try a few times to land on an alive place; fall back to owner.
+		for t := 0; t < 4; t++ {
+			p := places[pk.rng.Intn(len(places))]
+			if pk.alive(p) {
+				return p
+			}
+		}
+		return owner
+	case MinComm:
+		return pk.minComm(owner, deps)
+	default:
+		return owner
+	}
+}
+
+// minComm evaluates the owner and every dependency owner as candidate
+// execution places and returns the cheapest. Cost model: each dependency
+// resident elsewhere costs one value transfer; executing away from the
+// owner costs one extra transfer to write the result back. Ties favor the
+// owner (no migration), then lower place ids for determinism.
+func (pk *Picker) minComm(owner int, deps []dag.VertexID) int {
+	best, bestCost := owner, pk.commCost(owner, owner, deps)
+	for _, dep := range deps {
+		cand := pk.d.Place(dep.I, dep.J)
+		if cand == best || !pk.alive(cand) {
+			continue
+		}
+		cost := pk.commCost(cand, owner, deps)
+		if cost < bestCost || (cost == bestCost && cand != owner && best != owner && cand < best) {
+			best, bestCost = cand, cost
+		}
+	}
+	return best
+}
+
+// CommCost exposes the MinComm cost model: the modeled bytes moved when
+// vertex owned by owner executes at exec with the given dependencies.
+func (pk *Picker) CommCost(exec, owner int, deps []dag.VertexID) int {
+	return pk.commCost(exec, owner, deps)
+}
+
+func (pk *Picker) commCost(exec, owner int, deps []dag.VertexID) int {
+	cost := 0
+	for _, dep := range deps {
+		if pk.d.Place(dep.I, dep.J) != exec {
+			cost += pk.valueSize
+		}
+	}
+	if exec != owner {
+		cost += pk.valueSize // result write-back
+	}
+	return cost
+}

@@ -1,0 +1,131 @@
+package simcluster
+
+import (
+	"testing"
+
+	"github.com/dpx10/dpx10/internal/codec"
+	"github.com/dpx10/dpx10/internal/core"
+	"github.com/dpx10/dpx10/internal/dag"
+	"github.com/dpx10/dpx10/internal/dag/patterns"
+	"github.com/dpx10/dpx10/internal/dist"
+)
+
+// TestSimMatchesEngineTraffic cross-validates the simulator against the
+// real runtime: with the cache off and local scheduling, the number of
+// remote dependency transfers is a deterministic function of (pattern,
+// distribution) — every vertex fetches each remotely-owned dependency
+// exactly once — so the simulator and the engine must agree exactly.
+// This pins the simulator's communication model to the engine's actual
+// behaviour, which is what makes the simulated Figures 10/11/13 credible.
+func TestSimMatchesEngineTraffic(t *testing.T) {
+	cases := []struct {
+		name   string
+		pat    dag.Pattern
+		places int
+		nd     func(h, w int32, n int) dist.Dist
+	}{
+		{"diagonal/blockrow", patterns.NewDiagonal(18, 15), 3,
+			func(h, w int32, n int) dist.Dist { return dist.NewBlockRow(h, w, n) }},
+		{"grid/blockcol", patterns.NewGrid(12, 16), 4,
+			func(h, w int32, n int) dist.Dist { return dist.NewBlockCol(h, w, n) }},
+		{"interval/blockrow", patterns.NewInterval(14), 3,
+			func(h, w int32, n int) dist.Dist { return dist.NewBlockRow(h, w, n) }},
+		{"triangle/cyclicrow", patterns.NewTriangle(10), 3,
+			func(h, w int32, n int) dist.Dist { return dist.NewCyclicRow(h, w, n) }},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			h, w := tc.pat.Bounds()
+
+			// Real engine, cache off, local scheduling.
+			cfg := core.Config[int64]{
+				Places:  tc.places,
+				Pattern: tc.pat,
+				Codec:   codec.Int64{},
+				NewDist: tc.nd,
+				Compute: func(i, j int32, deps []core.Cell[int64]) int64 {
+					v := int64(i) + int64(j)
+					for _, d := range deps {
+						v += d.Value
+					}
+					return v
+				},
+			}
+			cl, err := core.NewCluster(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := cl.Run(); err != nil {
+				t.Fatal(err)
+			}
+			engineFetches := cl.Stats().RemoteFetches
+
+			// Simulator, same pattern and distribution.
+			sim, err := New(tc.pat, tc.nd(h, w, tc.places), DefaultModel(2))
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := sim.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.RemoteFetches != engineFetches {
+				t.Fatalf("simulator models %d remote fetches, engine measured %d",
+					res.RemoteFetches, engineFetches)
+			}
+			if res.ComputedCells != cl.Stats().ComputedCells {
+				t.Fatalf("simulator computed %d cells, engine %d",
+					res.ComputedCells, cl.Stats().ComputedCells)
+			}
+		})
+	}
+}
+
+// TestSimCacheUpperBound: with a cache the engine's fetch count is
+// schedule-dependent, but it can never exceed the cache-off count, and
+// the simulator's cached count is a valid point in the same range.
+func TestSimCacheUpperBound(t *testing.T) {
+	pat := patterns.NewColWave(10, 20)
+	nd := func(h, w int32, n int) dist.Dist { return dist.NewBlockRow(h, w, n) }
+	run := func(cache int) int64 {
+		cfg := core.Config[int64]{
+			Places:    3,
+			Pattern:   pat,
+			Codec:     codec.Int64{},
+			NewDist:   nd,
+			CacheSize: cache,
+			Compute: func(i, j int32, deps []core.Cell[int64]) int64 {
+				return int64(len(deps))
+			},
+		}
+		cl, err := core.NewCluster(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := cl.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return cl.Stats().RemoteFetches
+	}
+	uncached := run(0)
+	cached := run(128)
+	m := DefaultModel(2)
+	m.CacheSize = 128
+	h, w := pat.Bounds()
+	sim, err := New(pat, nd(h, w, 3), m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cached > uncached || res.RemoteFetches > uncached {
+		t.Fatalf("cached fetch counts exceed the cache-off bound: engine %d, sim %d, bound %d",
+			cached, res.RemoteFetches, uncached)
+	}
+	if res.RemoteFetches == uncached {
+		t.Fatal("simulated cache had no effect")
+	}
+}

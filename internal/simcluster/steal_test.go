@@ -1,0 +1,47 @@
+package simcluster
+
+import (
+	"testing"
+
+	"github.com/dpx10/dpx10/internal/dag/patterns"
+	"github.com/dpx10/dpx10/internal/dist"
+)
+
+func TestSimStealCompletesAndHelpsImbalance(t *testing.T) {
+	// Triangle under blockrow is imbalanced: stealing should cut the
+	// makespan when compute dominates communication.
+	pat := patterns.NewTriangle(48)
+	m := DefaultModel(2)
+	m.ComputeCost = 1e-4
+	base := runMakespan(t, pat, 6, m)
+	m.Steal = true
+	stolen := runMakespan(t, pat, 6, m)
+	if stolen >= base {
+		t.Fatalf("steal did not help an imbalanced DAG: %g vs %g", stolen, base)
+	}
+	// And it must still compute every vertex exactly once.
+	h, w := pat.Bounds()
+	sim, err := New(pat, dist.NewBlockRow(h, w, 6), m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ComputedCells != sim.Active() {
+		t.Fatalf("computed %d of %d", res.ComputedCells, sim.Active())
+	}
+}
+
+func TestSimStealNoWorseOnBalanced(t *testing.T) {
+	pat := patterns.NewGrid(80, 80)
+	m := DefaultModel(2)
+	m.ComputeCost = 1e-4
+	base := runMakespan(t, pat, 4, m)
+	m.Steal = true
+	stolen := runMakespan(t, pat, 4, m)
+	if stolen > base*1.1 {
+		t.Fatalf("steal hurt a balanced DAG badly: %g vs %g", stolen, base)
+	}
+}

@@ -1,0 +1,30 @@
+package spill
+
+import (
+	"github.com/dpx10/dpx10/internal/codec"
+	"testing"
+)
+
+func BenchmarkGetResident(b *testing.B) {
+	s, _ := New[int64](4096, 512, 8, codec.Int64{}, b.TempDir())
+	defer s.Close()
+	for k := 0; k < 4096; k++ {
+		s.Set(k, int64(k))
+	}
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		s.Get(n % 512)
+	}
+}
+
+func BenchmarkGetThrash(b *testing.B) {
+	s, _ := New[int64](4096, 512, 2, codec.Int64{}, b.TempDir())
+	defer s.Close()
+	for k := 0; k < 4096; k++ {
+		s.Set(k, int64(k))
+	}
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		s.Get((n * 512) % 4096) // page-crossing stride
+	}
+}

@@ -1,0 +1,172 @@
+// Package trace collects per-place execution telemetry from a DPX10 run:
+// busy time, vertex counts and an optional bounded event timeline. The
+// scheduling experiments use it to report utilization and load imbalance —
+// the quantities behind the paper's Figure 10 discussion of why the
+// wavefront saturates and why 0/1KP scales worse.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Collector accumulates telemetry for one run. All methods are safe for
+// concurrent use; the hot path is two atomic adds per vertex.
+type Collector struct {
+	places []placeTrace
+
+	mu       sync.Mutex
+	events   []Event
+	maxEvent int
+}
+
+type placeTrace struct {
+	busyNanos atomic.Int64
+	vertices  atomic.Int64
+	fetchWait atomic.Int64
+}
+
+// Event is one recorded vertex execution.
+type Event struct {
+	Place    int
+	I, J     int32
+	Start    time.Duration // since collector creation
+	Duration time.Duration
+}
+
+// New creates a collector for `places` places keeping at most maxEvents
+// timeline events (0 disables the timeline; counters always work).
+func New(places, maxEvents int) *Collector {
+	return &Collector{
+		places:   make([]placeTrace, places),
+		maxEvent: maxEvents,
+	}
+}
+
+// RecordCompute accounts one vertex execution at place p.
+func (c *Collector) RecordCompute(p int, i, j int32, start time.Time, d time.Duration) {
+	if p < 0 || p >= len(c.places) {
+		return
+	}
+	pt := &c.places[p]
+	pt.busyNanos.Add(int64(d))
+	pt.vertices.Add(1)
+	if c.maxEvent > 0 {
+		c.mu.Lock()
+		if len(c.events) < c.maxEvent {
+			c.events = append(c.events, Event{
+				Place: p, I: i, J: j,
+				Start:    time.Duration(start.UnixNano()),
+				Duration: d,
+			})
+		}
+		c.mu.Unlock()
+	}
+}
+
+// AddFetchWait accounts time place p's workers spent blocked on remote
+// dependency fetches.
+func (c *Collector) AddFetchWait(p int, d time.Duration) {
+	if p >= 0 && p < len(c.places) {
+		c.places[p].fetchWait.Add(int64(d))
+	}
+}
+
+// BusyTime returns the cumulative compute time at place p.
+func (c *Collector) BusyTime(p int) time.Duration {
+	return time.Duration(c.places[p].busyNanos.Load())
+}
+
+// Vertices returns the number of vertices place p executed.
+func (c *Collector) Vertices(p int) int64 {
+	return c.places[p].vertices.Load()
+}
+
+// FetchWait returns the cumulative time place p's workers spent blocked
+// on remote dependency fetches.
+func (c *Collector) FetchWait(p int) time.Duration {
+	return time.Duration(c.places[p].fetchWait.Load())
+}
+
+// Utilization returns busy time at place p divided by elapsed × threads —
+// the fraction of the place's core capacity that did vertex work.
+func (c *Collector) Utilization(p int, elapsed time.Duration, threads int) float64 {
+	if elapsed <= 0 || threads <= 0 {
+		return 0
+	}
+	return float64(c.BusyTime(p)) / (float64(elapsed) * float64(threads))
+}
+
+// Imbalance returns max/mean of per-place executed-vertex counts — 1.0 is
+// perfectly balanced. Places that executed nothing still count toward the
+// mean.
+func (c *Collector) Imbalance() float64 {
+	if len(c.places) == 0 {
+		return 1
+	}
+	var sum, max int64
+	for p := range c.places {
+		v := c.places[p].vertices.Load()
+		sum += v
+		if v > max {
+			max = v
+		}
+	}
+	if sum == 0 {
+		return 1
+	}
+	mean := float64(sum) / float64(len(c.places))
+	return float64(max) / mean
+}
+
+// Events returns the recorded timeline sorted by start time.
+func (c *Collector) Events() []Event {
+	c.mu.Lock()
+	out := make([]Event, len(c.events))
+	copy(out, c.events)
+	c.mu.Unlock()
+	sort.Slice(out, func(a, b int) bool { return out[a].Start < out[b].Start })
+	return out
+}
+
+// Summary renders one line per place.
+func (c *Collector) Summary(elapsed time.Duration, threads int) string {
+	out := ""
+	for p := range c.places {
+		out += fmt.Sprintf("place %d: %6d vertices, busy %8.3fms, util %5.1f%%, fetch-wait %8.3fms\n",
+			p, c.Vertices(p), c.BusyTime(p).Seconds()*1e3,
+			100*c.Utilization(p, elapsed, threads), c.FetchWait(p).Seconds()*1e3)
+	}
+	return out
+}
+
+// WriteChromeTrace renders the recorded timeline in the Chrome trace-event
+// JSON format (load via chrome://tracing or https://ui.perfetto.dev): one
+// complete event per vertex, with places as processes. Only meaningful
+// when the collector was created with maxEvents > 0.
+func (c *Collector) WriteChromeTrace(w io.Writer) error {
+	events := c.Events()
+	if _, err := io.WriteString(w, "[\n"); err != nil {
+		return err
+	}
+	for k, ev := range events {
+		sep := ","
+		if k == len(events)-1 {
+			sep = ""
+		}
+		// ts/dur are microseconds in the trace-event format.
+		_, err := fmt.Fprintf(w,
+			"  {\"name\":\"(%d,%d)\",\"ph\":\"X\",\"pid\":%d,\"tid\":0,\"ts\":%.3f,\"dur\":%.3f}%s\n",
+			ev.I, ev.J, ev.Place,
+			float64(ev.Start)/1e3, float64(ev.Duration)/1e3, sep)
+		if err != nil {
+			return err
+		}
+	}
+	_, err := io.WriteString(w, "]\n")
+	return err
+}

@@ -1,0 +1,145 @@
+package trace
+
+import (
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCountersAndUtilization(t *testing.T) {
+	c := New(3, 0)
+	base := time.Now()
+	c.RecordCompute(0, 1, 2, base, 10*time.Millisecond)
+	c.RecordCompute(0, 1, 3, base, 30*time.Millisecond)
+	c.RecordCompute(2, 5, 5, base, 20*time.Millisecond)
+	c.AddFetchWait(0, 5*time.Millisecond)
+
+	if got := c.Vertices(0); got != 2 {
+		t.Fatalf("Vertices(0) = %d", got)
+	}
+	if got := c.BusyTime(0); got != 40*time.Millisecond {
+		t.Fatalf("BusyTime(0) = %v", got)
+	}
+	if got := c.FetchWait(0); got != 5*time.Millisecond {
+		t.Fatalf("FetchWait(0) = %v", got)
+	}
+	// 40ms busy over 100ms elapsed on 2 threads = 20%.
+	if got := c.Utilization(0, 100*time.Millisecond, 2); got < 0.19 || got > 0.21 {
+		t.Fatalf("Utilization = %f", got)
+	}
+	if got := c.Utilization(0, 0, 2); got != 0 {
+		t.Fatalf("zero-elapsed utilization = %f", got)
+	}
+}
+
+func TestImbalance(t *testing.T) {
+	c := New(4, 0)
+	if got := c.Imbalance(); got != 1 {
+		t.Fatalf("empty collector imbalance = %f", got)
+	}
+	base := time.Now()
+	// 6 vertices on place 0, 2 on place 1, none elsewhere: mean 2, max 6.
+	for k := 0; k < 6; k++ {
+		c.RecordCompute(0, 0, int32(k), base, time.Millisecond)
+	}
+	c.RecordCompute(1, 1, 0, base, time.Millisecond)
+	c.RecordCompute(1, 1, 1, base, time.Millisecond)
+	if got := c.Imbalance(); got < 2.9 || got > 3.1 {
+		t.Fatalf("imbalance = %f, want 3", got)
+	}
+}
+
+func TestEventTimelineBoundedAndSorted(t *testing.T) {
+	c := New(2, 3)
+	base := time.Now()
+	for k := 4; k >= 0; k-- {
+		c.RecordCompute(0, int32(k), 0, base.Add(time.Duration(k)*time.Millisecond), time.Millisecond)
+	}
+	ev := c.Events()
+	if len(ev) != 3 {
+		t.Fatalf("%d events kept, cap 3", len(ev))
+	}
+	for k := 1; k < len(ev); k++ {
+		if ev[k].Start < ev[k-1].Start {
+			t.Fatal("events not sorted by start time")
+		}
+	}
+}
+
+func TestOutOfRangePlaceIgnored(t *testing.T) {
+	c := New(1, 0)
+	c.RecordCompute(5, 0, 0, time.Now(), time.Millisecond) // must not panic
+	c.AddFetchWait(-1, time.Millisecond)
+	if c.Vertices(0) != 0 {
+		t.Fatal("out-of-range record leaked into place 0")
+	}
+}
+
+func TestSummaryFormat(t *testing.T) {
+	c := New(2, 0)
+	c.RecordCompute(1, 0, 0, time.Now(), 2*time.Millisecond)
+	s := c.Summary(10*time.Millisecond, 1)
+	if !strings.Contains(s, "place 0") || !strings.Contains(s, "place 1") {
+		t.Fatalf("summary missing places:\n%s", s)
+	}
+}
+
+func TestConcurrentRecording(t *testing.T) {
+	c := New(4, 100)
+	var wg sync.WaitGroup
+	base := time.Now()
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for k := 0; k < 200; k++ {
+				c.RecordCompute(g%4, int32(g), int32(k), base, time.Microsecond)
+				c.AddFetchWait(g%4, time.Microsecond)
+			}
+		}(g)
+	}
+	wg.Wait()
+	var total int64
+	for p := 0; p < 4; p++ {
+		total += c.Vertices(p)
+	}
+	if total != 8*200 {
+		t.Fatalf("recorded %d vertices, want 1600", total)
+	}
+}
+
+func TestWriteChromeTrace(t *testing.T) {
+	c := New(2, 10)
+	base := time.Now()
+	c.RecordCompute(0, 1, 2, base, 3*time.Millisecond)
+	c.RecordCompute(1, 4, 5, base.Add(time.Millisecond), 2*time.Millisecond)
+	var buf strings.Builder
+	if err := c.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	var parsed []map[string]any
+	if err := json.Unmarshal([]byte(out), &parsed); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, out)
+	}
+	if len(parsed) != 2 {
+		t.Fatalf("%d events, want 2", len(parsed))
+	}
+	if parsed[0]["name"] != "(1,2)" || parsed[0]["ph"] != "X" {
+		t.Fatalf("first event = %v", parsed[0])
+	}
+}
+
+func TestWriteChromeTraceEmpty(t *testing.T) {
+	c := New(1, 5)
+	var buf strings.Builder
+	if err := c.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var parsed []any
+	if err := json.Unmarshal([]byte(buf.String()), &parsed); err != nil || len(parsed) != 0 {
+		t.Fatalf("empty trace invalid: %v", err)
+	}
+}

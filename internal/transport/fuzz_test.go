@@ -1,0 +1,54 @@
+package transport
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadFrame hardens the TCP framing against corrupt input: arbitrary
+// bytes must never panic or allocate unboundedly, and every frame written
+// by writeFrame must read back identically.
+func FuzzReadFrame(f *testing.F) {
+	var good bytes.Buffer
+	writeFrame(&good, 3, flagRequestMarker, 1, 42, []byte("payload")) //nolint:errcheck
+	f.Add(good.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte{1, 2, 3})
+	// Oversized length field.
+	var huge bytes.Buffer
+	writeFrame(&huge, 1, 0, 0, 0, nil) //nolint:errcheck
+	b := huge.Bytes()
+	b[14], b[15], b[16], b[17] = 0xFF, 0xFF, 0xFF, 0xFF
+	f.Add(b)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		kind, flags, from, seq, payload, err := readFrame(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var out bytes.Buffer
+		if werr := writeFrame(&out, kind, flags, from, seq, payload); werr != nil {
+			t.Fatalf("re-encode failed: %v", werr)
+		}
+		k2, f2, from2, seq2, p2, err2 := readFrame(bytes.NewReader(out.Bytes()))
+		if err2 != nil || k2 != kind || f2 != flags || from2 != from || seq2 != seq || !bytes.Equal(p2, payload) {
+			t.Fatalf("frame round trip mismatch (err=%v)", err2)
+		}
+	})
+}
+
+// FuzzWireError hardens the error-identity encoding.
+func FuzzWireError(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(encodeWireError(ErrDeadPlace))
+	f.Add(encodeWireError(ErrNoHandler))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		err := decodeWireError(data)
+		if err == nil {
+			t.Fatal("decodeWireError returned nil")
+		}
+		if len(data) > 0 && data[0] == 1 && err != ErrDeadPlace {
+			t.Fatal("dead-place marker lost")
+		}
+	})
+}

@@ -1,0 +1,174 @@
+package transport
+
+import (
+	"encoding/binary"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestLocalCallRoundTrip(t *testing.T) {
+	f := NewLocalFabric(2)
+	defer f.Close()
+	f.Endpoint(1).Handle(7, func(from int, payload []byte) ([]byte, error) {
+		if from != 0 {
+			t.Errorf("from = %d, want 0", from)
+		}
+		out := append([]byte("echo:"), payload...)
+		return out, nil
+	})
+	reply, err := f.Endpoint(0).Call(1, 7, []byte("hi"))
+	if err != nil {
+		t.Fatalf("Call: %v", err)
+	}
+	if string(reply) != "echo:hi" {
+		t.Fatalf("reply = %q, want %q", reply, "echo:hi")
+	}
+}
+
+func TestLocalCallNoHandler(t *testing.T) {
+	f := NewLocalFabric(2)
+	defer f.Close()
+	if _, err := f.Endpoint(0).Call(1, 9, nil); !errors.Is(err, ErrNoHandler) {
+		t.Fatalf("err = %v, want ErrNoHandler", err)
+	}
+}
+
+func TestLocalSendOrdered(t *testing.T) {
+	f := NewLocalFabric(2)
+	defer f.Close()
+	const n = 500
+	got := make([]uint32, 0, n)
+	done := make(chan struct{})
+	f.Endpoint(1).Handle(1, func(from int, payload []byte) ([]byte, error) {
+		got = append(got, binary.LittleEndian.Uint32(payload))
+		if len(got) == n {
+			close(done)
+		}
+		return nil, nil
+	})
+	for i := 0; i < n; i++ {
+		var b [4]byte
+		binary.LittleEndian.PutUint32(b[:], uint32(i))
+		if err := f.Endpoint(0).Send(1, 1, b[:]); err != nil {
+			t.Fatalf("Send %d: %v", i, err)
+		}
+	}
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatalf("timed out after %d messages", len(got))
+	}
+	for i, v := range got {
+		if v != uint32(i) {
+			t.Fatalf("message %d = %d: per-pair ordering violated", i, v)
+		}
+	}
+}
+
+func TestLocalDeadPlace(t *testing.T) {
+	f := NewLocalFabric(3)
+	defer f.Close()
+	f.Endpoint(2).Handle(1, func(int, []byte) ([]byte, error) { return nil, nil })
+	f.Kill(2)
+	if _, err := f.Endpoint(0).Call(2, 1, nil); !errors.Is(err, ErrDeadPlace) {
+		t.Fatalf("Call to dead place: err = %v, want ErrDeadPlace", err)
+	}
+	if err := f.Endpoint(0).Send(2, 1, nil); !errors.Is(err, ErrDeadPlace) {
+		t.Fatalf("Send to dead place: err = %v, want ErrDeadPlace", err)
+	}
+	// A dead place cannot originate traffic either.
+	if _, err := f.Endpoint(2).Call(0, 1, nil); !errors.Is(err, ErrDeadPlace) {
+		t.Fatalf("Call from dead place: err = %v, want ErrDeadPlace", err)
+	}
+	if !f.Alive(0) || f.Alive(2) {
+		t.Fatalf("Alive: got (0:%v, 2:%v), want (true, false)", f.Alive(0), f.Alive(2))
+	}
+}
+
+func TestLocalPayloadIsolation(t *testing.T) {
+	f := NewLocalFabric(2)
+	defer f.Close()
+	var captured []byte
+	f.Endpoint(1).Handle(1, func(_ int, payload []byte) ([]byte, error) {
+		captured = payload
+		return payload, nil
+	})
+	orig := []byte{1, 2, 3}
+	reply, err := f.Endpoint(0).Call(1, 1, orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig[0] = 99
+	if captured[0] != 1 {
+		t.Fatal("handler payload aliases the sender's buffer")
+	}
+	captured[1] = 88
+	if reply[1] != 2 {
+		t.Fatal("caller reply aliases the handler's buffer")
+	}
+}
+
+func TestLocalConcurrentCalls(t *testing.T) {
+	f := NewLocalFabric(4)
+	defer f.Close()
+	var served atomic.Int64
+	for p := 0; p < 4; p++ {
+		f.Endpoint(p).Handle(1, func(int, []byte) ([]byte, error) {
+			served.Add(1)
+			return []byte{1}, nil
+		})
+	}
+	var wg sync.WaitGroup
+	const perPlace = 200
+	for p := 0; p < 4; p++ {
+		for g := 0; g < 4; g++ {
+			wg.Add(1)
+			go func(p, g int) {
+				defer wg.Done()
+				for i := 0; i < perPlace; i++ {
+					to := (p + 1 + i%3) % 4
+					if _, err := f.Endpoint(p).Call(to, 1, nil); err != nil {
+						t.Errorf("Call: %v", err)
+						return
+					}
+				}
+			}(p, g)
+		}
+	}
+	wg.Wait()
+	if got := served.Load(); got != 4*4*perPlace {
+		t.Fatalf("served = %d, want %d", got, 4*4*perPlace)
+	}
+}
+
+func TestLocalStats(t *testing.T) {
+	f := NewLocalFabric(2)
+	defer f.Close()
+	f.Endpoint(1).Handle(1, func(_ int, p []byte) ([]byte, error) { return p, nil })
+	payload := make([]byte, 10)
+	for i := 0; i < 3; i++ {
+		if _, err := f.Endpoint(0).Call(1, 1, payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s0 := f.Endpoint(0).Stats().Snapshot()
+	s1 := f.Endpoint(1).Stats().Snapshot()
+	if s0.CallsOut != 3 || s0.BytesOut != 30 || s0.RepliesIn != 3 {
+		t.Fatalf("sender stats = %+v", s0)
+	}
+	if s1.MsgsIn != 3 || s1.BytesIn != 30 {
+		t.Fatalf("receiver stats = %+v", s1)
+	}
+}
+
+func TestLocalClosedEndpoint(t *testing.T) {
+	f := NewLocalFabric(2)
+	ep := f.Endpoint(0)
+	f.Close()
+	if _, err := ep.Call(1, 1, nil); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Call after close: err = %v, want ErrClosed", err)
+	}
+}

@@ -1,0 +1,466 @@
+package transport
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Wire format, little-endian:
+//
+//	kind   uint8   message kind (application-defined)
+//	flags  uint8   bit0: response frame
+//	from   uint32  sender place id
+//	seq    uint64  request sequence number (echoed in the response)
+//	length uint32  payload length
+//	crc    uint32  IEEE CRC-32 of the payload
+//	payload [length]byte
+//
+// Response frames carry kind=0 and, when bit1 of flags is set, the payload
+// is an error string instead of reply data. The checksum guards against
+// framing bugs and partial writes — a corrupted frame kills the
+// connection rather than delivering garbage to a handler.
+const (
+	frameHeaderLen = 1 + 1 + 4 + 8 + 4 + 4
+
+	flagResponse = 1 << 0
+	flagError    = 1 << 1
+)
+
+// maxFrameLen bounds a single payload; larger frames indicate corruption.
+const maxFrameLen = 1 << 28 // 256 MiB
+
+// TCP is a Transport where each place is reachable at a TCP address,
+// matching the deployment model of X10's Socket runtime (one process per
+// place). Connections are dialed lazily and kept open; a connection error
+// marks the peer dead and surfaces ErrDeadPlace to the engine.
+type TCP struct {
+	self  int
+	addrs []string
+	ln    net.Listener
+	stats Stats
+
+	hmu      sync.RWMutex
+	handlers [256]Handler
+
+	cmu      sync.Mutex
+	conns    []*tcpConn // indexed by peer place
+	accepted map[net.Conn]struct{}
+
+	dead      []atomic.Bool
+	connected []atomic.Bool // peer reached at least once
+
+	seq     atomic.Uint64
+	pmu     sync.Mutex
+	pending map[uint64]chan tcpReply
+
+	closed    chan struct{}
+	closeOnce sync.Once
+
+	dialTimeout time.Duration
+}
+
+type tcpReply struct {
+	payload []byte
+	err     error
+}
+
+type tcpConn struct {
+	mu sync.Mutex // serializes writes
+	c  net.Conn
+}
+
+var _ Transport = (*TCP)(nil)
+
+// NewTCP creates the endpoint for place self, listening on addrs[self].
+// All places must share the same addrs slice (place id -> address).
+func NewTCP(self int, addrs []string) (*TCP, error) {
+	if self < 0 || self >= len(addrs) {
+		return nil, fmt.Errorf("transport: place %d out of range (%d places)", self, len(addrs))
+	}
+	ln, err := net.Listen("tcp", addrs[self])
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %s: %w", addrs[self], err)
+	}
+	t := &TCP{
+		self:        self,
+		addrs:       addrs,
+		ln:          ln,
+		conns:       make([]*tcpConn, len(addrs)),
+		accepted:    make(map[net.Conn]struct{}),
+		dead:        make([]atomic.Bool, len(addrs)),
+		connected:   make([]atomic.Bool, len(addrs)),
+		pending:     make(map[uint64]chan tcpReply),
+		closed:      make(chan struct{}),
+		dialTimeout: 10 * time.Second,
+	}
+	go t.accept()
+	return t, nil
+}
+
+// Addr returns the address this endpoint actually listens on, useful when
+// addrs[self] used port 0.
+func (t *TCP) Addr() string { return t.ln.Addr().String() }
+
+// SetAddrs replaces the peer address table. It must be called before any
+// traffic is sent; tests use it to bind every endpoint to port 0 first and
+// then distribute the real addresses.
+func (t *TCP) SetAddrs(addrs []string) error {
+	if len(addrs) != len(t.addrs) {
+		return fmt.Errorf("transport: address table has %d entries, need %d", len(addrs), len(t.addrs))
+	}
+	t.cmu.Lock()
+	defer t.cmu.Unlock()
+	for _, tc := range t.conns {
+		if tc != nil {
+			return fmt.Errorf("transport: cannot replace address table after connecting")
+		}
+	}
+	copy(t.addrs, addrs)
+	return nil
+}
+
+func (t *TCP) Self() int     { return t.self }
+func (t *TCP) NPlaces() int  { return len(t.addrs) }
+func (t *TCP) Stats() *Stats { return &t.stats }
+
+func (t *TCP) Handle(kind uint8, h Handler) {
+	t.hmu.Lock()
+	t.handlers[kind] = h
+	t.hmu.Unlock()
+}
+
+func (t *TCP) handler(kind uint8) Handler {
+	t.hmu.RLock()
+	h := t.handlers[kind]
+	t.hmu.RUnlock()
+	return h
+}
+
+func (t *TCP) Alive(p int) bool {
+	return p >= 0 && p < len(t.addrs) && !t.dead[p].Load()
+}
+
+// MarkDead records that peer p has failed without waiting for a connection
+// error; used when failure is learned out of band (e.g. a control message).
+func (t *TCP) MarkDead(p int) {
+	if p >= 0 && p < len(t.dead) {
+		t.dead[p].Store(true)
+	}
+}
+
+func (t *TCP) accept() {
+	for {
+		c, err := t.ln.Accept()
+		if err != nil {
+			select {
+			case <-t.closed:
+				return
+			default:
+			}
+			return
+		}
+		t.cmu.Lock()
+		t.accepted[c] = struct{}{}
+		t.cmu.Unlock()
+		go t.readLoop(c, -1)
+	}
+}
+
+// conn returns an established connection to peer p, dialing if needed.
+// Until a peer has been reached once, dial failures are retried within the
+// startup grace window (the peer's process may simply not be listening
+// yet); after first contact, a failed re-dial means the peer died.
+func (t *TCP) conn(p int) (*tcpConn, error) {
+	if !t.Alive(p) {
+		return nil, ErrDeadPlace
+	}
+	t.cmu.Lock()
+	defer t.cmu.Unlock()
+	if tc := t.conns[p]; tc != nil {
+		return tc, nil
+	}
+	deadline := time.Now().Add(t.dialTimeout)
+	for {
+		c, err := net.DialTimeout("tcp", t.addrs[p], 500*time.Millisecond)
+		if err == nil {
+			t.connected[p].Store(true)
+			tc := &tcpConn{c: c}
+			t.conns[p] = tc
+			go t.readLoop(c, p)
+			return tc, nil
+		}
+		if t.connected[p].Load() || time.Now().After(deadline) {
+			t.dead[p].Store(true)
+			return nil, ErrDeadPlace
+		}
+		select {
+		case <-t.closed:
+			return nil, ErrClosed
+		case <-time.After(100 * time.Millisecond):
+		}
+	}
+}
+
+func (t *TCP) dropConn(p int) {
+	t.cmu.Lock()
+	if tc := t.conns[p]; tc != nil {
+		tc.c.Close()
+		t.conns[p] = nil
+	}
+	t.cmu.Unlock()
+	t.dead[p].Store(true)
+}
+
+func writeFrame(w io.Writer, kind, flags uint8, from int, seq uint64, payload []byte) error {
+	var hdr [frameHeaderLen]byte
+	hdr[0] = kind
+	hdr[1] = flags
+	binary.LittleEndian.PutUint32(hdr[2:6], uint32(from))
+	binary.LittleEndian.PutUint64(hdr[6:14], seq)
+	binary.LittleEndian.PutUint32(hdr[14:18], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[18:22], crc32.ChecksumIEEE(payload))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if len(payload) > 0 {
+		if _, err := w.Write(payload); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func readFrame(r io.Reader) (kind, flags uint8, from int, seq uint64, payload []byte, err error) {
+	var hdr [frameHeaderLen]byte
+	if _, err = io.ReadFull(r, hdr[:]); err != nil {
+		return
+	}
+	kind = hdr[0]
+	flags = hdr[1]
+	from = int(binary.LittleEndian.Uint32(hdr[2:6]))
+	seq = binary.LittleEndian.Uint64(hdr[6:14])
+	n := binary.LittleEndian.Uint32(hdr[14:18])
+	sum := binary.LittleEndian.Uint32(hdr[18:22])
+	if n > maxFrameLen {
+		err = fmt.Errorf("transport: frame too large (%d bytes)", n)
+		return
+	}
+	if n > 0 {
+		payload = make([]byte, n)
+		if _, err = io.ReadFull(r, payload); err != nil {
+			return
+		}
+	}
+	if crc32.ChecksumIEEE(payload) != sum {
+		err = fmt.Errorf("transport: frame checksum mismatch (kind %d, %d bytes)", kind, n)
+	}
+	return
+}
+
+func (t *TCP) send(p int, kind, flags uint8, seq uint64, payload []byte) error {
+	tc, err := t.conn(p)
+	if err != nil {
+		return err
+	}
+	tc.mu.Lock()
+	err = writeFrame(tc.c, kind, flags, t.self, seq, payload)
+	tc.mu.Unlock()
+	if err != nil {
+		t.dropConn(p)
+		return ErrDeadPlace
+	}
+	return nil
+}
+
+// Send delivers a one-way message.
+func (t *TCP) Send(to int, kind uint8, payload []byte) error {
+	select {
+	case <-t.closed:
+		return ErrClosed
+	default:
+	}
+	if err := t.send(to, kind, 0, 0, payload); err != nil {
+		return err
+	}
+	t.stats.SendsOut.Add(1)
+	t.stats.BytesOut.Add(int64(len(payload)))
+	return nil
+}
+
+// Call sends a request and blocks until the matching response arrives or
+// the peer fails.
+func (t *TCP) Call(to int, kind uint8, payload []byte) ([]byte, error) {
+	select {
+	case <-t.closed:
+		return nil, ErrClosed
+	default:
+	}
+	seq := t.seq.Add(1)
+	ch := make(chan tcpReply, 1)
+	t.pmu.Lock()
+	t.pending[seq] = ch
+	t.pmu.Unlock()
+	defer func() {
+		t.pmu.Lock()
+		delete(t.pending, seq)
+		t.pmu.Unlock()
+	}()
+
+	if err := t.send(to, kind, 0|flagRequestMarker, seq, payload); err != nil {
+		return nil, err
+	}
+	t.stats.CallsOut.Add(1)
+	t.stats.BytesOut.Add(int64(len(payload)))
+
+	// Poll for peer death so a request to a crashing place cannot hang.
+	tick := time.NewTicker(50 * time.Millisecond)
+	defer tick.Stop()
+	for {
+		select {
+		case r := <-ch:
+			if r.err != nil {
+				return nil, r.err
+			}
+			t.stats.RepliesIn.Add(1)
+			return r.payload, nil
+		case <-tick.C:
+			if !t.Alive(to) {
+				return nil, ErrDeadPlace
+			}
+		case <-t.closed:
+			return nil, ErrClosed
+		}
+	}
+}
+
+// flagRequestMarker distinguishes Call requests (which need a response)
+// from Send traffic on the wire.
+const flagRequestMarker = 1 << 2
+
+// readLoop drains one connection. peer is the place at the other end when
+// known at dial time (-1 for accepted connections, learned from frames).
+//
+// Places are fail-stop (the paper's model, like X10's socket runtime), so
+// an established connection breaking means the peer died — unless this
+// endpoint is itself shutting down. Marking the peer dead here is what
+// unblocks Calls already waiting on a reply from it: nothing else would
+// ever fail them if no new message happens to target that peer.
+func (t *TCP) readLoop(c net.Conn, peer int) {
+	defer func() {
+		c.Close()
+		t.cmu.Lock()
+		delete(t.accepted, c)
+		if peer >= 0 {
+			if tc := t.conns[peer]; tc != nil && tc.c == c {
+				t.conns[peer] = nil
+			}
+		}
+		t.cmu.Unlock()
+		select {
+		case <-t.closed: // our own shutdown, not the peer's death
+		default:
+			if peer >= 0 {
+				t.dead[peer].Store(true)
+			}
+		}
+	}()
+	for {
+		kind, flags, from, seq, payload, err := readFrame(c)
+		if err != nil {
+			return
+		}
+		if peer < 0 {
+			peer = from
+		}
+		switch {
+		case flags&flagResponse != 0:
+			t.pmu.Lock()
+			ch := t.pending[seq]
+			t.pmu.Unlock()
+			if ch != nil {
+				r := tcpReply{payload: payload}
+				if flags&flagError != 0 {
+					r.payload = nil
+					r.err = decodeWireError(payload)
+				}
+				select {
+				case ch <- r:
+				default:
+				}
+			}
+		case flags&flagRequestMarker != 0:
+			t.stats.MsgsIn.Add(1)
+			t.stats.BytesIn.Add(int64(len(payload)))
+			go t.serve(from, kind, seq, payload)
+		default:
+			t.stats.MsgsIn.Add(1)
+			t.stats.BytesIn.Add(int64(len(payload)))
+			if h := t.handler(kind); h != nil {
+				go h(from, payload)
+			}
+		}
+	}
+}
+
+func (t *TCP) serve(from int, kind uint8, seq uint64, payload []byte) {
+	h := t.handler(kind)
+	var reply []byte
+	var err error
+	if h == nil {
+		err = ErrNoHandler
+	} else {
+		reply, err = h(from, payload)
+	}
+	flags := uint8(flagResponse)
+	if err != nil {
+		flags |= flagError
+		reply = encodeWireError(err)
+	}
+	t.send(from, 0, flags, seq, reply) //nolint:errcheck // peer gone: nothing to do
+}
+
+// Wire errors preserve ErrDeadPlace identity across the connection so the
+// engine's recovery trigger works in multi-process mode too.
+func encodeWireError(err error) []byte {
+	if err == ErrDeadPlace {
+		return []byte("\x01" + err.Error())
+	}
+	return []byte("\x00" + err.Error())
+}
+
+func decodeWireError(b []byte) error {
+	if len(b) == 0 {
+		return fmt.Errorf("transport: remote error")
+	}
+	if b[0] == 1 {
+		return ErrDeadPlace
+	}
+	return fmt.Errorf("transport: remote error: %s", b[1:])
+}
+
+// Close shuts the endpoint down and drops all connections.
+func (t *TCP) Close() error {
+	t.closeOnce.Do(func() {
+		close(t.closed)
+		t.ln.Close()
+		t.cmu.Lock()
+		for i, tc := range t.conns {
+			if tc != nil {
+				tc.c.Close()
+				t.conns[i] = nil
+			}
+		}
+		for c := range t.accepted {
+			c.Close()
+		}
+		t.accepted = make(map[net.Conn]struct{})
+		t.cmu.Unlock()
+	})
+	return nil
+}

@@ -1,0 +1,109 @@
+// Package vcache implements the per-worker cache of remotely fetched
+// vertices (paper §VI-C).
+//
+// To cut data-transmission overhead, each DPX10 worker keeps a cache of
+// recently transferred vertex values. Following the paper, the cache is a
+// static (fixed-capacity) array with FIFO replacement — DP DAGs are
+// regular, so a vertex is typically needed only within a short window and
+// recency-tracking buys little over plain FIFO.
+package vcache
+
+import (
+	"sync"
+
+	"github.com/dpx10/dpx10/internal/dag"
+)
+
+// Cache is a fixed-capacity FIFO map from vertex id to value. A capacity
+// of zero disables caching (every lookup misses), matching the paper's
+// overhead experiment where "the cache list was not used". Safe for
+// concurrent use by a place's worker pool.
+type Cache[T any] struct {
+	mu      sync.Mutex
+	slots   []entry[T]
+	index   map[dag.VertexID]int
+	next    int // next slot to overwrite (FIFO hand)
+	hits    int64
+	misses  int64
+	evicted int64
+}
+
+type entry[T any] struct {
+	id    dag.VertexID
+	value T
+	used  bool
+}
+
+// New creates a cache holding up to capacity entries.
+func New[T any](capacity int) *Cache[T] {
+	if capacity < 0 {
+		capacity = 0
+	}
+	return &Cache[T]{
+		slots: make([]entry[T], capacity),
+		index: make(map[dag.VertexID]int, capacity),
+	}
+}
+
+// Cap returns the configured capacity.
+func (c *Cache[T]) Cap() int { return len(c.slots) }
+
+// Get returns the cached value for id, if present.
+func (c *Cache[T]) Get(id dag.VertexID) (T, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if slot, ok := c.index[id]; ok {
+		c.hits++
+		return c.slots[slot].value, true
+	}
+	c.misses++
+	var zero T
+	return zero, false
+}
+
+// Put inserts a value, evicting the oldest entry when full. Re-inserting
+// an existing id refreshes its value in place without consuming a slot.
+func (c *Cache[T]) Put(id dag.VertexID, v T) {
+	if len(c.slots) == 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if slot, ok := c.index[id]; ok {
+		c.slots[slot].value = v
+		return
+	}
+	e := &c.slots[c.next]
+	if e.used {
+		delete(c.index, e.id)
+		c.evicted++
+	}
+	*e = entry[T]{id: id, value: v, used: true}
+	c.index[id] = c.next
+	c.next = (c.next + 1) % len(c.slots)
+}
+
+// Len returns the number of live entries.
+func (c *Cache[T]) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.index)
+}
+
+// Clear drops all entries (used when a recovery invalidates remote state).
+func (c *Cache[T]) Clear() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for i := range c.slots {
+		c.slots[i] = entry[T]{}
+	}
+	c.index = make(map[dag.VertexID]int, len(c.slots))
+	c.next = 0
+}
+
+// Stats returns cumulative hit/miss/eviction counts.
+func (c *Cache[T]) Stats() (hits, misses, evicted int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses, c.evicted
+}

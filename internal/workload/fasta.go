@@ -1,0 +1,56 @@
+package workload
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+)
+
+// ReadFASTA parses the first sequence of a FASTA stream (or, for plain
+// text without a header, the concatenation of all non-empty lines).
+// Whitespace is stripped and letters are uppercased; the sequence content
+// never changes the DAG, so no alphabet check is imposed.
+func ReadFASTA(r io.Reader) (name, seq string, err error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	var sb strings.Builder
+	started := false
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, ">") {
+			if started {
+				break // next record: first sequence is complete
+			}
+			name = strings.TrimSpace(line[1:])
+			started = true
+			continue
+		}
+		if strings.HasPrefix(line, ";") {
+			continue // legacy FASTA comment
+		}
+		started = true
+		sb.WriteString(strings.ToUpper(line))
+	}
+	if err := sc.Err(); err != nil {
+		return "", "", fmt.Errorf("workload: reading sequence: %w", err)
+	}
+	if sb.Len() == 0 {
+		return "", "", fmt.Errorf("workload: no sequence data found")
+	}
+	return name, sb.String(), nil
+}
+
+// ReadFASTAFile reads the first sequence of a FASTA (or plain text) file.
+func ReadFASTAFile(path string) (name, seq string, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return "", "", err
+	}
+	defer f.Close()
+	return ReadFASTA(f)
+}

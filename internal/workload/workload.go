@@ -1,0 +1,103 @@
+// Package workload generates the deterministic synthetic inputs used by
+// the test suite and the benchmark harness.
+//
+// The paper evaluates on sized inputs whose content is irrelevant to the
+// DAG structure (sequences for alignment, edge weights for Manhattan
+// Tourists, item weights/values for knapsack). These generators are
+// seeded and pure, so a run is reproducible bit-for-bit and the serial
+// references compute over exactly the same data as the distributed runs.
+package workload
+
+import "math/rand"
+
+// DNA is the nucleotide alphabet used by the alignment workloads.
+const DNA = "ACGT"
+
+// Sequence returns a pseudo-random string of length n over alphabet.
+func Sequence(n int, alphabet string, seed int64) string {
+	if n <= 0 {
+		return ""
+	}
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = alphabet[rng.Intn(len(alphabet))]
+	}
+	return string(out)
+}
+
+// Ints returns n pseudo-random int32 values in [1, maxVal].
+func Ints(n int, maxVal int32, seed int64) []int32 {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]int32, n)
+	for i := range out {
+		out[i] = rng.Int31n(maxVal) + 1
+	}
+	return out
+}
+
+// splitmix64 is a strong 64-bit mixer; it lets grid-sized weight functions
+// be pure functions of coordinates instead of materialized arrays.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Hash2 mixes a coordinate pair and a seed into a uniform uint64.
+func Hash2(i, j int32, seed int64) uint64 {
+	return splitmix64(uint64(seed)<<32 ^ uint64(uint32(i))<<32 ^ uint64(uint32(j)))
+}
+
+// Spin burns approximately n iterations of integer work and returns a
+// value that depends on them, preventing dead-code elimination. The
+// overhead experiment uses it to dial the per-cell compute cost up to the
+// level of the paper's X10 runtime (where each activity costs on the
+// order of a microsecond).
+func Spin(n int) uint64 {
+	x := uint64(n) | 1
+	for k := 0; k < n; k++ {
+		x = splitmix64(x)
+	}
+	return x
+}
+
+// EdgeWeight is a deterministic weight in [0, maxW) for the grid edge
+// from (i1,j1) to (i2,j2) — the w(i1,j1,i2,j2) of the Manhattan Tourists
+// recurrence, computable at any scale without storing the grid.
+func EdgeWeight(i1, j1, i2, j2 int32, maxW int64, seed int64) int64 {
+	h := splitmix64(Hash2(i1, j1, seed) ^ Hash2(i2, j2, ^seed))
+	return int64(h % uint64(maxW))
+}
+
+// Mutate returns a copy of seq with approximately rate×len point
+// mutations (substitutions, single-character insertions and deletions in
+// equal proportion), deterministic in seed. Alignment demos use it to
+// derive realistically similar sequence pairs, which produce long local
+// alignments instead of the short matches two independent random
+// sequences share.
+func Mutate(seq, alphabet string, rate float64, seed int64) string {
+	if rate <= 0 || len(seq) == 0 {
+		return seq
+	}
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]byte, 0, len(seq)+8)
+	for k := 0; k < len(seq); k++ {
+		if rng.Float64() >= rate {
+			out = append(out, seq[k])
+			continue
+		}
+		switch rng.Intn(3) {
+		case 0: // substitution
+			out = append(out, alphabet[rng.Intn(len(alphabet))])
+		case 1: // insertion
+			out = append(out, alphabet[rng.Intn(len(alphabet))], seq[k])
+		default: // deletion: skip the character
+		}
+	}
+	if len(out) == 0 {
+		return string(seq[0])
+	}
+	return string(out)
+}

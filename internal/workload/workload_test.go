@@ -1,0 +1,168 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSequenceDeterministic(t *testing.T) {
+	a := Sequence(100, DNA, 7)
+	b := Sequence(100, DNA, 7)
+	if a != b {
+		t.Fatal("same seed produced different sequences")
+	}
+	if c := Sequence(100, DNA, 8); c == a {
+		t.Fatal("different seeds produced identical sequences")
+	}
+	if len(a) != 100 {
+		t.Fatalf("len = %d", len(a))
+	}
+	for _, ch := range a {
+		if !strings.ContainsRune(DNA, ch) {
+			t.Fatalf("character %q outside alphabet", ch)
+		}
+	}
+	if Sequence(0, DNA, 1) != "" || Sequence(-3, DNA, 1) != "" {
+		t.Fatal("non-positive length should give empty string")
+	}
+}
+
+func TestIntsRange(t *testing.T) {
+	vals := Ints(500, 10, 3)
+	if len(vals) != 500 {
+		t.Fatalf("len = %d", len(vals))
+	}
+	seen := map[int32]bool{}
+	for _, v := range vals {
+		if v < 1 || v > 10 {
+			t.Fatalf("value %d out of [1,10]", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) < 5 {
+		t.Fatalf("only %d distinct values in 500 draws", len(seen))
+	}
+}
+
+func TestEdgeWeightProperties(t *testing.T) {
+	// Deterministic, bounded, and not constant.
+	w1 := EdgeWeight(1, 2, 1, 3, 100, 42)
+	if w2 := EdgeWeight(1, 2, 1, 3, 100, 42); w1 != w2 {
+		t.Fatal("EdgeWeight not deterministic")
+	}
+	distinct := map[int64]bool{}
+	for i := int32(0); i < 20; i++ {
+		for j := int32(0); j < 20; j++ {
+			w := EdgeWeight(i, j, i+1, j, 100, 42)
+			if w < 0 || w >= 100 {
+				t.Fatalf("weight %d out of [0,100)", w)
+			}
+			distinct[w] = true
+		}
+	}
+	if len(distinct) < 30 {
+		t.Fatalf("weights look degenerate: %d distinct of 400", len(distinct))
+	}
+	if EdgeWeight(1, 2, 1, 3, 100, 42) == EdgeWeight(1, 2, 1, 3, 100, 43) &&
+		EdgeWeight(5, 5, 6, 5, 100, 42) == EdgeWeight(5, 5, 6, 5, 100, 43) {
+		t.Fatal("seed has no effect on weights")
+	}
+}
+
+func TestHash2Spread(t *testing.T) {
+	seen := map[uint64]bool{}
+	for i := int32(0); i < 64; i++ {
+		for j := int32(0); j < 64; j++ {
+			seen[Hash2(i, j, 1)] = true
+		}
+	}
+	if len(seen) != 64*64 {
+		t.Fatalf("Hash2 collisions: %d distinct of %d", len(seen), 64*64)
+	}
+}
+
+func TestReadFASTA(t *testing.T) {
+	in := strings.NewReader(`>seq1 human sample
+ACGT
+acgt
+
+>seq2 ignored
+TTTT
+`)
+	name, seq, err := ReadFASTA(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name != "seq1 human sample" {
+		t.Fatalf("name = %q", name)
+	}
+	if seq != "ACGTACGT" {
+		t.Fatalf("seq = %q", seq)
+	}
+}
+
+func TestReadFASTAPlainText(t *testing.T) {
+	name, seq, err := ReadFASTA(strings.NewReader("acgt\ngatt\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name != "" || seq != "ACGTGATT" {
+		t.Fatalf("got (%q, %q)", name, seq)
+	}
+}
+
+func TestReadFASTAEmpty(t *testing.T) {
+	if _, _, err := ReadFASTA(strings.NewReader(">header only\n")); err == nil {
+		t.Fatal("empty sequence accepted")
+	}
+	if _, _, err := ReadFASTA(strings.NewReader("")); err == nil {
+		t.Fatal("empty stream accepted")
+	}
+}
+
+func TestReadFASTAComments(t *testing.T) {
+	_, seq, err := ReadFASTA(strings.NewReader("; legacy comment\nAC\n;mid\nGT\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq != "ACGT" {
+		t.Fatalf("seq = %q", seq)
+	}
+}
+
+func TestMutate(t *testing.T) {
+	seq := Sequence(400, DNA, 1)
+	mut := Mutate(seq, DNA, 0.1, 2)
+	if mut == seq {
+		t.Fatal("10% mutation changed nothing")
+	}
+	if Mutate(seq, DNA, 0.1, 2) != mut {
+		t.Fatal("Mutate not deterministic")
+	}
+	if Mutate(seq, DNA, 0, 2) != seq {
+		t.Fatal("zero rate must be identity")
+	}
+	// Length stays in the same ballpark (ins/del balance).
+	if len(mut) < 300 || len(mut) > 500 {
+		t.Fatalf("mutated length %d drifted too far from 400", len(mut))
+	}
+	// High similarity: the LCS-like shared content should dominate.
+	same := 0
+	for k := 0; k < len(seq) && k < len(mut); k++ {
+		if seq[k] == mut[k] {
+			same++
+		}
+	}
+	if same < len(seq)/4 {
+		t.Fatalf("mutant shares only %d/%d positions; mutation too destructive", same, len(seq))
+	}
+}
+
+func TestMutateEmptyAndTiny(t *testing.T) {
+	if Mutate("", DNA, 0.5, 1) != "" {
+		t.Fatal("empty input changed")
+	}
+	if got := Mutate("A", DNA, 1.0, 1); got == "" {
+		t.Fatal("mutation erased the entire sequence")
+	}
+}

@@ -1,0 +1,186 @@
+package dpx10
+
+import (
+	"github.com/dpx10/dpx10/internal/core"
+	"github.com/dpx10/dpx10/internal/dist"
+	"github.com/dpx10/dpx10/internal/distarray"
+	"github.com/dpx10/dpx10/internal/sched"
+	"github.com/dpx10/dpx10/internal/trace"
+)
+
+// Option configures a run. Options are generic in the vertex value type so
+// that value-typed settings (codec, snapshot store) stay type-safe.
+type Option[T any] func(*core.Config[T])
+
+// Places sets the number of places — X10_NPLACES (default 1).
+func Places[T any](n int) Option[T] {
+	return func(c *core.Config[T]) { c.Places = n }
+}
+
+// Threads sets the per-place worker pool width — X10_NTHREADS (default 2).
+func Threads[T any](n int) Option[T] {
+	return func(c *core.Config[T]) { c.Threads = n }
+}
+
+// Strategy selects the vertex scheduling policy (paper §VI-C).
+type Strategy = sched.Strategy
+
+// Scheduling strategies.
+const (
+	LocalScheduling   = sched.Local
+	RandomScheduling  = sched.Random
+	MinCommScheduling = sched.MinComm
+	// StealScheduling keeps execution owner-local but lets idle workers
+	// pull ready vertices from busy places — this repository's extension
+	// in the direction of the work-stealing schedulers the paper cites.
+	StealScheduling = sched.Steal
+)
+
+// WithStrategy sets the scheduling strategy (default local).
+func WithStrategy[T any](s Strategy) Option[T] {
+	return func(c *core.Config[T]) { c.Strategy = s }
+}
+
+// CacheSize sets the per-place remote-vertex cache capacity in entries;
+// 0 disables the cache (paper §VI-E "Cache size").
+func CacheSize[T any](entries int) Option[T] {
+	return func(c *core.Config[T]) { c.CacheSize = entries }
+}
+
+// RestoreRemote makes recovery copy finished vertices to their new owners
+// instead of recomputing them — the paper's §VI-E "Restore manner" switch
+// for computations that cost more than communication.
+func RestoreRemote[T any]() Option[T] {
+	return func(c *core.Config[T]) { c.RestoreRemote = true }
+}
+
+// WithCodec overrides the value codec (default: gob; use the fixed-width
+// scalar codecs or a custom implementation on hot paths).
+func WithCodec[T any](cd Codec[T]) Option[T] {
+	return func(c *core.Config[T]) { c.Codec = cd }
+}
+
+// DistKind names a built-in distribution of the DAG over places
+// (paper §VI-E "Distribution of DAG").
+type DistKind string
+
+// Built-in distributions.
+const (
+	BlockRowDist  DistKind = "blockrow"
+	BlockColDist  DistKind = "blockcol"
+	CyclicRowDist DistKind = "cyclicrow"
+	CyclicColDist DistKind = "cycliccol"
+)
+
+// WithDist selects a built-in distribution (default BlockRowDist, the
+// paper's "divided by the row" layout).
+func WithDist[T any](kind DistKind) Option[T] {
+	return func(c *core.Config[T]) {
+		switch kind {
+		case BlockColDist:
+			c.NewDist = func(h, w int32, n int) dist.Dist { return dist.NewBlockCol(h, w, n) }
+		case CyclicRowDist:
+			c.NewDist = func(h, w int32, n int) dist.Dist { return dist.NewCyclicRow(h, w, n) }
+		case CyclicColDist:
+			c.NewDist = func(h, w int32, n int) dist.Dist { return dist.NewCyclicCol(h, w, n) }
+		default:
+			c.NewDist = func(h, w int32, n int) dist.Dist { return dist.NewBlockRow(h, w, n) }
+		}
+	}
+}
+
+// WithBlockCyclicDist deals fixed-size row blocks round-robin — the HPC
+// compromise between BlockRow's locality and CyclicRow's wavefront
+// balance.
+func WithBlockCyclicDist[T any](blockRows int32) Option[T] {
+	return func(c *core.Config[T]) {
+		c.NewDist = func(h, w int32, n int) dist.Dist {
+			return dist.NewBlockCyclicRow(h, w, blockRows, n)
+		}
+	}
+}
+
+// WithBlock2DDist tiles the matrix into a pr×pc grid of blocks; the run
+// must use exactly pr*pc places. Shorter per-place borders in both
+// directions lower communication for diagonal-dependency patterns.
+func WithBlock2DDist[T any](pr, pc int) Option[T] {
+	return func(c *core.Config[T]) {
+		c.NewDist = func(h, w int32, n int) dist.Dist {
+			return dist.NewBlock2D(h, w, pr, pc)
+		}
+	}
+}
+
+// WithCustomDist installs a user-supplied cell→place mapping, the
+// fully-flexible form of the paper's Dist refinement. fn must map every
+// cell to a place in [0, places).
+func WithCustomDist[T any](fn func(i, j int32, places int) int) Option[T] {
+	return func(c *core.Config[T]) {
+		c.NewDist = func(h, w int32, n int) dist.Dist {
+			ps := make([]int, n)
+			for k := range ps {
+				ps[k] = k
+			}
+			d, err := dist.NewFunc(h, w, ps, func(i, j int32) int { return fn(i, j, n) })
+			if err != nil {
+				panic(err) // surfaced as a cluster construction failure in tests
+			}
+			return d
+		}
+	}
+}
+
+// SnapshotStore is the stable store behind the periodic-snapshot recovery
+// baseline (X10's ResilientDistArray), exposed for the ablation benchmark.
+type SnapshotStore[T any] = distarray.SnapshotStore[T]
+
+// NewSnapshotStore creates a snapshot store; valueSize is the modeled
+// encoded width of one vertex value.
+func NewSnapshotStore[T any](valueSize int) *SnapshotStore[T] {
+	return distarray.NewSnapshotStore[T](valueSize)
+}
+
+// WithSnapshotRecovery switches recovery to the periodic-snapshot
+// baseline: every place saves its finished vertices to store every
+// `every` completions, and recovery restores from the store instead of
+// redistributing survivor state.
+func WithSnapshotRecovery[T any](store *SnapshotStore[T], every int64) Option[T] {
+	return func(c *core.Config[T]) {
+		c.Recovery = core.RecoverSnapshot
+		c.Snapshot = store
+		c.SnapshotEvery = every
+	}
+}
+
+// Trace collects per-place telemetry from a run: busy time, vertices
+// executed per place, fetch-wait time, utilization and load imbalance.
+type Trace = trace.Collector
+
+// NewTrace creates a collector for `places` places keeping up to
+// maxEvents timeline events.
+func NewTrace(places, maxEvents int) *Trace { return trace.New(places, maxEvents) }
+
+// WithTrace attaches a telemetry collector to the run.
+func WithTrace[T any](tr *Trace) Option[T] {
+	return func(c *core.Config[T]) { c.Trace = tr }
+}
+
+// WithSpill keeps vertex values in a paged disk-backed store instead of
+// RAM — the paper's §X future work for problems larger than memory.
+// pageVals values per page, residentPages pages kept in RAM per place;
+// zero values select the defaults (4096 and 64). dir is the scratch
+// directory ("" = the OS temp dir).
+func WithSpill[T any](dir string, pageVals, residentPages int) Option[T] {
+	return func(c *core.Config[T]) {
+		c.Spill = &core.SpillConfig{Dir: dir, PageVals: pageVals, ResidentPages: residentPages}
+	}
+}
+
+// WithSnapshotOverheadOnly keeps the paper's recovery mechanism but also
+// writes periodic snapshots, to measure the baseline's fault-free cost.
+func WithSnapshotOverheadOnly[T any](store *SnapshotStore[T], every int64) Option[T] {
+	return func(c *core.Config[T]) {
+		c.Snapshot = store
+		c.SnapshotEvery = every
+	}
+}

@@ -1,0 +1,179 @@
+package dpx10
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Result persistence: a completed Dag can be written to a stream and read
+// back later without the runtime — the natural continuation of the
+// paper's appFinished() stage for pipelines that post-process results
+// (backtracking, visualization) in a separate step or process.
+//
+// Format (little-endian):
+//
+//	magic   "DPXR" + version byte 1
+//	height  uint32
+//	width   uint32
+//	bitmap  ceil(h*w/8) bytes, row-major finished flags
+//	values  finished cells only, row-major, encoded with the codec
+
+var resultMagic = [5]byte{'D', 'P', 'X', 'R', 1}
+
+// Save writes the completed computation to w using cd for the values.
+func (d *Dag[T]) Save(w io.Writer, cd Codec[T]) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(resultMagic[:]); err != nil {
+		return err
+	}
+	h, wd := d.Height(), d.Width()
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(h))
+	binary.LittleEndian.PutUint32(hdr[4:8], uint32(wd))
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return err
+	}
+	cells := int64(h) * int64(wd)
+	bitmap := make([]byte, (cells+7)/8)
+	var lin int64
+	for i := int32(0); i < h; i++ {
+		for j := int32(0); j < wd; j++ {
+			if d.Finished(i, j) {
+				bitmap[lin/8] |= 1 << uint(lin%8)
+			}
+			lin++
+		}
+	}
+	if _, err := bw.Write(bitmap); err != nil {
+		return err
+	}
+	buf := make([]byte, 0, 64)
+	lin = 0
+	for i := int32(0); i < h; i++ {
+		for j := int32(0); j < wd; j++ {
+			if bitmap[lin/8]&(1<<uint(lin%8)) != 0 {
+				buf = cd.Encode(buf[:0], d.Result(i, j))
+				if _, err := bw.Write(buf); err != nil {
+					return err
+				}
+			}
+			lin++
+		}
+	}
+	return bw.Flush()
+}
+
+// SaveFile writes the completed computation to path.
+func (d *Dag[T]) SaveFile(path string, cd Codec[T]) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := d.Save(f, cd); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// SavedResult is a loaded computation result: the same read interface as
+// Dag, with no runtime behind it.
+type SavedResult[T any] struct {
+	h, w     int32
+	finished []byte
+	values   []T // dense h*w; zero where unfinished
+}
+
+// Height returns the number of rows.
+func (r *SavedResult[T]) Height() int32 { return r.h }
+
+// Width returns the number of columns.
+func (r *SavedResult[T]) Width() int32 { return r.w }
+
+func (r *SavedResult[T]) lin(i, j int32) int64 {
+	if i < 0 || i >= r.h || j < 0 || j >= r.w {
+		panic(fmt.Sprintf("dpx10: cell (%d,%d) out of %dx%d", i, j, r.h, r.w))
+	}
+	return int64(i)*int64(r.w) + int64(j)
+}
+
+// Finished reports whether cell (i,j) held a computed value when saved.
+func (r *SavedResult[T]) Finished(i, j int32) bool {
+	l := r.lin(i, j)
+	return r.finished[l/8]&(1<<uint(l%8)) != 0
+}
+
+// Result returns the saved value of cell (i,j).
+func (r *SavedResult[T]) Result(i, j int32) T { return r.values[r.lin(i, j)] }
+
+// LoadResult reads a result stream written by Save.
+func LoadResult[T any](rd io.Reader, cd Codec[T]) (*SavedResult[T], error) {
+	br := bufio.NewReader(rd)
+	var magic [5]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("dpx10: result header: %w", err)
+	}
+	if magic != resultMagic {
+		return nil, fmt.Errorf("dpx10: not a DPX10 result stream (magic %q)", magic[:4])
+	}
+	var hdr [8]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("dpx10: result header: %w", err)
+	}
+	h := int32(binary.LittleEndian.Uint32(hdr[0:4]))
+	w := int32(binary.LittleEndian.Uint32(hdr[4:8]))
+	if h <= 0 || w <= 0 || int64(h)*int64(w) > 1<<34 {
+		return nil, fmt.Errorf("dpx10: implausible result bounds %dx%d", h, w)
+	}
+	cells := int64(h) * int64(w)
+	out := &SavedResult[T]{
+		h: h, w: w,
+		finished: make([]byte, (cells+7)/8),
+		values:   make([]T, cells),
+	}
+	if _, err := io.ReadFull(br, out.finished); err != nil {
+		return nil, fmt.Errorf("dpx10: result bitmap: %w", err)
+	}
+	// Decode finished values in order. Values may span reads, so buffer
+	// incrementally: read chunks and decode greedily.
+	var pending []byte
+	var lin int64
+	readMore := func() error {
+		chunk := make([]byte, 4096)
+		n, err := br.Read(chunk)
+		if n > 0 {
+			pending = append(pending, chunk[:n]...)
+		}
+		return err
+	}
+	for lin = 0; lin < cells; lin++ {
+		if out.finished[lin/8]&(1<<uint(lin%8)) == 0 {
+			continue
+		}
+		for {
+			v, used, derr := cd.Decode(pending)
+			if derr == nil {
+				out.values[lin] = v
+				pending = pending[used:]
+				break
+			}
+			if rerr := readMore(); rerr != nil {
+				return nil, fmt.Errorf("dpx10: result truncated at cell %d: %w", lin, rerr)
+			}
+		}
+	}
+	return out, nil
+}
+
+// LoadResultFile reads a result file written by SaveFile.
+func LoadResultFile[T any](path string, cd Codec[T]) (*SavedResult[T], error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return LoadResult[T](f, cd)
+}

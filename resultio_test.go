@@ -1,0 +1,131 @@
+package dpx10_test
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/dpx10/dpx10"
+)
+
+func runSmallSW(t *testing.T) (*dpx10.Dag[int32], *swApp) {
+	t.Helper()
+	app := &swApp{a: "GATTACAGATTACA", b: "CATACGATTAC"}
+	dag, err := dpx10.Run[int32](app, dpx10.DiagonalPattern(int32(len(app.a)+1), int32(len(app.b)+1)),
+		dpx10.Places[int32](3), dpx10.WithCodec[int32](dpx10.Int32Codec{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dag, app
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	dag, _ := runSmallSW(t)
+	var buf bytes.Buffer
+	if err := dag.Save(&buf, dpx10.Int32Codec{}); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	loaded, err := dpx10.LoadResult[int32](&buf, dpx10.Int32Codec{})
+	if err != nil {
+		t.Fatalf("LoadResult: %v", err)
+	}
+	if loaded.Height() != dag.Height() || loaded.Width() != dag.Width() {
+		t.Fatalf("bounds %dx%d != %dx%d", loaded.Height(), loaded.Width(), dag.Height(), dag.Width())
+	}
+	for i := int32(0); i < dag.Height(); i++ {
+		for j := int32(0); j < dag.Width(); j++ {
+			if loaded.Finished(i, j) != dag.Finished(i, j) {
+				t.Fatalf("finished(%d,%d) differs", i, j)
+			}
+			if loaded.Result(i, j) != dag.Result(i, j) {
+				t.Fatalf("result(%d,%d) = %d, want %d", i, j, loaded.Result(i, j), dag.Result(i, j))
+			}
+		}
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	dag, _ := runSmallSW(t)
+	path := filepath.Join(t.TempDir(), "result.dpxr")
+	if err := dag.SaveFile(path, dpx10.Int32Codec{}); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := dpx10.LoadResultFile[int32](path, dpx10.Int32Codec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Result(3, 3) != dag.Result(3, 3) {
+		t.Fatal("file round trip mismatch")
+	}
+}
+
+func TestSaveLoadSparsePattern(t *testing.T) {
+	// Interval pattern: the lower triangle is inactive (finished, zero).
+	app := &lpsLike{s: "ABACABADAB"}
+	dag, err := dpx10.Run[int32](app, dpx10.IntervalPattern(int32(len(app.s))),
+		dpx10.Places[int32](2), dpx10.WithCodec[int32](dpx10.Int32Codec{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := dag.Save(&buf, dpx10.Int32Codec{}); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := dpx10.LoadResult[int32](&buf, dpx10.Int32Codec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := int32(len(app.s))
+	if got := loaded.Result(0, n-1); got != dag.Result(0, n-1) {
+		t.Fatalf("answer cell = %d, want %d", got, dag.Result(0, n-1))
+	}
+	if loaded.Result(n-1, 0) != 0 {
+		t.Fatal("inactive cell not zero after round trip")
+	}
+}
+
+// lpsLike is a tiny LPS app for the sparse save test.
+type lpsLike struct{ s string }
+
+func (l *lpsLike) Compute(i, j int32, deps []dpx10.Cell[int32]) int32 {
+	if i == j {
+		return 1
+	}
+	var best int32
+	for _, d := range deps {
+		v := d.Value
+		if d.ID.I == i+1 && d.ID.J == j-1 && l.s[i] == l.s[j] {
+			v += 2
+		}
+		if v > best {
+			best = v
+		}
+	}
+	return best
+}
+
+func (l *lpsLike) AppFinished(*dpx10.Dag[int32]) {}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := dpx10.LoadResult[int32](strings.NewReader("not a result"), dpx10.Int32Codec{}); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := dpx10.LoadResult[int32](strings.NewReader(""), dpx10.Int32Codec{}); err == nil {
+		t.Fatal("empty stream accepted")
+	}
+}
+
+func TestLoadRejectsTruncation(t *testing.T) {
+	dag, _ := runSmallSW(t)
+	var buf bytes.Buffer
+	if err := dag.Save(&buf, dpx10.Int32Codec{}); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for _, cut := range []int{6, 14, len(full) / 2, len(full) - 1} {
+		if _, err := dpx10.LoadResult[int32](bytes.NewReader(full[:cut]), dpx10.Int32Codec{}); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+}

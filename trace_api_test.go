@@ -1,0 +1,31 @@
+package dpx10_test
+
+import (
+	"testing"
+
+	"github.com/dpx10/dpx10"
+)
+
+func TestTraceCollectsUtilization(t *testing.T) {
+	a, b := "ACGTACGTACGTACGTACGT", "TGCATGCATGCATGCA"
+	app := &swApp{a: a, b: b}
+	tr := dpx10.NewTrace(3, 50)
+	dag, err := dpx10.Run[int32](app, dpx10.DiagonalPattern(int32(len(a)+1), int32(len(b)+1)),
+		dpx10.Places[int32](3), dpx10.WithTrace[int32](tr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total int64
+	for p := 0; p < 3; p++ {
+		total += tr.Vertices(p)
+	}
+	if total != int64(dag.Stats().ComputedCells) {
+		t.Fatalf("trace saw %d vertices, engine computed %d", total, dag.Stats().ComputedCells)
+	}
+	if tr.Imbalance() < 1 {
+		t.Fatalf("imbalance %f < 1", tr.Imbalance())
+	}
+	if len(tr.Events()) == 0 {
+		t.Fatal("no timeline events recorded")
+	}
+}
