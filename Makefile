@@ -1,0 +1,17 @@
+# Convenience targets; the repository is plain `go build`-able.
+
+.PHONY: tier1 test bench fuzz
+
+# The merge gate: build, vet, full tests, race detector on the
+# concurrent packages. Same contract as scripts/tier1.sh.
+tier1:
+	./scripts/tier1.sh
+
+test:
+	go test ./...
+
+bench:
+	go run ./cmd/dpx10-bench -fig all -quick
+
+fuzz:
+	go test ./internal/core/ -run xxx -fuzz FuzzDecodeDecrBatch -fuzztime 30s

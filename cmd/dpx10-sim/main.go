@@ -37,6 +37,8 @@ func main() {
 	fetchBytes := flag.Int64("fetch-bytes", 864, "payload of one dependency transfer")
 	cache := flag.Int("cache", 0, "per-place vertex cache entries")
 	steal := flag.Bool("steal", false, "enable the work-stealing execution model")
+	aggUs := flag.Float64("agg-us", 0, "decrement aggregation window, microseconds (0 = per-vertex messages)")
+	push := flag.Bool("push", false, "piggyback finished values onto aggregated decrements (needs -agg-us and -cache)")
 	faultAt := flag.Float64("fault", -1, "inject one fault at this progress fraction (0..1)")
 	kill := flag.Int("kill", -1, "place to kill at -fault (default: last place)")
 	restore := flag.Bool("restore-remote", false, "recovery copies moved results instead of recomputing")
@@ -73,6 +75,8 @@ func main() {
 			CacheSize:        *cache,
 			RecoveryCellCost: *computeUs * 1e-6 / 5,
 			Steal:            *steal,
+			AggWindow:        *aggUs * 1e-6,
+			ValuePush:        *push,
 		}
 		sim, err := simcluster.New(pat, dist.NewBlockRow(int32(*h), int32(*w), places), model)
 		if err != nil {

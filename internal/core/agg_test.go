@@ -1,0 +1,156 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"github.com/dpx10/dpx10/internal/codec"
+	"github.com/dpx10/dpx10/internal/dag"
+	"github.com/dpx10/dpx10/internal/dag/patterns"
+)
+
+// TestAggregationMatchesReference runs the same patterns with aggregation
+// off, on, and on-without-push: every arm must produce the reference
+// values. The arms share cache capacity so only delivery differs.
+func TestAggregationMatchesReference(t *testing.T) {
+	pats := map[string]dag.Pattern{
+		"diagonal": patterns.NewDiagonal(16, 14),
+		"colwave":  patterns.NewColWave(7, 11),
+		"grid":     patterns.NewGrid(13, 13),
+	}
+	arms := map[string]func(cfg *Config[int64]){
+		"off":      func(cfg *Config[int64]) { cfg.AggDisabled = true },
+		"agg":      func(cfg *Config[int64]) { cfg.PushDisabled = true },
+		"agg+push": func(cfg *Config[int64]) {},
+	}
+	for pname, pat := range pats {
+		for aname, arm := range arms {
+			pat, arm := pat, arm
+			t.Run(pname+"/"+aname, func(t *testing.T) {
+				cfg := baseConfig(pat, 3)
+				cfg.CacheSize = 64
+				arm(&cfg)
+				runAndCheck(t, cfg)
+			})
+		}
+	}
+}
+
+// TestAggregationReducesTraffic is the engine-level version of the agg
+// ablation's acceptance numbers: coalescing must cut outbound one-way
+// messages and value push must cut fetch round-trips, on a pattern with
+// heavy cross-place dependencies.
+func TestAggregationReducesTraffic(t *testing.T) {
+	pat := patterns.NewColWave(8, 24) // every cell needs the whole previous column
+	run := func(mutate func(cfg *Config[int64])) Stats {
+		cfg := baseConfig(pat, 3)
+		cfg.CacheSize = 256
+		mutate(&cfg)
+		cl := runAndCheck(t, cfg)
+		return cl.Stats()
+	}
+	off := run(func(cfg *Config[int64]) { cfg.AggDisabled = true })
+	on := run(func(cfg *Config[int64]) {})
+
+	if off.AggBatches != 0 || off.DecrsCoalesced != 0 || off.ValuesPushed != 0 {
+		t.Fatalf("aggregation disabled but batch stats nonzero: %+v", off)
+	}
+	if on.AggBatches == 0 || on.DecrsCoalesced == 0 {
+		t.Fatalf("aggregation enabled but no batches flushed: %+v", on)
+	}
+	// Coalescing: strictly fewer one-way sends, and batches must actually
+	// carry more than one record on average.
+	if on.SendsOut*2 > off.SendsOut {
+		t.Fatalf("aggregation did not halve one-way sends: %d vs %d", on.SendsOut, off.SendsOut)
+	}
+	if on.DecrsCoalesced < 2*on.AggBatches {
+		t.Fatalf("batches barely coalesce: %d records in %d batches", on.DecrsCoalesced, on.AggBatches)
+	}
+	// Value push: at least half the fetch round-trips must disappear.
+	if off.FetchCalls == 0 {
+		t.Fatal("baseline made no fetch calls on a colwave pattern")
+	}
+	if on.FetchCalls*2 > off.FetchCalls {
+		t.Fatalf("push did not halve fetch calls: %d vs %d", on.FetchCalls, off.FetchCalls)
+	}
+	if on.PushConsumed == 0 || on.PushDeposits == 0 || on.ValuesPushed == 0 {
+		t.Fatalf("push enabled but unused: %+v", on)
+	}
+}
+
+// TestAggregationWithoutCacheStaysPlain verifies push degrades safely when
+// there is no cache to deposit into: flags stay clear on the wire and the
+// run still matches the reference.
+func TestAggregationWithoutCacheStaysPlain(t *testing.T) {
+	cfg := baseConfig(patterns.NewDiagonal(12, 12), 3)
+	cfg.CacheSize = 0
+	cl := runAndCheck(t, cfg)
+	st := cl.Stats()
+	if st.ValuesPushed != 0 || st.PushDeposits != 0 || st.PushConsumed != 0 {
+		t.Fatalf("no cache configured but push stats nonzero: %+v", st)
+	}
+	if st.AggBatches == 0 {
+		t.Fatal("aggregation should still batch decrements without a cache")
+	}
+}
+
+// TestAggregationSurvivesFault kills a place mid-run with aggregation and
+// value push enabled: buffered and in-flight batches from the old epoch
+// must be flushed or dropped without corrupting the recovered run.
+func TestAggregationSurvivesFault(t *testing.T) {
+	pat := patterns.NewDiagonal(24, 18)
+	cfg, gate, release := gatedConfig(pat, 4, 150)
+	cfg.CacheSize = 128
+	cfg.AggWindow = 250 * time.Microsecond // more flushes in flight at the kill
+	cl, err := NewCluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- cl.Run() }()
+	<-gate
+	cl.Kill(2)
+	release()
+	if err := <-done; err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	st := cl.Stats()
+	if st.Recoveries < 1 {
+		t.Fatal("no recovery recorded")
+	}
+	if st.AggBatches == 0 {
+		t.Fatal("aggregation never flushed a batch")
+	}
+	checkResult(t, cl, pat)
+}
+
+// BenchmarkDecrBatchDecode guards the zero-allocation decode path the
+// receiver relies on: with reused scratch buffers, steady-state decoding
+// must not allocate.
+func BenchmarkDecrBatchDecode(b *testing.B) {
+	cd := codec.Int64{}
+	var recs []decrRecord[int64]
+	var targets []dag.VertexID
+	for k := 0; k < 64; k++ {
+		t0 := len(targets)
+		for m := 0; m < 4; m++ {
+			targets = append(targets, dag.VertexID{I: int32(k), J: int32(m)})
+		}
+		recs = append(recs, decrRecord[int64]{
+			src: dag.VertexID{I: int32(k), J: 0}, hasValue: true, value: int64(k),
+			t0: t0, t1: len(targets),
+		})
+	}
+	payload := encodeDecrBatch(1, cd, recs, targets)
+	var sr []decrRecord[int64]
+	var st []dag.VertexID
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		_, sr, st, err = decodeDecrBatch(payload, cd, sr[:0], st[:0])
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}

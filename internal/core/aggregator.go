@@ -1,0 +1,158 @@
+package core
+
+import (
+	"encoding/binary"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/dpx10/dpx10/internal/dag"
+)
+
+// aggregator coalesces this place's outbound indegree decrements into one
+// kindDecrBatch message per destination, flushing a destination's buffer
+// when it reaches maxRecs records, when the flush window elapses, or when
+// a worker goes idle. With value push enabled, each record also carries
+// the finished source vertex's encoded value so the receiver can serve
+// downstream dependency reads from its cache instead of issuing a
+// kindFetch round-trip.
+//
+// One aggregator belongs to one epochState and inherits its lifecycle:
+// its buffered records are stamped with the epoch at creation, its flusher
+// goroutine exits when the epoch's quit channel closes, and handlePause
+// drains it after the workers quiesce. Records still buffered when an
+// epoch is torn down are equivalent to in-flight messages that would be
+// dropped as stale — the recovery's decrement replay regenerates them.
+type aggregator[T any] struct {
+	pe      *placeEngine[T]
+	epoch   uint64
+	push    bool
+	maxRecs int
+	window  time.Duration
+
+	// pending counts buffered records so idle-path probes stay lock-free.
+	pending atomic.Int64
+
+	mu   sync.Mutex
+	bufs []aggBuf // per destination place
+	free [][]byte // retired message buffers, ready for reuse
+}
+
+// aggBuf is one destination's open message: the incrementally built
+// kindDecrBatch payload and the record count backpatched at flush.
+type aggBuf struct {
+	msg  []byte
+	recs uint32
+}
+
+func newAggregator[T any](pe *placeEngine[T], epoch uint64) *aggregator[T] {
+	return &aggregator[T]{
+		pe: pe, epoch: epoch,
+		// Pushing a value only helps if the receiver has a cache to hold it.
+		push:    !pe.cfg.PushDisabled && pe.cfg.CacheSize > 0,
+		maxRecs: pe.cfg.AggMaxBatch,
+		window:  pe.cfg.AggWindow,
+		bufs:    make([]aggBuf, pe.cfg.Places),
+	}
+}
+
+// add buffers one record: src finished, decrement targets at dest. Flushes
+// dest's buffer inline once it holds maxRecs records.
+func (ag *aggregator[T]) add(dest int, src dag.VertexID, value T, targets []dag.VertexID) {
+	ag.mu.Lock()
+	b := &ag.bufs[dest]
+	if len(b.msg) == 0 {
+		if n := len(ag.free); n > 0 {
+			b.msg, ag.free = ag.free[n-1][:0], ag.free[:n-1]
+		}
+		b.msg = putU32(putU64(b.msg, ag.epoch), 0) // count backpatched at flush
+	}
+	b.msg = appendDecrRecord(b.msg, ag.pe.cfg.Codec, src, value, ag.push, targets)
+	b.recs++
+	ag.pending.Add(1)
+	if ag.push {
+		ag.pe.valuesPushed.Add(1)
+	}
+	var msg []byte
+	if int(b.recs) >= ag.maxRecs {
+		msg = ag.takeLocked(dest)
+	}
+	ag.mu.Unlock()
+	if msg != nil {
+		ag.send(dest, msg)
+	}
+}
+
+// takeLocked finalizes and detaches dest's open message. Caller holds mu.
+func (ag *aggregator[T]) takeLocked(dest int) []byte {
+	b := &ag.bufs[dest]
+	if b.recs == 0 {
+		return nil
+	}
+	binary.LittleEndian.PutUint32(b.msg[8:12], b.recs)
+	msg := b.msg
+	ag.pending.Add(-int64(b.recs))
+	ag.pe.aggBatches.Add(1)
+	ag.pe.decrsCoalesced.Add(int64(b.recs))
+	if tc := ag.pe.cfg.Trace; tc != nil {
+		tc.AddAggFlush(ag.pe.self, int64(b.recs))
+	}
+	*b = aggBuf{}
+	return msg
+}
+
+// send puts one finalized message on the wire and recycles its buffer
+// (both transports copy payloads before Send returns).
+func (ag *aggregator[T]) send(dest int, msg []byte) {
+	if err := ag.pe.tr.Send(dest, kindDecrBatch, msg); err != nil {
+		ag.pe.peerError(dest, err)
+	}
+	ag.mu.Lock()
+	if len(ag.free) < len(ag.bufs) {
+		ag.free = append(ag.free, msg)
+	}
+	ag.mu.Unlock()
+}
+
+// flushAll sends every open buffer. Called by the flusher tick, when the
+// local chunk finishes, and by handlePause to drain the epoch before
+// recovery rebuilds state.
+func (ag *aggregator[T]) flushAll() {
+	if ag.pending.Load() == 0 {
+		return
+	}
+	ag.mu.Lock()
+	type out struct {
+		dest int
+		msg  []byte
+	}
+	outs := make([]out, 0, len(ag.bufs))
+	for d := range ag.bufs {
+		if m := ag.takeLocked(d); m != nil {
+			outs = append(outs, out{d, m})
+		}
+	}
+	ag.mu.Unlock()
+	for _, o := range outs {
+		ag.send(o.dest, o.msg)
+	}
+}
+
+// loop is the time-based flush trigger: a buffered decrement waits at most
+// ~window before it is sent, bounding the latency this place can add to a
+// downstream critical path and guaranteeing termination cannot stall on
+// buffered traffic.
+func (ag *aggregator[T]) loop(quit <-chan struct{}) {
+	tick := time.NewTicker(ag.window)
+	defer tick.Stop()
+	for {
+		select {
+		case <-quit:
+			return
+		case <-ag.pe.stopCh:
+			return
+		case <-tick.C:
+			ag.flushAll()
+		}
+	}
+}

@@ -85,6 +85,24 @@ type Config[T any] struct {
 	// communication-based detection can deadlock when the dead place was
 	// the only one holding runnable work. Default 25ms; negative disables.
 	ProbeInterval time.Duration
+	// AggDisabled turns off the outbound decrement aggregator, restoring
+	// one kindDecrement message per completed vertex per destination.
+	// Aggregation is on by default.
+	AggDisabled bool
+	// AggWindow bounds how long a buffered decrement may wait before its
+	// batch is flushed. Default 1ms.
+	AggWindow time.Duration
+	// AggMaxBatch is the record count that flushes a destination's batch
+	// immediately, independent of the window. Default 256.
+	AggMaxBatch int
+	// PushDisabled stops piggybacking finished vertex values onto
+	// aggregated decrements. Push is on by default but only takes effect
+	// when CacheSize > 0 — the receiver needs a cache to deposit into.
+	PushDisabled bool
+
+	// valueWidth memoizes the encoded width of the zero value, computed
+	// once at validation instead of per worker spawn.
+	valueWidth int
 }
 
 func (c *Config[T]) validate() error {
@@ -115,6 +133,20 @@ func (c *Config[T]) validate() error {
 	if c.ProbeInterval == 0 {
 		c.ProbeInterval = 25 * time.Millisecond
 	}
+	if c.AggWindow == 0 {
+		c.AggWindow = time.Millisecond
+	}
+	if c.AggWindow < 0 {
+		return fmt.Errorf("core: AggWindow = %v, need > 0 (use AggDisabled to turn aggregation off)", c.AggWindow)
+	}
+	if c.AggMaxBatch == 0 {
+		c.AggMaxBatch = 256
+	}
+	if c.AggMaxBatch < 1 {
+		return fmt.Errorf("core: AggMaxBatch = %d, need >= 1", c.AggMaxBatch)
+	}
+	var zero T
+	c.valueWidth = len(c.Codec.Encode(nil, zero))
 	if c.Spill != nil {
 		c.Spill.normalize()
 	}
@@ -149,17 +181,24 @@ func (sc *SpillConfig) normalize() {
 // Stats aggregates observable behaviour of one run, for the benchmark
 // harness and the overhead/recovery experiments.
 type Stats struct {
-	Places        int
-	Epochs        int   // 1 + number of recoveries
-	Recoveries    int   // failures survived
-	RecoveryNanos int64 // total wall time spent inside recovery
-	ComputedCells int64 // compute() invocations that produced a result
-	RemoteFetches int64 // dependency values moved between places
-	LocalReads    int64 // dependency values served from the local chunk
-	CacheHits     int64
-	CacheMisses   int64
-	ExecMigrated  int64 // vertices executed away from their owner
-	Stolen        int64 // vertices pulled by idle workers (steal strategy)
-	MsgsSent      int64 // transport messages (sends + calls)
-	BytesSent     int64 // transport payload bytes
+	Places         int
+	Epochs         int   // 1 + number of recoveries
+	Recoveries     int   // failures survived
+	RecoveryNanos  int64 // total wall time spent inside recovery
+	ComputedCells  int64 // compute() invocations that produced a result
+	RemoteFetches  int64 // dependency values moved between places
+	LocalReads     int64 // dependency values served from the local chunk
+	CacheHits      int64
+	CacheMisses    int64
+	ExecMigrated   int64 // vertices executed away from their owner
+	Stolen         int64 // vertices pulled by idle workers (steal strategy)
+	MsgsSent       int64 // transport messages (sends + calls)
+	BytesSent      int64 // transport payload bytes
+	SendsOut       int64 // one-way transport messages (decrements, notifications)
+	FetchCalls     int64 // kindFetch round-trips issued
+	AggBatches     int64 // aggregated decrement batches flushed
+	DecrsCoalesced int64 // decrement records carried by those batches
+	ValuesPushed   int64 // vertex values piggybacked onto aggregated batches
+	PushDeposits   int64 // pushed values deposited into receiving caches
+	PushConsumed   int64 // dependency reads served by a pushed value (fetches avoided)
 }

@@ -3,6 +3,7 @@ package core
 import (
 	"testing"
 
+	"github.com/dpx10/dpx10/internal/codec"
 	"github.com/dpx10/dpx10/internal/dag"
 )
 
@@ -29,6 +30,51 @@ func FuzzDecodeIDBatch(f *testing.F) {
 		for k := range ids {
 			if ids[k] != ids2[k] {
 				t.Fatalf("id %d changed: %v -> %v", k, ids[k], ids2[k])
+			}
+		}
+	})
+}
+
+// FuzzDecodeDecrBatch hardens the aggregated-decrement decoder: arbitrary
+// bytes — truncations, absurd record/target counts, unknown flags — must
+// never panic, and every payload that decodes must round-trip through
+// encodeDecrBatch unchanged.
+func FuzzDecodeDecrBatch(f *testing.F) {
+	cd := codec.Int64{}
+	targets := []dag.VertexID{{I: 1, J: 2}, {I: 3, J: 4}, {I: 5, J: 6}}
+	f.Add(encodeDecrBatch[int64](0, cd, nil, nil))
+	f.Add(encodeDecrBatch(3, cd, []decrRecord[int64]{
+		{src: dag.VertexID{I: 9, J: 9}, hasValue: true, value: -42, t0: 0, t1: 2},
+		{src: dag.VertexID{I: -1, J: 1 << 30}, t0: 2, t1: 3},
+	}, targets))
+	f.Add([]byte{})
+	f.Add([]byte{1, 2, 3})
+	f.Add(putU32(putU64(nil, 1), 0xFFFFFFFF)) // huge claimed record count
+	// Valid header, one record with a huge target count.
+	f.Add(putU32(append(append(putU32(putU64(nil, 1), 1), putID(nil, dag.VertexID{})...), 0), 0xFFFFFFFF))
+	// Unknown flag bits must be rejected, not skipped.
+	f.Add(putU32(append(append(putU32(putU64(nil, 1), 1), putID(nil, dag.VertexID{})...), 0x80), 0))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		epoch, recs, tgts, err := decodeDecrBatch[int64](data, cd, nil, nil)
+		if err != nil {
+			return
+		}
+		re := encodeDecrBatch(epoch, cd, recs, tgts)
+		epoch2, recs2, tgts2, err2 := decodeDecrBatch[int64](re, cd, nil, nil)
+		if err2 != nil || epoch2 != epoch || len(recs2) != len(recs) || len(tgts2) != len(tgts) {
+			t.Fatalf("round trip failed: %v / %d->%d recs, %d->%d targets",
+				err2, len(recs), len(recs2), len(tgts), len(tgts2))
+		}
+		for k := range recs {
+			a, b := recs[k], recs2[k]
+			if a.src != b.src || a.hasValue != b.hasValue || a.value != b.value ||
+				a.t1-a.t0 != b.t1-b.t0 {
+				t.Fatalf("record %d changed: %+v -> %+v", k, a, b)
+			}
+		}
+		for k := range tgts {
+			if tgts[k] != tgts2[k] {
+				t.Fatalf("target %d changed: %v -> %v", k, tgts[k], tgts2[k])
 			}
 		}
 	})

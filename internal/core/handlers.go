@@ -25,6 +25,7 @@ func (pe *placeEngine[T]) registerHandlers() {
 	pe.tr.Handle(kindPing, func(int, []byte) ([]byte, error) { return nil, nil })
 	pe.tr.Handle(kindSteal, pe.handleSteal)
 	pe.tr.Handle(kindStealDone, pe.handleStealDone)
+	pe.tr.Handle(kindDecrBatch, pe.handleDecrBatch)
 }
 
 // handleCoordinatorEvent adapts placeDone/fault notifications into
@@ -105,6 +106,49 @@ func (pe *placeEngine[T]) handleDecrement(from int, payload []byte) ([]byte, err
 	return nil, nil
 }
 
+// handleDecrBatch applies one aggregated decrement batch: pushed values
+// are bulk-deposited into the epoch's cache first, so that by the time a
+// decrement makes a consumer ready, the value it will want is already
+// cached; then the decrements run in record order. Stale-epoch batches
+// are dropped — the recovery replay covers them — and malformed target
+// ids (wrong owner or out of bounds) are skipped rather than trusted.
+func (pe *placeEngine[T]) handleDecrBatch(from int, payload []byte) ([]byte, error) {
+	sc := pe.getScratch()
+	defer pe.putScratch(sc)
+	epoch, recs, targets, err := decodeDecrBatch(payload, pe.cfg.Codec, sc.recs[:0], sc.targets[:0])
+	sc.recs, sc.targets = recs, targets // keep grown capacity in the pool
+	if err != nil {
+		return nil, err
+	}
+	st, serr := pe.stateAt(epoch)
+	if serr != nil {
+		return nil, nil // stale or pre-start: the recovery replay covers it
+	}
+	if pe.cfg.CacheSize > 0 {
+		sc.ids = sc.ids[:0]
+		sc.vals = sc.vals[:0]
+		for _, rec := range recs {
+			if rec.hasValue {
+				sc.ids = append(sc.ids, rec.src)
+				sc.vals = append(sc.vals, rec.value)
+			}
+		}
+		if len(sc.ids) > 0 {
+			pe.pushDeposits.Add(int64(st.cache.PutPushed(sc.ids, sc.vals)))
+		}
+	}
+	h, w := st.d.Bounds()
+	for _, rec := range recs {
+		for _, id := range targets[rec.t0:rec.t1] {
+			if id.I < 0 || id.J < 0 || id.I >= h || id.J >= w || st.d.Place(id.I, id.J) != pe.self {
+				continue
+			}
+			pe.applyDecrement(st, id, true)
+		}
+	}
+	return nil, nil
+}
+
 // handleExec runs compute() for a vertex owned by another place — the
 // execution half of the random and min-communication strategies. The
 // result is returned to the owner, which stores it; this place's chunk is
@@ -120,9 +164,10 @@ func (pe *placeEngine[T]) handleExec(from int, payload []byte) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	var depIDs []dag.VertexID
-	depIDs = pe.cfg.Pattern.Dependencies(id.I, id.J, depIDs)
-	v, err := pe.computeHere(st, id.I, id.J, depIDs)
+	sc := pe.getScratch()
+	defer pe.putScratch(sc)
+	sc.depIDs = pe.cfg.Pattern.Dependencies(id.I, id.J, sc.depIDs[:0])
+	v, err := pe.computeHere(st, sc, id.I, id.J, sc.depIDs)
 	if err != nil {
 		return nil, err
 	}
@@ -172,7 +217,9 @@ func (pe *placeEngine[T]) handleStealDone(from int, payload []byte) ([]byte, err
 		return nil, fmt.Errorf("core: steal-done decode: %w", derr)
 	}
 	off := st.d.LocalOffset(id.I, id.J)
-	pe.completeVertex(st, off, id.I, id.J, v)
+	sc := pe.getScratch()
+	defer pe.putScratch(sc)
+	pe.completeVertex(st, sc, off, id.I, id.J, v)
 	return nil, nil
 }
 
@@ -205,6 +252,13 @@ func (pe *placeEngine[T]) handlePause(from int, payload []byte) ([]byte, error) 
 	if st := pe.current(); st != nil {
 		st.closeQuit()
 		st.workers.Wait()
+		if st.agg != nil {
+			// Quiesce flush: with the workers stopped, drain the buffered
+			// decrements so they become ordinary in-flight messages — applied
+			// if they land before the receiver rebuilds, dropped as stale
+			// after. Either way the decrement replay re-derives them.
+			st.agg.flushAll()
+		}
 	}
 	return nil, nil
 }
@@ -240,15 +294,7 @@ func (pe *placeEngine[T]) handleRebuild(from int, payload []byte) ([]byte, error
 	// longer reachable once the new state is installed.
 	defer old.chunk.Close()
 	pe.pendingTransfers = transfers
-	st := &epochState[T]{
-		epoch: newEpoch,
-		d:     newDist,
-		chunk: chunk,
-		ready: make(chan int, chunk.Len()+16),
-		quit:  make(chan struct{}),
-		cache: pe.newCache(),
-	}
-	pe.st.Store(st)
+	pe.st.Store(pe.newEpochState(newEpoch, newDist, chunk))
 	return nil, nil
 }
 

@@ -28,6 +28,7 @@ type epochState[T any] struct {
 	ready chan int // local offsets of schedulable vertices
 	quit  chan struct{}
 	cache *vcache.Cache[T]
+	agg   *aggregator[T] // outbound decrement aggregator; nil when disabled
 
 	workers      sync.WaitGroup
 	doneReported atomic.Bool
@@ -65,15 +66,59 @@ type placeEngine[T any] struct {
 
 	snapSeq atomic.Int64 // local completions since the last snapshot
 
+	// scratchPool recycles per-worker hot-path buffers; protocol handlers
+	// (exec, steal-done, aggregated decrements) draw from the same pool.
+	scratchPool sync.Pool
+
 	// counters for Stats
-	computed      atomic.Int64
-	remoteFetches atomic.Int64
-	localReads    atomic.Int64
-	cacheHits     atomic.Int64
-	cacheMisses   atomic.Int64
-	execMigrated  atomic.Int64
-	stolen        atomic.Int64
+	computed       atomic.Int64
+	remoteFetches  atomic.Int64
+	localReads     atomic.Int64
+	cacheHits      atomic.Int64
+	cacheMisses    atomic.Int64
+	execMigrated   atomic.Int64
+	stolen         atomic.Int64
+	fetchCalls     atomic.Int64
+	aggBatches     atomic.Int64
+	decrsCoalesced atomic.Int64
+	valuesPushed   atomic.Int64
+	pushDeposits   atomic.Int64
+	pushConsumed   atomic.Int64
 }
+
+// scratch bundles the reusable buffers of the vertex hot path —
+// dependency and anti-dependency lists, per-owner grouping, fetch id
+// batches, wire encode space and batch decode state — so steady-state
+// vertex execution allocates only what it must (the user-visible Cell
+// slice, which Compute may retain).
+type scratch[T any] struct {
+	depIDs  []dag.VertexID
+	antiBuf []dag.VertexID
+
+	remote map[int][]dag.VertexID // completeVertex: owner -> decrement targets
+	owners []int                  // owners with buffered targets, in first-use order
+
+	fetchIdx    map[int][]int // gatherDeps: owner -> indexes into cells
+	fetchOwners []int
+	ids         []dag.VertexID // fetch request id batch
+	enc         []byte         // wire encode buffer
+
+	recs    []decrRecord[T] // handleDecrBatch decode state
+	targets []dag.VertexID
+	vals    []T
+}
+
+func (pe *placeEngine[T]) getScratch() *scratch[T] {
+	if sc, ok := pe.scratchPool.Get().(*scratch[T]); ok {
+		return sc
+	}
+	return &scratch[T]{
+		remote:   make(map[int][]dag.VertexID, 4),
+		fetchIdx: make(map[int][]int, 4),
+	}
+}
+
+func (pe *placeEngine[T]) putScratch(sc *scratch[T]) { pe.scratchPool.Put(sc) }
 
 func newPlaceEngine[T any](self int, cfg *Config[T], tr transport.Transport, abort func(error)) *placeEngine[T] {
 	pe := &placeEngine[T]{
@@ -99,18 +144,31 @@ func newPlaceEngine[T any](self int, cfg *Config[T], tr transport.Transport, abo
 func (pe *placeEngine[T]) prepare(d dist.Dist) {
 	chunk := pe.newChunk(d)
 	ready := chunk.InitIndegrees(pe.cfg.Pattern)
-	st := &epochState[T]{
-		epoch: 0,
-		d:     d,
-		chunk: chunk,
-		ready: make(chan int, chunk.Len()+16),
-		quit:  make(chan struct{}),
-		cache: vcache.New[T](pe.cfg.CacheSize),
-	}
+	st := pe.newEpochState(0, d, chunk)
 	for _, off := range ready {
 		pe.enqueue(st, off)
 	}
 	pe.st.Store(st)
+}
+
+// newEpochState assembles per-epoch state — shared by prepare (epoch 0)
+// and the recovery rebuild, in both the single-process and TCP
+// deployments. The decrement aggregator is epoch-owned: its flusher
+// goroutine exits when this epoch's quit channel closes.
+func (pe *placeEngine[T]) newEpochState(epoch uint64, d dist.Dist, chunk *distarray.Chunk[T]) *epochState[T] {
+	st := &epochState[T]{
+		epoch: epoch,
+		d:     d,
+		chunk: chunk,
+		ready: make(chan int, chunk.Len()+16),
+		quit:  make(chan struct{}),
+		cache: pe.newCache(),
+	}
+	if !pe.cfg.AggDisabled {
+		st.agg = newAggregator(pe, epoch)
+		go st.agg.loop(st.quit)
+	}
+	return st
 }
 
 // launch starts the worker pool on the prepared epoch-0 state
@@ -141,6 +199,8 @@ func (pe *placeEngine[T]) worker(st *epochState[T], seed int64) {
 	}()
 	pk := sched.NewPicker(pe.cfg.Strategy, st.d, pe.isAlive, pe.valueSize(), seed)
 	rng := rand.New(rand.NewSource(seed ^ 0x5bd1e995))
+	sc := pe.getScratch()
+	defer pe.putScratch(sc)
 	for {
 		select {
 		case <-st.quit:
@@ -148,15 +208,19 @@ func (pe *placeEngine[T]) worker(st *epochState[T], seed int64) {
 		case <-pe.stopCh:
 			return
 		case off := <-st.ready:
-			pe.runVertex(st, pk, off)
+			pe.runVertex(st, pk, sc, off)
 			continue
 		default:
 		}
-		// Idle. Under the stealing strategy, try to pull work from a peer,
-		// then park briefly and retry; other strategies park on the ready
-		// list without polling.
+		// Idle: park without flushing the aggregation buffers — the flusher
+		// tick bounds how long buffered decrements wait (AggWindow), and on
+		// wavefront workloads workers park constantly at the distribution
+		// boundary, so flushing here would collapse batches to ~1 record.
+		// Under the stealing strategy, try to pull work from a peer, then
+		// park briefly and retry; other strategies park on the ready list
+		// without polling.
 		if pe.cfg.Strategy == sched.Steal {
-			if pe.trySteal(st, rng) {
+			if pe.trySteal(st, sc, rng) {
 				continue
 			}
 			select {
@@ -165,7 +229,7 @@ func (pe *placeEngine[T]) worker(st *epochState[T], seed int64) {
 			case <-pe.stopCh:
 				return
 			case off := <-st.ready:
-				pe.runVertex(st, pk, off)
+				pe.runVertex(st, pk, sc, off)
 			case <-time.After(200 * time.Microsecond):
 				// Retry cadence for the next steal attempt.
 			}
@@ -177,7 +241,7 @@ func (pe *placeEngine[T]) worker(st *epochState[T], seed int64) {
 		case <-pe.stopCh:
 			return
 		case off := <-st.ready:
-			pe.runVertex(st, pk, off)
+			pe.runVertex(st, pk, sc, off)
 		}
 	}
 }
@@ -185,13 +249,13 @@ func (pe *placeEngine[T]) worker(st *epochState[T], seed int64) {
 // trySteal asks one random alive peer for a ready vertex, computes it
 // here and returns the result to the owner (which stores it and
 // propagates decrements). Returns whether any work was done.
-func (pe *placeEngine[T]) trySteal(st *epochState[T], rng *rand.Rand) bool {
+func (pe *placeEngine[T]) trySteal(st *epochState[T], sc *scratch[T], rng *rand.Rand) bool {
 	places := st.d.Places()
 	victim := places[rng.Intn(len(places))]
 	if victim == pe.self || !pe.isAlive(victim) {
 		return false
 	}
-	reply, err := pe.tr.Call(victim, kindSteal, putU64(nil, st.epoch))
+	reply, err := pe.tr.Call(victim, kindSteal, putU64(sc.enc[:0], st.epoch))
 	if err != nil {
 		pe.peerError(victim, err)
 		return false
@@ -204,16 +268,16 @@ func (pe *placeEngine[T]) trySteal(st *epochState[T], rng *rand.Rand) bool {
 	if r.err != nil {
 		return false
 	}
-	var depIDs []dag.VertexID
-	depIDs = pe.cfg.Pattern.Dependencies(id.I, id.J, depIDs)
-	v, err := pe.computeHere(st, id.I, id.J, depIDs)
+	sc.depIDs = pe.cfg.Pattern.Dependencies(id.I, id.J, sc.depIDs[:0])
+	v, err := pe.computeHere(st, sc, id.I, id.J, sc.depIDs)
 	if err != nil {
 		return false // victim's recovery will reschedule the vertex
 	}
 	pe.stolen.Add(1)
-	msg := putU64(nil, st.epoch)
+	msg := putU64(sc.enc[:0], st.epoch)
 	msg = putID(msg, id)
 	msg = pe.cfg.Codec.Encode(msg, v)
+	sc.enc = msg
 	if _, err := pe.tr.Call(victim, kindStealDone, msg); err != nil {
 		pe.peerError(victim, err)
 	}
@@ -224,10 +288,9 @@ func (pe *placeEngine[T]) isAlive(p int) bool {
 	return p >= 0 && p < len(pe.alive) && pe.alive[p].Load()
 }
 
-func (pe *placeEngine[T]) valueSize() int {
-	var zero T
-	return len(pe.cfg.Codec.Encode(nil, zero))
-}
+// valueSize returns the encoded width of the zero value, memoized in the
+// config at validation (it used to be re-encoded on every worker spawn).
+func (pe *placeEngine[T]) valueSize() int { return pe.cfg.valueWidth }
 
 // newChunk allocates this place's chunk under d, disk-backed when the
 // run is configured to spill vertex values (paper §X future work).
@@ -288,21 +351,20 @@ func (pe *placeEngine[T]) stale(st *epochState[T]) bool { return pe.st.Load() !=
 // runVertex executes one ready vertex end to end: resolve dependencies,
 // run (or ship) compute, publish the result and propagate decrements
 // (paper §VI-C).
-func (pe *placeEngine[T]) runVertex(st *epochState[T], pk *sched.Picker, off int) {
+func (pe *placeEngine[T]) runVertex(st *epochState[T], pk *sched.Picker, sc *scratch[T], off int) {
 	i, j := st.d.CellAt(pe.self, off)
-	var depIDs []dag.VertexID
-	depIDs = pe.cfg.Pattern.Dependencies(i, j, depIDs)
+	sc.depIDs = pe.cfg.Pattern.Dependencies(i, j, sc.depIDs[:0])
 
 	var value T
 	var err error
-	exec := pk.Pick(pe.self, i, j, depIDs)
+	exec := pk.Pick(pe.self, i, j, sc.depIDs)
 	if exec != pe.self && pe.isAlive(exec) {
-		value, err = pe.execRemote(st, exec, i, j)
+		value, err = pe.execRemote(st, sc, exec, i, j)
 		if err == nil {
 			pe.execMigrated.Add(1)
 		}
 	} else {
-		value, err = pe.computeHere(st, i, j, depIDs)
+		value, err = pe.computeHere(st, sc, i, j, sc.depIDs)
 	}
 	if err != nil {
 		// Dead peer or superseded epoch: the vertex will be rescheduled
@@ -312,36 +374,55 @@ func (pe *placeEngine[T]) runVertex(st *epochState[T], pk *sched.Picker, off int
 	if pe.stale(st) {
 		return
 	}
-	pe.completeVertex(st, off, i, j, value)
+	pe.completeVertex(st, sc, off, i, j, value)
 }
 
 // completeVertex publishes a computed value for a locally owned vertex:
-// store it, propagate indegree decrements (local directly, remote batched
-// per owning place) and report place completion. Called from runVertex
-// and from the steal-done handler.
-func (pe *placeEngine[T]) completeVertex(st *epochState[T], off int, i, j int32, value T) {
+// store it, propagate indegree decrements (local directly, remote through
+// the aggregator or as one legacy batch per owning place) and report
+// place completion. Called from runVertex and from the steal-done handler.
+func (pe *placeEngine[T]) completeVertex(st *epochState[T], sc *scratch[T], off int, i, j int32, value T) {
 	st.chunk.SetResult(off, value)
 	pe.computed.Add(1)
 	pe.maybeSnapshot(st)
 
-	var antiBuf []dag.VertexID
-	antiBuf = pe.cfg.Pattern.AntiDependencies(i, j, antiBuf)
-	var remote map[int][]dag.VertexID
-	for _, a := range antiBuf {
+	// Clear grouping state a previous, error-aborted use may have left.
+	for _, owner := range sc.owners {
+		sc.remote[owner] = sc.remote[owner][:0]
+	}
+	sc.owners = sc.owners[:0]
+
+	sc.antiBuf = pe.cfg.Pattern.AntiDependencies(i, j, sc.antiBuf[:0])
+	for _, a := range sc.antiBuf {
 		owner := st.d.Place(a.I, a.J)
 		if owner == pe.self {
 			pe.applyDecrement(st, a, true)
 			continue
 		}
-		if remote == nil {
-			remote = make(map[int][]dag.VertexID, 2)
+		lst := sc.remote[owner]
+		if len(lst) == 0 {
+			sc.owners = append(sc.owners, owner)
 		}
-		remote[owner] = append(remote[owner], a)
+		sc.remote[owner] = append(lst, a)
 	}
-	for owner, ids := range remote {
-		if err := pe.tr.Send(owner, kindDecrement, encodeIDBatch(st.epoch, ids)); err != nil {
+	for _, owner := range sc.owners {
+		ids := sc.remote[owner]
+		sc.remote[owner] = ids[:0]
+		if st.agg != nil {
+			st.agg.add(owner, dag.VertexID{I: i, J: j}, value, ids)
+			continue
+		}
+		sc.enc = appendIDBatch(sc.enc[:0], st.epoch, ids)
+		if err := pe.tr.Send(owner, kindDecrement, sc.enc); err != nil {
 			pe.peerError(owner, err)
 		}
+	}
+	sc.owners = sc.owners[:0]
+	if st.agg != nil && st.chunk.AllFinished() {
+		// The last local vertex just finished: nothing more will coalesce
+		// onto the open buffers, so push them out instead of waiting a
+		// flush window while downstream places sit idle.
+		st.agg.flushAll()
 	}
 	pe.maybeReportDone(st)
 }
@@ -378,12 +459,12 @@ func (pe *placeEngine[T]) enqueue(st *epochState[T], off int) {
 // runs at the executing place — the owner under local scheduling, the
 // target under exec migration, the thief under stealing — so telemetry
 // recorded here attributes work to where it actually ran.
-func (pe *placeEngine[T]) computeHere(st *epochState[T], i, j int32, depIDs []dag.VertexID) (T, error) {
+func (pe *placeEngine[T]) computeHere(st *epochState[T], sc *scratch[T], i, j int32, depIDs []dag.VertexID) (T, error) {
 	var t0 time.Time
 	if pe.cfg.Trace != nil {
 		t0 = time.Now()
 	}
-	cells, err := pe.gatherDeps(st, depIDs)
+	cells, err := pe.gatherDeps(st, sc, depIDs)
 	if err != nil {
 		var zero T
 		return zero, err
@@ -395,10 +476,16 @@ func (pe *placeEngine[T]) computeHere(st *epochState[T], i, j int32, depIDs []da
 	return v, nil
 }
 
-// gatherDeps resolves dependency values in the pattern's order.
-func (pe *placeEngine[T]) gatherDeps(st *epochState[T], depIDs []dag.VertexID) ([]Cell[T], error) {
+// gatherDeps resolves dependency values in the pattern's order: local
+// chunk reads, cache hits (including sender-pushed values), then one
+// batched kindFetch round-trip per remaining owner.
+func (pe *placeEngine[T]) gatherDeps(st *epochState[T], sc *scratch[T], depIDs []dag.VertexID) ([]Cell[T], error) {
 	cells := make([]Cell[T], len(depIDs))
-	var remote map[int][]int // owner -> indexes into cells
+	// Clear grouping state a previous, error-aborted use may have left.
+	for _, owner := range sc.fetchOwners {
+		sc.fetchIdx[owner] = sc.fetchIdx[owner][:0]
+	}
+	sc.fetchOwners = sc.fetchOwners[:0]
 	for k, id := range depIDs {
 		cells[k].ID = id
 		owner := st.d.Place(id.I, id.J)
@@ -411,27 +498,38 @@ func (pe *placeEngine[T]) gatherDeps(st *epochState[T], depIDs []dag.VertexID) (
 			pe.localReads.Add(1)
 			continue
 		}
-		if v, ok := st.cache.Get(id); ok {
+		if v, ok, pushed := st.cache.GetTagged(id); ok {
 			cells[k].Value = v
 			pe.cacheHits.Add(1)
+			if pushed {
+				pe.pushConsumed.Add(1)
+				if pe.cfg.Trace != nil {
+					pe.cfg.Trace.AddPushHit(pe.self)
+				}
+			}
 			continue
 		}
 		pe.cacheMisses.Add(1)
-		if remote == nil {
-			remote = make(map[int][]int, 2)
+		idxs := sc.fetchIdx[owner]
+		if len(idxs) == 0 {
+			sc.fetchOwners = append(sc.fetchOwners, owner)
 		}
-		remote[owner] = append(remote[owner], k)
+		sc.fetchIdx[owner] = append(idxs, k)
 	}
-	for owner, idxs := range remote {
-		ids := make([]dag.VertexID, len(idxs))
-		for n, k := range idxs {
-			ids[n] = depIDs[k]
+	for _, owner := range sc.fetchOwners {
+		idxs := sc.fetchIdx[owner]
+		sc.fetchIdx[owner] = idxs[:0]
+		sc.ids = sc.ids[:0]
+		for _, k := range idxs {
+			sc.ids = append(sc.ids, depIDs[k])
 		}
 		var f0 time.Time
 		if pe.cfg.Trace != nil {
 			f0 = time.Now()
 		}
-		reply, err := pe.tr.Call(owner, kindFetch, encodeIDBatch(st.epoch, ids))
+		sc.enc = appendIDBatch(sc.enc[:0], st.epoch, sc.ids)
+		pe.fetchCalls.Add(1)
+		reply, err := pe.tr.Call(owner, kindFetch, sc.enc)
 		if pe.cfg.Trace != nil {
 			pe.cfg.Trace.AddFetchWait(pe.self, time.Since(f0))
 		}
@@ -451,16 +549,17 @@ func (pe *placeEngine[T]) gatherDeps(st *epochState[T], depIDs []dag.VertexID) (
 			pe.remoteFetches.Add(1)
 		}
 	}
+	sc.fetchOwners = sc.fetchOwners[:0]
 	return cells, nil
 }
 
 // execRemote ships the vertex to another place for execution
 // (random / min-communication scheduling) and returns the computed value.
-func (pe *placeEngine[T]) execRemote(st *epochState[T], exec int, i, j int32) (T, error) {
+func (pe *placeEngine[T]) execRemote(st *epochState[T], sc *scratch[T], exec int, i, j int32) (T, error) {
 	var zero T
-	payload := make([]byte, 0, 16)
-	payload = putU64(payload, st.epoch)
+	payload := putU64(sc.enc[:0], st.epoch)
 	payload = putID(payload, dag.VertexID{I: i, J: j})
+	sc.enc = payload
 	reply, err := pe.tr.Call(exec, kindExec, payload)
 	if err != nil {
 		pe.peerError(exec, err)

@@ -22,6 +22,7 @@ import (
 	"errors"
 	"fmt"
 
+	"github.com/dpx10/dpx10/internal/codec"
 	"github.com/dpx10/dpx10/internal/dag"
 )
 
@@ -47,6 +48,7 @@ const (
 	kindBegin     uint8 = 17 // Call: place 0 -> place, "launch workers"
 	kindSteal     uint8 = 18 // Call: idle place asks a victim for one ready vertex
 	kindStealDone uint8 = 19 // Call: thief returns the stolen vertex's value
+	kindDecrBatch uint8 = 20 // Send: aggregated decrements, optionally carrying values
 )
 
 // errStaleEpoch is returned by handlers that receive a message from a
@@ -72,6 +74,19 @@ type reader struct {
 	b   []byte
 	off int
 	err error
+}
+
+func (r *reader) u8() uint8 {
+	if r.err != nil {
+		return 0
+	}
+	if r.off+1 > len(r.b) {
+		r.err = fmt.Errorf("core: truncated message at offset %d", r.off)
+		return 0
+	}
+	v := r.b[r.off]
+	r.off++
+	return v
 }
 
 func (r *reader) u32() uint32 {
@@ -118,16 +133,20 @@ func putID(dst []byte, id dag.VertexID) []byte {
 	return putU32(dst, uint32(id.J))
 }
 
-// encodeIDBatch builds [epoch][n][ids...]: the layout shared by fetch
-// requests, decrement batches and replay batches.
-func encodeIDBatch(epoch uint64, ids []dag.VertexID) []byte {
-	dst := make([]byte, 0, 12+8*len(ids))
+// appendIDBatch appends [epoch][n][ids...] to dst: the layout shared by
+// fetch requests, decrement batches and replay batches.
+func appendIDBatch(dst []byte, epoch uint64, ids []dag.VertexID) []byte {
 	dst = putU64(dst, epoch)
 	dst = putU32(dst, uint32(len(ids)))
 	for _, id := range ids {
 		dst = putID(dst, id)
 	}
 	return dst
+}
+
+// encodeIDBatch builds [epoch][n][ids...] in a fresh buffer.
+func encodeIDBatch(epoch uint64, ids []dag.VertexID) []byte {
+	return appendIDBatch(make([]byte, 0, 12+8*len(ids)), epoch, ids)
 }
 
 // decodeIDBatch parses [epoch][n][ids...], appending ids to buf.
@@ -145,4 +164,113 @@ func decodeIDBatch(payload []byte, buf []dag.VertexID) (epoch uint64, ids []dag.
 		buf = append(buf, r.id())
 	}
 	return epoch, buf, r.err
+}
+
+// --- aggregated decrement batches (kindDecrBatch) ---------------------
+//
+// One batch carries the decrements many completed source vertices owe one
+// destination place, coalesced by the outbound aggregator:
+//
+//	[epoch u64][nRecords u32]
+//	record:  [src id 8B][flags u8][value (codec) if flags&1]
+//	         [nTargets u32][target ids 8B each]
+//
+// Bit 0 of flags marks a piggybacked source value (value push); the
+// receiver deposits it into the epoch's vertex cache before applying the
+// decrements, so downstream gatherDeps hits the cache instead of issuing
+// a kindFetch round-trip.
+
+const decrFlagValue uint8 = 1
+
+// decrRecord is one decoded record of a kindDecrBatch payload. Targets
+// are held as a range into a shared buffer so scratch slices can grow
+// without invalidating earlier records.
+type decrRecord[T any] struct {
+	src      dag.VertexID
+	hasValue bool
+	value    T
+	t0, t1   int
+}
+
+// appendDecrRecord appends one aggregated-decrement record to dst.
+func appendDecrRecord[T any](dst []byte, cd codec.Codec[T], src dag.VertexID, value T, hasValue bool, targets []dag.VertexID) []byte {
+	dst = putID(dst, src)
+	var flags uint8
+	if hasValue {
+		flags = decrFlagValue
+	}
+	dst = append(dst, flags)
+	if hasValue {
+		dst = cd.Encode(dst, value)
+	}
+	dst = putU32(dst, uint32(len(targets)))
+	for _, id := range targets {
+		dst = putID(dst, id)
+	}
+	return dst
+}
+
+// encodeDecrBatch builds a whole kindDecrBatch payload from decoded form.
+// The aggregator builds its messages incrementally; this form exists for
+// the replay path, tests and the fuzzer's round trip.
+func encodeDecrBatch[T any](epoch uint64, cd codec.Codec[T], recs []decrRecord[T], targets []dag.VertexID) []byte {
+	dst := putU32(putU64(nil, epoch), uint32(len(recs)))
+	for _, rec := range recs {
+		dst = appendDecrRecord(dst, cd, rec.src, rec.value, rec.hasValue, targets[rec.t0:rec.t1])
+	}
+	return dst
+}
+
+// decodeDecrBatch parses a kindDecrBatch payload, appending records and
+// target ids to the caller's scratch buffers. The grown buffers are
+// returned even on error so callers keep the capacity; counts are bounds-
+// checked against the payload length before any allocation they imply.
+func decodeDecrBatch[T any](payload []byte, cd codec.Codec[T], recs []decrRecord[T], targets []dag.VertexID) (epoch uint64, outRecs []decrRecord[T], outTargets []dag.VertexID, err error) {
+	r := reader{b: payload}
+	epoch = r.u64()
+	n := r.u32()
+	if r.err != nil {
+		return 0, recs, targets, r.err
+	}
+	// Every record costs at least 13 bytes: src id + flags + target count.
+	if int(n) > (len(payload)-12)/13 {
+		return 0, recs, targets, fmt.Errorf("core: decr batch record count %d exceeds payload", n)
+	}
+	for k := uint32(0); k < n; k++ {
+		var rec decrRecord[T]
+		rec.src = r.id()
+		flags := r.u8()
+		if r.err != nil {
+			return 0, recs, targets, r.err
+		}
+		if flags&^decrFlagValue != 0 {
+			return 0, recs, targets, fmt.Errorf("core: decr batch record %d: unknown flags %#x", k, flags)
+		}
+		if flags&decrFlagValue != 0 {
+			v, used, derr := cd.Decode(r.rest())
+			if derr != nil {
+				return 0, recs, targets, fmt.Errorf("core: decr batch value decode: %w", derr)
+			}
+			r.off += used
+			rec.hasValue = true
+			rec.value = v
+		}
+		nt := r.u32()
+		if r.err != nil {
+			return 0, recs, targets, r.err
+		}
+		if int(nt) > (len(payload)-r.off)/8 {
+			return 0, recs, targets, fmt.Errorf("core: decr batch target count %d exceeds payload", nt)
+		}
+		rec.t0 = len(targets)
+		for m := uint32(0); m < nt; m++ {
+			targets = append(targets, r.id())
+		}
+		rec.t1 = len(targets)
+		if r.err != nil {
+			return 0, recs, targets, r.err
+		}
+		recs = append(recs, rec)
+	}
+	return epoch, recs, targets, nil
 }

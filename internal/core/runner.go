@@ -234,9 +234,16 @@ func (cl *Cluster[T]) Stats() Stats {
 		s.Stolen += pe.stolen.Load()
 		s.CacheHits += pe.cacheHits.Load()
 		s.CacheMisses += pe.cacheMisses.Load()
+		s.FetchCalls += pe.fetchCalls.Load()
+		s.AggBatches += pe.aggBatches.Load()
+		s.DecrsCoalesced += pe.decrsCoalesced.Load()
+		s.ValuesPushed += pe.valuesPushed.Load()
+		s.PushDeposits += pe.pushDeposits.Load()
+		s.PushConsumed += pe.pushConsumed.Load()
 		ts := pe.tr.Stats().Snapshot()
 		s.MsgsSent += ts.SendsOut + ts.CallsOut
 		s.BytesSent += ts.BytesOut
+		s.SendsOut += ts.SendsOut
 	}
 	return s
 }

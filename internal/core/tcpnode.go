@@ -228,9 +228,16 @@ func (n *TCPNode[T]) Stats() Stats {
 	s.ExecMigrated = n.pe.execMigrated.Load()
 	s.CacheHits = n.pe.cacheHits.Load()
 	s.CacheMisses = n.pe.cacheMisses.Load()
+	s.FetchCalls = n.pe.fetchCalls.Load()
+	s.AggBatches = n.pe.aggBatches.Load()
+	s.DecrsCoalesced = n.pe.decrsCoalesced.Load()
+	s.ValuesPushed = n.pe.valuesPushed.Load()
+	s.PushDeposits = n.pe.pushDeposits.Load()
+	s.PushConsumed = n.pe.pushConsumed.Load()
 	ts := n.tr.Stats().Snapshot()
 	s.MsgsSent = ts.SendsOut + ts.CallsOut
 	s.BytesSent = ts.BytesOut
+	s.SendsOut = ts.SendsOut
 	if n.co != nil {
 		s.Epochs = int(n.co.epoch) + 1
 		s.Recoveries = n.co.recoveries

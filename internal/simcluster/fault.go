@@ -34,9 +34,11 @@ func (s *Sim) Fault(dead int, restoreRemote bool) (float64, error) {
 		return 0, err
 	}
 
-	// Drop in-flight events: paused activities are recomputed, stale
-	// messages are rejected by the engine's epoch check.
+	// Drop in-flight events and open aggregation buffers: paused
+	// activities are recomputed, stale messages (flushed or still
+	// buffered) are rejected by the engine's epoch check.
 	s.events = s.events[:0]
+	s.open = nil
 
 	// Apply the keep/drop rule and account for restore traffic.
 	var restoreBytes int64

@@ -22,6 +22,7 @@ package simcluster
 import (
 	"container/heap"
 	"fmt"
+	"sort"
 
 	"github.com/dpx10/dpx10/internal/dag"
 	"github.com/dpx10/dpx10/internal/dist"
@@ -70,6 +71,20 @@ type Model struct {
 	// steady state (an idle place pulls work exactly when doing so beats
 	// waiting for the owner's cores).
 	Steal bool
+	// AggWindow models the engine's outbound decrement aggregator: the
+	// cross-place decrements one place owes another within this virtual-
+	// time window ride a single message, flushed at the window deadline
+	// (or earlier at AggMaxBatch records). 0 keeps per-vertex messages.
+	AggWindow float64
+	// AggMaxBatch flushes an open batch once it holds this many source
+	// records, matching the engine's size trigger. Default 256.
+	AggMaxBatch int
+	// ValuePush piggybacks each finished vertex's value (FetchBytes) onto
+	// its cross-place batch record and deposits it into the destination's
+	// cache on arrival, so downstream dependency reads hit the cache
+	// instead of paying a fetch round-trip. Needs CacheSize > 0 and an
+	// AggWindow to ride on.
+	ValuePush bool
 }
 
 // DefaultModel gives parameters loosely calibrated to the paper's
@@ -97,20 +112,53 @@ type Result struct {
 	CacheHits     int64
 	Messages      int64
 	BytesMoved    int64
+	AggBatches    int64 // aggregated decrement messages (AggWindow > 0)
 }
 
 type evKind uint8
 
 const (
-	evDecr   evKind = iota // a dependency-satisfied notification arrives
-	evFinish               // a vertex completes at its place
+	evDecr       evKind = iota // a dependency-satisfied notification arrives
+	evFinish                   // a vertex completes at its place
+	evBatchFlush               // an aggregation window expires at the sender
+	evBatchApply               // an aggregated batch arrives at its destination
 )
 
 type event struct {
-	t    float64
-	seq  int64 // insertion order, for deterministic tie-breaking
-	kind evKind
-	id   dag.VertexID
+	t     float64
+	seq   int64 // insertion order, for deterministic tie-breaking
+	kind  evKind
+	id    dag.VertexID
+	batch *simBatch // evBatchFlush / evBatchApply only
+}
+
+// simBatch is one open (or in-flight) aggregated decrement message from
+// place src to place dst, mirroring the engine's per-destination buffer.
+type simBatch struct {
+	src, dst int
+	recs     []batchRec
+	flushed  bool
+}
+
+// batchRec is one source vertex's contribution: its identity (for the
+// value-push cache deposit) and its decrement targets at dst.
+type batchRec struct {
+	src     dag.VertexID
+	targets []dag.VertexID
+}
+
+// bytes returns the modeled wire size of the batch, mirroring the real
+// kindDecrBatch layout: 12-byte header, 13 bytes per record (src id +
+// flags + target count), 8 per target id, plus the pushed value.
+func (b *simBatch) bytes(m *Model) int64 {
+	n := int64(12)
+	for _, rec := range b.recs {
+		n += 13 + 8*int64(len(rec.targets))
+		if m.ValuePush {
+			n += m.FetchBytes
+		}
+	}
+	return n
 }
 
 type eventHeap []event
@@ -146,6 +194,9 @@ type Sim struct {
 
 	events eventHeap
 	seq    int64
+	// open holds the per-(src place, dst place) aggregation buffers when
+	// the model's AggWindow is set.
+	open map[[2]int]*simBatch
 	// cores[p] is a min-heap (plain sorted maintenance: small k) of the
 	// times at which place p's cores become free.
 	cores  map[int][]float64
@@ -215,6 +266,51 @@ func New(pat dag.Pattern, d dist.Dist, m Model) (*Sim, error) {
 func (s *Sim) push(t float64, kind evKind, id dag.VertexID) {
 	s.seq++
 	heap.Push(&s.events, event{t: t, seq: s.seq, kind: kind, id: id})
+}
+
+func (s *Sim) pushBatch(t float64, kind evKind, b *simBatch) {
+	s.seq++
+	heap.Push(&s.events, event{t: t, seq: s.seq, kind: kind, batch: b})
+}
+
+// addToBatch buffers one finished vertex's decrements toward place dst,
+// opening a (src,dst) batch with a flush deadline when none is pending and
+// flushing inline at the size trigger — the simulator's mirror of
+// aggregator.add.
+func (s *Sim) addToBatch(src dag.VertexID, p, dst int, targets []dag.VertexID) {
+	if s.open == nil {
+		s.open = make(map[[2]int]*simBatch)
+	}
+	key := [2]int{p, dst}
+	b := s.open[key]
+	if b == nil {
+		b = &simBatch{src: p, dst: dst}
+		s.open[key] = b
+		s.pushBatch(s.now+s.m.AggWindow, evBatchFlush, b)
+	}
+	b.recs = append(b.recs, batchRec{src: src, targets: append([]dag.VertexID(nil), targets...)})
+	maxRecs := s.m.AggMaxBatch
+	if maxRecs < 1 {
+		maxRecs = 256
+	}
+	if len(b.recs) >= maxRecs {
+		s.flushBatch(b, s.now)
+	}
+}
+
+// flushBatch puts an open batch on the wire: one message charged at the
+// batch's full size, applied at the destination after the transfer time.
+func (s *Sim) flushBatch(b *simBatch, t float64) {
+	if b.flushed || len(b.recs) == 0 {
+		return
+	}
+	b.flushed = true
+	delete(s.open, [2]int{b.src, b.dst})
+	bytes := b.bytes(&s.m)
+	s.res.Messages++
+	s.res.AggBatches++
+	s.res.BytesMoved += bytes
+	s.pushBatch(t+s.msgCost(bytes), evBatchApply, b)
 }
 
 // popCore returns the earliest time a core at place p is free and marks
@@ -387,15 +483,58 @@ func (s *Sim) step() bool {
 		p := s.d.Place(ev.id.I, ev.id.J)
 		var buf []dag.VertexID
 		buf = s.pat.AntiDependencies(ev.id.I, ev.id.J, buf)
+		var perDest map[int][]dag.VertexID
 		for _, a := range buf {
 			q := s.d.Place(a.I, a.J)
-			t := s.now
-			if q != p {
-				t += s.msgCost(s.m.DecrBytes)
-				s.res.Messages++
-				s.res.BytesMoved += s.m.DecrBytes
+			if q == p {
+				s.push(s.now, evDecr, a)
+				continue
 			}
-			s.push(t, evDecr, a)
+			if s.m.AggWindow > 0 {
+				if perDest == nil {
+					perDest = make(map[int][]dag.VertexID, 2)
+				}
+				perDest[q] = append(perDest[q], a)
+				continue
+			}
+			s.res.Messages++
+			s.res.BytesMoved += s.m.DecrBytes
+			s.push(s.now+s.msgCost(s.m.DecrBytes), evDecr, a)
+		}
+		if perDest != nil {
+			dests := make([]int, 0, len(perDest))
+			for q := range perDest {
+				dests = append(dests, q)
+			}
+			sort.Ints(dests) // keep event order deterministic
+			for _, q := range dests {
+				s.addToBatch(ev.id, p, q, perDest[q])
+			}
+		}
+	case evBatchFlush:
+		s.flushBatch(ev.batch, s.now)
+	case evBatchApply:
+		b := ev.batch
+		for _, rec := range b.recs {
+			if s.m.ValuePush {
+				s.caches[b.dst].Put(rec.src, struct{}{})
+			}
+			for _, a := range rec.targets {
+				// A recovery may have re-owned the target; stale arrivals
+				// for cells this destination no longer owns are dropped,
+				// like the engine's epoch check.
+				if s.d.Place(a.I, a.J) != b.dst {
+					continue
+				}
+				lin := a.Linear(s.w)
+				s.indeg[lin]--
+				if s.indeg[lin] < 0 {
+					panic(fmt.Sprintf("simcluster: vertex %v indegree underflow", a))
+				}
+				if s.indeg[lin] == 0 && !s.finished[lin] {
+					s.schedule(a, s.now)
+				}
+			}
 		}
 	case evDecr:
 		lin := ev.id.Linear(s.w)

@@ -305,3 +305,71 @@ func TestSimUtilization(t *testing.T) {
 		t.Fatal("unknown place has nonzero utilization")
 	}
 }
+
+func TestSimAggregationReducesTraffic(t *testing.T) {
+	pat := patterns.NewColWave(16, 24)
+	run := func(m Model) Result {
+		s := mustSim(t, pat, 4, m)
+		res, err := s.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.ComputedCells != s.Active() {
+			t.Fatalf("computed %d of %d cells", res.ComputedCells, s.Active())
+		}
+		return res
+	}
+	base := DefaultModel(2)
+	base.CacheSize = 64
+
+	off := run(base)
+	agg := base
+	agg.AggWindow = 5 * base.NetLatency
+	onRes := run(agg)
+	push := agg
+	push.ValuePush = true
+	pushRes := run(push)
+
+	if off.AggBatches != 0 {
+		t.Fatalf("no AggWindow but %d batches", off.AggBatches)
+	}
+	if onRes.AggBatches == 0 || onRes.Messages >= off.Messages {
+		t.Fatalf("aggregation ineffective: batches=%d messages %d -> %d",
+			onRes.AggBatches, off.Messages, onRes.Messages)
+	}
+	if pushRes.RemoteFetches*2 > off.RemoteFetches {
+		t.Fatalf("value push did not halve fetches: %d -> %d",
+			off.RemoteFetches, pushRes.RemoteFetches)
+	}
+	// The pushed values still count as moved bytes, just on fewer messages.
+	if pushRes.BytesMoved == 0 || pushRes.Messages >= off.Messages {
+		t.Fatalf("push arm accounting off: %+v", pushRes)
+	}
+	// Determinism must survive the extra event kinds.
+	if again := run(push); again != pushRes {
+		t.Fatalf("aggregated run nondeterministic:\n%+v\n%+v", pushRes, again)
+	}
+}
+
+func TestSimAggregationSurvivesFault(t *testing.T) {
+	m := DefaultModel(2)
+	m.CacheSize = 64
+	m.AggWindow = 5 * m.NetLatency
+	m.ValuePush = true
+	s := mustSim(t, patterns.NewDiagonal(60, 60), 4, m)
+	half := s.Active() / 2
+	if got := s.RunUntil(half); got < half {
+		t.Fatalf("stalled at %d/%d before fault", got, half)
+	}
+	if _, err := s.Fault(2, false); err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ComputedCells <= s.Active() {
+		t.Fatalf("no recomputation recorded (%d computed, %d active)",
+			res.ComputedCells, s.Active())
+	}
+}

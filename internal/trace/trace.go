@@ -25,9 +25,12 @@ type Collector struct {
 }
 
 type placeTrace struct {
-	busyNanos atomic.Int64
-	vertices  atomic.Int64
-	fetchWait atomic.Int64
+	busyNanos  atomic.Int64
+	vertices   atomic.Int64
+	fetchWait  atomic.Int64
+	aggBatches atomic.Int64
+	aggRecords atomic.Int64
+	pushHits   atomic.Int64
 }
 
 // Event is one recorded vertex execution.
@@ -75,6 +78,32 @@ func (c *Collector) AddFetchWait(p int, d time.Duration) {
 		c.places[p].fetchWait.Add(int64(d))
 	}
 }
+
+// AddAggFlush accounts one aggregated decrement batch of `records`
+// records flushed by place p.
+func (c *Collector) AddAggFlush(p int, records int64) {
+	if p >= 0 && p < len(c.places) {
+		c.places[p].aggBatches.Add(1)
+		c.places[p].aggRecords.Add(records)
+	}
+}
+
+// AddPushHit accounts one dependency read at place p served by a
+// sender-pushed cached value (a fetch round-trip avoided).
+func (c *Collector) AddPushHit(p int) {
+	if p >= 0 && p < len(c.places) {
+		c.places[p].pushHits.Add(1)
+	}
+}
+
+// AggBatches returns the aggregated batches place p flushed.
+func (c *Collector) AggBatches(p int) int64 { return c.places[p].aggBatches.Load() }
+
+// AggRecords returns the decrement records place p's batches carried.
+func (c *Collector) AggRecords(p int) int64 { return c.places[p].aggRecords.Load() }
+
+// PushHits returns place p's dependency reads served by pushed values.
+func (c *Collector) PushHits(p int) int64 { return c.places[p].pushHits.Load() }
 
 // BusyTime returns the cumulative compute time at place p.
 func (c *Collector) BusyTime(p int) time.Duration {

@@ -29,9 +29,10 @@ type Cache[T any] struct {
 }
 
 type entry[T any] struct {
-	id    dag.VertexID
-	value T
-	used  bool
+	id     dag.VertexID
+	value  T
+	used   bool
+	pushed bool // deposited by a sender's value push, not an explicit fetch
 }
 
 // New creates a cache holding up to capacity entries.
@@ -50,15 +51,23 @@ func (c *Cache[T]) Cap() int { return len(c.slots) }
 
 // Get returns the cached value for id, if present.
 func (c *Cache[T]) Get(id dag.VertexID) (T, bool) {
+	v, ok, _ := c.GetTagged(id)
+	return v, ok
+}
+
+// GetTagged is Get plus provenance: pushed reports whether the hit was
+// deposited by the sender's value push rather than an explicit fetch,
+// letting the engine count avoided fetch round-trips.
+func (c *Cache[T]) GetTagged(id dag.VertexID) (v T, ok, pushed bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if slot, ok := c.index[id]; ok {
+	if slot, hit := c.index[id]; hit {
 		c.hits++
-		return c.slots[slot].value, true
+		return c.slots[slot].value, true, c.slots[slot].pushed
 	}
 	c.misses++
 	var zero T
-	return zero, false
+	return zero, false, false
 }
 
 // Put inserts a value, evicting the oldest entry when full. Re-inserting
@@ -71,14 +80,41 @@ func (c *Cache[T]) Put(id dag.VertexID, v T) {
 	defer c.mu.Unlock()
 	if slot, ok := c.index[id]; ok {
 		c.slots[slot].value = v
+		c.slots[slot].pushed = false
 		return
 	}
+	c.insertLocked(id, v, false)
+}
+
+// PutPushed bulk-deposits sender-pushed values under a single lock
+// acquisition and returns how many entries were written (0 when the cache
+// is disabled). ids and vals must have equal length.
+func (c *Cache[T]) PutPushed(ids []dag.VertexID, vals []T) int {
+	if len(c.slots) == 0 || len(ids) == 0 {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for k, id := range ids {
+		if slot, ok := c.index[id]; ok {
+			c.slots[slot].value = vals[k]
+			c.slots[slot].pushed = true
+			continue
+		}
+		c.insertLocked(id, vals[k], true)
+	}
+	return len(ids)
+}
+
+// insertLocked writes a fresh entry at the FIFO hand. Caller holds mu and
+// has ruled out a refresh.
+func (c *Cache[T]) insertLocked(id dag.VertexID, v T, pushed bool) {
 	e := &c.slots[c.next]
 	if e.used {
 		delete(c.index, e.id)
 		c.evicted++
 	}
-	*e = entry[T]{id: id, value: v, used: true}
+	*e = entry[T]{id: id, value: v, used: true, pushed: pushed}
 	c.index[id] = c.next
 	c.next = (c.next + 1) % len(c.slots)
 }

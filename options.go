@@ -1,6 +1,8 @@
 package dpx10
 
 import (
+	"time"
+
 	"github.com/dpx10/dpx10/internal/core"
 	"github.com/dpx10/dpx10/internal/dist"
 	"github.com/dpx10/dpx10/internal/distarray"
@@ -45,6 +47,33 @@ func WithStrategy[T any](s Strategy) Option[T] {
 // 0 disables the cache (paper §VI-E "Cache size").
 func CacheSize[T any](entries int) Option[T] {
 	return func(c *core.Config[T]) { c.CacheSize = entries }
+}
+
+// WithAggregation tunes the outbound decrement aggregator, which is on by
+// default: window bounds how long a buffered decrement may wait before
+// its batch is flushed, maxBatch is the record count that flushes a
+// destination's batch immediately. Zero values keep the defaults
+// (1ms, 256 records).
+func WithAggregation[T any](window time.Duration, maxBatch int) Option[T] {
+	return func(c *core.Config[T]) {
+		c.AggDisabled = false
+		c.AggWindow = window
+		c.AggMaxBatch = maxBatch
+	}
+}
+
+// WithoutAggregation disables cross-place decrement aggregation and value
+// push, restoring one message per completed vertex per destination — the
+// baseline arm of the agg ablation.
+func WithoutAggregation[T any]() Option[T] {
+	return func(c *core.Config[T]) { c.AggDisabled = true }
+}
+
+// WithoutValuePush keeps decrement aggregation but stops piggybacking
+// finished vertex values onto the batches, isolating coalescing from
+// fetch avoidance for measurement.
+func WithoutValuePush[T any]() Option[T] {
+	return func(c *core.Config[T]) { c.PushDisabled = true }
 }
 
 // RestoreRemote makes recovery copy finished vertices to their new owners

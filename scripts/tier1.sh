@@ -1,0 +1,10 @@
+#!/bin/sh
+# Tier-1 gate: everything a change must keep green before merging.
+# Build + vet + full test suite, then the race detector on the packages
+# with real concurrency (the engine and the transport).
+set -eux
+cd "$(dirname "$0")/.."
+go build ./...
+go vet ./...
+go test ./...
+go test -race ./internal/core/ ./internal/transport/
