@@ -1,14 +1,20 @@
 # Convenience targets; the repository is plain `go build`-able.
 
-.PHONY: tier1 test bench fuzz
+.PHONY: tier1 test vet bench fuzz
 
-# The merge gate: build, vet, full tests, race detector on the
-# concurrent packages. Same contract as scripts/tier1.sh.
+# The merge gate: build, vet (standard + dpx10-vet), full tests, race
+# detector across the tree. Same contract as scripts/tier1.sh.
 tier1:
 	./scripts/tier1.sh
 
 test:
 	go test ./...
+
+# Static analysis: standard go vet plus the repo's own analyzers
+# (placeleak, protokind, lockheld, atomicmix — see cmd/dpx10-vet).
+vet:
+	go vet ./...
+	go run ./cmd/dpx10-vet ./...
 
 bench:
 	go run ./cmd/dpx10-bench -fig all -quick

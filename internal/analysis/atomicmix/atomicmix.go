@@ -1,0 +1,188 @@
+// Package atomicmix flags variables and struct fields that are accessed
+// both through sync/atomic APIs and by plain reads or writes anywhere in
+// the same package.
+//
+// Mixing the two defeats the point of the atomics: the plain access races
+// with every atomic one, and the race detector only catches it when the
+// schedule cooperates. The analyzer collects every `&x` passed to a
+// sync/atomic function, then reports every other appearance of x in the
+// package.
+//
+// Slice-element atomics (`atomic.AddInt32(&c.indeg[off], -1)`) put the
+// *elements* under the atomic regime, not the slice header: for those the
+// analyzer reports only plain indexed accesses of the same slice, so
+// `make`-initialization and `len` stay legal.
+//
+// Typed atomics (atomic.Int64 fields) are self-policing — you cannot
+// touch their value without calling a method — so they need no analysis.
+package atomicmix
+
+import (
+	"bytes"
+	"go/ast"
+	"go/printer"
+	"go/token"
+	"go/types"
+
+	"github.com/dpx10/dpx10/internal/analysis/framework"
+)
+
+var Analyzer = &framework.Analyzer{
+	Name: "atomicmix",
+	Doc:  "flag variables accessed both through sync/atomic and by plain read/write",
+	Run:  run,
+}
+
+// access classifies how a variable entered the atomic regime.
+type access struct {
+	elementwise bool // address was &x[i], not &x
+}
+
+func run(pass *framework.Pass) error {
+	atomicObjs := map[types.Object]access{}
+	operands := map[ast.Expr]bool{} // exact &-operand nodes inside atomic calls
+
+	// Pass 1: collect the objects whose addresses flow into sync/atomic.
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			c, ok := n.(*ast.CallExpr)
+			if !ok || len(c.Args) == 0 {
+				return true
+			}
+			sel, ok := c.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, _ := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+				return true
+			}
+			amp, ok := c.Args[0].(*ast.UnaryExpr)
+			if !ok || amp.Op != token.AND {
+				return true
+			}
+			target := amp.X
+			elementwise := false
+			if ix, ok := target.(*ast.IndexExpr); ok {
+				target = ix.X
+				elementwise = true
+			}
+			if obj := addressedObj(pass, target); obj != nil {
+				prev, seen := atomicObjs[obj]
+				if !seen || (prev.elementwise && !elementwise) {
+					atomicObjs[obj] = access{elementwise: elementwise}
+				}
+				operands[amp.X] = true
+			}
+			return true
+		})
+	}
+	if len(atomicObjs) == 0 {
+		return nil
+	}
+
+	// Pass 2: report every other appearance of those objects.
+	for _, f := range pass.Files {
+		scanPlain(pass, f, atomicObjs, operands)
+	}
+	return nil
+}
+
+// addressedObj resolves the variable or field object named by an
+// addressable expression (an identifier or a field selector).
+func addressedObj(pass *framework.Pass, e ast.Expr) types.Object {
+	switch e := e.(type) {
+	case *ast.Ident:
+		if v, ok := pass.TypesInfo.Uses[e].(*types.Var); ok {
+			return v
+		}
+	case *ast.SelectorExpr:
+		if selInfo, ok := pass.TypesInfo.Selections[e]; ok && selInfo.Kind() == types.FieldVal {
+			return selInfo.Obj()
+		}
+		if v, ok := pass.TypesInfo.Uses[e.Sel].(*types.Var); ok {
+			return v // package-qualified variable
+		}
+	}
+	return nil
+}
+
+func scanPlain(pass *framework.Pass, root ast.Node, atomicObjs map[types.Object]access, operands map[ast.Expr]bool) {
+	var walk func(n ast.Node)
+	// check handles one reference expression; returns true if it resolved
+	// to a tracked object (whether or not it was reported).
+	check := func(n ast.Expr, indexed bool) bool {
+		obj := addressedObj(pass, n)
+		if obj == nil {
+			return false
+		}
+		acc, tracked := atomicObjs[obj]
+		if !tracked {
+			return false
+		}
+		if acc.elementwise && !indexed {
+			return true // slice header use (make, len, range) is fine
+		}
+		pass.Reportf(n.Pos(), "plain access of %s, which is accessed with sync/atomic elsewhere in this package",
+			render(pass.Fset, n))
+		return true
+	}
+	walk = func(n ast.Node) {
+		switch n := n.(type) {
+		case *ast.CompositeLit:
+			// Field keys in struct literals are initialization syntax,
+			// not reads or writes of the field.
+			for _, el := range n.Elts {
+				if kv, ok := el.(*ast.KeyValueExpr); ok {
+					walk(kv.Value)
+				} else {
+					walk(el)
+				}
+			}
+			return
+		case *ast.IndexExpr:
+			if operands[n] {
+				walk(n.Index)
+				return // the atomic operand itself
+			}
+			if check(n.X, true) {
+				walk(n.Index)
+				return
+			}
+		case *ast.Ident:
+			if !operands[ast.Expr(n)] {
+				check(n, false)
+			}
+			return
+		case *ast.SelectorExpr:
+			if !operands[ast.Expr(n)] {
+				if check(n, false) {
+					walk(n.X)
+					return
+				}
+			}
+			walk(n.X)
+			return
+		}
+		// Generic descent.
+		ast.Inspect(n, func(child ast.Node) bool {
+			if child == n {
+				return true
+			}
+			if child == nil {
+				return false
+			}
+			walk(child)
+			return false
+		})
+	}
+	walk(root)
+}
+
+func render(fset *token.FileSet, e ast.Expr) string {
+	var buf bytes.Buffer
+	if err := printer.Fprint(&buf, fset, e); err != nil {
+		return "?"
+	}
+	return buf.String()
+}

@@ -1,0 +1,209 @@
+// Package framework is a minimal, dependency-free re-implementation of
+// the golang.org/x/tools/go/analysis driver model, built entirely on the
+// standard library's go/ast, go/types and go/importer packages.
+//
+// Why not the real thing: this repository builds hermetically — no module
+// downloads — so x/tools is unavailable. The subset implemented here is
+// exactly what the dpx10-vet analyzers need: per-package passes with full
+// type information, whole-program ("global") passes for cross-package
+// protocol checks, and source-comment suppressions. The Analyzer, Pass and
+// Diagnostic shapes deliberately mirror go/analysis so the analyzers could
+// be ported to the upstream framework by changing imports.
+//
+// Suppressions. A diagnostic is suppressed when the flagged line, or the
+// line directly above it, carries a comment of the form
+//
+//	//dpx10:allow <analyzer>[,<analyzer>...] [rationale]
+//
+// The rationale is free text; the analyzer names must match Analyzer.Name.
+// Suppression is applied by the driver (see Suppressed), not by the
+// analyzers, so test corpora exercise the raw diagnostics.
+package framework
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// An Analyzer describes one static check.
+type Analyzer struct {
+	// Name identifies the analyzer in output and in //dpx10:allow comments.
+	Name string
+	// Doc is a one-paragraph description of what the analyzer enforces.
+	Doc string
+	// Run analyzes one package. Exactly one of Run and RunGlobal is set.
+	Run func(*Pass) error
+	// RunGlobal analyzes the whole loaded package set at once; used by
+	// checks that correlate declarations across packages.
+	RunGlobal func(*GlobalPass) error
+}
+
+// Global reports whether the analyzer runs over the whole package set.
+func (a *Analyzer) Global() bool { return a.RunGlobal != nil }
+
+// A Diagnostic is one finding, anchored to a source position.
+type Diagnostic struct {
+	Analyzer *Analyzer
+	Pos      token.Pos
+	Message  string
+}
+
+// A Package is one loaded, type-checked package.
+type Package struct {
+	// Path is the package's import path. Test-augmented variants keep the
+	// go list form "path [path.test]".
+	Path string
+	// Fset positions all files of the load.
+	Fset *token.FileSet
+	// Files are the parsed sources, comments included.
+	Files []*ast.File
+	// Types is the type-checked package.
+	Types *types.Package
+	// TypesInfo holds the full type information for Files.
+	TypesInfo *types.Info
+	// IsTest reports a test-augmented or external-test package.
+	IsTest bool
+}
+
+// FileOf returns the *ast.File containing pos, or nil.
+func (p *Package) FileOf(pos token.Pos) *ast.File {
+	for _, f := range p.Files {
+		if f.FileStart <= pos && pos <= f.FileEnd {
+			return f
+		}
+	}
+	return nil
+}
+
+// A Pass carries one analyzer's view of one package.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	// InTestFile reports whether pos lies in a _test.go file.
+	InTestFile func(pos token.Pos) bool
+
+	report func(Diagnostic)
+}
+
+// Reportf records one diagnostic.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{Analyzer: p.Analyzer, Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// A GlobalPass carries a global analyzer's view of every loaded package.
+type GlobalPass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Packages []*Package
+
+	report func(Diagnostic)
+}
+
+// Reportf records one diagnostic.
+func (p *GlobalPass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{Analyzer: p.Analyzer, Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Run executes the analyzers over the loaded packages and returns every
+// diagnostic, sorted by position. Suppressions are not applied here.
+func Run(fset *token.FileSet, pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	report := func(d Diagnostic) { diags = append(diags, d) }
+	for _, a := range analyzers {
+		if a.Global() {
+			gp := &GlobalPass{Analyzer: a, Fset: fset, Packages: pkgs, report: report}
+			if err := a.RunGlobal(gp); err != nil {
+				return nil, fmt.Errorf("%s: %w", a.Name, err)
+			}
+			continue
+		}
+		for _, pkg := range pkgs {
+			pass := &Pass{
+				Analyzer:   a,
+				Fset:       fset,
+				Files:      pkg.Files,
+				Pkg:        pkg.Types,
+				TypesInfo:  pkg.TypesInfo,
+				InTestFile: testFilePredicate(fset, pkg),
+				report:     report,
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
+			}
+		}
+	}
+	sort.SliceStable(diags, func(i, j int) bool { return diags[i].Pos < diags[j].Pos })
+	return diags, nil
+}
+
+func testFilePredicate(fset *token.FileSet, pkg *Package) func(token.Pos) bool {
+	return func(pos token.Pos) bool {
+		f := fset.File(pos)
+		return f != nil && strings.HasSuffix(f.Name(), "_test.go")
+	}
+}
+
+// allowMarker is the suppression comment prefix.
+const allowMarker = "//dpx10:allow"
+
+// Suppressed reports whether d is covered by a //dpx10:allow comment on
+// its line or the line above it in pkg's sources.
+func Suppressed(fset *token.FileSet, pkgs []*Package, d Diagnostic) bool {
+	pos := fset.Position(d.Pos)
+	if !pos.IsValid() {
+		return false
+	}
+	for _, pkg := range pkgs {
+		f := pkg.FileOf(d.Pos)
+		if f == nil {
+			continue
+		}
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				names, ok := parseAllow(c.Text)
+				if !ok {
+					continue
+				}
+				cline := fset.Position(c.Pos()).Line
+				if cline != pos.Line && cline != pos.Line-1 {
+					continue
+				}
+				for _, n := range names {
+					if n == d.Analyzer.Name {
+						return true
+					}
+				}
+			}
+		}
+	}
+	return false
+}
+
+// parseAllow extracts the analyzer names from one //dpx10:allow comment.
+func parseAllow(text string) ([]string, bool) {
+	if !strings.HasPrefix(text, allowMarker) {
+		return nil, false
+	}
+	rest := strings.TrimPrefix(text, allowMarker)
+	if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+		return nil, false // e.g. //dpx10:allowance
+	}
+	fields := strings.Fields(rest)
+	if len(fields) == 0 {
+		return nil, false
+	}
+	var names []string
+	for _, n := range strings.Split(fields[0], ",") {
+		if n = strings.TrimSpace(n); n != "" {
+			names = append(names, n)
+		}
+	}
+	return names, len(names) > 0
+}

@@ -1,0 +1,170 @@
+package framework
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// The loader resolves package patterns with the go command itself —
+// `go list -export -deps -test` — and type-checks the matched packages
+// from source, importing their dependencies through the compiler export
+// data the build cache already holds. This gives the analyzers the same
+// file set and build tags as a real build, including _test.go files
+// (protocol tables like the fuzz-coverage list live there), without
+// re-implementing build-constraint logic.
+
+// listedPackage is the subset of `go list -json` output the loader uses.
+type listedPackage struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	Standard   bool
+	DepOnly    bool
+	GoFiles    []string
+	ImportMap  map[string]string
+	ForTest    string
+	Module     *struct{ Path string }
+	Error      *struct{ Err string }
+}
+
+// Load lists patterns in dir (a directory inside the target module) and
+// returns the type-checked non-standard-library packages. Test-augmented
+// variants replace their plain counterparts so in-package _test.go files
+// are analyzed; external test packages are loaded as their own entries.
+func Load(dir string, patterns []string) (*token.FileSet, []*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	args := append([]string{
+		"list", "-e", "-export", "-deps", "-test",
+		"-json=ImportPath,Dir,Export,Standard,DepOnly,GoFiles,ImportMap,ForTest,Module,Error",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, nil, fmt.Errorf("go list %s: %w\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+
+	byPath := map[string]*listedPackage{}
+	var order []*listedPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listedPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, nil, fmt.Errorf("go list output: %w", err)
+		}
+		lp := p
+		byPath[lp.ImportPath] = &lp
+		order = append(order, &lp)
+	}
+
+	// Pick analysis targets: module (non-stdlib) packages, preferring the
+	// test-augmented variant "p [p.test]" over plain "p", and skipping the
+	// synthesized ".test" mains.
+	augmented := map[string]bool{} // plain paths that have an augmented variant
+	for _, p := range order {
+		if p.ForTest != "" && p.ImportPath == p.ForTest+" ["+p.ForTest+".test]" {
+			augmented[p.ForTest] = true
+		}
+	}
+	var targets []*listedPackage
+	for _, p := range order {
+		switch {
+		case p.Standard || p.Module == nil || p.DepOnly:
+			continue
+		case strings.HasSuffix(p.ImportPath, ".test"):
+			continue // generated test main
+		case p.ForTest == "" && augmented[p.ImportPath]:
+			continue // superseded by its augmented variant
+		case p.ForTest != "" && p.ImportPath != p.ForTest+" ["+p.ForTest+".test]" &&
+			!strings.HasPrefix(p.ImportPath, p.ForTest+"_test "):
+			continue // test-variant dependency, not a listed target shape
+		case len(p.GoFiles) == 0:
+			continue
+		}
+		if p.Error != nil {
+			return nil, nil, fmt.Errorf("go list %s: %s", p.ImportPath, p.Error.Err)
+		}
+		targets = append(targets, p)
+	}
+
+	fset := token.NewFileSet()
+	var pkgs []*Package
+	for _, t := range targets {
+		pkg, err := check(fset, t, byPath)
+		if err != nil {
+			return nil, nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return fset, pkgs, nil
+}
+
+// check parses and type-checks one listed package, importing dependencies
+// from build-cache export data.
+func check(fset *token.FileSet, t *listedPackage, byPath map[string]*listedPackage) (*Package, error) {
+	var files []*ast.File
+	for _, name := range t.GoFiles {
+		af, err := parser.ParseFile(fset, filepath.Join(t.Dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("parse %s: %w", name, err)
+		}
+		files = append(files, af)
+	}
+	lookup := func(path string) (io.ReadCloser, error) {
+		if mapped, ok := t.ImportMap[path]; ok {
+			path = mapped
+		}
+		p := byPath[path]
+		if p == nil || p.Export == "" {
+			return nil, fmt.Errorf("no export data for %q (imported by %s)", path, t.ImportPath)
+		}
+		return os.Open(p.Export)
+	}
+	var typeErrs []error
+	conf := types.Config{
+		Importer: importer.ForCompiler(fset, "gc", lookup),
+		Error:    func(err error) { typeErrs = append(typeErrs, err) },
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Instances:  map[*ast.Ident]types.Instance{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Implicits:  map[ast.Node]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	tpkg, err := conf.Check(t.ImportPath, fset, files, info)
+	if len(typeErrs) > 0 {
+		return nil, fmt.Errorf("type-check %s: %w", t.ImportPath, errors.Join(typeErrs...))
+	}
+	if err != nil {
+		return nil, fmt.Errorf("type-check %s: %w", t.ImportPath, err)
+	}
+	return &Package{
+		Path:      t.ImportPath,
+		Fset:      fset,
+		Files:     files,
+		Types:     tpkg,
+		TypesInfo: info,
+		IsTest:    t.ForTest != "",
+	}, nil
+}

@@ -1,0 +1,314 @@
+// Package lockheld reports blocking operations that are reachable while a
+// sync.Mutex or sync.RWMutex is held in the same function.
+//
+// The DPX10 runtime mixes fine-grained mutexes (aggregator, value cache,
+// TCP connection table) with blocking transport calls and channel
+// operations. Holding a mutex across any of those is the deadlock shape
+// the runtime is most exposed to: a handler blocked on a channel while
+// holding the lock that the draining goroutine needs. X10's `atomic`
+// blocks forbid blocking statements syntactically; this analyzer
+// re-imposes that rule.
+//
+// The analysis is intraprocedural and flow-ordered: statements are walked
+// in source order, Lock/RLock adds the receiver to the held set,
+// Unlock/RUnlock removes it, and any blocking operation encountered while
+// the set is non-empty is reported. Blocking operations are channel sends
+// and receives, range-over-channel, select statements without a default
+// case, time.Sleep, sync.WaitGroup.Wait / sync.Cond.Wait, net dial/listen
+// and accept calls, and calls to methods named Send or Call (the
+// transport.Transport verbs). Function literals are analyzed separately
+// with an empty held set, since the driver cannot know when they run.
+package lockheld
+
+import (
+	"bytes"
+	"fmt"
+	"go/ast"
+	"go/printer"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"github.com/dpx10/dpx10/internal/analysis/framework"
+)
+
+var Analyzer = &framework.Analyzer{
+	Name: "lockheld",
+	Doc:  "report blocking operations (transport Send/Call, channel ops, time.Sleep) reachable while a sync.Mutex/RWMutex is held",
+	Run:  run,
+}
+
+func run(pass *framework.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil {
+					newScan(pass).stmts(fn.Body.List)
+				}
+			case *ast.FuncLit:
+				if fn.Body != nil {
+					newScan(pass).stmts(fn.Body.List)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// scan is the per-function walk state: the set of currently held locks,
+// keyed by the printed receiver expression ("t.cmu").
+type scan struct {
+	pass *framework.Pass
+	held map[string]token.Pos
+}
+
+func newScan(pass *framework.Pass) *scan {
+	return &scan{pass: pass, held: map[string]token.Pos{}}
+}
+
+// holding returns the earliest-acquired held lock, for deterministic
+// diagnostics when several are held at once.
+func (s *scan) holding() string {
+	best, bestPos := "", token.Pos(-1)
+	for k, p := range s.held {
+		if bestPos < 0 || p < bestPos || (p == bestPos && k < best) {
+			best, bestPos = k, p
+		}
+	}
+	return best
+}
+
+// stmts walks a statement list in source order.
+func (s *scan) stmts(list []ast.Stmt) {
+	for _, st := range list {
+		s.stmt(st)
+	}
+}
+
+func (s *scan) stmt(st ast.Stmt) {
+	switch st := st.(type) {
+	case *ast.ExprStmt:
+		if c, ok := st.X.(*ast.CallExpr); ok && s.lockOp(c) {
+			return
+		}
+		s.expr(st.X)
+	case *ast.SendStmt:
+		s.blocking(st.Pos(), "channel send")
+		s.expr(st.Chan)
+		s.expr(st.Value)
+	case *ast.AssignStmt:
+		for _, e := range st.Rhs {
+			s.expr(e)
+		}
+		for _, e := range st.Lhs {
+			s.expr(e)
+		}
+	case *ast.DeclStmt:
+		if gd, ok := st.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, e := range vs.Values {
+						s.expr(e)
+					}
+				}
+			}
+		}
+	case *ast.ReturnStmt:
+		for _, e := range st.Results {
+			s.expr(e)
+		}
+	case *ast.IfStmt:
+		if st.Init != nil {
+			s.stmt(st.Init)
+		}
+		s.expr(st.Cond)
+		s.stmts(st.Body.List)
+		if st.Else != nil {
+			s.stmt(st.Else)
+		}
+	case *ast.ForStmt:
+		if st.Init != nil {
+			s.stmt(st.Init)
+		}
+		if st.Cond != nil {
+			s.expr(st.Cond)
+		}
+		s.stmts(st.Body.List)
+		if st.Post != nil {
+			s.stmt(st.Post)
+		}
+	case *ast.RangeStmt:
+		if t := s.pass.TypesInfo.TypeOf(st.X); t != nil {
+			if _, ok := t.Underlying().(*types.Chan); ok {
+				s.blocking(st.Pos(), "range over channel")
+			}
+		}
+		s.expr(st.X)
+		s.stmts(st.Body.List)
+	case *ast.SelectStmt:
+		hasDefault := false
+		for _, cl := range st.Body.List {
+			if cc, ok := cl.(*ast.CommClause); ok && cc.Comm == nil {
+				hasDefault = true
+			}
+		}
+		if !hasDefault {
+			s.blocking(st.Pos(), "select without default")
+		}
+		for _, cl := range st.Body.List {
+			if cc, ok := cl.(*ast.CommClause); ok {
+				s.stmts(cc.Body)
+			}
+		}
+	case *ast.SwitchStmt:
+		if st.Init != nil {
+			s.stmt(st.Init)
+		}
+		if st.Tag != nil {
+			s.expr(st.Tag)
+		}
+		for _, cl := range st.Body.List {
+			if cc, ok := cl.(*ast.CaseClause); ok {
+				for _, e := range cc.List {
+					s.expr(e)
+				}
+				s.stmts(cc.Body)
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		if st.Init != nil {
+			s.stmt(st.Init)
+		}
+		for _, cl := range st.Body.List {
+			if cc, ok := cl.(*ast.CaseClause); ok {
+				s.stmts(cc.Body)
+			}
+		}
+	case *ast.BlockStmt:
+		s.stmts(st.List)
+	case *ast.LabeledStmt:
+		s.stmt(st.Stmt)
+	case *ast.GoStmt:
+		// The goroutine body runs concurrently; only the call's own
+		// arguments are evaluated here.
+		for _, e := range st.Call.Args {
+			s.expr(e)
+		}
+	case *ast.DeferStmt:
+		// A deferred mu.Unlock() releases at return, not here: the lock
+		// stays held for the rest of the walk, which is the point.
+		for _, e := range st.Call.Args {
+			s.expr(e)
+		}
+	case *ast.IncDecStmt:
+		s.expr(st.X)
+	}
+}
+
+// expr scans an expression tree for blocking operations (receives and
+// blocking calls). It does not descend into function literals.
+func (s *scan) expr(e ast.Expr) {
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				s.blocking(n.Pos(), "channel receive")
+			}
+		case *ast.CallExpr:
+			if name, ok := s.blockingCall(n); ok {
+				s.blocking(n.Pos(), fmt.Sprintf("call to %s", name))
+			}
+		}
+		return true
+	})
+}
+
+// lockOp updates the held set if c is a Lock/RLock/Unlock/RUnlock call on
+// a sync.Mutex or sync.RWMutex (possibly embedded) and reports whether it
+// was one.
+func (s *scan) lockOp(c *ast.CallExpr) bool {
+	sel, ok := c.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	name := sel.Sel.Name
+	switch name {
+	case "Lock", "RLock", "Unlock", "RUnlock", "TryLock", "TryRLock":
+	default:
+		return false
+	}
+	obj := s.methodObj(sel)
+	if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return false
+	}
+	key := render(s.pass.Fset, sel.X)
+	switch name {
+	case "Lock", "RLock", "TryLock", "TryRLock":
+		s.held[key] = c.Pos()
+	case "Unlock", "RUnlock":
+		delete(s.held, key)
+	}
+	return true
+}
+
+// blockingCall classifies calls that can block: time.Sleep, net dials and
+// accepts, sync Wait, and transport-verb methods named Send or Call.
+func (s *scan) blockingCall(c *ast.CallExpr) (string, bool) {
+	sel, ok := c.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	obj := s.methodObj(sel)
+	if obj == nil {
+		return "", false
+	}
+	pkgPath := ""
+	if obj.Pkg() != nil {
+		pkgPath = obj.Pkg().Path()
+	}
+	name := sel.Sel.Name
+	switch {
+	case pkgPath == "time" && name == "Sleep":
+	case pkgPath == "sync" && name == "Wait":
+	case pkgPath == "net" && (strings.HasPrefix(name, "Dial") || strings.HasPrefix(name, "Listen") || name == "Accept"):
+	case name == "Send" || name == "Call":
+		// Transport verbs, wherever they are defined — but not the
+		// sync/atomic or reflect namesakes.
+		if pkgPath == "sync" || pkgPath == "sync/atomic" || pkgPath == "reflect" {
+			return "", false
+		}
+	default:
+		return "", false
+	}
+	return render(s.pass.Fset, c.Fun), true
+}
+
+// methodObj resolves the called function or method object of a selector.
+func (s *scan) methodObj(sel *ast.SelectorExpr) types.Object {
+	if selInfo, ok := s.pass.TypesInfo.Selections[sel]; ok {
+		return selInfo.Obj()
+	}
+	return s.pass.TypesInfo.Uses[sel.Sel] // package-qualified call
+}
+
+func (s *scan) blocking(pos token.Pos, what string) {
+	if len(s.held) == 0 {
+		return
+	}
+	lock := s.holding()
+	s.pass.Reportf(pos, "%s while mutex %q is held (locked at line %d)",
+		what, lock, s.pass.Fset.Position(s.held[lock]).Line)
+}
+
+// render prints an expression compactly for diagnostics.
+func render(fset *token.FileSet, e ast.Expr) string {
+	var buf bytes.Buffer
+	if err := printer.Fprint(&buf, fset, e); err != nil {
+		return "?"
+	}
+	return buf.String()
+}

@@ -1,0 +1,12 @@
+package lockheld_test
+
+import (
+	"testing"
+
+	"github.com/dpx10/dpx10/internal/analysis/analysistest"
+	"github.com/dpx10/dpx10/internal/analysis/lockheld"
+)
+
+func TestLockheld(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), lockheld.Analyzer, "lockheld/a")
+}

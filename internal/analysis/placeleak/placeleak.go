@@ -1,0 +1,600 @@
+// Package placeleak flags transport handlers and decode paths that retain
+// or return an alias of their incoming payload []byte past the function's
+// return.
+//
+// The transport.Handler contract says a handler must treat its payload as
+// immutable and must not retain it after returning: the chan fabric
+// recycles payload buffers exactly like the TCP runtime recycles read
+// buffers, so an escaped alias is a silent cross-place data race — the
+// APGAS isolation X10's compiler enforces with `at` boundaries. The
+// analyzer re-imposes that contract.
+//
+// Analyzed functions ("targets") are
+//
+//   - functions and function literals with the handler signature
+//     func(int, []byte) ([]byte, error), and
+//   - functions named decode*/Decode* taking a []byte parameter.
+//
+// The []byte parameters seed an intraprocedural, flow-ordered taint walk.
+// Taint spreads through slicing, composite literals, same-package calls
+// whose results are concretely byte-slice-shaped, and method calls on
+// tainted receivers. It stops at explicit copies: clone*/copy* callees,
+// the copy builtin, string conversions, and append onto an untainted
+// destination. A diagnostic is reported when a tainted alias escapes the
+// function: returned, stored into anything that outlives the call
+// (fields reached through pointers, captured or package variables),
+// sent on a channel, or captured by a spawned goroutine.
+//
+// Interface and type-parameter results (e.g. codec.Codec[T].Decode) are
+// treated as non-aliasing: DPX10 codecs are required to produce owned
+// values, and that contract is checked by their own fuzz tests.
+package placeleak
+
+import (
+	"bytes"
+	"go/ast"
+	"go/printer"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"github.com/dpx10/dpx10/internal/analysis/framework"
+)
+
+var Analyzer = &framework.Analyzer{
+	Name: "placeleak",
+	Doc:  "flag transport handlers and decode paths that retain or return an alias of the incoming payload []byte",
+	Run:  run,
+}
+
+func run(pass *framework.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body == nil {
+					return true
+				}
+				sig, _ := pass.TypesInfo.Defs[fn.Name].Type().(*types.Signature)
+				if sig == nil {
+					return true
+				}
+				if handlerShaped(sig) || decodeNamed(fn.Name.Name, sig) {
+					analyze(pass, fn.Type, fn.Body, sig)
+				}
+			case *ast.FuncLit:
+				sig, _ := pass.TypesInfo.TypeOf(fn).(*types.Signature)
+				if sig != nil && handlerShaped(sig) {
+					analyze(pass, fn.Type, fn.Body, sig)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// handlerShaped reports the transport.Handler signature
+// func(int, []byte) ([]byte, error).
+func handlerShaped(sig *types.Signature) bool {
+	p, r := sig.Params(), sig.Results()
+	if p.Len() != 2 || r.Len() != 2 {
+		return false
+	}
+	if b, ok := p.At(0).Type().Underlying().(*types.Basic); !ok || b.Kind() != types.Int {
+		return false
+	}
+	if !isByteSlice(p.At(1).Type()) || !isByteSlice(r.At(0).Type()) {
+		return false
+	}
+	named, ok := r.At(1).Type().(*types.Named)
+	return ok && named.Obj().Name() == "error" && named.Obj().Pkg() == nil
+}
+
+// decodeNamed reports decoder functions: named decode*/Decode* with at
+// least one byte-slice parameter.
+func decodeNamed(name string, sig *types.Signature) bool {
+	if !strings.HasPrefix(name, "decode") && !strings.HasPrefix(name, "Decode") {
+		return false
+	}
+	for i := 0; i < sig.Params().Len(); i++ {
+		if isByteSlice(sig.Params().At(i).Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+func isByteSlice(t types.Type) bool {
+	sl, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := sl.Elem().Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Byte
+}
+
+// byteSliceish reports types whose values can directly alias payload
+// bytes: []byte, nested slices of it, and pointers to either. Type
+// parameters and interfaces are deliberately excluded (see package doc).
+func byteSliceish(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Slice:
+		if b, ok := u.Elem().Underlying().(*types.Basic); ok && b.Kind() == types.Byte {
+			return true
+		}
+		return byteSliceish(u.Elem())
+	case *types.Pointer:
+		return byteSliceish(u.Elem())
+	}
+	return false
+}
+
+// containsAlias reports types through which payload bytes can escape:
+// byteSliceish types and structs (or pointers to structs) with such a
+// field, recursively.
+func containsAlias(t types.Type) bool {
+	return containsAlias1(t, map[types.Type]bool{})
+}
+
+func containsAlias1(t types.Type, seen map[types.Type]bool) bool {
+	if seen[t] {
+		return false
+	}
+	seen[t] = true
+	if byteSliceish(t) {
+		return true
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Pointer:
+		return containsAlias1(u.Elem(), seen)
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if containsAlias1(u.Field(i).Type(), seen) {
+				return true
+			}
+		}
+	case *types.Array:
+		return containsAlias1(u.Elem(), seen)
+	case *types.Map:
+		return containsAlias1(u.Elem(), seen) || containsAlias1(u.Key(), seen)
+	case *types.Slice:
+		return containsAlias1(u.Elem(), seen)
+	case *types.Chan:
+		return containsAlias1(u.Elem(), seen)
+	}
+	return false
+}
+
+// taintScan is the per-target-function state.
+type taintScan struct {
+	pass    *framework.Pass
+	fnType  *ast.FuncType
+	fnBody  *ast.BlockStmt
+	tainted map[types.Object]bool
+}
+
+func analyze(pass *framework.Pass, fnType *ast.FuncType, body *ast.BlockStmt, sig *types.Signature) {
+	ts := &taintScan{pass: pass, fnType: fnType, fnBody: body, tainted: map[types.Object]bool{}}
+	// Seed: byte-slice parameters.
+	if fnType.Params != nil {
+		for _, field := range fnType.Params.List {
+			for _, name := range field.Names {
+				obj := pass.TypesInfo.Defs[name]
+				if obj != nil && isByteSlice(obj.Type()) {
+					ts.tainted[obj] = true
+				}
+			}
+		}
+	}
+	if len(ts.tainted) == 0 {
+		return
+	}
+	ts.stmts(body.List)
+}
+
+// local reports whether obj is declared inside this function — including
+// parameters, excluding captured outer variables and package-level state.
+func (ts *taintScan) local(obj types.Object) bool {
+	return obj != nil && ts.fnType.Pos() <= obj.Pos() && obj.Pos() <= ts.fnBody.End()
+}
+
+// baseIdent returns the leftmost identifier of a selector/index chain:
+// baseIdent(a.b[i].c) = a.
+func baseIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// --- expression taint -------------------------------------------------
+
+func (ts *taintScan) exprTainted(e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return ts.tainted[ts.pass.TypesInfo.Uses[e]]
+	case *ast.SelectorExpr:
+		// Field of a tainted value, or a method value on one.
+		return ts.exprTainted(e.X)
+	case *ast.IndexExpr:
+		return ts.exprTainted(e.X)
+	case *ast.SliceExpr:
+		return ts.exprTainted(e.X)
+	case *ast.StarExpr:
+		return ts.exprTainted(e.X)
+	case *ast.ParenExpr:
+		return ts.exprTainted(e.X)
+	case *ast.UnaryExpr:
+		if e.Op == token.AND {
+			return ts.exprTainted(e.X)
+		}
+		return false
+	case *ast.CompositeLit:
+		for _, el := range e.Elts {
+			v := el
+			if kv, ok := el.(*ast.KeyValueExpr); ok {
+				v = kv.Value
+			}
+			if ts.exprTainted(v) {
+				return true
+			}
+		}
+		return false
+	case *ast.CallExpr:
+		return ts.callTainted(e)
+	case *ast.TypeAssertExpr:
+		return ts.exprTainted(e.X)
+	}
+	return false
+}
+
+// callTainted decides whether a call expression's (single) result aliases
+// tainted bytes.
+func (ts *taintScan) callTainted(c *ast.CallExpr) bool {
+	info := ts.pass.TypesInfo
+	// Type conversion: aliases iff the result is still byte-slice-shaped
+	// (string(b) and [n]byte(b) copy; rawMsg(b) does not).
+	if tv, ok := info.Types[c.Fun]; ok && tv.IsType() {
+		return len(c.Args) == 1 && ts.exprTainted(c.Args[0]) && byteSliceish(tv.Type)
+	}
+	// Builtins.
+	if id, ok := ast.Unparen(c.Fun).(*ast.Ident); ok {
+		if _, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin {
+			switch id.Name {
+			case "append":
+				return ts.appendTainted(c)
+			default:
+				return false // copy, len, cap, min, max, ...
+			}
+		}
+	}
+	if ts.sanitizer(c.Fun) {
+		return false
+	}
+	resType := info.TypeOf(c)
+	if resType == nil || !ts.resultAliases(resType) {
+		return false
+	}
+	// Method on a tainted receiver (reader.rest() and friends).
+	if sel, ok := ast.Unparen(c.Fun).(*ast.SelectorExpr); ok {
+		if _, isMethod := info.Selections[sel]; isMethod && ts.exprTainted(sel.X) {
+			return true
+		}
+	}
+	// Any call fed a tainted argument.
+	for _, a := range c.Args {
+		if ts.exprTainted(a) {
+			return true
+		}
+	}
+	return false
+}
+
+// resultAliases: single results use containsAlias; tuple results are
+// handled element-wise at the assignment.
+func (ts *taintScan) resultAliases(t types.Type) bool {
+	if tup, ok := t.(*types.Tuple); ok {
+		for i := 0; i < tup.Len(); i++ {
+			if containsAlias(tup.At(i).Type()) {
+				return true
+			}
+		}
+		return false
+	}
+	return containsAlias(t)
+}
+
+// appendTainted: append(dst, xs...) aliases dst, and aliases appended
+// element values — but appending bytes (ellipsis over []byte) copies them.
+func (ts *taintScan) appendTainted(c *ast.CallExpr) bool {
+	if len(c.Args) == 0 {
+		return false
+	}
+	if ts.exprTainted(c.Args[0]) {
+		return true
+	}
+	for i, a := range c.Args[1:] {
+		if !ts.exprTainted(a) {
+			continue
+		}
+		last := i+1 == len(c.Args)-1
+		if c.Ellipsis.IsValid() && last && isByteSlice(ts.pass.TypesInfo.TypeOf(a)) {
+			continue // append(dst, payload...) copies the bytes
+		}
+		return true
+	}
+	return false
+}
+
+// sanitizer recognizes explicit-copy helpers by name: clone*/copy*
+// functions and methods, bytes.Clone, slices.Clone.
+func (ts *taintScan) sanitizer(fun ast.Expr) bool {
+	var name string
+	switch f := ast.Unparen(fun).(type) {
+	case *ast.Ident:
+		name = f.Name
+	case *ast.SelectorExpr:
+		name = f.Sel.Name
+	case *ast.IndexExpr: // generic instantiation cloneSlice[T](...)
+		return ts.sanitizer(f.X)
+	default:
+		return false
+	}
+	lower := strings.ToLower(name)
+	return strings.HasPrefix(lower, "clone") || strings.HasPrefix(lower, "copy")
+}
+
+// --- statement walk ---------------------------------------------------
+
+func (ts *taintScan) stmts(list []ast.Stmt) {
+	for _, st := range list {
+		ts.stmt(st)
+	}
+}
+
+func (ts *taintScan) stmt(st ast.Stmt) {
+	switch st := st.(type) {
+	case *ast.AssignStmt:
+		ts.assign(st.Lhs, st.Rhs)
+	case *ast.DeclStmt:
+		if gd, ok := st.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok && len(vs.Values) > 0 {
+					lhs := make([]ast.Expr, len(vs.Names))
+					for i, n := range vs.Names {
+						lhs[i] = n
+					}
+					ts.assign(lhs, vs.Values)
+				}
+			}
+		}
+	case *ast.ReturnStmt:
+		for _, r := range st.Results {
+			t := ts.pass.TypesInfo.TypeOf(r)
+			if ts.exprTainted(r) && t != nil && containsAlias(t) {
+				ts.pass.Reportf(r.Pos(), "returns an alias of the incoming payload; copy it first")
+			}
+		}
+	case *ast.SendStmt:
+		t := ts.pass.TypesInfo.TypeOf(st.Value)
+		if ts.exprTainted(st.Value) && t != nil && containsAlias(t) {
+			ts.pass.Reportf(st.Pos(), "sends an alias of the incoming payload on a channel; it escapes the handler")
+		}
+	case *ast.GoStmt:
+		ts.goStmt(st)
+	case *ast.IfStmt:
+		if st.Init != nil {
+			ts.stmt(st.Init)
+		}
+		ts.stmts(st.Body.List)
+		if st.Else != nil {
+			ts.stmt(st.Else)
+		}
+	case *ast.ForStmt:
+		if st.Init != nil {
+			ts.stmt(st.Init)
+		}
+		ts.stmts(st.Body.List)
+		if st.Post != nil {
+			ts.stmt(st.Post)
+		}
+	case *ast.RangeStmt:
+		// range over a tainted slice taints the element variable.
+		if ts.exprTainted(st.X) && st.Value != nil {
+			if id, ok := st.Value.(*ast.Ident); ok {
+				if obj := ts.pass.TypesInfo.Defs[id]; obj != nil && containsAlias(obj.Type()) {
+					ts.tainted[obj] = true
+				}
+			}
+		}
+		ts.stmts(st.Body.List)
+	case *ast.BlockStmt:
+		ts.stmts(st.List)
+	case *ast.LabeledStmt:
+		ts.stmt(st.Stmt)
+	case *ast.SwitchStmt:
+		if st.Init != nil {
+			ts.stmt(st.Init)
+		}
+		for _, cl := range st.Body.List {
+			if cc, ok := cl.(*ast.CaseClause); ok {
+				ts.stmts(cc.Body)
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		if st.Init != nil {
+			ts.stmt(st.Init)
+		}
+		for _, cl := range st.Body.List {
+			if cc, ok := cl.(*ast.CaseClause); ok {
+				ts.stmts(cc.Body)
+			}
+		}
+	case *ast.SelectStmt:
+		for _, cl := range st.Body.List {
+			if cc, ok := cl.(*ast.CommClause); ok {
+				if s, ok := cc.Comm.(*ast.SendStmt); ok {
+					ts.stmt(s)
+				}
+				ts.stmts(cc.Body)
+			}
+		}
+	}
+}
+
+// assign handles both forms: pairwise a, b = x, y and tuple a, b := f().
+func (ts *taintScan) assign(lhs, rhs []ast.Expr) {
+	if len(rhs) == 1 && len(lhs) > 1 {
+		// Tuple: taint byte-slice-shaped results if the call would taint.
+		taints := false
+		switch r := rhs[0].(type) {
+		case *ast.CallExpr:
+			taints = ts.callTainted(r)
+		default:
+			taints = ts.exprTainted(r) // comma-ok forms
+		}
+		if !taints {
+			return
+		}
+		for _, l := range lhs {
+			id, ok := l.(*ast.Ident)
+			if !ok || id.Name == "_" {
+				continue
+			}
+			obj := ts.objOf(id)
+			if obj != nil && containsAlias(obj.Type()) {
+				ts.taintTarget(l, obj)
+			}
+		}
+		return
+	}
+	for i, l := range lhs {
+		if i >= len(rhs) {
+			break
+		}
+		r := rhs[i]
+		t := ts.pass.TypesInfo.TypeOf(r)
+		if !ts.exprTainted(r) || t == nil || !containsAlias(t) {
+			// An untainted right-hand side clears a previously tainted
+			// local: payload = cloneBytes(payload) sanitizes.
+			if id, ok := l.(*ast.Ident); ok {
+				if obj := ts.objOf(id); obj != nil && ts.local(obj) {
+					delete(ts.tainted, obj)
+				}
+			}
+			continue
+		}
+		ts.store(l, r)
+	}
+}
+
+// store records or reports one "tainted value lands in lhs" event.
+func (ts *taintScan) store(l ast.Expr, r ast.Expr) {
+	switch l := l.(type) {
+	case *ast.Ident:
+		if l.Name == "_" {
+			return
+		}
+		obj := ts.objOf(l)
+		if obj == nil {
+			return
+		}
+		ts.taintTarget(l, obj)
+	default:
+		base := baseIdent(l)
+		if base == nil {
+			ts.report(l)
+			return
+		}
+		obj := ts.objOf(base)
+		if obj == nil {
+			ts.report(l)
+			return
+		}
+		// Storing through a pointer, a captured variable or package state
+		// escapes the function; storing into a local value container only
+		// taints the container.
+		if ts.local(obj) && !isPointerish(obj.Type()) {
+			ts.tainted[obj] = true
+			return
+		}
+		ts.report(l)
+	}
+}
+
+// taintTarget taints a local identifier or reports a store into an
+// identifier that outlives the function (captured or package-level).
+func (ts *taintScan) taintTarget(l ast.Expr, obj types.Object) {
+	if ts.local(obj) {
+		ts.tainted[obj] = true
+		return
+	}
+	ts.report(l)
+}
+
+func (ts *taintScan) report(l ast.Expr) {
+	ts.pass.Reportf(l.Pos(), "retains an alias of the incoming payload in %s, which outlives the handler; copy it first",
+		render(ts.pass.Fset, l))
+}
+
+func (ts *taintScan) goStmt(st *ast.GoStmt) {
+	for _, a := range st.Call.Args {
+		t := ts.pass.TypesInfo.TypeOf(a)
+		if ts.exprTainted(a) && t != nil && containsAlias(t) {
+			ts.pass.Reportf(st.Pos(), "passes an alias of the incoming payload to a goroutine that may outlive the handler")
+			return
+		}
+	}
+	if lit, ok := st.Call.Fun.(*ast.FuncLit); ok {
+		captured := false
+		ast.Inspect(lit.Body, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok {
+				if obj := ts.pass.TypesInfo.Uses[id]; obj != nil && ts.tainted[obj] {
+					captured = true
+				}
+			}
+			return !captured
+		})
+		if captured {
+			ts.pass.Reportf(st.Pos(), "goroutine captures an alias of the incoming payload and may outlive the handler")
+		}
+	}
+}
+
+func (ts *taintScan) objOf(id *ast.Ident) types.Object {
+	if obj := ts.pass.TypesInfo.Uses[id]; obj != nil {
+		return obj
+	}
+	return ts.pass.TypesInfo.Defs[id]
+}
+
+func isPointerish(t types.Type) bool {
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Map, *types.Chan, *types.Interface:
+		return true
+	}
+	return false
+}
+
+func render(fset *token.FileSet, e ast.Expr) string {
+	var buf bytes.Buffer
+	if err := printer.Fprint(&buf, fset, e); err != nil {
+		return "?"
+	}
+	return buf.String()
+}

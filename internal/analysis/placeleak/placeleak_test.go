@@ -1,0 +1,12 @@
+package placeleak_test
+
+import (
+	"testing"
+
+	"github.com/dpx10/dpx10/internal/analysis/analysistest"
+	"github.com/dpx10/dpx10/internal/analysis/placeleak"
+)
+
+func TestPlaceleak(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), placeleak.Analyzer, "placeleak/a")
+}

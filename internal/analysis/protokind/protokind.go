@@ -1,0 +1,284 @@
+// Package protokind cross-checks the DPX10 wire-protocol kind constants
+// against every table that must enumerate them.
+//
+// The protocol package is any analyzed package declaring integer
+// constants named kind<UpperCamel> (internal/core's proto.go). For each
+// such package the analyzer checks, by constant *value* so the tables may
+// live in other packages:
+//
+//   - every kind is registered with the transport — it appears as the
+//     first argument of a .Handle(...) call in the protocol package
+//     (DPX10 dispatches by registration, not by switch);
+//   - every kind has an entry in a kindNames table (package-level
+//     var kindNames = map[...]string, conventionally in internal/trace)
+//     whose string is the constant's name without the "kind" prefix,
+//     lower-camel-cased (kindDecrBatch -> "decrBatch");
+//   - every kind appears in the protocol package's fuzzedWireKinds
+//     coverage table (a package-level composite literal in its fuzz
+//     tests), so fuzzing exercises each decoder;
+//   - no two kinds share a value, and the tables carry no stale entries.
+//
+// Adding kind 22 without teaching the dispatch, the trace layer and the
+// fuzzers about it is therefore a build break, not a code-review catch.
+package protokind
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+	"unicode"
+
+	"github.com/dpx10/dpx10/internal/analysis/framework"
+)
+
+var Analyzer = &framework.Analyzer{
+	Name:      "protokind",
+	Doc:       "check that every wire-protocol kind constant is registered, named in the trace table, and fuzz-covered",
+	RunGlobal: runGlobal,
+}
+
+var kindNameRE = regexp.MustCompile(`^kind[A-Z0-9]`)
+
+// kindConst is one kind* constant declaration.
+type kindConst struct {
+	name string
+	val  uint64
+	pos  token.Pos
+}
+
+func runGlobal(pass *framework.GlobalPass) error {
+	for _, pkg := range pass.Packages {
+		kinds := kindConsts(pkg)
+		if len(kinds) == 0 {
+			continue
+		}
+		checkProtocolPackage(pass, pkg, kinds)
+	}
+	return nil
+}
+
+// kindConsts collects the kind* integer constants declared in pkg.
+func kindConsts(pkg *framework.Package) []kindConst {
+	var out []kindConst
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.CONST {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for _, name := range vs.Names {
+					if !kindNameRE.MatchString(name.Name) {
+						continue
+					}
+					cn, ok := pkg.TypesInfo.Defs[name].(*types.Const)
+					if !ok {
+						continue
+					}
+					if b, ok := cn.Type().Underlying().(*types.Basic); !ok || b.Info()&types.IsInteger == 0 {
+						continue
+					}
+					v, ok := constant.Uint64Val(constant.ToInt(cn.Val()))
+					if !ok {
+						continue
+					}
+					out = append(out, kindConst{name: name.Name, val: v, pos: name.Pos()})
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].pos < out[j].pos })
+	return out
+}
+
+func checkProtocolPackage(pass *framework.GlobalPass, proto *framework.Package, kinds []kindConst) {
+	byVal := map[uint64]kindConst{}
+	for _, k := range kinds {
+		if prev, dup := byVal[k.val]; dup {
+			pass.Reportf(k.pos, "kind value %d of %s duplicates %s", k.val, k.name, prev.name)
+			continue
+		}
+		byVal[k.val] = k
+	}
+
+	// Registration: first arguments of .Handle(...) calls in the protocol
+	// package that evaluate to constants.
+	registered := map[uint64]bool{}
+	for _, f := range proto.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			c, ok := n.(*ast.CallExpr)
+			if !ok || len(c.Args) < 2 {
+				return true
+			}
+			sel, ok := c.Fun.(*ast.SelectorExpr)
+			if !ok || sel.Sel.Name != "Handle" {
+				return true
+			}
+			if v, ok := constVal(proto.TypesInfo, c.Args[0]); ok {
+				registered[v] = true
+			}
+			return true
+		})
+	}
+	for _, k := range kinds {
+		if byVal[k.val].name != k.name {
+			continue // duplicate, already reported
+		}
+		if !registered[k.val] {
+			pass.Reportf(k.pos, "%s (=%d) is never registered with a transport Handle call", k.name, k.val)
+		}
+	}
+
+	// kindNames: a package-level map table, preferably in the protocol
+	// package itself, otherwise anywhere in the analyzed set (DPX10 keeps
+	// it in internal/trace).
+	names, namesPos, namesEntries := findTableIn(proto, "kindNames")
+	if namesPos == token.NoPos {
+		names, namesPos, namesEntries = findTable(pass, "kindNames")
+	}
+	if namesPos == token.NoPos {
+		pass.Reportf(kinds[0].pos, "no kindNames table found for these protocol kinds (expected a package-level var kindNames map)")
+	} else {
+		for _, k := range kinds {
+			if byVal[k.val].name != k.name {
+				continue
+			}
+			want := traceName(k.name)
+			got, ok := names[k.val]
+			switch {
+			case !ok:
+				pass.Reportf(namesPos, "kindNames is missing %s (=%d)", k.name, k.val)
+			case got != want:
+				pass.Reportf(namesPos, "kindNames maps %d to %q, want %q (from %s)", k.val, got, want, k.name)
+			}
+		}
+		for _, e := range namesEntries {
+			if _, ok := byVal[e.val]; !ok {
+				pass.Reportf(e.pos, "kindNames has a stale entry for value %d, which names no kind constant", e.val)
+			}
+		}
+	}
+
+	// fuzzedWireKinds: coverage table in the protocol package itself
+	// (its _test.go files, which the loader folds in).
+	covered, coveredPos, coveredEntries := findTableIn(proto, "fuzzedWireKinds")
+	if coveredPos == token.NoPos {
+		pass.Reportf(kinds[0].pos, "no fuzzedWireKinds coverage table found in the package declaring these kinds (add one to its fuzz tests)")
+	} else {
+		for _, k := range kinds {
+			if byVal[k.val].name != k.name {
+				continue
+			}
+			if _, ok := covered[k.val]; !ok {
+				pass.Reportf(coveredPos, "fuzzedWireKinds is missing %s (=%d); the fuzzers do not cover its decoder", k.name, k.val)
+			}
+		}
+		for _, e := range coveredEntries {
+			if _, ok := byVal[e.val]; !ok {
+				pass.Reportf(e.pos, "fuzzedWireKinds has a stale entry for value %d, which names no kind constant", e.val)
+			}
+		}
+	}
+}
+
+// tableEntry is one element of a kind table literal.
+type tableEntry struct {
+	val uint64
+	pos token.Pos
+}
+
+// findTable locates a package-level var named name across all analyzed
+// packages; findTableIn searches one package. The var's composite literal
+// yields value->string entries (map) or a value set (slice).
+func findTable(pass *framework.GlobalPass, name string) (map[uint64]string, token.Pos, []tableEntry) {
+	for _, pkg := range pass.Packages {
+		if m, pos, entries := findTableIn(pkg, name); pos != token.NoPos {
+			return m, pos, entries
+		}
+	}
+	return nil, token.NoPos, nil
+}
+
+func findTableIn(pkg *framework.Package, name string) (map[uint64]string, token.Pos, []tableEntry) {
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.VAR {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, id := range vs.Names {
+					if id.Name != name || i >= len(vs.Values) {
+						continue
+					}
+					lit, ok := vs.Values[i].(*ast.CompositeLit)
+					if !ok {
+						continue
+					}
+					m, entries := tableEntries(pkg.TypesInfo, lit)
+					return m, id.Pos(), entries
+				}
+			}
+		}
+	}
+	return nil, token.NoPos, nil
+}
+
+func tableEntries(info *types.Info, lit *ast.CompositeLit) (map[uint64]string, []tableEntry) {
+	m := map[uint64]string{}
+	var entries []tableEntry
+	for _, el := range lit.Elts {
+		if kv, ok := el.(*ast.KeyValueExpr); ok {
+			v, ok := constVal(info, kv.Key)
+			if !ok {
+				continue
+			}
+			s := ""
+			if tv, ok := info.Types[kv.Value]; ok && tv.Value != nil && tv.Value.Kind() == constant.String {
+				s = constant.StringVal(tv.Value)
+			}
+			m[v] = s
+			entries = append(entries, tableEntry{val: v, pos: kv.Pos()})
+			continue
+		}
+		if v, ok := constVal(info, el); ok {
+			m[v] = ""
+			entries = append(entries, tableEntry{val: v, pos: el.Pos()})
+		}
+	}
+	return m, entries
+}
+
+// constVal evaluates an expression to an unsigned integer constant.
+func constVal(info *types.Info, e ast.Expr) (uint64, bool) {
+	tv, ok := info.Types[e]
+	if !ok || tv.Value == nil {
+		return 0, false
+	}
+	v, ok := constant.Uint64Val(constant.ToInt(tv.Value))
+	return v, ok
+}
+
+// traceName derives the expected kindNames string: strip the "kind"
+// prefix and lower the first rune (kindDecrBatch -> "decrBatch").
+func traceName(kind string) string {
+	s := strings.TrimPrefix(kind, "kind")
+	if s == "" {
+		return s
+	}
+	r := []rune(s)
+	r[0] = unicode.ToLower(r[0])
+	return string(r)
+}

@@ -1,0 +1,22 @@
+package protokind_test
+
+import (
+	"testing"
+
+	"github.com/dpx10/dpx10/internal/analysis/analysistest"
+	"github.com/dpx10/dpx10/internal/analysis/protokind"
+)
+
+// Each corpus is its own protocol package, so each gets its own global
+// pass — a shared pass would let one corpus's tables satisfy another's.
+func TestProtokindClean(t *testing.T) {
+	analysistest.RunGlobal(t, analysistest.TestData(), protokind.Analyzer, "protokind/good")
+}
+
+func TestProtokindFindings(t *testing.T) {
+	analysistest.RunGlobal(t, analysistest.TestData(), protokind.Analyzer, "protokind/bad")
+}
+
+func TestProtokindMissingTables(t *testing.T) {
+	analysistest.RunGlobal(t, analysistest.TestData(), protokind.Analyzer, "protokind/notables")
+}

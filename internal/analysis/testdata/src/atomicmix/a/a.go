@@ -1,0 +1,57 @@
+package a
+
+import "sync/atomic"
+
+type counter struct {
+	n    int64
+	m    int64
+	cold int64
+}
+
+func (c *counter) incAtomic() {
+	atomic.AddInt64(&c.n, 1)
+	atomic.AddInt64(&c.m, 1)
+}
+
+func (c *counter) read() int64 {
+	return c.n // want `plain access of c\.n, which is accessed with sync/atomic`
+}
+
+func (c *counter) bump() {
+	c.n++ // want `plain access of c\.n, which is accessed with sync/atomic`
+}
+
+func (c *counter) loadOK() int64 {
+	return atomic.LoadInt64(&c.m)
+}
+
+func (c *counter) coldIsPlain() {
+	c.cold++
+}
+
+var gen uint64
+
+func next() uint64 { return atomic.AddUint64(&gen, 1) }
+
+func reset() {
+	gen = 0 // want `plain access of gen, which is accessed with sync/atomic`
+}
+
+// Element-wise atomics: the slice header stays free, the elements do not.
+type slots struct {
+	flags []uint32
+}
+
+func newSlots(n int) *slots {
+	return &slots{flags: make([]uint32, n)}
+}
+
+func (s *slots) mark(i int) bool {
+	return atomic.CompareAndSwapUint32(&s.flags[i], 0, 1)
+}
+
+func (s *slots) peek(i int) uint32 {
+	return s.flags[i] // want `plain access of s\.flags, which is accessed with sync/atomic`
+}
+
+func (s *slots) size() int { return len(s.flags) }

@@ -1,0 +1,104 @@
+package a
+
+import (
+	"sync"
+	"time"
+)
+
+type transportish struct{}
+
+func (transportish) Send(to int, kind uint8, b []byte) error          { return nil }
+func (transportish) Call(to int, kind uint8, b []byte) ([]byte, error) { return nil, nil }
+
+type server struct {
+	mu sync.Mutex
+	rw sync.RWMutex
+	tr transportish
+	ch chan int
+}
+
+func (s *server) sendWhileLocked() {
+	s.mu.Lock()
+	s.ch <- 1 // want `channel send while mutex "s.mu" is held`
+	s.mu.Unlock()
+}
+
+func (s *server) sendAfterUnlock() {
+	s.mu.Lock()
+	v := 1
+	s.mu.Unlock()
+	s.ch <- v
+}
+
+func (s *server) recvWhileLocked() {
+	s.mu.Lock()
+	v := <-s.ch // want `channel receive while mutex "s.mu" is held`
+	_ = v
+	s.mu.Unlock()
+}
+
+func (s *server) callWhileDeferLocked() ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.tr.Call(1, 2, nil) // want `call to s.tr.Call while mutex "s.mu" is held`
+}
+
+func (s *server) transportSendLocked() {
+	s.mu.Lock()
+	_ = s.tr.Send(1, 2, nil) // want `call to s.tr.Send while mutex "s.mu" is held`
+	s.mu.Unlock()
+}
+
+func (s *server) sendOutsideLock() error {
+	s.mu.Lock()
+	to := 1
+	s.mu.Unlock()
+	return s.tr.Send(to, 2, nil)
+}
+
+func (s *server) sleepWhileRLocked() {
+	s.rw.RLock()
+	time.Sleep(time.Millisecond) // want `call to time.Sleep while mutex "s.rw" is held`
+	s.rw.RUnlock()
+}
+
+func (s *server) selectWhileLocked(quit chan struct{}) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select { // want `select without default while mutex "s.mu" is held`
+	case <-quit:
+	case s.ch <- 1:
+	}
+}
+
+func (s *server) selectWithDefault() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select {
+	case s.ch <- 1:
+	default:
+	}
+}
+
+func (s *server) drainWhileLocked() {
+	s.mu.Lock()
+	for range s.ch { // want `range over channel while mutex "s.mu" is held`
+	}
+	s.mu.Unlock()
+}
+
+func (s *server) waitWhileLocked(wg *sync.WaitGroup) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	wg.Wait() // want `call to wg.Wait while mutex "s.mu" is held`
+}
+
+// A goroutine body runs outside the critical section; it is analyzed with
+// an empty held set.
+func (s *server) goroutineIsClean() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	go func() {
+		s.ch <- 1
+	}()
+}

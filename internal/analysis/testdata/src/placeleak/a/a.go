@@ -1,0 +1,116 @@
+package a
+
+type sink struct {
+	buf  []byte
+	last []byte
+}
+
+var global [][]byte
+
+func cloneBytes(b []byte) []byte {
+	out := make([]byte, len(b))
+	copy(out, b)
+	return out
+}
+
+func process(b []byte) {}
+
+// --- handler-shaped functions ----------------------------------------
+
+func echo(from int, payload []byte) ([]byte, error) {
+	return payload, nil // want `returns an alias of the incoming payload`
+}
+
+func echoCopy(from int, payload []byte) ([]byte, error) {
+	return cloneBytes(payload), nil
+}
+
+func viaLocal(from int, payload []byte) ([]byte, error) {
+	p := payload[8:]
+	return p, nil // want `returns an alias of the incoming payload`
+}
+
+func sanitized(from int, payload []byte) ([]byte, error) {
+	payload = cloneBytes(payload)
+	return payload, nil
+}
+
+func (s *sink) retain(from int, payload []byte) ([]byte, error) {
+	s.buf = payload // want `retains an alias of the incoming payload in s\.buf`
+	return nil, nil
+}
+
+func (s *sink) retainSubslice(from int, payload []byte) ([]byte, error) {
+	s.last = payload[4:] // want `retains an alias of the incoming payload in s\.last`
+	return nil, nil
+}
+
+func (s *sink) retainCopy(from int, payload []byte) ([]byte, error) {
+	s.buf = append(s.buf[:0], payload...)
+	return nil, nil
+}
+
+func stash(from int, payload []byte) ([]byte, error) {
+	global = append(global, payload) // want `retains an alias of the incoming payload in global`
+	return nil, nil
+}
+
+func sendIt(ch chan []byte) func(int, []byte) ([]byte, error) {
+	return func(from int, payload []byte) ([]byte, error) {
+		ch <- payload // want `sends an alias of the incoming payload on a channel`
+		return nil, nil
+	}
+}
+
+func sendCopy(ch chan []byte) func(int, []byte) ([]byte, error) {
+	return func(from int, payload []byte) ([]byte, error) {
+		ch <- cloneBytes(payload)
+		return nil, nil
+	}
+}
+
+func goArg(from int, payload []byte) ([]byte, error) {
+	go process(payload) // want `passes an alias of the incoming payload to a goroutine`
+	return nil, nil
+}
+
+func goCapture(from int, payload []byte) ([]byte, error) {
+	go func() { // want `goroutine captures an alias of the incoming payload`
+		process(payload)
+	}()
+	return nil, nil
+}
+
+func goClean(from int, payload []byte) ([]byte, error) {
+	p := cloneBytes(payload)
+	go func() {
+		process(p)
+	}()
+	return nil, nil
+}
+
+// Taint flows through a local struct container and back out.
+type frame struct{ b []byte }
+
+func viaStruct(from int, payload []byte) ([]byte, error) {
+	f := frame{b: payload}
+	return f.b, nil // want `returns an alias of the incoming payload`
+}
+
+// --- decode paths -----------------------------------------------------
+
+func decodeHeader(src []byte) ([]byte, error) {
+	if len(src) < 4 {
+		return nil, nil
+	}
+	return src[:4], nil // want `returns an alias of the incoming payload`
+}
+
+func decodeHeaderCopy(src []byte) ([]byte, error) {
+	if len(src) < 4 {
+		return nil, nil
+	}
+	out := make([]byte, 4)
+	copy(out, src)
+	return out, nil
+}

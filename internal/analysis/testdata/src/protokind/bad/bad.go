@@ -1,0 +1,28 @@
+package bad
+
+const (
+	kindPing uint8 = 1
+	kindData uint8 = 2 // want `kindData \(=2\) is never registered with a transport Handle call`
+	kindGone uint8 = 2 // want `kind value 2 of kindGone duplicates kindData`
+	kindLate uint8 = 3 // want `kindLate \(=3\) is never registered with a transport Handle call`
+)
+
+type tr struct{}
+
+func (tr) Handle(kind uint8, h func(int, []byte) ([]byte, error)) {}
+
+func register(t tr) {
+	t.Handle(kindPing, nil)
+}
+
+var kindNames = map[uint8]string{ // want `kindNames maps 2 to "dat", want "data" \(from kindData\)` `kindNames is missing kindLate \(=3\)`
+	1: "ping",
+	2: "dat",
+	9: "mystery", // want `kindNames has a stale entry for value 9`
+}
+
+var fuzzedWireKinds = []uint8{ // want `fuzzedWireKinds is missing kindLate \(=3\)`
+	kindPing,
+	kindData,
+	7, // want `fuzzedWireKinds has a stale entry for value 7`
+}

@@ -1,0 +1,22 @@
+package good
+
+const (
+	kindPing uint8 = 1
+	kindData uint8 = 2
+)
+
+type tr struct{}
+
+func (tr) Handle(kind uint8, h func(int, []byte) ([]byte, error)) {}
+
+func register(t tr) {
+	t.Handle(kindPing, nil)
+	t.Handle(kindData, nil)
+}
+
+var kindNames = map[uint8]string{
+	1: "ping",
+	2: "data",
+}
+
+var fuzzedWireKinds = []uint8{kindPing, kindData}

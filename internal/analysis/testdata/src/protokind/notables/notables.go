@@ -1,0 +1,3 @@
+package notables
+
+const kindSolo uint8 = 1 // want `kindSolo \(=1\) is never registered` `no kindNames table found` `no fuzzedWireKinds coverage table found`

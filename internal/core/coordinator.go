@@ -8,6 +8,7 @@ import (
 	"sort"
 	"time"
 
+	"github.com/dpx10/dpx10/internal/trace"
 	"github.com/dpx10/dpx10/internal/transport"
 )
 
@@ -223,14 +224,14 @@ func (co *coordinator[T]) attemptRecovery(survivors []int) (int, error) {
 // non-failure faults.
 func (co *coordinator[T]) phase(survivors []int, kind uint8, payload []byte, onReply func(p int, reply []byte)) (int, error) {
 	for _, p := range survivors {
-		debugf("recovery phase %d -> place %d", kind, p)
+		debugf("recovery phase %s -> place %d", trace.KindName(kind), p)
 		reply, err := co.pe.tr.Call(p, kind, payload)
-		debugf("recovery phase %d <- place %d (err=%v)", kind, p, err)
+		debugf("recovery phase %s <- place %d (err=%v)", trace.KindName(kind), p, err)
 		if err == transport.ErrDeadPlace {
 			return p, err
 		}
 		if err != nil {
-			return -1, fmt.Errorf("core: recovery phase %d at place %d: %w", kind, p, err)
+			return -1, fmt.Errorf("core: recovery phase %s at place %d: %w", trace.KindName(kind), p, err)
 		}
 		if onReply != nil {
 			onReply(p, reply)

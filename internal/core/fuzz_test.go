@@ -7,6 +7,103 @@ import (
 	"github.com/dpx10/dpx10/internal/dag"
 )
 
+// fuzzedWireKinds lists every wire-protocol kind whose payload grammar is
+// exercised by the decoder probes and fuzz targets in this file. The
+// protokind analyzer in dpx10-vet cross-checks it against the kind*
+// constant block in proto.go: declaring a new kind without extending this
+// table (and wireProbes below) fails `make vet`.
+var fuzzedWireKinds = []uint8{
+	kindFetch, kindDecrement, kindExec, kindPlaceDone, kindFault,
+	kindPause, kindRebuild, kindRestore, kindRestoreTx, kindReplay,
+	kindReplayTx, kindResume, kindStop, kindReadVal, kindPing,
+	kindHello, kindBegin, kindSteal, kindStealDone, kindDecrBatch,
+}
+
+// wireProbes maps each kind to a decode of its payload grammar, mirroring
+// what the kind's handler does with an incoming payload. A probe must be
+// total: any input returns normally (possibly with an error) — no panics.
+var wireProbes = map[uint8]func(data []byte){
+	kindFetch:     func(b []byte) { _, _, _ = decodeIDBatch(b, nil) },
+	kindDecrement: func(b []byte) { _, _, _ = decodeIDBatch(b, nil) },
+	kindExec:      func(b []byte) { r := reader{b: b}; _ = r.u64(); _ = r.id() },
+	kindPlaceDone: func(b []byte) { r := reader{b: b}; _ = r.u64(); _ = r.u32() },
+	kindFault:     func(b []byte) { r := reader{b: b}; _ = r.u64(); _ = r.u32() },
+	kindPause: func(b []byte) {
+		r := reader{b: b}
+		_ = r.u64()
+		n := r.u32()
+		for k := uint32(0); k < n && r.err == nil; k++ {
+			_ = r.u32()
+		}
+	},
+	kindRebuild: func(b []byte) { r := reader{b: b}; _ = r.u64() },
+	kindRestore: func(b []byte) { r := reader{b: b}; _ = r.u64() },
+	kindRestoreTx: func(b []byte) {
+		r := reader{b: b}
+		_ = r.u64()
+		n := r.u32()
+		for k := uint32(0); k < n && r.err == nil; k++ {
+			_ = r.id()
+			_, used, err := codec.Int64{}.Decode(r.rest())
+			if err != nil {
+				return
+			}
+			r.off += used
+		}
+	},
+	kindReplay:   func(b []byte) { r := reader{b: b}; _ = r.u64() },
+	kindReplayTx: func(b []byte) { _, _, _ = decodeIDBatch(b, nil) },
+	kindResume:   func(b []byte) { r := reader{b: b}; _ = r.u64() },
+	kindStop:     func(b []byte) {}, // no payload
+	kindReadVal:  func(b []byte) { r := reader{b: b}; _ = r.id() },
+	kindPing:     func(b []byte) {}, // no payload
+	kindHello:    func(b []byte) {}, // no payload
+	kindBegin:    func(b []byte) {}, // no payload
+	kindSteal:    func(b []byte) { r := reader{b: b}; _ = r.u64() },
+	kindStealDone: func(b []byte) {
+		r := reader{b: b}
+		_ = r.u64()
+		_ = r.id()
+		_, _, _ = codec.Int64{}.Decode(r.rest())
+	},
+	kindDecrBatch: func(b []byte) { _, _, _, _ = decodeDecrBatch[int64](b, codec.Int64{}, nil, nil) },
+}
+
+// TestWireKindsCovered pins the coverage table's shape: every listed kind
+// is distinct and has a probe, and every probe survives adversarial
+// payloads (empty, truncated, absurd counts).
+func TestWireKindsCovered(t *testing.T) {
+	junk := [][]byte{
+		nil,
+		{},
+		{1},
+		{1, 2, 3},
+		putU32(putU64(nil, 1), 0xFFFFFFFF),
+		putU64(putU64(nil, 0), 0xFFFFFFFFFFFFFFFF),
+		make([]byte, 64),
+	}
+	seen := map[uint8]bool{}
+	for _, k := range fuzzedWireKinds {
+		if seen[k] {
+			t.Errorf("fuzzedWireKinds lists kind %d twice", k)
+		}
+		seen[k] = true
+		probe, ok := wireProbes[k]
+		if !ok {
+			t.Errorf("kind %d has no wire probe", k)
+			continue
+		}
+		for _, b := range junk {
+			probe(b)
+		}
+	}
+	for k := range wireProbes {
+		if !seen[k] {
+			t.Errorf("wireProbes has entry for kind %d, which is not in fuzzedWireKinds", k)
+		}
+	}
+}
+
 // FuzzDecodeIDBatch hardens the wire decoder shared by fetch requests,
 // decrement batches and replay batches: arbitrary bytes must never panic
 // or allocate absurdly, and every valid encoding must round-trip.

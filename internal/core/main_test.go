@@ -1,0 +1,14 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/dpx10/dpx10/internal/leakcheck"
+)
+
+// TestMain gates the whole package on goroutine hygiene: engine worker
+// pools, coordinator probes and TCP readLoops must all be gone once the
+// tests finish, or the run fails.
+func TestMain(m *testing.M) {
+	leakcheck.Main(m)
+}

@@ -21,7 +21,8 @@ type TCPNode[T any] struct {
 	co   *coordinator[T]
 
 	abortCh  chan struct{}
-	abortErr error
+	abortMu  sync.Mutex
+	abortErr error // guarded by abortMu; written by engine goroutines
 	ran      bool
 	elapsed  time.Duration
 
@@ -48,9 +49,11 @@ func StartTCPNode[T any](cfg Config[T], self int, addrs []string) (*TCPNode[T], 
 	}
 	n := &TCPNode[T]{cfg: cfg, self: self, tr: tr, abortCh: make(chan struct{})}
 	abort := func(err error) {
+		n.abortMu.Lock()
 		if n.abortErr == nil {
 			n.abortErr = err
 		}
+		n.abortMu.Unlock()
 		select {
 		case <-n.abortCh:
 		default:
@@ -59,7 +62,7 @@ func StartTCPNode[T any](cfg Config[T], self int, addrs []string) (*TCPNode[T], 
 	}
 	n.pe = newPlaceEngine[T](self, &n.cfg, tr, abort)
 	if self == 0 {
-		n.co = newCoordinator(n.pe, n.abortCh, func() error { return n.abortErr }, false)
+		n.co = newCoordinator(n.pe, n.abortCh, n.abortReason, false)
 		n.pe.events = n.co.events
 		n.helloCh = make(chan int, cfg.Places)
 		tr.Handle(kindHello, func(from int, _ []byte) ([]byte, error) {
@@ -88,6 +91,14 @@ func StartTCPNode[T any](cfg Config[T], self int, addrs []string) (*TCPNode[T], 
 
 // Addr returns the address this node actually listens on.
 func (n *TCPNode[T]) Addr() string { return n.tr.Addr() }
+
+// abortReason returns the first abort error, synchronized against the
+// engine goroutines that set it.
+func (n *TCPNode[T]) abortReason() error {
+	n.abortMu.Lock()
+	defer n.abortMu.Unlock()
+	return n.abortErr
+}
 
 // Run executes this place's share of the computation. On place 0 it
 // returns when the whole computation finished (or failed); on other
@@ -135,7 +146,7 @@ func (n *TCPNode[T]) Run() error {
 		return nil
 	case <-n.abortCh:
 		n.elapsed = time.Since(start)
-		return n.abortErr
+		return n.abortReason()
 	}
 }
 
@@ -149,7 +160,7 @@ func (n *TCPNode[T]) awaitCluster() error {
 		case p := <-n.helloCh:
 			seen[p] = true
 		case <-n.abortCh:
-			return n.abortErr
+			return n.abortReason()
 		case <-timeout:
 			return fmt.Errorf("core: only %d of %d places joined within the startup window", len(seen)+1, n.cfg.Places)
 		}

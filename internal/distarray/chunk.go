@@ -132,14 +132,17 @@ func (c *Chunk[T]) InitIndegrees(pat dag.Pattern) []int {
 			// Inactive cells keep the zero value their fresh storage
 			// already holds; writing it would needlessly page a spilled
 			// store.
-			c.indeg[off] = 0
-			c.flags[off] = 1
+			atomic.StoreInt32(&c.indeg[off], 0)
+			atomic.StoreUint32(&c.flags[off], 1)
 			continue
 		}
 		c.active++
 		buf = pat.Dependencies(i, j, buf[:0])
-		c.indeg[off] = int32(len(buf))
-		c.flags[off] = 0
+		// indeg and flags are under the atomic regime everywhere else
+		// (remote decrements race local reads); staying atomic here keeps
+		// initialization safe even if it ever overlaps a stale reader.
+		atomic.StoreInt32(&c.indeg[off], int32(len(buf)))
+		atomic.StoreUint32(&c.flags[off], 0)
 		if len(buf) == 0 {
 			ready = append(ready, off)
 		}

@@ -1,0 +1,119 @@
+// Package leakcheck is a dependency-free goroutine-leak gate for test
+// mains, in the spirit of go.uber.org/goleak (which the repo deliberately
+// does not vendor). A package opts in with
+//
+//	func TestMain(m *testing.M) { leakcheck.Main(m) }
+//
+// After the package's tests pass, Main snapshots the runtime's goroutine
+// stacks and fails the run if any non-benign goroutine is still alive —
+// a worker pool that outlived its engine, a readLoop whose transport was
+// never closed, a probe ticker nobody stopped. Shutdown is asynchronous,
+// so the check polls with a grace window before declaring a leak.
+//
+// The gate complements the dpx10-vet analyzers: placeleak and lockheld
+// reason about code statically; leakcheck catches the dynamic cousin —
+// goroutines that escape their place's lifecycle.
+package leakcheck
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+// benignPrefixes match the first function of a goroutine's stack for
+// goroutines the runtime or the testing harness owns. Anything else
+// alive after the grace window is a leak.
+var benignPrefixes = []string{
+	"testing.Main(",
+	"testing.RunTests(",
+	"testing.(*M).",
+	"testing.(*T).Run(",
+	"testing.runTests(",
+	"testing.runFuzzing(",
+	"testing.runFuzzTests(",
+	"runtime.goexit",
+	"runtime.gc",
+	"runtime.MHeap_Scavenger",
+	"runtime.bgsweep",
+	"runtime.bgscavenge",
+	"runtime.forcegchelper",
+	"runtime/pprof.",
+	"os/signal.signal_recv",
+	"os/signal.loop",
+}
+
+// Main runs the package's tests and then the leak gate. Intended to be
+// the body of TestMain.
+func Main(m *testing.M) {
+	code := m.Run()
+	if code == 0 {
+		if leaked := Check(5 * time.Second); leaked != "" {
+			fmt.Fprintf(os.Stderr, "leakcheck: goroutines still running after tests:\n%s\n", leaked)
+			code = 1
+		}
+	}
+	os.Exit(code)
+}
+
+// Check polls until no non-benign goroutines remain or the grace window
+// expires. It returns "" on success, otherwise the stacks of the leaked
+// goroutines.
+func Check(grace time.Duration) string {
+	deadline := time.Now().Add(grace)
+	for {
+		leaked := snapshot()
+		if len(leaked) == 0 {
+			return ""
+		}
+		if time.Now().After(deadline) {
+			return strings.Join(leaked, "\n\n")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// snapshot returns the stack blocks of all live non-benign goroutines.
+func snapshot() []string {
+	buf := make([]byte, 1<<20)
+	for {
+		n := runtime.Stack(buf, true)
+		if n < len(buf) {
+			buf = buf[:n]
+			break
+		}
+		buf = make([]byte, 2*len(buf))
+	}
+	var leaked []string
+	blocks := strings.Split(string(buf), "\n\n")
+	// runtime.Stack prints the calling goroutine — this check itself —
+	// first; everything after it is a candidate.
+	for _, block := range blocks[1:] {
+		if block == "" || benign(block) {
+			continue
+		}
+		leaked = append(leaked, block)
+	}
+	return leaked
+}
+
+// benign reports whether a goroutine stack block belongs to the runtime
+// or the test harness rather than code under test.
+func benign(block string) bool {
+	lines := strings.Split(block, "\n")
+	if len(lines) < 2 {
+		return true
+	}
+	// lines[0] is the "goroutine N [state]:" header; lines[1] is the
+	// innermost frame.
+	top := strings.TrimSpace(lines[1])
+	for _, p := range benignPrefixes {
+		if strings.HasPrefix(top, p) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,42 @@
+package leakcheck
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestCheckCleanState(t *testing.T) {
+	if leaked := Check(2 * time.Second); leaked != "" {
+		t.Fatalf("clean state reported as leaking:\n%s", leaked)
+	}
+}
+
+func TestCheckDetectsLeak(t *testing.T) {
+	stop := make(chan struct{})
+	defer close(stop)
+	started := make(chan struct{})
+	go func() { // deliberately outlives the check window
+		close(started)
+		<-stop
+	}()
+	<-started
+	leaked := Check(100 * time.Millisecond)
+	if leaked == "" {
+		t.Fatal("leaked goroutine not detected")
+	}
+	if !strings.Contains(leaked, "TestCheckDetectsLeak") {
+		t.Fatalf("leak report does not name the leaking goroutine:\n%s", leaked)
+	}
+}
+
+func TestBenignFiltersHarness(t *testing.T) {
+	block := "goroutine 1 [chan receive]:\ntesting.(*M).Run(...)\n\t/usr/lib/go/src/testing/testing.go:1 +0x1"
+	if !benign(block) {
+		t.Fatal("testing.(*M).Run goroutine flagged as a leak")
+	}
+	block = "goroutine 7 [chan receive]:\nmain.worker(...)\n\t/tmp/x.go:1 +0x1"
+	if benign(block) {
+		t.Fatal("user goroutine treated as benign")
+	}
+}

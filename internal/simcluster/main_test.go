@@ -1,0 +1,12 @@
+package simcluster
+
+import (
+	"testing"
+
+	"github.com/dpx10/dpx10/internal/leakcheck"
+)
+
+// TestMain fails the package if simulated places leave goroutines behind.
+func TestMain(m *testing.M) {
+	leakcheck.Main(m)
+}

@@ -1,0 +1,28 @@
+package trace
+
+import "testing"
+
+func TestKindName(t *testing.T) {
+	if got := KindName(1); got != "fetch" {
+		t.Errorf("KindName(1) = %q, want %q", got, "fetch")
+	}
+	if got := KindName(20); got != "decrBatch" {
+		t.Errorf("KindName(20) = %q, want %q", got, "decrBatch")
+	}
+	if got := KindName(0); got != "kind0" {
+		t.Errorf("KindName(0) = %q, want %q", got, "kind0")
+	}
+	if got := KindName(99); got != "kind99" {
+		t.Errorf("KindName(99) = %q, want %q", got, "kind99")
+	}
+}
+
+func TestKindNamesDistinct(t *testing.T) {
+	seen := map[string]uint8{}
+	for v, n := range kindNames {
+		if prev, dup := seen[n]; dup {
+			t.Errorf("kindNames value %q used by both %d and %d", n, prev, v)
+		}
+		seen[n] = v
+	}
+}

@@ -93,8 +93,9 @@ func TestLocalPayloadIsolation(t *testing.T) {
 	defer f.Close()
 	var captured []byte
 	f.Endpoint(1).Handle(1, func(_ int, payload []byte) ([]byte, error) {
+		//dpx10:allow placeleak this test aliases on purpose to prove the fabric clones
 		captured = payload
-		return payload, nil
+		return payload, nil //dpx10:allow placeleak deliberate alias, see above
 	})
 	orig := []byte{1, 2, 3}
 	reply, err := f.Endpoint(0).Call(1, 1, orig)
@@ -147,7 +148,7 @@ func TestLocalConcurrentCalls(t *testing.T) {
 func TestLocalStats(t *testing.T) {
 	f := NewLocalFabric(2)
 	defer f.Close()
-	f.Endpoint(1).Handle(1, func(_ int, p []byte) ([]byte, error) { return p, nil })
+	f.Endpoint(1).Handle(1, func(_ int, p []byte) ([]byte, error) { return p, nil }) //dpx10:allow placeleak echo handler; the fabric clones replies
 	payload := make([]byte, 10)
 	for i := 0; i < 3; i++ {
 		if _, err := f.Endpoint(0).Call(1, 1, payload); err != nil {

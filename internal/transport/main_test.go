@@ -1,0 +1,13 @@
+package transport
+
+import (
+	"testing"
+
+	"github.com/dpx10/dpx10/internal/leakcheck"
+)
+
+// TestMain fails the package if a fabric or TCP endpoint leaves its
+// delivery or readLoop goroutines running after the tests.
+func TestMain(m *testing.M) {
+	leakcheck.Main(m)
+}

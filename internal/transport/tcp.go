@@ -49,7 +49,8 @@ type TCP struct {
 	handlers [256]Handler
 
 	cmu      sync.Mutex
-	conns    []*tcpConn // indexed by peer place
+	conns    []*tcpConn      // indexed by peer place
+	dialing  []chan struct{} // per-peer in-flight dial gate; closed when the dial settles
 	accepted map[net.Conn]struct{}
 
 	dead      []atomic.Bool
@@ -92,6 +93,7 @@ func NewTCP(self int, addrs []string) (*TCP, error) {
 		addrs:       addrs,
 		ln:          ln,
 		conns:       make([]*tcpConn, len(addrs)),
+		dialing:     make([]chan struct{}, len(addrs)),
 		accepted:    make(map[net.Conn]struct{}),
 		dead:        make([]atomic.Bool, len(addrs)),
 		connected:   make([]atomic.Bool, len(addrs)),
@@ -176,24 +178,73 @@ func (t *TCP) accept() {
 // Until a peer has been reached once, dial failures are retried within the
 // startup grace window (the peer's process may simply not be listening
 // yet); after first contact, a failed re-dial means the peer died.
+// The dial itself runs with cmu released: holding the connection table
+// lock across a retry loop of up to dialTimeout would stall traffic to
+// every other (healthy) peer and block Close for the duration — the exact
+// hazard dpx10-vet's lockheld analyzer exists to catch. A per-peer gate
+// channel serializes dials to the same peer instead.
 func (t *TCP) conn(p int) (*tcpConn, error) {
-	if !t.Alive(p) {
-		return nil, ErrDeadPlace
+	var gate chan struct{}
+	for {
+		if !t.Alive(p) {
+			return nil, ErrDeadPlace
+		}
+		t.cmu.Lock()
+		if tc := t.conns[p]; tc != nil {
+			t.cmu.Unlock()
+			return tc, nil
+		}
+		if other := t.dialing[p]; other != nil {
+			t.cmu.Unlock()
+			select {
+			case <-other: // that dial settled; re-check the table
+			case <-t.closed:
+				return nil, ErrClosed
+			}
+			continue
+		}
+		gate = make(chan struct{})
+		t.dialing[p] = gate
+		t.cmu.Unlock()
+		break
 	}
+
+	c, err := t.dial(p) // no locks held
+
 	t.cmu.Lock()
-	defer t.cmu.Unlock()
-	if tc := t.conns[p]; tc != nil {
-		return tc, nil
+	t.dialing[p] = nil
+	var tc *tcpConn
+	if err == nil {
+		select {
+		case <-t.closed:
+			// Close ran while we were dialing; don't resurrect the table.
+			c.Close()
+			err = ErrClosed
+		default:
+			tc = &tcpConn{c: c}
+			t.conns[p] = tc
+			go t.readLoop(c, p)
+		}
 	}
+	t.cmu.Unlock()
+	close(gate)
+	if err != nil {
+		return nil, err
+	}
+	return tc, nil
+}
+
+// dial establishes a raw connection to peer p. Until a peer has been
+// reached once, failures are retried within the startup grace window (the
+// peer's process may simply not be listening yet); after first contact, a
+// failed re-dial means the peer died.
+func (t *TCP) dial(p int) (net.Conn, error) {
 	deadline := time.Now().Add(t.dialTimeout)
 	for {
 		c, err := net.DialTimeout("tcp", t.addrs[p], 500*time.Millisecond)
 		if err == nil {
 			t.connected[p].Store(true)
-			tc := &tcpConn{c: c}
-			t.conns[p] = tc
-			go t.readLoop(c, p)
-			return tc, nil
+			return c, nil
 		}
 		if t.connected[p].Load() || time.Now().After(deadline) {
 			t.dead[p].Store(true)

@@ -1,0 +1,115 @@
+package transport
+
+import (
+	"errors"
+	"net"
+	"testing"
+	"time"
+)
+
+// unreachableAddr returns a loopback address with nothing listening on it.
+func unreachableAddr(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr
+}
+
+// Regression test for holding the connection-table lock across the dial
+// retry loop (found by dpx10-vet's lockheld analyzer): while one peer is
+// down and being dialed, traffic to healthy peers must not stall. Before
+// the fix, conn() held cmu for up to dialTimeout and this test's healthy
+// Call waited the full window.
+func TestTCPDialDoesNotBlockOtherPeers(t *testing.T) {
+	eps := newTCPCluster(t, 3)
+	eps[0].dialTimeout = 3 * time.Second
+	eps[0].addrs[2] = unreachableAddr(t)
+	eps[1].Handle(1, func(int, []byte) ([]byte, error) { return []byte{1}, nil })
+
+	slow := make(chan error, 1)
+	go func() {
+		_, err := eps[0].Call(2, 1, nil)
+		slow <- err
+	}()
+	time.Sleep(150 * time.Millisecond) // let the dial retry loop start
+
+	start := time.Now()
+	if _, err := eps[0].Call(1, 1, nil); err != nil {
+		t.Fatalf("call to healthy peer: %v", err)
+	}
+	if d := time.Since(start); d > time.Second {
+		t.Fatalf("call to healthy peer took %v while peer 2 was being dialed", d)
+	}
+	if err := <-slow; err == nil {
+		t.Fatal("call to unreachable peer unexpectedly succeeded")
+	}
+}
+
+// Close during an in-flight dial must return promptly and must not let the
+// settling dial resurrect the closed connection table.
+func TestTCPCloseUnblocksDial(t *testing.T) {
+	eps := newTCPCluster(t, 2)
+	eps[0].dialTimeout = 10 * time.Second
+	eps[0].addrs[1] = unreachableAddr(t)
+
+	errc := make(chan error, 1)
+	go func() {
+		_, err := eps[0].Call(1, 1, nil)
+		errc <- err
+	}()
+	time.Sleep(150 * time.Millisecond)
+
+	start := time.Now()
+	eps[0].Close()
+	if d := time.Since(start); d > time.Second {
+		t.Fatalf("Close took %v during an in-flight dial", d)
+	}
+	select {
+	case err := <-errc:
+		if !errors.Is(err, ErrClosed) && !errors.Is(err, ErrDeadPlace) {
+			t.Fatalf("dialing call returned %v, want ErrClosed or ErrDeadPlace", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("dialing call did not return after Close")
+	}
+
+	eps[0].cmu.Lock()
+	defer eps[0].cmu.Unlock()
+	if eps[0].conns[1] != nil {
+		t.Fatal("dial resurrected the connection table after Close")
+	}
+}
+
+// Concurrent conn() calls to the same peer must share one dial: the gate
+// serializes them, and everyone ends up on the same connection.
+func TestTCPConcurrentDialSingleflight(t *testing.T) {
+	eps := newTCPCluster(t, 2)
+	eps[1].Handle(1, func(int, []byte) ([]byte, error) { return []byte{1}, nil })
+
+	const n = 8
+	conns := make(chan *tcpConn, n)
+	errs := make(chan error, n)
+	for i := 0; i < n; i++ {
+		go func() {
+			tc, err := eps[0].conn(1)
+			conns <- tc
+			errs <- err
+		}()
+	}
+	var first *tcpConn
+	for i := 0; i < n; i++ {
+		if err := <-errs; err != nil {
+			t.Fatalf("conn: %v", err)
+		}
+		tc := <-conns
+		if first == nil {
+			first = tc
+		} else if tc != first {
+			t.Fatal("concurrent dials produced distinct connections")
+		}
+	}
+}

@@ -79,7 +79,9 @@ func TestTCPSendOneWay(t *testing.T) {
 	eps := newTCPCluster(t, 2)
 	got := make(chan []byte, 1)
 	eps[1].Handle(3, func(_ int, payload []byte) ([]byte, error) {
-		got <- payload
+		// The handler contract forbids letting the payload escape; clone
+		// before handing it to the test's channel.
+		got <- bytes.Clone(payload)
 		return nil, nil
 	})
 	if err := eps[0].Send(1, 3, []byte("oneway")); err != nil {
