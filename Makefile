@@ -1,6 +1,6 @@
 # Convenience targets; the repository is plain `go build`-able.
 
-.PHONY: tier1 test vet bench fuzz
+.PHONY: tier1 test vet bench fuzz chaos
 
 # The merge gate: build, vet (standard + dpx10-vet), full tests, race
 # detector across the tree. Same contract as scripts/tier1.sh.
@@ -21,3 +21,9 @@ bench:
 
 fuzz:
 	go test ./internal/core/ -run xxx -fuzz FuzzDecodeDecrBatch -fuzztime 30s
+
+# Chaos soak: seeded fault-injection plans x fault profiles x mid-run
+# kills, every run verified bit-exact against the fault-free reference.
+# Set DPX10_SOAK_RUNS=<n> for a longer sweep (the nightly CI job does).
+chaos:
+	go test ./internal/core/ -run TestChaosSoak -count=1 -timeout 20m -v

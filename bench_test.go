@@ -81,7 +81,7 @@ func BenchmarkFig12_DPX10(b *testing.B) {
 	for n := 0; n < b.N; n++ {
 		app := apps.NewSWLAG(a, s)
 		if _, err := dpx10.Run[apps.AffineCell](app, app.Pattern(),
-			dpx10.Places[apps.AffineCell](8),
+			dpx10.Places(8),
 			dpx10.WithCodec[apps.AffineCell](app.Codec())); err != nil {
 			b.Fatal(err)
 		}
@@ -136,7 +136,7 @@ func BenchmarkRealRecovery(b *testing.B) {
 	total := int64(200 * 200)
 	for n := 0; n < b.N; n++ {
 		job, err := dpx10.Launch[int64](app, app.Pattern(),
-			dpx10.Places[int64](6), dpx10.WithCodec[int64](dpx10.Int64Codec{}))
+			dpx10.Places(6), dpx10.WithCodec[int64](dpx10.Int64Codec{}))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -163,7 +163,7 @@ func BenchmarkEngineThroughput(b *testing.B) {
 	for n := 0; n < b.N; n++ {
 		app := apps.NewSW(a, s)
 		if _, err := dpx10.Run[int32](app, app.Pattern(),
-			dpx10.Places[int32](4), dpx10.WithCodec[int32](dpx10.Int32Codec{})); err != nil {
+			dpx10.Places(4), dpx10.WithCodec[int32](dpx10.Int32Codec{})); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -276,9 +276,9 @@ func BenchmarkSpilledRun(b *testing.B) {
 	app := apps.NewMTP(200, 200, 100, 3)
 	for n := 0; n < b.N; n++ {
 		if _, err := dpx10.Run[int64](app, app.Pattern(),
-			dpx10.Places[int64](4),
+			dpx10.Places(4),
 			dpx10.WithCodec[int64](dpx10.Int64Codec{}),
-			dpx10.WithSpill[int64]("", 512, 8)); err != nil {
+			dpx10.WithSpill("", 512, 8)); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -305,7 +305,7 @@ func BenchmarkStragglerSim(b *testing.B) {
 func BenchmarkSaveLoadResult(b *testing.B) {
 	app := apps.NewMTP(120, 120, 100, 3)
 	dag, err := dpx10.Run[int64](app, app.Pattern(),
-		dpx10.Places[int64](2), dpx10.WithCodec[int64](dpx10.Int64Codec{}))
+		dpx10.Places(2), dpx10.WithCodec[int64](dpx10.Int64Codec{}))
 	if err != nil {
 		b.Fatal(err)
 	}

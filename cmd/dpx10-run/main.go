@@ -37,6 +37,12 @@ func main() {
 	flag.BoolVar(&p.Verify, "verify", false, "check the result against the serial reference")
 	flag.IntVar(&p.Kill, "kill", -1, "kill this place at ~50% progress (fault-tolerance demo)")
 	flag.BoolVar(&p.Trace, "trace", false, "print per-place utilization after the run")
+	flag.Int64Var(&p.ChaosSeed, "chaos-seed", 1, "seed of the fault-injection schedule (reproducible)")
+	flag.Float64Var(&p.ChaosDrop, "chaos-drop", 0, "chaos: per-message drop probability (0..1)")
+	flag.Float64Var(&p.ChaosDup, "chaos-dup", 0, "chaos: per-message duplication probability (0..1)")
+	flag.Float64Var(&p.ChaosDelay, "chaos-delay", 0, "chaos: per-message delay probability (0..1, 50us-1ms window)")
+	flag.IntVar(&p.HeartbeatMs, "hb-ms", 0, "heartbeat probe interval, milliseconds (0 = no failure detector)")
+	flag.IntVar(&p.HeartbeatMiss, "hb-miss", 5, "consecutive heartbeat misses before declaring a place dead")
 	flag.Parse()
 
 	if err := cli.RunLocal(p, os.Stdout); err != nil {

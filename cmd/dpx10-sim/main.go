@@ -42,7 +42,16 @@ func main() {
 	faultAt := flag.Float64("fault", -1, "inject one fault at this progress fraction (0..1)")
 	kill := flag.Int("kill", -1, "place to kill at -fault (default: last place)")
 	restore := flag.Bool("restore-remote", false, "recovery copies moved results instead of recomputing")
+	chaosDrop := flag.Float64("chaos-drop", 0, "chaos arm: per-message drop probability, modeled as expected retransmissions (0..1)")
+	chaosDup := flag.Float64("chaos-dup", 0, "chaos arm: per-message duplication probability (bandwidth overhead)")
+	chaosDelayUs := flag.Float64("chaos-delay-us", 0, "chaos arm: expected injected delay per message, microseconds")
 	flag.Parse()
+
+	if *chaosDrop < 0 || *chaosDrop >= 1 {
+		if *chaosDrop != 0 {
+			fail(fmt.Errorf("-chaos-drop must be in [0,1), got %v", *chaosDrop))
+		}
+	}
 
 	obj, err := patterns.ByName(*patName, int32(*h), int32(*w))
 	if err != nil {
@@ -77,6 +86,9 @@ func main() {
 			Steal:            *steal,
 			AggWindow:        *aggUs * 1e-6,
 			ValuePush:        *push,
+			ChaosDropProb:    *chaosDrop,
+			ChaosDupProb:     *chaosDup,
+			ChaosDelayMean:   *chaosDelayUs * 1e-6,
 		}
 		sim, err := simcluster.New(pat, dist.NewBlockRow(int32(*h), int32(*w), places), model)
 		if err != nil {

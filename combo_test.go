@@ -22,8 +22,8 @@ func TestMinCommStrategySurvivesFault(t *testing.T) {
 	var count atomic.Int64
 	gapp := &gatedSW{inner: app, gate: gate, resume: resume, count: &count, at: 200}
 	job, err := dpx10.Launch[int32](gapp, app.Pattern(),
-		dpx10.Places[int32](4),
-		dpx10.WithStrategy[int32](dpx10.MinCommScheduling),
+		dpx10.Places(4),
+		dpx10.WithStrategy(dpx10.MinCommScheduling),
 		dpx10.WithCodec[int32](dpx10.Int32Codec{}))
 	if err != nil {
 		t.Fatal(err)
@@ -49,8 +49,8 @@ func TestRandomStrategySurvivesFault(t *testing.T) {
 	var count atomic.Int64
 	gapp := &gatedSW{inner: app, gate: gate, resume: resume, count: &count, at: 180}
 	job, err := dpx10.Launch[int32](gapp, app.Pattern(),
-		dpx10.Places[int32](4),
-		dpx10.WithStrategy[int32](dpx10.RandomScheduling),
+		dpx10.Places(4),
+		dpx10.WithStrategy(dpx10.RandomScheduling),
 		dpx10.WithCodec[int32](dpx10.Int32Codec{}))
 	if err != nil {
 		t.Fatal(err)
@@ -94,7 +94,7 @@ func TestDefaultGobCodecStructValues(t *testing.T) {
 	a := workload.Sequence(20, workload.DNA, 5)
 	b := workload.Sequence(24, workload.DNA, 6)
 	app := apps.NewSWLAG(a, b)
-	dag, err := dpx10.Run[apps.AffineCell](app, app.Pattern(), dpx10.Places[apps.AffineCell](3))
+	dag, err := dpx10.Run[apps.AffineCell](app, app.Pattern(), dpx10.Places(3))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -107,11 +107,11 @@ func TestSpillStealTraceTogether(t *testing.T) {
 	app := apps.NewMTP(60, 60, 100, 9)
 	tr := dpx10.NewTrace(4, 100)
 	dag, err := dpx10.Run[int64](app, app.Pattern(),
-		dpx10.Places[int64](4),
+		dpx10.Places(4),
 		dpx10.WithCodec[int64](dpx10.Int64Codec{}),
-		dpx10.WithStrategy[int64](dpx10.StealScheduling),
-		dpx10.WithSpill[int64](t.TempDir(), 64, 4),
-		dpx10.WithTrace[int64](tr))
+		dpx10.WithStrategy(dpx10.StealScheduling),
+		dpx10.WithSpill(t.TempDir(), 64, 4),
+		dpx10.WithTrace(tr))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -136,7 +136,7 @@ func TestSnapshotOverheadOnlyMode(t *testing.T) {
 	var count atomic.Int64
 	gapp := &gatedMTP{inner: app, gate: gate, resume: resume, count: &count, at: 1200}
 	job, err := dpx10.Launch[int64](gapp, app.Pattern(),
-		dpx10.Places[int64](4),
+		dpx10.Places(4),
 		dpx10.WithCodec[int64](dpx10.Int64Codec{}),
 		dpx10.WithSnapshotOverheadOnly[int64](store, 200))
 	if err != nil {
@@ -184,7 +184,7 @@ func TestTransposedPatternEndToEnd(t *testing.T) {
 	base := apps.NewMTP(30, 44, 100, 12)
 	tp := struct{ dpx10.Pattern }{dpx10.Pattern(transposedGrid{h: 44, w: 30})}
 	dag, err := dpx10.Run[int64](&transposedMTP{inner: base}, tp.Pattern,
-		dpx10.Places[int64](3), dpx10.WithCodec[int64](dpx10.Int64Codec{}))
+		dpx10.Places(3), dpx10.WithCodec[int64](dpx10.Int64Codec{}))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -20,13 +20,26 @@
 //  3. Run it:
 //
 //     dag, err := dpx10.Run[int32](app, dpx10.DiagonalPattern(n, m),
-//     dpx10.Places[int32](8), dpx10.Threads[int32](6))
+//     dpx10.Places(8), dpx10.Threads(6))
 //
 // The number of places and worker threads per place mirror X10's
-// X10_NPLACES and X10_NTHREADS environment variables.
+// X10_NPLACES and X10_NTHREADS environment variables. Most options are
+// untyped; only value-typed ones (WithCodec, WithSnapshotRecovery) take a
+// type argument. RunContext and LaunchContext accept a context whose
+// cancellation aborts the run.
+//
+// For fault-tolerance work the package also exposes a chaos-testing
+// surface: WithChaos injects seeded message drop/duplication/delay/
+// partition faults, WithHeartbeat bounds how long an unannounced place
+// death goes unnoticed, WithRetry tunes the reliable delivery layer that
+// makes the protocol immune to lost and replayed messages, and WithEvents
+// streams structured run events (suspicions, deaths, recoveries,
+// injections) to the application.
 package dpx10
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"time"
 
@@ -72,8 +85,30 @@ type Stats = core.Stats
 // DPX10 cannot survive the death of place 0.
 var ErrPlaceZeroDead = core.ErrPlaceZeroDead
 
-// ErrCanceled is returned by Wait after Cancel.
+// ErrCanceled is returned by Wait after Cancel. When the cancellation came
+// from a context (RunContext/LaunchContext), Wait instead returns an error
+// wrapping the context's error.
 var ErrCanceled = core.ErrCanceled
+
+// PlaceDeadError reports the death of a specific place; unwrap it with
+// errors.As to learn which. A PlaceDeadError for place 0 matches
+// ErrPlaceZeroDead under errors.Is.
+type PlaceDeadError = core.PlaceDeadError
+
+// Event is one structured run event delivered to a WithEvents callback.
+type Event = core.RunEvent
+
+// EventKind classifies an Event.
+type EventKind = core.EventKind
+
+// Event kinds.
+const (
+	EventPlaceSuspected   = core.EventPlaceSuspected
+	EventPlaceDead        = core.EventPlaceDead
+	EventRecoveryStarted  = core.EventRecoveryStarted
+	EventRecoveryFinished = core.EventRecoveryFinished
+	EventChaosInject      = core.EventChaosInject
+)
 
 // App is the user-facing interface of a DPX10 application, mirroring the
 // paper's DPX10App (Figure 2). Compute is executed once per active vertex,
@@ -124,34 +159,69 @@ func Run[T any](app App[T], pattern Pattern, opts ...Option[T]) (*Dag[T], error)
 	return job.Wait()
 }
 
+// RunContext is Run with a context: cancellation or deadline expiry aborts
+// the run like Cancel, and the returned error wraps the context's error.
+func RunContext[T any](ctx context.Context, app App[T], pattern Pattern, opts ...Option[T]) (*Dag[T], error) {
+	job, err := LaunchContext[T](ctx, app, pattern, opts...)
+	if err != nil {
+		return nil, err
+	}
+	return job.Wait()
+}
+
 // Job is a running DPX10 computation started by Launch. It exposes the
 // handles the paper's fault-tolerance experiments need: progress polling
 // and failure injection.
 type Job[T any] struct {
 	app     App[T]
 	cluster *core.Cluster[T]
+	ctx     context.Context
 	done    chan error
 }
 
 // Launch starts app over pattern asynchronously.
 func Launch[T any](app App[T], pattern Pattern, opts ...Option[T]) (*Job[T], error) {
+	return LaunchContext[T](context.Background(), app, pattern, opts...)
+}
+
+// LaunchContext is Launch with a context: when ctx is canceled the run is
+// aborted as if Cancel had been called, and Wait returns an error wrapping
+// ctx.Err().
+func LaunchContext[T any](ctx context.Context, app App[T], pattern Pattern, opts ...Option[T]) (*Job[T], error) {
 	if app == nil {
 		return nil, fmt.Errorf("dpx10: nil app")
 	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("dpx10: launch: %w", err)
+	}
 	cfg := core.Config[T]{
-		Places:  1,
-		Pattern: pattern,
+		Common:  core.Common{Places: 1, Pattern: pattern},
 		Compute: app.Compute,
 	}
 	for _, opt := range opts {
-		opt(&cfg)
+		opt.applyTo(&cfg)
 	}
 	cl, err := core.NewCluster(cfg)
 	if err != nil {
 		return nil, err
 	}
-	job := &Job[T]{app: app, cluster: cl, done: make(chan error, 1)}
-	go func() { job.done <- cl.Run() }()
+	job := &Job[T]{app: app, cluster: cl, ctx: ctx, done: make(chan error, 1)}
+	finished := make(chan struct{})
+	go func() {
+		select {
+		case <-ctx.Done():
+			cl.Cancel()
+		case <-finished:
+		}
+	}()
+	go func() {
+		err := cl.Run()
+		close(finished)
+		job.done <- err
+	}()
 	return job, nil
 }
 
@@ -159,16 +229,28 @@ func Launch[T any](app App[T], pattern Pattern, opts ...Option[T]) (*Job[T], err
 // run if p is 0).
 func (j *Job[T]) Kill(p int) { j.cluster.Kill(p) }
 
+// KillUnannounced fails place p without reporting the failure: the death
+// is only discoverable through communication errors or the heartbeat
+// failure detector (WithHeartbeat). Chaos and detector tests use it to
+// measure the detection window.
+func (j *Job[T]) KillUnannounced(p int) { j.cluster.KillUnannounced(p) }
+
 // Cancel aborts the run; Wait will return ErrCanceled.
 func (j *Job[T]) Cancel() { j.cluster.Cancel() }
 
 // Progress returns how many vertices have finished so far.
 func (j *Job[T]) Progress() int64 { return j.cluster.Progress() }
 
+// Stats returns the run's counters so far; complete after Wait returned.
+func (j *Job[T]) Stats() Stats { return j.cluster.Stats() }
+
 // Wait blocks until the run completes, invokes AppFinished and returns
 // the Dag.
 func (j *Job[T]) Wait() (*Dag[T], error) {
 	if err := <-j.done; err != nil {
+		if cerr := j.ctx.Err(); cerr != nil && errors.Is(err, ErrCanceled) {
+			return nil, fmt.Errorf("dpx10: run aborted: %w", cerr)
+		}
 		return nil, err
 	}
 	res, err := j.cluster.Result()

@@ -77,7 +77,7 @@ func TestSmithWatermanMatchesSerial(t *testing.T) {
 	b := "TGTTACGGACCGTTACGGAC"
 	app := &swApp{a: a, b: b}
 	dag, err := dpx10.Run[int32](app, dpx10.DiagonalPattern(int32(len(a)+1), int32(len(b)+1)),
-		dpx10.Places[int32](4), dpx10.Threads[int32](2), dpx10.WithCodec[int32](dpx10.Int32Codec{}))
+		dpx10.Places(4), dpx10.Threads(2), dpx10.WithCodec[int32](dpx10.Int32Codec{}))
 	if err != nil {
 		t.Fatalf("Run: %v", err)
 	}
@@ -106,7 +106,7 @@ func TestAppFinishedSeesResults(t *testing.T) {
 	app.onFinished = func(dag *dpx10.Dag[int32]) {
 		sawBest = dag.Result(4, 4)
 	}
-	if _, err := dpx10.Run[int32](app, dpx10.DiagonalPattern(5, 5), dpx10.Places[int32](2)); err != nil {
+	if _, err := dpx10.Run[int32](app, dpx10.DiagonalPattern(5, 5), dpx10.Places(2)); err != nil {
 		t.Fatal(err)
 	}
 	if sawBest != 8 { // 4 matches x +2
@@ -134,19 +134,19 @@ func TestRunOptions(t *testing.T) {
 		}
 	}
 	t.Run("blockcol", func(t *testing.T) {
-		check(t, dpx10.Places[int32](3), dpx10.WithDist[int32](dpx10.BlockColDist))
+		check(t, dpx10.Places(3), dpx10.WithDist(dpx10.BlockColDist))
 	})
 	t.Run("cyclicrow+cache", func(t *testing.T) {
-		check(t, dpx10.Places[int32](3), dpx10.WithDist[int32](dpx10.CyclicRowDist), dpx10.CacheSize[int32](32))
+		check(t, dpx10.Places(3), dpx10.WithDist(dpx10.CyclicRowDist), dpx10.CacheSize(32))
 	})
 	t.Run("mincomm", func(t *testing.T) {
-		check(t, dpx10.Places[int32](3), dpx10.WithStrategy[int32](dpx10.MinCommScheduling))
+		check(t, dpx10.Places(3), dpx10.WithStrategy(dpx10.MinCommScheduling))
 	})
 	t.Run("random", func(t *testing.T) {
-		check(t, dpx10.Places[int32](3), dpx10.WithStrategy[int32](dpx10.RandomScheduling))
+		check(t, dpx10.Places(3), dpx10.WithStrategy(dpx10.RandomScheduling))
 	})
 	t.Run("customdist", func(t *testing.T) {
-		check(t, dpx10.Places[int32](3), dpx10.WithCustomDist[int32](func(i, j int32, places int) int {
+		check(t, dpx10.Places(3), dpx10.WithCustomDist(func(i, j int32, places int) int {
 			return int((i + j)) % places
 		}))
 	})
@@ -170,7 +170,7 @@ func TestLaunchKillRecovers(t *testing.T) {
 		}
 	}
 	job, err := dpx10.Launch[int32](app, dpx10.DiagonalPattern(int32(len(a)+1), int32(len(b)+1)),
-		dpx10.Places[int32](4), dpx10.WithCodec[int32](dpx10.Int32Codec{}))
+		dpx10.Places(4), dpx10.WithCodec[int32](dpx10.Int32Codec{}))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -196,7 +196,7 @@ func TestLaunchKillRecovers(t *testing.T) {
 
 func TestKillPlaceZero(t *testing.T) {
 	app := &swApp{a: "AAAAAAAAAAAAAAAAAAAA", b: "AAAAAAAAAAAAAAAAAAAA"}
-	job, err := dpx10.Launch[int32](app, dpx10.DiagonalPattern(21, 21), dpx10.Places[int32](3))
+	job, err := dpx10.Launch[int32](app, dpx10.DiagonalPattern(21, 21), dpx10.Places(3))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -246,7 +246,7 @@ func TestJobCancel(t *testing.T) {
 		}
 	}
 	job, err := dpx10.Launch[int32](app, dpx10.DiagonalPattern(int32(len(a)+1), int32(len(a)+1)),
-		dpx10.Places[int32](3))
+		dpx10.Places(3))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -261,7 +261,7 @@ func TestJobCancel(t *testing.T) {
 func TestBlock2DDistOption(t *testing.T) {
 	app := &swApp{a: "ACGTACGTACGTACGT", b: "TGCATGCATGCATGCA"}
 	dag, err := dpx10.Run[int32](app, dpx10.DiagonalPattern(17, 17),
-		dpx10.Places[int32](4), dpx10.WithBlock2DDist[int32](2, 2))
+		dpx10.Places(4), dpx10.WithBlock2DDist(2, 2))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -279,7 +279,7 @@ func TestBlockCyclicDistOption(t *testing.T) {
 	a, b := "GATTACAGATTACAGATTACA", "CATACGATTACATACGAT"
 	app := &swApp{a: a, b: b}
 	dag, err := dpx10.Run[int32](app, dpx10.DiagonalPattern(int32(len(a)+1), int32(len(b)+1)),
-		dpx10.Places[int32](3), dpx10.WithBlockCyclicDist[int32](2))
+		dpx10.Places(3), dpx10.WithBlockCyclicDist(2))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -43,7 +43,7 @@ func ExampleRun() {
 	app := &editApp{a: "kitten", b: "sitting"}
 	dag, err := dpx10.Run[int32](app,
 		dpx10.DiagonalPattern(int32(len(app.a)+1), int32(len(app.b)+1)),
-		dpx10.Places[int32](4),
+		dpx10.Places(4),
 		dpx10.WithCodec[int32](dpx10.Int32Codec{}))
 	if err != nil {
 		panic(err)
@@ -58,7 +58,7 @@ func ExampleJob_Kill() {
 	app := &editApp{a: "GATTACAGATTACAGATTACA", b: "CATACGATTACATACGATTA"}
 	job, err := dpx10.Launch[int32](app,
 		dpx10.DiagonalPattern(int32(len(app.a)+1), int32(len(app.b)+1)),
-		dpx10.Places[int32](4))
+		dpx10.Places(4))
 	if err != nil {
 		panic(err)
 	}

@@ -120,7 +120,7 @@ func main() {
 	fmt.Println("custom pattern validated: dependencies mirror anti-dependencies, DAG is acyclic")
 
 	dag, err := dpx10.Run[int64](app, app.unboundedPattern,
-		dpx10.Places[int64](4),
+		dpx10.Places(4),
 		dpx10.WithCodec[int64](dpx10.Int64Codec{}))
 	if err != nil {
 		log.Fatal(err)

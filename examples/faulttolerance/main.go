@@ -30,12 +30,12 @@ func main() {
 
 	for _, restore := range []bool{false, true} {
 		opts := []dpx10.Option[int64]{
-			dpx10.Places[int64](places),
+			dpx10.Places(places),
 			dpx10.WithCodec[int64](dpx10.Int64Codec{}),
 		}
 		mode := "default (recompute moved vertices)"
 		if restore {
-			opts = append(opts, dpx10.RestoreRemote[int64]())
+			opts = append(opts, dpx10.RestoreRemote())
 			mode = "restore-remote (copy moved vertices)"
 		}
 		job, err := dpx10.Launch[int64](app, app.Pattern(), opts...)
@@ -65,7 +65,7 @@ func main() {
 
 	fmt.Println("\nkilling place 0 instead aborts the run (Resilient X10 limitation):")
 	job, err := dpx10.Launch[int64](app, app.Pattern(),
-		dpx10.Places[int64](places), dpx10.WithCodec[int64](dpx10.Int64Codec{}))
+		dpx10.Places(places), dpx10.WithCodec[int64](dpx10.Int64Codec{}))
 	if err != nil {
 		log.Fatal(err)
 	}

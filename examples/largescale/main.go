@@ -29,7 +29,7 @@ func main() {
 
 	run := func(opts ...dpx10.Option[int64]) *dpx10.Dag[int64] {
 		base := []dpx10.Option[int64]{
-			dpx10.Places[int64](*places),
+			dpx10.Places(*places),
 			dpx10.WithCodec[int64](dpx10.Int64Codec{}),
 		}
 		dag, err := dpx10.Run[int64](app, app.Pattern(), append(base, opts...)...)
@@ -46,7 +46,7 @@ func main() {
 	fmt.Printf("in-memory: %v, answer %d\n", inMem.Elapsed().Round(0), app.Best(inMem))
 
 	const pageVals, resident = 1024, 16
-	spilled := run(dpx10.WithSpill[int64]("", pageVals, resident))
+	spilled := run(dpx10.WithSpill("", pageVals, resident))
 	residentMB := float64(*places*pageVals*resident*8) / 1e6
 	fmt.Printf("spilled:   %v, answer %d (at most %.1f MB of values resident cluster-wide)\n",
 		spilled.Elapsed().Round(0), app.Best(spilled), residentMB)

@@ -56,8 +56,8 @@ func main() {
 	w := int32(len(app.b)) + 1
 
 	dag, err := dpx10.Run[int32](app, dpx10.DiagonalPattern(h, w),
-		dpx10.Places[int32](4),  // X10_NPLACES
-		dpx10.Threads[int32](2), // X10_NTHREADS
+		dpx10.Places(4),  // X10_NPLACES
+		dpx10.Threads(2), // X10_NTHREADS
 		dpx10.WithCodec[int32](dpx10.Int32Codec{}))
 	if err != nil {
 		log.Fatal(err)

@@ -31,9 +31,9 @@ func main() {
 	// --- plain Smith-Waterman, with the best local alignment printed ----
 	sw := apps.NewSW(a, b)
 	swDag, err := dpx10.Run[int32](sw, sw.Pattern(),
-		dpx10.Places[int32](*places),
+		dpx10.Places(*places),
 		dpx10.WithCodec[int32](dpx10.Int32Codec{}),
-		dpx10.CacheSize[int32](64))
+		dpx10.CacheSize(64))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -46,9 +46,9 @@ func main() {
 	// --- SWLAG: affine gaps, custom 12-byte codec ----------------------
 	swlag := apps.NewSWLAG(a, b)
 	lagDag, err := dpx10.Run[apps.AffineCell](swlag, swlag.Pattern(),
-		dpx10.Places[apps.AffineCell](*places),
+		dpx10.Places(*places),
 		dpx10.WithCodec[apps.AffineCell](swlag.Codec()),
-		dpx10.CacheSize[apps.AffineCell](64))
+		dpx10.CacheSize(64))
 	if err != nil {
 		log.Fatal(err)
 	}

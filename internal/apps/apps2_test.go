@@ -11,7 +11,7 @@ import (
 func TestMatrixChainDistributedMatchesSerial(t *testing.T) {
 	app := NewRandomMatrixChain(18, 40, 3)
 	dag, err := dpx10.Run[int64](app, app.Pattern(),
-		dpx10.Places[int64](4), dpx10.WithCodec[int64](dpx10.Int64Codec{}))
+		dpx10.Places(4), dpx10.WithCodec[int64](dpx10.Int64Codec{}))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -70,7 +70,7 @@ func TestMatrixChainKnown(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	dag, err := dpx10.Run[int64](app, app.Pattern(), dpx10.Places[int64](3))
+	dag, err := dpx10.Run[int64](app, app.Pattern(), dpx10.Places(3))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -91,7 +91,7 @@ func TestMatrixChainRejectsBadDims(t *testing.T) {
 func TestViterbiDistributedMatchesSerial(t *testing.T) {
 	app := NewRandomViterbi(8, 4, 40, 17)
 	dag, err := dpx10.Run[float64](app, app.Pattern(),
-		dpx10.Places[float64](4), dpx10.WithCodec[float64](dpx10.Float64Codec{}))
+		dpx10.Places(4), dpx10.WithCodec[float64](dpx10.Float64Codec{}))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -115,7 +115,7 @@ func TestViterbiDistributedMatchesSerial(t *testing.T) {
 func TestViterbiSingleState(t *testing.T) {
 	app := NewRandomViterbi(1, 3, 10, 2)
 	dag, err := dpx10.Run[float64](app, app.Pattern(),
-		dpx10.Places[float64](2), dpx10.WithCodec[float64](dpx10.Float64Codec{}))
+		dpx10.Places(2), dpx10.WithCodec[float64](dpx10.Float64Codec{}))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -130,7 +130,7 @@ func TestNWDistributedMatchesSerial(t *testing.T) {
 	a, b := seqPair(35, 30)
 	app := NewNW(a, b)
 	dag, err := dpx10.Run[int32](app, app.Pattern(),
-		dpx10.Places[int32](4), dpx10.WithCodec[int32](dpx10.Int32Codec{}))
+		dpx10.Places(4), dpx10.WithCodec[int32](dpx10.Int32Codec{}))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -164,7 +164,7 @@ func TestNWDistributedMatchesSerial(t *testing.T) {
 
 func TestNWIdenticalStrings(t *testing.T) {
 	app := NewNW("ACGTACGT", "ACGTACGT")
-	dag, err := dpx10.Run[int32](app, app.Pattern(), dpx10.Places[int32](2))
+	dag, err := dpx10.Run[int32](app, app.Pattern(), dpx10.Places(2))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -180,7 +180,7 @@ func TestLCSubstrDistributedMatchesSerial(t *testing.T) {
 		t.Fatalf("diag-only pattern inconsistent: %v", err)
 	}
 	dag, err := dpx10.Run[int32](app, app.Pattern(),
-		dpx10.Places[int32](4), dpx10.WithCodec[int32](dpx10.Int32Codec{}))
+		dpx10.Places(4), dpx10.WithCodec[int32](dpx10.Int32Codec{}))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -198,7 +198,7 @@ func TestLCSubstrDistributedMatchesSerial(t *testing.T) {
 
 func TestLCSubstrKnown(t *testing.T) {
 	app := NewLCSubstr("XABCDY", "ZABCDW")
-	dag, err := dpx10.Run[int32](app, app.Pattern(), dpx10.Places[int32](2))
+	dag, err := dpx10.Run[int32](app, app.Pattern(), dpx10.Places(2))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -212,7 +212,7 @@ func TestNewAppsSurviveFault(t *testing.T) {
 	t.Run("matrixchain", func(t *testing.T) {
 		app := NewRandomMatrixChain(24, 30, 9)
 		job, err := dpx10.Launch[int64](app, app.Pattern(),
-			dpx10.Places[int64](4), dpx10.WithCodec[int64](dpx10.Int64Codec{}))
+			dpx10.Places(4), dpx10.WithCodec[int64](dpx10.Int64Codec{}))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -230,7 +230,7 @@ func TestNewAppsSurviveFault(t *testing.T) {
 	t.Run("viterbi", func(t *testing.T) {
 		app := NewRandomViterbi(6, 4, 60, 21)
 		job, err := dpx10.Launch[float64](app, app.Pattern(),
-			dpx10.Places[float64](4), dpx10.WithCodec[float64](dpx10.Float64Codec{}))
+			dpx10.Places(4), dpx10.WithCodec[float64](dpx10.Float64Codec{}))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -255,7 +255,7 @@ func TestLCSubstrRandomizedQuick(t *testing.T) {
 		b := workload.Sequence(30, workload.DNA, trial+100)
 		app := NewLCSubstr(a, b)
 		dag, err := dpx10.Run[int32](app, app.Pattern(),
-			dpx10.Places[int32](3), dpx10.WithCodec[int32](dpx10.Int32Codec{}))
+			dpx10.Places(3), dpx10.WithCodec[int32](dpx10.Int32Codec{}))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -281,7 +281,7 @@ func TestFloydWarshallPatternConsistent(t *testing.T) {
 func TestFloydWarshallMatchesSerial(t *testing.T) {
 	fw := NewRandomFloydWarshall(14, 4, 20, 8)
 	dag, err := dpx10.Run[int64](fw, fw.Pattern(),
-		dpx10.Places[int64](4), dpx10.WithCodec[int64](dpx10.Int64Codec{}))
+		dpx10.Places(4), dpx10.WithCodec[int64](dpx10.Int64Codec{}))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -299,7 +299,7 @@ func TestFloydWarshallMatchesSerial(t *testing.T) {
 func TestFloydWarshallSurvivesFault(t *testing.T) {
 	fw := NewRandomFloydWarshall(12, 3, 15, 5)
 	job, err := dpx10.Launch[int64](fw, fw.Pattern(),
-		dpx10.Places[int64](4), dpx10.WithCodec[int64](dpx10.Int64Codec{}))
+		dpx10.Places(4), dpx10.WithCodec[int64](dpx10.Int64Codec{}))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -319,7 +319,7 @@ func TestSWLAGBacktrackScoresToBest(t *testing.T) {
 	a, b := seqPair(45, 40)
 	app := NewSWLAG(a, b)
 	dag, err := dpx10.Run[AffineCell](app, app.Pattern(),
-		dpx10.Places[AffineCell](3), dpx10.WithCodec[AffineCell](app.Codec()))
+		dpx10.Places(3), dpx10.WithCodec[AffineCell](app.Codec()))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -368,7 +368,7 @@ func TestSWLAGBacktrackScoresToBest(t *testing.T) {
 func TestCYKMatchesSerial(t *testing.T) {
 	g := NewRandomCYK(12, 40, 28, 6)
 	dag, err := dpx10.Run[uint64](g, g.Pattern(),
-		dpx10.Places[uint64](4), dpx10.WithCodec[uint64](g.Codec()))
+		dpx10.Places(4), dpx10.WithCodec[uint64](g.Codec()))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -391,7 +391,7 @@ func TestCYKKnownGrammar(t *testing.T) {
 		Terminals: map[byte]uint64{'A': 1 << 1, 'C': 1 << 2},
 		Input:     "AC",
 	}
-	dag, err := dpx10.Run[uint64](g, g.Pattern(), dpx10.Places[uint64](2),
+	dag, err := dpx10.Run[uint64](g, g.Pattern(), dpx10.Places(2),
 		dpx10.WithCodec[uint64](g.Codec()))
 	if err != nil {
 		t.Fatal(err)
@@ -400,7 +400,7 @@ func TestCYKKnownGrammar(t *testing.T) {
 		t.Fatal("grammar should accept AC")
 	}
 	g2 := &CYK{NT: g.NT, Binary: g.Binary, Terminals: g.Terminals, Input: "AA"}
-	dag2, err := dpx10.Run[uint64](g2, g2.Pattern(), dpx10.Places[uint64](2),
+	dag2, err := dpx10.Run[uint64](g2, g2.Pattern(), dpx10.Places(2),
 		dpx10.WithCodec[uint64](g2.Codec()))
 	if err != nil {
 		t.Fatal(err)
@@ -413,7 +413,7 @@ func TestCYKKnownGrammar(t *testing.T) {
 func TestCYKSurvivesFault(t *testing.T) {
 	g := NewRandomCYK(10, 30, 32, 13)
 	job, err := dpx10.Launch[uint64](g, g.Pattern(),
-		dpx10.Places[uint64](4), dpx10.WithCodec[uint64](g.Codec()))
+		dpx10.Places(4), dpx10.WithCodec[uint64](g.Codec()))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -432,7 +432,7 @@ func TestCYKSurvivesFault(t *testing.T) {
 func TestOBSTMatchesSerial(t *testing.T) {
 	app := NewRandomOBST(20, 30, 10)
 	dag, err := dpx10.Run[int64](app, app.Pattern(),
-		dpx10.Places[int64](4), dpx10.WithCodec[int64](dpx10.Int64Codec{}))
+		dpx10.Places(4), dpx10.WithCodec[int64](dpx10.Int64Codec{}))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -482,7 +482,7 @@ func TestOBSTKnown(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	dag, err := dpx10.Run[int64](app, app.Pattern(), dpx10.Places[int64](2))
+	dag, err := dpx10.Run[int64](app, app.Pattern(), dpx10.Places(2))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -15,7 +15,7 @@ func TestLCSDistributedMatchesSerial(t *testing.T) {
 	a, b := seqPair(40, 33)
 	app := NewLCS(a, b)
 	dag, err := dpx10.Run[int32](app, app.Pattern(),
-		dpx10.Places[int32](4), dpx10.WithCodec[int32](dpx10.Int32Codec{}))
+		dpx10.Places(4), dpx10.WithCodec[int32](dpx10.Int32Codec{}))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -45,7 +45,7 @@ func TestSWDistributedMatchesSerial(t *testing.T) {
 	a, b := seqPair(35, 42)
 	app := NewSW(a, b)
 	dag, err := dpx10.Run[int32](app, app.Pattern(),
-		dpx10.Places[int32](3), dpx10.WithCodec[int32](dpx10.Int32Codec{}))
+		dpx10.Places(3), dpx10.WithCodec[int32](dpx10.Int32Codec{}))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -77,7 +77,7 @@ func TestSWDistributedMatchesSerial(t *testing.T) {
 func TestSWKnownAlignment(t *testing.T) {
 	// Classic textbook case: identical substrings align perfectly.
 	app := NewSW("AAACCCTTT", "GGCCCGG")
-	dag, err := dpx10.Run[int32](app, app.Pattern(), dpx10.Places[int32](2))
+	dag, err := dpx10.Run[int32](app, app.Pattern(), dpx10.Places(2))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -95,7 +95,7 @@ func TestSWLAGDistributedMatchesSerial(t *testing.T) {
 	a, b := seqPair(30, 30)
 	app := NewSWLAG(a, b)
 	dag, err := dpx10.Run[AffineCell](app, app.Pattern(),
-		dpx10.Places[AffineCell](4), dpx10.WithCodec[AffineCell](app.Codec()))
+		dpx10.Places(4), dpx10.WithCodec[AffineCell](app.Codec()))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -113,7 +113,7 @@ func TestSWLAGLinearGapDegeneratesToSW(t *testing.T) {
 	affine := NewSWLAG(a, b)
 	affine.GapOpen, affine.GapExtend = SWGap, SWGap
 	dag, err := dpx10.Run[AffineCell](affine, affine.Pattern(),
-		dpx10.Places[AffineCell](3), dpx10.WithCodec[AffineCell](affine.Codec()))
+		dpx10.Places(3), dpx10.WithCodec[AffineCell](affine.Codec()))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -147,7 +147,7 @@ func TestAffineCodecRoundTrip(t *testing.T) {
 func TestMTPDistributedMatchesSerial(t *testing.T) {
 	app := NewMTP(30, 25, 100, 5)
 	dag, err := dpx10.Run[int64](app, app.Pattern(),
-		dpx10.Places[int64](4), dpx10.WithCodec[int64](dpx10.Int64Codec{}))
+		dpx10.Places(4), dpx10.WithCodec[int64](dpx10.Int64Codec{}))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -176,7 +176,7 @@ func TestLPSDistributedMatchesSerial(t *testing.T) {
 	s := workload.Sequence(40, workload.DNA, 9)
 	app := NewLPS(s)
 	dag, err := dpx10.Run[int32](app, app.Pattern(),
-		dpx10.Places[int32](4), dpx10.WithCodec[int32](dpx10.Int32Codec{}))
+		dpx10.Places(4), dpx10.WithCodec[int32](dpx10.Int32Codec{}))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -203,7 +203,7 @@ func reverseString(s string) string {
 
 func TestLPSKnown(t *testing.T) {
 	app := NewLPS("CHARACTER")
-	dag, err := dpx10.Run[int32](app, app.Pattern(), dpx10.Places[int32](2))
+	dag, err := dpx10.Run[int32](app, app.Pattern(), dpx10.Places(2))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -219,7 +219,7 @@ func TestKnapsackDistributedMatchesSerial(t *testing.T) {
 		t.Fatal(err)
 	}
 	dag, err := dpx10.Run[int64](app, pat,
-		dpx10.Places[int64](4), dpx10.WithCodec[int64](dpx10.Int64Codec{}))
+		dpx10.Places(4), dpx10.WithCodec[int64](dpx10.Int64Codec{}))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -249,7 +249,7 @@ func TestKnapsackKnown(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	dag, err := dpx10.Run[int64](app, pat, dpx10.Places[int64](2))
+	dag, err := dpx10.Run[int64](app, pat, dpx10.Places(2))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -271,7 +271,7 @@ func TestEditDistanceDistributedMatchesSerial(t *testing.T) {
 	a, b := seqPair(30, 36)
 	app := NewEditDistance(a, b)
 	dag, err := dpx10.Run[int32](app, app.Pattern(),
-		dpx10.Places[int32](3), dpx10.WithCodec[int32](dpx10.Int32Codec{}))
+		dpx10.Places(3), dpx10.WithCodec[int32](dpx10.Int32Codec{}))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -282,7 +282,7 @@ func TestEditDistanceDistributedMatchesSerial(t *testing.T) {
 
 func TestEditDistanceKnown(t *testing.T) {
 	app := NewEditDistance("kitten", "sitting")
-	dag, err := dpx10.Run[int32](app, app.Pattern(), dpx10.Places[int32](2))
+	dag, err := dpx10.Run[int32](app, app.Pattern(), dpx10.Places(2))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -297,7 +297,7 @@ func TestAppsSurviveFault(t *testing.T) {
 	t.Run("swlag", func(t *testing.T) {
 		app := NewSWLAG(a, b)
 		job, err := dpx10.Launch[AffineCell](app, app.Pattern(),
-			dpx10.Places[AffineCell](4), dpx10.WithCodec[AffineCell](app.Codec()))
+			dpx10.Places(4), dpx10.WithCodec[AffineCell](app.Codec()))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -315,7 +315,7 @@ func TestAppsSurviveFault(t *testing.T) {
 	t.Run("lps", func(t *testing.T) {
 		app := NewLPS(workload.Sequence(45, workload.DNA, 3))
 		job, err := dpx10.Launch[int32](app, app.Pattern(),
-			dpx10.Places[int32](4), dpx10.WithCodec[int32](dpx10.Int32Codec{}))
+			dpx10.Places(4), dpx10.WithCodec[int32](dpx10.Int32Codec{}))
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -38,21 +38,21 @@ func AblationAgg(quick bool) ([]Report, error) {
 	}
 	arms := []aggArm{
 		{"off (1 msg/vertex)", []dpx10.Option[apps.AffineCell]{
-			dpx10.WithoutAggregation[apps.AffineCell]()}},
+			dpx10.WithoutAggregation()}},
 		{"agg only", []dpx10.Option[apps.AffineCell]{
-			dpx10.WithoutValuePush[apps.AffineCell]()}},
+			dpx10.WithoutValuePush()}},
 		{"agg+push (default)", nil},
 		{"agg+push 250us", []dpx10.Option[apps.AffineCell]{
-			dpx10.WithAggregation[apps.AffineCell](250*time.Microsecond, 0)}},
+			dpx10.WithAggregation(250*time.Microsecond, 0)}},
 		{"agg+push 4ms", []dpx10.Option[apps.AffineCell]{
-			dpx10.WithAggregation[apps.AffineCell](4*time.Millisecond, 0)}},
+			dpx10.WithAggregation(4*time.Millisecond, 0)}},
 	}
 	for _, arm := range arms {
 		app := apps.NewSWLAG(a, b)
 		opts := append([]dpx10.Option[apps.AffineCell]{
-			dpx10.Places[apps.AffineCell](6),
+			dpx10.Places(6),
 			dpx10.WithCodec[apps.AffineCell](app.Codec()),
-			dpx10.CacheSize[apps.AffineCell](cache),
+			dpx10.CacheSize(cache),
 		}, arm.opts...)
 		dag, err := dpx10.Run[apps.AffineCell](app, app.Pattern(), opts...)
 		if err != nil {
@@ -79,8 +79,8 @@ func AblationAgg(quick bool) ([]Report, error) {
 		name string
 		opts []dpx10.Option[int64]
 	}{
-		{"off (1 msg/vertex)", []dpx10.Option[int64]{dpx10.WithoutAggregation[int64]()}},
-		{"agg only", []dpx10.Option[int64]{dpx10.WithoutValuePush[int64]()}},
+		{"off (1 msg/vertex)", []dpx10.Option[int64]{dpx10.WithoutAggregation()}},
+		{"agg only", []dpx10.Option[int64]{dpx10.WithoutValuePush()}},
 		{"agg+push (default)", nil},
 	}
 	for _, arm := range kpArms {
@@ -90,9 +90,9 @@ func AblationAgg(quick bool) ([]Report, error) {
 			return nil, fmt.Errorf("agg ablation knapsack: %w", err)
 		}
 		opts := append([]dpx10.Option[int64]{
-			dpx10.Places[int64](6),
+			dpx10.Places(6),
 			dpx10.WithCodec[int64](dpx10.Int64Codec{}),
-			dpx10.CacheSize[int64](cache),
+			dpx10.CacheSize(cache),
 		}, arm.opts...)
 		dag, err := dpx10.Run[int64](app, pat, opts...)
 		if err != nil {

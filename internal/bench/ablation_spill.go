@@ -27,11 +27,11 @@ func AblationSpill(quick bool) (Report, error) {
 	run := func(pages int) (float64, error) {
 		app := apps.NewSWLAG(a, b)
 		opts := []dpx10.Option[apps.AffineCell]{
-			dpx10.Places[apps.AffineCell](4),
+			dpx10.Places(4),
 			dpx10.WithCodec[apps.AffineCell](app.Codec()),
 		}
 		if pages > 0 {
-			opts = append(opts, dpx10.WithSpill[apps.AffineCell]("", 512, pages))
+			opts = append(opts, dpx10.WithSpill("", 512, pages))
 		}
 		dag, err := dpx10.Run[apps.AffineCell](app, app.Pattern(), opts...)
 		if err != nil {

@@ -38,10 +38,10 @@ func AblationSched(quick bool) (Report, error) {
 		app := apps.NewSWLAG(a, b)
 		tr := dpx10.NewTrace(6, 0)
 		dag, err := dpx10.Run[apps.AffineCell](app, app.Pattern(),
-			dpx10.Places[apps.AffineCell](6),
+			dpx10.Places(6),
 			dpx10.WithCodec[apps.AffineCell](app.Codec()),
-			dpx10.WithStrategy[apps.AffineCell](st),
-			dpx10.WithTrace[apps.AffineCell](tr))
+			dpx10.WithStrategy(st),
+			dpx10.WithTrace(tr))
 		if err != nil {
 			return rep, fmt.Errorf("sched ablation swlag %v: %w", st, err)
 		}
@@ -58,10 +58,10 @@ func AblationSched(quick bool) (Report, error) {
 		app := apps.NewRandomMatrixChain(chain, 50, 7)
 		tr := dpx10.NewTrace(6, 0)
 		dag, err := dpx10.Run[int64](app, app.Pattern(),
-			dpx10.Places[int64](6),
+			dpx10.Places(6),
 			dpx10.WithCodec[int64](dpx10.Int64Codec{}),
-			dpx10.WithStrategy[int64](st),
-			dpx10.WithTrace[int64](tr))
+			dpx10.WithStrategy(st),
+			dpx10.WithTrace(tr))
 		if err != nil {
 			return rep, fmt.Errorf("sched ablation chain %v: %w", st, err)
 		}
@@ -99,10 +99,10 @@ func AblationCache(quick bool) (Report, error) {
 	for _, size := range []int{0, 4, 16, 64, 256} {
 		app := &sumApp{}
 		dag, err := dpx10.Run[int64](app, pattern,
-			dpx10.Places[int64](4),
+			dpx10.Places(4),
 			dpx10.WithCodec[int64](dpx10.Int64Codec{}),
-			dpx10.WithDist[int64](dpx10.BlockColDist),
-			dpx10.CacheSize[int64](size))
+			dpx10.WithDist(dpx10.BlockColDist),
+			dpx10.CacheSize(size))
 		if err != nil {
 			return rep, fmt.Errorf("cache ablation size=%d: %w", size, err)
 		}
@@ -157,7 +157,7 @@ func AblationRecovery(quick bool) (Report, error) {
 			return nil
 		}},
 		{"redistribute+restore-remote", func(*dpx10.SnapshotStore[apps.AffineCell]) []dpx10.Option[apps.AffineCell] {
-			return []dpx10.Option[apps.AffineCell]{dpx10.RestoreRemote[apps.AffineCell]()}
+			return []dpx10.Option[apps.AffineCell]{dpx10.RestoreRemote()}
 		}},
 		{"periodic snapshot (X10 baseline)", func(store *dpx10.SnapshotStore[apps.AffineCell]) []dpx10.Option[apps.AffineCell] {
 			return []dpx10.Option[apps.AffineCell]{dpx10.WithSnapshotRecovery[apps.AffineCell](store, totalCells/40)}
@@ -174,7 +174,7 @@ func AblationRecovery(quick bool) (Report, error) {
 		gated := &gatedSWLAG{inner: app, gate: gate, resume: resume, count: &count, at: half}
 
 		opts := append([]dpx10.Option[apps.AffineCell]{
-			dpx10.Places[apps.AffineCell](6),
+			dpx10.Places(6),
 			dpx10.WithCodec[apps.AffineCell](app.Codec()),
 		}, m.opts(store)...)
 		job, err := dpx10.Launch[apps.AffineCell](gated, app.Pattern(), opts...)

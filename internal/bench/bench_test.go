@@ -412,3 +412,53 @@ func TestRunFiles(t *testing.T) {
 		t.Fatal("unknown figure accepted")
 	}
 }
+
+func TestAblationChaosShape(t *testing.T) {
+	reports, err := AblationChaos(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != 2 {
+		t.Fatalf("%d reports, want engine ladder + sim sweep", len(reports))
+	}
+	engine, sim := reports[0], reports[1]
+	if len(engine.Rows) != 5 {
+		t.Fatalf("engine ladder has %d rows, want 5", len(engine.Rows))
+	}
+	if inj := cellFloat(t, engine.Rows[0][3]); inj != 0 {
+		t.Fatalf("calm arm injected %v faults, want 0", inj)
+	}
+	for _, row := range engine.Rows[1:] {
+		// Wall time under chaos is noisy at quick sizes; what must hold is
+		// that the seeded plans actually fired.
+		if cellFloat(t, row[3]) <= 0 {
+			t.Errorf("arm %q injected nothing", row[0])
+		}
+	}
+	if len(sim.Rows) != 7 {
+		t.Fatalf("sim sweep has %d rows, want 7", len(sim.Rows))
+	}
+	if norm := cellFloat(t, sim.Rows[0][3]); norm != 1.0 {
+		t.Fatalf("chaos-free normalized = %v, want 1.00", norm)
+	}
+	// At quick sizes network cost is a sliver of compute, so adjacent rows
+	// can tie at display precision — require monotone non-decreasing over
+	// the drop sweep and a strict increase from calm to the harshest drop.
+	prev := 0.0
+	for _, row := range sim.Rows[:5] { // drop sweep at zero delay
+		mk := cellFloat(t, row[2])
+		if mk < prev {
+			t.Errorf("drop=%s: makespan shrank (%.3f < %.3f)", row[0], mk, prev)
+		}
+		prev = mk
+	}
+	if base, worst := cellFloat(t, sim.Rows[0][2]), cellFloat(t, sim.Rows[4][2]); worst <= base {
+		t.Errorf("drop 0.50 makespan %.3f not above chaos-free %.3f", worst, base)
+	}
+	msgs := cellFloat(t, sim.Rows[0][4])
+	for _, row := range sim.Rows[1:] {
+		if cellFloat(t, row[4]) != msgs {
+			t.Errorf("drop=%s delay=%s: message count changed under chaos", row[0], row[1])
+		}
+	}
+}

@@ -86,10 +86,10 @@ func fig12Point(places int, cells int64, work int, nodes int64) ([]string, error
 	app := apps.NewSWLAG(a, b)
 	app.Work = work
 	dag, err := dpx10.Run[apps.AffineCell](app, app.Pattern(),
-		dpx10.Places[apps.AffineCell](places),
-		dpx10.Threads[apps.AffineCell](2),
+		dpx10.Places(places),
+		dpx10.Threads(2),
 		dpx10.WithCodec[apps.AffineCell](app.Codec()),
-		dpx10.CacheSize[apps.AffineCell](0))
+		dpx10.CacheSize(0))
 	if err != nil {
 		return nil, err
 	}

@@ -24,7 +24,8 @@ var Figures = map[string]func(quick bool) ([]Report, error){
 		a, b, err := Fig13(quick)
 		return []Report{a, b}, err
 	},
-	"agg": AblationAgg,
+	"agg":   AblationAgg,
+	"chaos": AblationChaos,
 	"sched": func(quick bool) ([]Report, error) {
 		r, err := AblationSched(quick)
 		return []Report{r}, err

@@ -41,6 +41,24 @@ type Params struct {
 	Verify bool
 	Kill   int  // place to kill at ~50% progress; -1 disables
 	Trace  bool // print per-place utilization after the run
+
+	// Chaos arm: a seeded fault-injection plan over the place fabric, with
+	// the heartbeat detector and retry/backoff delivery absorbing it. Drop,
+	// Dup and Delay are per-message probabilities; zero values leave the
+	// transport untouched.
+	ChaosSeed  int64
+	ChaosDrop  float64
+	ChaosDup   float64
+	ChaosDelay float64
+	// HeartbeatMs > 0 runs the failure detector at that probe interval with
+	// HeartbeatMiss consecutive misses declaring a place dead.
+	HeartbeatMs   int
+	HeartbeatMiss int
+}
+
+// chaotic reports whether any fault injection was requested.
+func (p *Params) chaotic() bool {
+	return p.ChaosDrop > 0 || p.ChaosDup > 0 || p.ChaosDelay > 0
 }
 
 // AppNames lists the runnable applications.
@@ -87,16 +105,33 @@ func (p *Params) normalize() error {
 func options[T any](p Params) []dpx10.Option[T] {
 	st, _ := sched.ParseStrategy(p.Strategy)
 	opts := []dpx10.Option[T]{
-		dpx10.Places[T](p.Places),
-		dpx10.WithStrategy[T](st),
-		dpx10.WithDist[T](dpx10.DistKind(p.Dist)),
-		dpx10.CacheSize[T](p.Cache),
+		dpx10.Places(p.Places),
+		dpx10.WithStrategy(st),
+		dpx10.WithDist(dpx10.DistKind(p.Dist)),
+		dpx10.CacheSize(p.Cache),
 	}
 	if p.Threads > 0 {
-		opts = append(opts, dpx10.Threads[T](p.Threads))
+		opts = append(opts, dpx10.Threads(p.Threads))
 	}
 	if p.RestoreRemote {
-		opts = append(opts, dpx10.RestoreRemote[T]())
+		opts = append(opts, dpx10.RestoreRemote())
+	}
+	if p.chaotic() {
+		opts = append(opts, dpx10.WithChaos(&dpx10.ChaosPlan{
+			Seed:     p.ChaosSeed,
+			Drop:     p.ChaosDrop,
+			Dup:      p.ChaosDup,
+			Delay:    p.ChaosDelay,
+			DelayMin: 50 * time.Microsecond,
+			DelayMax: time.Millisecond,
+		}))
+	}
+	if p.HeartbeatMs > 0 {
+		miss := p.HeartbeatMiss
+		if miss <= 0 {
+			miss = 5
+		}
+		opts = append(opts, dpx10.WithHeartbeat(time.Duration(p.HeartbeatMs)*time.Millisecond, miss))
 	}
 	return opts
 }
@@ -249,7 +284,7 @@ func drive[T any](p Params, w io.Writer, app dpx10.App[T], pattern dpx10.Pattern
 	var tr *dpx10.Trace
 	if p.Trace {
 		tr = dpx10.NewTrace(p.Places, 0)
-		opts = append(opts, dpx10.WithTrace[T](tr))
+		opts = append(opts, dpx10.WithTrace(tr))
 	}
 	job, err := dpx10.Launch[T](app, pattern, opts...)
 	if err != nil {
@@ -294,6 +329,9 @@ func printStats(w io.Writer, s dpx10.Stats, elapsed time.Duration) {
 		elapsed.Seconds(), s.Places, s.Epochs, s.Recoveries, float64(s.RecoveryNanos)/1e6)
 	fmt.Fprintf(w, "cells=%d localReads=%d remoteFetches=%d cacheHits=%d migrated=%d msgs=%d bytes=%d\n",
 		s.ComputedCells, s.LocalReads, s.RemoteFetches, s.CacheHits, s.ExecMigrated, s.MsgsSent, s.BytesSent)
+	if s.Retries > 0 || s.DedupHits > 0 {
+		fmt.Fprintf(w, "reliable delivery: retries=%d dedupHits=%d\n", s.Retries, s.DedupHits)
+	}
 }
 
 // BuildConfig builds the core.Config for a TCP worker of the named app.
@@ -334,15 +372,17 @@ func driveWorker[T any](p Params, self int, addrs []string, w io.Writer,
 
 	st, _ := sched.ParseStrategy(p.Strategy)
 	cfg := core.Config[T]{
-		Places:        len(addrs),
-		Threads:       p.Threads,
-		Pattern:       pattern,
-		Compute:       compute,
-		Codec:         cd,
-		Strategy:      st,
-		CacheSize:     p.Cache,
-		RestoreRemote: p.RestoreRemote,
-		NewDist:       distFactory(p.Dist),
+		Common: core.Common{
+			Places:        len(addrs),
+			Threads:       p.Threads,
+			Pattern:       pattern,
+			Strategy:      st,
+			CacheSize:     p.Cache,
+			RestoreRemote: p.RestoreRemote,
+			NewDist:       distFactory(p.Dist),
+		},
+		Compute: compute,
+		Codec:   cd,
 	}
 	node, err := core.StartTCPNode(cfg, self, addrs)
 	if err != nil {

@@ -144,3 +144,21 @@ func TestRunWorkerRejectsUnsupportedApp(t *testing.T) {
 		t.Fatal("unsupported worker app accepted")
 	}
 }
+
+func TestRunLocalChaosArm(t *testing.T) {
+	p := smallParams("sw")
+	p.M, p.N = 80, 80
+	p.ChaosSeed, p.ChaosDrop, p.ChaosDup = 9, 0.05, 0.05
+	p.HeartbeatMs, p.HeartbeatMiss = 2, 5
+	var out bytes.Buffer
+	if err := RunLocal(p, &out); err != nil {
+		t.Fatalf("RunLocal under chaos: %v", err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "verified against serial reference: OK") {
+		t.Fatalf("chaos run not verified:\n%s", got)
+	}
+	if !strings.Contains(got, "reliable delivery:") {
+		t.Fatalf("missing reliable-delivery counters:\n%s", got)
+	}
+}

@@ -45,7 +45,10 @@ func TestWorkerProcessCrashE2E(t *testing.T) {
 	args := func(place int) []string {
 		return []string{
 			"-place", fmt.Sprint(place), "-addrs", addrList,
-			"-app", "swlag", "-m", "900", "-threads", "2",
+			// Sized so the run comfortably outlasts the fixed kill delay
+			// below even on an unloaded machine; at 900 the run could finish
+			// in ~650ms and the kill landed after completion (flaky).
+			"-app", "swlag", "-m", "1800", "-threads", "2",
 		}
 	}
 	procs := make([]*exec.Cmd, places)

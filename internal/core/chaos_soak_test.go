@@ -1,0 +1,153 @@
+package core
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"testing"
+	"time"
+
+	"github.com/dpx10/dpx10/internal/dag"
+	"github.com/dpx10/dpx10/internal/dag/patterns"
+	"github.com/dpx10/dpx10/internal/transport"
+)
+
+// chaosProfile is one arm of the soak matrix. make builds a fresh seeded
+// plan per run — FaultPlan carries runtime state and must not be shared
+// across runs.
+type chaosProfile struct {
+	name string
+	make func(seed int64) *transport.FaultPlan
+}
+
+// linkWindow partitions both directions of the 1↔2 link for a bounded
+// window, then heals. Place 0 stays reachable so recovery can always
+// proceed.
+func linkWindow() []transport.Partition {
+	return []transport.Partition{
+		{From: 1, To: 2, Start: 5 * time.Millisecond, End: 30 * time.Millisecond},
+		{From: 2, To: 1, Start: 10 * time.Millisecond, End: 35 * time.Millisecond},
+	}
+}
+
+func chaosProfiles() []chaosProfile {
+	return []chaosProfile{
+		{"drop", func(s int64) *transport.FaultPlan {
+			return &transport.FaultPlan{Seed: s, Drop: 0.05}
+		}},
+		{"dup", func(s int64) *transport.FaultPlan {
+			return &transport.FaultPlan{Seed: s, Dup: 0.10}
+		}},
+		{"delay", func(s int64) *transport.FaultPlan {
+			return &transport.FaultPlan{Seed: s, Delay: 0.20, DelayMin: 100 * time.Microsecond, DelayMax: 2 * time.Millisecond}
+		}},
+		{"drop+dup", func(s int64) *transport.FaultPlan {
+			return &transport.FaultPlan{Seed: s, Drop: 0.05, Dup: 0.05}
+		}},
+		{"partition", func(s int64) *transport.FaultPlan {
+			return &transport.FaultPlan{Seed: s, Partitions: linkWindow()}
+		}},
+		{"mixed", func(s int64) *transport.FaultPlan {
+			return &transport.FaultPlan{
+				Seed: s, Drop: 0.03, Dup: 0.03,
+				Delay: 0.10, DelayMin: 100 * time.Microsecond, DelayMax: time.Millisecond,
+				Partitions: linkWindow(),
+			}
+		}},
+	}
+}
+
+// soakSeeds returns how many seeds each profile runs: 5 by default
+// (6 profiles × 5 seeds no-kill + 6 × 4 kill seeds = 54 runs), 1 in short
+// mode, or DPX10_SOAK_RUNS seeds per profile when set.
+func soakSeeds(t *testing.T) int {
+	if v := os.Getenv("DPX10_SOAK_RUNS"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 {
+			t.Fatalf("bad DPX10_SOAK_RUNS %q", v)
+		}
+		return n
+	}
+	if testing.Short() {
+		return 1
+	}
+	return 5
+}
+
+// soakRun executes one chaos arm and verifies every cell against the
+// fault-free Kahn reference. killPlace < 0 runs without an injected crash
+// (the chaos plan still fires).
+func soakRun(t *testing.T, pat dag.Pattern, plan *transport.FaultPlan, killPlace int) {
+	t.Helper()
+	const places = 3
+	var (
+		cfg     Config[int64]
+		gate    chan struct{}
+		release func()
+	)
+	if killPlace >= 0 {
+		cfg, gate, release = gatedConfig(pat, places, 60)
+	} else {
+		cfg = baseConfig(pat, places)
+	}
+	cfg.Chaos = plan
+	cfg.ProbeInterval = 2 * time.Millisecond
+	// Injected drops also eat heartbeats; a higher threshold keeps false
+	// positives rare (they would still be safe, just slower).
+	cfg.SuspicionThreshold = 5
+	cl, err := NewCluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- cl.Run() }()
+	if killPlace >= 0 {
+		<-gate
+		cl.Kill(killPlace)
+		release()
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+	case <-time.After(2 * time.Minute):
+		t.Fatal("soak run did not terminate")
+	}
+	if killPlace >= 0 {
+		if st := cl.Stats(); st.Recoveries < 1 {
+			t.Fatal("kill arm recorded no recovery")
+		}
+	}
+	checkResult(t, cl, pat)
+}
+
+// TestChaosSoak is the acceptance soak: seeded chaos profiles, with and
+// without mid-run place kills, every run verified cell-for-cell against
+// the fault-free native baseline. The full matrix (go test without -short)
+// is 54 runs; -short keeps one seed per profile for CI's quick tier.
+func TestChaosSoak(t *testing.T) {
+	seeds := soakSeeds(t)
+	pat := patterns.NewDiagonal(20, 16)
+	for _, prof := range chaosProfiles() {
+		for s := 0; s < seeds; s++ {
+			seed := int64(1000*s + 17)
+			t.Run(fmt.Sprintf("%s/seed%d", prof.name, seed), func(t *testing.T) {
+				t.Parallel()
+				soakRun(t, pat, prof.make(seed), -1)
+			})
+		}
+		kills := seeds - 1
+		if testing.Short() {
+			kills = 1 // keep one kill arm per profile even in short mode
+		}
+		for s := 0; s < kills; s++ {
+			seed := int64(1000*s + 29)
+			kill := 1 + s%2 // alternate the killed place
+			t.Run(fmt.Sprintf("%s/kill%d/seed%d", prof.name, kill, seed), func(t *testing.T) {
+				t.Parallel()
+				soakRun(t, pat, prof.make(seed), kill)
+			})
+		}
+	}
+}

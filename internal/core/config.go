@@ -10,6 +10,7 @@ import (
 	"github.com/dpx10/dpx10/internal/distarray"
 	"github.com/dpx10/dpx10/internal/sched"
 	"github.com/dpx10/dpx10/internal/trace"
+	"github.com/dpx10/dpx10/internal/transport"
 )
 
 // Cell is a dependency handed to Compute: the identity and finished value
@@ -41,8 +42,12 @@ const (
 	RecoverSnapshot
 )
 
-// Config parameterizes one DPX10 run.
-type Config[T any] struct {
+// Common holds the configuration fields that do not depend on the vertex
+// value type. It is embedded in Config[T], so field access is unchanged
+// (cfg.Places, cfg.Threads, ...); its existence lets the public package's
+// untyped options mutate a run's configuration without knowing T, through
+// the CommonConfig accessor.
+type Common struct {
 	// Places is the number of places (X10_NPLACES). Must be >= 1.
 	Places int
 	// Threads is the per-place worker pool width (X10_NTHREADS).
@@ -50,10 +55,6 @@ type Config[T any] struct {
 	Threads int
 	// Pattern is the DAG pattern describing the computation.
 	Pattern dag.Pattern
-	// Compute is the user's per-vertex function.
-	Compute ComputeFunc[T]
-	// Codec serializes vertex values; defaults to codec.Gob[T].
-	Codec codec.Codec[T]
 	// NewDist builds the initial distribution; defaults to block-row.
 	NewDist func(h, w int32, places int) dist.Dist
 	// Strategy selects the scheduling policy (paper §VI-C); default Local.
@@ -66,11 +67,6 @@ type Config[T any] struct {
 	RestoreRemote bool
 	// Recovery selects the recovery mechanism; default RecoverRedistribute.
 	Recovery RecoveryMode
-	// Snapshot, if non-nil, receives a full snapshot of finished vertices
-	// every SnapshotEvery local completions per place — the periodic
-	// snapshot baseline. Required for RecoverSnapshot.
-	Snapshot      *distarray.SnapshotStore[T]
-	SnapshotEvery int64
 	// Trace, when non-nil, collects per-place telemetry (busy time,
 	// vertices executed, fetch-wait) at the cost of two clock reads per
 	// vertex.
@@ -80,11 +76,17 @@ type Config[T any] struct {
 	// problems larger than memory. Indegrees and flags stay resident.
 	Spill *SpillConfig
 	// ProbeInterval is the failure-detector heartbeat period. Place 0
-	// pings every place at this interval and treats a dead-place error as
-	// a fault, mirroring the X10 runtime's own failure detection — pure
-	// communication-based detection can deadlock when the dead place was
-	// the only one holding runnable work. Default 25ms; negative disables.
+	// pings every place at this interval, mirroring the X10 runtime's own
+	// failure detection — pure communication-based detection can deadlock
+	// when the dead place was the only one holding runnable work.
+	// Default 25ms; negative disables the detector.
 	ProbeInterval time.Duration
+	// SuspicionThreshold is how many consecutive failed heartbeats make
+	// the detector declare a place dead. Definitive transport verdicts
+	// (ErrDeadPlace) declare immediately; transient failures — injected
+	// chaos, link trouble — accumulate suspicion instead, so a lossy link
+	// is not mistaken for a crash on the first drop. Default 3.
+	SuspicionThreshold int
 	// AggDisabled turns off the outbound decrement aggregator, restoring
 	// one kindDecrement message per completed vertex per destination.
 	// Aggregation is on by default.
@@ -99,6 +101,51 @@ type Config[T any] struct {
 	// aggregated decrements. Push is on by default but only takes effect
 	// when CacheSize > 0 — the receiver needs a cache to deposit into.
 	PushDisabled bool
+	// Reliable turns on sequence-numbered, retried, idempotent delivery:
+	// engine messages carry a [seq u64] envelope, tracked one-way sends
+	// become acknowledged calls, transient failures (ErrUnreachable) are
+	// retried with exponential backoff + jitter, and receivers suppress
+	// duplicate sequence numbers. Implied by Chaos. In a TCP deployment
+	// every place must agree on this setting — it changes the wire format.
+	Reliable bool
+	// RetryMax caps delivery attempts per message when Reliable is on.
+	// 0 means retry until the destination is declared dead (transient
+	// faults are bounded, so this terminates); when the cap is hit the
+	// sender marks the destination dead and reports ErrDeadPlace,
+	// converging persistent unreachability to the recovery path.
+	RetryMax int
+	// RetryBase is the first backoff delay (default 500µs); RetryMaxDelay
+	// caps the exponential growth (default 50ms). Jitter in [0.5, 1.5)
+	// de-synchronizes concurrent senders.
+	RetryBase     time.Duration
+	RetryMaxDelay time.Duration
+	// Chaos, when non-nil, wraps every place's transport in a FaultFabric
+	// injecting the plan's faults (drop, dup, delay, partition). Implies
+	// Reliable. The plan must not be shared across runs.
+	Chaos *transport.FaultPlan
+	// Events, when non-nil, receives structured run events (suspicions,
+	// deaths, recovery progress, chaos injections). Callbacks run on a
+	// dedicated goroutine, serialized; slow callbacks drop events rather
+	// than stall the run.
+	Events func(RunEvent)
+}
+
+// CommonConfig exposes the type-independent configuration; promoted
+// through Config[T] so non-generic option values can reach it.
+func (c *Common) CommonConfig() *Common { return c }
+
+// Config parameterizes one DPX10 run.
+type Config[T any] struct {
+	Common
+	// Compute is the user's per-vertex function.
+	Compute ComputeFunc[T]
+	// Codec serializes vertex values; defaults to codec.Gob[T].
+	Codec codec.Codec[T]
+	// Snapshot, if non-nil, receives a full snapshot of finished vertices
+	// every SnapshotEvery local completions per place — the periodic
+	// snapshot baseline. Required for RecoverSnapshot.
+	Snapshot      *distarray.SnapshotStore[T]
+	SnapshotEvery int64
 
 	// valueWidth memoizes the encoded width of the zero value, computed
 	// once at validation instead of per worker spawn.
@@ -132,6 +179,32 @@ func (c *Config[T]) validate() error {
 	}
 	if c.ProbeInterval == 0 {
 		c.ProbeInterval = 25 * time.Millisecond
+	}
+	if c.SuspicionThreshold == 0 {
+		c.SuspicionThreshold = 3
+	}
+	if c.SuspicionThreshold < 1 {
+		return fmt.Errorf("core: SuspicionThreshold = %d, need >= 1", c.SuspicionThreshold)
+	}
+	if c.Chaos != nil {
+		// Injected drop/dup/delay is only survivable with acknowledged,
+		// idempotent delivery; a silently lost decrement would deadlock.
+		c.Reliable = true
+	}
+	if c.RetryMax < 0 {
+		return fmt.Errorf("core: RetryMax = %d, need >= 0 (0 = until declared dead)", c.RetryMax)
+	}
+	if c.RetryBase == 0 {
+		c.RetryBase = 500 * time.Microsecond
+	}
+	if c.RetryBase < 0 {
+		return fmt.Errorf("core: RetryBase = %v, need > 0", c.RetryBase)
+	}
+	if c.RetryMaxDelay == 0 {
+		c.RetryMaxDelay = 50 * time.Millisecond
+	}
+	if c.RetryMaxDelay < c.RetryBase {
+		return fmt.Errorf("core: RetryMaxDelay = %v below RetryBase = %v", c.RetryMaxDelay, c.RetryBase)
 	}
 	if c.AggWindow == 0 {
 		c.AggWindow = time.Millisecond
@@ -201,4 +274,6 @@ type Stats struct {
 	ValuesPushed   int64 // vertex values piggybacked onto aggregated batches
 	PushDeposits   int64 // pushed values deposited into receiving caches
 	PushConsumed   int64 // dependency reads served by a pushed value (fetches avoided)
+	Retries        int64 // reliable-delivery resends after transient failures
+	DedupHits      int64 // duplicate deliveries suppressed by the receiver
 }

@@ -50,6 +50,9 @@ type coordinator[T any] struct {
 
 	recoveries    int
 	recoveryNanos int64
+
+	// sink receives structured run events (may be nil; emit is nil-safe).
+	sink *eventSink
 }
 
 func newCoordinator[T any](pe *placeEngine[T], abort <-chan struct{}, abortErr func() error, autoStop bool) *coordinator[T] {
@@ -109,7 +112,7 @@ func (co *coordinator[T]) run() error {
 			if ev.fault {
 				debugf("fault event: place %d (epoch %d)", ev.place, ev.epoch)
 				if ev.place == 0 {
-					return ErrPlaceZeroDead
+					return placeDead(0)
 				}
 				if !co.alive[ev.place] {
 					continue // duplicate report, already recovered
@@ -158,15 +161,19 @@ func (co *coordinator[T]) broadcastStop() {
 func (co *coordinator[T]) recoverFrom(dead int) error {
 	t0 := time.Now()
 	defer func() {
-		co.recoveryNanos += time.Since(t0).Nanoseconds()
+		d := time.Since(t0)
+		co.recoveryNanos += d.Nanoseconds()
 		co.recoveries++
+		co.sink.emit(RunEvent{Kind: EventRecoveryFinished, Place: dead, Epoch: co.epoch, Duration: d})
 	}()
 
 	co.alive[dead] = false
+	co.sink.emit(RunEvent{Kind: EventPlaceDead, Place: dead, Epoch: co.epoch})
+	co.sink.emit(RunEvent{Kind: EventRecoveryStarted, Place: dead, Epoch: co.epoch})
 	for {
 		survivors := co.alivePlaces()
 		if len(survivors) == 0 || !co.alive[0] {
-			return ErrPlaceZeroDead
+			return placeDead(0)
 		}
 		co.epoch++
 		newDead, err := co.attemptRecovery(survivors)
@@ -177,9 +184,10 @@ func (co *coordinator[T]) recoverFrom(dead int) error {
 			return err
 		}
 		if newDead == 0 {
-			return ErrPlaceZeroDead
+			return placeDead(0)
 		}
 		co.alive[newDead] = false
+		co.sink.emit(RunEvent{Kind: EventPlaceDead, Place: newDead, Epoch: co.epoch})
 	}
 }
 
@@ -227,7 +235,7 @@ func (co *coordinator[T]) phase(survivors []int, kind uint8, payload []byte, onR
 		debugf("recovery phase %s -> place %d", trace.KindName(kind), p)
 		reply, err := co.pe.tr.Call(p, kind, payload)
 		debugf("recovery phase %s <- place %d (err=%v)", trace.KindName(kind), p, err)
-		if err == transport.ErrDeadPlace {
+		if errors.Is(err, transport.ErrDeadPlace) {
 			return p, err
 		}
 		if err != nil {

@@ -64,9 +64,7 @@ func refValues(pat dag.Pattern) map[dag.VertexID]int64 {
 
 func baseConfig(pat dag.Pattern, places int) Config[int64] {
 	return Config[int64]{
-		Places:  places,
-		Threads: 2,
-		Pattern: pat,
+		Common:  Common{Places: places, Threads: 2, Pattern: pat},
 		Compute: sumCompute,
 		Codec:   codec.Int64{},
 	}
@@ -224,11 +222,11 @@ func TestMorePlacesThanRows(t *testing.T) {
 func TestConfigValidation(t *testing.T) {
 	pat := patterns.NewGrid(4, 4)
 	cases := []Config[int64]{
-		{Places: 0, Pattern: pat, Compute: sumCompute},
-		{Places: 2, Compute: sumCompute},
-		{Places: 2, Pattern: pat},
-		{Places: 2, Pattern: pat, Compute: sumCompute, Threads: -1},
-		{Places: 2, Pattern: pat, Compute: sumCompute, Recovery: RecoverSnapshot},
+		{Common: Common{Places: 0, Pattern: pat}, Compute: sumCompute},
+		{Common: Common{Places: 2}, Compute: sumCompute},
+		{Common: Common{Places: 2, Pattern: pat}},
+		{Common: Common{Places: 2, Pattern: pat, Threads: -1}, Compute: sumCompute},
+		{Common: Common{Places: 2, Pattern: pat, Recovery: RecoverSnapshot}, Compute: sumCompute},
 	}
 	for n, cfg := range cases {
 		if _, err := NewCluster(cfg); err == nil {
@@ -254,9 +252,8 @@ func TestComputeSeesDepsInPatternOrder(t *testing.T) {
 	pat := patterns.NewDiagonal(6, 6)
 	var bad atomic.Int32
 	cfg := Config[int64]{
-		Places:  2,
-		Pattern: pat,
-		Codec:   codec.Int64{},
+		Common: Common{Places: 2, Pattern: pat},
+		Codec:  codec.Int64{},
 		Compute: func(i, j int32, deps []Cell[int64]) int64 {
 			var want []dag.VertexID
 			want = pat.Dependencies(i, j, want)

@@ -56,9 +56,9 @@ var wireProbes = map[uint8]func(data []byte){
 	kindResume:   func(b []byte) { r := reader{b: b}; _ = r.u64() },
 	kindStop:     func(b []byte) {}, // no payload
 	kindReadVal:  func(b []byte) { r := reader{b: b}; _ = r.id() },
-	kindPing:     func(b []byte) {}, // no payload
-	kindHello:    func(b []byte) {}, // no payload
-	kindBegin:    func(b []byte) {}, // no payload
+	kindPing:     func(b []byte) { _, _ = handlePing(0, b) }, // heartbeat echo, total for any input
+	kindHello:    func(b []byte) {},                          // no payload
+	kindBegin:    func(b []byte) {},                          // no payload
 	kindSteal:    func(b []byte) { r := reader{b: b}; _ = r.u64() },
 	kindStealDone: func(b []byte) {
 		r := reader{b: b}
@@ -173,6 +173,58 @@ func FuzzDecodeDecrBatch(f *testing.F) {
 			if tgts[k] != tgts2[k] {
 				t.Fatalf("target %d changed: %v -> %v", k, tgts[k], tgts2[k])
 			}
+		}
+	})
+}
+
+// TestReliableKindTable pins the reliable-delivery envelope policy to the
+// wire kinds: every protocol kind is tracked (sequence-numbered, retried,
+// deduplicated) except the four whose loss is harmless by construction —
+// heartbeats, the startup barrier pair, and post-run reads.
+func TestReliableKindTable(t *testing.T) {
+	exempt := map[uint8]bool{kindPing: true, kindHello: true, kindBegin: true, kindReadVal: true}
+	for _, k := range fuzzedWireKinds {
+		if reliableKind[k] == exempt[k] {
+			t.Errorf("kind %d: reliable=%v, exempt=%v", k, reliableKind[k], exempt[k])
+		}
+	}
+	for k := 0; k < len(reliableKind); k++ {
+		if !reliableKind[k] {
+			continue
+		}
+		found := false
+		for _, fk := range fuzzedWireKinds {
+			if fk == uint8(k) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("reliableKind tracks %d, which is not a protocol kind", k)
+		}
+	}
+}
+
+// FuzzSplitEnvelope hardens the sequence-envelope decoder: arbitrary bytes
+// must never panic, and every appendEnvelope output must round-trip to the
+// same sequence number and body.
+func FuzzSplitEnvelope(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{1, 2, 3})
+	f.Add(appendEnvelope(nil, 0, nil))
+	f.Add(appendEnvelope(nil, 1<<63, []byte("body")))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		seq, body, err := splitEnvelope(data)
+		if err != nil {
+			if len(data) >= 8 {
+				t.Fatalf("envelope of %d bytes rejected: %v", len(data), err)
+			}
+			return
+		}
+		re := appendEnvelope(nil, seq, body)
+		seq2, body2, err2 := splitEnvelope(re)
+		if err2 != nil || seq2 != seq || string(body2) != string(body) {
+			t.Fatalf("round trip failed: %v seq %d->%d body %d->%d bytes",
+				err2, seq, seq2, len(body), len(body2))
 		}
 	})
 }

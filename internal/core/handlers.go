@@ -22,10 +22,22 @@ func (pe *placeEngine[T]) registerHandlers() {
 	pe.tr.Handle(kindReadVal, pe.handleReadVal)
 	pe.tr.Handle(kindPlaceDone, pe.handleCoordinatorEvent(false))
 	pe.tr.Handle(kindFault, pe.handleCoordinatorEvent(true))
-	pe.tr.Handle(kindPing, func(int, []byte) ([]byte, error) { return nil, nil })
+	pe.tr.Handle(kindPing, handlePing)
 	pe.tr.Handle(kindSteal, pe.handleSteal)
 	pe.tr.Handle(kindStealDone, pe.handleStealDone)
 	pe.tr.Handle(kindDecrBatch, pe.handleDecrBatch)
+}
+
+// handlePing echoes the failure detector's heartbeat payload ([seq u64]
+// [send-nanos u64]) so the detector can verify liveness end to end. The
+// payload is copied — handlers must not let the transport buffer escape.
+func handlePing(_ int, payload []byte) ([]byte, error) {
+	if len(payload) == 0 {
+		return nil, nil // legacy empty ping (raw-transport callers)
+	}
+	echo := make([]byte, len(payload))
+	copy(echo, payload)
+	return echo, nil
 }
 
 // handleCoordinatorEvent adapts placeDone/fault notifications into

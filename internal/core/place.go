@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"sync"
@@ -574,9 +575,10 @@ func (pe *placeEngine[T]) execRemote(st *epochState[T], sc *scratch[T], exec int
 
 // peerError classifies a transport error: dead peers are reported to the
 // coordinator; anything else is ignored here (stale epochs resolve via
-// recovery, other errors surface through aborts elsewhere).
+// recovery, transient unreachability is the reliable layer's business, and
+// other errors surface through aborts elsewhere).
 func (pe *placeEngine[T]) peerError(peer int, err error) {
-	if err == transport.ErrDeadPlace {
+	if errors.Is(err, transport.ErrDeadPlace) {
 		pe.reportFault(peer)
 	}
 }
@@ -588,15 +590,15 @@ func (pe *placeEngine[T]) reportFault(peer int) {
 		return // this place is itself dead; its observations are void
 	}
 	if peer == 0 {
-		pe.abort(ErrPlaceZeroDead)
+		pe.abort(placeDead(0))
 		return
 	}
 	st := pe.current()
 	payload := make([]byte, 0, 12)
 	payload = putU64(payload, st.epoch)
 	payload = putU32(payload, uint32(peer))
-	if err := pe.tr.Send(0, kindFault, payload); err == transport.ErrDeadPlace {
-		pe.abort(ErrPlaceZeroDead)
+	if err := pe.tr.Send(0, kindFault, payload); errors.Is(err, transport.ErrDeadPlace) {
+		pe.abort(placeDead(0))
 	}
 }
 
@@ -613,8 +615,8 @@ func (pe *placeEngine[T]) maybeReportDone(st *epochState[T]) {
 	payload := make([]byte, 0, 12)
 	payload = putU64(payload, st.epoch)
 	payload = putU32(payload, uint32(pe.self))
-	if err := pe.tr.Send(0, kindPlaceDone, payload); err == transport.ErrDeadPlace {
-		pe.abort(ErrPlaceZeroDead)
+	if err := pe.tr.Send(0, kindPlaceDone, payload); errors.Is(err, transport.ErrDeadPlace) {
+		pe.abort(placeDead(0))
 	}
 }
 

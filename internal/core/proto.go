@@ -60,8 +60,82 @@ var ErrCanceled = errors.New("core: run canceled")
 
 // ErrPlaceZeroDead is returned when place 0 fails. Resilient X10 cannot
 // survive the death of place 0 (paper §VI-D) and neither can DPX10; the
-// run aborts.
+// run aborts. Terminal errors are *PlaceDeadError values whose Is method
+// matches this sentinel, so errors.Is(err, ErrPlaceZeroDead) keeps working
+// alongside errors.As for the typed form.
 var ErrPlaceZeroDead = errors.New("core: place 0 died; run aborted")
+
+// PlaceDeadError reports the failure of a specific place. It supports
+// errors.Is (against ErrPlaceZeroDead and other PlaceDeadError values with
+// the same place) and errors.As.
+type PlaceDeadError struct {
+	Place int
+}
+
+func (e *PlaceDeadError) Error() string {
+	if e.Place == 0 {
+		return "core: place 0 died; run aborted"
+	}
+	return fmt.Sprintf("core: place %d died", e.Place)
+}
+
+// Is matches ErrPlaceZeroDead when Place is 0, and any PlaceDeadError for
+// the same place.
+func (e *PlaceDeadError) Is(target error) bool {
+	if target == ErrPlaceZeroDead {
+		return e.Place == 0
+	}
+	if o, ok := target.(*PlaceDeadError); ok {
+		return o.Place == e.Place
+	}
+	return false
+}
+
+// placeDead builds the typed terminal error for place p's failure.
+func placeDead(p int) error { return &PlaceDeadError{Place: p} }
+
+// --- reliable delivery envelope ---------------------------------------
+//
+// With Config.Reliable on, tracked kinds travel wrapped in a [seq u64]
+// envelope ahead of their ordinary payload. The sequence number is drawn
+// from one per-sender counter; receivers remember recently seen (sender,
+// seq) pairs and suppress re-execution of duplicates, replying with the
+// cached response instead — see reliable.go. Untracked kinds keep the bare
+// wire format so raw-transport callers (startup barrier, post-run reads,
+// the failure detector) interoperate.
+
+// reliableKind marks the kinds that participate in the envelope, retry and
+// duplicate-suppression protocol. Exempt:
+//   - kindPing: the failure detector must observe raw link state, not a
+//     retried view of it;
+//   - kindHello, kindBegin: the TCP startup barrier registers and calls
+//     these on the raw transport, before the engine wrapper exists;
+//   - kindReadVal: idempotent post-run read, also issued raw (TCPNode.Value).
+var reliableKind = func() (t [256]bool) {
+	for _, k := range []uint8{
+		kindFetch, kindDecrement, kindExec, kindPlaceDone, kindFault,
+		kindPause, kindRebuild, kindRestore, kindRestoreTx,
+		kindReplay, kindReplayTx, kindResume, kindStop,
+		kindSteal, kindStealDone, kindDecrBatch,
+	} {
+		t[k] = true
+	}
+	return t
+}()
+
+// appendEnvelope prefixes payload with its delivery sequence number.
+func appendEnvelope(dst []byte, seq uint64, payload []byte) []byte {
+	dst = putU64(dst, seq)
+	return append(dst, payload...)
+}
+
+// splitEnvelope separates the sequence number from the wrapped payload.
+func splitEnvelope(payload []byte) (seq uint64, body []byte, err error) {
+	if len(payload) < 8 {
+		return 0, nil, fmt.Errorf("core: reliable envelope truncated (%d bytes)", len(payload))
+	}
+	return binary.LittleEndian.Uint64(payload), payload[8:], nil
+}
 
 // --- wire helpers -----------------------------------------------------
 //

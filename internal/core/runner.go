@@ -16,8 +16,11 @@ import (
 type Cluster[T any] struct {
 	cfg     Config[T]
 	fabric  *transport.LocalFabric
+	chaos   []*transport.FaultFabric
+	rel     []*reliableTransport
 	engines []*placeEngine[T]
 	co      *coordinator[T]
+	sink    *eventSink
 
 	abortCh   chan struct{}
 	abortOnce sync.Once
@@ -40,11 +43,41 @@ func NewCluster[T any](cfg Config[T]) (*Cluster[T], error) {
 		fabric:  transport.NewLocalFabric(cfg.Places),
 		abortCh: make(chan struct{}),
 	}
+	cl.sink = newEventSink(cl.cfg.Events)
+	if cl.cfg.Chaos != nil && cl.sink != nil {
+		prev := cl.cfg.Chaos.OnInject
+		sink := cl.sink
+		cl.cfg.Chaos.OnInject = func(ev transport.InjectEvent) {
+			if prev != nil {
+				prev(ev)
+			}
+			sink.emit(RunEvent{
+				Kind:   EventChaosInject,
+				Place:  ev.To,
+				Detail: fmt.Sprintf("%s %d->%d kind=%d delay=%s", ev.Fault, ev.From, ev.To, ev.Kind, ev.Delay),
+			})
+		}
+	}
 	cl.engines = make([]*placeEngine[T], cfg.Places)
 	for p := 0; p < cfg.Places; p++ {
-		cl.engines[p] = newPlaceEngine[T](p, &cl.cfg, cl.fabric.Endpoint(p), cl.abortWith)
+		// Per-place transport stack: endpoint, then chaos injection on the
+		// send side, then reliable delivery on top so retries re-traverse
+		// the faulty layer (exactly what a lossy network would see).
+		var tr transport.Transport = cl.fabric.Endpoint(p)
+		if cl.cfg.Chaos != nil {
+			ff := transport.NewFaultFabric(tr, cl.cfg.Chaos)
+			cl.chaos = append(cl.chaos, ff)
+			tr = ff
+		}
+		if cl.cfg.Reliable {
+			rt := newReliableTransport(tr, &cl.cfg.Common, cl.abortCh)
+			cl.rel = append(cl.rel, rt)
+			tr = rt
+		}
+		cl.engines[p] = newPlaceEngine[T](p, &cl.cfg, tr, cl.abortWith)
 	}
 	cl.co = newCoordinator(cl.engines[0], cl.abortCh, cl.abortError, true)
+	cl.co.sink = cl.sink
 	cl.engines[0].events = cl.co.events
 	return cl, nil
 }
@@ -86,61 +119,72 @@ func (cl *Cluster[T]) Run() error {
 	for _, pe := range cl.engines {
 		pe.launch()
 	}
+	// The detector's lifetime spans the entire run, including the stop
+	// broadcast: stop messages to an undetected-unreachable place retry
+	// until the detector declares it dead, so tying the detector to an
+	// engine's stop channel (place 0 stops first) would deadlock shutdown.
+	var detStop chan struct{}
 	if cl.cfg.ProbeInterval > 0 {
-		go cl.probe()
+		detStop = make(chan struct{})
+		go cl.detector(detStop).run()
 	}
 	err := cl.co.run()
 	if err == nil {
-		// Make sure every place observed the stop before returning.
+		// Make sure every place observed the stop before returning. A place
+		// the detector declared dead after the coordinator's last recovery
+		// (so co.alive is stale) never receives the stop broadcast — the
+		// fabric check is race-free because a failed stop send implies the
+		// dead mark landed before it.
 		for _, pe := range cl.engines {
-			if cl.co.alive[pe.self] {
+			if cl.co.alive[pe.self] && cl.fabric.Alive(pe.self) {
 				pe.wait()
 			}
 		}
 	} else {
 		cl.abortWith(err)
-		for _, pe := range cl.engines {
-			pe.stop()
-		}
+	}
+	// Stop every engine unconditionally: a place the failure detector
+	// declared dead (including chaos-induced false positives) never
+	// receives the stop broadcast, yet its workers are still running.
+	for _, pe := range cl.engines {
+		pe.stop()
+	}
+	if detStop != nil {
+		close(detStop)
 	}
 	cl.elapsed = time.Since(start)
 	cl.runError = err
+	for _, ff := range cl.chaos {
+		ff.Close()
+	}
 	cl.fabric.Close()
+	cl.sink.close()
 	return err
 }
 
-// probe is the failure detector: it heartbeats every place from place 0
-// and reports dead ones to the coordinator, guaranteeing detection even
-// when no survivor has cause to contact the dead place (paper §VI-D
-// assumes the X10 runtime raises DeadPlaceException runtime-wide).
-func (cl *Cluster[T]) probe() {
-	ep := cl.engines[0].tr
-	tick := time.NewTicker(cl.cfg.ProbeInterval)
-	defer tick.Stop()
-	reported := make([]bool, cl.cfg.Places)
-	for {
-		select {
-		case <-cl.abortCh:
-			return
-		case <-cl.engines[0].stopCh:
-			return
-		case <-tick.C:
-			for p := 1; p < cl.cfg.Places; p++ {
-				if reported[p] {
-					continue
-				}
-				if _, err := ep.Call(p, kindPing, nil); err == transport.ErrDeadPlace {
-					reported[p] = true
-					select {
-					case cl.co.events <- coEvent{fault: true, place: p}:
-					case <-cl.abortCh:
-						return
-					case <-cl.engines[0].stopCh:
-						return
-					}
-				}
+// detector builds the heartbeat failure detector run by place 0 (paper
+// §VI-D assumes the X10 runtime raises DeadPlaceException runtime-wide; the
+// detector guarantees detection even when no survivor has cause to contact
+// the dead place). Suspicion misses surface as events; a declaration feeds
+// the coordinator exactly like a communication-observed fault.
+func (cl *Cluster[T]) detector(stop <-chan struct{}) *detector {
+	return &detector{
+		tr:        cl.engines[0].tr,
+		targets:   peerTargets(cl.cfg.Places, 0),
+		interval:  cl.cfg.ProbeInterval,
+		threshold: cl.cfg.SuspicionThreshold,
+		onSuspect: func(p, misses int) {
+			cl.sink.emit(RunEvent{Kind: EventPlaceSuspected, Place: p, Misses: misses})
+		},
+		onDead: func(p int) {
+			select {
+			case cl.co.events <- coEvent{fault: true, place: p}:
+			case <-cl.abortCh:
+			case <-stop:
 			}
-		}
+		},
+		abortCh: cl.abortCh,
+		stopCh:  stop,
 	}
 }
 
@@ -157,16 +201,10 @@ func (cl *Cluster[T]) Cancel() {
 // triggering a failure "manually in the middle of the execution". Killing
 // place 0 aborts the run (Resilient X10 limitation, §VI-D).
 func (cl *Cluster[T]) Kill(p int) {
-	cl.fabric.Kill(p)
+	cl.KillUnannounced(p)
 	if p == 0 {
-		cl.abortWith(ErrPlaceZeroDead)
 		return
 	}
-	// Stop the dead place's workers; a real crash would take them too.
-	if st := cl.engines[p].current(); st != nil {
-		st.closeQuit()
-	}
-	cl.engines[p].stop()
 	// Runtime-level failure detection: X10 raises DeadPlaceException at
 	// every place when a place dies, not only on the next communication
 	// attempt. Without this, a dead place that no survivor happens to
@@ -175,6 +213,22 @@ func (cl *Cluster[T]) Kill(p int) {
 	case cl.co.events <- coEvent{fault: true, place: p}:
 	case <-cl.abortCh:
 	}
+}
+
+// KillUnannounced fails place p without telling the coordinator: the crash
+// is only discoverable through communication errors or the heartbeat
+// failure detector. Regression tests use it to bound the detection window.
+func (cl *Cluster[T]) KillUnannounced(p int) {
+	cl.fabric.Kill(p)
+	if p == 0 {
+		cl.abortWith(placeDead(0))
+		return
+	}
+	// Stop the dead place's workers; a real crash would take them too.
+	if st := cl.engines[p].current(); st != nil {
+		st.closeQuit()
+	}
+	cl.engines[p].stop()
 }
 
 // Progress returns the number of vertices finished in the current epoch
@@ -244,6 +298,10 @@ func (cl *Cluster[T]) Stats() Stats {
 		s.MsgsSent += ts.SendsOut + ts.CallsOut
 		s.BytesSent += ts.BytesOut
 		s.SendsOut += ts.SendsOut
+	}
+	for _, rt := range cl.rel {
+		s.Retries += rt.retries.Load()
+		s.DedupHits += rt.dedupHits.Load()
 	}
 	return s
 }

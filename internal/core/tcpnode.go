@@ -14,17 +14,26 @@ import (
 // and communicates over TCP. All processes must be started with the same
 // Config and address table; place 0 coordinates and exposes the result.
 type TCPNode[T any] struct {
-	cfg  Config[T]
-	self int
-	tr   *transport.TCP
-	pe   *placeEngine[T]
-	co   *coordinator[T]
+	cfg   Config[T]
+	self  int
+	tr    *transport.TCP
+	chaos *transport.FaultFabric
+	rel   *reliableTransport
+	pe    *placeEngine[T]
+	co    *coordinator[T]
+	sink  *eventSink
 
 	abortCh  chan struct{}
 	abortMu  sync.Mutex
 	abortErr error // guarded by abortMu; written by engine goroutines
 	ran      bool
 	elapsed  time.Duration
+
+	// detStop bounds the failure detector's lifetime to the whole node,
+	// not the engine: Close's stop broadcast still needs the detector to
+	// declare unreachable peers, and place 0's own engine stops first.
+	detStop chan struct{}
+	detOnce sync.Once
 
 	helloCh chan int      // place 0: prepared-peer notifications
 	beginCh chan struct{} // non-zero places: closed when place 0 says go
@@ -47,7 +56,7 @@ func StartTCPNode[T any](cfg Config[T], self int, addrs []string) (*TCPNode[T], 
 	if err != nil {
 		return nil, err
 	}
-	n := &TCPNode[T]{cfg: cfg, self: self, tr: tr, abortCh: make(chan struct{})}
+	n := &TCPNode[T]{cfg: cfg, self: self, tr: tr, abortCh: make(chan struct{}), detStop: make(chan struct{})}
 	abort := func(err error) {
 		n.abortMu.Lock()
 		if n.abortErr == nil {
@@ -60,9 +69,24 @@ func StartTCPNode[T any](cfg Config[T], self int, addrs []string) (*TCPNode[T], 
 			close(n.abortCh)
 		}
 	}
-	n.pe = newPlaceEngine[T](self, &n.cfg, tr, abort)
+	n.sink = newEventSink(n.cfg.Events)
+	// Engine transport stack: TCP endpoint, chaos injection (if any), then
+	// reliable delivery so retries re-traverse the faulty layer. The raw
+	// TCP endpoint stays around for the startup barrier and post-run reads
+	// (all untracked kinds).
+	var ptr transport.Transport = tr
+	if n.cfg.Chaos != nil {
+		n.chaos = transport.NewFaultFabric(ptr, n.cfg.Chaos)
+		ptr = n.chaos
+	}
+	if n.cfg.Reliable {
+		n.rel = newReliableTransport(ptr, &n.cfg.Common, n.abortCh)
+		ptr = n.rel
+	}
+	n.pe = newPlaceEngine[T](self, &n.cfg, ptr, abort)
 	if self == 0 {
 		n.co = newCoordinator(n.pe, n.abortCh, n.abortReason, false)
+		n.co.sink = n.sink
 		n.pe.events = n.co.events
 		n.helloCh = make(chan int, cfg.Places)
 		tr.Handle(kindHello, func(from int, _ []byte) ([]byte, error) {
@@ -124,7 +148,7 @@ func (n *TCPNode[T]) Run() error {
 		}
 		n.pe.launch()
 		if n.cfg.ProbeInterval > 0 {
-			go n.probe()
+			go n.peerDetector().run()
 		}
 		err := n.co.run()
 		n.elapsed = time.Since(start)
@@ -136,7 +160,7 @@ func (n *TCPNode[T]) Run() error {
 	// Watch the coordinator: if place 0 dies, the run is unrecoverable
 	// (Resilient X10 limitation) and this process must not linger.
 	if n.cfg.ProbeInterval > 0 {
-		go n.watchCoordinator()
+		go n.coordinatorDetector().run()
 	}
 	// The begin handler launches the workers; serve until stopped or
 	// aborted.
@@ -173,57 +197,48 @@ func (n *TCPNode[T]) awaitCluster() error {
 	return nil
 }
 
-// watchCoordinator pings place 0 from a non-zero place and aborts when it
-// becomes unreachable — a coordinator crash must terminate the whole
-// deployment, including places still waiting at the startup barrier.
-func (n *TCPNode[T]) watchCoordinator() {
-	tick := time.NewTicker(n.cfg.ProbeInterval * 4)
-	defer tick.Stop()
-	for {
-		select {
-		case <-n.abortCh:
-			return
-		case <-n.pe.stopCh:
-			return
-		case <-tick.C:
-			if _, err := n.tr.Call(0, kindPing, nil); err == transport.ErrDeadPlace {
-				n.pe.abort(ErrPlaceZeroDead)
-				return
-			}
-		}
+// coordinatorDetector builds the heartbeat detector a non-zero place runs
+// against place 0: a coordinator crash must terminate the whole deployment,
+// including places still waiting at the startup barrier.
+func (n *TCPNode[T]) coordinatorDetector() *detector {
+	return &detector{
+		tr:        n.pe.tr,
+		targets:   []int{0},
+		interval:  n.cfg.ProbeInterval,
+		threshold: n.cfg.SuspicionThreshold,
+		onSuspect: func(p, misses int) {
+			n.sink.emit(RunEvent{Kind: EventPlaceSuspected, Place: p, Misses: misses})
+		},
+		onDead: func(int) {
+			n.pe.abort(placeDead(0))
+		},
+		abortCh: n.abortCh,
+		stopCh:  n.detStop,
 	}
 }
 
-// probe heartbeats the peers from place 0, mirroring Cluster.probe for
-// the TCP deployment: a connection failure marks the peer dead at the
-// transport and reports the fault to the coordinator.
-func (n *TCPNode[T]) probe() {
-	tick := time.NewTicker(n.cfg.ProbeInterval)
-	defer tick.Stop()
-	reported := make([]bool, n.cfg.Places)
-	for {
-		select {
-		case <-n.abortCh:
-			return
-		case <-n.pe.stopCh:
-			return
-		case <-tick.C:
-			for p := 1; p < n.cfg.Places; p++ {
-				if reported[p] {
-					continue
-				}
-				if _, err := n.tr.Call(p, kindPing, nil); err == transport.ErrDeadPlace {
-					reported[p] = true
-					select {
-					case n.co.events <- coEvent{fault: true, place: p}:
-					case <-n.abortCh:
-						return
-					case <-n.pe.stopCh:
-						return
-					}
-				}
+// peerDetector builds the heartbeat detector place 0 runs against its
+// peers, mirroring Cluster.detector for the TCP deployment: a declared
+// death marks the peer dead at the transport and reports the fault to the
+// coordinator.
+func (n *TCPNode[T]) peerDetector() *detector {
+	return &detector{
+		tr:        n.pe.tr,
+		targets:   peerTargets(n.cfg.Places, 0),
+		interval:  n.cfg.ProbeInterval,
+		threshold: n.cfg.SuspicionThreshold,
+		onSuspect: func(p, misses int) {
+			n.sink.emit(RunEvent{Kind: EventPlaceSuspected, Place: p, Misses: misses})
+		},
+		onDead: func(p int) {
+			select {
+			case n.co.events <- coEvent{fault: true, place: p}:
+			case <-n.abortCh:
+			case <-n.detStop:
 			}
-		}
+		},
+		abortCh: n.abortCh,
+		stopCh:  n.detStop,
 	}
 }
 
@@ -253,6 +268,10 @@ func (n *TCPNode[T]) Stats() Stats {
 		s.Epochs = int(n.co.epoch) + 1
 		s.Recoveries = n.co.recoveries
 		s.RecoveryNanos = n.co.recoveryNanos
+	}
+	if n.rel != nil {
+		s.Retries = n.rel.retries.Load()
+		s.DedupHits = n.rel.dedupHits.Load()
 	}
 	return s
 }
@@ -293,8 +312,14 @@ func (n *TCPNode[T]) Close() error {
 	if n.self == 0 && n.co != nil {
 		n.co.broadcastStop()
 	}
+	n.detOnce.Do(func() { close(n.detStop) })
 	n.pe.stop()
-	return n.tr.Close()
+	if n.chaos != nil {
+		n.chaos.Close()
+	}
+	err := n.tr.Close()
+	n.sink.close()
+	return err
 }
 
 // SetAddrTable replaces the address table before Run; used by tests that

@@ -45,9 +45,7 @@ func startTCPNodes(t *testing.T, cfg Config[int64], n int) []*TCPNode[int64] {
 func TestTCPNodeEndToEnd(t *testing.T) {
 	pat := patterns.NewDiagonal(20, 20)
 	cfg := Config[int64]{
-		Places:  3,
-		Threads: 2,
-		Pattern: pat,
+		Common:  Common{Places: 3, Threads: 2, Pattern: pat},
 		Compute: sumCompute,
 		Codec:   codec.Int64{},
 	}
@@ -130,7 +128,7 @@ func TestTCPNodeFaultRecovery(t *testing.T) {
 }
 
 func TestTCPNodeValidation(t *testing.T) {
-	cfg := Config[int64]{Places: 2, Pattern: patterns.NewGrid(4, 4), Compute: sumCompute}
+	cfg := Config[int64]{Common: Common{Places: 2, Pattern: patterns.NewGrid(4, 4)}, Compute: sumCompute}
 	if _, err := StartTCPNode(cfg, 5, []string{"127.0.0.1:0", "127.0.0.1:0"}); err == nil {
 		t.Fatal("out-of-range self accepted")
 	}

@@ -40,10 +40,8 @@ func TestSimMatchesEngineTraffic(t *testing.T) {
 
 			// Real engine, cache off, local scheduling.
 			cfg := core.Config[int64]{
-				Places:  tc.places,
-				Pattern: tc.pat,
-				Codec:   codec.Int64{},
-				NewDist: tc.nd,
+				Common: core.Common{Places: tc.places, Pattern: tc.pat, NewDist: tc.nd},
+				Codec:  codec.Int64{},
 				Compute: func(i, j int32, deps []core.Cell[int64]) int64 {
 					v := int64(i) + int64(j)
 					for _, d := range deps {
@@ -90,11 +88,8 @@ func TestSimCacheUpperBound(t *testing.T) {
 	nd := func(h, w int32, n int) dist.Dist { return dist.NewBlockRow(h, w, n) }
 	run := func(cache int) int64 {
 		cfg := core.Config[int64]{
-			Places:    3,
-			Pattern:   pat,
-			Codec:     codec.Int64{},
-			NewDist:   nd,
-			CacheSize: cache,
+			Common: core.Common{Places: 3, Pattern: pat, NewDist: nd, CacheSize: cache},
+			Codec:  codec.Int64{},
 			Compute: func(i, j int32, deps []core.Cell[int64]) int64 {
 				return int64(len(deps))
 			},

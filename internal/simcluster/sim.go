@@ -85,6 +85,18 @@ type Model struct {
 	// instead of paying a fetch round-trip. Needs CacheSize > 0 and an
 	// AggWindow to ride on.
 	ValuePush bool
+	// ChaosDropProb models the engine's chaos arm in expectation: each
+	// cross-place message is lost with this probability and retried by the
+	// reliable layer, so the expected transfer cost of one delivered
+	// message scales by 1/(1-p). Must be < 1.
+	ChaosDropProb float64
+	// ChaosDupProb is the probability a delivered message is sent twice;
+	// the duplicate is suppressed by receiver dedup but still burns link
+	// bandwidth.
+	ChaosDupProb float64
+	// ChaosDelayMean is the expected extra latency injected per message,
+	// virtual seconds (probability × mean hold time of the delay fault).
+	ChaosDelayMean float64
 }
 
 // DefaultModel gives parameters loosely calibrated to the paper's
@@ -327,9 +339,18 @@ func (s *Sim) popCoreIdx(p int) int {
 }
 
 // msgCost is the virtual transfer time for one message of n bytes between
-// distinct places.
+// distinct places. The chaos fields fold fault injection in expectation:
+// drops multiply the cost by the expected retransmission count, duplicates
+// burn extra bandwidth, and injected delay adds its mean.
 func (s *Sim) msgCost(n int64) float64 {
-	return s.m.NetLatency + float64(n)/s.m.NetBandwidth
+	c := s.m.NetLatency + float64(n)/s.m.NetBandwidth
+	if d := s.m.ChaosDropProb; d > 0 && d < 1 {
+		c /= 1 - d
+	}
+	if s.m.ChaosDupProb > 0 {
+		c += s.m.ChaosDupProb * float64(n) / s.m.NetBandwidth
+	}
+	return c + s.m.ChaosDelayMean
 }
 
 // computeCostAt is the per-vertex compute time at place p, including the

@@ -373,3 +373,37 @@ func TestSimAggregationSurvivesFault(t *testing.T) {
 			res.ComputedCells, s.Active())
 	}
 }
+
+func TestSimChaosInflatesMakespan(t *testing.T) {
+	// The chaos arm is an expectation model over message costs only: drops
+	// scale transfer cost by expected retransmissions, duplicates burn
+	// bandwidth, injected delay adds latency. None of it changes what is
+	// computed or fetched — only when.
+	pat := patterns.NewDiagonal(40, 40)
+	run := func(m Model) Result {
+		s := mustSim(t, pat, 4, m)
+		res, err := s.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	calm := run(DefaultModel(2))
+	stormy := DefaultModel(2)
+	stormy.ChaosDropProb = 0.2
+	stormy.ChaosDupProb = 0.1
+	stormy.ChaosDelayMean = 5 * stormy.NetLatency
+	chaos := run(stormy)
+	if chaos.Makespan <= calm.Makespan {
+		t.Fatalf("chaos makespan %g not above fault-free %g", chaos.Makespan, calm.Makespan)
+	}
+	if chaos.ComputedCells != calm.ComputedCells || chaos.RemoteFetches != calm.RemoteFetches {
+		t.Fatalf("chaos model changed semantics: %+v vs %+v", chaos, calm)
+	}
+	// Severity is monotone: a harsher plan costs at least as much.
+	harsher := stormy
+	harsher.ChaosDropProb = 0.5
+	if worse := run(harsher); worse.Makespan < chaos.Makespan {
+		t.Fatalf("drop 0.5 makespan %g below drop 0.2 makespan %g", worse.Makespan, chaos.Makespan)
+	}
+}

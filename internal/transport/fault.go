@@ -1,0 +1,348 @@
+package transport
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// FaultPlan is a seeded, reproducible chaos schedule. One plan is shared by
+// every wrapped endpoint of a run; per-message decisions are derived from a
+// hash of (seed, sender, destination, kind, per-link counter), so the same
+// plan over the same message sequence injects the same faults. Concurrency
+// can vary the sequence between runs, so reproducibility is statistical,
+// not bitwise — what is exactly reproducible is the decision each message
+// position on each link receives.
+//
+// Probabilities are per message; zero fields inject nothing. A plan must
+// not be reused across runs: Activate pins its clock to the first run that
+// touches it.
+type FaultPlan struct {
+	// Seed selects the pseudo-random injection schedule.
+	Seed int64
+	// Drop is the probability a message is lost. One-way messages vanish
+	// silently; for Calls the loss hits the request or the reply leg (half
+	// each) and surfaces as ErrUnreachable.
+	Drop float64
+	// Dup is the probability a delivered message is delivered twice. The
+	// duplicate of a Call executes the remote handler a second time,
+	// concurrently — exactly the replay the dedup layer must absorb.
+	Dup float64
+	// Delay is the probability a message is held back before delivery, for
+	// a duration in [DelayMin, DelayMax) drawn from the schedule. Delayed
+	// messages overtake each other: delay is also the reordering fault.
+	Delay    float64
+	DelayMin time.Duration
+	DelayMax time.Duration
+	// Partitions are asymmetric link blocks: while a partition window is
+	// open, messages matching (From → To) are dropped. From/To of -1 match
+	// every place. Windows are relative to Activate time.
+	Partitions []Partition
+	// OnInject, when non-nil, observes every injected fault. It is called
+	// from transport goroutines and must not block.
+	OnInject func(InjectEvent)
+
+	startOnce sync.Once
+	start     time.Time
+
+	dropped     atomic.Int64
+	duplicated  atomic.Int64
+	delayed     atomic.Int64
+	partitioned atomic.Int64
+}
+
+// Partition blocks the directed link From → To during [Start, End) of run
+// time. Asymmetric partitions (A can reach B, B cannot reach A) are built
+// from single directed entries.
+type Partition struct {
+	From  int // sending place, -1 for any
+	To    int // receiving place, -1 for any
+	Start time.Duration
+	End   time.Duration
+}
+
+// InjectEvent describes one injected fault.
+type InjectEvent struct {
+	From  int
+	To    int
+	Kind  uint8
+	Fault string // "drop", "drop-reply", "dup", "delay", "partition"
+	Delay time.Duration
+}
+
+// InjectStats is a point-in-time count of injected faults across all
+// endpoints sharing the plan.
+type InjectStats struct {
+	Dropped     int64
+	Duplicated  int64
+	Delayed     int64
+	Partitioned int64
+}
+
+func (s InjectStats) Total() int64 {
+	return s.Dropped + s.Duplicated + s.Delayed + s.Partitioned
+}
+
+func (s InjectStats) String() string {
+	return fmt.Sprintf("dropped=%d duplicated=%d delayed=%d partitioned=%d",
+		s.Dropped, s.Duplicated, s.Delayed, s.Partitioned)
+}
+
+// Activate pins the plan's clock; partition windows are relative to it.
+// The first wrapped endpoint to carry traffic activates the plan lazily,
+// but a run harness can call it explicitly at start for tighter windows.
+func (p *FaultPlan) Activate() {
+	p.startOnce.Do(func() { p.start = time.Now() })
+}
+
+// Stats returns the injected-fault counters.
+func (p *FaultPlan) Stats() InjectStats {
+	return InjectStats{
+		Dropped:     p.dropped.Load(),
+		Duplicated:  p.duplicated.Load(),
+		Delayed:     p.delayed.Load(),
+		Partitioned: p.partitioned.Load(),
+	}
+}
+
+func (p *FaultPlan) emit(ev InjectEvent) {
+	if p.OnInject != nil {
+		p.OnInject(ev)
+	}
+}
+
+func (p *FaultPlan) inPartition(from, to int) bool {
+	if len(p.Partitions) == 0 {
+		return false
+	}
+	p.Activate()
+	now := time.Since(p.start)
+	for _, w := range p.Partitions {
+		if (w.From == -1 || w.From == from) && (w.To == -1 || w.To == to) &&
+			now >= w.Start && now < w.End {
+			return true
+		}
+	}
+	return false
+}
+
+// mix64 is the splitmix64 finalizer: a cheap, well-distributed hash used to
+// derive per-message fault decisions from the plan seed.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// unit maps a hash to [0, 1).
+func unit(x uint64) float64 { return float64(x>>11) / float64(1<<53) }
+
+// roll derives the decision word for the n-th message from `from` to `to`
+// of the given kind. The stream index keeps independent decisions (drop,
+// dup, delay, delay length) uncorrelated.
+func (p *FaultPlan) roll(from, to int, kind uint8, n uint64, stream uint64) uint64 {
+	x := uint64(p.Seed)
+	x ^= uint64(from)<<48 | uint64(to)<<32 | uint64(kind)<<24 | stream<<16
+	x ^= n * 0x9e3779b97f4a7c15
+	return mix64(x)
+}
+
+// FaultFabric wraps one place's Transport endpoint with the plan's fault
+// injection, composable over both LocalFabric endpoints and TCP. Faults are
+// injected on the sending side — drop, duplication, delay and partition all
+// manifest before the inner transport sees the message — so the same
+// wrapper hardens single-process and multi-process deployments alike.
+type FaultFabric struct {
+	inner Transport
+	plan  *FaultPlan
+
+	seq []atomic.Uint64 // per-destination message counter
+
+	closed    chan struct{}
+	closeOnce sync.Once
+	wg        sync.WaitGroup // delayed sends and async duplicates
+}
+
+var _ Transport = (*FaultFabric)(nil)
+
+// NewFaultFabric wraps inner with plan. Wrapping with a nil plan returns a
+// transparent pass-through (still a *FaultFabric, never injecting).
+func NewFaultFabric(inner Transport, plan *FaultPlan) *FaultFabric {
+	return &FaultFabric{
+		inner:  inner,
+		plan:   plan,
+		seq:    make([]atomic.Uint64, inner.NPlaces()),
+		closed: make(chan struct{}),
+	}
+}
+
+func (f *FaultFabric) Self() int                    { return f.inner.Self() }
+func (f *FaultFabric) NPlaces() int                 { return f.inner.NPlaces() }
+func (f *FaultFabric) Stats() *Stats                { return f.inner.Stats() }
+func (f *FaultFabric) Alive(p int) bool             { return f.inner.Alive(p) }
+func (f *FaultFabric) Handle(kind uint8, h Handler) { f.inner.Handle(kind, h) }
+
+// MarkDead forwards a failure-detector verdict to the inner transport.
+func (f *FaultFabric) MarkDead(p int) {
+	if md, ok := f.inner.(interface{ MarkDead(int) }); ok {
+		md.MarkDead(p)
+	}
+}
+
+// Close stops the injection machinery (releasing delayed deliveries and
+// waiting out async duplicates). It does not close the inner transport —
+// the fabric that created the endpoint owns that.
+func (f *FaultFabric) Close() error {
+	f.closeOnce.Do(func() { close(f.closed) })
+	f.wg.Wait()
+	return nil
+}
+
+// decision is the injection verdict for one outbound message.
+type decision struct {
+	partition bool
+	drop      bool // Send: lose it; Call: lose the request leg
+	dropReply bool // Call only: deliver, then lose the reply leg
+	dup       bool
+	delay     time.Duration
+}
+
+func (f *FaultFabric) decide(to int, kind uint8, isCall bool) decision {
+	var d decision
+	p := f.plan
+	if p == nil {
+		return d
+	}
+	from := f.inner.Self()
+	if p.inPartition(from, to) {
+		p.partitioned.Add(1)
+		p.emit(InjectEvent{From: from, To: to, Kind: kind, Fault: "partition"})
+		d.partition = true
+		return d
+	}
+	n := f.seq[to].Add(1)
+	if p.Drop > 0 {
+		r := unit(p.roll(from, to, kind, n, 1))
+		if r < p.Drop {
+			p.dropped.Add(1)
+			// Calls lose the request or the reply leg, half each; one-way
+			// messages simply vanish.
+			if isCall && r >= p.Drop/2 {
+				d.dropReply = true
+				p.emit(InjectEvent{From: from, To: to, Kind: kind, Fault: "drop-reply"})
+			} else {
+				d.drop = true
+				p.emit(InjectEvent{From: from, To: to, Kind: kind, Fault: "drop"})
+			}
+			return d
+		}
+	}
+	if p.Dup > 0 && unit(p.roll(from, to, kind, n, 2)) < p.Dup {
+		d.dup = true
+		p.duplicated.Add(1)
+		p.emit(InjectEvent{From: from, To: to, Kind: kind, Fault: "dup"})
+	}
+	if p.Delay > 0 && unit(p.roll(from, to, kind, n, 3)) < p.Delay {
+		span := p.DelayMax - p.DelayMin
+		d.delay = p.DelayMin
+		if span > 0 {
+			d.delay += time.Duration(unit(p.roll(from, to, kind, n, 4)) * float64(span))
+		}
+		if d.delay > 0 {
+			p.delayed.Add(1)
+			p.emit(InjectEvent{From: from, To: to, Kind: kind, Fault: "delay", Delay: d.delay})
+		}
+	}
+	return d
+}
+
+// sleep holds the calling goroutine for d unless the wrapper closes first.
+func (f *FaultFabric) sleep(d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-f.closed:
+		return ErrClosed
+	}
+}
+
+// Send injects on the one-way path: dropped and partitioned messages vanish
+// silently (the wire gives no feedback for datagram loss), delayed ones are
+// handed to the inner transport later — from a goroutine, so they reorder
+// against subsequent traffic — and duplicates are sent twice.
+func (f *FaultFabric) Send(to int, kind uint8, payload []byte) error {
+	if !f.inner.Alive(to) {
+		// A failure-detector verdict is local knowledge: once the place is
+		// marked dead, senders fail fast on the inner transport's ErrDeadPlace
+		// instead of having the injection layer mask it as transient loss.
+		return f.inner.Send(to, kind, payload)
+	}
+	d := f.decide(to, kind, false)
+	if d.partition || d.drop {
+		return nil // silent loss; Stats still count the attempt as injected
+	}
+	if d.delay > 0 {
+		buf := append([]byte(nil), payload...)
+		f.wg.Add(1)
+		go func() {
+			defer f.wg.Done()
+			if f.sleep(d.delay) != nil {
+				return
+			}
+			f.inner.Send(to, kind, buf) //nolint:errcheck // delayed one-way: no error path
+			if d.dup {
+				f.inner.Send(to, kind, buf) //nolint:errcheck
+			}
+		}()
+		return nil
+	}
+	if err := f.inner.Send(to, kind, payload); err != nil {
+		return err
+	}
+	if d.dup {
+		return f.inner.Send(to, kind, payload)
+	}
+	return nil
+}
+
+// Call injects on the request/response path. Lost request or reply legs
+// surface as ErrUnreachable (the caller cannot tell which leg died — nor
+// whether the handler ran, which is why delivery must be idempotent).
+// Duplicated requests execute the remote handler a second time from a
+// separate goroutine, racing the original.
+func (f *FaultFabric) Call(to int, kind uint8, payload []byte) ([]byte, error) {
+	if !f.inner.Alive(to) {
+		return f.inner.Call(to, kind, payload) // dead verdict outranks injection
+	}
+	d := f.decide(to, kind, true)
+	if d.partition || d.drop {
+		return nil, ErrUnreachable
+	}
+	if d.delay > 0 {
+		if err := f.sleep(d.delay); err != nil {
+			return nil, err
+		}
+	}
+	if d.dup {
+		buf := append([]byte(nil), payload...)
+		f.wg.Add(1)
+		go func() {
+			defer f.wg.Done()
+			f.inner.Call(to, kind, buf) //nolint:errcheck // replayed request: result discarded
+		}()
+	}
+	reply, err := f.inner.Call(to, kind, payload)
+	if err != nil {
+		return nil, err
+	}
+	if d.dropReply {
+		return nil, ErrUnreachable
+	}
+	return reply, nil
+}

@@ -1,0 +1,205 @@
+package transport
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// scriptedTraffic drives a fixed message sequence through a wrapped
+// endpoint and returns the observed delivery outcomes.
+func scriptedTraffic(t *testing.T, plan *FaultPlan) (delivered int, failed int, stats InjectStats) {
+	t.Helper()
+	fab := NewLocalFabric(2)
+	defer fab.Close()
+	var got atomic.Int64
+	fab.Endpoint(1).Handle(7, func(from int, payload []byte) ([]byte, error) {
+		got.Add(1)
+		return []byte{1}, nil
+	})
+	ep := NewFaultFabric(fab.Endpoint(0), plan)
+	defer ep.Close()
+	for i := 0; i < 200; i++ {
+		if _, err := ep.Call(1, 7, []byte{byte(i)}); err != nil {
+			failed++
+		} else {
+			delivered++
+		}
+	}
+	return delivered, failed, plan.Stats()
+}
+
+func TestFaultPlanSeededReproducibility(t *testing.T) {
+	mk := func(seed int64) *FaultPlan {
+		return &FaultPlan{Seed: seed, Drop: 0.2, Dup: 0.1}
+	}
+	d1, f1, s1 := scriptedTraffic(t, mk(42))
+	d2, f2, s2 := scriptedTraffic(t, mk(42))
+	if d1 != d2 || f1 != f2 || s1 != s2 {
+		t.Fatalf("same seed diverged: (%d,%d,%+v) vs (%d,%d,%+v)", d1, f1, s1, d2, f2, s2)
+	}
+	if f1 == 0 {
+		t.Fatalf("drop=0.2 over 200 calls injected nothing")
+	}
+	_, f3, _ := scriptedTraffic(t, mk(43))
+	if f3 == f1 {
+		t.Logf("different seeds coincided (possible but unlikely): %d drops", f3)
+	}
+}
+
+func TestFaultDropSurfacesUnreachable(t *testing.T) {
+	fab := NewLocalFabric(2)
+	defer fab.Close()
+	fab.Endpoint(1).Handle(7, func(int, []byte) ([]byte, error) { return nil, nil })
+	ep := NewFaultFabric(fab.Endpoint(0), &FaultPlan{Seed: 1, Drop: 1})
+	defer ep.Close()
+	if _, err := ep.Call(1, 7, nil); !errors.Is(err, ErrUnreachable) {
+		t.Fatalf("dropped call: got %v, want ErrUnreachable", err)
+	}
+	if err := ep.Send(1, 7, nil); err != nil {
+		t.Fatalf("dropped send must be silent, got %v", err)
+	}
+	if s := ep.plan.Stats(); s.Dropped != 2 {
+		t.Fatalf("dropped = %d, want 2", s.Dropped)
+	}
+}
+
+func TestFaultDuplicateExecutesHandlerTwice(t *testing.T) {
+	fab := NewLocalFabric(2)
+	defer fab.Close()
+	var got atomic.Int64
+	fab.Endpoint(1).Handle(7, func(int, []byte) ([]byte, error) {
+		got.Add(1)
+		return nil, nil
+	})
+	ep := NewFaultFabric(fab.Endpoint(0), &FaultPlan{Seed: 9, Dup: 1})
+	if _, err := ep.Call(1, 7, []byte{1}); err != nil {
+		t.Fatalf("call: %v", err)
+	}
+	ep.Close() // waits for the async duplicate
+	if n := got.Load(); n != 2 {
+		t.Fatalf("handler ran %d times, want 2 (original + duplicate)", n)
+	}
+}
+
+func TestFaultDelayDeliversLate(t *testing.T) {
+	fab := NewLocalFabric(2)
+	defer fab.Close()
+	done := make(chan struct{}, 4)
+	fab.Endpoint(1).Handle(7, func(int, []byte) ([]byte, error) {
+		done <- struct{}{}
+		return nil, nil
+	})
+	ep := NewFaultFabric(fab.Endpoint(0), &FaultPlan{
+		Seed: 3, Delay: 1, DelayMin: time.Millisecond, DelayMax: 2 * time.Millisecond,
+	})
+	defer ep.Close()
+	if err := ep.Send(1, 7, []byte{1}); err != nil {
+		t.Fatalf("send: %v", err)
+	}
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("delayed send never delivered")
+	}
+}
+
+func TestFaultCloseReleasesDelayedSends(t *testing.T) {
+	fab := NewLocalFabric(2)
+	defer fab.Close()
+	fab.Endpoint(1).Handle(7, func(int, []byte) ([]byte, error) { return nil, nil })
+	ep := NewFaultFabric(fab.Endpoint(0), &FaultPlan{
+		Seed: 3, Delay: 1, DelayMin: time.Hour, DelayMax: time.Hour + time.Second,
+	})
+	if err := ep.Send(1, 7, []byte{1}); err != nil {
+		t.Fatalf("send: %v", err)
+	}
+	closed := make(chan struct{})
+	go func() { ep.Close(); close(closed) }()
+	select {
+	case <-closed:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close blocked on an hour-long delayed send")
+	}
+}
+
+func TestFaultAsymmetricPartition(t *testing.T) {
+	fab := NewLocalFabric(3)
+	defer fab.Close()
+	for p := 0; p < 3; p++ {
+		fab.Endpoint(p).Handle(7, func(int, []byte) ([]byte, error) { return []byte{1}, nil })
+	}
+	plan := &FaultPlan{
+		Seed: 5,
+		Partitions: []Partition{
+			{From: 0, To: 1, Start: 0, End: 50 * time.Millisecond},
+		},
+	}
+	plan.Activate()
+	e0 := NewFaultFabric(fab.Endpoint(0), plan)
+	defer e0.Close()
+	e1 := NewFaultFabric(fab.Endpoint(1), plan)
+	defer e1.Close()
+
+	if _, err := e0.Call(1, 7, nil); !errors.Is(err, ErrUnreachable) {
+		t.Fatalf("0->1 inside partition window: got %v, want ErrUnreachable", err)
+	}
+	// Asymmetric: the reverse direction stays open.
+	if _, err := e1.Call(0, 7, nil); err != nil {
+		t.Fatalf("1->0 must pass (asymmetric partition): %v", err)
+	}
+	// Unmatched link is unaffected.
+	if _, err := e0.Call(2, 7, nil); err != nil {
+		t.Fatalf("0->2 must pass: %v", err)
+	}
+	// After the window closes the link heals.
+	deadline := time.After(5 * time.Second)
+	for {
+		if _, err := e0.Call(1, 7, nil); err == nil {
+			break
+		}
+		select {
+		case <-deadline:
+			t.Fatal("0->1 never healed after the partition window")
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+	if plan.Stats().Partitioned == 0 {
+		t.Fatal("partition drops not counted")
+	}
+}
+
+func TestFaultOnInjectObserves(t *testing.T) {
+	fab := NewLocalFabric(2)
+	defer fab.Close()
+	fab.Endpoint(1).Handle(7, func(int, []byte) ([]byte, error) { return nil, nil })
+	var mu sync.Mutex
+	var faults []string
+	plan := &FaultPlan{Seed: 2, Drop: 1, OnInject: func(ev InjectEvent) {
+		mu.Lock()
+		faults = append(faults, ev.Fault)
+		mu.Unlock()
+	}}
+	ep := NewFaultFabric(fab.Endpoint(0), plan)
+	defer ep.Close()
+	ep.Send(1, 7, nil) //nolint:errcheck
+	mu.Lock()
+	defer mu.Unlock()
+	if len(faults) != 1 || faults[0] != "drop" {
+		t.Fatalf("faults = %v, want [drop]", faults)
+	}
+}
+
+func TestFaultNilPlanIsTransparent(t *testing.T) {
+	fab := NewLocalFabric(2)
+	defer fab.Close()
+	fab.Endpoint(1).Handle(7, func(int, []byte) ([]byte, error) { return []byte{9}, nil })
+	ep := NewFaultFabric(fab.Endpoint(0), nil)
+	defer ep.Close()
+	reply, err := ep.Call(1, 7, nil)
+	if err != nil || len(reply) != 1 || reply[0] != 9 {
+		t.Fatalf("pass-through call: reply=%v err=%v", reply, err)
+	}
+}

@@ -106,6 +106,16 @@ func (e *localEndpoint) handler(kind uint8) Handler {
 
 func (e *localEndpoint) Alive(p int) bool { return e.fabric.Alive(p) }
 
+// MarkDead records that place p failed, fabric-wide. The failure detector
+// calls it when it declares a place dead, so every endpoint observes the
+// death immediately — the analogue of the X10 runtime raising
+// DeadPlaceException at all places (and of TCP.MarkDead).
+func (e *localEndpoint) MarkDead(p int) {
+	if p >= 0 && p < e.fabric.n {
+		e.fabric.Kill(p)
+	}
+}
+
 func (e *localEndpoint) checkLink(to int) error {
 	if to < 0 || to >= e.fabric.n {
 		return ErrDeadPlace

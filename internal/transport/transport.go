@@ -25,6 +25,12 @@ var ErrDeadPlace = errors.New("transport: dead place")
 // ErrClosed is returned once a transport endpoint has been closed.
 var ErrClosed = errors.New("transport: closed")
 
+// ErrUnreachable is returned by Send and Call when a message could not be
+// delivered but the destination is not known to be dead: an injected fault
+// (FaultFabric) or a transient link failure. Unlike ErrDeadPlace it is
+// retryable — the engine's reliable-delivery layer backs off and resends.
+var ErrUnreachable = errors.New("transport: destination unreachable")
+
 // ErrNoHandler is returned by Call when the destination has no handler
 // registered for the message kind.
 var ErrNoHandler = errors.New("transport: no handler for message kind")

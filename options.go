@@ -1,6 +1,7 @@
 package dpx10
 
 import (
+	"fmt"
 	"time"
 
 	"github.com/dpx10/dpx10/internal/core"
@@ -8,20 +9,63 @@ import (
 	"github.com/dpx10/dpx10/internal/distarray"
 	"github.com/dpx10/dpx10/internal/sched"
 	"github.com/dpx10/dpx10/internal/trace"
+	"github.com/dpx10/dpx10/internal/transport"
 )
 
-// Option configures a run. Options are generic in the vertex value type so
-// that value-typed settings (codec, snapshot store) stay type-safe.
-type Option[T any] func(*core.Config[T])
+// Option configures a run. Most options are independent of the vertex value
+// type and are written without a type argument:
+//
+//	dpx10.Run[int32](app, pattern, dpx10.Places(8), dpx10.Threads(6))
+//
+// Only value-typed settings (WithCodec, WithSnapshotRecovery) remain
+// generic; both forms mix freely in one option list. The interface is
+// satisfied through an unexported method whose signature does not mention
+// T, which is what lets an untyped option satisfy Option[T] for every T.
+//
+// Earlier releases required a type argument on every option
+// (dpx10.Places[int32](8)); those forms remain available as deprecated
+// aliases with a T suffix (PlacesT, ThreadsT, ...).
+type Option[T any] interface {
+	// applyTo receives a *core.Config[T]; implementations either use the
+	// type-independent core.Common via the CommonConfig accessor or assert
+	// the concrete config type.
+	applyTo(cfg any)
+}
+
+// UntypedOption is the type returned by the type-independent option
+// constructors. It satisfies Option[T] for every vertex value type T.
+type UntypedOption = Option[any]
+
+// commonOption mutates the type-independent half of the configuration.
+type commonOption func(*core.Common)
+
+func (o commonOption) applyTo(cfg any) {
+	cc, ok := cfg.(interface{ CommonConfig() *core.Common })
+	if !ok {
+		panic(fmt.Sprintf("dpx10: option applied to unsupported config %T", cfg))
+	}
+	o(cc.CommonConfig())
+}
+
+// typedOption mutates the full, value-typed configuration.
+type typedOption[T any] func(*core.Config[T])
+
+func (o typedOption[T]) applyTo(cfg any) {
+	c, ok := cfg.(*core.Config[T])
+	if !ok {
+		panic(fmt.Sprintf("dpx10: option for value type %T applied to config %T", o, cfg))
+	}
+	o(c)
+}
 
 // Places sets the number of places — X10_NPLACES (default 1).
-func Places[T any](n int) Option[T] {
-	return func(c *core.Config[T]) { c.Places = n }
+func Places(n int) UntypedOption {
+	return commonOption(func(c *core.Common) { c.Places = n })
 }
 
 // Threads sets the per-place worker pool width — X10_NTHREADS (default 2).
-func Threads[T any](n int) Option[T] {
-	return func(c *core.Config[T]) { c.Threads = n }
+func Threads(n int) UntypedOption {
+	return commonOption(func(c *core.Common) { c.Threads = n })
 }
 
 // Strategy selects the vertex scheduling policy (paper §VI-C).
@@ -39,14 +83,14 @@ const (
 )
 
 // WithStrategy sets the scheduling strategy (default local).
-func WithStrategy[T any](s Strategy) Option[T] {
-	return func(c *core.Config[T]) { c.Strategy = s }
+func WithStrategy(s Strategy) UntypedOption {
+	return commonOption(func(c *core.Common) { c.Strategy = s })
 }
 
 // CacheSize sets the per-place remote-vertex cache capacity in entries;
 // 0 disables the cache (paper §VI-E "Cache size").
-func CacheSize[T any](entries int) Option[T] {
-	return func(c *core.Config[T]) { c.CacheSize = entries }
+func CacheSize(entries int) UntypedOption {
+	return commonOption(func(c *core.Common) { c.CacheSize = entries })
 }
 
 // WithAggregation tunes the outbound decrement aggregator, which is on by
@@ -54,39 +98,91 @@ func CacheSize[T any](entries int) Option[T] {
 // its batch is flushed, maxBatch is the record count that flushes a
 // destination's batch immediately. Zero values keep the defaults
 // (1ms, 256 records).
-func WithAggregation[T any](window time.Duration, maxBatch int) Option[T] {
-	return func(c *core.Config[T]) {
+func WithAggregation(window time.Duration, maxBatch int) UntypedOption {
+	return commonOption(func(c *core.Common) {
 		c.AggDisabled = false
 		c.AggWindow = window
 		c.AggMaxBatch = maxBatch
-	}
+	})
 }
 
 // WithoutAggregation disables cross-place decrement aggregation and value
 // push, restoring one message per completed vertex per destination — the
 // baseline arm of the agg ablation.
-func WithoutAggregation[T any]() Option[T] {
-	return func(c *core.Config[T]) { c.AggDisabled = true }
+func WithoutAggregation() UntypedOption {
+	return commonOption(func(c *core.Common) { c.AggDisabled = true })
 }
 
 // WithoutValuePush keeps decrement aggregation but stops piggybacking
 // finished vertex values onto the batches, isolating coalescing from
 // fetch avoidance for measurement.
-func WithoutValuePush[T any]() Option[T] {
-	return func(c *core.Config[T]) { c.PushDisabled = true }
+func WithoutValuePush() UntypedOption {
+	return commonOption(func(c *core.Common) { c.PushDisabled = true })
 }
 
 // RestoreRemote makes recovery copy finished vertices to their new owners
 // instead of recomputing them — the paper's §VI-E "Restore manner" switch
 // for computations that cost more than communication.
-func RestoreRemote[T any]() Option[T] {
-	return func(c *core.Config[T]) { c.RestoreRemote = true }
+func RestoreRemote() UntypedOption {
+	return commonOption(func(c *core.Common) { c.RestoreRemote = true })
+}
+
+// WithHeartbeat configures the failure detector: place 0 heartbeats every
+// other place (and every other place heartbeats place 0 in the TCP
+// deployment) once per interval, and threshold consecutive missed
+// heartbeats declare a place dead. interval 0 disables the detector;
+// threshold 0 keeps the default of 3.
+//
+// The detection window for an unannounced crash is therefore bounded by
+// roughly interval × threshold plus one round-trip.
+func WithHeartbeat(interval time.Duration, threshold int) UntypedOption {
+	return commonOption(func(c *core.Common) {
+		c.ProbeInterval = interval
+		c.SuspicionThreshold = threshold
+	})
+}
+
+// WithReliableDelivery turns on the reliable delivery layer: protocol
+// messages carry sequence numbers, transient send failures are retried
+// with exponential backoff and jitter, and receivers suppress duplicate
+// deliveries. Chaos injection (WithChaos) enables it automatically.
+func WithReliableDelivery() UntypedOption {
+	return commonOption(func(c *core.Common) { c.Reliable = true })
+}
+
+// WithRetry tunes the reliable delivery layer (and enables it): max is the
+// attempt budget per message (0 = retry until the destination is declared
+// dead), base the initial backoff and maxDelay its cap. Zero durations
+// keep the defaults (500µs, 50ms).
+func WithRetry(max int, base, maxDelay time.Duration) UntypedOption {
+	return commonOption(func(c *core.Common) {
+		c.Reliable = true
+		c.RetryMax = max
+		c.RetryBase = base
+		c.RetryMaxDelay = maxDelay
+	})
+}
+
+// WithChaos wires a fault-injection plan into the run's transport: every
+// place's outbound messages pass through a FaultFabric driven by the plan.
+// Reliable delivery is enabled automatically — injected faults are meant
+// to be tolerated, not to corrupt the run.
+func WithChaos(plan *ChaosPlan) UntypedOption {
+	return commonOption(func(c *core.Common) { c.Chaos = plan })
+}
+
+// WithEvents registers a structured run-event callback: place suspicion
+// and death, recovery start/finish, chaos injections. fn runs on a
+// dedicated goroutine; slow consumers drop events rather than stall the
+// run.
+func WithEvents(fn func(Event)) UntypedOption {
+	return commonOption(func(c *core.Common) { c.Events = fn })
 }
 
 // WithCodec overrides the value codec (default: gob; use the fixed-width
 // scalar codecs or a custom implementation on hot paths).
 func WithCodec[T any](cd Codec[T]) Option[T] {
-	return func(c *core.Config[T]) { c.Codec = cd }
+	return typedOption[T](func(c *core.Config[T]) { c.Codec = cd })
 }
 
 // DistKind names a built-in distribution of the DAG over places
@@ -103,8 +199,8 @@ const (
 
 // WithDist selects a built-in distribution (default BlockRowDist, the
 // paper's "divided by the row" layout).
-func WithDist[T any](kind DistKind) Option[T] {
-	return func(c *core.Config[T]) {
+func WithDist(kind DistKind) UntypedOption {
+	return commonOption(func(c *core.Common) {
 		switch kind {
 		case BlockColDist:
 			c.NewDist = func(h, w int32, n int) dist.Dist { return dist.NewBlockCol(h, w, n) }
@@ -115,36 +211,36 @@ func WithDist[T any](kind DistKind) Option[T] {
 		default:
 			c.NewDist = func(h, w int32, n int) dist.Dist { return dist.NewBlockRow(h, w, n) }
 		}
-	}
+	})
 }
 
 // WithBlockCyclicDist deals fixed-size row blocks round-robin — the HPC
 // compromise between BlockRow's locality and CyclicRow's wavefront
 // balance.
-func WithBlockCyclicDist[T any](blockRows int32) Option[T] {
-	return func(c *core.Config[T]) {
+func WithBlockCyclicDist(blockRows int32) UntypedOption {
+	return commonOption(func(c *core.Common) {
 		c.NewDist = func(h, w int32, n int) dist.Dist {
 			return dist.NewBlockCyclicRow(h, w, blockRows, n)
 		}
-	}
+	})
 }
 
 // WithBlock2DDist tiles the matrix into a pr×pc grid of blocks; the run
 // must use exactly pr*pc places. Shorter per-place borders in both
 // directions lower communication for diagonal-dependency patterns.
-func WithBlock2DDist[T any](pr, pc int) Option[T] {
-	return func(c *core.Config[T]) {
+func WithBlock2DDist(pr, pc int) UntypedOption {
+	return commonOption(func(c *core.Common) {
 		c.NewDist = func(h, w int32, n int) dist.Dist {
 			return dist.NewBlock2D(h, w, pr, pc)
 		}
-	}
+	})
 }
 
 // WithCustomDist installs a user-supplied cell→place mapping, the
 // fully-flexible form of the paper's Dist refinement. fn must map every
 // cell to a place in [0, places).
-func WithCustomDist[T any](fn func(i, j int32, places int) int) Option[T] {
-	return func(c *core.Config[T]) {
+func WithCustomDist(fn func(i, j int32, places int) int) UntypedOption {
+	return commonOption(func(c *core.Common) {
 		c.NewDist = func(h, w int32, n int) dist.Dist {
 			ps := make([]int, n)
 			for k := range ps {
@@ -156,7 +252,7 @@ func WithCustomDist[T any](fn func(i, j int32, places int) int) Option[T] {
 			}
 			return d
 		}
-	}
+	})
 }
 
 // SnapshotStore is the stable store behind the periodic-snapshot recovery
@@ -174,11 +270,11 @@ func NewSnapshotStore[T any](valueSize int) *SnapshotStore[T] {
 // `every` completions, and recovery restores from the store instead of
 // redistributing survivor state.
 func WithSnapshotRecovery[T any](store *SnapshotStore[T], every int64) Option[T] {
-	return func(c *core.Config[T]) {
+	return typedOption[T](func(c *core.Config[T]) {
 		c.Recovery = core.RecoverSnapshot
 		c.Snapshot = store
 		c.SnapshotEvery = every
-	}
+	})
 }
 
 // Trace collects per-place telemetry from a run: busy time, vertices
@@ -190,8 +286,8 @@ type Trace = trace.Collector
 func NewTrace(places, maxEvents int) *Trace { return trace.New(places, maxEvents) }
 
 // WithTrace attaches a telemetry collector to the run.
-func WithTrace[T any](tr *Trace) Option[T] {
-	return func(c *core.Config[T]) { c.Trace = tr }
+func WithTrace(tr *Trace) UntypedOption {
+	return commonOption(func(c *core.Common) { c.Trace = tr })
 }
 
 // WithSpill keeps vertex values in a paged disk-backed store instead of
@@ -199,17 +295,112 @@ func WithTrace[T any](tr *Trace) Option[T] {
 // pageVals values per page, residentPages pages kept in RAM per place;
 // zero values select the defaults (4096 and 64). dir is the scratch
 // directory ("" = the OS temp dir).
-func WithSpill[T any](dir string, pageVals, residentPages int) Option[T] {
-	return func(c *core.Config[T]) {
+func WithSpill(dir string, pageVals, residentPages int) UntypedOption {
+	return commonOption(func(c *core.Common) {
 		c.Spill = &core.SpillConfig{Dir: dir, PageVals: pageVals, ResidentPages: residentPages}
-	}
+	})
 }
 
 // WithSnapshotOverheadOnly keeps the paper's recovery mechanism but also
 // writes periodic snapshots, to measure the baseline's fault-free cost.
 func WithSnapshotOverheadOnly[T any](store *SnapshotStore[T], every int64) Option[T] {
-	return func(c *core.Config[T]) {
+	return typedOption[T](func(c *core.Config[T]) {
 		c.Snapshot = store
 		c.SnapshotEvery = every
-	}
+	})
+}
+
+// ChaosPlan is a seeded fault-injection schedule applied to a run's
+// transport: message drop, duplication, delay/reordering and asymmetric
+// partition windows, reproducible from the seed. See WithChaos.
+type ChaosPlan = transport.FaultPlan
+
+// ChaosPartition is one directed partition window of a ChaosPlan.
+type ChaosPartition = transport.Partition
+
+// ChaosEvent describes one injected fault (ChaosPlan.OnInject).
+type ChaosEvent = transport.InjectEvent
+
+// ChaosStats counts the faults a plan injected.
+type ChaosStats = transport.InjectStats
+
+// Deprecated generic forms of the untyped options above, kept so pre-chaos
+// call sites (dpx10.PlacesT[int32](8), formerly dpx10.Places[int32](8))
+// migrate mechanically. New code should use the untyped constructors.
+
+// PlacesT is the deprecated generic form of Places.
+//
+// Deprecated: use Places.
+func PlacesT[T any](n int) Option[T] { return Places(n) }
+
+// ThreadsT is the deprecated generic form of Threads.
+//
+// Deprecated: use Threads.
+func ThreadsT[T any](n int) Option[T] { return Threads(n) }
+
+// WithStrategyT is the deprecated generic form of WithStrategy.
+//
+// Deprecated: use WithStrategy.
+func WithStrategyT[T any](s Strategy) Option[T] { return WithStrategy(s) }
+
+// CacheSizeT is the deprecated generic form of CacheSize.
+//
+// Deprecated: use CacheSize.
+func CacheSizeT[T any](entries int) Option[T] { return CacheSize(entries) }
+
+// WithAggregationT is the deprecated generic form of WithAggregation.
+//
+// Deprecated: use WithAggregation.
+func WithAggregationT[T any](window time.Duration, maxBatch int) Option[T] {
+	return WithAggregation(window, maxBatch)
+}
+
+// WithoutAggregationT is the deprecated generic form of WithoutAggregation.
+//
+// Deprecated: use WithoutAggregation.
+func WithoutAggregationT[T any]() Option[T] { return WithoutAggregation() }
+
+// WithoutValuePushT is the deprecated generic form of WithoutValuePush.
+//
+// Deprecated: use WithoutValuePush.
+func WithoutValuePushT[T any]() Option[T] { return WithoutValuePush() }
+
+// RestoreRemoteT is the deprecated generic form of RestoreRemote.
+//
+// Deprecated: use RestoreRemote.
+func RestoreRemoteT[T any]() Option[T] { return RestoreRemote() }
+
+// WithDistT is the deprecated generic form of WithDist.
+//
+// Deprecated: use WithDist.
+func WithDistT[T any](kind DistKind) Option[T] { return WithDist(kind) }
+
+// WithBlockCyclicDistT is the deprecated generic form of
+// WithBlockCyclicDist.
+//
+// Deprecated: use WithBlockCyclicDist.
+func WithBlockCyclicDistT[T any](blockRows int32) Option[T] { return WithBlockCyclicDist(blockRows) }
+
+// WithBlock2DDistT is the deprecated generic form of WithBlock2DDist.
+//
+// Deprecated: use WithBlock2DDist.
+func WithBlock2DDistT[T any](pr, pc int) Option[T] { return WithBlock2DDist(pr, pc) }
+
+// WithCustomDistT is the deprecated generic form of WithCustomDist.
+//
+// Deprecated: use WithCustomDist.
+func WithCustomDistT[T any](fn func(i, j int32, places int) int) Option[T] {
+	return WithCustomDist(fn)
+}
+
+// WithTraceT is the deprecated generic form of WithTrace.
+//
+// Deprecated: use WithTrace.
+func WithTraceT[T any](tr *Trace) Option[T] { return WithTrace(tr) }
+
+// WithSpillT is the deprecated generic form of WithSpill.
+//
+// Deprecated: use WithSpill.
+func WithSpillT[T any](dir string, pageVals, residentPages int) Option[T] {
+	return WithSpill(dir, pageVals, residentPages)
 }

@@ -13,7 +13,7 @@ func runSmallSW(t *testing.T) (*dpx10.Dag[int32], *swApp) {
 	t.Helper()
 	app := &swApp{a: "GATTACAGATTACA", b: "CATACGATTAC"}
 	dag, err := dpx10.Run[int32](app, dpx10.DiagonalPattern(int32(len(app.a)+1), int32(len(app.b)+1)),
-		dpx10.Places[int32](3), dpx10.WithCodec[int32](dpx10.Int32Codec{}))
+		dpx10.Places(3), dpx10.WithCodec[int32](dpx10.Int32Codec{}))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -64,7 +64,7 @@ func TestSaveLoadSparsePattern(t *testing.T) {
 	// Interval pattern: the lower triangle is inactive (finished, zero).
 	app := &lpsLike{s: "ABACABADAB"}
 	dag, err := dpx10.Run[int32](app, dpx10.IntervalPattern(int32(len(app.s))),
-		dpx10.Places[int32](2), dpx10.WithCodec[int32](dpx10.Int32Codec{}))
+		dpx10.Places(2), dpx10.WithCodec[int32](dpx10.Int32Codec{}))
 	if err != nil {
 		t.Fatal(err)
 	}

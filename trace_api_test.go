@@ -11,7 +11,7 @@ func TestTraceCollectsUtilization(t *testing.T) {
 	app := &swApp{a: a, b: b}
 	tr := dpx10.NewTrace(3, 50)
 	dag, err := dpx10.Run[int32](app, dpx10.DiagonalPattern(int32(len(a)+1), int32(len(b)+1)),
-		dpx10.Places[int32](3), dpx10.WithTrace[int32](tr))
+		dpx10.Places(3), dpx10.WithTrace(tr))
 	if err != nil {
 		t.Fatal(err)
 	}
