@@ -1,6 +1,6 @@
 # Convenience targets; the repository is plain `go build`-able.
 
-.PHONY: tier1 test vet bench fuzz chaos
+.PHONY: tier1 test vet bench bench-sched fuzz chaos
 
 # The merge gate: build, vet (standard + dpx10-vet), full tests, race
 # detector across the tree. Same contract as scripts/tier1.sh.
@@ -16,8 +16,13 @@ vet:
 	go vet ./...
 	go run ./cmd/dpx10-vet ./...
 
-bench:
+bench: bench-sched
 	go run ./cmd/dpx10-bench -fig all -quick
+
+# Scheduling microbenchmarks (per-vertex overhead across tile sizes,
+# vcache contention), summarized into results/BENCH_sched.json.
+bench-sched:
+	./scripts/bench_sched.sh results/BENCH_sched.json
 
 fuzz:
 	go test ./internal/core/ -run xxx -fuzz FuzzDecodeDecrBatch -fuzztime 30s

@@ -21,6 +21,7 @@ import (
 	"strings"
 
 	"github.com/dpx10/dpx10/internal/bench"
+	"github.com/dpx10/dpx10/internal/cli"
 )
 
 func main() {
@@ -28,13 +29,24 @@ func main() {
 	quick := flag.Bool("quick", false, "use reduced sizes (fast smoke pass)")
 	asCSV := flag.Bool("csv", false, "emit CSV instead of aligned tables")
 	outDir := flag.String("out", "", "also write each report to this directory (.txt and .csv)")
+	var prof cli.ProfileParams
+	flag.StringVar(&prof.CPU, "cpuprofile", "", "write a CPU profile to this file")
+	flag.StringVar(&prof.Mem, "memprofile", "", "write an allocation profile to this file")
+	flag.StringVar(&prof.Mutex, "mutexprofile", "", "write a mutex-contention profile to this file")
 	flag.Parse()
 
-	var err error
+	stopProf, err := cli.StartProfiles(prof)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dpx10-bench:", err)
+		os.Exit(1)
+	}
 	if *outDir != "" {
 		err = bench.RunFiles(*fig, *quick, *outDir, os.Stdout)
 	} else {
 		err = bench.Run(*fig, *quick, *asCSV, os.Stdout)
+	}
+	if perr := stopProf(); perr != nil {
+		fmt.Fprintln(os.Stderr, "dpx10-bench:", perr)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "dpx10-bench:", err)

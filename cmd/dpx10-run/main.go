@@ -33,6 +33,7 @@ func main() {
 	flag.StringVar(&p.Strategy, "strategy", "local", "scheduling: local | random | mincomm")
 	flag.StringVar(&p.Dist, "dist", "blockrow", "distribution: blockrow | blockcol | cyclicrow | cycliccol")
 	flag.IntVar(&p.Cache, "cache", 0, "remote-vertex cache entries per place (0 = off)")
+	flag.IntVar(&p.TileSize, "tile", 0, "scheduling granularity in cells (0 = auto, 1 = per-vertex)")
 	flag.BoolVar(&p.RestoreRemote, "restore-remote", false, "recovery copies moved results instead of recomputing")
 	flag.BoolVar(&p.Verify, "verify", false, "check the result against the serial reference")
 	flag.IntVar(&p.Kill, "kill", -1, "kill this place at ~50% progress (fault-tolerance demo)")
@@ -43,10 +44,23 @@ func main() {
 	flag.Float64Var(&p.ChaosDelay, "chaos-delay", 0, "chaos: per-message delay probability (0..1, 50us-1ms window)")
 	flag.IntVar(&p.HeartbeatMs, "hb-ms", 0, "heartbeat probe interval, milliseconds (0 = no failure detector)")
 	flag.IntVar(&p.HeartbeatMiss, "hb-miss", 5, "consecutive heartbeat misses before declaring a place dead")
+	var prof cli.ProfileParams
+	flag.StringVar(&prof.CPU, "cpuprofile", "", "write a CPU profile to this file")
+	flag.StringVar(&prof.Mem, "memprofile", "", "write an allocation profile to this file")
+	flag.StringVar(&prof.Mutex, "mutexprofile", "", "write a mutex-contention profile to this file")
 	flag.Parse()
 
-	if err := cli.RunLocal(p, os.Stdout); err != nil {
+	stopProf, err := cli.StartProfiles(prof)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "dpx10-run:", err)
+		os.Exit(1)
+	}
+	runErr := cli.RunLocal(p, os.Stdout)
+	if err := stopProf(); err != nil {
+		fmt.Fprintln(os.Stderr, "dpx10-run:", err)
+	}
+	if runErr != nil {
+		fmt.Fprintln(os.Stderr, "dpx10-run:", runErr)
 		os.Exit(1)
 	}
 }

@@ -32,6 +32,8 @@ func main() {
 	nodeList := flag.String("nodes", "2,4,6,8,10,12", "comma-separated node counts (places = 2x nodes)")
 	cores := flag.Int("cores", 6, "worker threads per place")
 	computeUs := flag.Float64("compute-us", 1000, "per-vertex compute cost, microseconds")
+	schedUs := flag.Float64("sched-us", 0, "per-vertex scheduling overhead, microseconds (amortized over -tile)")
+	tile := flag.Int("tile", 1, "scheduling granularity in cells for the -sched-us amortization")
 	latencyUs := flag.Float64("latency-us", 20, "per-message latency, microseconds")
 	bandwidth := flag.Float64("bandwidth", 1e9, "link bandwidth, bytes/second")
 	fetchBytes := flag.Int64("fetch-bytes", 864, "payload of one dependency transfer")
@@ -83,6 +85,8 @@ func main() {
 			DecrBytes:        16,
 			CacheSize:        *cache,
 			RecoveryCellCost: *computeUs * 1e-6 / 5,
+			SchedCost:        *schedUs * 1e-6,
+			TileSize:         *tile,
 			Steal:            *steal,
 			AggWindow:        *aggUs * 1e-6,
 			ValuePush:        *push,

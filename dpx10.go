@@ -114,7 +114,9 @@ const (
 // paper's DPX10App (Figure 2). Compute is executed once per active vertex,
 // concurrently across places and worker threads, with the vertex's
 // dependencies resolved and passed in the order the pattern lists them.
-// AppFinished is invoked once, after every vertex completed.
+// The deps slice is reused between calls on the same worker — read it
+// during the call, copy what must outlive it. AppFinished is invoked
+// once, after every vertex completed.
 type App[T any] interface {
 	Compute(i, j int32, deps []Cell[T]) T
 	AppFinished(dag *Dag[T])

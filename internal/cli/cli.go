@@ -36,6 +36,7 @@ type Params struct {
 	Strategy      string // local | random | mincomm
 	Dist          string // blockrow | blockcol | cyclicrow | cycliccol
 	Cache         int
+	TileSize      int // scheduling granularity in cells; 0 auto, 1 per-vertex
 	RestoreRemote bool
 
 	Verify bool
@@ -112,6 +113,9 @@ func options[T any](p Params) []dpx10.Option[T] {
 	}
 	if p.Threads > 0 {
 		opts = append(opts, dpx10.Threads(p.Threads))
+	}
+	if p.TileSize > 0 {
+		opts = append(opts, dpx10.WithTileSize(p.TileSize))
 	}
 	if p.RestoreRemote {
 		opts = append(opts, dpx10.RestoreRemote())
@@ -378,11 +382,22 @@ func driveWorker[T any](p Params, self int, addrs []string, w io.Writer,
 			Pattern:       pattern,
 			Strategy:      st,
 			CacheSize:     p.Cache,
+			TileSize:      p.TileSize,
 			RestoreRemote: p.RestoreRemote,
 			NewDist:       distFactory(p.Dist),
 		},
 		Compute: compute,
 		Codec:   cd,
+	}
+	if self == 0 {
+		// Announce the released startup barrier so harnesses (and humans
+		// watching the log) know when the run actually began; the e2e crash
+		// test keys its kill timing off this line.
+		cfg.Events = func(ev core.RunEvent) {
+			if ev.Kind == core.EventClusterFormed {
+				fmt.Fprintf(w, "cluster formed: %d places computing\n", len(addrs))
+			}
+		}
 	}
 	node, err := core.StartTCPNode(cfg, self, addrs)
 	if err != nil {

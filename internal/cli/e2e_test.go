@@ -6,10 +6,30 @@ import (
 	"os/exec"
 	"path/filepath"
 	"strings"
+	"sync"
 	"syscall"
 	"testing"
 	"time"
 )
+
+// syncBuffer collects a subprocess's combined output; the process's I/O
+// copier goroutine writes while the test goroutine polls String.
+type syncBuffer struct {
+	mu sync.Mutex
+	b  strings.Builder
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
 
 // TestWorkerProcessCrashE2E is the full multi-process proof: four
 // dpx10-worker OS processes over real TCP, one SIGKILLed mid-run, the
@@ -45,31 +65,44 @@ func TestWorkerProcessCrashE2E(t *testing.T) {
 	args := func(place int) []string {
 		return []string{
 			"-place", fmt.Sprint(place), "-addrs", addrList,
-			// Sized so the run comfortably outlasts the fixed kill delay
-			// below even on an unloaded machine; at 900 the run could finish
-			// in ~650ms and the kill landed after completion (flaky).
+			// Sized so the run comfortably outlasts the post-formation kill
+			// delay below even on an unloaded machine; at 900 the run could
+			// finish in ~650ms and the kill landed after completion (flaky).
 			"-app", "swlag", "-m", "1800", "-threads", "2",
 		}
 	}
 	procs := make([]*exec.Cmd, places)
-	outs := make([]strings.Builder, places)
+	outs := make([]*syncBuffer, places)
+	for p := range outs {
+		outs[p] = &syncBuffer{}
+	}
 	for p := 1; p < places; p++ {
 		procs[p] = exec.Command(bin, args(p)...)
-		procs[p].Stdout = &outs[p]
-		procs[p].Stderr = &outs[p]
+		procs[p].Stdout = outs[p]
+		procs[p].Stderr = outs[p]
 		if err := procs[p].Start(); err != nil {
 			t.Fatalf("starting worker %d: %v", p, err)
 		}
 	}
 	procs[0] = exec.Command(bin, args(0)...)
-	procs[0].Stdout = &outs[0]
-	procs[0].Stderr = &outs[0]
+	procs[0].Stdout = outs[0]
+	procs[0].Stderr = outs[0]
 	if err := procs[0].Start(); err != nil {
 		t.Fatalf("starting coordinator: %v", err)
 	}
 
-	// Let the cluster form and make progress, then kill a worker hard.
-	time.Sleep(700 * time.Millisecond)
+	// Kill a worker hard once the run is provably underway: wait for the
+	// coordinator to announce the released startup barrier (startup cost
+	// varies with machine load, so a fixed delay from process launch races
+	// cluster formation), then give the workers a moment of progress.
+	deadline := time.Now().Add(60 * time.Second)
+	for !strings.Contains(outs[0].String(), "cluster formed") {
+		if time.Now().After(deadline) {
+			t.Fatalf("cluster never formed\n--- place 0 ---\n%s", outs[0].String())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	time.Sleep(400 * time.Millisecond)
 	if err := procs[2].Process.Signal(syscall.SIGKILL); err != nil {
 		t.Fatalf("killing worker 2: %v", err)
 	}

@@ -1,0 +1,73 @@
+package cli
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// ProfileParams names the profile output files a command was asked to
+// write; empty strings disable the corresponding profile.
+type ProfileParams struct {
+	CPU   string // -cpuprofile: pprof CPU profile over the whole run
+	Mem   string // -memprofile: heap allocation profile at exit
+	Mutex string // -mutexprofile: contended-lock profile at exit
+}
+
+// enabled reports whether any profile was requested.
+func (p ProfileParams) enabled() bool { return p.CPU != "" || p.Mem != "" || p.Mutex != "" }
+
+// StartProfiles begins the requested profiles and returns a stop function
+// that writes and closes them; call it exactly once, after the measured
+// work. With no profiles requested, both the setup and the stop are
+// no-ops.
+func StartProfiles(p ProfileParams) (stop func() error, err error) {
+	if !p.enabled() {
+		return func() error { return nil }, nil
+	}
+	var cpuFile *os.File
+	if p.CPU != "" {
+		cpuFile, err = os.Create(p.CPU)
+		if err != nil {
+			return nil, fmt.Errorf("cli: cpu profile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("cli: cpu profile: %w", err)
+		}
+	}
+	if p.Mutex != "" {
+		runtime.SetMutexProfileFraction(5)
+	}
+	return func() error {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				return err
+			}
+		}
+		if p.Mem != "" {
+			f, err := os.Create(p.Mem)
+			if err != nil {
+				return fmt.Errorf("cli: mem profile: %w", err)
+			}
+			defer f.Close()
+			runtime.GC() // settle live-heap accounting before the snapshot
+			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+				return fmt.Errorf("cli: mem profile: %w", err)
+			}
+		}
+		if p.Mutex != "" {
+			f, err := os.Create(p.Mutex)
+			if err != nil {
+				return fmt.Errorf("cli: mutex profile: %w", err)
+			}
+			defer f.Close()
+			if err := pprof.Lookup("mutex").WriteTo(f, 0); err != nil {
+				return fmt.Errorf("cli: mutex profile: %w", err)
+			}
+		}
+		return nil
+	}, nil
+}

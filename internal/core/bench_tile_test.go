@@ -1,0 +1,53 @@
+package core
+
+import (
+	"runtime"
+	"testing"
+
+	"github.com/dpx10/dpx10/internal/dag/patterns"
+)
+
+// BenchmarkSchedulePerVertex measures the engine's scheduling cost per
+// vertex — everything that is not the user's compute(): deque traffic,
+// dependency gathering, indegree decrements, completion bookkeeping. The
+// compute function is a few adds, so the reported ns/vertex is almost
+// pure framework overhead, the quantity Figure 12 bounds. The tile sweep
+// shows the amortization: TileSize=1 pays the full per-vertex price
+// (pre-tiling behavior), auto executes whole tiles as one task.
+func BenchmarkSchedulePerVertex(b *testing.B) {
+	const side = 256
+	pat := patterns.NewGrid(side, side)
+	cells := float64(side) * float64(side)
+	for _, tc := range []struct {
+		name string
+		tile int
+	}{
+		{"tile=1", 1},
+		{"tile=4", 4},
+		{"tile=auto", 0},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			cfg := baseConfig(pat, 2)
+			cfg.TileSize = tc.tile
+			b.ReportAllocs()
+			var before, after runtime.MemStats
+			runtime.GC()
+			runtime.ReadMemStats(&before)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				cl, err := NewCluster(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := cl.Run(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			runtime.ReadMemStats(&after)
+			n := float64(b.N) * cells
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/n, "ns/vertex")
+			b.ReportMetric(float64(after.Mallocs-before.Mallocs)/n, "allocs/vertex")
+		})
+	}
+}

@@ -62,6 +62,17 @@ type Common struct {
 	// CacheSize is the per-place remote-vertex cache capacity in entries
 	// (paper §VI-C); 0 disables the cache.
 	CacheSize int
+	// TileSize is the scheduling granularity: each place partitions its
+	// chunk into tiles of this many consecutive local offsets and tracks
+	// readiness per tile, executing a ready tile as one task in intra-tile
+	// dependency order. 0 (the default) auto-sizes per place; 1 schedules
+	// per vertex, exactly the pre-tiling behaviour. When coarsening would
+	// deadlock — the tile quotient graph of the pattern under the current
+	// distribution is cyclic — every place independently falls back to 1.
+	TileSize int
+	// tileCheck memoizes the tile-quotient acyclicity verdict; shared by
+	// every place of an in-process cluster through the common Config.
+	tileCheck *tileQuotientCache
 	// RestoreRemote, when set, copies finished vertices to their new
 	// owners during recovery instead of recomputing them (§VI-E).
 	RestoreRemote bool
@@ -218,6 +229,12 @@ func (c *Config[T]) validate() error {
 	if c.AggMaxBatch < 1 {
 		return fmt.Errorf("core: AggMaxBatch = %d, need >= 1", c.AggMaxBatch)
 	}
+	if c.TileSize < 0 {
+		return fmt.Errorf("core: TileSize = %d, need >= 0 (0 = auto)", c.TileSize)
+	}
+	if c.tileCheck == nil {
+		c.tileCheck = &tileQuotientCache{}
+	}
 	var zero T
 	c.valueWidth = len(c.Codec.Encode(nil, zero))
 	if c.Spill != nil {
@@ -265,6 +282,7 @@ type Stats struct {
 	CacheMisses    int64
 	ExecMigrated   int64 // vertices executed away from their owner
 	Stolen         int64 // vertices pulled by idle workers (steal strategy)
+	TilesExecuted  int64 // tile tasks run (tiles claimed with at least one cell executed)
 	MsgsSent       int64 // transport messages (sends + calls)
 	BytesSent      int64 // transport payload bytes
 	SendsOut       int64 // one-way transport messages (decrements, notifications)

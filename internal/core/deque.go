@@ -1,0 +1,132 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// tileSched is one place's per-epoch work scheduler: one deque per worker
+// plus a wake semaphore. It replaces the old single shared ready channel,
+// which made every enqueue and dequeue contend on one MPMC queue.
+//
+// Discipline: a worker pushes tiles it enables onto its own deque and pops
+// from its own tail (LIFO — the freshest tile's inputs are still cache-
+// hot); an idle worker steals from a sibling's head (FIFO — the oldest,
+// least cache-relevant work); protocol handlers, which have no worker
+// identity, spread their pushes round-robin.
+type tileSched struct {
+	deques []workDeque
+	// wake carries one token per push. Capacity covers every possible
+	// outstanding push (a tile enqueues at most once per epoch, enforced by
+	// the chunk's tileQueued flag), so the send in push never blocks. Tokens
+	// may outnumber queued tiles — a worker can take a tile without
+	// consuming one — which costs only a spurious rescan; they can never
+	// undercount them, so a parked worker always wakes.
+	wake chan struct{}
+	rr   atomic.Uint32 // round-robin cursor for identity-less pushes
+}
+
+func newTileSched(workers, numTiles int) *tileSched {
+	if workers < 1 {
+		workers = 1
+	}
+	return &tileSched{
+		deques: make([]workDeque, workers),
+		wake:   make(chan struct{}, numTiles+1),
+	}
+}
+
+// push makes tile t claimable. wkr >= 0 targets that worker's own deque;
+// handlers pass -1.
+func (ts *tileSched) push(t, wkr int) {
+	if wkr < 0 || wkr >= len(ts.deques) {
+		wkr = int(ts.rr.Add(1)) % len(ts.deques)
+	}
+	ts.deques[wkr].push(t)
+	select {
+	case ts.wake <- struct{}{}:
+	default:
+		// Capacity admits one token per tile; overflowing means a tile was
+		// enqueued twice, which must not be masked.
+		panic("core: tile wake channel overflow (double enqueue)")
+	}
+}
+
+// take returns a runnable tile for worker w: its own tail first, then its
+// siblings' heads.
+func (ts *tileSched) take(w int) (int, bool) {
+	if t, ok := ts.deques[w].popTail(); ok {
+		return t, true
+	}
+	n := len(ts.deques)
+	for k := 1; k < n; k++ {
+		if t, ok := ts.deques[(w+k)%n].popHead(); ok {
+			return t, true
+		}
+	}
+	return 0, false
+}
+
+// steal pops one queued tile on behalf of a remote thief (the kindSteal
+// victim side) or any caller without a worker identity.
+func (ts *tileSched) steal() (int, bool) {
+	for i := range ts.deques {
+		if t, ok := ts.deques[i].popHead(); ok {
+			return t, true
+		}
+	}
+	return 0, false
+}
+
+// workDeque is a mutex-protected deque of tile indexes. Contention is low
+// by construction — the owner is the only LIFO end user and thieves only
+// arrive when their own deque is empty — so a plain mutex beats a lock-
+// free design for this footprint.
+type workDeque struct {
+	mu   sync.Mutex
+	buf  []int
+	head int
+}
+
+func (q *workDeque) push(t int) {
+	q.mu.Lock()
+	q.buf = append(q.buf, t)
+	q.mu.Unlock()
+}
+
+func (q *workDeque) popTail() (int, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.head >= len(q.buf) {
+		q.reset()
+		return 0, false
+	}
+	t := q.buf[len(q.buf)-1]
+	q.buf = q.buf[:len(q.buf)-1]
+	if q.head >= len(q.buf) {
+		q.reset()
+	}
+	return t, true
+}
+
+func (q *workDeque) popHead() (int, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.head >= len(q.buf) {
+		q.reset()
+		return 0, false
+	}
+	t := q.buf[q.head]
+	q.head++
+	if q.head >= len(q.buf) {
+		q.reset()
+	}
+	return t, true
+}
+
+// reset reclaims the consumed prefix once the deque drains; the buffer's
+// capacity is kept for the epoch.
+func (q *workDeque) reset() {
+	q.buf = q.buf[:0]
+	q.head = 0
+}

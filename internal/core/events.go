@@ -29,6 +29,10 @@ const (
 	// names it ("drop", "dup", "delay", "partition", "drop-reply") and
 	// Place is the destination.
 	EventChaosInject
+	// EventClusterFormed: every place has prepared its epoch-0 state and
+	// the coordinator released the startup barrier; workers are running.
+	// Emitted once per run, on place 0.
+	EventClusterFormed
 )
 
 func (k EventKind) String() string {
@@ -43,6 +47,8 @@ func (k EventKind) String() string {
 		return "recovery-finished"
 	case EventChaosInject:
 		return "chaos-inject"
+	case EventClusterFormed:
+		return "cluster-formed"
 	default:
 		return fmt.Sprintf("event(%d)", int(k))
 	}

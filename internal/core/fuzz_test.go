@@ -63,8 +63,15 @@ var wireProbes = map[uint8]func(data []byte){
 	kindStealDone: func(b []byte) {
 		r := reader{b: b}
 		_ = r.u64()
-		_ = r.id()
-		_, _, _ = codec.Int64{}.Decode(r.rest())
+		n := r.u32()
+		for k := uint32(0); k < n && r.err == nil; k++ {
+			_ = r.id()
+			_, used, err := codec.Int64{}.Decode(r.rest())
+			if err != nil {
+				return
+			}
+			r.off += used
+		}
 	},
 	kindDecrBatch: func(b []byte) { _, _, _, _ = decodeDecrBatch[int64](b, codec.Int64{}, nil, nil) },
 }

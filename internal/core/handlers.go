@@ -112,8 +112,10 @@ func (pe *placeEngine[T]) handleDecrement(from int, payload []byte) ([]byte, err
 	if serr != nil {
 		return nil, nil // stale or pre-start: the recovery replay covers it
 	}
+	sc := pe.getScratch()
+	defer pe.putScratch(sc)
 	for _, id := range ids {
-		pe.applyDecrement(st, id, true)
+		pe.applyDecrement(st, sc, id)
 	}
 	return nil, nil
 }
@@ -155,7 +157,7 @@ func (pe *placeEngine[T]) handleDecrBatch(from int, payload []byte) ([]byte, err
 			if id.I < 0 || id.J < 0 || id.I >= h || id.J >= w || st.d.Place(id.I, id.J) != pe.self {
 				continue
 			}
-			pe.applyDecrement(st, id, true)
+			pe.applyDecrement(st, sc, id)
 		}
 	}
 	return nil, nil
@@ -186,10 +188,13 @@ func (pe *placeEngine[T]) handleExec(from int, payload []byte) ([]byte, error) {
 	return pe.cfg.Codec.Encode(nil, v), nil
 }
 
-// handleSteal hands one locally ready vertex to an idle thief. The vertex
-// leaves the ready list; it completes when the thief's steal-done arrives.
-// If the thief (or this place) dies first, the vertex is neither finished
-// nor queued — exactly the state the recovery's rebuilt ready lists cover.
+// handleSteal hands one locally ready tile to an idle thief: reply
+// [1][count u32][ids...] listing the tile's unfinished cells in intra-tile
+// dependency order (the order the thief must compute them in), or [0] when
+// nothing is queued. The tile leaves the deques; its cells complete when
+// the thief's steal-done arrives. If the thief (or this place) dies first,
+// the cells are neither finished nor queued — exactly the state the
+// recovery's rebuilt tile counters cover.
 func (pe *placeEngine[T]) handleSteal(from int, payload []byte) ([]byte, error) {
 	r := reader{b: payload}
 	epoch := r.u64()
@@ -200,23 +205,37 @@ func (pe *placeEngine[T]) handleSteal(from int, payload []byte) ([]byte, error) 
 	if err != nil {
 		return nil, err
 	}
-	select {
-	case off := <-st.ready:
-		i, j := st.d.CellAt(pe.self, off)
+	sc := pe.getScratch()
+	defer pe.putScratch(sc)
+	for {
+		t, ok := st.sched.steal()
+		if !ok {
+			return []byte{0}, nil
+		}
+		lo, hi := st.chunk.TileRange(t)
+		order := pe.tileOrder(st, sc, lo, hi)
+		if len(order) == 0 {
+			continue // fully restored by a recovery; try the next tile
+		}
 		reply := []byte{1}
-		reply = putID(reply, dag.VertexID{I: i, J: j})
+		reply = putU32(reply, uint32(len(order)))
+		for _, off := range order {
+			i, j := st.d.CellAt(pe.self, off)
+			reply = putID(reply, dag.VertexID{I: i, J: j})
+		}
 		return reply, nil
-	default:
-		return []byte{0}, nil
 	}
 }
 
-// handleStealDone receives a stolen vertex's computed value from the
-// thief and completes it locally.
+// handleStealDone receives a stolen tile's computed values from the thief
+// — [epoch][count u32][(id, value)...], in the order this place stated in
+// its steal reply — and completes them locally. A short batch (the thief
+// hit an error mid-tile) is fine: the unfinished suffix stays pending for
+// the recovery to reschedule.
 func (pe *placeEngine[T]) handleStealDone(from int, payload []byte) ([]byte, error) {
 	r := reader{b: payload}
 	epoch := r.u64()
-	id := r.id()
+	n := r.u32()
 	if r.err != nil {
 		return nil, r.err
 	}
@@ -224,14 +243,21 @@ func (pe *placeEngine[T]) handleStealDone(from int, payload []byte) ([]byte, err
 	if err != nil {
 		return nil, err
 	}
-	v, _, derr := pe.cfg.Codec.Decode(r.rest())
-	if derr != nil {
-		return nil, fmt.Errorf("core: steal-done decode: %w", derr)
-	}
-	off := st.d.LocalOffset(id.I, id.J)
 	sc := pe.getScratch()
 	defer pe.putScratch(sc)
-	pe.completeVertex(st, sc, off, id.I, id.J, v)
+	for k := uint32(0); k < n; k++ {
+		id := r.id()
+		if r.err != nil {
+			return nil, r.err
+		}
+		v, used, derr := pe.cfg.Codec.Decode(r.rest())
+		if derr != nil {
+			return nil, fmt.Errorf("core: steal-done decode: %w", derr)
+		}
+		r.off += used
+		off := st.d.LocalOffset(id.I, id.J)
+		pe.completeVertex(st, sc, off, id.I, id.J, v)
+	}
 	return nil, nil
 }
 
@@ -414,9 +440,10 @@ func (pe *placeEngine[T]) handleReplayTx(from int, payload []byte) ([]byte, erro
 	return nil, nil
 }
 
-// handleResume seeds the ready list from the rebuilt indegrees and
-// restarts the worker pool. It replies 1 if this place already has no
-// unfinished work so the coordinator can count it done immediately.
+// handleResume derives the tile readiness counters from the rebuilt
+// indegrees, seeds the work deques and restarts the worker pool. It
+// replies 1 if this place already has no unfinished work so the
+// coordinator can count it done immediately.
 func (pe *placeEngine[T]) handleResume(from int, payload []byte) ([]byte, error) {
 	r := reader{b: payload}
 	epoch := r.u64()
@@ -427,8 +454,8 @@ func (pe *placeEngine[T]) handleResume(from int, payload []byte) ([]byte, error)
 	if err != nil {
 		return nil, err
 	}
-	for _, off := range distarray.ReadyOffsets(st.chunk) {
-		pe.enqueue(st, off)
+	for _, t := range st.chunk.ActivateTiles(pe.cfg.Pattern) {
+		pe.enqueueTile(st, t, -1)
 	}
 	pe.spawnWorkers(st)
 	if st.chunk.AllFinished() {

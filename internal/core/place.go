@@ -1,6 +1,7 @@
 package core
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -17,6 +18,10 @@ import (
 	"github.com/dpx10/dpx10/internal/vcache"
 )
 
+// stealRetryDelay is the park interval between remote steal attempts when
+// a Steal-strategy worker finds no local work and no victim with any.
+const stealRetryDelay = 200 * time.Microsecond
+
 // epochState is the per-epoch mutable state of one place. A recovery
 // replaces the whole struct atomically; goroutines capture one state and
 // work against it, so activities from a previous epoch mutate only the
@@ -26,7 +31,7 @@ type epochState[T any] struct {
 	epoch uint64
 	d     dist.Dist
 	chunk *distarray.Chunk[T]
-	ready chan int // local offsets of schedulable vertices
+	sched *tileSched // per-worker deques of schedulable tiles
 	quit  chan struct{}
 	cache *vcache.Cache[T]
 	agg   *aggregator[T] // outbound decrement aggregator; nil when disabled
@@ -79,6 +84,7 @@ type placeEngine[T any] struct {
 	cacheMisses    atomic.Int64
 	execMigrated   atomic.Int64
 	stolen         atomic.Int64
+	tilesRun       atomic.Int64
 	fetchCalls     atomic.Int64
 	aggBatches     atomic.Int64
 	decrsCoalesced atomic.Int64
@@ -89,9 +95,9 @@ type placeEngine[T any] struct {
 
 // scratch bundles the reusable buffers of the vertex hot path —
 // dependency and anti-dependency lists, per-owner grouping, fetch id
-// batches, wire encode space and batch decode state — so steady-state
-// vertex execution allocates only what it must (the user-visible Cell
-// slice, which Compute may retain).
+// batches, wire encode space, batch decode state and the tile walk's
+// ordering buffers — so steady-state vertex execution allocates only what
+// it must (the user-visible Cell slice, which Compute may retain).
 type scratch[T any] struct {
 	depIDs  []dag.VertexID
 	antiBuf []dag.VertexID
@@ -101,21 +107,43 @@ type scratch[T any] struct {
 
 	fetchIdx    map[int][]int // gatherDeps: owner -> indexes into cells
 	fetchOwners []int
+	cells       []Cell[T] // deps passed to Compute; valid only during the call
 	ids         []dag.VertexID // fetch request id batch
 	enc         []byte         // wire encode buffer
+	out         []byte         // second encode buffer for messages built across computeHere calls
 
 	recs    []decrRecord[T] // handleDecrBatch decode state
 	targets []dag.VertexID
 	vals    []T
+
+	// Tile walk state.
+	tileRem   []int32 // remaining unfinished same-tile deps, indexed off-lo
+	tileStack []int
+	tileOrder []int
+	extDeps   []dag.VertexID            // PickTile inputs (MinComm)
+	extSeen   map[dag.VertexID]struct{} // dedup for extDeps; lazily allocated
+	// stolenIDs/stolenVals carry a thief's stolen tile: the cell list in
+	// the victim's stated order (a dedicated buffer — gatherDeps reuses
+	// sc.ids mid-loop) and the in-flight results, so gatherDeps resolves
+	// intra-tile dependencies without fetching values the victim has not
+	// stored yet.
+	stolenIDs  []dag.VertexID
+	stolenVals map[dag.VertexID]T
+
+	// wkr is the owning worker's deque index, or -1 when the scratch is
+	// used by a protocol handler; enqueueTile uses it for LIFO locality.
+	wkr int
 }
 
 func (pe *placeEngine[T]) getScratch() *scratch[T] {
 	if sc, ok := pe.scratchPool.Get().(*scratch[T]); ok {
+		sc.wkr = -1
 		return sc
 	}
 	return &scratch[T]{
 		remote:   make(map[int][]dag.VertexID, 4),
 		fetchIdx: make(map[int][]int, 4),
+		wkr:      -1,
 	}
 }
 
@@ -138,30 +166,33 @@ func newPlaceEngine[T any](self int, cfg *Config[T], tr transport.Transport, abo
 }
 
 // prepare initializes epoch 0: distribute and initialize the local
-// vertices and seed the ready list with zero-indegree ones (paper §VI-A
-// step 1). Every place must have prepared before any place launches —
-// otherwise an early decrement could reach a place with no state to
-// receive it and be lost with nothing to replay it.
+// vertices and seed the work deques with the immediately schedulable
+// tiles (paper §VI-A step 1). Every place must have prepared before any
+// place launches — otherwise an early decrement could reach a place with
+// no state to receive it and be lost with nothing to replay it.
 func (pe *placeEngine[T]) prepare(d dist.Dist) {
 	chunk := pe.newChunk(d)
-	ready := chunk.InitIndegrees(pe.cfg.Pattern)
+	chunk.InitIndegrees(pe.cfg.Pattern)
 	st := pe.newEpochState(0, d, chunk)
-	for _, off := range ready {
-		pe.enqueue(st, off)
+	for _, t := range chunk.ActivateTiles(pe.cfg.Pattern) {
+		pe.enqueueTile(st, t, -1)
 	}
 	pe.st.Store(st)
 }
 
 // newEpochState assembles per-epoch state — shared by prepare (epoch 0)
 // and the recovery rebuild, in both the single-process and TCP
-// deployments. The decrement aggregator is epoch-owned: its flusher
-// goroutine exits when this epoch's quit channel closes.
+// deployments. The chunk's tile layout is configured here (counters are
+// derived later, by ActivateTiles, once the epoch's indegrees are final).
+// The decrement aggregator is epoch-owned: its flusher goroutine exits
+// when this epoch's quit channel closes.
 func (pe *placeEngine[T]) newEpochState(epoch uint64, d dist.Dist, chunk *distarray.Chunk[T]) *epochState[T] {
+	chunk.ConfigureTiles(pe.tileSizeFor(d))
 	st := &epochState[T]{
 		epoch: epoch,
 		d:     d,
 		chunk: chunk,
-		ready: make(chan int, chunk.Len()+16),
+		sched: newTileSched(pe.cfg.Threads, chunk.NumTiles()),
 		quit:  make(chan struct{}),
 		cache: pe.newCache(),
 	}
@@ -184,14 +215,14 @@ func (pe *placeEngine[T]) spawnWorkers(st *epochState[T]) {
 	for w := 0; w < pe.cfg.Threads; w++ {
 		st.workers.Add(1)
 		seed := int64(pe.self)<<32 | int64(w)<<8 | int64(st.epoch&0xff)
-		go pe.worker(st, seed)
+		go pe.worker(st, w, seed)
 	}
 }
 
-// worker pulls ready vertices and executes them until the epoch is torn
+// worker pulls ready tiles and executes them until the epoch is torn
 // down or the run stops. One Picker per worker keeps random scheduling
 // deterministic per seed without locking.
-func (pe *placeEngine[T]) worker(st *epochState[T], seed int64) {
+func (pe *placeEngine[T]) worker(st *epochState[T], w int, seed int64) {
 	defer st.workers.Done()
 	defer func() {
 		if r := recover(); r != nil {
@@ -201,37 +232,51 @@ func (pe *placeEngine[T]) worker(st *epochState[T], seed int64) {
 	pk := sched.NewPicker(pe.cfg.Strategy, st.d, pe.isAlive, pe.valueSize(), seed)
 	rng := rand.New(rand.NewSource(seed ^ 0x5bd1e995))
 	sc := pe.getScratch()
+	sc.wkr = w
 	defer pe.putScratch(sc)
+	// One reusable timer paces remote steal retries; the old code built a
+	// fresh time.After timer on every idle iteration of every worker.
+	var park *time.Timer
+	defer func() {
+		if park != nil {
+			park.Stop()
+		}
+	}()
 	for {
 		select {
 		case <-st.quit:
 			return
 		case <-pe.stopCh:
 			return
-		case off := <-st.ready:
-			pe.runVertex(st, pk, sc, off)
-			continue
 		default:
+		}
+		if t, ok := st.sched.take(w); ok {
+			pe.runTile(st, pk, sc, t)
+			continue
 		}
 		// Idle: park without flushing the aggregation buffers — the flusher
 		// tick bounds how long buffered decrements wait (AggWindow), and on
 		// wavefront workloads workers park constantly at the distribution
 		// boundary, so flushing here would collapse batches to ~1 record.
 		// Under the stealing strategy, try to pull work from a peer, then
-		// park briefly and retry; other strategies park on the ready list
-		// without polling.
+		// park briefly and retry; other strategies park on the wake
+		// semaphore without polling.
 		if pe.cfg.Strategy == sched.Steal {
 			if pe.trySteal(st, sc, rng) {
 				continue
+			}
+			if park == nil {
+				park = time.NewTimer(stealRetryDelay)
+			} else {
+				park.Reset(stealRetryDelay)
 			}
 			select {
 			case <-st.quit:
 				return
 			case <-pe.stopCh:
 				return
-			case off := <-st.ready:
-				pe.runVertex(st, pk, sc, off)
-			case <-time.After(200 * time.Microsecond):
+			case <-st.sched.wake:
+			case <-park.C:
 				// Retry cadence for the next steal attempt.
 			}
 			continue
@@ -241,15 +286,172 @@ func (pe *placeEngine[T]) worker(st *epochState[T], seed int64) {
 			return
 		case <-pe.stopCh:
 			return
-		case off := <-st.ready:
-			pe.runVertex(st, pk, sc, off)
+		case <-st.sched.wake:
 		}
 	}
 }
 
-// trySteal asks one random alive peer for a ready vertex, computes it
-// here and returns the result to the owner (which stores it and
-// propagates decrements). Returns whether any work was done.
+// runTile executes one claimed tile: its unfinished cells, in intra-tile
+// dependency order, as one stack-local loop — no channel operations, no
+// readiness counters and no decrement traffic for edges inside the tile.
+// Cross-tile and cross-place edges propagate per cell exactly as before.
+func (pe *placeEngine[T]) runTile(st *epochState[T], pk *sched.Picker, sc *scratch[T], tile int) {
+	lo, hi := st.chunk.TileRange(tile)
+	if hi-lo == 1 {
+		// Single-cell tile (TileSize=1): the per-vertex path, with the
+		// per-vertex placement decision, exactly as before tiling.
+		if !st.chunk.Finished(lo) {
+			pe.tilesRun.Add(1)
+			pe.runVertex(st, pk, sc, lo)
+		}
+		return
+	}
+	order := pe.tileOrder(st, sc, lo, hi)
+	if len(order) == 0 {
+		return // every cell restored by a recovery; nothing to run
+	}
+	pe.tilesRun.Add(1)
+	// One placement decision for the whole tile.
+	var ext []dag.VertexID
+	if pe.cfg.Strategy == sched.MinComm {
+		ext = pe.tileExtDeps(st, sc, lo, hi, order)
+	}
+	exec := pk.PickTile(pe.self, len(order), ext)
+	migrate := exec != pe.self && pe.isAlive(exec)
+	for _, off := range order {
+		select {
+		case <-st.quit:
+			// Pause or stop: abandon the rest of the tile. Completed cells
+			// stand; the remainder is neither finished nor queued, exactly
+			// the state the recovery's rebuilt counters cover.
+			return
+		default:
+		}
+		i, j := st.d.CellAt(pe.self, off)
+		sc.depIDs = pe.cfg.Pattern.Dependencies(i, j, sc.depIDs[:0])
+		var value T
+		var err error
+		if migrate {
+			// Ship cells one at a time, in order: each completes (the owner
+			// stores it) before the next ships, so the target's fetches of
+			// intra-tile dependencies always find them finished.
+			value, err = pe.execRemote(st, sc, exec, i, j)
+			if err == nil {
+				pe.execMigrated.Add(1)
+			}
+		} else {
+			value, err = pe.computeHere(st, sc, i, j, sc.depIDs)
+		}
+		if err != nil || pe.stale(st) {
+			// Dead peer or superseded epoch: the tile's remaining cells will
+			// be rescheduled by the recovery's rebuilt tile counters.
+			return
+		}
+		pe.completeVertex(st, sc, off, i, j, value)
+	}
+}
+
+// tileOrder returns the tile's unfinished cells in intra-tile dependency
+// order (a Kahn walk over the tile-internal edges, in scratch buffers).
+// Cross-tile dependencies of a claimed tile are already finished — that
+// is precisely what the tile counter tracked — so only internal edges
+// constrain the order.
+func (pe *placeEngine[T]) tileOrder(st *epochState[T], sc *scratch[T], lo, hi int) []int {
+	n := hi - lo
+	if cap(sc.tileRem) < n {
+		sc.tileRem = make([]int32, n)
+	}
+	rem := sc.tileRem[:n]
+	sc.tileStack = sc.tileStack[:0]
+	sc.tileOrder = sc.tileOrder[:0]
+	pending := 0
+	for off := lo; off < hi; off++ {
+		if st.chunk.Finished(off) {
+			rem[off-lo] = -1
+			continue
+		}
+		i, j := st.d.CellAt(pe.self, off)
+		sc.depIDs = pe.cfg.Pattern.Dependencies(i, j, sc.depIDs[:0])
+		cnt := int32(0)
+		for _, dep := range sc.depIDs {
+			if st.d.Place(dep.I, dep.J) != pe.self {
+				continue
+			}
+			doff := st.d.LocalOffset(dep.I, dep.J)
+			if doff >= lo && doff < hi && !st.chunk.Finished(doff) {
+				cnt++
+			}
+		}
+		rem[off-lo] = cnt
+		pending++
+		if cnt == 0 {
+			sc.tileStack = append(sc.tileStack, off)
+		}
+	}
+	for len(sc.tileStack) > 0 {
+		off := sc.tileStack[len(sc.tileStack)-1]
+		sc.tileStack = sc.tileStack[:len(sc.tileStack)-1]
+		sc.tileOrder = append(sc.tileOrder, off)
+		i, j := st.d.CellAt(pe.self, off)
+		sc.antiBuf = pe.cfg.Pattern.AntiDependencies(i, j, sc.antiBuf[:0])
+		for _, a := range sc.antiBuf {
+			if st.d.Place(a.I, a.J) != pe.self {
+				continue
+			}
+			aoff := st.d.LocalOffset(a.I, a.J)
+			if aoff < lo || aoff >= hi {
+				continue
+			}
+			if r := rem[aoff-lo]; r > 0 {
+				rem[aoff-lo] = r - 1
+				if r == 1 {
+					sc.tileStack = append(sc.tileStack, aoff)
+				}
+			}
+		}
+	}
+	if len(sc.tileOrder) != pending {
+		// The intra-tile subgraph of a DAG cannot be cyclic; an incomplete
+		// walk means the pattern's deps/anti-deps disagree.
+		panic(fmt.Sprintf("core: place %d tile [%d,%d): intra-tile order covers %d of %d cells",
+			pe.self, lo, hi, len(sc.tileOrder), pending))
+	}
+	return sc.tileOrder
+}
+
+// tileExtDeps collects the distinct dependencies of the tile's runnable
+// cells that live outside the tile — the inputs PickTile's MinComm cost
+// model weighs.
+func (pe *placeEngine[T]) tileExtDeps(st *epochState[T], sc *scratch[T], lo, hi int, order []int) []dag.VertexID {
+	sc.extDeps = sc.extDeps[:0]
+	if sc.extSeen == nil {
+		sc.extSeen = make(map[dag.VertexID]struct{}, 16)
+	}
+	clear(sc.extSeen)
+	for _, off := range order {
+		i, j := st.d.CellAt(pe.self, off)
+		sc.depIDs = pe.cfg.Pattern.Dependencies(i, j, sc.depIDs[:0])
+		for _, dep := range sc.depIDs {
+			if st.d.Place(dep.I, dep.J) == pe.self {
+				if doff := st.d.LocalOffset(dep.I, dep.J); doff >= lo && doff < hi {
+					continue
+				}
+			}
+			if _, dup := sc.extSeen[dep]; dup {
+				continue
+			}
+			sc.extSeen[dep] = struct{}{}
+			sc.extDeps = append(sc.extDeps, dep)
+		}
+	}
+	return sc.extDeps
+}
+
+// trySteal asks one random alive peer for a ready tile, computes its
+// cells here in the victim's stated order and returns the results to the
+// owner (which stores them and propagates decrements). Intra-tile
+// dependencies resolve from the thief's in-flight result map — the victim
+// has not stored them yet. Returns whether any work was done.
 func (pe *placeEngine[T]) trySteal(st *epochState[T], sc *scratch[T], rng *rand.Rand) bool {
 	places := st.d.Places()
 	victim := places[rng.Intn(len(places))]
@@ -265,21 +467,47 @@ func (pe *placeEngine[T]) trySteal(st *epochState[T], sc *scratch[T], rng *rand.
 		return false // victim had nothing ready
 	}
 	r := reader{b: reply[1:]}
-	id := r.id()
+	n := int(r.u32())
+	if r.err != nil || n <= 0 {
+		return false
+	}
+	sc.stolenIDs = sc.stolenIDs[:0]
+	for k := 0; k < n; k++ {
+		sc.stolenIDs = append(sc.stolenIDs, r.id())
+	}
 	if r.err != nil {
 		return false
 	}
-	sc.depIDs = pe.cfg.Pattern.Dependencies(id.I, id.J, sc.depIDs[:0])
-	v, err := pe.computeHere(st, sc, id.I, id.J, sc.depIDs)
-	if err != nil {
-		return false // victim's recovery will reschedule the vertex
+	if sc.stolenVals == nil {
+		sc.stolenVals = make(map[dag.VertexID]T, n)
 	}
-	pe.stolen.Add(1)
-	msg := putU64(sc.enc[:0], st.epoch)
-	msg = putID(msg, id)
-	msg = pe.cfg.Codec.Encode(msg, v)
-	sc.enc = msg
-	if _, err := pe.tr.Call(victim, kindStealDone, msg); err != nil {
+	defer clear(sc.stolenVals)
+	// [epoch][count][(id, value)...], count backpatched: a mid-tile error
+	// (the victim died, or a recovery superseded the epoch) still returns
+	// the finished prefix — the victim can keep restored work across a
+	// redistribution — and the recovery reschedules the rest.
+	sc.out = putU64(sc.out[:0], st.epoch)
+	cntAt := len(sc.out)
+	sc.out = putU32(sc.out, 0)
+	done := 0
+	for _, id := range sc.stolenIDs {
+		sc.depIDs = pe.cfg.Pattern.Dependencies(id.I, id.J, sc.depIDs[:0])
+		v, err := pe.computeHere(st, sc, id.I, id.J, sc.depIDs)
+		if err != nil {
+			break // the victim's recovery will reschedule the rest
+		}
+		sc.stolenVals[id] = v
+		sc.out = putID(sc.out, id)
+		sc.out = pe.cfg.Codec.Encode(sc.out, v)
+		done++
+	}
+	if done == 0 {
+		return false
+	}
+	binary.LittleEndian.PutUint32(sc.out[cntAt:], uint32(done))
+	pe.stolen.Add(int64(done))
+	pe.tilesRun.Add(1)
+	if _, err := pe.tr.Call(victim, kindStealDone, sc.out); err != nil {
 		pe.peerError(victim, err)
 	}
 	return true
@@ -351,7 +579,7 @@ func (pe *placeEngine[T]) stale(st *epochState[T]) bool { return pe.st.Load() !=
 
 // runVertex executes one ready vertex end to end: resolve dependencies,
 // run (or ship) compute, publish the result and propagate decrements
-// (paper §VI-C).
+// (paper §VI-C). It is the whole-tile path when TileSize is 1.
 func (pe *placeEngine[T]) runVertex(st *epochState[T], pk *sched.Picker, sc *scratch[T], off int) {
 	i, j := st.d.CellAt(pe.self, off)
 	sc.depIDs = pe.cfg.Pattern.Dependencies(i, j, sc.depIDs[:0])
@@ -369,7 +597,7 @@ func (pe *placeEngine[T]) runVertex(st *epochState[T], pk *sched.Picker, sc *scr
 	}
 	if err != nil {
 		// Dead peer or superseded epoch: the vertex will be rescheduled
-		// by the recovery's rebuilt ready list.
+		// by the recovery's rebuilt tile counters.
 		return
 	}
 	if pe.stale(st) {
@@ -379,9 +607,12 @@ func (pe *placeEngine[T]) runVertex(st *epochState[T], pk *sched.Picker, sc *scr
 }
 
 // completeVertex publishes a computed value for a locally owned vertex:
-// store it, propagate indegree decrements (local directly, remote through
-// the aggregator or as one legacy batch per owning place) and report
-// place completion. Called from runVertex and from the steal-done handler.
+// store it, propagate indegree decrements (same-tile edges are skipped —
+// the tile's own dependency-ordered walk, or the stolen batch's order,
+// already satisfies them; other local tiles directly; remote places
+// through the aggregator or as one legacy batch per owning place) and
+// report place completion. Called from the tile walk and from the
+// steal-done handler.
 func (pe *placeEngine[T]) completeVertex(st *epochState[T], sc *scratch[T], off int, i, j int32, value T) {
 	st.chunk.SetResult(off, value)
 	pe.computed.Add(1)
@@ -393,11 +624,21 @@ func (pe *placeEngine[T]) completeVertex(st *epochState[T], sc *scratch[T], off 
 	}
 	sc.owners = sc.owners[:0]
 
+	tile := st.chunk.TileOf(off)
 	sc.antiBuf = pe.cfg.Pattern.AntiDependencies(i, j, sc.antiBuf[:0])
 	for _, a := range sc.antiBuf {
 		owner := st.d.Place(a.I, a.J)
 		if owner == pe.self {
-			pe.applyDecrement(st, a, true)
+			aoff := st.d.LocalOffset(a.I, a.J)
+			if st.chunk.TileOf(aoff) == tile {
+				// Intra-tile edge: no counter tracks it. The executing walk
+				// (runTile's order, or the thief's batch order) schedules
+				// the dependent after this cell.
+				continue
+			}
+			if t, ready := st.chunk.TileDecrement(aoff); ready {
+				pe.enqueueTile(st, t, sc.wkr)
+			}
 			continue
 		}
 		lst := sc.remote[owner]
@@ -428,31 +669,24 @@ func (pe *placeEngine[T]) completeVertex(st *epochState[T], sc *scratch[T], off 
 	pe.maybeReportDone(st)
 }
 
-// applyDecrement lowers the indegree of the locally owned vertex id and
-// schedules it when it becomes ready. Finished vertices (restored by a
-// recovery) absorb decrements without being re-scheduled.
-func (pe *placeEngine[T]) applyDecrement(st *epochState[T], id dag.VertexID, enqueue bool) {
+// applyDecrement lowers the tile-readiness counter (and the per-vertex
+// indegree backing recovery) for the locally owned vertex id, scheduling
+// its tile when the last cross-tile input arrives. Finished vertices
+// (restored by a recovery) absorb decrements without being re-scheduled.
+func (pe *placeEngine[T]) applyDecrement(st *epochState[T], sc *scratch[T], id dag.VertexID) {
 	off := st.d.LocalOffset(id.I, id.J)
-	if st.chunk.DecrementIndegree(off) == 0 && enqueue && !st.chunk.Finished(off) {
-		pe.enqueue(st, off)
+	if t, ready := st.chunk.TileDecrement(off); ready {
+		pe.enqueueTile(st, t, sc.wkr)
 	}
 }
 
-// enqueue puts a locally owned ready vertex on the ready list, exactly
-// once per epoch: a vertex can reach readiness through two concurrent
-// paths during recovery (an early remote decrement and the resume scan),
-// and the chunk's queued flag arbitrates.
-func (pe *placeEngine[T]) enqueue(st *epochState[T], off int) {
-	if !st.chunk.TryMarkQueued(off) {
+// enqueueTile puts a ready tile on the place's work deques, exactly once
+// per epoch (the chunk's tileQueued flag arbitrates concurrent paths).
+func (pe *placeEngine[T]) enqueueTile(st *epochState[T], t, wkr int) {
+	if !st.chunk.TryMarkTileQueued(t) {
 		return
 	}
-	select {
-	case st.ready <- off:
-	default:
-		// The ready channel is sized for every local vertex; hitting
-		// this means double-scheduling, which must not be masked.
-		panic(fmt.Sprintf("core: ready overflow at place %d offset %d", pe.self, off))
-	}
+	st.sched.push(t, wkr)
 }
 
 // computeHere gathers dependency values (locally, from the cache, or by
@@ -477,11 +711,15 @@ func (pe *placeEngine[T]) computeHere(st *epochState[T], sc *scratch[T], i, j in
 	return v, nil
 }
 
-// gatherDeps resolves dependency values in the pattern's order: local
-// chunk reads, cache hits (including sender-pushed values), then one
-// batched kindFetch round-trip per remaining owner.
+// gatherDeps resolves dependency values in the pattern's order: the
+// thief's in-flight stolen results, local chunk reads, cache hits
+// (including sender-pushed values), then one batched kindFetch round-trip
+// per remaining owner.
 func (pe *placeEngine[T]) gatherDeps(st *epochState[T], sc *scratch[T], depIDs []dag.VertexID) ([]Cell[T], error) {
-	cells := make([]Cell[T], len(depIDs))
+	if cap(sc.cells) < len(depIDs) {
+		sc.cells = make([]Cell[T], len(depIDs))
+	}
+	cells := sc.cells[:len(depIDs)]
 	// Clear grouping state a previous, error-aborted use may have left.
 	for _, owner := range sc.fetchOwners {
 		sc.fetchIdx[owner] = sc.fetchIdx[owner][:0]
@@ -489,6 +727,12 @@ func (pe *placeEngine[T]) gatherDeps(st *epochState[T], sc *scratch[T], depIDs [
 	sc.fetchOwners = sc.fetchOwners[:0]
 	for k, id := range depIDs {
 		cells[k].ID = id
+		if len(sc.stolenVals) > 0 {
+			if v, ok := sc.stolenVals[id]; ok {
+				cells[k].Value = v
+				continue
+			}
+		}
 		owner := st.d.Place(id.I, id.J)
 		if owner == pe.self {
 			off := st.d.LocalOffset(id.I, id.J)

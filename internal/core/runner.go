@@ -286,6 +286,7 @@ func (cl *Cluster[T]) Stats() Stats {
 		s.LocalReads += pe.localReads.Load()
 		s.ExecMigrated += pe.execMigrated.Load()
 		s.Stolen += pe.stolen.Load()
+		s.TilesExecuted += pe.tilesRun.Load()
 		s.CacheHits += pe.cacheHits.Load()
 		s.CacheMisses += pe.cacheMisses.Load()
 		s.FetchCalls += pe.fetchCalls.Load()

@@ -146,6 +146,7 @@ func (n *TCPNode[T]) Run() error {
 		if err := n.awaitCluster(); err != nil {
 			return err
 		}
+		n.sink.emit(RunEvent{Kind: EventClusterFormed, Place: 0})
 		n.pe.launch()
 		if n.cfg.ProbeInterval > 0 {
 			go n.peerDetector().run()

@@ -1,0 +1,134 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"github.com/dpx10/dpx10/internal/dag"
+	"github.com/dpx10/dpx10/internal/dist"
+)
+
+// maxQuotientEdges bounds the memory the tile-quotient acyclicity check
+// may spend collecting edges; beyond it the engine conservatively falls
+// back to per-vertex scheduling.
+const maxQuotientEdges = 1 << 22
+
+// effectiveTileSize resolves the configured tile size for a chunk of n
+// local cells. 0 auto-sizes: roughly 64 tiles per place, clamped so a
+// tile amortizes scheduling overhead (>= 8 cells) without starving the
+// worker pool or a recovery of parallelism (<= 2048 cells).
+func effectiveTileSize(cfgSize, n int) int {
+	if n <= 0 {
+		return 1
+	}
+	s := cfgSize
+	if s <= 0 {
+		s = n / 64
+		if s < 8 {
+			s = 8
+		}
+		if s > 2048 {
+			s = 2048
+		}
+	}
+	if s > n {
+		s = n
+	}
+	return s
+}
+
+// tileQuotientCache memoizes the tile-quotient acyclicity verdict per
+// (pattern, distribution, configured size). All places of a single-process
+// cluster share one cache through the shared Config, so the O(cells)
+// check runs once per epoch, not once per place.
+type tileQuotientCache struct {
+	mu sync.Mutex
+	m  map[string]bool
+}
+
+// check returns the memoized verdict for key, running compute under the
+// cache lock on a miss. Holding the lock across compute keeps the check
+// single-flight: the P-1 sibling places block briefly instead of each
+// redoing the O(cells) scan.
+func (c *tileQuotientCache) check(key string, compute func() bool) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if ok, hit := c.m[key]; hit {
+		return ok
+	}
+	ok := compute()
+	if c.m == nil {
+		c.m = make(map[string]bool, 4)
+	} else if len(c.m) >= 64 {
+		clear(c.m) // bound a long-lived process cycling through configs
+	}
+	c.m[key] = ok
+	return ok
+}
+
+// globalTileCheck memoizes verdicts across cluster lifetimes. Only keys
+// that capture the layout entirely by value may use it: a key containing
+// a memory address (closure or pointer field in a custom pattern) could
+// alias a semantically different pattern once the address is reused, so
+// those verdicts stay in the per-cluster cache.
+var globalTileCheck tileQuotientCache
+
+// tileSizeFor decides this place's tile size under d: the configured (or
+// auto) size when coarsening the DAG to tiles provably cannot deadlock,
+// 1 otherwise. Every place evaluates the same global predicate from the
+// same inputs, so the fallback is uniform across the cluster without any
+// communication — required, because a single coarsened place can deadlock
+// the whole run.
+func (pe *placeEngine[T]) tileSizeFor(d dist.Dist) int {
+	s := effectiveTileSize(pe.cfg.TileSize, d.LocalCount(pe.self))
+	if !pe.tileQuotientOK(d) {
+		return 1
+	}
+	return s
+}
+
+// tileQuotientOK reports whether the global tile layout induced by the
+// configured size keeps the coarsened DAG acyclic (see dag.QuotientAcyclic
+// for why cyclic quotients deadlock).
+func (pe *placeEngine[T]) tileQuotientOK(d dist.Dist) bool {
+	places := d.Places()
+	tiled := false
+	for _, p := range places {
+		if effectiveTileSize(pe.cfg.TileSize, d.LocalCount(p)) > 1 {
+			tiled = true
+			break
+		}
+	}
+	if !tiled {
+		return true // per-vertex everywhere: nothing coarsened
+	}
+	// The pattern's %v covers its parameters (sizes, weights); function
+	// fields print as addresses, which distinguishes distinct closures.
+	key := fmt.Sprintf("%T|%v|%s|%v|%d", pe.cfg.Pattern, pe.cfg.Pattern, d.Name(), places, pe.cfg.TileSize)
+	cache := pe.cfg.tileCheck
+	if !strings.Contains(key, "0x") {
+		cache = &globalTileCheck
+	}
+	return cache.check(key, func() bool {
+		// Global tile numbering: place k's tiles occupy [base[k], base[k+1]).
+		idx := make(map[int]int, len(places))
+		base := make([]int, len(places)+1)
+		sizes := make([]int, len(places))
+		for k, p := range places {
+			idx[p] = k
+			lc := d.LocalCount(p)
+			sizes[k] = effectiveTileSize(pe.cfg.TileSize, lc)
+			nt := 0
+			if lc > 0 {
+				nt = (lc + sizes[k] - 1) / sizes[k]
+			}
+			base[k+1] = base[k] + nt
+		}
+		tileOf := func(i, j int32) int {
+			k := idx[d.Place(i, j)]
+			return base[k] + d.LocalOffset(i, j)/sizes[k]
+		}
+		return dag.QuotientAcyclic(pe.cfg.Pattern, tileOf, base[len(places)], maxQuotientEdges)
+	})
+}

@@ -16,6 +16,7 @@ package distarray
 
 import (
 	"fmt"
+	"sync"
 	"sync/atomic"
 
 	"github.com/dpx10/dpx10/internal/dag"
@@ -40,6 +41,17 @@ type Chunk[T any] struct {
 	queued []uint32 // 1 once the cell has entered a ready list this epoch
 	done   atomic.Int64
 	active int64 // cells that participate (finished inactive ones pre-counted)
+
+	// Tile-granular scheduling state (tiles.go). The schedulable unit is a
+	// contiguous run of tileSize local offsets; readiness is tracked by
+	// per-tile counters derived from the per-vertex indegrees, which remain
+	// the recovery protocol's source of truth.
+	tileSize   int
+	numTiles   int
+	tileIndeg  []int32
+	tileQueued []uint32
+	tileMu     sync.Mutex  // serializes ActivateTiles against early decrements
+	tileLive   atomic.Bool // true once the tile counters are authoritative
 }
 
 // ValueStore is pluggable storage for a chunk's vertex values — the hook

@@ -1,0 +1,166 @@
+package distarray
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"github.com/dpx10/dpx10/internal/dag"
+)
+
+// Tile-granular readiness tracking.
+//
+// The engine coarsens its schedulable unit from one vertex to a tile of
+// tileSize contiguous local offsets: a tile is ready when every cross-tile
+// dependency of every unfinished cell it holds has finished, and one
+// worker then executes the whole tile in intra-tile dependency order.
+// Readiness is tracked by one atomic counter per tile.
+//
+// The per-vertex indegrees stay authoritative for recovery: they are
+// rebuilt from scratch every epoch (InitIndegrees + decrement replay), and
+// the tile counters are *derived* from them at epoch activation:
+//
+//	tileIndeg(t) = Σ over unfinished cells v in t of
+//	               (indeg(v) − #unfinished same-tile dependencies of v)
+//
+// i.e. the number of unfinished cross-tile edges into the tile. Every
+// such edge later produces exactly one runtime decrement, so the counter
+// drains to zero exactly when the tile's external inputs are satisfied.
+//
+// Runtime decrements can arrive while an epoch is being rebuilt, before
+// the derivation scan has run. TileDecrement therefore has two regimes,
+// arbitrated by tileLive under tileMu: before activation it only lowers
+// the per-vertex indegree (the scan will fold the edge into the counter);
+// after activation it lowers the tile counter directly. The scan runs
+// under tileMu and publishes tileLive before unlocking, so every edge is
+// counted exactly once — by the scan or by a tile decrement, never both.
+
+// ConfigureTiles sets the chunk's tile size and allocates the per-tile
+// state, leaving the counters inactive (TileDecrement folds early
+// decrements into the per-vertex indegrees until ActivateTiles runs).
+// Call once per epoch, before any message handler can touch the chunk.
+func (c *Chunk[T]) ConfigureTiles(size int) {
+	if size < 1 {
+		size = 1
+	}
+	if size > c.n && c.n > 0 {
+		size = c.n
+	}
+	c.tileSize = size
+	c.numTiles = 0
+	if c.n > 0 {
+		c.numTiles = (c.n + size - 1) / size
+	}
+	c.tileIndeg = make([]int32, c.numTiles)
+	c.tileQueued = make([]uint32, c.numTiles)
+	c.tileLive.Store(false)
+}
+
+// TileSize returns the configured tile size (1 = per-vertex scheduling).
+func (c *Chunk[T]) TileSize() int { return c.tileSize }
+
+// NumTiles returns the number of tiles covering the local cells.
+func (c *Chunk[T]) NumTiles() int { return c.numTiles }
+
+// TileOf returns the tile index owning local offset off. Only meaningful
+// after ConfigureTiles.
+func (c *Chunk[T]) TileOf(off int) int { return off / c.tileSize }
+
+// TileRange returns the half-open local-offset range [lo, hi) of tile t.
+func (c *Chunk[T]) TileRange(t int) (lo, hi int) {
+	lo = t * c.tileSize
+	hi = lo + c.tileSize
+	if hi > c.n {
+		hi = c.n
+	}
+	return lo, hi
+}
+
+// TryMarkTileQueued atomically claims the right to enqueue tile t on the
+// place's work deques, exactly once per epoch: a tile can reach readiness
+// through two concurrent paths during recovery (an early remote decrement
+// and the activation scan), and this flag arbitrates.
+func (c *Chunk[T]) TryMarkTileQueued(t int) bool {
+	return atomic.CompareAndSwapUint32(&c.tileQueued[t], 0, 1)
+}
+
+// ActivateTiles derives the per-tile readiness counters from the
+// per-vertex indegrees and switches the chunk into tile-tracking mode. It
+// must run after the epoch's indegrees are final (epoch 0: right after
+// InitIndegrees; recovery: in the resume phase, after the decrement
+// replay). It returns the tiles that are immediately schedulable — those
+// with at least one unfinished cell and no unfinished cross-tile inputs.
+func (c *Chunk[T]) ActivateTiles(pat dag.Pattern) []int {
+	c.tileMu.Lock()
+	defer c.tileMu.Unlock()
+	var ready []int
+	var buf []dag.VertexID
+	for t := 0; t < c.numTiles; t++ {
+		lo, hi := c.TileRange(t)
+		var indeg int32
+		pending := false
+		for off := lo; off < hi; off++ {
+			if c.Finished(off) {
+				continue
+			}
+			pending = true
+			n := atomic.LoadInt32(&c.indeg[off])
+			i, j := c.d.CellAt(c.place, off)
+			buf = pat.Dependencies(i, j, buf[:0])
+			for _, dep := range buf {
+				if c.d.Place(dep.I, dep.J) != c.place {
+					continue
+				}
+				doff := c.d.LocalOffset(dep.I, dep.J)
+				if doff >= lo && doff < hi && !c.Finished(doff) {
+					n--
+				}
+			}
+			if n < 0 {
+				panic(fmt.Sprintf("distarray: vertex (%d,%d) has more unfinished same-tile deps than indegree", i, j))
+			}
+			indeg += n
+		}
+		atomic.StoreInt32(&c.tileIndeg[t], indeg)
+		if pending && indeg == 0 {
+			ready = append(ready, t)
+		}
+	}
+	c.tileLive.Store(true)
+	return ready
+}
+
+// TileDecrement applies one cross-tile decrement to the cell at off: the
+// per-vertex indegree always drops (keeping recovery's source of truth
+// exact), and the owning tile's counter drops once the counters are live.
+// It returns the tile index and whether the tile just became ready.
+// Decrements aimed at finished cells (restored by a recovery) are absorbed
+// without touching the tile counter — the activation scan never counted
+// their edges.
+func (c *Chunk[T]) TileDecrement(off int) (tile int, ready bool) {
+	if c.tileLive.Load() {
+		return c.tileDecrementLive(off)
+	}
+	c.tileMu.Lock()
+	defer c.tileMu.Unlock()
+	if !c.tileLive.Load() {
+		// Pre-activation: lower only the vertex indegree, under the mutex,
+		// so the activation scan (which also runs under it) folds this edge
+		// into the tile counters instead of losing or double-counting it.
+		c.DecrementIndegree(off)
+		return 0, false
+	}
+	return c.tileDecrementLive(off)
+}
+
+func (c *Chunk[T]) tileDecrementLive(off int) (int, bool) {
+	c.DecrementIndegree(off)
+	if c.Finished(off) {
+		return 0, false
+	}
+	t := off / c.tileSize
+	nv := atomic.AddInt32(&c.tileIndeg[t], -1)
+	if nv < 0 {
+		panic(fmt.Sprintf("distarray: tile %d counter went negative at place %d", t, c.place))
+	}
+	return t, nv == 0
+}

@@ -119,6 +119,56 @@ func (pk *Picker) Pick(owner int, i, j int32, deps []dag.VertexID) int {
 	}
 }
 
+// PickTile returns the place where a ready tile of n cells, owned by
+// owner, should execute — one decision for the whole tile. extDeps are
+// the tile's distinct external dependencies (cells outside the tile);
+// only MinComm consults them, so other strategies may pass nil.
+func (pk *Picker) PickTile(owner, n int, extDeps []dag.VertexID) int {
+	switch pk.strategy {
+	case Random:
+		places := pk.d.Places()
+		for t := 0; t < 4; t++ {
+			p := places[pk.rng.Intn(len(places))]
+			if pk.alive(p) {
+				return p
+			}
+		}
+		return owner
+	case MinComm:
+		best, bestCost := owner, pk.tileCost(owner, owner, n, extDeps)
+		for _, dep := range extDeps {
+			cand := pk.d.Place(dep.I, dep.J)
+			if cand == best || !pk.alive(cand) {
+				continue
+			}
+			cost := pk.tileCost(cand, owner, n, extDeps)
+			if cost < bestCost || (cost == bestCost && cand != owner && best != owner && cand < best) {
+				best, bestCost = cand, cost
+			}
+		}
+		return best
+	default:
+		return owner
+	}
+}
+
+// tileCost models the bytes moved when an n-cell tile owned by owner
+// executes at exec: one transfer per external dependency not resident at
+// exec, plus — away from the owner — one result write-back per cell.
+// Intra-tile values stay in the executing worker's hands either way.
+func (pk *Picker) tileCost(exec, owner, n int, extDeps []dag.VertexID) int {
+	cost := 0
+	for _, dep := range extDeps {
+		if pk.d.Place(dep.I, dep.J) != exec {
+			cost += pk.valueSize
+		}
+	}
+	if exec != owner {
+		cost += n * pk.valueSize
+	}
+	return cost
+}
+
 // minComm evaluates the owner and every dependency owner as candidate
 // execution places and returns the cheapest. Cost model: each dependency
 // resident elsewhere costs one value transfer; executing away from the

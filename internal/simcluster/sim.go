@@ -97,6 +97,16 @@ type Model struct {
 	// ChaosDelayMean is the expected extra latency injected per message,
 	// virtual seconds (probability × mean hold time of the delay fault).
 	ChaosDelayMean float64
+	// SchedCost is the per-vertex scheduling overhead (queue ops, cache
+	// lookup, decrement bookkeeping), virtual seconds. Tile-granular
+	// execution amortizes it: the charge per vertex is SchedCost /
+	// max(1, TileSize), matching the engine where one tile dispatch
+	// covers TileSize cells.
+	SchedCost float64
+	// TileSize is the scheduling granularity in cells assumed by the
+	// SchedCost amortization above. 0 or 1 charges the full overhead on
+	// every vertex (per-vertex scheduling).
+	TileSize int
 }
 
 // DefaultModel gives parameters loosely calibrated to the paper's
@@ -353,13 +363,22 @@ func (s *Sim) msgCost(n int64) float64 {
 	return c + s.m.ChaosDelayMean
 }
 
-// computeCostAt is the per-vertex compute time at place p, including the
-// heterogeneity multiplier.
+// computeCostAt is the per-vertex compute time at place p: the work
+// itself plus the amortized scheduling overhead, times the heterogeneity
+// multiplier.
 func (s *Sim) computeCostAt(p int) float64 {
-	if f, ok := s.m.PlaceSpeed[p]; ok && f > 0 {
-		return s.m.ComputeCost * f
+	c := s.m.ComputeCost
+	if s.m.SchedCost > 0 {
+		tile := s.m.TileSize
+		if tile < 1 {
+			tile = 1
+		}
+		c += s.m.SchedCost / float64(tile)
 	}
-	return s.m.ComputeCost
+	if f, ok := s.m.PlaceSpeed[p]; ok && f > 0 {
+		return c * f
+	}
+	return c
 }
 
 // schedule assigns a ready vertex to a core — at its owner, or under the

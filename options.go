@@ -93,6 +93,18 @@ func CacheSize(entries int) UntypedOption {
 	return commonOption(func(c *core.Common) { c.CacheSize = entries })
 }
 
+// WithTileSize sets the scheduling granularity: each place partitions its
+// chunk into tiles of this many consecutive cells, tracks readiness per
+// tile and executes a ready tile as one task in intra-tile dependency
+// order — removing per-vertex queueing and intra-tile decrement traffic.
+// 0 (the default) auto-sizes per place; 1 restores per-vertex scheduling.
+// Patterns whose tile quotient graph would be cyclic under the chosen size
+// fall back to per-vertex scheduling automatically (the run stays correct,
+// just untiled).
+func WithTileSize(cells int) UntypedOption {
+	return commonOption(func(c *core.Common) { c.TileSize = cells })
+}
+
 // WithAggregation tunes the outbound decrement aggregator, which is on by
 // default: window bounds how long a buffered decrement may wait before
 // its batch is flushed, maxBatch is the record count that flushes a

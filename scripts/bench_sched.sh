@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# Runs the scheduling-cost microbenchmarks (per-vertex engine overhead
+# across tile sizes, sharded value-cache contention) and summarizes them
+# into a JSON file, default results/BENCH_sched.json — the perf
+# trajectory seed referenced by EXPERIMENTS.md.
+#
+#   scripts/bench_sched.sh [out.json]
+#
+# DPX10_BENCHTIME overrides the engine sweep's -benchtime (default 10x);
+# CI's smoke step uses 1x to keep the harness honest without the cost.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="${1:-results/BENCH_sched.json}"
+benchtime="${DPX10_BENCHTIME:-10x}"
+tmp="$(mktemp)"
+trap 'rm -f "$tmp"' EXIT
+
+go test ./internal/core/ -run xxx -bench BenchmarkSchedulePerVertex \
+	-benchtime "$benchtime" -benchmem | tee "$tmp"
+go test ./internal/vcache/ -run xxx -bench BenchmarkVCacheParallel \
+	-benchtime "$benchtime" -benchmem | tee -a "$tmp"
+
+mkdir -p "$(dirname "$out")"
+awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" -v bt="$benchtime" '
+/^Benchmark/ {
+	name = $1; sub(/-[0-9]+$/, "", name)
+	line = sprintf("    {\"name\": \"%s\", \"iterations\": %s", name, $2)
+	for (i = 3; i < NF; i++) {
+		u = $(i + 1); v = $i
+		if (u == "ns/op")              line = line sprintf(", \"ns_per_op\": %s", v)
+		else if (u == "B/op")          line = line sprintf(", \"bytes_per_op\": %s", v)
+		else if (u == "allocs/op")     line = line sprintf(", \"allocs_per_op\": %s", v)
+		else if (u == "ns/vertex")     line = line sprintf(", \"ns_per_vertex\": %s", v)
+		else if (u == "allocs/vertex") line = line sprintf(", \"allocs_per_vertex\": %s", v)
+	}
+	lines[n++] = line "}"
+}
+END {
+	printf "{\n  \"generated\": \"%s\",\n  \"benchtime\": \"%s\",\n  \"benchmarks\": [\n", date, bt
+	for (i = 0; i < n; i++) printf "%s%s\n", lines[i], (i < n - 1 ? "," : "")
+	print "  ]\n}"
+}
+' "$tmp" > "$out"
+echo "wrote $out"
