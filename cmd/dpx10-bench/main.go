@@ -20,6 +20,7 @@ import (
 	"os"
 	"strings"
 
+	"github.com/dpx10/dpx10"
 	"github.com/dpx10/dpx10/internal/bench"
 	"github.com/dpx10/dpx10/internal/cli"
 )
@@ -29,6 +30,10 @@ func main() {
 	quick := flag.Bool("quick", false, "use reduced sizes (fast smoke pass)")
 	asCSV := flag.Bool("csv", false, "emit CSV instead of aligned tables")
 	outDir := flag.String("out", "", "also write each report to this directory (.txt and .csv)")
+	showMetrics := flag.Bool("metrics", false, "print aggregate metrics over every real-runtime run after the figures")
+	metricsJSON := flag.Bool("metrics-json", false, "print the metrics dump as JSON (implies -metrics)")
+	metricsAddr := flag.String("metrics-addr", "", "serve live Prometheus metrics (latest finished run) at http://<addr>/metrics")
+	traceOut := flag.String("trace-out", "", "write Chrome trace-event spans across all real-runtime runs to this file")
 	var prof cli.ProfileParams
 	flag.StringVar(&prof.CPU, "cpuprofile", "", "write a CPU profile to this file")
 	flag.StringVar(&prof.Mem, "memprofile", "", "write an allocation profile to this file")
@@ -40,10 +45,44 @@ func main() {
 		fmt.Fprintln(os.Stderr, "dpx10-bench:", err)
 		os.Exit(1)
 	}
+
+	var collector cli.MetricsCollector
+	if *showMetrics || *metricsJSON || *metricsAddr != "" {
+		bench.ExtraRunOptions = append(bench.ExtraRunOptions,
+			dpx10.WithMetricsObserver(collector.Observe))
+	}
+	var spans *dpx10.SpanLog
+	if *traceOut != "" {
+		spans = dpx10.NewSpanLog(0)
+		bench.ExtraRunOptions = append(bench.ExtraRunOptions, dpx10.WithSpans(spans))
+	}
+	if *metricsAddr != "" {
+		stop, err := cli.ServeMetrics(*metricsAddr, collector.Latest, os.Stdout)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dpx10-bench:", err)
+			os.Exit(1)
+		}
+		defer stop()
+	}
+
 	if *outDir != "" {
 		err = bench.RunFiles(*fig, *quick, *outDir, os.Stdout)
 	} else {
 		err = bench.Run(*fig, *quick, *asCSV, os.Stdout)
+	}
+
+	if *showMetrics || *metricsJSON {
+		if total, runs := collector.Total(); total != nil {
+			fmt.Fprintf(os.Stdout, "aggregate metrics over %d real-runtime runs:\n", runs)
+			if derr := cli.DumpMetrics(os.Stdout, []*dpx10.MetricsSnapshot{total}, *metricsJSON); derr != nil && err == nil {
+				err = derr
+			}
+		}
+	}
+	if spans != nil {
+		if terr := cli.WriteChromeTrace(*traceOut, spans, os.Stdout); terr != nil && err == nil {
+			err = terr
+		}
 	}
 	if perr := stopProf(); perr != nil {
 		fmt.Fprintln(os.Stderr, "dpx10-bench:", perr)

@@ -44,6 +44,10 @@ func main() {
 	flag.Float64Var(&p.ChaosDelay, "chaos-delay", 0, "chaos: per-message delay probability (0..1, 50us-1ms window)")
 	flag.IntVar(&p.HeartbeatMs, "hb-ms", 0, "heartbeat probe interval, milliseconds (0 = no failure detector)")
 	flag.IntVar(&p.HeartbeatMiss, "hb-miss", 5, "consecutive heartbeat misses before declaring a place dead")
+	flag.BoolVar(&p.Metrics, "metrics", false, "print per-place metrics snapshots (plus aggregate) after the run")
+	flag.BoolVar(&p.MetricsJSON, "metrics-json", false, "print the metrics dump as JSON (implies -metrics)")
+	flag.StringVar(&p.MetricsAddr, "metrics-addr", "", "serve live Prometheus metrics at http://<addr>/metrics during the run")
+	flag.StringVar(&p.TraceOut, "trace-out", "", "write Chrome trace-event spans (epochs, tiles, steals, recovery) to this file")
 	var prof cli.ProfileParams
 	flag.StringVar(&prof.CPU, "cpuprofile", "", "write a CPU profile to this file")
 	flag.StringVar(&prof.Mem, "memprofile", "", "write an allocation profile to this file")

@@ -14,10 +14,11 @@
 //
 // Analyzers:
 //
-//	placeleak  handlers/decoders must not retain payload aliases
-//	protokind  every kind* constant registered, named, fuzz-covered
-//	lockheld   no blocking ops while a sync.Mutex/RWMutex is held
-//	atomicmix  no mixed atomic and plain access to the same variable
+//	placeleak   handlers/decoders must not retain payload aliases
+//	protokind   every kind* constant registered, named, fuzz-covered
+//	lockheld    no blocking ops while a sync.Mutex/RWMutex is held
+//	atomicmix   no mixed atomic and plain access to the same variable
+//	metricname  every metrics Registry lookup constant, registered, kind-matched
 //
 // Suppressions. A finding is silenced by a comment on the flagged line or
 // the line directly above it:
@@ -37,6 +38,7 @@ import (
 	"github.com/dpx10/dpx10/internal/analysis/atomicmix"
 	"github.com/dpx10/dpx10/internal/analysis/framework"
 	"github.com/dpx10/dpx10/internal/analysis/lockheld"
+	"github.com/dpx10/dpx10/internal/analysis/metricname"
 	"github.com/dpx10/dpx10/internal/analysis/placeleak"
 	"github.com/dpx10/dpx10/internal/analysis/protokind"
 )
@@ -46,6 +48,7 @@ var analyzers = []*framework.Analyzer{
 	protokind.Analyzer,
 	lockheld.Analyzer,
 	atomicmix.Analyzer,
+	metricname.Analyzer,
 }
 
 func main() {

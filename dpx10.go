@@ -46,6 +46,7 @@ import (
 	"github.com/dpx10/dpx10/internal/codec"
 	"github.com/dpx10/dpx10/internal/core"
 	"github.com/dpx10/dpx10/internal/dag"
+	"github.com/dpx10/dpx10/internal/metrics"
 )
 
 // VertexID identifies one cell (i, j) of the DP matrix.
@@ -80,6 +81,17 @@ type (
 // Stats reports what one run did: computed cells, remote traffic, cache
 // effectiveness, recoveries and recovery time.
 type Stats = core.Stats
+
+// MetricsSnapshot is one place's instrument readings — counters, gauges,
+// histograms and per-key vectors — captured by WithMetrics. Place is the
+// reporting place, or -1 for an aggregate built with MergeMetrics.
+type MetricsSnapshot = metrics.Snapshot
+
+// MergeMetrics folds per-place snapshots into one aggregate (Place -1):
+// counters, histogram buckets and vector slots add.
+func MergeMetrics(snaps []*MetricsSnapshot) *MetricsSnapshot {
+	return metrics.MergeAll(snaps)
+}
 
 // ErrPlaceZeroDead is returned when place 0 fails; like Resilient X10,
 // DPX10 cannot survive the death of place 0.
@@ -129,6 +141,7 @@ type Dag[T any] struct {
 	res     *core.Result[T]
 	stats   Stats
 	elapsed time.Duration
+	msnaps  []*MetricsSnapshot
 }
 
 // Width returns the number of columns of the vertex matrix.
@@ -150,6 +163,10 @@ func (d *Dag[T]) Stats() Stats { return d.stats }
 
 // Elapsed returns the wall time of the run.
 func (d *Dag[T]) Elapsed() time.Duration { return d.elapsed }
+
+// Metrics returns the per-place instrument snapshots of the run, indexed
+// by place; nil unless WithMetrics was set. Aggregate with MergeMetrics.
+func (d *Dag[T]) Metrics() []*MetricsSnapshot { return d.msnaps }
 
 // Run executes app over pattern to completion, invokes app.AppFinished,
 // and returns the completed Dag.
@@ -246,6 +263,10 @@ func (j *Job[T]) Progress() int64 { return j.cluster.Progress() }
 // Stats returns the run's counters so far; complete after Wait returned.
 func (j *Job[T]) Stats() Stats { return j.cluster.Stats() }
 
+// Metrics returns per-place instrument snapshots; nil unless WithMetrics
+// was set. Mid-run reads are consistent-enough; after Wait they are exact.
+func (j *Job[T]) Metrics() []*MetricsSnapshot { return j.cluster.MetricsSnapshots() }
+
 // Wait blocks until the run completes, invokes AppFinished and returns
 // the Dag.
 func (j *Job[T]) Wait() (*Dag[T], error) {
@@ -259,7 +280,12 @@ func (j *Job[T]) Wait() (*Dag[T], error) {
 	if err != nil {
 		return nil, err
 	}
-	d := &Dag[T]{res: res, stats: j.cluster.Stats(), elapsed: j.cluster.Elapsed()}
+	d := &Dag[T]{
+		res:     res,
+		stats:   j.cluster.Stats(),
+		elapsed: j.cluster.Elapsed(),
+		msnaps:  j.cluster.MetricsSnapshots(),
+	}
 	j.app.AppFinished(d)
 	return d, nil
 }

@@ -1,0 +1,226 @@
+// Package metricname cross-checks metrics instrument lookups against the
+// registry's closed name table.
+//
+// The metrics package is any analyzed package that declares a type named
+// Registry together with a package-level table
+//
+//	var instruments = map[string]Kind{...}
+//
+// (internal/metrics). The table maps every legal instrument name to its
+// kind (KindCounter, KindGauge, KindHistogram or KindVec). The registry
+// enforces the table at runtime by panicking on first use of a bad name —
+// but only on code paths that actually run with metrics enabled. This
+// analyzer moves the check to vet time: every
+//
+//	r.Counter(name) / r.Gauge(name) / r.Histogram(name) / r.Vec(name)
+//
+// call on a Registry, anywhere in the analyzed set, must pass a constant
+// string that is present in the instruments table and registered under
+// the kind the method dispenses. Misspelling a name, inventing one
+// without registering it, or asking for a counter under a name registered
+// as a histogram is a dpx10-vet finding, not a latent panic.
+package metricname
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+
+	"github.com/dpx10/dpx10/internal/analysis/framework"
+)
+
+var Analyzer = &framework.Analyzer{
+	Name:      "metricname",
+	Doc:       "check that every Registry instrument lookup uses a constant, registered, kind-matched name",
+	RunGlobal: runGlobal,
+}
+
+// kindName maps the Kind constant identifiers to the accessor method each
+// kind is dispensed by, and to the word used in diagnostics.
+var kindMethod = map[string]string{
+	"KindCounter":   "Counter",
+	"KindGauge":     "Gauge",
+	"KindHistogram": "Histogram",
+	"KindVec":       "Vec",
+}
+
+// registry is one discovered metrics package: the Registry type and its
+// instruments table, by name -> accessor method.
+type registry struct {
+	pkg     *types.Package
+	methods map[string]string // instrument name -> required accessor
+}
+
+func runGlobal(pass *framework.GlobalPass) error {
+	var regs []registry
+	for _, pkg := range pass.Packages {
+		if r, ok := findRegistry(pkg); ok {
+			regs = append(regs, r)
+		}
+	}
+	if len(regs) == 0 {
+		return nil
+	}
+	for _, pkg := range pass.Packages {
+		checkCallSites(pass, pkg, regs)
+	}
+	return nil
+}
+
+// findRegistry reports whether pkg is a metrics package: it declares a
+// type named Registry and a package-level instruments map literal whose
+// keys are constant strings and whose values name Kind* constants.
+func findRegistry(pkg *framework.Package) (registry, bool) {
+	if obj := pkg.Types.Scope().Lookup("Registry"); obj == nil {
+		return registry{}, false
+	} else if _, ok := obj.(*types.TypeName); !ok {
+		return registry{}, false
+	}
+
+	// Resolve each Kind constant's value so table values may be written
+	// either as identifiers or through intermediate constants.
+	methodByVal := map[uint64]string{}
+	for ident, method := range kindMethod {
+		c, ok := pkg.Types.Scope().Lookup(ident).(*types.Const)
+		if !ok {
+			continue
+		}
+		if v, ok := constant.Uint64Val(constant.ToInt(c.Val())); ok {
+			methodByVal[v] = method
+		}
+	}
+	if len(methodByVal) == 0 {
+		return registry{}, false
+	}
+
+	lit := instrumentsLiteral(pkg)
+	if lit == nil {
+		return registry{}, false
+	}
+	methods := map[string]string{}
+	for _, el := range lit.Elts {
+		kv, ok := el.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		ktv, ok := pkg.TypesInfo.Types[kv.Key]
+		if !ok || ktv.Value == nil || ktv.Value.Kind() != constant.String {
+			continue
+		}
+		vtv, ok := pkg.TypesInfo.Types[kv.Value]
+		if !ok || vtv.Value == nil {
+			continue
+		}
+		v, ok := constant.Uint64Val(constant.ToInt(vtv.Value))
+		if !ok {
+			continue
+		}
+		if method, ok := methodByVal[v]; ok {
+			methods[constant.StringVal(ktv.Value)] = method
+		}
+	}
+	if len(methods) == 0 {
+		return registry{}, false
+	}
+	return registry{pkg: pkg.Types, methods: methods}, true
+}
+
+// instrumentsLiteral finds the package-level `var instruments = ...{...}`
+// composite literal.
+func instrumentsLiteral(pkg *framework.Package) *ast.CompositeLit {
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, id := range vs.Names {
+					if id.Name != "instruments" || i >= len(vs.Values) {
+						continue
+					}
+					if lit, ok := vs.Values[i].(*ast.CompositeLit); ok {
+						return lit
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// checkCallSites inspects every Counter/Gauge/Histogram/Vec call on a
+// Registry of one of the discovered metrics packages.
+func checkCallSites(pass *framework.GlobalPass, pkg *framework.Package, regs []registry) {
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			c, ok := n.(*ast.CallExpr)
+			if !ok || len(c.Args) < 1 {
+				return true
+			}
+			sel, ok := c.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			method := sel.Sel.Name
+			if !isAccessor(method) {
+				return true
+			}
+			reg, ok := receiverRegistry(pkg.TypesInfo, sel.X, regs)
+			if !ok {
+				return true
+			}
+			arg := c.Args[0]
+			tv, ok := pkg.TypesInfo.Types[arg]
+			if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+				pass.Reportf(arg.Pos(), "instrument name passed to Registry.%s is not a constant string", method)
+				return true
+			}
+			name := constant.StringVal(tv.Value)
+			want, registered := reg.methods[name]
+			switch {
+			case !registered:
+				pass.Reportf(arg.Pos(), "instrument %q is not registered in the instruments table", name)
+			case want != method:
+				pass.Reportf(arg.Pos(), "instrument %q is registered for Registry.%s, not Registry.%s", name, want, method)
+			}
+			return true
+		})
+	}
+}
+
+func isAccessor(name string) bool {
+	for _, m := range kindMethod {
+		if m == name {
+			return true
+		}
+	}
+	return false
+}
+
+// receiverRegistry resolves the receiver expression's type to a Registry
+// declared by one of the discovered metrics packages.
+func receiverRegistry(info *types.Info, recv ast.Expr, regs []registry) (registry, bool) {
+	tv, ok := info.Types[recv]
+	if !ok || tv.Type == nil {
+		return registry{}, false
+	}
+	t := tv.Type
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Name() != "Registry" {
+		return registry{}, false
+	}
+	for _, r := range regs {
+		if named.Obj().Pkg() == r.pkg {
+			return r, true
+		}
+	}
+	return registry{}, false
+}

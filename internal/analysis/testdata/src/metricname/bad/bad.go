@@ -1,0 +1,46 @@
+package bad
+
+type Kind uint8
+
+const (
+	KindCounter Kind = iota + 1
+	KindGauge
+	KindHistogram
+	KindVec
+)
+
+const (
+	TilesExecuted = "sched.tiles_executed"
+	Epoch         = "engine.epoch"
+	PauseNs       = "recovery.pause_ns"
+	MsgsOut       = "transport.msgs_out"
+)
+
+var instruments = map[string]Kind{
+	TilesExecuted: KindCounter,
+	Epoch:         KindGauge,
+	PauseNs:       KindHistogram,
+	MsgsOut:       KindVec,
+}
+
+type Counter struct{}
+type Gauge struct{}
+type Histogram struct{}
+type Vec struct{}
+
+type Registry struct{}
+
+func (r *Registry) Counter(name string) *Counter     { return nil }
+func (r *Registry) Gauge(name string) *Gauge         { return nil }
+func (r *Registry) Histogram(name string) *Histogram { return nil }
+func (r *Registry) Vec(name string) *Vec             { return nil }
+
+func use(r *Registry, dynamic string) {
+	_ = r.Counter("sched.tiles_exceuted") // want `instrument "sched.tiles_exceuted" is not registered in the instruments table`
+	_ = r.Counter(Epoch)                  // want `instrument "engine.epoch" is registered for Registry.Gauge, not Registry.Counter`
+	_ = r.Histogram(MsgsOut)              // want `instrument "transport.msgs_out" is registered for Registry.Vec, not Registry.Histogram`
+	_ = r.Vec(dynamic)                    // want `instrument name passed to Registry.Vec is not a constant string`
+	_ = r.Gauge("engine." + suffix())     // want `instrument name passed to Registry.Gauge is not a constant string`
+}
+
+func suffix() string { return "epoch" }

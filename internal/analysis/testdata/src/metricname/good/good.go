@@ -1,0 +1,54 @@
+package good
+
+type Kind uint8
+
+const (
+	KindCounter Kind = iota + 1
+	KindGauge
+	KindHistogram
+	KindVec
+)
+
+const (
+	TilesExecuted = "sched.tiles_executed"
+	Epoch         = "engine.epoch"
+	PauseNs       = "recovery.pause_ns"
+	MsgsOut       = "transport.msgs_out"
+)
+
+var instruments = map[string]Kind{
+	TilesExecuted: KindCounter,
+	Epoch:         KindGauge,
+	PauseNs:       KindHistogram,
+	MsgsOut:       KindVec,
+}
+
+type Counter struct{}
+type Gauge struct{}
+type Histogram struct{}
+type Vec struct{}
+
+type Registry struct{}
+
+func (r *Registry) Counter(name string) *Counter     { return nil }
+func (r *Registry) Gauge(name string) *Gauge         { return nil }
+func (r *Registry) Histogram(name string) *Histogram { return nil }
+func (r *Registry) Vec(name string) *Vec             { return nil }
+
+func use(r *Registry) {
+	_ = r.Counter(TilesExecuted)
+	_ = r.Gauge(Epoch)
+	_ = r.Histogram(PauseNs)
+	_ = r.Vec(MsgsOut)
+	_ = r.Counter("sched.tiles_executed") // literal spelling of a registered name is fine
+}
+
+// other is an unrelated type that happens to share the accessor names;
+// its calls are out of scope for the analyzer.
+type other struct{}
+
+func (other) Counter(name string) int { return 0 }
+
+func unrelated(o other) {
+	_ = o.Counter("anything.goes")
+}

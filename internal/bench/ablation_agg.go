@@ -54,6 +54,7 @@ func AblationAgg(quick bool) ([]Report, error) {
 			dpx10.WithCodec[apps.AffineCell](app.Codec()),
 			dpx10.CacheSize(cache),
 		}, arm.opts...)
+		opts = append(opts, extra[apps.AffineCell]()...)
 		dag, err := dpx10.Run[apps.AffineCell](app, app.Pattern(), opts...)
 		if err != nil {
 			return nil, fmt.Errorf("agg ablation swlag %s: %w", arm.name, err)
@@ -94,6 +95,7 @@ func AblationAgg(quick bool) ([]Report, error) {
 			dpx10.WithCodec[int64](dpx10.Int64Codec{}),
 			dpx10.CacheSize(cache),
 		}, arm.opts...)
+		opts = append(opts, extra[int64]()...)
 		dag, err := dpx10.Run[int64](app, pat, opts...)
 		if err != nil {
 			return nil, fmt.Errorf("agg ablation knapsack %s: %w", arm.name, err)

@@ -60,11 +60,11 @@ func AblationChaos(quick bool) ([]Report, error) {
 	var base float64
 	for _, arm := range arms {
 		app := apps.NewSWLAG(a, b)
-		opts := []dpx10.Option[apps.AffineCell]{
+		opts := append(extra[apps.AffineCell](),
 			dpx10.Places(4),
 			dpx10.WithCodec[apps.AffineCell](app.Codec()),
 			dpx10.WithHeartbeat(2*time.Millisecond, 5),
-		}
+		)
 		var plan *dpx10.ChaosPlan
 		if arm.plan != nil {
 			plan = arm.plan()

@@ -26,10 +26,10 @@ func AblationSpill(quick bool) (Report, error) {
 	}
 	run := func(pages int) (float64, error) {
 		app := apps.NewSWLAG(a, b)
-		opts := []dpx10.Option[apps.AffineCell]{
+		opts := append(extra[apps.AffineCell](),
 			dpx10.Places(4),
 			dpx10.WithCodec[apps.AffineCell](app.Codec()),
-		}
+		)
 		if pages > 0 {
 			opts = append(opts, dpx10.WithSpill("", 512, pages))
 		}

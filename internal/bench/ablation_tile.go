@@ -29,9 +29,10 @@ func AblationTileSize(quick bool) (Report, error) {
 	for _, tile := range []int{1, 4, 16, 64, 256, 0} {
 		app := apps.NewSWLAG(a, b)
 		dag, err := dpx10.Run[apps.AffineCell](app, app.Pattern(),
-			dpx10.Places(4),
-			dpx10.WithCodec[apps.AffineCell](app.Codec()),
-			dpx10.WithTileSize(tile))
+			append(extra[apps.AffineCell](),
+				dpx10.Places(4),
+				dpx10.WithCodec[apps.AffineCell](app.Codec()),
+				dpx10.WithTileSize(tile))...)
 		if err != nil {
 			return rep, fmt.Errorf("tile ablation tile=%d: %w", tile, err)
 		}

@@ -38,10 +38,11 @@ func AblationSched(quick bool) (Report, error) {
 		app := apps.NewSWLAG(a, b)
 		tr := dpx10.NewTrace(6, 0)
 		dag, err := dpx10.Run[apps.AffineCell](app, app.Pattern(),
-			dpx10.Places(6),
-			dpx10.WithCodec[apps.AffineCell](app.Codec()),
-			dpx10.WithStrategy(st),
-			dpx10.WithTrace(tr))
+			append(extra[apps.AffineCell](),
+				dpx10.Places(6),
+				dpx10.WithCodec[apps.AffineCell](app.Codec()),
+				dpx10.WithStrategy(st),
+				dpx10.WithTrace(tr))...)
 		if err != nil {
 			return rep, fmt.Errorf("sched ablation swlag %v: %w", st, err)
 		}
@@ -58,10 +59,11 @@ func AblationSched(quick bool) (Report, error) {
 		app := apps.NewRandomMatrixChain(chain, 50, 7)
 		tr := dpx10.NewTrace(6, 0)
 		dag, err := dpx10.Run[int64](app, app.Pattern(),
-			dpx10.Places(6),
-			dpx10.WithCodec[int64](dpx10.Int64Codec{}),
-			dpx10.WithStrategy(st),
-			dpx10.WithTrace(tr))
+			append(extra[int64](),
+				dpx10.Places(6),
+				dpx10.WithCodec[int64](dpx10.Int64Codec{}),
+				dpx10.WithStrategy(st),
+				dpx10.WithTrace(tr))...)
 		if err != nil {
 			return rep, fmt.Errorf("sched ablation chain %v: %w", st, err)
 		}
@@ -99,10 +101,11 @@ func AblationCache(quick bool) (Report, error) {
 	for _, size := range []int{0, 4, 16, 64, 256} {
 		app := &sumApp{}
 		dag, err := dpx10.Run[int64](app, pattern,
-			dpx10.Places(4),
-			dpx10.WithCodec[int64](dpx10.Int64Codec{}),
-			dpx10.WithDist(dpx10.BlockColDist),
-			dpx10.CacheSize(size))
+			append(extra[int64](),
+				dpx10.Places(4),
+				dpx10.WithCodec[int64](dpx10.Int64Codec{}),
+				dpx10.WithDist(dpx10.BlockColDist),
+				dpx10.CacheSize(size))...)
 		if err != nil {
 			return rep, fmt.Errorf("cache ablation size=%d: %w", size, err)
 		}
@@ -177,6 +180,7 @@ func AblationRecovery(quick bool) (Report, error) {
 			dpx10.Places(6),
 			dpx10.WithCodec[apps.AffineCell](app.Codec()),
 		}, m.opts(store)...)
+		opts = append(opts, extra[apps.AffineCell]()...)
 		job, err := dpx10.Launch[apps.AffineCell](gated, app.Pattern(), opts...)
 		if err != nil {
 			return rep, fmt.Errorf("recovery ablation %s: %w", m.name, err)

@@ -86,10 +86,11 @@ func fig12Point(places int, cells int64, work int, nodes int64) ([]string, error
 	app := apps.NewSWLAG(a, b)
 	app.Work = work
 	dag, err := dpx10.Run[apps.AffineCell](app, app.Pattern(),
-		dpx10.Places(places),
-		dpx10.Threads(2),
-		dpx10.WithCodec[apps.AffineCell](app.Codec()),
-		dpx10.CacheSize(0))
+		append(extra[apps.AffineCell](),
+			dpx10.Places(places),
+			dpx10.Threads(2),
+			dpx10.WithCodec[apps.AffineCell](app.Codec()),
+			dpx10.CacheSize(0))...)
 	if err != nil {
 		return nil, err
 	}

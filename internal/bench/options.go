@@ -1,0 +1,20 @@
+package bench
+
+import "github.com/dpx10/dpx10"
+
+// ExtraRunOptions is appended to every real-runtime run the figures
+// launch. dpx10-bench threads observability options (metrics observer,
+// span log) through every ablation arm with it, without each figure
+// knowing they exist. Simulator-only figures (10/11/13) ignore it.
+var ExtraRunOptions []dpx10.UntypedOption
+
+// extra adapts ExtraRunOptions to a concrete value type: an
+// UntypedOption is Option[any], and every Option[T] carries the same
+// applyTo(any) method set, so the interface conversion is direct.
+func extra[T any]() []dpx10.Option[T] {
+	out := make([]dpx10.Option[T], len(ExtraRunOptions))
+	for i, o := range ExtraRunOptions {
+		out[i] = o
+	}
+	return out
+}

@@ -15,7 +15,9 @@ import (
 	"github.com/dpx10/dpx10/internal/core"
 	"github.com/dpx10/dpx10/internal/dag"
 	"github.com/dpx10/dpx10/internal/dist"
+	"github.com/dpx10/dpx10/internal/metrics"
 	"github.com/dpx10/dpx10/internal/sched"
+	"github.com/dpx10/dpx10/internal/trace"
 	"github.com/dpx10/dpx10/internal/workload"
 )
 
@@ -55,11 +57,26 @@ type Params struct {
 	// HeartbeatMiss consecutive misses declaring a place dead.
 	HeartbeatMs   int
 	HeartbeatMiss int
+
+	// Observability: Metrics prints the per-place instrument snapshots
+	// (plus the aggregate) after the run; MetricsJSON switches that dump
+	// to JSON (and implies Metrics); MetricsAddr serves the live snapshots
+	// in Prometheus text format at http://<addr>/metrics for the duration
+	// of the run; TraceOut writes Chrome trace-event spans to the file.
+	Metrics     bool
+	MetricsJSON bool
+	MetricsAddr string
+	TraceOut    string
 }
 
 // chaotic reports whether any fault injection was requested.
 func (p *Params) chaotic() bool {
 	return p.ChaosDrop > 0 || p.ChaosDup > 0 || p.ChaosDelay > 0
+}
+
+// metricsOn reports whether any metrics output was requested.
+func (p *Params) metricsOn() bool {
+	return p.Metrics || p.MetricsJSON || p.MetricsAddr != ""
 }
 
 // AppNames lists the runnable applications.
@@ -136,6 +153,9 @@ func options[T any](p Params) []dpx10.Option[T] {
 			miss = 5
 		}
 		opts = append(opts, dpx10.WithHeartbeat(time.Duration(p.HeartbeatMs)*time.Millisecond, miss))
+	}
+	if p.metricsOn() {
+		opts = append(opts, dpx10.WithMetrics())
 	}
 	return opts
 }
@@ -290,9 +310,21 @@ func drive[T any](p Params, w io.Writer, app dpx10.App[T], pattern dpx10.Pattern
 		tr = dpx10.NewTrace(p.Places, 0)
 		opts = append(opts, dpx10.WithTrace(tr))
 	}
+	var spans *dpx10.SpanLog
+	if p.TraceOut != "" {
+		spans = dpx10.NewSpanLog(0)
+		opts = append(opts, dpx10.WithSpans(spans))
+	}
 	job, err := dpx10.Launch[T](app, pattern, opts...)
 	if err != nil {
 		return err
+	}
+	if p.MetricsAddr != "" {
+		stop, err := ServeMetrics(p.MetricsAddr, job.Metrics, w)
+		if err != nil {
+			return err
+		}
+		defer stop()
 	}
 	if p.Kill >= 0 {
 		h, wd := pattern.Bounds()
@@ -324,6 +356,16 @@ func drive[T any](p Params, w io.Writer, app dpx10.App[T], pattern dpx10.Pattern
 		}
 		fmt.Fprintf(w, "per-place utilization (imbalance %.2f):\n%s", tr.Imbalance(),
 			tr.Summary(d.Elapsed(), threads))
+	}
+	if p.Metrics || p.MetricsJSON {
+		if err := DumpMetrics(w, d.Metrics(), p.MetricsJSON); err != nil {
+			return err
+		}
+	}
+	if spans != nil {
+		if err := WriteChromeTrace(p.TraceOut, spans, w); err != nil {
+			return err
+		}
 	}
 	return nil
 }
@@ -385,9 +427,15 @@ func driveWorker[T any](p Params, self int, addrs []string, w io.Writer,
 			TileSize:      p.TileSize,
 			RestoreRemote: p.RestoreRemote,
 			NewDist:       distFactory(p.Dist),
+			Metrics:       p.metricsOn(),
 		},
 		Compute: compute,
 		Codec:   cd,
+	}
+	var spans *trace.SpanLog
+	if p.TraceOut != "" {
+		spans = trace.NewSpanLog(0)
+		cfg.Spans = spans
 	}
 	if self == 0 {
 		// Announce the released startup barrier so harnesses (and humans
@@ -405,8 +453,35 @@ func driveWorker[T any](p Params, self int, addrs []string, w io.Writer,
 	}
 	defer node.Close()
 	fmt.Fprintf(w, "place %d listening on %s\n", self, node.Addr())
+	if p.MetricsAddr != "" {
+		stop, err := ServeMetrics(p.MetricsAddr, func() []*metrics.Snapshot {
+			snaps, _ := node.MetricsSnapshots()
+			return snaps
+		}, w)
+		if err != nil {
+			return err
+		}
+		defer stop()
+	}
 	if err := node.Run(); err != nil {
 		return err
+	}
+	if p.Metrics || p.MetricsJSON {
+		// Place 0 gathers peer snapshots over kindStats while the other
+		// places are still serving (before the deferred Close); workers
+		// print only their own snapshot.
+		snaps, err := node.MetricsSnapshots()
+		if err != nil {
+			return err
+		}
+		if err := DumpMetrics(w, snaps, p.MetricsJSON); err != nil {
+			return err
+		}
+	}
+	if spans != nil {
+		if err := WriteChromeTrace(p.TraceOut, spans, w); err != nil {
+			return err
+		}
 	}
 	s := node.Stats()
 	fmt.Fprintf(w, "place %d done in %.3fs: computed=%d remoteFetches=%d msgs=%d\n",

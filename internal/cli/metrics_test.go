@@ -1,0 +1,170 @@
+package cli
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/dpx10/dpx10/internal/metrics"
+)
+
+// TestRunLocalMetricsDump drives a run with -metrics and checks the text
+// dump: one block per place, the aggregate, and internally consistent
+// transport totals (out == in cluster-wide on a fault-free run).
+func TestRunLocalMetricsDump(t *testing.T) {
+	p := smallParams("swlag")
+	p.Metrics = true
+	var out bytes.Buffer
+	if err := RunLocal(p, &out); err != nil {
+		t.Fatalf("RunLocal: %v", err)
+	}
+	got := out.String()
+	for _, want := range []string{
+		"metrics [place 0]", "metrics [place 1]", "metrics [place 2]",
+		"metrics [total]",
+		metrics.SchedTilesExecuted, metrics.TransportMsgsOut, metrics.VCacheHits,
+		metrics.RecoveryPauseNs,
+	} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("metrics dump missing %q:\n%s", want, got)
+		}
+	}
+	if !strings.Contains(got, "verified against serial reference: OK") {
+		t.Fatalf("metrics dump must not displace the run summary:\n%s", got)
+	}
+}
+
+// TestRunLocalMetricsJSON checks the -metrics-json dump parses and
+// carries every place plus the -1 aggregate.
+func TestRunLocalMetricsJSON(t *testing.T) {
+	p := smallParams("lcs")
+	p.MetricsJSON = true
+	var out bytes.Buffer
+	if err := RunLocal(p, &out); err != nil {
+		t.Fatalf("RunLocal: %v", err)
+	}
+	got := out.String()
+	start := strings.IndexByte(got, '[')
+	if start < 0 {
+		t.Fatalf("no JSON array in output:\n%s", got)
+	}
+	var snaps []struct {
+		Place    int              `json:"place"`
+		Counters map[string]int64 `json:"counters"`
+	}
+	dec := json.NewDecoder(strings.NewReader(got[start:]))
+	if err := dec.Decode(&snaps); err != nil {
+		t.Fatalf("decoding JSON dump: %v\n%s", err, got)
+	}
+	places := map[int]bool{}
+	for _, s := range snaps {
+		places[s.Place] = true
+	}
+	for _, want := range []int{0, 1, 2, -1} {
+		if !places[want] {
+			t.Fatalf("JSON dump missing place %d: have %v", want, places)
+		}
+	}
+}
+
+// TestRunLocalTraceOut checks -trace-out writes loadable Chrome
+// trace-event JSON with tile spans from every place.
+func TestRunLocalTraceOut(t *testing.T) {
+	p := smallParams("mtp")
+	p.TraceOut = filepath.Join(t.TempDir(), "spans.json")
+	var out bytes.Buffer
+	if err := RunLocal(p, &out); err != nil {
+		t.Fatalf("RunLocal: %v", err)
+	}
+	raw, err := os.ReadFile(p.TraceOut)
+	if err != nil {
+		t.Fatalf("reading trace file: %v", err)
+	}
+	// Chrome's JSON-array trace format: a bare array of complete events.
+	var events []struct {
+		Name string  `json:"name"`
+		Ph   string  `json:"ph"`
+		Pid  int     `json:"pid"`
+		Dur  float64 `json:"dur"`
+	}
+	if err := json.Unmarshal(raw, &events); err != nil {
+		t.Fatalf("trace file is not valid JSON: %v", err)
+	}
+	if len(events) == 0 {
+		t.Fatal("trace file has no events")
+	}
+	pids := map[int]bool{}
+	tiles := 0
+	for _, ev := range events {
+		if ev.Ph != "X" {
+			t.Fatalf("unexpected event phase %q (want complete events)", ev.Ph)
+		}
+		pids[ev.Pid] = true
+		if ev.Name == "tile" {
+			tiles++
+		}
+	}
+	if tiles == 0 {
+		t.Fatal("no tile spans recorded")
+	}
+	for pl := 0; pl < p.Places; pl++ {
+		if !pids[pl] {
+			t.Fatalf("no spans from place %d: pids %v", pl, pids)
+		}
+	}
+	if !strings.Contains(out.String(), "wrote") {
+		t.Fatalf("missing trace summary line:\n%s", out.String())
+	}
+}
+
+// TestRunLocalMetricsAddr scrapes the live Prometheus endpoint during a
+// run large enough to still be in flight at scrape time, then checks the
+// endpoint dies with the run.
+func TestRunLocalMetricsAddr(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+
+	p := smallParams("swlag")
+	p.M, p.N = 600, 600
+	p.Verify = false
+	p.MetricsAddr = addr
+
+	scraped := make(chan string, 1)
+	go func() {
+		// Poll until the server answers; the run takes long enough that
+		// some scrape lands mid-flight.
+		for {
+			resp, err := http.Get("http://" + addr + "/metrics")
+			if err != nil {
+				continue
+			}
+			body, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			scraped <- string(body)
+			return
+		}
+	}()
+	var out bytes.Buffer
+	if err := RunLocal(p, &out); err != nil {
+		t.Fatalf("RunLocal: %v", err)
+	}
+	body := <-scraped
+	for _, want := range []string{"dpx10_sched_tiles_executed", `place="0"`, `place="all"`} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("scrape missing %q:\n%s", want, body)
+		}
+	}
+	if !strings.Contains(out.String(), "serving Prometheus metrics") {
+		t.Fatalf("missing serve line:\n%s", out.String())
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"github.com/dpx10/dpx10/internal/dag"
 	"github.com/dpx10/dpx10/internal/dist"
 	"github.com/dpx10/dpx10/internal/distarray"
+	"github.com/dpx10/dpx10/internal/metrics"
 	"github.com/dpx10/dpx10/internal/sched"
 	"github.com/dpx10/dpx10/internal/trace"
 	"github.com/dpx10/dpx10/internal/transport"
@@ -139,6 +140,20 @@ type Common struct {
 	// dedicated goroutine, serialized; slow callbacks drop events rather
 	// than stall the run.
 	Events func(RunEvent)
+	// Metrics turns on the per-place metrics registry: scheduler, cache,
+	// transport and recovery instruments, aggregated to place 0 when the
+	// run stops. Off by default — the disabled path costs nothing on the
+	// hot paths (nil registry handles are inert no-ops).
+	Metrics bool
+	// Spans, when non-nil, records Chrome-trace spans (epochs, tiles,
+	// steal round-trips, recovery phases) into the given log. Span
+	// collection is independent of Metrics.
+	Spans *trace.SpanLog
+	// MetricsObserver, when non-nil, receives every place's metrics
+	// snapshot when the run stops, just before Cluster.Run returns
+	// (single-process runtime only; TCP deployments read snapshots
+	// through TCPNode.MetricsSnapshots). Setting it implies Metrics.
+	MetricsObserver func([]*metrics.Snapshot)
 }
 
 // CommonConfig exposes the type-independent configuration; promoted
@@ -201,6 +216,9 @@ func (c *Config[T]) validate() error {
 		// Injected drop/dup/delay is only survivable with acknowledged,
 		// idempotent delivery; a silently lost decrement would deadlock.
 		c.Reliable = true
+	}
+	if c.MetricsObserver != nil {
+		c.Metrics = true
 	}
 	if c.RetryMax < 0 {
 		return fmt.Errorf("core: RetryMax = %d, need >= 0 (0 = until declared dead)", c.RetryMax)

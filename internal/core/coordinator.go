@@ -8,6 +8,7 @@ import (
 	"sort"
 	"time"
 
+	"github.com/dpx10/dpx10/internal/metrics"
 	"github.com/dpx10/dpx10/internal/trace"
 	"github.com/dpx10/dpx10/internal/transport"
 )
@@ -51,6 +52,12 @@ type coordinator[T any] struct {
 	recoveries    int
 	recoveryNanos int64
 
+	// phaseHists maps each recovery-phase kind to its duration histogram
+	// (nil handles when metrics are off). epochT0 marks when the current
+	// epoch began, for the per-epoch trace spans.
+	phaseHists map[uint8]*metrics.Histogram
+	epochT0    time.Time
+
 	// sink receives structured run events (may be nil; emit is nil-safe).
 	sink *eventSink
 }
@@ -67,6 +74,13 @@ func newCoordinator[T any](pe *placeEngine[T], abort <-chan struct{}, abortErr f
 	}
 	for p := 0; p < pe.cfg.Places; p++ {
 		co.alive[p] = true
+	}
+	co.phaseHists = map[uint8]*metrics.Histogram{
+		kindPause:   pe.reg.Histogram(metrics.RecoveryPauseNs),
+		kindRebuild: pe.reg.Histogram(metrics.RecoveryRebuildNs),
+		kindRestore: pe.reg.Histogram(metrics.RecoveryRestoreNs),
+		kindReplay:  pe.reg.Histogram(metrics.RecoveryReplayNs),
+		kindResume:  pe.reg.Histogram(metrics.RecoveryResumeNs),
 	}
 	return co
 }
@@ -97,6 +111,7 @@ func (co *coordinator[T]) deadPlaces() []int {
 // run processes events until the computation completes or aborts. It
 // returns nil on success.
 func (co *coordinator[T]) run() error {
+	co.epochT0 = time.Now()
 	for {
 		select {
 		case <-co.pe.stopCh:
@@ -128,6 +143,7 @@ func (co *coordinator[T]) run() error {
 				co.done[ev.place] = true
 			}
 			if co.allDone() {
+				co.endEpochSpan()
 				if co.autoStop {
 					co.broadcastStop()
 				}
@@ -159,11 +175,16 @@ func (co *coordinator[T]) broadcastStop() {
 // with the enlarged dead set and a fresh epoch; state rebuilt by the
 // abandoned attempt is superseded wholesale, so the restart is safe.
 func (co *coordinator[T]) recoverFrom(dead int) error {
+	co.endEpochSpan()
 	t0 := time.Now()
 	defer func() {
 		d := time.Since(t0)
 		co.recoveryNanos += d.Nanoseconds()
 		co.recoveries++
+		if sp := co.pe.cfg.Spans; sp != nil {
+			sp.Add("recovery", 0, trace.LaneCoordinator, t0)
+		}
+		co.epochT0 = time.Now()
 		co.sink.emit(RunEvent{Kind: EventRecoveryFinished, Place: dead, Epoch: co.epoch, Duration: d})
 	}()
 
@@ -203,13 +224,13 @@ func (co *coordinator[T]) attemptRecovery(survivors []int) (int, error) {
 	for _, p := range deads {
 		pause = putU32(pause, uint32(p))
 	}
-	if p, err := co.phase(survivors, kindPause, pause, nil); err != nil {
+	if p, err := co.timedPhase(survivors, kindPause, pause, nil); err != nil {
 		return p, err
 	}
 
 	epochOnly := putU64(nil, co.epoch)
 	for _, kind := range []uint8{kindRebuild, kindRestore, kindReplay} {
-		if p, err := co.phase(survivors, kind, epochOnly, nil); err != nil {
+		if p, err := co.timedPhase(survivors, kind, epochOnly, nil); err != nil {
 			return p, err
 		}
 	}
@@ -221,10 +242,32 @@ func (co *coordinator[T]) attemptRecovery(survivors []int) (int, error) {
 			co.done[p] = true
 		}
 	}
-	if p, err := co.phase(survivors, kindResume, epochOnly, onReply); err != nil {
+	if p, err := co.timedPhase(survivors, kindResume, epochOnly, onReply); err != nil {
 		return p, err
 	}
 	return 0, nil
+}
+
+// timedPhase runs one phase, feeding its wall time to the phase's duration
+// histogram and, when span tracing is on, the coordinator's span lane. The
+// time of a phase that fails mid-way still counts — it was spent — which
+// keeps the histogram sums comparable to the total recovery wall time.
+func (co *coordinator[T]) timedPhase(survivors []int, kind uint8, payload []byte, onReply func(p int, reply []byte)) (int, error) {
+	t0 := time.Now()
+	p, err := co.phase(survivors, kind, payload, onReply)
+	co.phaseHists[kind].Observe(time.Since(t0).Nanoseconds())
+	if sp := co.pe.cfg.Spans; sp != nil {
+		sp.Add("recovery:"+trace.KindName(kind), 0, trace.LaneCoordinator, t0)
+	}
+	return p, err
+}
+
+// endEpochSpan closes the current epoch's span: at recovery start (the
+// epoch is being superseded) and at completion.
+func (co *coordinator[T]) endEpochSpan() {
+	if sp := co.pe.cfg.Spans; sp != nil && !co.epochT0.IsZero() {
+		sp.Add(fmt.Sprintf("epoch %d", co.epoch), 0, trace.LaneCoordinator, co.epochT0)
+	}
 }
 
 // phase issues one synchronous Call per survivor. It returns the failing

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"time"
 
+	"github.com/dpx10/dpx10/internal/metrics"
 	"github.com/dpx10/dpx10/internal/transport"
 )
 
@@ -34,6 +35,9 @@ type detector struct {
 	// coordinator's event channel).
 	onSuspect func(p, misses int)
 	onDead    func(p int)
+
+	// mMisses counts failed heartbeats (nil no-op when metrics are off).
+	mMisses *metrics.Counter
 
 	// The detector exits when either channel closes (run abort / stop).
 	abortCh <-chan struct{}
@@ -80,6 +84,7 @@ func (d *detector) run() {
 				// Unreachable, a malformed echo, or a handler error: one
 				// more reason to suspect, not yet proof of death.
 				misses[p]++
+				d.mMisses.Inc(-1)
 				if d.onSuspect != nil {
 					d.onSuspect(p, misses[p])
 				}

@@ -17,6 +17,7 @@ var fuzzedWireKinds = []uint8{
 	kindPause, kindRebuild, kindRestore, kindRestoreTx, kindReplay,
 	kindReplayTx, kindResume, kindStop, kindReadVal, kindPing,
 	kindHello, kindBegin, kindSteal, kindStealDone, kindDecrBatch,
+	kindStats,
 }
 
 // wireProbes maps each kind to a decode of its payload grammar, mirroring
@@ -74,6 +75,7 @@ var wireProbes = map[uint8]func(data []byte){
 		}
 	},
 	kindDecrBatch: func(b []byte) { _, _, _, _ = decodeDecrBatch[int64](b, codec.Int64{}, nil, nil) },
+	kindStats:     func(b []byte) {}, // request has no payload; the reply decoder is FuzzSnapshotWire's target
 }
 
 // TestWireKindsCovered pins the coverage table's shape: every listed kind
@@ -186,10 +188,11 @@ func FuzzDecodeDecrBatch(f *testing.F) {
 
 // TestReliableKindTable pins the reliable-delivery envelope policy to the
 // wire kinds: every protocol kind is tracked (sequence-numbered, retried,
-// deduplicated) except the four whose loss is harmless by construction —
-// heartbeats, the startup barrier pair, and post-run reads.
+// deduplicated) except the five whose loss is harmless by construction —
+// heartbeats, the startup barrier pair, and the post-run reads (values
+// and metrics snapshots).
 func TestReliableKindTable(t *testing.T) {
-	exempt := map[uint8]bool{kindPing: true, kindHello: true, kindBegin: true, kindReadVal: true}
+	exempt := map[uint8]bool{kindPing: true, kindHello: true, kindBegin: true, kindReadVal: true, kindStats: true}
 	for _, k := range fuzzedWireKinds {
 		if reliableKind[k] == exempt[k] {
 			t.Errorf("kind %d: reliable=%v, exempt=%v", k, reliableKind[k], exempt[k])

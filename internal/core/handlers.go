@@ -5,6 +5,7 @@ import (
 
 	"github.com/dpx10/dpx10/internal/dag"
 	"github.com/dpx10/dpx10/internal/distarray"
+	"github.com/dpx10/dpx10/internal/metrics"
 )
 
 func (pe *placeEngine[T]) registerHandlers() {
@@ -26,6 +27,15 @@ func (pe *placeEngine[T]) registerHandlers() {
 	pe.tr.Handle(kindSteal, pe.handleSteal)
 	pe.tr.Handle(kindStealDone, pe.handleStealDone)
 	pe.tr.Handle(kindDecrBatch, pe.handleDecrBatch)
+	pe.tr.Handle(kindStats, pe.handleStats)
+}
+
+// handleStats serves this place's metrics snapshot to the coordinator's
+// post-run collection (TCP deployments; in-process clusters read the
+// registries directly). The read is idempotent, so the kind rides the raw
+// transport like kindReadVal.
+func (pe *placeEngine[T]) handleStats(from int, payload []byte) ([]byte, error) {
+	return metrics.EncodeSnapshot(nil, pe.metricsSnapshot()), nil
 }
 
 // handlePing echoes the failure detector's heartbeat payload ([seq u64]
@@ -331,6 +341,9 @@ func (pe *placeEngine[T]) handleRebuild(from int, payload []byte) ([]byte, error
 	// The superseded chunk's storage (spill scratch file, if any) is no
 	// longer reachable once the new state is installed.
 	defer old.chunk.Close()
+	// The old epoch's cache is about to be discarded with it; bank its
+	// shard counters in the registry so cumulative totals survive.
+	pe.foldCacheStats(old.cache)
 	pe.pendingTransfers = transfers
 	pe.st.Store(pe.newEpochState(newEpoch, newDist, chunk))
 	return nil, nil

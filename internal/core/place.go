@@ -12,6 +12,7 @@ import (
 	"github.com/dpx10/dpx10/internal/dag"
 	"github.com/dpx10/dpx10/internal/dist"
 	"github.com/dpx10/dpx10/internal/distarray"
+	"github.com/dpx10/dpx10/internal/metrics"
 	"github.com/dpx10/dpx10/internal/sched"
 	"github.com/dpx10/dpx10/internal/spill"
 	"github.com/dpx10/dpx10/internal/transport"
@@ -75,6 +76,20 @@ type placeEngine[T any] struct {
 	// scratchPool recycles per-worker hot-path buffers; protocol handlers
 	// (exec, steal-done, aggregated decrements) draw from the same pool.
 	scratchPool sync.Pool
+
+	// reg is this place's metrics registry (nil when Config.Metrics is
+	// off). The m* instrument handles are wired unconditionally: a nil
+	// registry hands out nil handles whose methods are inert no-ops, so
+	// the hot paths below never branch on whether metrics are enabled.
+	reg       *metrics.Registry
+	mTiles    *metrics.Counter
+	mStealAtt *metrics.Counter
+	mStealOK  *metrics.Counter
+	mParks    *metrics.Counter
+	mVCHits   *metrics.Vec
+	mVCMiss   *metrics.Vec
+	mVCEvict  *metrics.Vec
+	mEpoch    *metrics.Gauge
 
 	// counters for Stats
 	computed       atomic.Int64
@@ -149,7 +164,7 @@ func (pe *placeEngine[T]) getScratch() *scratch[T] {
 
 func (pe *placeEngine[T]) putScratch(sc *scratch[T]) { pe.scratchPool.Put(sc) }
 
-func newPlaceEngine[T any](self int, cfg *Config[T], tr transport.Transport, abort func(error)) *placeEngine[T] {
+func newPlaceEngine[T any](self int, cfg *Config[T], tr transport.Transport, abort func(error), reg *metrics.Registry) *placeEngine[T] {
 	pe := &placeEngine[T]{
 		self:   self,
 		cfg:    cfg,
@@ -157,7 +172,16 @@ func newPlaceEngine[T any](self int, cfg *Config[T], tr transport.Transport, abo
 		alive:  make([]atomic.Bool, cfg.Places),
 		abort:  abort,
 		stopCh: make(chan struct{}),
+		reg:    reg,
 	}
+	pe.mTiles = reg.Counter(metrics.SchedTilesExecuted)
+	pe.mStealAtt = reg.Counter(metrics.SchedStealsAttempted)
+	pe.mStealOK = reg.Counter(metrics.SchedStealsSucceeded)
+	pe.mParks = reg.Counter(metrics.SchedDequeParks)
+	pe.mVCHits = reg.Vec(metrics.VCacheHits)
+	pe.mVCMiss = reg.Vec(metrics.VCacheMisses)
+	pe.mVCEvict = reg.Vec(metrics.VCacheEvictions)
+	pe.mEpoch = reg.Gauge(metrics.EngineEpoch)
 	for p := 0; p < cfg.Places; p++ {
 		pe.alive[p].Store(true)
 	}
@@ -200,6 +224,7 @@ func (pe *placeEngine[T]) newEpochState(epoch uint64, d dist.Dist, chunk *distar
 		st.agg = newAggregator(pe, epoch)
 		go st.agg.loop(st.quit)
 	}
+	pe.mEpoch.Set(int64(epoch))
 	return st
 }
 
@@ -270,6 +295,7 @@ func (pe *placeEngine[T]) worker(st *epochState[T], w int, seed int64) {
 			} else {
 				park.Reset(stealRetryDelay)
 			}
+			pe.mParks.Inc(w)
 			select {
 			case <-st.quit:
 				return
@@ -281,6 +307,7 @@ func (pe *placeEngine[T]) worker(st *epochState[T], w int, seed int64) {
 			}
 			continue
 		}
+		pe.mParks.Inc(w)
 		select {
 		case <-st.quit:
 			return
@@ -297,11 +324,16 @@ func (pe *placeEngine[T]) worker(st *epochState[T], w int, seed int64) {
 // Cross-tile and cross-place edges propagate per cell exactly as before.
 func (pe *placeEngine[T]) runTile(st *epochState[T], pk *sched.Picker, sc *scratch[T], tile int) {
 	lo, hi := st.chunk.TileRange(tile)
+	if sp := pe.cfg.Spans; sp != nil {
+		t0 := sp.Start()
+		defer func() { sp.Add("tile", pe.self, sc.wkr, t0) }()
+	}
 	if hi-lo == 1 {
 		// Single-cell tile (TileSize=1): the per-vertex path, with the
 		// per-vertex placement decision, exactly as before tiling.
 		if !st.chunk.Finished(lo) {
 			pe.tilesRun.Add(1)
+			pe.mTiles.Inc(sc.wkr)
 			pe.runVertex(st, pk, sc, lo)
 		}
 		return
@@ -311,6 +343,7 @@ func (pe *placeEngine[T]) runTile(st *epochState[T], pk *sched.Picker, sc *scrat
 		return // every cell restored by a recovery; nothing to run
 	}
 	pe.tilesRun.Add(1)
+	pe.mTiles.Inc(sc.wkr)
 	// One placement decision for the whole tile.
 	var ext []dag.VertexID
 	if pe.cfg.Strategy == sched.MinComm {
@@ -458,6 +491,12 @@ func (pe *placeEngine[T]) trySteal(st *epochState[T], sc *scratch[T], rng *rand.
 	if victim == pe.self || !pe.isAlive(victim) {
 		return false
 	}
+	pe.mStealAtt.Inc(sc.wkr)
+	sp := pe.cfg.Spans
+	var spanStart time.Time
+	if sp != nil {
+		spanStart = sp.Start()
+	}
 	reply, err := pe.tr.Call(victim, kindSteal, putU64(sc.enc[:0], st.epoch))
 	if err != nil {
 		pe.peerError(victim, err)
@@ -507,8 +546,13 @@ func (pe *placeEngine[T]) trySteal(st *epochState[T], sc *scratch[T], rng *rand.
 	binary.LittleEndian.PutUint32(sc.out[cntAt:], uint32(done))
 	pe.stolen.Add(int64(done))
 	pe.tilesRun.Add(1)
+	pe.mTiles.Inc(sc.wkr)
+	pe.mStealOK.Inc(sc.wkr)
 	if _, err := pe.tr.Call(victim, kindStealDone, sc.out); err != nil {
 		pe.peerError(victim, err)
+	}
+	if sp != nil {
+		sp.Add("steal", pe.self, sc.wkr, spanStart)
 	}
 	return true
 }
@@ -874,6 +918,47 @@ func (pe *placeEngine[T]) maybeSnapshot(st *epochState[T]) {
 	}
 	pe.cfg.Snapshot.Save(st.chunk, pe.cfg.Pattern)
 	pe.cfg.Snapshot.Commit()
+}
+
+// foldCacheStats adds the cache's per-shard counters into the registry
+// vecs. Called on the outgoing epoch's cache at rebuild — a recovery
+// replaces the cache wholesale, and without the fold its counts would be
+// lost — and never on the live cache, which metricsSnapshot reads
+// directly so the counts are never double-counted.
+func (pe *placeEngine[T]) foldCacheStats(c *vcache.Cache[T]) {
+	if !pe.reg.Enabled() || c == nil {
+		return
+	}
+	for i, sh := range c.ShardStats() {
+		pe.mVCHits.Add(uint8(i), sh.Hits)
+		pe.mVCMiss.Add(uint8(i), sh.Misses)
+		pe.mVCEvict.Add(uint8(i), sh.Evicted)
+	}
+}
+
+// metricsSnapshot reads this place's registry, overlaying the live
+// epoch's cache shard counters (prior epochs were folded in at rebuild,
+// so the result is cumulative across recoveries).
+func (pe *placeEngine[T]) metricsSnapshot() *metrics.Snapshot {
+	s := pe.reg.Snapshot()
+	if !pe.reg.Enabled() {
+		return s
+	}
+	if st := pe.current(); st != nil && st.cache != nil {
+		for i, sh := range st.cache.ShardStats() {
+			k := uint8(i)
+			if sh.Hits != 0 {
+				s.Vecs[metrics.VCacheHits][k] += sh.Hits
+			}
+			if sh.Misses != 0 {
+				s.Vecs[metrics.VCacheMisses][k] += sh.Misses
+			}
+			if sh.Evicted != 0 {
+				s.Vecs[metrics.VCacheEvictions][k] += sh.Evicted
+			}
+		}
+	}
+	return s
 }
 
 // stop ends the run for this place.

@@ -49,6 +49,7 @@ const (
 	kindSteal     uint8 = 18 // Call: idle place asks a victim for one ready vertex
 	kindStealDone uint8 = 19 // Call: thief returns the stolen vertex's value
 	kindDecrBatch uint8 = 20 // Send: aggregated decrements, optionally carrying values
+	kindStats     uint8 = 21 // Call: place 0 -> place, read the metrics snapshot
 )
 
 // errStaleEpoch is returned by handlers that receive a message from a
@@ -110,7 +111,9 @@ func placeDead(p int) error { return &PlaceDeadError{Place: p} }
 //     retried view of it;
 //   - kindHello, kindBegin: the TCP startup barrier registers and calls
 //     these on the raw transport, before the engine wrapper exists;
-//   - kindReadVal: idempotent post-run read, also issued raw (TCPNode.Value).
+//   - kindReadVal: idempotent post-run read, also issued raw (TCPNode.Value);
+//   - kindStats: idempotent post-run metrics read, issued raw after the run
+//     like kindReadVal (a lost reply just re-reads the snapshot).
 var reliableKind = func() (t [256]bool) {
 	for _, k := range []uint8{
 		kindFetch, kindDecrement, kindExec, kindPlaceDone, kindFault,

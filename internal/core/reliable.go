@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"github.com/dpx10/dpx10/internal/metrics"
 	"github.com/dpx10/dpx10/internal/transport"
 )
 
@@ -43,6 +44,11 @@ type reliableTransport struct {
 
 	retries   atomic.Int64 // resends after transient failures
 	dedupHits atomic.Int64 // duplicate deliveries suppressed
+
+	// Metrics mirrors of the two counters above (nil no-ops when metrics
+	// are off); the atomics stay authoritative for Stats.
+	mRetries *metrics.Counter
+	mDedup   *metrics.Counter
 }
 
 // dedupWindow bounds how far behind a sender's highest seen sequence a
@@ -67,7 +73,7 @@ type deliveryEntry struct {
 	err   error
 }
 
-func newReliableTransport(inner transport.Transport, cfg *Common, abortCh <-chan struct{}) *reliableTransport {
+func newReliableTransport(inner transport.Transport, cfg *Common, abortCh <-chan struct{}, reg *metrics.Registry) *reliableTransport {
 	return &reliableTransport{
 		Transport:     inner,
 		retryMax:      cfg.RetryMax,
@@ -75,6 +81,8 @@ func newReliableTransport(inner transport.Transport, cfg *Common, abortCh <-chan
 		retryMaxDelay: cfg.RetryMaxDelay,
 		abortCh:       abortCh,
 		recv:          make(map[int]*senderWindow),
+		mRetries:      reg.Counter(metrics.TransportRetries),
+		mDedup:        reg.Counter(metrics.TransportDedupDrops),
 	}
 }
 
@@ -115,6 +123,7 @@ func (rt *reliableTransport) Call(to int, kind uint8, payload []byte) ([]byte, e
 			return nil, transport.ErrDeadPlace
 		}
 		rt.retries.Add(1)
+		rt.mRetries.Inc(-1)
 		// Deterministic jitter in [0.5, 1.5): hash the (seq, attempt) pair
 		// instead of keeping locked RNG state on the hot path.
 		j := 0.5 + unitMix(seq^uint64(attempt)<<32^uint64(to))
@@ -156,6 +165,7 @@ func (rt *reliableTransport) dedup(h transport.Handler) transport.Handler {
 		e, first := rt.claim(from, seq)
 		if !first {
 			rt.dedupHits.Add(1)
+			rt.mDedup.Inc(-1)
 			<-e.done
 			return cloneReply(e.reply), e.err
 		}

@@ -46,8 +46,8 @@ func reliablePair(t *testing.T, failures int64, retryMax int) (*reliableTranspor
 	t.Cleanup(func() { close(abort) })
 	flaky := &flakyTransport{Transport: fabric.Endpoint(0)}
 	flaky.failures.Store(failures)
-	sender := newReliableTransport(flaky, testCommon(retryMax), abort)
-	receiver := newReliableTransport(fabric.Endpoint(1), testCommon(retryMax), abort)
+	sender := newReliableTransport(flaky, testCommon(retryMax), abort, nil)
+	receiver := newReliableTransport(fabric.Endpoint(1), testCommon(retryMax), abort, nil)
 	return sender, receiver, flaky
 }
 
@@ -138,7 +138,7 @@ func TestReliableDedupSuppressesReplay(t *testing.T) {
 	defer fabric.Close()
 	abort := make(chan struct{})
 	defer close(abort)
-	receiver := newReliableTransport(fabric.Endpoint(1), testCommon(0), abort)
+	receiver := newReliableTransport(fabric.Endpoint(1), testCommon(0), abort, nil)
 	var execs atomic.Int64
 	receiver.Handle(kindDecrBatch, func(_ int, payload []byte) ([]byte, error) {
 		execs.Add(1)
@@ -170,7 +170,7 @@ func TestReliableDedupConcurrentDuplicates(t *testing.T) {
 	defer fabric.Close()
 	abort := make(chan struct{})
 	defer close(abort)
-	receiver := newReliableTransport(fabric.Endpoint(1), testCommon(0), abort)
+	receiver := newReliableTransport(fabric.Endpoint(1), testCommon(0), abort, nil)
 	var execs atomic.Int64
 	entered := make(chan struct{})
 	release := make(chan struct{})
@@ -212,7 +212,7 @@ func TestReliableDedupRejectsTruncatedEnvelope(t *testing.T) {
 	defer fabric.Close()
 	abort := make(chan struct{})
 	defer close(abort)
-	receiver := newReliableTransport(fabric.Endpoint(1), testCommon(0), abort)
+	receiver := newReliableTransport(fabric.Endpoint(1), testCommon(0), abort, nil)
 	receiver.Handle(kindDecrement, func(int, []byte) ([]byte, error) {
 		t.Error("handler ran on a truncated envelope")
 		return nil, nil

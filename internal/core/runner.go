@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"github.com/dpx10/dpx10/internal/dag"
+	"github.com/dpx10/dpx10/internal/metrics"
 	"github.com/dpx10/dpx10/internal/transport"
 )
 
@@ -18,6 +19,7 @@ type Cluster[T any] struct {
 	fabric  *transport.LocalFabric
 	chaos   []*transport.FaultFabric
 	rel     []*reliableTransport
+	regs    []*metrics.Registry // per-place; all nil when cfg.Metrics is off
 	engines []*placeEngine[T]
 	co      *coordinator[T]
 	sink    *eventSink
@@ -59,22 +61,30 @@ func NewCluster[T any](cfg Config[T]) (*Cluster[T], error) {
 		}
 	}
 	cl.engines = make([]*placeEngine[T], cfg.Places)
+	cl.regs = make([]*metrics.Registry, cfg.Places)
 	for p := 0; p < cfg.Places; p++ {
-		// Per-place transport stack: endpoint, then chaos injection on the
-		// send side, then reliable delivery on top so retries re-traverse
-		// the faulty layer (exactly what a lossy network would see).
+		// Per-place transport stack: endpoint, then the metrics meter
+		// (directly above the endpoint so its per-kind counts equal the
+		// fabric's own Stats number for number), then chaos injection on
+		// the send side, then reliable delivery on top so retries
+		// re-traverse the faulty layer (exactly what a lossy network
+		// would see).
+		if cl.cfg.Metrics {
+			cl.regs[p] = metrics.New(p)
+		}
 		var tr transport.Transport = cl.fabric.Endpoint(p)
+		tr = transport.NewMetered(tr, cl.regs[p])
 		if cl.cfg.Chaos != nil {
 			ff := transport.NewFaultFabric(tr, cl.cfg.Chaos)
 			cl.chaos = append(cl.chaos, ff)
 			tr = ff
 		}
 		if cl.cfg.Reliable {
-			rt := newReliableTransport(tr, &cl.cfg.Common, cl.abortCh)
+			rt := newReliableTransport(tr, &cl.cfg.Common, cl.abortCh, cl.regs[p])
 			cl.rel = append(cl.rel, rt)
 			tr = rt
 		}
-		cl.engines[p] = newPlaceEngine[T](p, &cl.cfg, tr, cl.abortWith)
+		cl.engines[p] = newPlaceEngine[T](p, &cl.cfg, tr, cl.abortWith, cl.regs[p])
 	}
 	cl.co = newCoordinator(cl.engines[0], cl.abortCh, cl.abortError, true)
 	cl.co.sink = cl.sink
@@ -159,6 +169,9 @@ func (cl *Cluster[T]) Run() error {
 	}
 	cl.fabric.Close()
 	cl.sink.close()
+	if cl.cfg.MetricsObserver != nil {
+		cl.cfg.MetricsObserver(cl.MetricsSnapshots())
+	}
 	return err
 }
 
@@ -183,6 +196,7 @@ func (cl *Cluster[T]) detector(stop <-chan struct{}) *detector {
 			case <-stop:
 			}
 		},
+		mMisses: cl.regs[0].Counter(metrics.TransportHeartbeatMisses),
 		abortCh: cl.abortCh,
 		stopCh:  stop,
 	}
@@ -305,6 +319,20 @@ func (cl *Cluster[T]) Stats() Stats {
 		s.DedupHits += rt.dedupHits.Load()
 	}
 	return s
+}
+
+// MetricsSnapshots reads every place's metrics registry (in-process, so
+// no kindStats traffic is needed). Returns nil when cfg.Metrics is off.
+// Exact once the run has stopped; mid-run it is a consistent-enough read.
+func (cl *Cluster[T]) MetricsSnapshots() []*metrics.Snapshot {
+	if !cl.cfg.Metrics {
+		return nil
+	}
+	out := make([]*metrics.Snapshot, 0, len(cl.engines))
+	for _, pe := range cl.engines {
+		out = append(out, pe.metricsSnapshot())
+	}
+	return out
 }
 
 // Result reads finished vertex values after a successful run — the dag

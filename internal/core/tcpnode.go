@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"github.com/dpx10/dpx10/internal/dag"
+	"github.com/dpx10/dpx10/internal/metrics"
 	"github.com/dpx10/dpx10/internal/transport"
 )
 
@@ -19,6 +20,7 @@ type TCPNode[T any] struct {
 	tr    *transport.TCP
 	chaos *transport.FaultFabric
 	rel   *reliableTransport
+	reg   *metrics.Registry // nil when cfg.Metrics is off
 	pe    *placeEngine[T]
 	co    *coordinator[T]
 	sink  *eventSink
@@ -70,20 +72,25 @@ func StartTCPNode[T any](cfg Config[T], self int, addrs []string) (*TCPNode[T], 
 		}
 	}
 	n.sink = newEventSink(n.cfg.Events)
-	// Engine transport stack: TCP endpoint, chaos injection (if any), then
-	// reliable delivery so retries re-traverse the faulty layer. The raw
-	// TCP endpoint stays around for the startup barrier and post-run reads
-	// (all untracked kinds).
+	// Engine transport stack: TCP endpoint, the metrics meter (directly
+	// above the endpoint so per-kind counts track the wire exactly), chaos
+	// injection (if any), then reliable delivery so retries re-traverse
+	// the faulty layer. The raw TCP endpoint stays around for the startup
+	// barrier and post-run reads (all untracked kinds).
+	if n.cfg.Metrics {
+		n.reg = metrics.New(self)
+	}
 	var ptr transport.Transport = tr
+	ptr = transport.NewMetered(ptr, n.reg)
 	if n.cfg.Chaos != nil {
 		n.chaos = transport.NewFaultFabric(ptr, n.cfg.Chaos)
 		ptr = n.chaos
 	}
 	if n.cfg.Reliable {
-		n.rel = newReliableTransport(ptr, &n.cfg.Common, n.abortCh)
+		n.rel = newReliableTransport(ptr, &n.cfg.Common, n.abortCh, n.reg)
 		ptr = n.rel
 	}
-	n.pe = newPlaceEngine[T](self, &n.cfg, ptr, abort)
+	n.pe = newPlaceEngine[T](self, &n.cfg, ptr, abort, n.reg)
 	if self == 0 {
 		n.co = newCoordinator(n.pe, n.abortCh, n.abortReason, false)
 		n.co.sink = n.sink
@@ -213,6 +220,7 @@ func (n *TCPNode[T]) coordinatorDetector() *detector {
 		onDead: func(int) {
 			n.pe.abort(placeDead(0))
 		},
+		mMisses: n.reg.Counter(metrics.TransportHeartbeatMisses),
 		abortCh: n.abortCh,
 		stopCh:  n.detStop,
 	}
@@ -238,6 +246,7 @@ func (n *TCPNode[T]) peerDetector() *detector {
 			case <-n.detStop:
 			}
 		},
+		mMisses: n.reg.Counter(metrics.TransportHeartbeatMisses),
 		abortCh: n.abortCh,
 		stopCh:  n.detStop,
 	}
@@ -275,6 +284,36 @@ func (n *TCPNode[T]) Stats() Stats {
 		s.DedupHits = n.rel.dedupHits.Load()
 	}
 	return s
+}
+
+// MetricsSnapshots collects metrics snapshots after Run: this node's own
+// registry and, on place 0, one kindStats call per alive peer — issued on
+// the raw transport like post-run reads, so call it before Close (whose
+// stop broadcast releases the other places). Returns nil when metrics are
+// off; unreachable peers are skipped rather than failing the collection.
+func (n *TCPNode[T]) MetricsSnapshots() ([]*metrics.Snapshot, error) {
+	if !n.cfg.Metrics {
+		return nil, nil
+	}
+	snaps := []*metrics.Snapshot{n.pe.metricsSnapshot()}
+	if n.self != 0 {
+		return snaps, nil
+	}
+	for p := 1; p < n.cfg.Places; p++ {
+		if !n.tr.Alive(p) {
+			continue
+		}
+		reply, err := n.tr.Call(p, kindStats, nil)
+		if err != nil {
+			continue // died during shutdown: best effort
+		}
+		s, derr := metrics.DecodeSnapshot(reply)
+		if derr != nil {
+			return snaps, fmt.Errorf("core: stats decode from place %d: %w", p, derr)
+		}
+		snaps = append(snaps, s)
+	}
+	return snaps, nil
 }
 
 // Value reads a finished vertex value after a successful run. On place 0

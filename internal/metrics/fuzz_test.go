@@ -1,0 +1,42 @@
+package metrics
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+// FuzzSnapshotWire drives DecodeSnapshot with arbitrary bytes. The
+// decoder must be total — return a snapshot or an error, never panic or
+// allocate unboundedly — and anything it accepts must survive an
+// encode/decode round trip unchanged. Encoder output itself must decode
+// back byte-identically (the encoding is canonical: sorted sections,
+// sorted vec keys), which the seed corpus plus the re-encode check below
+// cover: decode(b) -> encode -> decode must be a fixed point.
+func FuzzSnapshotWire(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(EncodeSnapshot(nil, &Snapshot{Place: 0}))
+	full := buildSnapshot()
+	f.Add(EncodeSnapshot(nil, full))
+	// Hostile section count claiming more entries than bytes exist.
+	f.Add([]byte{0, 0, 0, 0, 0xff, 0xff, 0xff, 0xff})
+	f.Fuzz(func(t *testing.T, b []byte) {
+		s, err := DecodeSnapshot(b)
+		if err != nil {
+			return
+		}
+		// Accepted input (which may list entries in any order, or repeat
+		// a name) must re-encode to the canonical form and round-trip.
+		re := EncodeSnapshot(nil, s)
+		s2, err := DecodeSnapshot(re)
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if !reflect.DeepEqual(s, s2) {
+			t.Fatalf("re-decode mismatch: %+v vs %+v", s, s2)
+		}
+		if re2 := EncodeSnapshot(nil, s2); !bytes.Equal(re, re2) {
+			t.Fatalf("encoding is not a fixed point:\n 1st %x\n 2nd %x", re, re2)
+		}
+	})
+}

@@ -1,0 +1,86 @@
+package metrics
+
+// Kind classifies an instrument. Each registered name has exactly one
+// kind; asking the registry for a name under the wrong kind panics at
+// construction time (and dpx10-vet's metricname analyzer catches it
+// statically).
+type Kind uint8
+
+const (
+	KindCounter Kind = iota + 1
+	KindGauge
+	KindHistogram
+	KindVec
+)
+
+// Instrument names. Every name the runtime records under is declared
+// here and registered in the instruments table below; Registry methods
+// reject anything else. Naming convention: <subsystem>.<metric>, with a
+// _ns suffix for nanosecond-valued histograms.
+const (
+	// Scheduler: tile execution and work stealing.
+	SchedTilesExecuted   = "sched.tiles_executed"
+	SchedStealsAttempted = "sched.steals_attempted"
+	SchedStealsSucceeded = "sched.steals_succeeded"
+	SchedDequeParks      = "sched.deque_parks"
+
+	// Engine-wide state.
+	EngineEpoch = "engine.epoch"
+
+	// Remote-vertex cache, one Vec key per shard.
+	VCacheHits      = "vcache.hits"
+	VCacheMisses    = "vcache.misses"
+	VCacheEvictions = "vcache.evictions"
+
+	// Transport, one Vec key per wire kind.
+	TransportMsgsOut         = "transport.msgs_out"
+	TransportBytesOut        = "transport.bytes_out"
+	TransportMsgsIn          = "transport.msgs_in"
+	TransportBytesIn         = "transport.bytes_in"
+	TransportSendErrors      = "transport.send_errors"
+	TransportRetries         = "transport.retries"
+	TransportDedupDrops      = "transport.dedup_drops"
+	TransportHeartbeatMisses = "transport.heartbeat_misses"
+
+	// Recovery phase durations (nanoseconds), one histogram per phase.
+	RecoveryPauseNs   = "recovery.pause_ns"
+	RecoveryRebuildNs = "recovery.rebuild_ns"
+	RecoveryRestoreNs = "recovery.restore_ns"
+	RecoveryReplayNs  = "recovery.replay_ns"
+	RecoveryResumeNs  = "recovery.resume_ns"
+)
+
+// instruments is the closed registry of instrument names: the single
+// source of truth cross-checked against call sites by dpx10-vet's
+// metricname analyzer.
+var instruments = map[string]Kind{
+	SchedTilesExecuted:   KindCounter,
+	SchedStealsAttempted: KindCounter,
+	SchedStealsSucceeded: KindCounter,
+	SchedDequeParks:      KindCounter,
+
+	EngineEpoch: KindGauge,
+
+	VCacheHits:      KindVec,
+	VCacheMisses:    KindVec,
+	VCacheEvictions: KindVec,
+
+	TransportMsgsOut:         KindVec,
+	TransportBytesOut:        KindVec,
+	TransportMsgsIn:          KindVec,
+	TransportBytesIn:         KindVec,
+	TransportSendErrors:      KindCounter,
+	TransportRetries:         KindCounter,
+	TransportDedupDrops:      KindCounter,
+	TransportHeartbeatMisses: KindCounter,
+
+	RecoveryPauseNs:   KindHistogram,
+	RecoveryRebuildNs: KindHistogram,
+	RecoveryRestoreNs: KindHistogram,
+	RecoveryReplayNs:  KindHistogram,
+	RecoveryResumeNs:  KindHistogram,
+}
+
+// DurationBounds are the default bucket upper bounds for nanosecond
+// duration histograms: 10µs up to 10s, one decade per bucket.
+var DurationBounds = []int64{1e4, 1e5, 1e6, 1e7, 1e8, 1e9, 1e10}

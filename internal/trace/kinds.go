@@ -28,6 +28,7 @@ var kindNames = map[uint8]string{
 	18: "steal",
 	19: "stealDone",
 	20: "decrBatch",
+	21: "stats",
 }
 
 // KindName returns the human-readable name of a wire-protocol message

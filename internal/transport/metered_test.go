@@ -1,0 +1,108 @@
+package transport
+
+import (
+	"testing"
+
+	"github.com/dpx10/dpx10/internal/metrics"
+)
+
+// TestMeteredMatchesEndpointStats drives traffic through metered
+// endpoints and checks the per-kind registry counts sum to exactly the
+// numbers the raw endpoints counted on their own.
+func TestMeteredMatchesEndpointStats(t *testing.T) {
+	fab := NewLocalFabric(2)
+	defer fab.Close()
+	regs := [2]*metrics.Registry{metrics.New(0), metrics.New(1)}
+	var trs [2]Transport
+	for p := 0; p < 2; p++ {
+		trs[p] = NewMetered(fab.Endpoint(p), regs[p])
+	}
+	echoed := make(chan struct{}, 64)
+	for p := 0; p < 2; p++ {
+		trs[p].Handle(7, func(from int, payload []byte) ([]byte, error) {
+			return append([]byte(nil), payload...), nil
+		})
+		trs[p].Handle(9, func(from int, payload []byte) ([]byte, error) {
+			echoed <- struct{}{}
+			return nil, nil
+		})
+	}
+
+	for i := 0; i < 5; i++ {
+		if _, err := trs[0].Call(1, 7, []byte("abcd")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		if err := trs[0].Send(1, 9, []byte("xy")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		<-echoed // one-way delivery is async; wait until counted
+	}
+
+	s0 := regs[0].Snapshot()
+	out := s0.Vecs[metrics.TransportMsgsOut]
+	if out[7] != 5 || out[9] != 3 {
+		t.Fatalf("msgs_out = %v, want kind7=5 kind9=3", out)
+	}
+	bytesOut := s0.Vecs[metrics.TransportBytesOut]
+	if bytesOut[7] != 20 || bytesOut[9] != 6 {
+		t.Fatalf("bytes_out = %v, want kind7=20 kind9=6", bytesOut)
+	}
+
+	ep0 := fab.Endpoint(0).Stats().Snapshot()
+	if got := out[7] + out[9]; got != ep0.SendsOut+ep0.CallsOut {
+		t.Fatalf("meter msgs_out %d != endpoint %d", got, ep0.SendsOut+ep0.CallsOut)
+	}
+	if got := bytesOut[7] + bytesOut[9]; got != ep0.BytesOut {
+		t.Fatalf("meter bytes_out %d != endpoint %d", got, ep0.BytesOut)
+	}
+
+	s1 := regs[1].Snapshot()
+	in := s1.Vecs[metrics.TransportMsgsIn]
+	ep1 := fab.Endpoint(1).Stats().Snapshot()
+	if got := in[7] + in[9]; got != ep1.MsgsIn {
+		t.Fatalf("meter msgs_in %d != endpoint %d", got, ep1.MsgsIn)
+	}
+	if got := s1.Vecs[metrics.TransportBytesIn][7] + s1.Vecs[metrics.TransportBytesIn][9]; got != ep1.BytesIn {
+		t.Fatalf("meter bytes_in %d != endpoint %d", got, ep1.BytesIn)
+	}
+}
+
+// TestMeteredErrors checks failed sends are recorded as errors, not as
+// wire traffic — matching the endpoint, which does not count them either.
+func TestMeteredErrors(t *testing.T) {
+	fab := NewLocalFabric(2)
+	defer fab.Close()
+	reg := metrics.New(0)
+	tr := NewMetered(fab.Endpoint(0), reg)
+	fab.Kill(1)
+	if err := tr.Send(1, 7, []byte("a")); err == nil {
+		t.Fatal("send to dead place succeeded")
+	}
+	if _, err := tr.Call(1, 7, nil); err == nil {
+		t.Fatal("call to dead place succeeded")
+	}
+	s := reg.Snapshot()
+	if got := s.Counters[metrics.TransportSendErrors]; got != 2 {
+		t.Fatalf("send_errors = %d, want 2", got)
+	}
+	if n := len(s.Vecs[metrics.TransportMsgsOut]); n != 0 {
+		t.Fatalf("failed traffic counted as sent: %v", s.Vecs[metrics.TransportMsgsOut])
+	}
+	if out := fab.Endpoint(0).Stats().Snapshot(); out.SendsOut+out.CallsOut != 0 {
+		t.Fatalf("endpoint counted failed traffic: %+v", out)
+	}
+}
+
+// TestMeteredDisabled checks a nil registry adds no wrapper at all.
+func TestMeteredDisabled(t *testing.T) {
+	fab := NewLocalFabric(1)
+	defer fab.Close()
+	ep := fab.Endpoint(0)
+	if got := NewMetered(ep, nil); got != ep {
+		t.Fatal("disabled meter did not return the raw endpoint")
+	}
+}

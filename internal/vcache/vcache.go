@@ -239,6 +239,25 @@ func (c *Cache[T]) Clear() {
 	}
 }
 
+// ShardStat is one shard's cumulative counters, exposed for the per-shard
+// metrics vecs: the skew between shards is itself a useful signal (a hot
+// shard means the id hash clusters under the current access pattern).
+type ShardStat struct {
+	Hits, Misses, Evicted int64
+}
+
+// ShardStats returns every shard's cumulative counters, indexed by shard.
+func (c *Cache[T]) ShardStats() []ShardStat {
+	out := make([]ShardStat, len(c.shards))
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		out[i] = ShardStat{Hits: s.hits, Misses: s.misses, Evicted: s.evicted}
+		s.mu.Unlock()
+	}
+	return out
+}
+
 // Stats returns cumulative hit/miss/eviction counts.
 func (c *Cache[T]) Stats() (hits, misses, evicted int64) {
 	for i := range c.shards {

@@ -191,6 +191,37 @@ func WithEvents(fn func(Event)) UntypedOption {
 	return commonOption(func(c *core.Common) { c.Events = fn })
 }
 
+// WithMetrics turns on the per-place metrics registry: scheduler, cache,
+// transport and recovery instruments, readable after the run through
+// Dag.Metrics / Job.Metrics. Off by default; the disabled path costs
+// nothing on the hot paths.
+func WithMetrics() UntypedOption {
+	return commonOption(func(c *core.Common) { c.Metrics = true })
+}
+
+// WithMetricsObserver enables metrics and delivers the per-place
+// snapshots when the run stops, just before Run/Wait returns — for
+// harnesses that execute many computations and want each run's
+// instruments without holding the Job. Single-process runtime only.
+func WithMetricsObserver(fn func([]*MetricsSnapshot)) UntypedOption {
+	return commonOption(func(c *core.Common) { c.MetricsObserver = fn })
+}
+
+// SpanLog collects timed spans (epochs, tiles, steal round-trips,
+// recovery phases) for Chrome trace-event export; see WithSpans.
+type SpanLog = trace.SpanLog
+
+// NewSpanLog creates a span log keeping up to maxSpans spans (0 uses the
+// default cap); once full, later spans are dropped, never reallocated.
+func NewSpanLog(maxSpans int) *SpanLog { return trace.NewSpanLog(maxSpans) }
+
+// WithSpans records the run's spans into sl. Write the result with
+// SpanLog.WriteChromeTrace and load it in chrome://tracing or Perfetto.
+// Span collection is independent of WithMetrics.
+func WithSpans(sl *SpanLog) UntypedOption {
+	return commonOption(func(c *core.Common) { c.Spans = sl })
+}
+
 // WithCodec overrides the value codec (default: gob; use the fixed-width
 // scalar codecs or a custom implementation on hot paths).
 func WithCodec[T any](cd Codec[T]) Option[T] {

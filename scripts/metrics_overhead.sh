@@ -1,0 +1,50 @@
+#!/usr/bin/env bash
+# Metrics overhead gate: runs BenchmarkMetricsOverhead (the
+# BenchmarkSchedulePerVertex workload with the instrument registry off
+# and on) and fails when the enabled arm costs more than the budget —
+# default 2% ns/vertex — over the disabled arm.
+#
+# Noise guard: each arm runs -count times interleaved by the go test
+# harness and the gate compares the per-arm MINIMUM ns/vertex — the
+# standard way to strip scheduler/frequency noise from a microbenchmark;
+# a real per-vertex cost shifts the minimum, a noisy neighbour does not.
+#
+#   scripts/metrics_overhead.sh [max-overhead-pct]
+#
+# DPX10_BENCHTIME overrides -benchtime (default 20x), DPX10_BENCHCOUNT
+# overrides -count (default 4). CI's smoke step uses 1x, which checks
+# the harness wiring with a looser budget.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+budget="${1:-2}"
+benchtime="${DPX10_BENCHTIME:-20x}"
+benchcount="${DPX10_BENCHCOUNT:-4}"
+# A single 1x iteration is dominated by cluster setup; give the smoke
+# pass a looser budget so it gates wiring, not noise.
+if [ "$benchtime" = "1x" ] && [ "${1:-}" = "" ]; then
+	budget=25
+fi
+tmp="$(mktemp)"
+trap 'rm -f "$tmp"' EXIT
+
+go test ./internal/core/ -run xxx -bench BenchmarkMetricsOverhead \
+	-benchtime "$benchtime" -count "$benchcount" | tee "$tmp"
+
+awk -v budget="$budget" '
+function vertex(  i) { for (i = 1; i < NF; i++) if ($(i + 1) == "ns/vertex") return $i; return "" }
+/^BenchmarkMetricsOverhead\/off/ { v = vertex(); if (v != "" && (off == "" || v + 0 < off)) off = v + 0 }
+/^BenchmarkMetricsOverhead\/on/  { v = vertex(); if (v != "" && (on == ""  || v + 0 < on))  on = v + 0 }
+END {
+	if (off == "" || on == "") {
+		print "metrics_overhead: missing off/on ns/vertex figures" > "/dev/stderr"
+		exit 2
+	}
+	pct = (on - off) / off * 100
+	printf "metrics overhead (min of runs): off=%.1f ns/vertex, on=%.1f ns/vertex, delta=%+.2f%% (budget %s%%)\n", off, on, pct, budget
+	if (pct > budget + 0) {
+		print "metrics_overhead: enabled registry exceeds the overhead budget" > "/dev/stderr"
+		exit 1
+	}
+}
+' "$tmp"

@@ -12,3 +12,6 @@ go run ./cmd/dpx10-vet ./...
 go test -short -run TestChaosSoak -count=1 ./internal/core/
 go test ./...
 go test -race -timeout 10m ./...
+# Metrics-invariant suite again under the race detector: every snapshot
+# read races against live increments unless the registry is correct.
+go test -race -run 'TestMetrics' -count=1 ./internal/core/
