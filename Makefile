@@ -1,6 +1,6 @@
 # Convenience targets; the repository is plain `go build`-able.
 
-.PHONY: tier1 test vet bench bench-sched fuzz chaos
+.PHONY: tier1 test vet vet-json vet-sarif bench bench-sched fuzz chaos
 
 # The merge gate: build, vet (standard + dpx10-vet), full tests, race
 # detector across the tree. Same contract as scripts/tier1.sh.
@@ -11,10 +11,20 @@ test:
 	go test ./...
 
 # Static analysis: standard go vet plus the repo's own analyzers
-# (placeleak, protokind, lockheld, atomicmix — see cmd/dpx10-vet).
+# (placeleak, protokind, wiresym, lockorder, lockheld, atomicmix,
+# goroleak, errdrop, metricname, allowlint — see cmd/dpx10-vet).
 vet:
 	go vet ./...
 	go run ./cmd/dpx10-vet ./...
+
+# Machine-readable findings for scripting; exit status still reflects
+# whether anything was found.
+vet-json:
+	go run ./cmd/dpx10-vet -json ./...
+
+# SARIF 2.1.0 for GitHub code scanning; CI uploads this artifact.
+vet-sarif:
+	go run ./cmd/dpx10-vet -sarif ./...
 
 bench: bench-sched
 	go run ./cmd/dpx10-bench -fig all -quick

@@ -1,33 +1,42 @@
 // Command dpx10-vet runs the DPX10 static-analysis suite — the APGAS
-// place-isolation and wire-protocol invariants X10's compiler would have
-// enforced for us — over the packages matching the given patterns.
+// place-isolation, concurrency and wire-protocol invariants X10's
+// compiler would have enforced for us — over the packages matching the
+// given patterns.
 //
 // Usage:
 //
-//	dpx10-vet [-list] [packages]
+//	dpx10-vet [-list] [-json | -sarif] [packages]
 //
 // With no patterns it analyzes ./... relative to the current directory.
 // The preferred entry point is `make vet`, which builds and runs it over
 // the whole module; scripts/tier1.sh runs the same check as part of the
-// tier-1 gate. Exit status is 1 when any diagnostic is reported, 2 on
-// load/usage errors.
+// tier-1 gate under a wall-clock budget. `make vet-json` emits machine-
+// readable findings; CI uploads `-sarif` output to GitHub code scanning.
+// Exit status is 1 when any diagnostic is reported, 2 on load/usage
+// errors (in -json/-sarif modes the document is still written on exit 1).
 //
-// Analyzers:
+// Analyzers (severity in parentheses):
 //
-//	placeleak   handlers/decoders must not retain payload aliases
-//	protokind   every kind* constant registered, named, fuzz-covered
-//	lockheld    no blocking ops while a sync.Mutex/RWMutex is held
-//	atomicmix   no mixed atomic and plain access to the same variable
-//	metricname  every metrics Registry lookup constant, registered, kind-matched
+//	placeleak   (error)    handlers/decoders must not retain payload aliases
+//	protokind   (error)    every kind* constant registered, named, fuzz-covered
+//	wiresym     (error)    encoder and handler agree on every wire kind's shape
+//	lockorder   (error)    whole-program lock acquisition order is acyclic
+//	lockheld    (error)    no blocking ops on any path holding a sync.Mutex/RWMutex
+//	atomicmix   (error)    no mixed atomic and plain access to the same variable
+//	goroleak    (warning)  spawned goroutines must be tied to a shutdown signal
+//	errdrop     (warning)  transport Send/Call errors must be consumed
+//	metricname  (warning)  every metrics Registry lookup constant, registered, kind-matched
+//	allowlint   (info)     //dpx10:allow suppressions name analyzers and a rationale
 //
 // Suppressions. A finding is silenced by a comment on the flagged line or
 // the line directly above it:
 //
 //	//dpx10:allow <analyzer>[,<analyzer>] <rationale>
 //
-// e.g. `return p, nil //dpx10:allow placeleak test echo handler`. The
-// rationale is free text but required by convention: an allow without a
-// reason does not survive review.
+// e.g. `return p, nil //dpx10:allow placeleak test echo handler`. Both the
+// analyzer name(s) and the rationale are mandatory: allowlint reports any
+// bare or reasonless suppression, so an allow without a reason is itself
+// a finding rather than a review convention.
 package main
 
 import (
@@ -35,59 +44,114 @@ import (
 	"os"
 	"sort"
 
+	"github.com/dpx10/dpx10/internal/analysis/allowlint"
 	"github.com/dpx10/dpx10/internal/analysis/atomicmix"
+	"github.com/dpx10/dpx10/internal/analysis/errdrop"
 	"github.com/dpx10/dpx10/internal/analysis/framework"
+	"github.com/dpx10/dpx10/internal/analysis/goroleak"
 	"github.com/dpx10/dpx10/internal/analysis/lockheld"
+	"github.com/dpx10/dpx10/internal/analysis/lockorder"
 	"github.com/dpx10/dpx10/internal/analysis/metricname"
 	"github.com/dpx10/dpx10/internal/analysis/placeleak"
 	"github.com/dpx10/dpx10/internal/analysis/protokind"
+	"github.com/dpx10/dpx10/internal/analysis/wiresym"
 )
 
-var analyzers = []*framework.Analyzer{
-	placeleak.Analyzer,
-	protokind.Analyzer,
-	lockheld.Analyzer,
-	atomicmix.Analyzer,
-	metricname.Analyzer,
+func analyzers() []*framework.Analyzer {
+	as := []*framework.Analyzer{
+		placeleak.Analyzer,
+		protokind.Analyzer,
+		wiresym.Analyzer,
+		lockorder.Analyzer,
+		lockheld.Analyzer,
+		atomicmix.Analyzer,
+		goroleak.Analyzer,
+		errdrop.Analyzer,
+		metricname.Analyzer,
+	}
+	// allowlint validates suppression comments against the registry, so it
+	// must know every name above plus its own.
+	names := make([]string, 0, len(as)+1)
+	for _, a := range as {
+		names = append(names, a.Name)
+	}
+	names = append(names, "allowlint")
+	return append(as, allowlint.New(names))
 }
 
 func main() {
+	as := analyzers()
 	args := os.Args[1:]
-	if len(args) > 0 && args[0] == "-list" {
-		names := make([]string, 0, len(analyzers))
-		for _, a := range analyzers {
-			names = append(names, fmt.Sprintf("%-10s %s", a.Name, a.Doc))
+	mode := "text"
+	for len(args) > 0 {
+		switch args[0] {
+		case "-list":
+			list(as)
+			return
+		case "-json":
+			mode = "json"
+		case "-sarif":
+			mode = "sarif"
+		case "-h", "-help", "--help":
+			fmt.Fprintln(os.Stderr, "usage: dpx10-vet [-list] [-json | -sarif] [packages]")
+			return
+		default:
+			os.Exit(run(as, mode, args))
 		}
-		sort.Strings(names)
-		for _, n := range names {
-			fmt.Println(n)
-		}
-		return
+		args = args[1:]
 	}
-	os.Exit(run(args))
+	os.Exit(run(as, mode, nil))
 }
 
-func run(patterns []string) int {
+func list(as []*framework.Analyzer) {
+	lines := make([]string, 0, len(as))
+	for _, a := range as {
+		lines = append(lines, fmt.Sprintf("%-10s %-8s %s", a.Name, a.Severity, a.Doc))
+	}
+	sort.Strings(lines)
+	for _, l := range lines {
+		fmt.Println(l)
+	}
+}
+
+func run(as []*framework.Analyzer, mode string, patterns []string) int {
 	fset, pkgs, err := framework.Load(".", patterns)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "dpx10-vet: %v\n", err)
 		return 2
 	}
-	diags, err := framework.Run(fset, pkgs, analyzers)
+	diags, err := framework.Run(fset, pkgs, as)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "dpx10-vet: %v\n", err)
 		return 2
 	}
-	bad := 0
+	kept := diags[:0]
 	for _, d := range diags {
-		if framework.Suppressed(fset, pkgs, d) {
-			continue
+		if !framework.Suppressed(fset, pkgs, d) {
+			kept = append(kept, d)
 		}
-		bad++
-		fmt.Printf("%s: %s (%s)\n", fset.Position(d.Pos), d.Message, d.Analyzer.Name)
 	}
-	if bad > 0 {
-		fmt.Fprintf(os.Stderr, "dpx10-vet: %d finding(s)\n", bad)
+	root, _ := os.Getwd()
+	findings := framework.Findings(fset, root, kept)
+
+	switch mode {
+	case "json":
+		if err := framework.WriteJSON(os.Stdout, findings); err != nil {
+			fmt.Fprintf(os.Stderr, "dpx10-vet: %v\n", err)
+			return 2
+		}
+	case "sarif":
+		if err := framework.WriteSARIF(os.Stdout, as, findings); err != nil {
+			fmt.Fprintf(os.Stderr, "dpx10-vet: %v\n", err)
+			return 2
+		}
+	default:
+		for _, f := range findings {
+			fmt.Printf("%s:%d:%d: %s: %s (%s)\n", f.File, f.Line, f.Column, f.Severity, f.Message, f.Analyzer)
+		}
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "dpx10-vet: %d finding(s)\n", len(findings))
 		return 1
 	}
 	return 0

@@ -1,0 +1,60 @@
+// Package allowlint polices the suppression mechanism itself. A
+// //dpx10:allow comment silences findings on its line (or the line
+// below), so an unreviewable one is suppression debt: a bare marker
+// silences nothing today but reads as if it might, a misspelled
+// analyzer name silences nothing while claiming to, and a suppression
+// without a rationale cannot be re-evaluated when the code changes.
+// All three become findings, which the vet gate turns into CI failures.
+//
+// The set of valid analyzer names is supplied by the driver via New, so
+// the check stays in sync with the registered analyzer list.
+package allowlint
+
+import (
+	"strings"
+
+	"github.com/dpx10/dpx10/internal/analysis/framework"
+)
+
+// New builds the analyzer with the given registry of known analyzer
+// names. An empty registry disables the unknown-name check only.
+func New(known []string) *framework.Analyzer {
+	set := make(map[string]bool, len(known))
+	for _, n := range known {
+		set[n] = true
+	}
+	return &framework.Analyzer{
+		Name:     "allowlint",
+		Doc:      "report malformed //dpx10:allow suppressions: bare markers, unknown analyzer names, missing rationale",
+		Severity: framework.SevInfo,
+		Run: func(pass *framework.Pass) error {
+			run(pass, set)
+			return nil
+		},
+	}
+}
+
+func run(pass *framework.Pass, known map[string]bool) {
+	for _, f := range pass.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				ac, ok := framework.ParseAllowComment(c.Text)
+				if !ok {
+					continue
+				}
+				if len(ac.Names) == 0 {
+					pass.Reportf(c.Pos(), "bare //dpx10:allow suppression: name the analyzers it silences and why the finding is acceptable")
+					continue
+				}
+				for _, n := range ac.Names {
+					if len(known) > 0 && !known[n] {
+						pass.Reportf(c.Pos(), "unknown analyzer %q in //dpx10:allow suppression", n)
+					}
+				}
+				if ac.Rationale == "" {
+					pass.Reportf(c.Pos(), "//dpx10:allow for %s lacks a rationale; say why the finding is acceptable", strings.Join(ac.Names, ","))
+				}
+			}
+		}
+	}
+}

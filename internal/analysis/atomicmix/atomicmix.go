@@ -13,6 +13,12 @@
 // analyzer reports only plain indexed accesses of the same slice, so
 // `make`-initialization and `len` stay legal.
 //
+// The analyzer is alias-aware (framework.ComputeAliases): a pointer
+// assigned once from `&x` carries x's regime, so `p := &x;
+// atomic.AddInt64(p, 1)` puts x under atomics, and a later `*p = 3` (or
+// a plain `x = 3`) is reported. The alias-establishing `&x` itself is
+// not a plain access as long as the pointer stays tracked.
+//
 // Typed atomics (atomic.Int64 fields) are self-policing — you cannot
 // touch their value without calling a method — so they need no analysis.
 package atomicmix
@@ -28,9 +34,10 @@ import (
 )
 
 var Analyzer = &framework.Analyzer{
-	Name: "atomicmix",
-	Doc:  "flag variables accessed both through sync/atomic and by plain read/write",
-	Run:  run,
+	Name:     "atomicmix",
+	Doc:      "flag variables accessed both through sync/atomic and by plain read/write",
+	Severity: framework.SevError,
+	Run:      run,
 }
 
 // access classifies how a variable entered the atomic regime.
@@ -38,11 +45,56 @@ type access struct {
 	elementwise bool // address was &x[i], not &x
 }
 
+// pkgAliases merges the per-function alias maps of the whole package;
+// local variable objects are unique per function, so the merge is safe.
+type pkgAliases struct {
+	target map[types.Object]types.Object // ptr var -> addressed object
+	elem   map[types.Object]bool         // ptr holds an element address
+	srcs   map[ast.Expr]types.Object     // alias-establishing &x -> ptr var
+}
+
+func collectAliases(pass *framework.Pass) *pkgAliases {
+	pa := &pkgAliases{
+		target: map[types.Object]types.Object{},
+		elem:   map[types.Object]bool{},
+		srcs:   map[ast.Expr]types.Object{},
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Body == nil {
+					return true
+				}
+			case *ast.FuncLit:
+			default:
+				return true
+			}
+			a := framework.ComputeAliases(n, pass.TypesInfo)
+			for _, ptr := range a.Pointers() {
+				if tgt := a.Resolve(ptr); tgt != nil {
+					pa.target[ptr] = tgt
+					if a.Elementwise(ptr) {
+						pa.elem[ptr] = true
+					}
+				}
+			}
+			for e, ptr := range a.Sources() {
+				pa.srcs[e] = ptr
+			}
+			return true
+		})
+	}
+	return pa
+}
+
 func run(pass *framework.Pass) error {
+	aliases := collectAliases(pass)
 	atomicObjs := map[types.Object]access{}
 	operands := map[ast.Expr]bool{} // exact &-operand nodes inside atomic calls
 
-	// Pass 1: collect the objects whose addresses flow into sync/atomic.
+	// Pass 1: collect the objects whose addresses flow into sync/atomic,
+	// either directly (&x) or through a tracked pointer alias.
 	for _, f := range pass.Files {
 		ast.Inspect(f, func(n ast.Node) bool {
 			c, ok := n.(*ast.CallExpr)
@@ -57,8 +109,23 @@ func run(pass *framework.Pass) error {
 			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
 				return true
 			}
+			enter := func(obj types.Object, elementwise bool) {
+				prev, seen := atomicObjs[obj]
+				if !seen || (prev.elementwise && !elementwise) {
+					atomicObjs[obj] = access{elementwise: elementwise}
+				}
+			}
 			amp, ok := c.Args[0].(*ast.UnaryExpr)
 			if !ok || amp.Op != token.AND {
+				// atomic.AddInt64(p, 1) where p aliases &x: x enters the
+				// atomic regime through the pointer.
+				if id, ok := ast.Unparen(c.Args[0]).(*ast.Ident); ok {
+					if ptr := pass.TypesInfo.Uses[id]; ptr != nil {
+						if tgt, ok := aliases.target[ptr]; ok {
+							enter(tgt, aliases.elem[ptr])
+						}
+					}
+				}
 				return true
 			}
 			target := amp.X
@@ -68,10 +135,7 @@ func run(pass *framework.Pass) error {
 				elementwise = true
 			}
 			if obj := addressedObj(pass, target); obj != nil {
-				prev, seen := atomicObjs[obj]
-				if !seen || (prev.elementwise && !elementwise) {
-					atomicObjs[obj] = access{elementwise: elementwise}
-				}
+				enter(obj, elementwise)
 				operands[amp.X] = true
 			}
 			return true
@@ -83,7 +147,7 @@ func run(pass *framework.Pass) error {
 
 	// Pass 2: report every other appearance of those objects.
 	for _, f := range pass.Files {
-		scanPlain(pass, f, atomicObjs, operands)
+		scanPlain(pass, f, atomicObjs, operands, aliases)
 	}
 	return nil
 }
@@ -107,7 +171,7 @@ func addressedObj(pass *framework.Pass, e ast.Expr) types.Object {
 	return nil
 }
 
-func scanPlain(pass *framework.Pass, root ast.Node, atomicObjs map[types.Object]access, operands map[ast.Expr]bool) {
+func scanPlain(pass *framework.Pass, root ast.Node, atomicObjs map[types.Object]access, operands map[ast.Expr]bool, aliases *pkgAliases) {
 	var walk func(n ast.Node)
 	// check handles one reference expression; returns true if it resolved
 	// to a tracked object (whether or not it was reported).
@@ -129,6 +193,34 @@ func scanPlain(pass *framework.Pass, root ast.Node, atomicObjs map[types.Object]
 	}
 	walk = func(n ast.Node) {
 		switch n := n.(type) {
+		case *ast.StarExpr:
+			// *p where p aliases a tracked object is a plain access of
+			// that object through the pointer.
+			if id, ok := ast.Unparen(n.X).(*ast.Ident); ok {
+				if ptr := pass.TypesInfo.Uses[id]; ptr != nil {
+					if tgt, ok := aliases.target[ptr]; ok {
+						if _, tracked := atomicObjs[tgt]; tracked {
+							pass.Reportf(n.Pos(), "plain access of %s (alias of %s), which is accessed with sync/atomic elsewhere in this package",
+								render(pass.Fset, n), tgt.Name())
+							return
+						}
+					}
+				}
+			}
+		case *ast.UnaryExpr:
+			// The alias-establishing &x is not a plain access while the
+			// pointer it initializes stays tracked; only its index
+			// expressions (in &xs[i]) are evaluated as ordinary code.
+			if n.Op == token.AND {
+				if ptr, ok := aliases.srcs[ast.Expr(n)]; ok {
+					if _, stillTracked := aliases.target[ptr]; stillTracked {
+						if ix, ok := n.X.(*ast.IndexExpr); ok {
+							walk(ix.Index)
+						}
+						return
+					}
+				}
+			}
 		case *ast.CompositeLit:
 			// Field keys in struct literals are initialization syntax,
 			// not reads or writes of the field.

@@ -1,0 +1,355 @@
+// Package errdrop reports discarded transport error results. A failed
+// transport.Transport Send or Call is the engine's only signal that a
+// peer died: every call site must either check the error (retry, mark
+// the place dead, surface a typed error) or propagate it. Discarding it
+// silently turns a place failure into a hang.
+//
+// Target calls are identified by method name AND signature — Send with
+// `(int, uint8, []byte) error` and Call with `(int, uint8, []byte)
+// ([]byte, error)` — so unrelated Send/Call methods are not matched.
+// Three shapes are flagged:
+//
+//   - the bare statement `tr.Send(to, kind, p)` (result discarded);
+//   - the error position assigned to blank: `reply, _ := tr.Call(...)`;
+//   - flow-sensitively, an error variable that on some path is
+//     overwritten or reaches the function's exit without ever being
+//     read (CFG dataflow, join = may-drop).
+//
+// Package internal/transport itself is exempt: the fabric's internal
+// forwarding and fault-injection layers sit below the retry/MarkDead
+// contract this analyzer enforces. _test.go files are also skipped.
+package errdrop
+
+import (
+	"bytes"
+	"go/ast"
+	"go/printer"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"github.com/dpx10/dpx10/internal/analysis/framework"
+)
+
+var Analyzer = &framework.Analyzer{
+	Name:     "errdrop",
+	Doc:      "report transport Send/Call error results that are discarded instead of retried, marked dead, or surfaced",
+	Severity: framework.SevWarning,
+	Run:      run,
+}
+
+func run(pass *framework.Pass) error {
+	if strings.Contains(pass.Pkg.Path(), "internal/transport") {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil && !pass.InTestFile(fn.Pos()) {
+					analyzeFn(pass, fn)
+				}
+			case *ast.FuncLit:
+				if fn.Body != nil && !pass.InTestFile(fn.Pos()) {
+					analyzeFn(pass, fn)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// pendingMap is the dataflow fact: error variables holding an unchecked
+// transport error -> position of the call that produced it.
+type pendingMap map[types.Object]token.Pos
+
+type pendingLattice struct{}
+
+func (pendingLattice) Bottom() framework.Fact { return pendingMap(nil) }
+
+func (pendingLattice) Join(a, b framework.Fact) framework.Fact {
+	am, bm := a.(pendingMap), b.(pendingMap)
+	if len(bm) == 0 {
+		return am
+	}
+	if len(am) == 0 {
+		return bm
+	}
+	out := make(pendingMap, len(am)+len(bm))
+	for k, p := range am {
+		out[k] = p
+	}
+	for k, p := range bm {
+		if q, ok := out[k]; !ok || p < q {
+			out[k] = p
+		}
+	}
+	return out
+}
+
+func (pendingLattice) Equal(a, b framework.Fact) bool {
+	am, bm := a.(pendingMap), b.(pendingMap)
+	if len(am) != len(bm) {
+		return false
+	}
+	for k, p := range am {
+		if q, ok := bm[k]; !ok || p != q {
+			return false
+		}
+	}
+	return true
+}
+
+func analyzeFn(pass *framework.Pass, fn ast.Node) {
+	st := &state{pass: pass, reported: map[token.Pos]bool{}}
+	cfg := pass.Prog.CFG(fn)
+	sol := cfg.Forward(pendingLattice{}, pendingMap(nil), func(b *framework.Block, in framework.Fact) framework.Fact {
+		return st.apply(b, in.(pendingMap), false)
+	})
+	for _, b := range cfg.Blocks {
+		out := st.apply(b, sol.In[b].(pendingMap), true)
+		if b == cfg.Exit {
+			for obj, pos := range out {
+				st.reportOnce(pos, "error from transport call assigned to %s is never checked before the function returns; retry, MarkDead, or surface it", obj.Name())
+			}
+		}
+	}
+}
+
+type state struct {
+	pass     *framework.Pass
+	reported map[token.Pos]bool
+	report   bool
+	pending  pendingMap
+}
+
+func (s *state) reportOnce(pos token.Pos, format string, args ...any) {
+	if s.reported[pos] {
+		return
+	}
+	s.reported[pos] = true
+	s.pass.Reportf(pos, format, args...)
+}
+
+func (s *state) apply(b *framework.Block, in pendingMap, report bool) pendingMap {
+	s.pending = in
+	s.report = report
+	for _, n := range b.Nodes {
+		s.node(n)
+	}
+	return s.pending
+}
+
+func (s *state) node(n ast.Node) {
+	switch n := n.(type) {
+	case *ast.ExprStmt:
+		if c, ok := ast.Unparen(n.X).(*ast.CallExpr); ok {
+			if kind, ok := transportCall(s.pass.TypesInfo, c); ok {
+				if s.report {
+					s.reportOnce(c.Pos(), "result of transport %s discarded; handle the error (retry, MarkDead, or surface a typed error)",
+						renderCall(s.pass.Fset, c, kind))
+				}
+				return
+			}
+		}
+		s.reads(n)
+	case *ast.AssignStmt:
+		// RHS values are read first.
+		for _, r := range n.Rhs {
+			s.reads(r)
+		}
+		// Writes to pending error variables lose the unchecked error.
+		for _, l := range n.Lhs {
+			s.write(l)
+		}
+		s.trackAssign(n)
+	case *ast.DeferStmt:
+		s.reads(n.Call)
+	case *ast.GoStmt:
+		for _, a := range n.Call.Args {
+			s.reads(a)
+		}
+	default:
+		s.reads(n)
+	}
+}
+
+// trackAssign records a newly produced transport error when the
+// statement has the canonical single-call RHS shape.
+func (s *state) trackAssign(n *ast.AssignStmt) {
+	if len(n.Rhs) != 1 {
+		return
+	}
+	c, ok := ast.Unparen(n.Rhs[0]).(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	kind, ok := transportCall(s.pass.TypesInfo, c)
+	if !ok {
+		return
+	}
+	var errExpr ast.Expr
+	switch kind {
+	case "Send":
+		if len(n.Lhs) == 1 {
+			errExpr = n.Lhs[0]
+		}
+	case "Call":
+		if len(n.Lhs) == 2 {
+			errExpr = n.Lhs[1]
+		}
+	}
+	if errExpr == nil {
+		return
+	}
+	id, ok := errExpr.(*ast.Ident)
+	if !ok {
+		return
+	}
+	if id.Name == "_" {
+		if s.report {
+			s.reportOnce(c.Pos(), "error from transport %s assigned to blank; handle it (retry, MarkDead, or surface a typed error)",
+				renderCall(s.pass.Fset, c, kind))
+		}
+		return
+	}
+	obj := s.pass.TypesInfo.Defs[id]
+	if obj == nil {
+		obj = s.pass.TypesInfo.Uses[id]
+	}
+	if obj == nil {
+		return
+	}
+	out := make(pendingMap, len(s.pending)+1)
+	for k, p := range s.pending {
+		out[k] = p
+	}
+	out[obj] = c.Pos()
+	s.pending = out
+}
+
+// write handles an assignment target: overwriting a pending error
+// before any read drops it.
+func (s *state) write(l ast.Expr) {
+	id, ok := ast.Unparen(l).(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return
+	}
+	obj := s.pass.TypesInfo.Uses[id]
+	if obj == nil {
+		obj = s.pass.TypesInfo.Defs[id]
+	}
+	if obj == nil {
+		return
+	}
+	if pos, ok := s.pending[obj]; ok {
+		if s.report {
+			s.reportOnce(pos, "error from transport call assigned to %s is overwritten before it is checked", id.Name)
+		}
+		out := make(pendingMap, len(s.pending))
+		for k, p := range s.pending {
+			if k != obj {
+				out[k] = p
+			}
+		}
+		s.pending = out
+	}
+}
+
+// reads clears pending state for every error variable the node reads.
+func (s *state) reads(n ast.Node) {
+	if len(s.pending) == 0 || n == nil {
+		return
+	}
+	framework.InspectShallow(n, func(m ast.Node) bool {
+		if m == nil {
+			return true
+		}
+		if id, ok := m.(*ast.Ident); ok {
+			if obj := s.pass.TypesInfo.Uses[id]; obj != nil {
+				if _, ok := s.pending[obj]; ok {
+					out := make(pendingMap, len(s.pending))
+					for k, p := range s.pending {
+						if k != obj {
+							out[k] = p
+						}
+					}
+					s.pending = out
+				}
+			}
+		}
+		return true
+	})
+}
+
+// transportCall reports whether c is a transport-verb call: a method
+// named Send `(int, uint8, []byte) error` or Call `(int, uint8,
+// []byte) ([]byte, error)`.
+func transportCall(info *types.Info, c *ast.CallExpr) (string, bool) {
+	sel, ok := ast.Unparen(c.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	name := sel.Sel.Name
+	if name != "Send" && name != "Call" {
+		return "", false
+	}
+	var obj types.Object
+	if selInfo, ok := info.Selections[sel]; ok {
+		obj = selInfo.Obj()
+	} else {
+		obj = info.Uses[sel.Sel]
+	}
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return "", false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return "", false
+	}
+	p, r := sig.Params(), sig.Results()
+	if p.Len() != 3 ||
+		!isBasic(p.At(0).Type(), types.Int) ||
+		!isBasic(p.At(1).Type(), types.Uint8) ||
+		!isByteSlice(p.At(2).Type()) {
+		return "", false
+	}
+	switch name {
+	case "Send":
+		if r.Len() == 1 && isError(r.At(0).Type()) {
+			return "Send", true
+		}
+	case "Call":
+		if r.Len() == 2 && isByteSlice(r.At(0).Type()) && isError(r.At(1).Type()) {
+			return "Call", true
+		}
+	}
+	return "", false
+}
+
+func isBasic(t types.Type, k types.BasicKind) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Kind() == k
+}
+
+func isByteSlice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	return isBasic(s.Elem(), types.Uint8)
+}
+
+func isError(t types.Type) bool {
+	return t.String() == "error"
+}
+
+func renderCall(fset *token.FileSet, c *ast.CallExpr, kind string) string {
+	var buf bytes.Buffer
+	if err := printer.Fprint(&buf, fset, c.Fun); err != nil {
+		return kind
+	}
+	return buf.String()
+}

@@ -1,0 +1,230 @@
+package framework
+
+// Intraprocedural alias tracking: which local pointer variables
+// definitely alias which addressable objects. The domain is
+// deliberately narrow — a variable participates only while every
+// assignment to it in the function is either `&obj` for one single obj
+// or a copy of another tracked pointer. One conflicting assignment
+// removes the variable (sound for the "must-alias" consumers:
+// atomicmix's atomic-regime propagation, errdrop's value tracking).
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Aliases resolves local pointer variables of one function to the
+// object whose address they hold.
+type Aliases struct {
+	target map[types.Object]types.Object
+	// elem marks pointers that hold the address of an *element* of the
+	// target (`p := &xs[i]` records target xs with elem=true).
+	elem map[types.Object]bool
+	// srcs maps each recorded `&x` expression (the whole UnaryExpr) to
+	// the pointer variable it initializes.
+	srcs map[ast.Expr]types.Object
+}
+
+// Pointers returns the tracked pointer variables.
+func (a *Aliases) Pointers() []types.Object {
+	out := make([]types.Object, 0, len(a.target))
+	for p := range a.target {
+		out = append(out, p)
+	}
+	return out
+}
+
+// Sources maps alias-establishing `&x` expressions to the pointer
+// variable each initializes, so callers can tell alias-establishing
+// address-taking apart from an address escaping elsewhere.
+func (a *Aliases) Sources() map[ast.Expr]types.Object { return a.srcs }
+
+// Elementwise reports whether ptr's address was taken through an index
+// expression (its target is a container whose element, not header, the
+// pointer designates).
+func (a *Aliases) Elementwise(ptr types.Object) bool {
+	if a == nil {
+		return false
+	}
+	seen := map[types.Object]bool{}
+	for ptr != nil && !seen[ptr] {
+		seen[ptr] = true
+		if a.elem[ptr] {
+			return true
+		}
+		next, ok := a.target[ptr]
+		if !ok {
+			return false
+		}
+		ptr = next
+	}
+	return false
+}
+
+// Resolve returns the addressable object ptr must point to, following
+// copy chains, or nil when ptr is not tracked.
+func (a *Aliases) Resolve(ptr types.Object) types.Object {
+	if a == nil {
+		return nil
+	}
+	seen := map[types.Object]bool{}
+	for ptr != nil && !seen[ptr] {
+		seen[ptr] = true
+		next, ok := a.target[ptr]
+		if !ok {
+			return nil
+		}
+		if _, again := a.target[next]; !again {
+			return next
+		}
+		ptr = next
+	}
+	return nil
+}
+
+// ComputeAliases analyzes fn (an *ast.FuncDecl or *ast.FuncLit). Nested
+// function literals are skipped: their captures have their own frames.
+func ComputeAliases(fn ast.Node, info *types.Info) *Aliases {
+	var body *ast.BlockStmt
+	switch fn := fn.(type) {
+	case *ast.FuncDecl:
+		body = fn.Body
+	case *ast.FuncLit:
+		body = fn.Body
+	}
+	a := &Aliases{
+		target: map[types.Object]types.Object{},
+		elem:   map[types.Object]bool{},
+		srcs:   map[ast.Expr]types.Object{},
+	}
+	if body == nil {
+		return a
+	}
+	tainted := map[types.Object]bool{}
+	record := func(lhs ast.Expr, rhs ast.Expr) {
+		id, ok := lhs.(*ast.Ident)
+		if !ok || id.Name == "_" {
+			return
+		}
+		obj := info.Defs[id]
+		if obj == nil {
+			obj = info.Uses[id]
+		}
+		if obj == nil {
+			return
+		}
+		var tgt types.Object
+		var srcExpr ast.Expr
+		viaIndex := false
+		switch rhs := ast.Unparen(rhs).(type) {
+		case *ast.UnaryExpr:
+			if rhs.Op.String() == "&" {
+				tgt, viaIndex = addressableObjElem(info, rhs.X)
+				srcExpr = rhs
+			}
+		case *ast.Ident:
+			// Pointer copy: q := p. Record p itself; Resolve follows it.
+			if src := info.Uses[rhs]; src != nil {
+				if _, isPtr := src.Type().Underlying().(*types.Pointer); isPtr {
+					tgt = src
+				}
+			}
+		}
+		if tgt == nil {
+			tainted[obj] = true
+			delete(a.target, obj)
+			return
+		}
+		if prev, ok := a.target[obj]; tainted[obj] || (ok && prev != tgt) {
+			tainted[obj] = true
+			delete(a.target, obj)
+			return
+		}
+		a.target[obj] = tgt
+		if viaIndex {
+			a.elem[obj] = true
+		}
+		if srcExpr != nil {
+			a.srcs[srcExpr] = obj
+		}
+	}
+	skipLit := fnLitSkipper(fn)
+	ast.Inspect(body, func(n ast.Node) bool {
+		if skipLit(n) {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if len(n.Lhs) == len(n.Rhs) {
+				for i := range n.Lhs {
+					record(n.Lhs[i], n.Rhs[i])
+				}
+			} else {
+				// Multi-value assignment: taint all pointer lhs.
+				for _, l := range n.Lhs {
+					record(l, n.Rhs[0]) // rhs won't match; taints
+				}
+			}
+		case *ast.ValueSpec:
+			for i, name := range n.Names {
+				if i < len(n.Values) {
+					record(name, n.Values[i])
+				}
+			}
+		case *ast.UnaryExpr:
+			// A pointer variable whose own address escapes is untrackable.
+			if n.Op.String() == "&" {
+				if obj := addressableObj(info, n.X); obj != nil {
+					if _, ok := a.target[obj]; ok {
+						tainted[obj] = true
+						delete(a.target, obj)
+					}
+				}
+			}
+		}
+		return true
+	})
+	return a
+}
+
+// addressableObj resolves the object named by an addressable expression
+// (x, x.f, x[i] reduces to x) or nil.
+func addressableObj(info *types.Info, e ast.Expr) types.Object {
+	o, _ := addressableObjElem(info, e)
+	return o
+}
+
+// addressableObjElem additionally reports whether the resolution passed
+// through an index expression (the address is of an element).
+func addressableObjElem(info *types.Info, e ast.Expr) (types.Object, bool) {
+	viaIndex := false
+	for {
+		switch ex := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			if o := info.Uses[ex]; o != nil {
+				return o, viaIndex
+			}
+			return info.Defs[ex], viaIndex
+		case *ast.SelectorExpr:
+			if sel, ok := info.Selections[ex]; ok && sel.Kind() == types.FieldVal {
+				return sel.Obj(), viaIndex
+			}
+			return info.Uses[ex.Sel], viaIndex
+		case *ast.IndexExpr:
+			e = ex.X
+			viaIndex = true
+		default:
+			return nil, viaIndex
+		}
+	}
+}
+
+// fnLitSkipper returns a predicate that reports nested function
+// literals (any FuncLit other than fn itself).
+func fnLitSkipper(fn ast.Node) func(ast.Node) bool {
+	self, _ := fn.(*ast.FuncLit)
+	return func(n ast.Node) bool {
+		lit, ok := n.(*ast.FuncLit)
+		return ok && lit != self
+	}
+}

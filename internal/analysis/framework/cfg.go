@@ -1,0 +1,507 @@
+package framework
+
+// Control-flow graphs for the flow-sensitive analyzers.
+//
+// A CFG is built per function body at statement granularity: each basic
+// block holds a maximal straight-line run of AST nodes (statements, plus
+// the branch-deciding expressions of if/for/switch) in evaluation order.
+// Branching constructs — if/else, the three for forms, range, switch,
+// type switch, select, labeled break/continue, goto — become edges.
+// Function literals are NOT inlined: a `go` or assignment mentioning a
+// FuncLit keeps the literal as an opaque node, and callers build a
+// separate CFG for the literal's body when they care.
+//
+// Deferred calls are collected in CFG.Defers rather than placed on an
+// edge: they run at every function exit, after the body, and analyzers
+// that care (lockheld's deferred Unlock, for instance) handle them
+// explicitly at the Exit block.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+)
+
+// A Block is one basic block. Nodes are executed in order; control then
+// transfers to one of Succs (empty only for Exit and unreachable tails).
+type Block struct {
+	Index int
+	Kind  string // "entry", "exit", "body", "if.then", "for.head", ...
+	Nodes []ast.Node
+	Succs []*Block
+	Preds []*Block
+	// Comm is set on "select.case" blocks: the clause's communication
+	// statement (also present in Nodes). The operation it performs does
+	// not block by itself — the select it belongs to is the blocking
+	// point — so flow analyses treat it as a binding, not an effect.
+	Comm ast.Stmt
+}
+
+// String renders "b3(if.then)" for diagnostics and tests.
+func (b *Block) String() string { return fmt.Sprintf("b%d(%s)", b.Index, b.Kind) }
+
+// A CFG is the control-flow graph of one function body.
+type CFG struct {
+	// Fn is the *ast.FuncDecl or *ast.FuncLit the graph was built from.
+	Fn     ast.Node
+	Entry  *Block
+	Exit   *Block
+	Blocks []*Block
+	// Defers lists every defer statement in the body, in source order.
+	// Deferred calls run at every exit from the function.
+	Defers []*ast.DeferStmt
+}
+
+// NewCFG builds the control-flow graph of fn's body. fn must be an
+// *ast.FuncDecl or *ast.FuncLit; a nil body yields a trivial graph.
+func NewCFG(fn ast.Node) *CFG {
+	var body *ast.BlockStmt
+	switch fn := fn.(type) {
+	case *ast.FuncDecl:
+		body = fn.Body
+	case *ast.FuncLit:
+		body = fn.Body
+	default:
+		panic(fmt.Sprintf("framework.NewCFG: not a function: %T", fn))
+	}
+	b := &cfgBuilder{cfg: &CFG{Fn: fn}}
+	b.cfg.Entry = b.newBlock("entry")
+	b.cfg.Exit = b.newBlock("exit")
+	b.cur = b.cfg.Entry
+	if body != nil {
+		b.stmts(body.List)
+	}
+	b.jump(b.cfg.Exit) // fall off the end of the body
+	b.resolveGotos()
+	for _, blk := range b.cfg.Blocks {
+		for _, s := range blk.Succs {
+			s.Preds = append(s.Preds, blk)
+		}
+	}
+	return b.cfg
+}
+
+// loopFrame is the break/continue target pair of one enclosing loop or
+// switch/select (whose frame has a nil cont).
+type loopFrame struct {
+	label       string
+	brk, cont   *Block
+	isSwitchSel bool
+}
+
+type pendingGoto struct {
+	from  *Block
+	label string
+}
+
+type cfgBuilder struct {
+	cfg    *CFG
+	cur    *Block
+	loops  []loopFrame
+	labels map[string]*Block // label -> block starting at the labeled stmt
+	gotos  []pendingGoto
+	// label pending on the next loop/switch statement (for labeled break).
+	pendingLabel string
+}
+
+func (b *cfgBuilder) newBlock(kind string) *Block {
+	blk := &Block{Index: len(b.cfg.Blocks), Kind: kind}
+	b.cfg.Blocks = append(b.cfg.Blocks, blk)
+	return blk
+}
+
+// jump adds an edge cur->to (unless cur already terminated) and leaves
+// cur untouched.
+func (b *cfgBuilder) jump(to *Block) {
+	if b.cur != nil {
+		b.cur.Succs = append(b.cur.Succs, to)
+	}
+}
+
+// startBlock begins a new current block (reachable only via edges added
+// by the caller).
+func (b *cfgBuilder) startBlock(kind string) *Block {
+	blk := b.newBlock(kind)
+	b.cur = blk
+	return blk
+}
+
+// terminate marks the current path dead (after return/branch): further
+// statements land in an unreachable block.
+func (b *cfgBuilder) terminate() {
+	b.cur = nil
+}
+
+func (b *cfgBuilder) add(n ast.Node) {
+	if b.cur == nil {
+		b.startBlock("unreachable")
+	}
+	b.cur.Nodes = append(b.cur.Nodes, n)
+}
+
+func (b *cfgBuilder) stmts(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+func (b *cfgBuilder) stmt(s ast.Stmt) {
+	takeLabel := func() string { l := b.pendingLabel; b.pendingLabel = ""; return l }
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmts(s.List)
+
+	case *ast.LabeledStmt:
+		// The labeled statement starts a fresh block so gotos can target it.
+		blk := b.newBlock("label." + s.Label.Name)
+		b.jump(blk)
+		b.cur = blk
+		if b.labels == nil {
+			b.labels = map[string]*Block{}
+		}
+		b.labels[s.Label.Name] = blk
+		b.pendingLabel = s.Label.Name
+		b.stmt(s.Stmt)
+		b.pendingLabel = ""
+
+	case *ast.ReturnStmt:
+		b.add(s)
+		b.jump(b.cfg.Exit)
+		b.terminate()
+
+	case *ast.BranchStmt:
+		b.add(s)
+		switch s.Tok {
+		case token.BREAK:
+			if t := b.findFrame(s.Label, false); t != nil {
+				b.jump(t.brk)
+			}
+			b.terminate()
+		case token.CONTINUE:
+			if t := b.findFrame(s.Label, true); t != nil {
+				b.jump(t.cont)
+			}
+			b.terminate()
+		case token.GOTO:
+			if s.Label != nil {
+				b.gotos = append(b.gotos, pendingGoto{from: b.cur, label: s.Label.Name})
+			}
+			b.terminate()
+		case token.FALLTHROUGH:
+			// Handled by the switch builder (edge to the next case block);
+			// recorded as a node so analyzers see it in order.
+		}
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		b.add(s.Cond)
+		condBlk := b.cur
+		then := b.startBlock("if.then")
+		condBlk.Succs = append(condBlk.Succs, then)
+		b.stmts(s.Body.List)
+		thenEnd := b.cur
+		var elseEnd *Block
+		if s.Else != nil {
+			els := b.newBlock("if.else")
+			condBlk.Succs = append(condBlk.Succs, els)
+			b.cur = els
+			b.stmt(s.Else)
+			elseEnd = b.cur
+		}
+		after := b.newBlock("if.after")
+		if thenEnd != nil {
+			thenEnd.Succs = append(thenEnd.Succs, after)
+		}
+		if s.Else != nil {
+			if elseEnd != nil {
+				elseEnd.Succs = append(elseEnd.Succs, after)
+			}
+		} else {
+			condBlk.Succs = append(condBlk.Succs, after)
+		}
+		b.cur = after
+
+	case *ast.ForStmt:
+		label := takeLabel()
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		head := b.newBlock("for.head")
+		b.jump(head)
+		b.cur = head
+		if s.Cond != nil {
+			b.add(s.Cond)
+		}
+		after := b.newBlock("for.after")
+		post := head
+		if s.Post != nil {
+			post = b.newBlock("for.post")
+		}
+		body := b.newBlock("for.body")
+		head.Succs = append(head.Succs, body)
+		if s.Cond != nil {
+			head.Succs = append(head.Succs, after)
+		}
+		b.loops = append(b.loops, loopFrame{label: label, brk: after, cont: post})
+		b.cur = body
+		b.stmts(s.Body.List)
+		b.jump(post)
+		b.loops = b.loops[:len(b.loops)-1]
+		if s.Post != nil {
+			b.cur = post
+			b.stmt(s.Post)
+			b.jump(head)
+		}
+		b.cur = after
+
+	case *ast.RangeStmt:
+		label := takeLabel()
+		// The range operand is evaluated once, before the loop.
+		b.add(s.X)
+		head := b.newBlock("range.head")
+		b.jump(head)
+		// The RangeStmt itself marks the per-iteration element receive
+		// (meaningful for range-over-channel).
+		head.Nodes = append(head.Nodes, s)
+		after := b.newBlock("range.after")
+		body := b.newBlock("range.body")
+		head.Succs = append(head.Succs, body, after)
+		b.loops = append(b.loops, loopFrame{label: label, brk: after, cont: head})
+		b.cur = body
+		b.stmts(s.Body.List)
+		b.jump(head)
+		b.loops = b.loops[:len(b.loops)-1]
+		b.cur = after
+
+	case *ast.SwitchStmt:
+		label := takeLabel()
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		if s.Tag != nil {
+			b.add(s.Tag)
+		}
+		b.switchBody(label, s.Body, func(cl *ast.CaseClause) []ast.Node {
+			nodes := make([]ast.Node, 0, len(cl.List))
+			for _, e := range cl.List {
+				nodes = append(nodes, e)
+			}
+			return nodes
+		})
+
+	case *ast.TypeSwitchStmt:
+		label := takeLabel()
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		b.add(s.Assign)
+		b.switchBody(label, s.Body, func(cl *ast.CaseClause) []ast.Node { return nil })
+
+	case *ast.SelectStmt:
+		label := takeLabel()
+		// The select itself is a node in the deciding block: analyzers
+		// check blocking-ness (default present or not) there.
+		b.add(s)
+		decide := b.cur
+		after := b.newBlock("select.after")
+		b.loops = append(b.loops, loopFrame{label: label, brk: after, isSwitchSel: true})
+		for _, cl := range s.Body.List {
+			cc, ok := cl.(*ast.CommClause)
+			if !ok {
+				continue
+			}
+			blk := b.newBlock("select.case")
+			decide.Succs = append(decide.Succs, blk)
+			b.cur = blk
+			if cc.Comm != nil {
+				blk.Comm = cc.Comm
+				b.stmt(cc.Comm)
+			}
+			b.stmts(cc.Body)
+			b.jump(after)
+		}
+		b.loops = b.loops[:len(b.loops)-1]
+		b.cur = after
+
+	case *ast.GoStmt:
+		// The spawned body runs concurrently; only the call's operands are
+		// evaluated here. The node carries the whole statement so analyzers
+		// can find spawn sites.
+		b.add(s)
+
+	case *ast.DeferStmt:
+		b.cfg.Defers = append(b.cfg.Defers, s)
+		b.add(s)
+
+	case *ast.ExprStmt:
+		b.add(s)
+		if isPanic(s.X) {
+			b.jump(b.cfg.Exit)
+			b.terminate()
+		}
+
+	case nil:
+		// e.g. an empty else
+
+	default:
+		// Assign, Decl, IncDec, Send, Empty, ... — straight-line nodes.
+		b.add(s)
+	}
+}
+
+// switchBody builds the case blocks of a switch/type switch, honoring
+// fallthrough and an implicit "no case matched" edge when there is no
+// default clause. Clause expressions are modeled as an evaluation chain:
+// a switch compares (or, tagless, evaluates) its case expressions in
+// source order until one matches, so every path into a later clause — and
+// into default — has evaluated all earlier clause expressions. Losing
+// that would make "default means every condition was inspected" invisible
+// to dataflow analyzers.
+func (b *cfgBuilder) switchBody(label string, body *ast.BlockStmt, caseNodes func(*ast.CaseClause) []ast.Node) {
+	decide := b.cur
+	if decide == nil {
+		decide = b.startBlock("unreachable")
+	}
+	after := b.newBlock("switch.after")
+	b.loops = append(b.loops, loopFrame{label: label, brk: after, isSwitchSel: true})
+	var clauses []*ast.CaseClause
+	for _, cl := range body.List {
+		if cc, ok := cl.(*ast.CaseClause); ok {
+			clauses = append(clauses, cc)
+		}
+	}
+	// Body blocks in source order (fallthrough targets the next body,
+	// default included).
+	blocks := make([]*Block, len(clauses))
+	defaultIdx := -1
+	for i, cc := range clauses {
+		kind := "case"
+		if cc.List == nil {
+			kind = "default"
+			defaultIdx = i
+		}
+		blocks[i] = b.newBlock("switch." + kind)
+	}
+	// Condition chain: decide -> cond1 -> cond2 -> ... falling off to the
+	// default body (or after, with no default). Each cond block holds one
+	// clause's expressions and branches to that clause's body.
+	fail := after
+	if defaultIdx >= 0 {
+		fail = blocks[defaultIdx]
+	}
+	chain := decide
+	for i, cc := range clauses {
+		if cc.List == nil {
+			continue
+		}
+		cond := b.newBlock("switch.cond")
+		chain.Succs = append(chain.Succs, cond)
+		b.cur = cond
+		for _, n := range caseNodes(cc) {
+			b.add(n)
+		}
+		cond.Succs = append(cond.Succs, blocks[i])
+		chain = cond
+	}
+	chain.Succs = append(chain.Succs, fail)
+	for i, cc := range clauses {
+		b.cur = blocks[i]
+		fallsThrough := false
+		for _, st := range cc.Body {
+			if br, ok := st.(*ast.BranchStmt); ok && br.Tok == token.FALLTHROUGH {
+				fallsThrough = true
+			}
+			b.stmt(st)
+		}
+		if fallsThrough && i+1 < len(blocks) {
+			b.jump(blocks[i+1])
+			b.terminate()
+		} else {
+			b.jump(after)
+		}
+	}
+	b.loops = b.loops[:len(b.loops)-1]
+	b.cur = after
+}
+
+// findFrame resolves the target of a break (wantCont=false) or continue
+// (wantCont=true), optionally labeled.
+func (b *cfgBuilder) findFrame(label *ast.Ident, wantCont bool) *loopFrame {
+	for i := len(b.loops) - 1; i >= 0; i-- {
+		f := &b.loops[i]
+		if wantCont && f.isSwitchSel {
+			continue // continue skips switch/select frames
+		}
+		if label != nil && f.label != label.Name {
+			continue
+		}
+		return f
+	}
+	return nil
+}
+
+func (b *cfgBuilder) resolveGotos() {
+	for _, g := range b.gotos {
+		if g.from == nil {
+			continue
+		}
+		if t, ok := b.labels[g.label]; ok {
+			g.from.Succs = append(g.from.Succs, t)
+		}
+	}
+}
+
+// InspectShallow walks a block node like ast.Inspect, but confined to
+// the code that actually executes in that block:
+//
+//   - a *ast.RangeStmt node (the loop-head marker) contributes only its
+//     Key/Value/X — the body statements live in their own blocks;
+//   - a *ast.SelectStmt node (the decision marker) contributes nothing —
+//     comm clauses and case bodies live in their own blocks;
+//   - function literal bodies are never entered — they run elsewhere and
+//     get their own CFGs.
+//
+// Transfer functions should use this instead of ast.Inspect when
+// walking Block.Nodes.
+func InspectShallow(n ast.Node, f func(ast.Node) bool) {
+	ast.Inspect(n, func(m ast.Node) bool {
+		if m == nil {
+			return true
+		}
+		if _, ok := m.(*ast.FuncLit); ok {
+			f(m)
+			return false
+		}
+		if !f(m) {
+			return false
+		}
+		switch r := m.(type) {
+		case *ast.RangeStmt:
+			if r == n {
+				for _, sub := range []ast.Node{r.Key, r.Value, r.X} {
+					if sub != nil {
+						InspectShallow(sub, f)
+					}
+				}
+				return false
+			}
+		case *ast.SelectStmt:
+			if r == n {
+				return false
+			}
+		}
+		return true
+	})
+}
+
+// isPanic reports a direct call to the predeclared panic.
+func isPanic(e ast.Expr) bool {
+	c, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := c.Fun.(*ast.Ident)
+	return ok && id.Name == "panic"
+}

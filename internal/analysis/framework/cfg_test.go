@@ -1,0 +1,408 @@
+package framework
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// buildCFG parses src (a file body) and builds the CFG of its first
+// function declaration.
+func buildCFG(t *testing.T, src string) *CFG {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "x.go", "package x\n"+src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	for _, d := range f.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok {
+			return NewCFG(fd)
+		}
+	}
+	t.Fatal("no func decl")
+	return nil
+}
+
+// reachable returns the blocks reachable from the entry.
+func reachable(c *CFG) map[*Block]bool {
+	seen := map[*Block]bool{}
+	var visit func(*Block)
+	visit = func(b *Block) {
+		if seen[b] {
+			return
+		}
+		seen[b] = true
+		for _, s := range b.Succs {
+			visit(s)
+		}
+	}
+	visit(c.Entry)
+	return seen
+}
+
+// blockOfCall finds the reachable block containing a call to name.
+func blockOfCall(c *CFG, name string) *Block {
+	for b := range reachable(c) {
+		for _, n := range b.Nodes {
+			found := false
+			InspectShallow(n, func(m ast.Node) bool {
+				if id, ok := m.(*ast.Ident); ok && id.Name == name {
+					found = true
+				}
+				return !found
+			})
+			if found {
+				return b
+			}
+		}
+	}
+	return nil
+}
+
+func TestCFGIfElse(t *testing.T) {
+	c := buildCFG(t, `
+func f(c bool) {
+	before()
+	if c {
+		then()
+	} else {
+		els()
+	}
+	after()
+}
+func before(); func then(); func els(); func after()`)
+	r := reachable(c)
+	for _, name := range []string{"before", "then", "els", "after"} {
+		if blockOfCall(c, name) == nil {
+			t.Errorf("call %s not in any reachable block", name)
+		}
+	}
+	if !r[c.Exit] {
+		t.Error("exit unreachable")
+	}
+	// then and els must be in different blocks, both flowing to after's block.
+	tb, eb, ab := blockOfCall(c, "then"), blockOfCall(c, "els"), blockOfCall(c, "after")
+	if tb == eb {
+		t.Error("then and else share a block")
+	}
+	hasSucc := func(b, want *Block) bool {
+		for _, s := range b.Succs {
+			if s == want {
+				return true
+			}
+		}
+		return false
+	}
+	if !hasSucc(tb, ab) || !hasSucc(eb, ab) {
+		t.Error("branches do not rejoin at after")
+	}
+}
+
+func TestCFGIfWithoutElseHasSkipEdge(t *testing.T) {
+	c := buildCFG(t, `
+func f(c bool) {
+	if c {
+		then()
+	}
+	after()
+}
+func then(); func after()`)
+	tb, ab := blockOfCall(c, "then"), blockOfCall(c, "after")
+	// after must be reachable without passing through then: some
+	// predecessor of after's block is not then's block.
+	skip := false
+	for _, p := range ab.Preds {
+		if p != tb {
+			skip = true
+		}
+	}
+	if !skip {
+		t.Error("no skip edge around the then branch")
+	}
+}
+
+func TestCFGInfiniteForDoesNotFallThrough(t *testing.T) {
+	c := buildCFG(t, `
+func f() {
+	for {
+		body()
+	}
+	after()
+}
+func body(); func after()`)
+	if blockOfCall(c, "body") == nil {
+		t.Fatal("loop body unreachable")
+	}
+	if b := blockOfCall(c, "after"); b != nil {
+		t.Errorf("code after `for {}` should be unreachable, found in %v", b)
+	}
+	if reachable(c)[c.Exit] {
+		t.Error("exit reachable despite infinite loop with no break")
+	}
+}
+
+func TestCFGForBreakReachesExit(t *testing.T) {
+	c := buildCFG(t, `
+func f(c bool) {
+	for {
+		if c {
+			break
+		}
+		body()
+	}
+	after()
+}
+func body(); func after()`)
+	if blockOfCall(c, "after") == nil {
+		t.Error("break does not reach the after-loop block")
+	}
+	if !reachable(c)[c.Exit] {
+		t.Error("exit unreachable")
+	}
+}
+
+func TestCFGLabeledBreak(t *testing.T) {
+	c := buildCFG(t, `
+func f(xs []int) {
+outer:
+	for {
+		for _, x := range xs {
+			if x == 0 {
+				break outer
+			}
+			inner()
+		}
+	}
+	after()
+}
+func inner(); func after()`)
+	if blockOfCall(c, "after") == nil {
+		t.Error("labeled break does not escape the outer loop")
+	}
+}
+
+func TestCFGRangeLoopsBack(t *testing.T) {
+	c := buildCFG(t, `
+func f(ch chan int) {
+	for v := range ch {
+		body(v)
+	}
+	after()
+}
+func body(int); func after()`)
+	bb := blockOfCall(c, "body")
+	if bb == nil {
+		t.Fatal("range body unreachable")
+	}
+	// The body must loop back to a head block containing the RangeStmt.
+	var head *Block
+	for _, s := range bb.Succs {
+		for _, n := range s.Nodes {
+			if _, ok := n.(*ast.RangeStmt); ok {
+				head = s
+			}
+		}
+	}
+	if head == nil {
+		t.Error("range body does not loop back to the range head")
+	}
+	if blockOfCall(c, "after") == nil {
+		t.Error("range exit edge missing")
+	}
+}
+
+func TestCFGSwitchFallthroughAndDefault(t *testing.T) {
+	c := buildCFG(t, `
+func f(x int) {
+	switch x {
+	case 1:
+		one()
+		fallthrough
+	case 2:
+		two()
+	default:
+		def()
+	}
+	after()
+}
+func one(); func two(); func def(); func after()`)
+	ob, tb := blockOfCall(c, "one"), blockOfCall(c, "two")
+	fell := false
+	for _, s := range ob.Succs {
+		if s == tb {
+			fell = true
+		}
+	}
+	if !fell {
+		t.Error("fallthrough edge missing")
+	}
+	for _, name := range []string{"two", "def", "after"} {
+		if blockOfCall(c, name) == nil {
+			t.Errorf("%s unreachable", name)
+		}
+	}
+}
+
+func TestCFGSwitchNoDefaultSkips(t *testing.T) {
+	c := buildCFG(t, `
+func f(x int) {
+	switch x {
+	case 1:
+		one()
+	}
+	after()
+}
+func one(); func after()`)
+	ab := blockOfCall(c, "after")
+	skip := false
+	for _, p := range ab.Preds {
+		if p != blockOfCall(c, "one") {
+			skip = true
+		}
+	}
+	if !skip {
+		t.Error("switch without default lacks a no-match edge")
+	}
+}
+
+func TestCFGSelectCases(t *testing.T) {
+	c := buildCFG(t, `
+func f(a, b chan int) {
+	for {
+		select {
+		case <-a:
+			return
+		case v := <-b:
+			handle(v)
+		}
+	}
+}
+func handle(int)`)
+	if blockOfCall(c, "handle") == nil {
+		t.Fatal("select case body unreachable")
+	}
+	if !reachable(c)[c.Exit] {
+		t.Error("return inside select does not reach exit")
+	}
+	// The select statement itself must be a node in a deciding block.
+	found := false
+	for b := range reachable(c) {
+		for _, n := range b.Nodes {
+			if _, ok := n.(*ast.SelectStmt); ok {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Error("SelectStmt node missing from CFG")
+	}
+}
+
+func TestCFGGoto(t *testing.T) {
+	c := buildCFG(t, `
+func f(c bool) {
+	if c {
+		goto done
+	}
+	work()
+done:
+	after()
+}
+func work(); func after()`)
+	if blockOfCall(c, "after") == nil {
+		t.Fatal("goto target unreachable")
+	}
+	// Both the goto path and the fallthrough path must reach `after`.
+	ab := blockOfCall(c, "after")
+	if len(ab.Preds) < 2 {
+		t.Errorf("goto target has %d preds, want >= 2", len(ab.Preds))
+	}
+}
+
+func TestCFGDeferCollectedAndPanicTerminates(t *testing.T) {
+	c := buildCFG(t, `
+func f() {
+	defer cleanup()
+	if bad() {
+		panic("boom")
+	}
+	work()
+}
+func cleanup(); func bad() bool; func work()`)
+	if len(c.Defers) != 1 {
+		t.Fatalf("got %d defers, want 1", len(c.Defers))
+	}
+	// panic must edge to exit; work still reachable on the other path.
+	if blockOfCall(c, "work") == nil {
+		t.Error("work unreachable")
+	}
+	pb := blockOfCall(c, "panic")
+	toExit := false
+	for _, s := range pb.Succs {
+		if s == c.Exit {
+			toExit = true
+		}
+	}
+	if !toExit {
+		t.Error("panic block does not edge to exit")
+	}
+	for _, s := range pb.Succs {
+		if s != c.Exit {
+			t.Error("panic block falls through")
+		}
+	}
+}
+
+func TestCFGContinueSkipsRest(t *testing.T) {
+	c := buildCFG(t, `
+func f(xs []int) {
+	for i := 0; i < len(xs); i++ {
+		if xs[i] == 0 {
+			continue
+		}
+		body()
+	}
+}
+func body()`)
+	if blockOfCall(c, "body") == nil {
+		t.Error("loop body unreachable past continue")
+	}
+	if !reachable(c)[c.Exit] {
+		t.Error("exit unreachable")
+	}
+}
+
+func TestCFGFuncLit(t *testing.T) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "x.go", `package x
+var g = func() {
+	for {
+		work()
+	}
+}
+func work()`, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lit *ast.FuncLit
+	ast.Inspect(f, func(n ast.Node) bool {
+		if l, ok := n.(*ast.FuncLit); ok {
+			lit = l
+		}
+		return true
+	})
+	c := NewCFG(lit)
+	if reachable(c)[c.Exit] {
+		t.Error("infinite funclit loop reaches exit")
+	}
+}
+
+func TestCFGStrings(t *testing.T) {
+	c := buildCFG(t, `func f() {}`)
+	if !strings.Contains(c.Entry.String(), "entry") {
+		t.Errorf("entry block renders as %q", c.Entry.String())
+	}
+}

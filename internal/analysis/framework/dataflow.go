@@ -1,0 +1,104 @@
+package framework
+
+// Worklist-based abstract interpretation over a CFG.
+//
+// An analyzer supplies a Lattice (the fact domain) and a Transfer
+// function (the per-block semantics); the solver iterates to a fixed
+// point. Facts flow forward (entry -> exit) or backward. Join is the
+// may-union for most of our analyzers (lockheld: "may be held on some
+// path"), but the contract only requires a join-semilattice:
+//
+//   - Bottom() is the identity of Join and the initial fact everywhere.
+//   - Join(a, b) must be pure: it returns the least upper bound without
+//     mutating either argument.
+//   - Equal(a, b) decides convergence; it must be reflexive and
+//     consistent with Join (Equal(Join(a,b), a) iff b ⊑ a).
+//
+// Transfer must likewise not mutate its input fact; it returns the fact
+// holding after the block's Nodes execute in order.
+
+// Fact is an analyzer-defined abstract value. Treat facts as immutable:
+// the solver shares them freely across blocks.
+type Fact any
+
+// Lattice defines the fact domain of one dataflow problem.
+type Lattice interface {
+	Bottom() Fact
+	Join(a, b Fact) Fact
+	Equal(a, b Fact) bool
+}
+
+// Transfer computes the fact after block b given the fact before it
+// (or, for backward problems, the fact before given the fact after).
+type Transfer func(b *Block, in Fact) Fact
+
+// Solution holds the per-block fixed-point facts. For a forward problem
+// In[b] holds on entry to b and Out[b] on exit; a backward problem
+// swaps the roles (In[b] is the fact after b, Out[b] before it).
+type Solution struct {
+	In, Out map[*Block]Fact
+}
+
+// Forward solves a forward dataflow problem: entry is the fact at the
+// function's Entry block; facts propagate along Succs edges.
+func (c *CFG) Forward(lat Lattice, entry Fact, tf Transfer) *Solution {
+	return c.solve(lat, entry, tf, c.Entry,
+		func(b *Block) []*Block { return b.Preds },
+		func(b *Block) []*Block { return b.Succs })
+}
+
+// Backward solves a backward dataflow problem: exit is the fact at the
+// function's Exit block; facts propagate along Preds edges.
+func (c *CFG) Backward(lat Lattice, exit Fact, tf Transfer) *Solution {
+	return c.solve(lat, exit, tf, c.Exit,
+		func(b *Block) []*Block { return b.Succs },
+		func(b *Block) []*Block { return b.Preds })
+}
+
+func (c *CFG) solve(lat Lattice, boundary Fact, tf Transfer, start *Block, ins, outs func(*Block) []*Block) *Solution {
+	sol := &Solution{
+		In:  make(map[*Block]Fact, len(c.Blocks)),
+		Out: make(map[*Block]Fact, len(c.Blocks)),
+	}
+	for _, b := range c.Blocks {
+		sol.In[b] = lat.Bottom()
+		sol.Out[b] = lat.Bottom()
+	}
+	sol.In[start] = boundary
+
+	// Simple FIFO worklist with an on-queue set; CFGs here are small
+	// (one function body), so ordering sophistication buys nothing.
+	work := make([]*Block, 0, len(c.Blocks))
+	queued := make(map[*Block]bool, len(c.Blocks))
+	push := func(b *Block) {
+		if !queued[b] {
+			queued[b] = true
+			work = append(work, b)
+		}
+	}
+	for _, b := range c.Blocks {
+		push(b)
+	}
+	for len(work) > 0 {
+		b := work[0]
+		work = work[1:]
+		queued[b] = false
+
+		in := sol.In[b]
+		if b != start {
+			in = lat.Bottom()
+			for _, p := range ins(b) {
+				in = lat.Join(in, sol.Out[p])
+			}
+			sol.In[b] = in
+		}
+		out := tf(b, in)
+		if !lat.Equal(out, sol.Out[b]) {
+			sol.Out[b] = out
+			for _, s := range outs(b) {
+				push(s)
+			}
+		}
+	}
+	return sol
+}

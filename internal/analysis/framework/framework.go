@@ -29,12 +29,41 @@ import (
 	"strings"
 )
 
+// Severity ranks a finding. Any finding still fails the vet gate; the
+// severity is reporting metadata carried into the JSON and SARIF
+// renderings so CI can distinguish invariant violations from hygiene.
+type Severity int
+
+const (
+	// SevError marks a violated runtime invariant (protocol asymmetry,
+	// potential deadlock, torn atomics).
+	SevError Severity = iota
+	// SevWarning marks a probable defect that needs human judgment
+	// (leak-prone goroutine, dropped transport error).
+	SevWarning
+	// SevInfo marks hygiene findings (naming, suppression format).
+	SevInfo
+)
+
+func (s Severity) String() string {
+	switch s {
+	case SevError:
+		return "error"
+	case SevWarning:
+		return "warning"
+	default:
+		return "info"
+	}
+}
+
 // An Analyzer describes one static check.
 type Analyzer struct {
 	// Name identifies the analyzer in output and in //dpx10:allow comments.
 	Name string
 	// Doc is a one-paragraph description of what the analyzer enforces.
 	Doc string
+	// Severity classifies the analyzer's findings (default SevError).
+	Severity Severity
 	// Run analyzes one package. Exactly one of Run and RunGlobal is set.
 	Run func(*Pass) error
 	// RunGlobal analyzes the whole loaded package set at once; used by
@@ -50,6 +79,7 @@ type Diagnostic struct {
 	Analyzer *Analyzer
 	Pos      token.Pos
 	Message  string
+	Severity Severity
 }
 
 // A Package is one loaded, type-checked package.
@@ -86,6 +116,9 @@ type Pass struct {
 	Files     []*ast.File
 	Pkg       *types.Package
 	TypesInfo *types.Info
+	// Prog shares derived whole-program facts (CFGs, call graph) across
+	// all analyzers of one driver invocation.
+	Prog *Program
 	// InTestFile reports whether pos lies in a _test.go file.
 	InTestFile func(pos token.Pos) bool
 
@@ -94,7 +127,7 @@ type Pass struct {
 
 // Reportf records one diagnostic.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
-	p.report(Diagnostic{Analyzer: p.Analyzer, Pos: pos, Message: fmt.Sprintf(format, args...)})
+	p.report(Diagnostic{Analyzer: p.Analyzer, Pos: pos, Message: fmt.Sprintf(format, args...), Severity: p.Analyzer.Severity})
 }
 
 // A GlobalPass carries a global analyzer's view of every loaded package.
@@ -102,13 +135,78 @@ type GlobalPass struct {
 	Analyzer *Analyzer
 	Fset     *token.FileSet
 	Packages []*Package
+	// Prog shares derived whole-program facts (CFGs, call graph) across
+	// all analyzers of one driver invocation.
+	Prog *Program
 
 	report func(Diagnostic)
 }
 
 // Reportf records one diagnostic.
 func (p *GlobalPass) Reportf(pos token.Pos, format string, args ...any) {
-	p.report(Diagnostic{Analyzer: p.Analyzer, Pos: pos, Message: fmt.Sprintf(format, args...)})
+	p.report(Diagnostic{Analyzer: p.Analyzer, Pos: pos, Message: fmt.Sprintf(format, args...), Severity: p.Analyzer.Severity})
+}
+
+// A Program memoizes facts derived from the loaded package set — CFGs
+// and the call graph — so each is computed once per driver invocation
+// no matter how many analyzers consume it.
+type Program struct {
+	Fset *token.FileSet
+	Pkgs []*Package
+
+	cfgs  map[ast.Node]*CFG
+	cg    *CallGraph
+	facts map[string]any
+}
+
+// Fact returns the cached artifact under key, computing and memoizing
+// it on first use. Analyzers use this to share expensive derived facts
+// (call-graph summaries) across packages and with each other; analyzers
+// run sequentially, so no locking is needed.
+func (p *Program) Fact(key string, compute func() any) any {
+	if v, ok := p.facts[key]; ok {
+		return v
+	}
+	if p.facts == nil {
+		p.facts = map[string]any{}
+	}
+	v := compute()
+	p.facts[key] = v
+	return v
+}
+
+// NewProgram wraps an already-loaded package set.
+func NewProgram(fset *token.FileSet, pkgs []*Package) *Program {
+	return &Program{Fset: fset, Pkgs: pkgs, cfgs: make(map[ast.Node]*CFG)}
+}
+
+// CFG returns the memoized control-flow graph of fn (an *ast.FuncDecl
+// or *ast.FuncLit).
+func (p *Program) CFG(fn ast.Node) *CFG {
+	if c, ok := p.cfgs[fn]; ok {
+		return c
+	}
+	c := NewCFG(fn)
+	p.cfgs[fn] = c
+	return c
+}
+
+// CallGraph returns the memoized whole-program call graph.
+func (p *Program) CallGraph() *CallGraph {
+	if p.cg == nil {
+		p.cg = buildCallGraph(p.Pkgs)
+	}
+	return p.cg
+}
+
+// PackageOf returns the loaded package containing pos, or nil.
+func (p *Program) PackageOf(pos token.Pos) *Package {
+	for _, pkg := range p.Pkgs {
+		if pkg.FileOf(pos) != nil {
+			return pkg
+		}
+	}
+	return nil
 }
 
 // Run executes the analyzers over the loaded packages and returns every
@@ -116,9 +214,10 @@ func (p *GlobalPass) Reportf(pos token.Pos, format string, args ...any) {
 func Run(fset *token.FileSet, pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 	var diags []Diagnostic
 	report := func(d Diagnostic) { diags = append(diags, d) }
+	prog := NewProgram(fset, pkgs)
 	for _, a := range analyzers {
 		if a.Global() {
-			gp := &GlobalPass{Analyzer: a, Fset: fset, Packages: pkgs, report: report}
+			gp := &GlobalPass{Analyzer: a, Fset: fset, Packages: pkgs, Prog: prog, report: report}
 			if err := a.RunGlobal(gp); err != nil {
 				return nil, fmt.Errorf("%s: %w", a.Name, err)
 			}
@@ -131,6 +230,7 @@ func Run(fset *token.FileSet, pkgs []*Package, analyzers []*Analyzer) ([]Diagnos
 				Files:      pkg.Files,
 				Pkg:        pkg.Types,
 				TypesInfo:  pkg.TypesInfo,
+				Prog:       prog,
 				InTestFile: testFilePredicate(fset, pkg),
 				report:     report,
 			}
@@ -186,24 +286,46 @@ func Suppressed(fset *token.FileSet, pkgs []*Package, d Diagnostic) bool {
 	return false
 }
 
-// parseAllow extracts the analyzer names from one //dpx10:allow comment.
-func parseAllow(text string) ([]string, bool) {
+// An AllowComment is one parsed //dpx10:allow suppression.
+type AllowComment struct {
+	// Names are the comma-separated analyzer names of the first field.
+	Names []string
+	// Rationale is the free text after the names; allowlint rejects
+	// suppressions that omit it.
+	Rationale string
+}
+
+// ParseAllowComment reports whether text is a //dpx10:allow comment and,
+// if so, returns its parts. Malformed suppressions (no names, no
+// rationale) still parse with ok=true so allowlint can flag them;
+// Suppressed itself only honors well-formed ones.
+func ParseAllowComment(text string) (AllowComment, bool) {
 	if !strings.HasPrefix(text, allowMarker) {
-		return nil, false
+		return AllowComment{}, false
 	}
 	rest := strings.TrimPrefix(text, allowMarker)
 	if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
-		return nil, false // e.g. //dpx10:allowance
+		return AllowComment{}, false // e.g. //dpx10:allowance
 	}
 	fields := strings.Fields(rest)
 	if len(fields) == 0 {
-		return nil, false
+		return AllowComment{}, true // bare marker: allowlint's problem
 	}
-	var names []string
+	var ac AllowComment
 	for _, n := range strings.Split(fields[0], ",") {
 		if n = strings.TrimSpace(n); n != "" {
-			names = append(names, n)
+			ac.Names = append(ac.Names, n)
 		}
 	}
-	return names, len(names) > 0
+	ac.Rationale = strings.Join(fields[1:], " ")
+	return ac, true
+}
+
+// parseAllow extracts the analyzer names from one //dpx10:allow comment.
+func parseAllow(text string) ([]string, bool) {
+	ac, ok := ParseAllowComment(text)
+	if !ok || len(ac.Names) == 0 {
+		return nil, false
+	}
+	return ac.Names, true
 }

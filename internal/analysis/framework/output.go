@@ -1,0 +1,189 @@
+package framework
+
+// Machine-readable renderings of a diagnostic set: a flat JSON list for
+// scripting (`dpx10-vet -json`) and SARIF 2.1.0 for GitHub code
+// scanning (`dpx10-vet -sarif`). Both operate on Findings, a
+// position-resolved, path-relativized snapshot of []Diagnostic, so they
+// are testable without a FileSet.
+
+import (
+	"encoding/json"
+	"go/token"
+	"io"
+	"path/filepath"
+	"strings"
+)
+
+// A Finding is one diagnostic with its position resolved.
+type Finding struct {
+	Analyzer string `json:"analyzer"`
+	Severity string `json:"severity"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Message  string `json:"message"`
+}
+
+// Findings resolves diagnostics against fset. File paths are made
+// relative to root (when possible) and slash-separated, so output is
+// stable across checkouts.
+func Findings(fset *token.FileSet, root string, diags []Diagnostic) []Finding {
+	out := make([]Finding, 0, len(diags))
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		file := pos.Filename
+		if root != "" {
+			if rel, err := filepath.Rel(root, file); err == nil && !strings.HasPrefix(rel, "..") {
+				file = rel
+			}
+		}
+		out = append(out, Finding{
+			Analyzer: d.Analyzer.Name,
+			Severity: d.Severity.String(),
+			File:     filepath.ToSlash(file),
+			Line:     pos.Line,
+			Column:   pos.Column,
+			Message:  d.Message,
+		})
+	}
+	return out
+}
+
+// WriteJSON renders findings as an indented JSON array (never null).
+func WriteJSON(w io.Writer, findings []Finding) error {
+	if findings == nil {
+		findings = []Finding{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(findings)
+}
+
+// SARIF 2.1.0 skeleton — just the fields GitHub code scanning consumes.
+
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name           string      `json:"name"`
+	InformationURI string      `json:"informationUri,omitempty"`
+	Rules          []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string            `json:"id"`
+	ShortDescription sarifMessage      `json:"shortDescription"`
+	DefaultConfig    sarifRuleDefaults `json:"defaultConfiguration"`
+}
+
+type sarifRuleDefaults struct {
+	Level string `json:"level"`
+}
+
+type sarifMessage struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	RuleIndex int             `json:"ruleIndex"`
+	Level     string          `json:"level"`
+	Message   sarifMessage    `json:"message"`
+	Locations []sarifLocation `json:"locations"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysicalLocation `json:"physicalLocation"`
+}
+
+type sarifPhysicalLocation struct {
+	ArtifactLocation sarifArtifactLocation `json:"artifactLocation"`
+	Region           sarifRegion           `json:"region"`
+}
+
+type sarifArtifactLocation struct {
+	URI       string `json:"uri"`
+	URIBaseID string `json:"uriBaseId,omitempty"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn,omitempty"`
+}
+
+// sarifLevel maps our severities onto SARIF's.
+func sarifLevel(severity string) string {
+	switch severity {
+	case "error":
+		return "error"
+	case "warning":
+		return "warning"
+	default:
+		return "note"
+	}
+}
+
+// WriteSARIF renders findings as a SARIF 2.1.0 log. analyzers supplies
+// the rule metadata; every analyzer is emitted as a rule even when it
+// produced no findings, so code scanning shows the full rule set.
+func WriteSARIF(w io.Writer, analyzers []*Analyzer, findings []Finding) error {
+	rules := make([]sarifRule, 0, len(analyzers))
+	ruleIndex := make(map[string]int, len(analyzers))
+	for i, a := range analyzers {
+		doc := a.Doc
+		if idx := strings.IndexByte(doc, '\n'); idx >= 0 {
+			doc = doc[:idx]
+		}
+		rules = append(rules, sarifRule{
+			ID:               a.Name,
+			ShortDescription: sarifMessage{Text: strings.TrimSpace(doc)},
+			DefaultConfig:    sarifRuleDefaults{Level: sarifLevel(a.Severity.String())},
+		})
+		ruleIndex[a.Name] = i
+	}
+	results := make([]sarifResult, 0, len(findings))
+	for _, f := range findings {
+		idx, ok := ruleIndex[f.Analyzer]
+		if !ok {
+			idx = -1
+		}
+		results = append(results, sarifResult{
+			RuleID:    f.Analyzer,
+			RuleIndex: idx,
+			Level:     sarifLevel(f.Severity),
+			Message:   sarifMessage{Text: f.Message},
+			Locations: []sarifLocation{{
+				PhysicalLocation: sarifPhysicalLocation{
+					ArtifactLocation: sarifArtifactLocation{
+						URI:       filepath.ToSlash(f.File),
+						URIBaseID: "%SRCROOT%",
+					},
+					Region: sarifRegion{StartLine: f.Line, StartColumn: f.Column},
+				},
+			}},
+		})
+	}
+	log := sarifLog{
+		Schema:  "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json",
+		Version: "2.1.0",
+		Runs: []sarifRun{{
+			Tool:    sarifTool{Driver: sarifDriver{Name: "dpx10-vet", Rules: rules}},
+			Results: results,
+		}},
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(log)
+}

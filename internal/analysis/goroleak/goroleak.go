@@ -1,0 +1,211 @@
+// Package goroleak reports goroutines that can never exit: spawn sites
+// whose body can enter a control-flow region from which no return is
+// reachable — an endless `for`/`for-select` with no stop-channel case,
+// no error return, and no break.
+//
+// This is the static complement to internal/leakcheck, which catches the
+// same bug dynamically at TestMain teardown. Every long-lived goroutine
+// in the runtime (place workers, aggregator flusher, failure detectors,
+// TCP accept/read loops, the local fabric dispatcher) must observe a
+// shutdown signal: a quit/stop channel select case that returns, a
+// range over a channel the owner closes, or an error return from an
+// operation that fails once the owner closes the underlying resource.
+//
+// The analysis runs on the control-flow graph of the spawned body. A
+// spawn is flagged when some reachable basic block cannot reach the
+// function's exit. The check is interprocedural: a call to a function
+// that itself can never return (its CFG cannot reach its exit, under
+// the same rule, to a fixed point) seals the path at the call site, so
+// `go s.loop()` is flagged when loop spins forever, no matter how many
+// helpers deep. Dynamic calls (func values, interface methods) resolve
+// to no body and are skipped, as are spawns in _test.go files —
+// internal/leakcheck owns those.
+package goroleak
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"github.com/dpx10/dpx10/internal/analysis/framework"
+)
+
+var Analyzer = &framework.Analyzer{
+	Name:     "goroleak",
+	Doc:      "report goroutines whose body can enter a loop that no return, break, or stop-channel exit can leave",
+	Severity: framework.SevWarning,
+	Run:      run,
+}
+
+func run(pass *framework.Pass) error {
+	noReturn := noReturnSummaries(pass.Prog)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok || pass.InTestFile(g.Pos()) {
+				return true
+			}
+			var body ast.Node
+			switch fun := ast.Unparen(g.Call.Fun).(type) {
+			case *ast.FuncLit:
+				body = fun
+			default:
+				callee := framework.StaticCallee(pass.TypesInfo, g.Call)
+				if callee == nil {
+					return true // dynamic spawn: nothing to analyze
+				}
+				node := pass.Prog.CallGraph().Node(callee)
+				if node == nil {
+					return true // body not in the loaded packages
+				}
+				body = node.Decl
+			}
+			cfg := pass.Prog.CFG(body)
+			info := infoFor(pass, body)
+			if pos, leaks := trappedRegion(cfg, info, noReturn); leaks {
+				if !pos.IsValid() {
+					pos = g.Pos()
+				}
+				pass.Reportf(g.Pos(), "goroutine can never exit: no path from the loop at line %d reaches a return; add a stop-channel/context case",
+					pass.Fset.Position(pos).Line)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// infoFor returns the types.Info of the package declaring body (the
+// spawned callee may live in another loaded package).
+func infoFor(pass *framework.Pass, body ast.Node) *types.Info {
+	if pkg := pass.Prog.PackageOf(body.Pos()); pkg != nil {
+		return pkg.TypesInfo
+	}
+	return pass.TypesInfo
+}
+
+// trappedRegion reports whether some block reachable from cfg's entry
+// cannot reach its exit, treating calls to never-returning functions as
+// sealing the path. Returns a position inside the trapped region.
+func trappedRegion(cfg *framework.CFG, info *types.Info, noReturn map[*types.Func]bool) (token.Pos, bool) {
+	sealed := sealedBlocks(cfg, info, noReturn)
+
+	// Forward reachability from the entry.
+	reach := map[*framework.Block]bool{}
+	var fwd func(*framework.Block)
+	fwd = func(b *framework.Block) {
+		if reach[b] {
+			return
+		}
+		reach[b] = true
+		if sealed[b] {
+			return // control enters but never leaves this block
+		}
+		for _, s := range b.Succs {
+			fwd(s)
+		}
+	}
+	fwd(cfg.Entry)
+
+	// Reverse reachability from the exit, never through a sealed block.
+	canExit := map[*framework.Block]bool{}
+	var rev func(*framework.Block)
+	rev = func(b *framework.Block) {
+		if canExit[b] || sealed[b] {
+			return
+		}
+		canExit[b] = true
+		for _, p := range b.Preds {
+			rev(p)
+		}
+	}
+	rev(cfg.Exit)
+
+	var pos token.Pos
+	trapped := false
+	for _, b := range cfg.Blocks {
+		if reach[b] && !canExit[b] {
+			trapped = true
+			for _, n := range b.Nodes {
+				if !pos.IsValid() || n.Pos() < pos {
+					pos = n.Pos()
+				}
+			}
+		}
+	}
+	return pos, trapped
+}
+
+// sealedBlocks finds blocks containing a call to a never-returning
+// function: control that enters them never proceeds to a successor.
+func sealedBlocks(cfg *framework.CFG, info *types.Info, noReturn map[*types.Func]bool) map[*framework.Block]bool {
+	sealed := map[*framework.Block]bool{}
+	if len(noReturn) == 0 {
+		return sealed
+	}
+	for _, b := range cfg.Blocks {
+		for _, n := range b.Nodes {
+			if _, isGo := n.(*ast.GoStmt); isGo {
+				continue // a spawned call does not block the spawner
+			}
+			framework.InspectShallow(n, func(m ast.Node) bool {
+				switch m := m.(type) {
+				case nil:
+					return true
+				case *ast.GoStmt:
+					return false
+				case *ast.CallExpr:
+					if callee := framework.StaticCallee(info, m); callee != nil && noReturn[callee] {
+						sealed[b] = true
+					}
+				}
+				return true
+			})
+			if sealed[b] {
+				break
+			}
+		}
+	}
+	return sealed
+}
+
+// trappedEntry reports whether cfg's entry itself cannot reach the exit
+// (the function never returns).
+func trappedEntry(cfg *framework.CFG, info *types.Info, noReturn map[*types.Func]bool) bool {
+	sealed := sealedBlocks(cfg, info, noReturn)
+	canExit := map[*framework.Block]bool{}
+	var rev func(*framework.Block)
+	rev = func(b *framework.Block) {
+		if canExit[b] || sealed[b] {
+			return
+		}
+		canExit[b] = true
+		for _, p := range b.Preds {
+			rev(p)
+		}
+	}
+	rev(cfg.Exit)
+	return !canExit[cfg.Entry]
+}
+
+// noReturnSummaries computes, to a fixed point over the call graph, the
+// declared functions whose entry cannot reach their exit.
+func noReturnSummaries(prog *framework.Program) map[*types.Func]bool {
+	return prog.Fact("goroleak.noReturn", func() any {
+		cg := prog.CallGraph()
+		noReturn := map[*types.Func]bool{}
+		for changed := true; changed; {
+			changed = false
+			for fn, node := range cg.Nodes() {
+				if noReturn[fn] {
+					continue
+				}
+				if trappedEntry(prog.CFG(node.Decl), node.Pkg.TypesInfo, noReturn) {
+					noReturn[fn] = true
+					changed = true
+				}
+			}
+		}
+		return noReturn
+	}).(map[*types.Func]bool)
+}

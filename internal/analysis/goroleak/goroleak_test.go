@@ -1,0 +1,12 @@
+package goroleak_test
+
+import (
+	"testing"
+
+	"github.com/dpx10/dpx10/internal/analysis/analysistest"
+	"github.com/dpx10/dpx10/internal/analysis/goroleak"
+)
+
+func TestGoroleak(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), goroleak.Analyzer, "goroleak/a")
+}

@@ -1,5 +1,5 @@
 // Package lockheld reports blocking operations that are reachable while a
-// sync.Mutex or sync.RWMutex is held in the same function.
+// sync.Mutex or sync.RWMutex is held.
 //
 // The DPX10 runtime mixes fine-grained mutexes (aggregator, value cache,
 // TCP connection table) with blocking transport calls and channel
@@ -9,15 +9,21 @@
 // blocks forbid blocking statements syntactically; this analyzer
 // re-imposes that rule.
 //
-// The analysis is intraprocedural and flow-ordered: statements are walked
-// in source order, Lock/RLock adds the receiver to the held set,
-// Unlock/RUnlock removes it, and any blocking operation encountered while
-// the set is non-empty is reported. Blocking operations are channel sends
-// and receives, range-over-channel, select statements without a default
-// case, time.Sleep, sync.WaitGroup.Wait / sync.Cond.Wait, net dial/listen
-// and accept calls, and calls to methods named Send or Call (the
-// transport.Transport verbs). Function literals are analyzed separately
-// with an empty held set, since the driver cannot know when they run.
+// The analysis is flow-sensitive: a may-held lock set is propagated over
+// the function's control-flow graph with a worklist solver (join =
+// union), so a lock released on one branch but not another is still
+// held at the join point, and an early `return` after an unlock no
+// longer hides blocking operations on the fall-through path. It is also
+// helper-aware: a call to a function in the loaded packages whose body
+// (transitively) performs a blocking operation is itself treated as
+// blocking, via call-graph summaries. Blocking operations are channel
+// sends and receives, range-over-channel, select statements without a
+// default case, time.Sleep, sync.WaitGroup.Wait / sync.Cond.Wait, net
+// dial/listen/accept calls, and calls to methods named Send or Call
+// (the transport.Transport verbs). Function literals are analyzed
+// separately with an empty held set, since the driver cannot know when
+// they run; lock acquisitions are recognized as expression statements
+// (`mu.Lock()`), matching the runtime's idiom.
 package lockheld
 
 import (
@@ -33,22 +39,24 @@ import (
 )
 
 var Analyzer = &framework.Analyzer{
-	Name: "lockheld",
-	Doc:  "report blocking operations (transport Send/Call, channel ops, time.Sleep) reachable while a sync.Mutex/RWMutex is held",
-	Run:  run,
+	Name:     "lockheld",
+	Doc:      "report blocking operations (transport Send/Call, channel ops, time.Sleep) reachable while a sync.Mutex/RWMutex is held",
+	Severity: framework.SevError,
+	Run:      run,
 }
 
 func run(pass *framework.Pass) error {
+	mayBlock := blockSummaries(pass.Prog)
 	for _, f := range pass.Files {
 		ast.Inspect(f, func(n ast.Node) bool {
 			switch fn := n.(type) {
 			case *ast.FuncDecl:
 				if fn.Body != nil {
-					newScan(pass).stmts(fn.Body.List)
+					analyzeFn(pass, fn, mayBlock)
 				}
 			case *ast.FuncLit:
 				if fn.Body != nil {
-					newScan(pass).stmts(fn.Body.List)
+					analyzeFn(pass, fn, mayBlock)
 				}
 			}
 			return true
@@ -57,170 +65,155 @@ func run(pass *framework.Pass) error {
 	return nil
 }
 
-// scan is the per-function walk state: the set of currently held locks,
-// keyed by the printed receiver expression ("t.cmu").
-type scan struct {
-	pass *framework.Pass
-	held map[string]token.Pos
-}
+// heldMap is the dataflow fact: lock key (printed receiver expression,
+// "s.mu") -> earliest acquisition position on any path.
+type heldMap map[string]token.Pos
 
-func newScan(pass *framework.Pass) *scan {
-	return &scan{pass: pass, held: map[string]token.Pos{}}
-}
+type heldLattice struct{}
 
-// holding returns the earliest-acquired held lock, for deterministic
-// diagnostics when several are held at once.
-func (s *scan) holding() string {
-	best, bestPos := "", token.Pos(-1)
-	for k, p := range s.held {
-		if bestPos < 0 || p < bestPos || (p == bestPos && k < best) {
-			best, bestPos = k, p
+func (heldLattice) Bottom() framework.Fact { return heldMap(nil) }
+
+func (heldLattice) Join(a, b framework.Fact) framework.Fact {
+	am, bm := a.(heldMap), b.(heldMap)
+	if len(bm) == 0 {
+		return am
+	}
+	if len(am) == 0 {
+		return bm
+	}
+	out := make(heldMap, len(am)+len(bm))
+	for k, p := range am {
+		out[k] = p
+	}
+	for k, p := range bm {
+		if q, ok := out[k]; !ok || p < q {
+			out[k] = p
 		}
 	}
-	return best
+	return out
 }
 
-// stmts walks a statement list in source order.
-func (s *scan) stmts(list []ast.Stmt) {
-	for _, st := range list {
-		s.stmt(st)
+func (heldLattice) Equal(a, b framework.Fact) bool {
+	am, bm := a.(heldMap), b.(heldMap)
+	if len(am) != len(bm) {
+		return false
+	}
+	for k, p := range am {
+		if q, ok := bm[k]; !ok || p != q {
+			return false
+		}
+	}
+	return true
+}
+
+func analyzeFn(pass *framework.Pass, fn ast.Node, mayBlock map[*types.Func]bool) {
+	st := &state{pass: pass, mayBlock: mayBlock}
+	cfg := pass.Prog.CFG(fn)
+	sol := cfg.Forward(heldLattice{}, heldMap(nil), func(b *framework.Block, in framework.Fact) framework.Fact {
+		return st.apply(b, in.(heldMap), false)
+	})
+	for _, b := range cfg.Blocks {
+		st.apply(b, sol.In[b].(heldMap), true)
 	}
 }
 
-func (s *scan) stmt(st ast.Stmt) {
-	switch st := st.(type) {
+type state struct {
+	pass     *framework.Pass
+	mayBlock map[*types.Func]bool
+	// reporting state during the replay pass
+	report bool
+	held   heldMap
+}
+
+// apply runs the transfer function over one block. With report=true it
+// additionally emits diagnostics for blocking operations encountered
+// while the running held set is non-empty (the replay pass, after the
+// solver has converged on block-entry facts).
+func (s *state) apply(b *framework.Block, in heldMap, report bool) heldMap {
+	s.held = in
+	s.report = report
+	for _, n := range b.Nodes {
+		if b.Comm != nil && n == ast.Node(b.Comm) {
+			// The comm statement of a select case: its channel op is the
+			// select's to account for, not a blocking op of its own.
+			continue
+		}
+		s.node(n)
+	}
+	return s.held
+}
+
+func (s *state) node(n ast.Node) {
+	switch n := n.(type) {
 	case *ast.ExprStmt:
-		if c, ok := st.X.(*ast.CallExpr); ok && s.lockOp(c) {
+		if c, ok := n.X.(*ast.CallExpr); ok && s.lockOp(c) {
 			return
 		}
-		s.expr(st.X)
-	case *ast.SendStmt:
-		s.blocking(st.Pos(), "channel send")
-		s.expr(st.Chan)
-		s.expr(st.Value)
-	case *ast.AssignStmt:
-		for _, e := range st.Rhs {
-			s.expr(e)
+		s.walk(n)
+	case *ast.DeferStmt:
+		// A deferred mu.Unlock() releases at return, not here: the lock
+		// stays held for the rest of the function. Only the call's own
+		// arguments are evaluated now.
+		for _, a := range n.Call.Args {
+			s.walk(a)
 		}
-		for _, e := range st.Lhs {
-			s.expr(e)
-		}
-	case *ast.DeclStmt:
-		if gd, ok := st.Decl.(*ast.GenDecl); ok {
-			for _, spec := range gd.Specs {
-				if vs, ok := spec.(*ast.ValueSpec); ok {
-					for _, e := range vs.Values {
-						s.expr(e)
-					}
-				}
-			}
-		}
-	case *ast.ReturnStmt:
-		for _, e := range st.Results {
-			s.expr(e)
-		}
-	case *ast.IfStmt:
-		if st.Init != nil {
-			s.stmt(st.Init)
-		}
-		s.expr(st.Cond)
-		s.stmts(st.Body.List)
-		if st.Else != nil {
-			s.stmt(st.Else)
-		}
-	case *ast.ForStmt:
-		if st.Init != nil {
-			s.stmt(st.Init)
-		}
-		if st.Cond != nil {
-			s.expr(st.Cond)
-		}
-		s.stmts(st.Body.List)
-		if st.Post != nil {
-			s.stmt(st.Post)
+	case *ast.GoStmt:
+		// The spawned body runs concurrently with its own empty held
+		// set; only the call's arguments are evaluated here.
+		for _, a := range n.Call.Args {
+			s.walk(a)
 		}
 	case *ast.RangeStmt:
-		if t := s.pass.TypesInfo.TypeOf(st.X); t != nil {
+		// Loop-head marker: the per-iteration receive.
+		if t := s.pass.TypesInfo.TypeOf(n.X); t != nil {
 			if _, ok := t.Underlying().(*types.Chan); ok {
-				s.blocking(st.Pos(), "range over channel")
+				s.blocking(n.Pos(), "range over channel")
 			}
 		}
-		s.expr(st.X)
-		s.stmts(st.Body.List)
 	case *ast.SelectStmt:
 		hasDefault := false
-		for _, cl := range st.Body.List {
+		for _, cl := range n.Body.List {
 			if cc, ok := cl.(*ast.CommClause); ok && cc.Comm == nil {
 				hasDefault = true
 			}
 		}
 		if !hasDefault {
-			s.blocking(st.Pos(), "select without default")
+			s.blocking(n.Pos(), "select without default")
 		}
-		for _, cl := range st.Body.List {
-			if cc, ok := cl.(*ast.CommClause); ok {
-				s.stmts(cc.Body)
-			}
-		}
-	case *ast.SwitchStmt:
-		if st.Init != nil {
-			s.stmt(st.Init)
-		}
-		if st.Tag != nil {
-			s.expr(st.Tag)
-		}
-		for _, cl := range st.Body.List {
-			if cc, ok := cl.(*ast.CaseClause); ok {
-				for _, e := range cc.List {
-					s.expr(e)
-				}
-				s.stmts(cc.Body)
-			}
-		}
-	case *ast.TypeSwitchStmt:
-		if st.Init != nil {
-			s.stmt(st.Init)
-		}
-		for _, cl := range st.Body.List {
-			if cc, ok := cl.(*ast.CaseClause); ok {
-				s.stmts(cc.Body)
-			}
-		}
-	case *ast.BlockStmt:
-		s.stmts(st.List)
-	case *ast.LabeledStmt:
-		s.stmt(st.Stmt)
-	case *ast.GoStmt:
-		// The goroutine body runs concurrently; only the call's own
-		// arguments are evaluated here.
-		for _, e := range st.Call.Args {
-			s.expr(e)
-		}
-	case *ast.DeferStmt:
-		// A deferred mu.Unlock() releases at return, not here: the lock
-		// stays held for the rest of the walk, which is the point.
-		for _, e := range st.Call.Args {
-			s.expr(e)
-		}
-	case *ast.IncDecStmt:
-		s.expr(st.X)
+	default:
+		s.walk(n)
 	}
 }
 
-// expr scans an expression tree for blocking operations (receives and
-// blocking calls). It does not descend into function literals.
-func (s *scan) expr(e ast.Expr) {
-	ast.Inspect(e, func(n ast.Node) bool {
-		switch n := n.(type) {
+// walk scans one straight-line node for blocking operations.
+func (s *state) walk(n ast.Node) {
+	framework.InspectShallow(n, func(m ast.Node) bool {
+		switch m := m.(type) {
+		case nil:
+			return true
 		case *ast.FuncLit:
 			return false
+		case *ast.GoStmt:
+			for _, a := range m.Call.Args {
+				s.walk(a)
+			}
+			return false
+		case *ast.SendStmt:
+			s.blocking(m.Pos(), "channel send")
 		case *ast.UnaryExpr:
-			if n.Op == token.ARROW {
-				s.blocking(n.Pos(), "channel receive")
+			if m.Op == token.ARROW {
+				s.blocking(m.Pos(), "channel receive")
 			}
 		case *ast.CallExpr:
-			if name, ok := s.blockingCall(n); ok {
-				s.blocking(n.Pos(), fmt.Sprintf("call to %s", name))
+			if isLockOpCall(s.pass.TypesInfo, m) {
+				// Lock-op calls in expression position (corpus oddities)
+				// are neither blocking nor state changes here.
+				return true
+			}
+			if name, ok := s.blockingCall(m); ok {
+				s.blocking(m.Pos(), fmt.Sprintf("call to %s", name))
+			} else if callee := framework.StaticCallee(s.pass.TypesInfo, m); callee != nil && s.mayBlock[callee] {
+				s.blocking(m.Pos(), fmt.Sprintf("call to %s", render(s.pass.Fset, m.Fun)))
 			}
 		}
 		return true
@@ -230,39 +223,58 @@ func (s *scan) expr(e ast.Expr) {
 // lockOp updates the held set if c is a Lock/RLock/Unlock/RUnlock call on
 // a sync.Mutex or sync.RWMutex (possibly embedded) and reports whether it
 // was one.
-func (s *scan) lockOp(c *ast.CallExpr) bool {
+func (s *state) lockOp(c *ast.CallExpr) bool {
 	sel, ok := c.Fun.(*ast.SelectorExpr)
-	if !ok {
-		return false
-	}
-	name := sel.Sel.Name
-	switch name {
-	case "Lock", "RLock", "Unlock", "RUnlock", "TryLock", "TryRLock":
-	default:
-		return false
-	}
-	obj := s.methodObj(sel)
-	if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+	if !ok || !isLockOpCall(s.pass.TypesInfo, c) {
 		return false
 	}
 	key := render(s.pass.Fset, sel.X)
-	switch name {
+	switch sel.Sel.Name {
 	case "Lock", "RLock", "TryLock", "TryRLock":
-		s.held[key] = c.Pos()
+		out := make(heldMap, len(s.held)+1)
+		for k, p := range s.held {
+			out[k] = p
+		}
+		if p, ok := out[key]; !ok || c.Pos() < p {
+			out[key] = c.Pos()
+		}
+		s.held = out
 	case "Unlock", "RUnlock":
-		delete(s.held, key)
+		out := make(heldMap, len(s.held))
+		for k, p := range s.held {
+			if k != key {
+				out[k] = p
+			}
+		}
+		s.held = out
 	}
 	return true
 }
 
-// blockingCall classifies calls that can block: time.Sleep, net dials and
-// accepts, sync Wait, and transport-verb methods named Send or Call.
-func (s *scan) blockingCall(c *ast.CallExpr) (string, bool) {
+// isLockOpCall reports a (Try)(R)Lock/(R)Unlock call on a sync type.
+func isLockOpCall(info *types.Info, c *ast.CallExpr) bool {
+	sel, ok := c.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock", "Unlock", "RUnlock", "TryLock", "TryRLock":
+	default:
+		return false
+	}
+	obj := methodObj(info, sel)
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "sync"
+}
+
+// blockingCall classifies calls that block by themselves: time.Sleep,
+// net dials and accepts, sync Wait, and transport-verb methods named
+// Send or Call.
+func (s *state) blockingCall(c *ast.CallExpr) (string, bool) {
 	sel, ok := c.Fun.(*ast.SelectorExpr)
 	if !ok {
 		return "", false
 	}
-	obj := s.methodObj(sel)
+	obj := methodObj(s.pass.TypesInfo, sel)
 	if obj == nil {
 		return "", false
 	}
@@ -287,21 +299,129 @@ func (s *scan) blockingCall(c *ast.CallExpr) (string, bool) {
 	return render(s.pass.Fset, c.Fun), true
 }
 
-// methodObj resolves the called function or method object of a selector.
-func (s *scan) methodObj(sel *ast.SelectorExpr) types.Object {
-	if selInfo, ok := s.pass.TypesInfo.Selections[sel]; ok {
+func methodObj(info *types.Info, sel *ast.SelectorExpr) types.Object {
+	if selInfo, ok := info.Selections[sel]; ok {
 		return selInfo.Obj()
 	}
-	return s.pass.TypesInfo.Uses[sel.Sel] // package-qualified call
+	return info.Uses[sel.Sel] // package-qualified call
 }
 
-func (s *scan) blocking(pos token.Pos, what string) {
-	if len(s.held) == 0 {
+func (s *state) blocking(pos token.Pos, what string) {
+	if !s.report || len(s.held) == 0 {
 		return
 	}
-	lock := s.holding()
+	// Report against the earliest-acquired held lock, for deterministic
+	// diagnostics when several are held at once.
+	best, bestPos := "", token.Pos(-1)
+	for k, p := range s.held {
+		if bestPos < 0 || p < bestPos || (p == bestPos && k < best) {
+			best, bestPos = k, p
+		}
+	}
 	s.pass.Reportf(pos, "%s while mutex %q is held (locked at line %d)",
-		what, lock, s.pass.Fset.Position(s.held[lock]).Line)
+		what, best, s.pass.Fset.Position(bestPos).Line)
+}
+
+// blockSummaries computes, once per driver invocation, the set of
+// declared functions whose bodies may perform a blocking operation,
+// directly or through calls to other loaded functions. Goroutine spawns
+// and function literals inside a body do not make the body blocking.
+func blockSummaries(prog *framework.Program) map[*types.Func]bool {
+	return prog.Fact("lockheld.mayBlock", func() any {
+		cg := prog.CallGraph()
+		blocks := map[*types.Func]bool{}
+		// Direct blocking operations per function.
+		for fn, node := range cg.Nodes() {
+			info := node.Pkg.TypesInfo
+			direct := false
+			ast.Inspect(node.Decl.Body, func(n ast.Node) bool {
+				if direct {
+					return false
+				}
+				switch n := n.(type) {
+				case *ast.FuncLit, *ast.GoStmt:
+					return false
+				case *ast.SendStmt:
+					direct = true
+				case *ast.UnaryExpr:
+					if n.Op == token.ARROW {
+						direct = true
+					}
+				case *ast.RangeStmt:
+					if t := info.TypeOf(n.X); t != nil {
+						if _, ok := t.Underlying().(*types.Chan); ok {
+							direct = true
+						}
+					}
+				case *ast.SelectStmt:
+					hasDefault := false
+					for _, cl := range n.Body.List {
+						if cc, ok := cl.(*ast.CommClause); ok && cc.Comm == nil {
+							hasDefault = true
+						}
+					}
+					if !hasDefault {
+						direct = true
+					}
+				case *ast.CallExpr:
+					st := &state{pass: &framework.Pass{TypesInfo: info, Fset: prog.Fset}}
+					if _, ok := st.blockingCall(n); ok {
+						direct = true
+					}
+				}
+				return !direct
+			})
+			if direct {
+				blocks[fn] = true
+			}
+		}
+		// Propagate through static call edges to a fixed point.
+		for changed := true; changed; {
+			changed = false
+			for fn, node := range cg.Nodes() {
+				if blocks[fn] {
+					continue
+				}
+				for _, e := range node.Calls {
+					if e.Callee != nil && blocks[e.Callee] && !inGoStmt(node.Decl.Body, e.Site) {
+						blocks[fn] = true
+						changed = true
+						break
+					}
+				}
+			}
+		}
+		return blocks
+	}).(map[*types.Func]bool)
+}
+
+// inGoStmt reports whether call is the spawned call of a go statement or
+// sits inside a function literal (either way it does not block the
+// enclosing body).
+func inGoStmt(body *ast.BlockStmt, call *ast.CallExpr) bool {
+	shielded := false
+	var stack []ast.Node
+	ast.Inspect(body, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if n == ast.Node(call) {
+			for _, a := range stack {
+				switch a := a.(type) {
+				case *ast.FuncLit:
+					shielded = true
+				case *ast.GoStmt:
+					if a.Call == call {
+						shielded = true
+					}
+				}
+			}
+		}
+		stack = append(stack, n)
+		return true
+	})
+	return shielded
 }
 
 // render prints an expression compactly for diagnostics.

@@ -1,0 +1,12 @@
+package lockorder_test
+
+import (
+	"testing"
+
+	"github.com/dpx10/dpx10/internal/analysis/analysistest"
+	"github.com/dpx10/dpx10/internal/analysis/lockorder"
+)
+
+func TestLockorder(t *testing.T) {
+	analysistest.RunGlobal(t, analysistest.TestData(), lockorder.Analyzer, "lockorder/a")
+}

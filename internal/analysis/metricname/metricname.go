@@ -32,6 +32,7 @@ import (
 var Analyzer = &framework.Analyzer{
 	Name:      "metricname",
 	Doc:       "check that every Registry instrument lookup uses a constant, registered, kind-matched name",
+	Severity:  framework.SevWarning,
 	RunGlobal: runGlobal,
 }
 

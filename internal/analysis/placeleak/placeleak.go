@@ -42,9 +42,10 @@ import (
 )
 
 var Analyzer = &framework.Analyzer{
-	Name: "placeleak",
-	Doc:  "flag transport handlers and decode paths that retain or return an alias of the incoming payload []byte",
-	Run:  run,
+	Name:     "placeleak",
+	Doc:      "flag transport handlers and decode paths that retain or return an alias of the incoming payload []byte",
+	Severity: framework.SevError,
+	Run:      run,
 }
 
 func run(pass *framework.Pass) error {

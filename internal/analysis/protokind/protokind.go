@@ -38,6 +38,7 @@ import (
 var Analyzer = &framework.Analyzer{
 	Name:      "protokind",
 	Doc:       "check that every wire-protocol kind constant is registered, named in the trace table, and fuzz-covered",
+	Severity:  framework.SevError,
 	RunGlobal: runGlobal,
 }
 

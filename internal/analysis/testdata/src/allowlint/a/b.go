@@ -1,0 +1,9 @@
+package a
+
+// Second corpus file: wants and suppressions are collected across all
+// files of the package, not just the first.
+
+func crossFile(g *guarded) {
+	/* want `//dpx10:allow for wiresym lacks a rationale` */ //dpx10:allow wiresym
+	g.ch <- 7
+}

@@ -1,0 +1,62 @@
+package a
+
+import "sync/atomic"
+
+// Alias cases: the atomic regime follows single-assignment pointers.
+
+type gauge struct {
+	val  int64
+	hot  int64
+	free int64
+}
+
+// The address flows into sync/atomic through a pointer: val joins the
+// atomic regime, so both the deref write and the direct read are mixed
+// accesses. The alias-establishing &g.val itself is not.
+func (g *gauge) bumpViaPointer() {
+	p := &g.val
+	atomic.AddInt64(p, 1)
+}
+
+func (g *gauge) tearViaPointer() {
+	p := &g.val
+	*p = 3 // want `plain access of \*p \(alias of val\), which is accessed with sync/atomic`
+}
+
+func (g *gauge) readDirect() int64 {
+	return g.val // want `plain access of g\.val, which is accessed with sync/atomic`
+}
+
+// Copy chains resolve: q := p := &g.hot.
+func (g *gauge) chain() {
+	p := &g.hot
+	q := p
+	atomic.AddInt64(q, 1)
+}
+
+func (g *gauge) chainTear() int64 {
+	return g.hot // want `plain access of g\.hot, which is accessed with sync/atomic`
+}
+
+// A dereference of a pointer aliased to an object under the regime is
+// flagged even when the atomic calls all use &x directly.
+func (g *gauge) derefOfDirect() int64 {
+	atomic.AddInt64(&g.val, 1)
+	p := &g.val
+	return *p // want `plain access of \*p \(alias of val\), which is accessed with sync/atomic`
+}
+
+// A reassigned (tainted) pointer is not tracked: taking the address is
+// then reported conservatively, the deref is not resolved.
+func (g *gauge) tainted(other *int64) {
+	p := &g.val // want `plain access of g\.val, which is accessed with sync/atomic`
+	p = other
+	_ = p
+}
+
+// free never meets sync/atomic: plain everywhere, no findings.
+func (g *gauge) untouched() {
+	p := &g.free
+	*p = 1
+	g.free++
+}

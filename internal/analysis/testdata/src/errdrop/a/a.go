@@ -1,0 +1,110 @@
+package a
+
+import "errors"
+
+var errDead = errors.New("place dead")
+
+// fabric matches the transport.Transport verb signatures.
+type fabric struct{}
+
+func (fabric) Send(to int, kind uint8, payload []byte) error           { return nil }
+func (fabric) Call(to int, kind uint8, payload []byte) ([]byte, error) { return nil, nil }
+
+// other has namesake methods with different signatures: never matched.
+type other struct{}
+
+func (other) Send(s string) error        { return nil }
+func (other) Call(a, b int) (int, error) { return 0, nil }
+
+type peer struct {
+	tr fabric
+	ot other
+}
+
+func (p *peer) bareDiscard() {
+	p.tr.Send(1, 2, nil) // want `result of transport p\.tr\.Send discarded`
+}
+
+func (p *peer) blankSend() {
+	_ = p.tr.Send(1, 2, nil) // want `error from transport p\.tr\.Send assigned to blank`
+}
+
+func (p *peer) blankCall() []byte {
+	reply, _ := p.tr.Call(1, 2, nil) // want `error from transport p\.tr\.Call assigned to blank`
+	return reply
+}
+
+func (p *peer) checked() error {
+	if err := p.tr.Send(1, 2, nil); err != nil {
+		return err
+	}
+	return nil
+}
+
+func (p *peer) propagated() error {
+	return p.tr.Send(1, 2, nil)
+}
+
+func (p *peer) typedCheck() {
+	err := p.tr.Send(1, 2, nil)
+	if errors.Is(err, errDead) {
+		return
+	}
+}
+
+// Overwritten before any read: the first error is lost.
+func (p *peer) overwritten() error {
+	err := p.tr.Send(1, 2, nil) // want `overwritten before it is checked`
+	err = p.tr.Send(3, 4, nil)
+	return err
+}
+
+// Checked on one path, dropped on the other: flow-sensitively flagged.
+func (p *peer) halfChecked(c bool) {
+	err := p.tr.Send(1, 2, nil) // want `never checked before the function returns`
+	if c {
+		_ = err.Error()
+	}
+}
+
+// Read on every path: clean.
+func (p *peer) fullyChecked(c bool) error {
+	err := p.tr.Send(1, 2, nil)
+	if c {
+		return err
+	}
+	return err
+}
+
+// Retry loops read the error each iteration: clean.
+func (p *peer) retries() {
+	for i := 0; i < 3; i++ {
+		err := p.tr.Send(1, 2, nil)
+		if err == nil {
+			return
+		}
+	}
+}
+
+// Unrelated Send/Call signatures are not transport verbs.
+func (p *peer) namesakes() {
+	p.ot.Send("x")
+	_, _ = p.ot.Call(1, 2)
+}
+
+// A tagless switch evaluates its case conditions in order, so reaching
+// default means every earlier condition — each of which reads err — was
+// inspected. No path leaks the error to the exit: clean.
+func (p *peer) switchChecked(misses []int) {
+	for i := range misses {
+		reply, err := p.tr.Call(1, 2, nil)
+		switch {
+		case err == nil && len(reply) > 0:
+			misses[i] = 0
+		case errors.Is(err, errDead):
+			return
+		default:
+			misses[i]++
+		}
+	}
+}

@@ -1,0 +1,93 @@
+package a
+
+import "time"
+
+type worker struct {
+	quit chan struct{}
+	work chan int
+	tick *time.Ticker
+}
+
+// A for-select with a stop case that returns: clean.
+func (w *worker) stoppable() {
+	go func() {
+		for {
+			select {
+			case <-w.quit:
+				return
+			case v := <-w.work:
+				handle(v)
+			}
+		}
+	}()
+}
+
+// No case ever leaves the loop: the goroutine outlives shutdown.
+func (w *worker) leaky() {
+	go func() { // want `goroutine can never exit`
+		for {
+			select {
+			case v := <-w.work:
+				handle(v)
+			}
+		}
+	}()
+}
+
+// A stop case that does not return still never exits the loop.
+func (w *worker) drainForever() {
+	go func() { // want `goroutine can never exit`
+		for {
+			select {
+			case <-w.quit:
+				// forgot to return
+			case v := <-w.work:
+				handle(v)
+			}
+		}
+	}()
+}
+
+// Range over a channel terminates when the owner closes it: clean.
+func (w *worker) rangeLoop() {
+	go func() {
+		for v := range w.work {
+			handle(v)
+		}
+	}()
+}
+
+// An endless ticker loop with no exit: flagged.
+func (w *worker) tickForever() {
+	go func() { // want `goroutine can never exit`
+		for {
+			<-w.tick.C
+			handle(0)
+		}
+	}()
+}
+
+// A conditional loop has an exit edge by construction: clean.
+func (w *worker) bounded(n int) {
+	go func() {
+		for i := 0; i < n; i++ {
+			handle(i)
+		}
+	}()
+}
+
+// An error return inside the loop is an exit: clean (the accept-loop
+// shape — closing the listener makes the call fail).
+func (w *worker) acceptLoop(accept func() (int, error)) {
+	go func() {
+		for {
+			v, err := accept()
+			if err != nil {
+				return
+			}
+			handle(v)
+		}
+	}()
+}
+
+func handle(int) {}

@@ -1,0 +1,58 @@
+package a
+
+// Interprocedural cases: the leak hides behind named functions.
+
+type pump struct {
+	quit chan struct{}
+	work chan int
+}
+
+// spin never returns; spawning it (directly or through a wrapper) leaks.
+func (p *pump) spin() {
+	for {
+		v := <-p.work
+		handle(v)
+	}
+}
+
+func (p *pump) wrap() {
+	p.spin()
+}
+
+func (p *pump) spawnNamed() {
+	go p.spin() // want `goroutine can never exit`
+}
+
+func (p *pump) spawnWrapped() {
+	go p.wrap() // want `goroutine can never exit`
+}
+
+// loop observes quit and returns: spawning it is clean.
+func (p *pump) loop() {
+	for {
+		select {
+		case <-p.quit:
+			return
+		case v := <-p.work:
+			handle(v)
+		}
+	}
+}
+
+func (p *pump) spawnLoop() {
+	go p.loop()
+}
+
+// A dynamic spawn target has no body to analyze: skipped.
+func (p *pump) spawnDynamic(f func()) {
+	go f()
+}
+
+// Spawning inside the spawned body does not seal the parent: the inner
+// goroutine is judged at its own spawn site.
+func (p *pump) nested() {
+	go func() {
+		go p.spin() // want `goroutine can never exit`
+		handle(0)
+	}()
+}

@@ -1,0 +1,126 @@
+package a
+
+// Flow-sensitive cases: these require the CFG-based may-held analysis —
+// the old source-order walk missed every positive case in this file.
+
+// The unlock on the early-return path must not hide the lock still held
+// on the fall-through path.
+func (s *server) earlyReturnLeak(c bool) {
+	s.mu.Lock()
+	if c {
+		s.mu.Unlock()
+		return
+	}
+	s.ch <- 1 // want `channel send while mutex "s.mu" is held`
+	s.mu.Unlock()
+}
+
+// Released on every path before the send: clean.
+func (s *server) releasedOnAllPaths(c bool) {
+	s.mu.Lock()
+	if c {
+		s.mu.Unlock()
+	} else {
+		s.mu.Unlock()
+	}
+	s.ch <- 1
+}
+
+// Released on one branch only: may-held at the join.
+func (s *server) releasedOnOnePath(c bool) {
+	s.mu.Lock()
+	if c {
+		s.mu.Unlock()
+	}
+	s.ch <- 1 // want `channel send while mutex "s.mu" is held`
+	if !c {
+		s.mu.Unlock()
+	}
+}
+
+// A lock acquired inside a loop body is held when control flows back
+// around to the top of the loop.
+func (s *server) lockCarriedAroundLoop(n int) {
+	for i := 0; i < n; i++ {
+		v := <-s.ch // want `channel receive while mutex "s.mu" is held`
+		_ = v
+		s.mu.Lock()
+		s.mu.TryLock()
+		s.mu.Unlock()
+		s.mu.Lock()
+	}
+	s.mu.Unlock()
+}
+
+// A blocking operation after `break` out of the critical section: the
+// loop exit edge carries the held set.
+func (s *server) breakWhileHeld(c bool) {
+	s.mu.Lock()
+	for {
+		if c {
+			break
+		}
+		s.mu.Unlock()
+		return
+	}
+	s.ch <- 1 // want `channel send while mutex "s.mu" is held`
+	s.mu.Unlock()
+}
+
+// Helper-aware cases: a call to a local function that blocks
+// transitively counts as blocking at the call site.
+
+func (s *server) drainAll() {
+	for range s.ch {
+	}
+}
+
+func (s *server) indirectDrain() {
+	s.drainAll()
+}
+
+func (s *server) blockViaHelper() {
+	s.mu.Lock()
+	s.drainAll() // want `call to s.drainAll while mutex "s.mu" is held`
+	s.mu.Unlock()
+}
+
+func (s *server) blockViaTwoHops() {
+	s.mu.Lock()
+	s.indirectDrain() // want `call to s.indirectDrain while mutex "s.mu" is held`
+	s.mu.Unlock()
+}
+
+// A helper that merely locks and unlocks does not block.
+func (s *server) justCounts() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return 1
+}
+
+func (s *server) callPureHelper() {
+	s.mu.Lock()
+	_ = s.justCounts()
+	s.mu.Unlock()
+}
+
+// Spawning a blocking helper does not block the spawner.
+func (s *server) spawnsDrain() {
+	s.mu.Lock()
+	go s.drainAll()
+	s.mu.Unlock()
+}
+
+// A helper whose only channel ops sit inside a spawned goroutine does
+// not block its callers.
+func (s *server) spawnOnly() {
+	go func() {
+		s.ch <- 1
+	}()
+}
+
+func (s *server) callSpawnOnly() {
+	s.mu.Lock()
+	s.spawnOnly()
+	s.mu.Unlock()
+}

@@ -1,0 +1,124 @@
+package a
+
+import "sync"
+
+type pair struct {
+	a sync.Mutex
+	b sync.Mutex
+	c sync.RWMutex
+}
+
+// ab establishes order a -> b.
+func (p *pair) ab() {
+	p.a.Lock()
+	p.b.Lock() // want `lock-order cycle: p\.b is acquired while p\.a is held here, but p\.a is acquired while p\.b is held at .*a\.go`
+	p.b.Unlock()
+	p.a.Unlock()
+}
+
+// ba establishes order b -> a: together with ab this is a cycle, so
+// the edge is flagged at both acquisition sites.
+func (p *pair) ba() {
+	p.b.Lock()
+	p.a.Lock() // want `lock-order cycle: p\.a is acquired while p\.b is held here, but p\.b is acquired while p\.a is held at .*a\.go`
+	p.a.Unlock()
+	p.b.Unlock()
+}
+
+// Consistent nesting in one direction only: no cycle, no report.
+type tree struct {
+	outer sync.Mutex
+	inner sync.Mutex
+}
+
+func (t *tree) nested() {
+	t.outer.Lock()
+	t.inner.Lock()
+	t.inner.Unlock()
+	t.outer.Unlock()
+}
+
+func (t *tree) nestedAgain() {
+	t.outer.Lock()
+	t.inner.Lock()
+	t.inner.Unlock()
+	t.outer.Unlock()
+}
+
+// Sequential (released before the next acquisition): no edge at all.
+func (t *tree) sequential() {
+	t.inner.Lock()
+	t.inner.Unlock()
+	t.outer.Lock()
+	t.outer.Unlock()
+}
+
+// Self-deadlock: re-acquiring a mutex already held.
+type boxed struct {
+	mu sync.Mutex
+}
+
+func (b *boxed) relock() {
+	b.mu.Lock()
+	b.mu.Lock() // want `lock b\.mu is acquired while already held \(self-deadlock on a non-reentrant mutex\)`
+	b.mu.Unlock()
+	b.mu.Unlock()
+}
+
+// RLock participates in ordering like Lock: c -> a here, a -> c in
+// helper.go's reversed() via the summary of lockC.
+func (p *pair) readThenA() {
+	p.c.RLock()
+	p.a.Lock() // want `lock-order cycle: p\.a is acquired while p\.c is held here, but p\.c is acquired while p\.a is held at .*helper\.go`
+	p.a.Unlock()
+	p.c.RUnlock()
+}
+
+// Spawned goroutines acquire on their own stack: no edge from the
+// spawner's held set, so this pairing with ba() stays silent.
+type spawn struct {
+	x sync.Mutex
+	y sync.Mutex
+}
+
+func (s *spawn) xThenSpawnY() {
+	s.x.Lock()
+	go func() {
+		s.y.Lock()
+		s.y.Unlock()
+	}()
+	s.x.Unlock()
+}
+
+func (s *spawn) yThenX() {
+	s.y.Lock()
+	s.x.Lock()
+	s.x.Unlock()
+	s.y.Unlock()
+}
+
+// Shard hopping (the vcache PutPushed shape): each iteration releases
+// the previous shard's instance-abstracted lock before taking the next
+// one, so at the acquisition the lock is held on SOME path in (the
+// may-set carries it around the loop) but not on EVERY path — the
+// must-held gate keeps the self-deadlock report out.
+type shard struct {
+	mu sync.Mutex
+}
+
+func hop(shards []*shard, ids []int) {
+	var cur *shard
+	for _, id := range ids {
+		s := shards[id%len(shards)]
+		if s != cur {
+			if cur != nil {
+				cur.mu.Unlock()
+			}
+			cur = s
+			cur.mu.Lock()
+		}
+	}
+	if cur != nil {
+		cur.mu.Unlock()
+	}
+}

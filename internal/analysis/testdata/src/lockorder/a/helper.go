@@ -1,0 +1,49 @@
+package a
+
+import "sync"
+
+// lockC acquires p.c transiently; its summary still orders p.c after
+// whatever the caller holds.
+func (p *pair) lockC() {
+	p.c.Lock()
+	p.c.Unlock()
+}
+
+// reversed holds p.a and calls lockC, creating the a -> c edge through
+// the helper summary; together with readThenA's c -> a this is a
+// cycle, reported at the call site that closes it.
+func (p *pair) reversed() {
+	p.a.Lock()
+	p.lockC() // want `lock-order cycle: p\.c is acquired while p\.a is held here, but p\.a is acquired while p\.c is held at .*a\.go`
+	p.a.Unlock()
+}
+
+// twoHops: the summary propagates through intermediate frames too.
+// lo -> hi directly, hi -> lo through two helper hops: both edges of
+// the cycle are flagged.
+type deep struct {
+	lo sync.Mutex
+	hi sync.Mutex
+}
+
+func (d *deep) direct() {
+	d.lo.Lock()
+	d.hi.Lock() // want `lock-order cycle: d\.hi is acquired while d\.lo is held here, but d\.lo is acquired while d\.hi is held at .*helper\.go`
+	d.hi.Unlock()
+	d.lo.Unlock()
+}
+
+func (d *deep) lockLo() {
+	d.lo.Lock()
+	d.lo.Unlock()
+}
+
+func (d *deep) viaMiddle() {
+	d.lockLo()
+}
+
+func (d *deep) hiThenMiddle() {
+	d.hi.Lock()
+	d.viaMiddle() // want `lock-order cycle: d\.lo is acquired while d\.hi is held here, but d\.hi is acquired while d\.lo is held at .*helper\.go`
+	d.hi.Unlock()
+}

@@ -1,0 +1,12 @@
+package wiresym_test
+
+import (
+	"testing"
+
+	"github.com/dpx10/dpx10/internal/analysis/analysistest"
+	"github.com/dpx10/dpx10/internal/analysis/wiresym"
+)
+
+func TestWiresym(t *testing.T) {
+	analysistest.RunGlobal(t, analysistest.TestData(), wiresym.Analyzer, "wiresym/a")
+}

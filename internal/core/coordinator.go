@@ -165,8 +165,15 @@ func (co *coordinator[T]) allDone() bool {
 func (co *coordinator[T]) broadcastStop() {
 	payload := putU64(nil, co.epoch)
 	for _, p := range co.alivePlaces() {
-		// Best effort: a place dying during shutdown no longer matters.
-		co.pe.tr.Send(p, kindStop, payload) //nolint:errcheck
+		err := co.pe.tr.Send(p, kindStop, payload)
+		switch {
+		case err == nil:
+		case errors.Is(err, transport.ErrDeadPlace), errors.Is(err, transport.ErrClosed):
+			// A place dying (or the fabric tearing down) during shutdown
+			// no longer matters; stop is the last thing we had to say.
+		default:
+			debugf("stop -> place %d failed: %v", p, err)
+		}
 	}
 }
 

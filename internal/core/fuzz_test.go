@@ -1,6 +1,7 @@
 package core
 
 import (
+	"bytes"
 	"testing"
 
 	"github.com/dpx10/dpx10/internal/codec"
@@ -251,6 +252,264 @@ func FuzzReader(f *testing.F) {
 		_ = r.rest()
 		if r.err == nil && r.off > len(data) {
 			t.Fatalf("reader consumed %d of %d bytes without error", r.off, len(data))
+		}
+	})
+}
+
+// --- encode→decode→encode byte-identity ------------------------------
+
+// wireRoundTrips maps each protocol kind to a canonicalizing round-trip:
+// parse data as the kind's payload grammar and, when it parses, re-encode
+// it with the same helpers the runtime uses. FuzzWireKindRoundTrip then
+// asserts the canonical form is a fixed point — decoding an encoder's
+// output and re-encoding it reproduces the bytes exactly, for every kind
+// in fuzzedWireKinds. A kind whose encoder and decoder drift (a field
+// added on one side only, a count written but not read back) breaks
+// byte-identity before it breaks a cluster.
+var wireRoundTrips = map[uint8]func(data []byte) ([]byte, bool){
+	kindFetch:     rtIDBatch,
+	kindDecrement: rtIDBatch,
+	kindReplayTx:  rtIDBatch,
+	kindDecrBatch: rtDecrBatch,
+	kindExec:      rtExec,
+	kindPlaceDone: rtU64U32,
+	kindFault:     rtU64U32,
+	kindPause:     rtPause,
+	kindRebuild:   rtU64,
+	kindRestore:   rtU64,
+	kindReplay:    rtU64,
+	kindResume:    rtU64,
+	kindSteal:     rtU64,
+	kindStop:      rtU64, // broadcastStop stamps the epoch even though handleStop ignores it
+	kindRestoreTx: rtIDVals,
+	kindStealDone: rtIDVals,
+	kindReadVal:   rtID,
+	kindPing:      rtPing, // [seq u64][sendNanos u64] echoed verbatim
+	kindHello:     rtEmpty,
+	kindBegin:     rtEmpty,
+	kindStats:     rtEmpty,
+}
+
+func rtIDBatch(data []byte) ([]byte, bool) {
+	epoch, ids, err := decodeIDBatch(data, nil)
+	if err != nil {
+		return nil, false
+	}
+	return encodeIDBatch(epoch, ids), true
+}
+
+func rtDecrBatch(data []byte) ([]byte, bool) {
+	cd := codec.Int64{}
+	epoch, recs, tgts, err := decodeDecrBatch[int64](data, cd, nil, nil)
+	if err != nil {
+		return nil, false
+	}
+	return encodeDecrBatch(epoch, cd, recs, tgts), true
+}
+
+func rtExec(data []byte) ([]byte, bool) {
+	r := reader{b: data}
+	epoch := r.u64()
+	id := r.id()
+	if r.err != nil {
+		return nil, false
+	}
+	return putID(putU64(nil, epoch), id), true
+}
+
+func rtU64(data []byte) ([]byte, bool) {
+	r := reader{b: data}
+	v := r.u64()
+	if r.err != nil {
+		return nil, false
+	}
+	return putU64(nil, v), true
+}
+
+func rtU64U32(data []byte) ([]byte, bool) {
+	r := reader{b: data}
+	a := r.u64()
+	b := r.u32()
+	if r.err != nil {
+		return nil, false
+	}
+	return putU32(putU64(nil, a), b), true
+}
+
+func rtPause(data []byte) ([]byte, bool) {
+	r := reader{b: data}
+	epoch := r.u64()
+	n := r.u32()
+	var tiles []uint32
+	for k := uint32(0); k < n && r.err == nil; k++ {
+		tiles = append(tiles, r.u32())
+	}
+	if r.err != nil {
+		return nil, false
+	}
+	out := putU32(putU64(nil, epoch), uint32(len(tiles)))
+	for _, t := range tiles {
+		out = putU32(out, t)
+	}
+	return out, true
+}
+
+func rtIDVals(data []byte) ([]byte, bool) {
+	cd := codec.Int64{}
+	r := reader{b: data}
+	epoch := r.u64()
+	n := r.u32()
+	type entry struct {
+		id dag.VertexID
+		v  int64
+	}
+	var entries []entry
+	for k := uint32(0); k < n && r.err == nil; k++ {
+		id := r.id()
+		v, used, err := cd.Decode(r.rest())
+		if err != nil {
+			return nil, false
+		}
+		r.off += used
+		entries = append(entries, entry{id, v})
+	}
+	if r.err != nil {
+		return nil, false
+	}
+	out := putU32(putU64(nil, epoch), uint32(len(entries)))
+	for _, e := range entries {
+		out = putID(out, e.id)
+		out = cd.Encode(out, e.v)
+	}
+	return out, true
+}
+
+func rtID(data []byte) ([]byte, bool) {
+	r := reader{b: data}
+	id := r.id()
+	if r.err != nil {
+		return nil, false
+	}
+	return putID(nil, id), true
+}
+
+func rtPing(data []byte) ([]byte, bool) {
+	r := reader{b: data}
+	seq := r.u64()
+	ns := r.u64()
+	if r.err != nil {
+		return nil, false
+	}
+	return putU64(putU64(nil, seq), ns), true
+}
+
+func rtEmpty(data []byte) ([]byte, bool) {
+	if len(data) != 0 {
+		return nil, false
+	}
+	return []byte{}, true
+}
+
+// wireSeeds provides one valid payload per kind for the round-trip fuzz
+// corpus and the coverage test.
+func wireSeeds() map[uint8][]byte {
+	cd := codec.Int64{}
+	ids := []dag.VertexID{{I: 1, J: 2}, {I: -3, J: 1 << 30}}
+	idVals := putU32(putU64(nil, 7), 2)
+	for k, id := range ids {
+		idVals = putID(idVals, id)
+		idVals = cd.Encode(idVals, int64(100+k))
+	}
+	return map[uint8][]byte{
+		kindFetch:     encodeIDBatch(3, ids),
+		kindDecrement: encodeIDBatch(4, ids),
+		kindReplayTx:  encodeIDBatch(5, ids),
+		kindDecrBatch: encodeDecrBatch(6, cd, []decrRecord[int64]{
+			{src: dag.VertexID{I: 9, J: 9}, hasValue: true, value: -42, t0: 0, t1: 2},
+		}, ids),
+		kindExec:      putID(putU64(nil, 1), ids[0]),
+		kindPlaceDone: putU32(putU64(nil, 1), 2),
+		kindFault:     putU32(putU64(nil, 1), 3),
+		kindPause:     putU32(putU32(putU32(putU64(nil, 1), 2), 8), 9),
+		kindRebuild:   putU64(nil, 1),
+		kindRestore:   putU64(nil, 2),
+		kindReplay:    putU64(nil, 3),
+		kindResume:    putU64(nil, 4),
+		kindSteal:     putU64(nil, 5),
+		kindStop:      putU64(nil, 6),
+		kindRestoreTx: idVals,
+		kindStealDone: idVals,
+		kindReadVal:   putID(nil, ids[1]),
+		kindPing:      putU64(putU64(nil, 11), 12),
+		kindHello:     {},
+		kindBegin:     {},
+		kindStats:     {},
+	}
+}
+
+// TestWireRoundTripsCovered pins the round-trip table to the coverage
+// list and checks every seed payload is a canonical fixed point.
+func TestWireRoundTripsCovered(t *testing.T) {
+	seeds := wireSeeds()
+	seen := map[uint8]bool{}
+	for _, k := range fuzzedWireKinds {
+		seen[k] = true
+		rt, ok := wireRoundTrips[k]
+		if !ok {
+			t.Errorf("kind %d has no round-trip entry", k)
+			continue
+		}
+		seed, ok := seeds[k]
+		if !ok {
+			t.Errorf("kind %d has no seed payload", k)
+			continue
+		}
+		enc, ok := rt(seed)
+		if !ok {
+			t.Errorf("kind %d: seed payload does not parse", k)
+			continue
+		}
+		if !bytes.Equal(enc, seed) {
+			t.Errorf("kind %d: seed is not canonical: % x -> % x", k, seed, enc)
+		}
+	}
+	for k := range wireRoundTrips {
+		if !seen[k] {
+			t.Errorf("wireRoundTrips has entry for kind %d, which is not in fuzzedWireKinds", k)
+		}
+	}
+	for k := range seeds {
+		if !seen[k] {
+			t.Errorf("wireSeeds has entry for kind %d, which is not in fuzzedWireKinds", k)
+		}
+	}
+}
+
+// FuzzWireKindRoundTrip asserts encode→decode→encode byte-identity for
+// every wire kind: any payload that parses re-encodes to a canonical
+// form, and that form is a fixed point of decode∘encode.
+func FuzzWireKindRoundTrip(f *testing.F) {
+	for k, seed := range wireSeeds() {
+		f.Add(k, seed)
+	}
+	f.Add(uint8(0), []byte{})                            // not a protocol kind
+	f.Add(kindFetch, []byte{1, 2})                       // truncated
+	f.Add(kindPause, putU32(putU64(nil, 1), 0xFFFFFFFF)) // absurd count
+	f.Fuzz(func(t *testing.T, kind uint8, data []byte) {
+		rt, ok := wireRoundTrips[kind]
+		if !ok {
+			return // byte values that are not protocol kinds
+		}
+		enc, ok := rt(data)
+		if !ok {
+			return
+		}
+		enc2, ok := rt(enc)
+		if !ok {
+			t.Fatalf("kind %d: canonical encoding of % x does not re-decode", kind, data)
+		}
+		if !bytes.Equal(enc, enc2) {
+			t.Fatalf("kind %d: encode→decode→encode not byte-identical:\n  first  % x\n  second % x", kind, enc, enc2)
 		}
 	})
 }

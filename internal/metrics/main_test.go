@@ -1,0 +1,14 @@
+package metrics
+
+import (
+	"testing"
+
+	"github.com/dpx10/dpx10/internal/leakcheck"
+)
+
+// TestMain gates the package on goroutine hygiene: registries and span
+// recorders are passive, so anything still alive after the tests is a
+// leak.
+func TestMain(m *testing.M) {
+	leakcheck.Main(m)
+}

@@ -1,0 +1,13 @@
+package sched
+
+import (
+	"testing"
+
+	"github.com/dpx10/dpx10/internal/leakcheck"
+)
+
+// TestMain gates the package on goroutine hygiene: worker deques and
+// tile-readiness notifiers must all be drained once the tests finish.
+func TestMain(m *testing.M) {
+	leakcheck.Main(m)
+}

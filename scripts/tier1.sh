@@ -6,7 +6,18 @@ set -eux
 cd "$(dirname "$0")/.."
 go build ./...
 go vet ./...
-go run ./cmd/dpx10-vet ./...
+# The repo's own analyzers, under a wall-clock budget: the suite shares
+# type-checked facts (CFGs, call graph) across analyzers in one process,
+# and 30s is the line past which that sharing has regressed. The budget
+# excludes the binary build so cold caches don't trip it.
+go build -o /tmp/dpx10-vet.tier1 ./cmd/dpx10-vet
+vet_start=$(date +%s)
+/tmp/dpx10-vet.tier1 ./...
+vet_elapsed=$(( $(date +%s) - vet_start ))
+if [ "$vet_elapsed" -gt 30 ]; then
+    echo "dpx10-vet took ${vet_elapsed}s, over the 30s tier-1 budget" >&2
+    exit 1
+fi
 # Fast chaos signal before the full suite: the soak matrix in short mode
 # (fewer seeds per fault profile, kill arms skipped).
 go test -short -run TestChaosSoak -count=1 ./internal/core/
