@@ -30,6 +30,7 @@ func main() {
 	flag.StringVar(&p.FileB, "file-b", "", "FASTA/plain-text file for the second sequence")
 	flag.IntVar(&p.Places, "places", 4, "number of places (X10_NPLACES)")
 	flag.IntVar(&p.Threads, "threads", 2, "worker threads per place (X10_NTHREADS)")
+	flag.IntVar(&p.Jobs, "jobs", 1, "concurrent identical jobs submitted to one persistent cluster")
 	flag.StringVar(&p.Strategy, "strategy", "local", "scheduling: local | random | mincomm")
 	flag.StringVar(&p.Dist, "dist", "blockrow", "distribution: blockrow | blockcol | cyclicrow | cycliccol")
 	flag.IntVar(&p.Cache, "cache", 0, "remote-vertex cache entries per place (0 = off)")

@@ -34,6 +34,7 @@ func main() {
 	flag.IntVar(&p.Capacity, "capacity", 400, "knapsack: capacity")
 	flag.Int64Var(&p.Seed, "seed", 1, "workload seed (must match across places)")
 	flag.IntVar(&p.Threads, "threads", 2, "worker threads (X10_NTHREADS)")
+	flag.IntVar(&p.Jobs, "jobs", 1, "concurrent identical jobs on the deployment (must match across places)")
 	flag.StringVar(&p.Strategy, "strategy", "local", "scheduling: local | random | mincomm")
 	flag.StringVar(&p.Dist, "dist", "blockrow", "distribution: blockrow | blockcol | cyclicrow | cycliccol")
 	flag.IntVar(&p.Cache, "cache", 0, "remote-vertex cache entries per place")

@@ -28,6 +28,24 @@
 // type argument. RunContext and LaunchContext accept a context whose
 // cancellation aborts the run.
 //
+// Run builds an ephemeral cluster for one computation. To amortize the
+// places across many computations, build a persistent cluster and submit
+// jobs to it — several run concurrently, sharing the worker pools under
+// per-job fair scheduling and the MaxActiveJobs admission bound:
+//
+//	c, err := dpx10.NewCluster(dpx10.Places(8), dpx10.Threads(6))
+//	defer c.Close()
+//	j1, err := dpx10.Submit[int32](ctx, c, app1, patternA)
+//	j2, err := dpx10.Submit[int32](ctx, c, app2, patternB, dpx10.WithTileSize(64))
+//	dagA, err := j1.Wait()
+//	dagB, err := j2.Wait()
+//
+// Cluster-scoped options (Places, Threads, transport, chaos, metrics,
+// MaxActiveJobs) belong to NewCluster; job-scoped options (strategy,
+// cache, tile size, codec, distribution, recovery, WithWeight) belong to
+// Submit; Run and Launch accept both. A misplaced option is rejected
+// with an *OptionScopeError.
+//
 // For fault-tolerance work the package also exposes a chaos-testing
 // surface: WithChaos injects seeded message drop/duplication/delay/
 // partition faults, WithHeartbeat bounds how long an unannounced place
@@ -168,8 +186,127 @@ func (d *Dag[T]) Elapsed() time.Duration { return d.elapsed }
 // by place; nil unless WithMetrics was set. Aggregate with MergeMetrics.
 func (d *Dag[T]) Metrics() []*MetricsSnapshot { return d.msnaps }
 
+// Cluster is a persistent set of places — transport stacks, shared worker
+// pools, metrics registries, failure detector — that outlives any single
+// computation. Submit runs jobs on it concurrently; each job gets its own
+// distributed array, vertex cache and recovery state while sharing the
+// places. Close tears the places down, canceling unfinished jobs.
+//
+// NewCluster accepts only cluster-scoped options (Places, Threads,
+// transport, chaos, metrics, admission); job-scoped options go to Submit.
+// A misplaced option is rejected with an *OptionScopeError.
+type Cluster struct {
+	m *core.JobManager
+}
+
+// NewCluster builds a persistent cluster from cluster-scoped options.
+// The places start lazily with the first admitted job.
+func NewCluster(opts ...UntypedOption) (*Cluster, error) {
+	cfg := core.Config[any]{Common: core.Common{Places: 1}}
+	for _, opt := range opts {
+		if name, scope := opt.optionInfo(); scope != scopeCluster {
+			return nil, &OptionScopeError{Option: name, Scope: scope.String(), Call: "NewCluster"}
+		}
+		opt.applyTo(&cfg)
+	}
+	m, err := core.NewJobManager(cfg.Common)
+	if err != nil {
+		return nil, err
+	}
+	return &Cluster{m: m}, nil
+}
+
+// JobState classifies a submitted job: queued behind the MaxActiveJobs
+// admission bound, running, or finished.
+type JobState = core.JobState
+
+// Job states.
+const (
+	JobQueued   = core.JobQueued
+	JobRunning  = core.JobRunning
+	JobFinished = core.JobFinished
+)
+
+// JobInfo describes one submitted job: its cluster-unique ID and state.
+type JobInfo = core.JobInfo
+
+// Jobs lists every job submitted to the cluster, in submission order.
+func (c *Cluster) Jobs() []JobInfo { return c.m.Jobs() }
+
+// ActiveJobs reports how many jobs currently hold admission slots and how
+// many are queued behind the MaxActiveJobs bound.
+func (c *Cluster) ActiveJobs() (active, queued int) { return c.m.ActiveJobs() }
+
+// Kill fails place p for every job on the cluster, triggering each job's
+// recovery (or aborting everything if p is 0). Jobs submitted later
+// recover from the death at launch.
+func (c *Cluster) Kill(p int) { c.m.Kill(p) }
+
+// KillUnannounced fails place p without reporting the failure; see
+// Job.KillUnannounced.
+func (c *Cluster) KillUnannounced(p int) { c.m.KillUnannounced(p) }
+
+// Metrics returns per-place instrument snapshots covering every job run
+// so far; nil unless WithMetrics was set. Per-job isolation lives in the
+// job.* vector instruments, keyed by job ID.
+func (c *Cluster) Metrics() []*MetricsSnapshot { return c.m.MetricsSnapshots() }
+
+// Close cancels every unfinished job, waits them out and tears the places
+// down. Idempotent.
+func (c *Cluster) Close() error { return c.m.Close() }
+
+// Submit starts app over pattern as a job on the cluster. The job queues
+// if MaxActiveJobs are already running; cancellation of ctx aborts it
+// whether queued or running. Submit accepts only job-scoped options
+// (strategy, cache, tile size, codec, distribution, recovery, weight);
+// cluster-scoped ones are rejected with an *OptionScopeError.
+//
+// Submit is a free function rather than a method because Go methods
+// cannot introduce the value type parameter T; it reads as
+// "Submit on c" all the same.
+func Submit[T any](ctx context.Context, c *Cluster, app App[T], pattern Pattern, opts ...Option[T]) (*Job[T], error) {
+	if c == nil || c.m == nil {
+		return nil, fmt.Errorf("dpx10: nil cluster")
+	}
+	if app == nil {
+		return nil, fmt.Errorf("dpx10: nil app")
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("dpx10: submit: %w", err)
+	}
+	cfg := core.Config[T]{
+		Common:  *c.m.Common(),
+		Compute: app.Compute,
+	}
+	cfg.Pattern = pattern
+	for _, opt := range opts {
+		if name, scope := opt.optionInfo(); scope != scopeJob {
+			return nil, &OptionScopeError{Option: name, Scope: scope.String(), Call: "Submit"}
+		}
+		opt.applyTo(&cfg)
+	}
+	jr, err := core.SubmitJob(c.m, cfg)
+	if err != nil {
+		return nil, err
+	}
+	job := &Job[T]{app: app, ctx: ctx, jr: jr, mgr: c.m}
+	go func() {
+		select {
+		case <-ctx.Done():
+			jr.Cancel()
+		case <-jr.Done():
+		}
+	}()
+	return job, nil
+}
+
 // Run executes app over pattern to completion, invokes app.AppFinished,
-// and returns the completed Dag.
+// and returns the completed Dag. It is a one-shot wrapper: an ephemeral
+// cluster is created for the run and closed when it finishes, so the
+// option list may mix cluster- and job-scoped options freely.
 func Run[T any](app App[T], pattern Pattern, opts ...Option[T]) (*Dag[T], error) {
 	job, err := Launch[T](app, pattern, opts...)
 	if err != nil {
@@ -188,17 +325,22 @@ func RunContext[T any](ctx context.Context, app App[T], pattern Pattern, opts ..
 	return job.Wait()
 }
 
-// Job is a running DPX10 computation started by Launch. It exposes the
-// handles the paper's fault-tolerance experiments need: progress polling
-// and failure injection.
+// Job is one running DPX10 computation — started one-shot by Launch or
+// submitted to a persistent Cluster. It exposes the handles the paper's
+// fault-tolerance experiments need: progress polling and failure
+// injection.
 type Job[T any] struct {
-	app     App[T]
-	cluster *core.Cluster[T]
-	ctx     context.Context
-	done    chan error
+	app App[T]
+	ctx context.Context
+	jr  *core.JobRun[T]
+	mgr *core.JobManager
+	// owned is the ephemeral cluster behind a one-shot Launch, closed when
+	// the job completes; nil for jobs submitted to a user-held Cluster.
+	owned *Cluster
 }
 
-// Launch starts app over pattern asynchronously.
+// Launch starts app over pattern asynchronously on an ephemeral
+// single-use cluster.
 func Launch[T any](app App[T], pattern Pattern, opts ...Option[T]) (*Job[T], error) {
 	return LaunchContext[T](context.Background(), app, pattern, opts...)
 }
@@ -206,6 +348,11 @@ func Launch[T any](app App[T], pattern Pattern, opts ...Option[T]) (*Job[T], err
 // LaunchContext is Launch with a context: when ctx is canceled the run is
 // aborted as if Cancel had been called, and Wait returns an error wrapping
 // ctx.Err().
+//
+// LaunchContext is a thin wrapper over the session API: it splits the
+// option list by scope, builds an ephemeral cluster from the
+// cluster-scoped options, submits one job with the job-scoped ones, and
+// closes the cluster when the job completes.
 func LaunchContext[T any](ctx context.Context, app App[T], pattern Pattern, opts ...Option[T]) (*Job[T], error) {
 	if app == nil {
 		return nil, fmt.Errorf("dpx10: nil app")
@@ -216,76 +363,96 @@ func LaunchContext[T any](ctx context.Context, app App[T], pattern Pattern, opts
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("dpx10: launch: %w", err)
 	}
-	cfg := core.Config[T]{
-		Common:  core.Common{Places: 1, Pattern: pattern},
-		Compute: app.Compute,
-	}
+	var clusterOpts []UntypedOption
+	var jobOpts []Option[T]
 	for _, opt := range opts {
-		opt.applyTo(&cfg)
+		if _, scope := opt.optionInfo(); scope == scopeCluster {
+			clusterOpts = append(clusterOpts, opt)
+		} else {
+			jobOpts = append(jobOpts, opt)
+		}
 	}
-	cl, err := core.NewCluster(cfg)
+	c, err := NewCluster(clusterOpts...)
 	if err != nil {
 		return nil, err
 	}
-	job := &Job[T]{app: app, cluster: cl, ctx: ctx, done: make(chan error, 1)}
-	finished := make(chan struct{})
-	go func() {
-		select {
-		case <-ctx.Done():
-			cl.Cancel()
-		case <-finished:
-		}
-	}()
-	go func() {
-		err := cl.Run()
-		close(finished)
-		job.done <- err
-	}()
+	job, err := Submit[T](ctx, c, app, pattern, jobOpts...)
+	if err != nil {
+		c.Close()
+		return nil, err
+	}
+	job.owned = c
 	return job, nil
 }
 
+// ID returns the job's cluster-unique id — the value carried in the wire
+// envelope and keying the per-job metrics vectors.
+func (j *Job[T]) ID() uint32 { return j.jr.ID() }
+
 // Kill fails place p, triggering the recovery mechanism (or aborting the
-// run if p is 0).
-func (j *Job[T]) Kill(p int) { j.cluster.Kill(p) }
+// run if p is 0). On a shared cluster the death hits every job.
+func (j *Job[T]) Kill(p int) { j.mgr.Kill(p) }
 
 // KillUnannounced fails place p without reporting the failure: the death
 // is only discoverable through communication errors or the heartbeat
 // failure detector (WithHeartbeat). Chaos and detector tests use it to
 // measure the detection window.
-func (j *Job[T]) KillUnannounced(p int) { j.cluster.KillUnannounced(p) }
+func (j *Job[T]) KillUnannounced(p int) { j.mgr.KillUnannounced(p) }
 
-// Cancel aborts the run; Wait will return ErrCanceled.
-func (j *Job[T]) Cancel() { j.cluster.Cancel() }
+// Cancel aborts the job; Wait will return ErrCanceled. A job canceled
+// while queued never runs.
+func (j *Job[T]) Cancel() { j.jr.Cancel() }
 
-// Progress returns how many vertices have finished so far.
-func (j *Job[T]) Progress() int64 { return j.cluster.Progress() }
+// Progress returns how many of this job's vertices have finished so far.
+func (j *Job[T]) Progress() int64 { return j.jr.Progress() }
 
-// Stats returns the run's counters so far; complete after Wait returned.
-func (j *Job[T]) Stats() Stats { return j.cluster.Stats() }
+// Stats returns the job's counters so far; complete after Wait returned.
+func (j *Job[T]) Stats() Stats { return j.jr.Stats() }
+
+// Elapsed returns the job's execution wall time, excluding admission
+// queue wait; final after Wait returned.
+func (j *Job[T]) Elapsed() time.Duration { return j.jr.Elapsed() }
+
+// QueueWait reports how long the job waited for an admission slot before
+// running; zero when it was admitted immediately. Meaningful after the
+// job started (and final after Wait).
+func (j *Job[T]) QueueWait() time.Duration { return j.jr.QueueWait() }
 
 // Metrics returns per-place instrument snapshots; nil unless WithMetrics
-// was set. Mid-run reads are consistent-enough; after Wait they are exact.
-func (j *Job[T]) Metrics() []*MetricsSnapshot { return j.cluster.MetricsSnapshots() }
+// was set. On a shared cluster the snapshots cover every job — this job's
+// share sits in the job.* vector slots under its ID. Mid-run reads are
+// consistent-enough; after Wait they are exact.
+func (j *Job[T]) Metrics() []*MetricsSnapshot { return j.mgr.MetricsSnapshots() }
+
+// closeOwned tears down the ephemeral cluster behind a one-shot job.
+func (j *Job[T]) closeOwned() {
+	if j.owned != nil {
+		j.owned.Close()
+	}
+}
 
 // Wait blocks until the run completes, invokes AppFinished and returns
 // the Dag.
 func (j *Job[T]) Wait() (*Dag[T], error) {
-	if err := <-j.done; err != nil {
+	if err := j.jr.Wait(); err != nil {
+		j.closeOwned()
 		if cerr := j.ctx.Err(); cerr != nil && errors.Is(err, ErrCanceled) {
 			return nil, fmt.Errorf("dpx10: run aborted: %w", cerr)
 		}
 		return nil, err
 	}
-	res, err := j.cluster.Result()
+	res, err := j.jr.Result()
 	if err != nil {
+		j.closeOwned()
 		return nil, err
 	}
 	d := &Dag[T]{
 		res:     res,
-		stats:   j.cluster.Stats(),
-		elapsed: j.cluster.Elapsed(),
-		msnaps:  j.cluster.MetricsSnapshots(),
+		stats:   j.jr.Stats(),
+		elapsed: j.jr.Elapsed(),
+		msnaps:  j.mgr.MetricsSnapshots(),
 	}
+	j.closeOwned()
 	j.app.AppFinished(d)
 	return d, nil
 }

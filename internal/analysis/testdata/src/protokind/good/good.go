@@ -3,20 +3,30 @@ package good
 const (
 	kindPing uint8 = 1
 	kindData uint8 = 2
+	kindJob  uint8 = 3
 )
 
 type tr struct{}
 
 func (tr) Handle(kind uint8, h func(int, []byte) ([]byte, error)) {}
 
-func register(t tr) {
+// port mirrors a job-multiplexing router port: a non-transport type whose
+// Handle method has the transport signature. Registrations through it
+// count — kinds routed per job must not be flagged as unregistered.
+type port struct{}
+
+func (port) Handle(kind uint8, h func(int, []byte) ([]byte, error)) {}
+
+func register(t tr, p port) {
 	t.Handle(kindPing, nil)
 	t.Handle(kindData, nil)
+	p.Handle(kindJob, nil)
 }
 
 var kindNames = map[uint8]string{
 	1: "ping",
 	2: "data",
+	3: "job",
 }
 
-var fuzzedWireKinds = []uint8{kindPing, kindData}
+var fuzzedWireKinds = []uint8{kindPing, kindData, kindJob}

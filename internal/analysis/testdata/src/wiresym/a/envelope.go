@@ -1,0 +1,65 @@
+package a
+
+// Envelope layering, as a multi-job runtime does it: the sender prefixes
+// a [job u32] envelope onto an inner payload with an append* helper, the
+// receiver strips it with a split* helper before dispatching the body.
+
+const (
+	kEnv    uint8 = 9
+	kEnvBad uint8 = 10
+)
+
+// appendJobEnv mirrors the runtime's job envelope: a u32 id, then the
+// inner payload verbatim. The raw-tail append makes the encoder shape
+// end in `bytes`, which absorbs whatever the handler reads after the id.
+func appendJobEnv(dst []byte, job uint32, payload []byte) []byte {
+	dst = putU32(dst, job)
+	return append(dst, payload...)
+}
+
+// splitJobEnv is the decoder half; the split* prefix splices its reads
+// into any handler that calls it.
+func splitJobEnv(payload []byte) (uint32, []byte, error) {
+	r := reader{b: payload}
+	job := r.u32()
+	return job, r.rest(), r.err
+}
+
+func (e *engine) registerEnv() {
+	e.tr.Handle(kEnv, e.handleEnv)
+	e.tr.Handle(kEnvBad, e.handleEnvBad)
+}
+
+// --- enveloped payload: both sides splice through helpers, clean ------
+
+func (e *engine) handleEnv(from int, payload []byte) ([]byte, error) {
+	job, body, err := splitJobEnv(payload)
+	if err != nil {
+		return nil, err
+	}
+	r := reader{b: body}
+	_ = r.id()
+	_ = job
+	return nil, r.err
+}
+
+func (e *engine) sendEnv(job uint32, id ident) error {
+	return e.tr.Send(1, kEnv, appendJobEnv(nil, job, putID(nil, id)))
+}
+
+// --- the envelope prefix does not exempt the kind: an inline-built
+// envelope with a wrong inner shape is still caught ---------------------
+
+func (e *engine) handleEnvBad(from int, payload []byte) ([]byte, error) {
+	r := reader{b: payload}
+	job := r.u32()
+	epoch := r.u64()
+	_, _ = job, epoch
+	return nil, r.err
+}
+
+func (e *engine) sendEnvBad(job uint32, n uint32) error {
+	buf := putU32(nil, job)
+	buf = putU32(buf, n)
+	return e.tr.Send(1, kEnvBad, buf) // want `wire kind kEnvBad: encoder builds \[u32 u32\] but handler handleEnvBad decodes \[u32 u64\]`
+}

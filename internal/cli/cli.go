@@ -5,6 +5,7 @@
 package cli
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"time"
@@ -35,6 +36,7 @@ type Params struct {
 
 	Places        int
 	Threads       int
+	Jobs          int    // concurrent identical jobs on one cluster (default 1)
 	Strategy      string // local | random | mincomm
 	Dist          string // blockrow | blockcol | cyclicrow | cycliccol
 	Cache         int
@@ -103,6 +105,9 @@ func (p *Params) normalize() error {
 	if p.Places <= 0 {
 		p.Places = 4
 	}
+	if p.Jobs <= 0 {
+		p.Jobs = 1
+	}
 	if p.Strategy == "" {
 		p.Strategy = "local"
 	}
@@ -120,22 +125,12 @@ func (p *Params) normalize() error {
 	return nil
 }
 
-func options[T any](p Params) []dpx10.Option[T] {
-	st, _ := sched.ParseStrategy(p.Strategy)
-	opts := []dpx10.Option[T]{
-		dpx10.Places(p.Places),
-		dpx10.WithStrategy(st),
-		dpx10.WithDist(dpx10.DistKind(p.Dist)),
-		dpx10.CacheSize(p.Cache),
-	}
+// clusterOptions builds the cluster-scoped half of the configuration:
+// places, threads, transport fault injection, failure detection, metrics.
+func clusterOptions(p Params) []dpx10.UntypedOption {
+	opts := []dpx10.UntypedOption{dpx10.Places(p.Places)}
 	if p.Threads > 0 {
 		opts = append(opts, dpx10.Threads(p.Threads))
-	}
-	if p.TileSize > 0 {
-		opts = append(opts, dpx10.WithTileSize(p.TileSize))
-	}
-	if p.RestoreRemote {
-		opts = append(opts, dpx10.RestoreRemote())
 	}
 	if p.chaotic() {
 		opts = append(opts, dpx10.WithChaos(&dpx10.ChaosPlan{
@@ -156,6 +151,34 @@ func options[T any](p Params) []dpx10.Option[T] {
 	}
 	if p.metricsOn() {
 		opts = append(opts, dpx10.WithMetrics())
+	}
+	return opts
+}
+
+// jobOptions builds the job-scoped half: scheduling, distribution, cache,
+// tiling, restore manner.
+func jobOptions[T any](p Params) []dpx10.Option[T] {
+	st, _ := sched.ParseStrategy(p.Strategy)
+	opts := []dpx10.Option[T]{
+		dpx10.WithStrategy(st),
+		dpx10.WithDist(dpx10.DistKind(p.Dist)),
+		dpx10.CacheSize(p.Cache),
+	}
+	if p.TileSize > 0 {
+		opts = append(opts, dpx10.WithTileSize(p.TileSize))
+	}
+	if p.RestoreRemote {
+		opts = append(opts, dpx10.RestoreRemote())
+	}
+	return opts
+}
+
+// options combines both scopes for the one-shot entry points, which
+// accept a mixed list.
+func options[T any](p Params) []dpx10.Option[T] {
+	opts := jobOptions[T](p)
+	for _, o := range clusterOptions(p) {
+		opts = append(opts, o)
 	}
 	return opts
 }
@@ -304,6 +327,9 @@ func clip(s string) string {
 func drive[T any](p Params, w io.Writer, app dpx10.App[T], pattern dpx10.Pattern,
 	cd dpx10.Codec[T], verify func(*dpx10.Dag[T]) error, summarize func(*dpx10.Dag[T]) string) error {
 
+	if p.Jobs > 1 {
+		return driveMulti[T](p, w, app, pattern, cd, verify, summarize)
+	}
 	opts := append(options[T](p), dpx10.WithCodec[T](cd))
 	var tr *dpx10.Trace
 	if p.Trace {
@@ -370,6 +396,79 @@ func drive[T any](p Params, w io.Writer, app dpx10.App[T], pattern dpx10.Pattern
 	return nil
 }
 
+// driveMulti runs p.Jobs identical copies of the app concurrently on one
+// persistent cluster through the session API, reporting per-job elapsed
+// time and counters. The Prometheus endpoint and the final metrics dump
+// show the per-job vectors (job.tiles_executed, ...) keyed job0, job1, ...
+func driveMulti[T any](p Params, w io.Writer, app dpx10.App[T], pattern dpx10.Pattern,
+	cd dpx10.Codec[T], verify func(*dpx10.Dag[T]) error, summarize func(*dpx10.Dag[T]) string) error {
+
+	cluster, err := dpx10.NewCluster(append(clusterOptions(p), dpx10.MaxActiveJobs(-1))...)
+	if err != nil {
+		return err
+	}
+	defer cluster.Close()
+	if p.MetricsAddr != "" {
+		stop, err := ServeMetrics(p.MetricsAddr, cluster.Metrics, w)
+		if err != nil {
+			return err
+		}
+		defer stop()
+	}
+	jobOpts := append(jobOptions[T](p), dpx10.WithCodec[T](cd))
+	fmt.Fprintf(w, "submitting %d concurrent jobs to a %d-place cluster\n", p.Jobs, p.Places)
+	t0 := time.Now()
+	jobs := make([]*dpx10.Job[T], p.Jobs)
+	for i := range jobs {
+		if jobs[i], err = dpx10.Submit[T](context.Background(), cluster, app, pattern, jobOpts...); err != nil {
+			return err
+		}
+	}
+	if p.Kill >= 0 {
+		h, wd := pattern.Bounds()
+		half := int64(h) * int64(wd) / 2
+		go func() {
+			for jobs[0].Progress() < half {
+				time.Sleep(time.Millisecond)
+			}
+			fmt.Fprintf(w, "killing place %d at ~50%% progress of job %d...\n", p.Kill, jobs[0].ID())
+			cluster.Kill(p.Kill)
+		}()
+	}
+	var first *dpx10.Dag[T]
+	var totalTiles int64
+	for _, job := range jobs {
+		d, err := job.Wait()
+		if err != nil {
+			return fmt.Errorf("job %d: %w", job.ID(), err)
+		}
+		if first == nil {
+			first = d
+		}
+		if p.Verify {
+			if err := verify(d); err != nil {
+				return fmt.Errorf("job %d verification FAILED: %w", job.ID(), err)
+			}
+		}
+		s := job.Stats()
+		totalTiles += s.TilesExecuted
+		fmt.Fprintf(w, "job %d: elapsed %.3fs queueWait %.3fs cells=%d tiles=%d recoveries=%d\n",
+			job.ID(), job.Elapsed().Seconds(), job.QueueWait().Seconds(),
+			s.ComputedCells, s.TilesExecuted, s.Recoveries)
+	}
+	if p.Verify {
+		fmt.Fprintf(w, "verified %d jobs against serial reference: OK\n", p.Jobs)
+	}
+	fmt.Fprintln(w, summarize(first))
+	fmt.Fprintf(w, "all %d jobs done in %.3fs (%d tiles total)\n", p.Jobs, time.Since(t0).Seconds(), totalTiles)
+	if p.Metrics || p.MetricsJSON {
+		if err := DumpMetrics(w, cluster.Metrics(), p.MetricsJSON); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 func printStats(w io.Writer, s dpx10.Stats, elapsed time.Duration) {
 	fmt.Fprintf(w, "elapsed %.3fs  places=%d epochs=%d recoveries=%d (%.1fms in recovery)\n",
 		elapsed.Seconds(), s.Places, s.Epochs, s.Recoveries, float64(s.RecoveryNanos)/1e6)
@@ -421,6 +520,7 @@ func driveWorker[T any](p Params, self int, addrs []string, w io.Writer,
 		Common: core.Common{
 			Places:        len(addrs),
 			Threads:       p.Threads,
+			Jobs:          p.Jobs,
 			Pattern:       pattern,
 			Strategy:      st,
 			CacheSize:     p.Cache,
@@ -486,13 +586,22 @@ func driveWorker[T any](p Params, self int, addrs []string, w io.Writer,
 	s := node.Stats()
 	fmt.Fprintf(w, "place %d done in %.3fs: computed=%d remoteFetches=%d msgs=%d\n",
 		self, node.Elapsed().Seconds(), s.ComputedCells, s.RemoteFetches, s.MsgsSent)
+	if p.Jobs > 1 {
+		for jb := 0; jb < p.Jobs; jb++ {
+			js := node.JobStats(jb)
+			fmt.Fprintf(w, "place %d job %d: computed=%d tiles=%d recoveries=%d\n",
+				self, jb, js.ComputedCells, js.TilesExecuted, js.Recoveries)
+		}
+	}
 	if self == 0 {
 		h, wd := pattern.Bounds()
-		v, err := node.Value(h-1, wd-1)
-		if err != nil {
-			return err
+		for jb := 0; jb < p.Jobs; jb++ {
+			v, err := node.JobValue(jb, h-1, wd-1)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "job %d corner vertex (%d,%d) = %v; recoveries=%d\n", jb, h-1, wd-1, v, s.Recoveries)
 		}
-		fmt.Fprintf(w, "corner vertex (%d,%d) = %v; recoveries=%d\n", h-1, wd-1, v, s.Recoveries)
 	}
 	return nil
 }

@@ -18,13 +18,16 @@ import (
 )
 
 // MetricsKeyNamer labels Vec keys for human-readable output: transport
-// vectors are keyed by wire-protocol kind, cache vectors by shard.
+// vectors are keyed by wire-protocol kind, cache vectors by shard, and
+// the per-job vectors by job id.
 func MetricsKeyNamer(vec string, key uint8) string {
 	switch {
 	case strings.HasPrefix(vec, "transport."):
 		return trace.KindName(key)
 	case strings.HasPrefix(vec, "vcache."):
 		return fmt.Sprintf("shard%d", key)
+	case strings.HasPrefix(vec, "job."):
+		return fmt.Sprintf("job%d", key)
 	}
 	return ""
 }

@@ -4,11 +4,13 @@ import (
 	"fmt"
 	"os"
 	"strconv"
+	"sync/atomic"
 	"testing"
 	"time"
 
 	"github.com/dpx10/dpx10/internal/dag"
 	"github.com/dpx10/dpx10/internal/dag/patterns"
+	"github.com/dpx10/dpx10/internal/sched"
 	"github.com/dpx10/dpx10/internal/transport"
 )
 
@@ -147,6 +149,114 @@ func TestChaosSoak(t *testing.T) {
 			t.Run(fmt.Sprintf("%s/kill%d/seed%d", prof.name, kill, seed), func(t *testing.T) {
 				t.Parallel()
 				soakRun(t, pat, prof.make(seed), kill)
+			})
+		}
+	}
+}
+
+// soakRunMultiJob executes one chaos arm with two concurrent jobs on a
+// shared manager-owned set of places, so both jobs' enveloped traffic
+// interleaves on every lossy link. killPlace >= 0 crashes that place
+// once both jobs have unfinished work in flight; every cell of both
+// jobs is verified against the fault-free Kahn reference.
+func soakRunMultiJob(t *testing.T, pat dag.Pattern, plan *transport.FaultPlan, killPlace int) {
+	t.Helper()
+	m, err := NewJobManager(Common{
+		Places: 3, Threads: 2,
+		Chaos:         plan,
+		ProbeInterval: 2 * time.Millisecond,
+		// As in soakRun: injected drops also eat heartbeats.
+		SuspicionThreshold: 5,
+		MaxActiveJobs:      -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+
+	cfg1, cfg2 := jobConfig(pat, sched.Local), jobConfig(pat, sched.Local)
+	var gate, resume chan struct{}
+	if killPlace >= 0 {
+		// Both jobs funnel through one gated compute counter, so the
+		// kill lands while each still holds unfinished vertices.
+		gate, resume = make(chan struct{}), make(chan struct{})
+		var count atomic.Int64
+		var gateOnce atomic.Bool
+		gated := func(i, j int32, deps []Cell[int64]) int64 {
+			n := count.Add(1)
+			if n == 40 && !gateOnce.Swap(true) {
+				close(gate)
+			}
+			if n >= 40 {
+				<-resume
+			}
+			return sumCompute(i, j, deps)
+		}
+		cfg1.Compute = gated
+		cfg2.Compute = gated
+	}
+	j1, err := SubmitJob(m, cfg1)
+	if err != nil {
+		t.Fatalf("SubmitJob 1: %v", err)
+	}
+	j2, err := SubmitJob(m, cfg2)
+	if err != nil {
+		t.Fatalf("SubmitJob 2: %v", err)
+	}
+	if killPlace >= 0 {
+		<-gate
+		m.Kill(killPlace)
+		close(resume)
+	}
+	done := make(chan error, 2)
+	go func() { done <- j1.Wait() }()
+	go func() { done <- j2.Wait() }()
+	for i := 0; i < 2; i++ {
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatalf("job: %v", err)
+			}
+		case <-time.After(2 * time.Minute):
+			t.Fatal("multi-job soak run did not terminate")
+		}
+	}
+	checkJobResult(t, j1, pat)
+	checkJobResult(t, j2, pat)
+	if killPlace >= 0 {
+		if j1.Stats().Recoveries < 1 || j2.Stats().Recoveries < 1 {
+			t.Fatal("kill arm recorded no recovery on one of the jobs")
+		}
+	}
+}
+
+// TestChaosSoakMultiJob is the two-job soak: the same seeded chaos
+// profiles as TestChaosSoak, but with two concurrent jobs sharing one
+// set of places, exercising the job envelope and the shared reliable
+// layer under loss, duplication, delay and partitions. -short keeps one
+// seed per profile; the nightly CI profile raises seeds via
+// DPX10_SOAK_RUNS.
+func TestChaosSoakMultiJob(t *testing.T) {
+	seeds := soakSeeds(t)
+	pat := patterns.NewDiagonal(18, 14)
+	for _, prof := range chaosProfiles() {
+		for s := 0; s < seeds; s++ {
+			seed := int64(1000*s + 53)
+			t.Run(fmt.Sprintf("%s/seed%d", prof.name, seed), func(t *testing.T) {
+				t.Parallel()
+				soakRunMultiJob(t, pat, prof.make(seed), -1)
+			})
+		}
+		kills := seeds - 1
+		if testing.Short() {
+			kills = 1 // keep one two-job kill arm per profile in short mode
+		}
+		for s := 0; s < kills; s++ {
+			seed := int64(1000*s + 71)
+			kill := 1 + s%2 // alternate the killed place
+			t.Run(fmt.Sprintf("%s/kill%d/seed%d", prof.name, kill, seed), func(t *testing.T) {
+				t.Parallel()
+				soakRunMultiJob(t, pat, prof.make(seed), kill)
 			})
 		}
 	}

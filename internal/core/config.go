@@ -154,54 +154,33 @@ type Common struct {
 	// (single-process runtime only; TCP deployments read snapshots
 	// through TCPNode.MetricsSnapshots). Setting it implies Metrics.
 	MetricsObserver func([]*metrics.Snapshot)
+	// MaxActiveJobs bounds how many jobs the manager admits concurrently;
+	// submissions beyond the bound queue FIFO until a slot frees. 0 means
+	// the default of 2; negative removes the bound.
+	MaxActiveJobs int
+	// Weight is a job's fair-share weight on the shared worker pools: the
+	// number of tiles a worker runs for the job per scheduling pass before
+	// moving to the next job. Default 8. Equal weights give tile-granular
+	// round-robin; a heavier job gets proportionally longer bursts.
+	Weight int
+	// Jobs is how many identical jobs a TCP deployment runs concurrently
+	// on the shared places (every node must agree). Default 1. The
+	// in-process runtime ignores it — jobs arrive through Submit there.
+	Jobs int
 }
 
-// CommonConfig exposes the type-independent configuration; promoted
-// through Config[T] so non-generic option values can reach it.
-func (c *Common) CommonConfig() *Common { return c }
-
-// Config parameterizes one DPX10 run.
-type Config[T any] struct {
-	Common
-	// Compute is the user's per-vertex function.
-	Compute ComputeFunc[T]
-	// Codec serializes vertex values; defaults to codec.Gob[T].
-	Codec codec.Codec[T]
-	// Snapshot, if non-nil, receives a full snapshot of finished vertices
-	// every SnapshotEvery local completions per place — the periodic
-	// snapshot baseline. Required for RecoverSnapshot.
-	Snapshot      *distarray.SnapshotStore[T]
-	SnapshotEvery int64
-
-	// valueWidth memoizes the encoded width of the zero value, computed
-	// once at validation instead of per worker spawn.
-	valueWidth int
-}
-
-func (c *Config[T]) validate() error {
+// normalize defaults and checks the type-independent fields. The job
+// manager calls it directly for cluster-level configuration (no Pattern
+// or Compute yet); Config.validate calls it as part of full validation.
+func (c *Common) normalize() error {
 	if c.Places < 1 {
 		return fmt.Errorf("core: Places = %d, need >= 1", c.Places)
-	}
-	if c.Pattern == nil {
-		return fmt.Errorf("core: Pattern is required")
-	}
-	if c.Compute == nil {
-		return fmt.Errorf("core: Compute is required")
-	}
-	if h, w := c.Pattern.Bounds(); h <= 0 || w <= 0 {
-		return fmt.Errorf("core: pattern bounds %dx%d invalid", h, w)
-	}
-	if c.Recovery == RecoverSnapshot && c.Snapshot == nil {
-		return fmt.Errorf("core: RecoverSnapshot requires a Snapshot store")
 	}
 	if c.Threads == 0 {
 		c.Threads = 2
 	}
 	if c.Threads < 0 {
 		return fmt.Errorf("core: Threads = %d, need >= 1", c.Threads)
-	}
-	if c.Codec == nil {
-		c.Codec = codec.Gob[T]{}
 	}
 	if c.ProbeInterval == 0 {
 		c.ProbeInterval = 25 * time.Millisecond
@@ -253,8 +232,6 @@ func (c *Config[T]) validate() error {
 	if c.tileCheck == nil {
 		c.tileCheck = &tileQuotientCache{}
 	}
-	var zero T
-	c.valueWidth = len(c.Codec.Encode(nil, zero))
 	if c.Spill != nil {
 		c.Spill.normalize()
 	}
@@ -263,6 +240,67 @@ func (c *Config[T]) validate() error {
 			return dist.NewBlockRow(h, w, places)
 		}
 	}
+	if c.MaxActiveJobs == 0 {
+		c.MaxActiveJobs = 2
+	}
+	if c.Weight == 0 {
+		c.Weight = 8
+	}
+	if c.Weight < 0 {
+		return fmt.Errorf("core: Weight = %d, need >= 1", c.Weight)
+	}
+	if c.Jobs == 0 {
+		c.Jobs = 1
+	}
+	if c.Jobs < 1 {
+		return fmt.Errorf("core: Jobs = %d, need >= 1", c.Jobs)
+	}
+	return nil
+}
+
+// CommonConfig exposes the type-independent configuration; promoted
+// through Config[T] so non-generic option values can reach it.
+func (c *Common) CommonConfig() *Common { return c }
+
+// Config parameterizes one DPX10 run.
+type Config[T any] struct {
+	Common
+	// Compute is the user's per-vertex function.
+	Compute ComputeFunc[T]
+	// Codec serializes vertex values; defaults to codec.Gob[T].
+	Codec codec.Codec[T]
+	// Snapshot, if non-nil, receives a full snapshot of finished vertices
+	// every SnapshotEvery local completions per place — the periodic
+	// snapshot baseline. Required for RecoverSnapshot.
+	Snapshot      *distarray.SnapshotStore[T]
+	SnapshotEvery int64
+
+	// valueWidth memoizes the encoded width of the zero value, computed
+	// once at validation instead of per worker spawn.
+	valueWidth int
+}
+
+func (c *Config[T]) validate() error {
+	if c.Pattern == nil {
+		return fmt.Errorf("core: Pattern is required")
+	}
+	if c.Compute == nil {
+		return fmt.Errorf("core: Compute is required")
+	}
+	if h, w := c.Pattern.Bounds(); h <= 0 || w <= 0 {
+		return fmt.Errorf("core: pattern bounds %dx%d invalid", h, w)
+	}
+	if c.Recovery == RecoverSnapshot && c.Snapshot == nil {
+		return fmt.Errorf("core: RecoverSnapshot requires a Snapshot store")
+	}
+	if err := c.Common.normalize(); err != nil {
+		return err
+	}
+	if c.Codec == nil {
+		c.Codec = codec.Gob[T]{}
+	}
+	var zero T
+	c.valueWidth = len(c.Codec.Encode(nil, zero))
 	return nil
 }
 

@@ -117,6 +117,11 @@ func (co *coordinator[T]) run() error {
 		case <-co.pe.stopCh:
 			// The hosting node was torn down mid-run (Close before
 			// completion); normal completion returns before stop lands.
+			// An abort closes the engines' stop channels right after
+			// recording its reason, so when both are ready the reason wins.
+			if err := co.abortErr(); err != nil {
+				return err
+			}
 			return ErrCanceled
 		case <-co.abort:
 			if err := co.abortErr(); err != nil {

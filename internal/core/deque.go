@@ -16,23 +16,21 @@ import (
 // identity, spread their pushes round-robin.
 type tileSched struct {
 	deques []workDeque
-	// wake carries one token per push. Capacity covers every possible
-	// outstanding push (a tile enqueues at most once per epoch, enforced by
-	// the chunk's tileQueued flag), so the send in push never blocks. Tokens
-	// may outnumber queued tiles — a worker can take a tile without
-	// consuming one — which costs only a spurious rescan; they can never
-	// undercount them, so a parked worker always wakes.
-	wake chan struct{}
-	rr   atomic.Uint32 // round-robin cursor for identity-less pushes
+	// notify wakes the place's shared worker pool after a push has made
+	// its tile visible. The host's wake semaphore guarantees a parked
+	// worker rescans after every notify, so no wakeup is lost even though
+	// the pool is shared by many epochs and many jobs.
+	notify func()
+	rr     atomic.Uint32 // round-robin cursor for identity-less pushes
 }
 
-func newTileSched(workers, numTiles int) *tileSched {
+func newTileSched(workers int, notify func()) *tileSched {
 	if workers < 1 {
 		workers = 1
 	}
 	return &tileSched{
 		deques: make([]workDeque, workers),
-		wake:   make(chan struct{}, numTiles+1),
+		notify: notify,
 	}
 }
 
@@ -43,13 +41,7 @@ func (ts *tileSched) push(t, wkr int) {
 		wkr = int(ts.rr.Add(1)) % len(ts.deques)
 	}
 	ts.deques[wkr].push(t)
-	select {
-	case ts.wake <- struct{}{}:
-	default:
-		// Capacity admits one token per tile; overflowing means a tile was
-		// enqueued twice, which must not be masked.
-		panic("core: tile wake channel overflow (double enqueue)")
-	}
+	ts.notify()
 }
 
 // take returns a runnable tile for worker w: its own tail first, then its

@@ -240,6 +240,60 @@ func FuzzSplitEnvelope(f *testing.F) {
 	})
 }
 
+// FuzzSplitJobEnvelope hardens the jobID-envelope decoder that fronts
+// every job-scoped payload on a multi-job cluster: arbitrary bytes must
+// never panic, and every appendJobEnvelope output must round-trip to the
+// same job id and body.
+func FuzzSplitJobEnvelope(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{1, 2, 3})
+	f.Add(appendJobEnvelope(nil, 0, nil))
+	f.Add(appendJobEnvelope(nil, 0xFFFFFFFF, []byte("body")))
+	f.Add(appendJobEnvelope(appendEnvelope(nil, 7, nil), 3, []byte("nested")))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		job, body, err := splitJobEnvelope(data)
+		if err != nil {
+			if len(data) >= 4 {
+				t.Fatalf("job envelope of %d bytes rejected: %v", len(data), err)
+			}
+			return
+		}
+		re := appendJobEnvelope(nil, job, body)
+		job2, body2, err2 := splitJobEnvelope(re)
+		if err2 != nil || job2 != job || string(body2) != string(body) {
+			t.Fatalf("round trip failed: %v job %d->%d body %d->%d bytes",
+				err2, job, job2, len(body), len(body2))
+		}
+	})
+}
+
+// TestJobScopedKindTable pins the job-router split: every protocol kind is
+// either job-scoped (multiplexed behind the jobID envelope) or
+// place-scoped (cluster infrastructure: heartbeats, the startup barrier,
+// metrics reads), and the table tracks no unknown kinds.
+func TestJobScopedKindTable(t *testing.T) {
+	placeScoped := map[uint8]bool{kindPing: true, kindHello: true, kindBegin: true, kindStats: true}
+	for _, k := range fuzzedWireKinds {
+		if jobScopedKind[k] == placeScoped[k] {
+			t.Errorf("kind %d: jobScoped=%v, placeScoped=%v", k, jobScopedKind[k], placeScoped[k])
+		}
+	}
+	for k := 0; k < len(jobScopedKind); k++ {
+		if !jobScopedKind[k] {
+			continue
+		}
+		found := false
+		for _, fk := range fuzzedWireKinds {
+			if fk == uint8(k) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("jobScopedKind tracks %d, which is not a protocol kind", k)
+		}
+	}
+}
+
 // FuzzReader hardens the little-endian field reader against truncation.
 func FuzzReader(f *testing.F) {
 	f.Add([]byte{})

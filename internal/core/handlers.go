@@ -5,7 +5,6 @@ import (
 
 	"github.com/dpx10/dpx10/internal/dag"
 	"github.com/dpx10/dpx10/internal/distarray"
-	"github.com/dpx10/dpx10/internal/metrics"
 )
 
 func (pe *placeEngine[T]) registerHandlers() {
@@ -23,19 +22,9 @@ func (pe *placeEngine[T]) registerHandlers() {
 	pe.tr.Handle(kindReadVal, pe.handleReadVal)
 	pe.tr.Handle(kindPlaceDone, pe.handleCoordinatorEvent(false))
 	pe.tr.Handle(kindFault, pe.handleCoordinatorEvent(true))
-	pe.tr.Handle(kindPing, handlePing)
 	pe.tr.Handle(kindSteal, pe.handleSteal)
 	pe.tr.Handle(kindStealDone, pe.handleStealDone)
 	pe.tr.Handle(kindDecrBatch, pe.handleDecrBatch)
-	pe.tr.Handle(kindStats, pe.handleStats)
-}
-
-// handleStats serves this place's metrics snapshot to the coordinator's
-// post-run collection (TCP deployments; in-process clusters read the
-// registries directly). The read is idempotent, so the kind rides the raw
-// transport like kindReadVal.
-func (pe *placeEngine[T]) handleStats(from int, payload []byte) ([]byte, error) {
-	return metrics.EncodeSnapshot(nil, pe.metricsSnapshot()), nil
 }
 
 // handlePing echoes the failure detector's heartbeat payload ([seq u64]
@@ -299,7 +288,7 @@ func (pe *placeEngine[T]) handlePause(from int, payload []byte) ([]byte, error) 
 	}
 	if st := pe.current(); st != nil {
 		st.closeQuit()
-		st.workers.Wait()
+		st.drainWorkers()
 		if st.agg != nil {
 			// Quiesce flush: with the workers stopped, drain the buffered
 			// decrements so they become ordinary in-flight messages — applied
@@ -454,9 +443,9 @@ func (pe *placeEngine[T]) handleReplayTx(from int, payload []byte) ([]byte, erro
 }
 
 // handleResume derives the tile readiness counters from the rebuilt
-// indegrees, seeds the work deques and restarts the worker pool. It
-// replies 1 if this place already has no unfinished work so the
-// coordinator can count it done immediately.
+// indegrees, seeds the work deques and wakes the shared worker pool onto
+// the new epoch. It replies 1 if this place already has no unfinished
+// work so the coordinator can count it done immediately.
 func (pe *placeEngine[T]) handleResume(from int, payload []byte) ([]byte, error) {
 	r := reader{b: payload}
 	epoch := r.u64()
@@ -470,7 +459,7 @@ func (pe *placeEngine[T]) handleResume(from int, payload []byte) ([]byte, error)
 	for _, t := range st.chunk.ActivateTiles(pe.cfg.Pattern) {
 		pe.enqueueTile(st, t, -1)
 	}
-	pe.spawnWorkers(st)
+	pe.host.wakeAll()
 	if st.chunk.AllFinished() {
 		st.doneReported.Store(true)
 		return []byte{1}, nil

@@ -1,0 +1,221 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/dpx10/dpx10/internal/metrics"
+	"github.com/dpx10/dpx10/internal/transport"
+)
+
+// jobRunner is one job's claim on a place's shared worker pool. tryRun
+// executes at most one ready tile for worker w and reports whether it did
+// any work; idlePull is the idle-path hook (remote stealing) consulted
+// only when no runner on the place had local work.
+type jobRunner interface {
+	tryRun(w int) bool
+	idlePull(w int) bool
+	usesSteal() bool
+}
+
+// hostSlot is one active job on a host plus its fair-share weight: the
+// maximum number of tiles a worker runs for the job in one scheduling
+// pass before moving to the next job. Equal weights yield round-robin
+// interleaving at tile granularity; a heavier job gets proportionally
+// longer bursts, not priority.
+type hostSlot struct {
+	runner jobRunner
+	weight int
+}
+
+// placeHost owns one place's worker pool, shared by every active job.
+// Jobs come and go (admission attaches a slot, completion removes it);
+// the pool's lifetime is the cluster's, which is what decouples place
+// lifetime from job lifetime. Workers scan the active slots in order,
+// running up to `weight` tiles per slot per pass, and park on the wake
+// semaphore when no slot has work.
+type placeHost struct {
+	self    int
+	threads int
+
+	// wake carries worker wake tokens. Capacity `threads` suffices: a
+	// notify that finds the channel full proves `threads` tokens are
+	// pending, and every pending token triggers a full rescan that starts
+	// after the notifying push made its tile visible — so each of the
+	// pool's workers is guaranteed a rescan and no wakeup is lost.
+	wake     chan struct{}
+	stopCh   chan struct{}
+	stopOnce sync.Once
+	startOne sync.Once
+	wg       sync.WaitGroup
+
+	mu    sync.Mutex // guards slot list replacement
+	slots atomic.Pointer[[]hostSlot]
+
+	mParks *metrics.Counter
+}
+
+func newPlaceHost(self, threads int, reg *metrics.Registry) *placeHost {
+	if threads < 1 {
+		threads = 1
+	}
+	h := &placeHost{
+		self:    self,
+		threads: threads,
+		wake:    make(chan struct{}, threads),
+		stopCh:  make(chan struct{}),
+		mParks:  reg.Counter(metrics.SchedDequeParks),
+	}
+	empty := []hostSlot{}
+	h.slots.Store(&empty)
+	return h
+}
+
+// registerPlaceHandlers installs the place-scoped protocol handlers on
+// the shared stack: the failure detector's heartbeat echo and the
+// post-run metrics read. These kinds describe the place, not a job, so
+// they bypass the job router (and the protokind analyzer sees their
+// constant registration here).
+func (h *placeHost) registerPlaceHandlers(tr transport.Transport, stats transport.Handler) {
+	tr.Handle(kindPing, handlePing)
+	tr.Handle(kindStats, stats)
+}
+
+// attach adds a job's runner to the scan list.
+func (h *placeHost) attach(r jobRunner, weight int) {
+	if weight < 1 {
+		weight = 1
+	}
+	h.mu.Lock()
+	old := *h.slots.Load()
+	upd := new([]hostSlot)
+	*upd = append(append(make([]hostSlot, 0, len(old)+1), old...), hostSlot{runner: r, weight: weight})
+	h.slots.Store(upd)
+	h.mu.Unlock()
+	h.wakeAll()
+}
+
+// detach removes a job's runner; its queued tiles die with its epoch
+// state, so no drain is needed.
+func (h *placeHost) detach(r jobRunner) {
+	h.mu.Lock()
+	old := *h.slots.Load()
+	upd := new([]hostSlot)
+	*upd = make([]hostSlot, 0, len(old))
+	for _, s := range old {
+		if s.runner != r {
+			*upd = append(*upd, s)
+		}
+	}
+	h.slots.Store(upd)
+	h.mu.Unlock()
+}
+
+// start spawns the worker pool; idempotent.
+func (h *placeHost) start() {
+	h.startOne.Do(func() {
+		for w := 0; w < h.threads; w++ {
+			h.wg.Add(1)
+			go h.worker(w)
+		}
+	})
+}
+
+// stop tears the pool down. Workers finish their in-flight tile and
+// exit; stop does not wait for them (the fabric teardown unblocks any
+// in-flight transport call).
+func (h *placeHost) stop() {
+	h.stopOnce.Do(func() { close(h.stopCh) })
+}
+
+// notify wakes one parked worker; a full channel means every worker
+// already has a pending rescan token, so dropping the token is safe.
+func (h *placeHost) notify() {
+	select {
+	case h.wake <- struct{}{}:
+	default:
+	}
+}
+
+// wakeAll queues a rescan for every worker (job attach, epoch resume).
+func (h *placeHost) wakeAll() {
+	for i := 0; i < h.threads; i++ {
+		select {
+		case h.wake <- struct{}{}:
+		default:
+			return
+		}
+	}
+}
+
+// worker is the shared scheduling loop: weighted round-robin over the
+// active jobs' deques, then the idle path (remote stealing) per job,
+// then park. One goroutine per worker index for the host's lifetime —
+// jobs never spawn or join workers.
+func (h *placeHost) worker(w int) {
+	defer h.wg.Done()
+	var park *time.Timer
+	defer func() {
+		if park != nil {
+			park.Stop()
+		}
+	}()
+	for {
+		select {
+		case <-h.stopCh:
+			return
+		default:
+		}
+		slots := *h.slots.Load()
+		progressed := false
+		for _, s := range slots {
+			for q := 0; q < s.weight; q++ {
+				if !s.runner.tryRun(w) {
+					break
+				}
+				progressed = true
+			}
+		}
+		if progressed {
+			continue
+		}
+		// Idle: offer each job a remote steal attempt (only Steal-strategy
+		// jobs act on it). Any success re-enters the scan loop.
+		steal := false
+		for _, s := range slots {
+			if s.runner.usesSteal() {
+				steal = true
+				if s.runner.idlePull(w) {
+					progressed = true
+					break
+				}
+			}
+		}
+		if progressed {
+			continue
+		}
+		h.mParks.Inc(w)
+		if steal {
+			// Park briefly and retry: a victim may have work before any
+			// local push wakes us.
+			if park == nil {
+				park = time.NewTimer(stealRetryDelay)
+			} else {
+				park.Reset(stealRetryDelay)
+			}
+			select {
+			case <-h.stopCh:
+				return
+			case <-h.wake:
+			case <-park.C:
+			}
+			continue
+		}
+		select {
+		case <-h.stopCh:
+			return
+		case <-h.wake:
+		}
+	}
+}

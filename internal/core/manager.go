@@ -1,0 +1,445 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/dpx10/dpx10/internal/metrics"
+	"github.com/dpx10/dpx10/internal/transport"
+)
+
+// JobManager is the multi-job runtime: one persistent set of places —
+// transport stacks, routers, shared worker pools, metrics registries,
+// failure detector — hosting a stream of jobs. Each job gets its own
+// distributed array, vertex cache, epoch state and coordinator, isolated
+// behind a jobID envelope on the wire; places, workers and delivery
+// state are shared. This is the decoupling of place lifetime from job
+// lifetime: places live as long as the manager, jobs come and go.
+type JobManager struct {
+	common Common
+
+	fabric  *transport.LocalFabric
+	chaos   []*transport.FaultFabric
+	rel     []*reliableTransport
+	regs    []*metrics.Registry // per-place; all nil when Metrics is off
+	tops    []transport.Transport
+	routers []*jobRouter
+	hosts   []*placeHost
+	sink    *eventSink
+
+	closeCh   chan struct{}
+	closeOnce sync.Once
+	detStop   chan struct{}
+	startOnce sync.Once
+
+	mu     sync.Mutex
+	nextID uint32
+	jobs   map[uint32]jobHandle
+	order  []uint32 // submission order
+	active int
+	queue  []*admitTicket
+	dead   map[int]bool // places declared dead, replayed to later jobs
+	closed bool
+
+	mQueueWait *metrics.Vec
+}
+
+// jobHandle is the manager's untyped view of a JobRun[T]: the lifecycle
+// verbs fanned out to every job regardless of its value type.
+type jobHandle interface {
+	id() uint32
+	fault(place int)
+	placeKilled(place int)
+	cancel(err error)
+	awaitDone()
+	finished() bool
+	overlayCache(place int, s *metrics.Snapshot)
+}
+
+// admitTicket is one queued submission waiting for an admission slot.
+type admitTicket struct {
+	job   uint32
+	ready chan struct{}
+}
+
+// NewJobManager builds the persistent places from cluster-scoped
+// configuration. No goroutines start until the first job is admitted.
+func NewJobManager(common Common) (*JobManager, error) {
+	if err := common.normalize(); err != nil {
+		return nil, err
+	}
+	m := &JobManager{
+		common:  common,
+		fabric:  transport.NewLocalFabric(common.Places),
+		regs:    make([]*metrics.Registry, common.Places),
+		tops:    make([]transport.Transport, common.Places),
+		routers: make([]*jobRouter, common.Places),
+		hosts:   make([]*placeHost, common.Places),
+		closeCh: make(chan struct{}),
+		detStop: make(chan struct{}),
+		jobs:    make(map[uint32]jobHandle),
+		dead:    make(map[int]bool),
+	}
+	m.sink = newEventSink(m.common.Events)
+	if m.common.Chaos != nil && m.sink != nil {
+		prev := m.common.Chaos.OnInject
+		sink := m.sink
+		m.common.Chaos.OnInject = func(ev transport.InjectEvent) {
+			if prev != nil {
+				prev(ev)
+			}
+			sink.emit(RunEvent{
+				Kind:   EventChaosInject,
+				Place:  ev.To,
+				Detail: fmt.Sprintf("%s %d->%d kind=%d delay=%s", ev.Fault, ev.From, ev.To, ev.Kind, ev.Delay),
+			})
+		}
+	}
+	for p := 0; p < common.Places; p++ {
+		// Per-place transport stack: endpoint, then the metrics meter
+		// (directly above the endpoint so its per-kind counts equal the
+		// fabric's own Stats number for number), then chaos injection on
+		// the send side, then reliable delivery on top so retries
+		// re-traverse the faulty layer, then the job router multiplexing
+		// every job's traffic over the shared stream.
+		if m.common.Metrics {
+			m.regs[p] = metrics.New(p)
+		}
+		var tr transport.Transport = m.fabric.Endpoint(p)
+		tr = transport.NewMetered(tr, m.regs[p])
+		if m.common.Chaos != nil {
+			ff := transport.NewFaultFabric(tr, m.common.Chaos)
+			m.chaos = append(m.chaos, ff)
+			tr = ff
+		}
+		if m.common.Reliable {
+			rt := newReliableTransport(tr, &m.common, m.closeCh, m.regs[p])
+			m.rel = append(m.rel, rt)
+			tr = rt
+		}
+		m.tops[p] = tr
+		m.routers[p] = newJobRouter(tr, m.regs[p])
+		m.hosts[p] = newPlaceHost(p, common.Threads, m.regs[p])
+		m.hosts[p].registerPlaceHandlers(tr, m.statsHandler(p))
+	}
+	m.mQueueWait = m.regs[0].Vec(metrics.JobQueueWaitNs)
+	return m, nil
+}
+
+// register assigns the next job id and records the handle. The handle's
+// ports are not yet routed; newJobRun wires those after the engines'
+// handlers are installed.
+func (m *JobManager) register(h func(id uint32) jobHandle) (jobHandle, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return nil, fmt.Errorf("core: job manager closed")
+	}
+	id := m.nextID
+	m.nextID++
+	jh := h(id)
+	m.jobs[id] = jh
+	m.order = append(m.order, id)
+	return jh, nil
+}
+
+// admit grants an admission slot, or queues the job FIFO behind the
+// MaxActiveJobs bound. The returned channel is closed once the job may
+// run.
+func (m *JobManager) admit(id uint32) <-chan struct{} {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.common.MaxActiveJobs < 0 || m.active < m.common.MaxActiveJobs {
+		m.active++
+		ready := make(chan struct{})
+		close(ready)
+		return ready
+	}
+	t := &admitTicket{job: id, ready: make(chan struct{})}
+	m.queue = append(m.queue, t)
+	return t.ready
+}
+
+// dequeue removes a job's pending ticket after an abort while queued.
+// It reports true when the ticket was already released — the job holds a
+// slot and the caller must return it through jobDone.
+func (m *JobManager) dequeue(id uint32) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for i, t := range m.queue {
+		if t.job == id {
+			m.queue = append(m.queue[:i], m.queue[i+1:]...)
+			return false
+		}
+	}
+	return true
+}
+
+// jobDone returns a job's admission slot and releases the next queued
+// ticket, if any.
+func (m *JobManager) jobDone() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.active--
+	if len(m.queue) > 0 && (m.common.MaxActiveJobs < 0 || m.active < m.common.MaxActiveJobs) {
+		t := m.queue[0]
+		m.queue = m.queue[1:]
+		m.active++
+		close(t.ready)
+	}
+}
+
+func (m *JobManager) recordQueueWait(id uint32, d time.Duration) {
+	m.mQueueWait.Add(uint8(id), d.Nanoseconds())
+}
+
+// start spins up the shared machinery on first admission: the per-place
+// worker pools and the failure detector. Idempotent.
+func (m *JobManager) start() {
+	m.startOnce.Do(func() {
+		for _, h := range m.hosts {
+			h.start()
+		}
+		if m.common.ProbeInterval > 0 {
+			go m.detector().run()
+		}
+	})
+}
+
+// detector builds the manager-level heartbeat failure detector: one per
+// cluster, not per job, so a place death is observed once and fanned out
+// to every active job's coordinator.
+func (m *JobManager) detector() *detector {
+	return &detector{
+		tr:        m.tops[0],
+		targets:   peerTargets(m.common.Places, 0),
+		interval:  m.common.ProbeInterval,
+		threshold: m.common.SuspicionThreshold,
+		onSuspect: func(p, misses int) {
+			m.sink.emit(RunEvent{Kind: EventPlaceSuspected, Place: p, Misses: misses})
+		},
+		onDead:  m.placeDead,
+		mMisses: m.regs[0].Counter(metrics.TransportHeartbeatMisses),
+		abortCh: m.closeCh,
+		stopCh:  m.detStop,
+	}
+}
+
+// handles snapshots the unfinished jobs for a fanout.
+func (m *JobManager) handles() []jobHandle {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]jobHandle, 0, len(m.jobs))
+	for _, id := range m.order {
+		if h := m.jobs[id]; h != nil && !h.finished() {
+			out = append(out, h)
+		}
+	}
+	return out
+}
+
+// placeDead records a place death and delivers it to every unfinished
+// job's coordinator; each job recovers independently (its own pause→
+// rebuild→restore→replay→resume over its own epoch state). Jobs
+// submitted later learn the dead set at launch (deadPlaces).
+func (m *JobManager) placeDead(p int) {
+	if p == 0 {
+		m.abortAll(placeDead(0))
+		return
+	}
+	m.mu.Lock()
+	m.dead[p] = true
+	m.mu.Unlock()
+	for _, h := range m.handles() {
+		h.fault(p)
+	}
+}
+
+// deadPlaces returns the places known dead, for replay into a
+// newly-launched job's coordinator.
+func (m *JobManager) deadPlaces() []int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]int, 0, len(m.dead))
+	for p := range m.dead {
+		out = append(out, p)
+	}
+	return out
+}
+
+func (m *JobManager) abortAll(err error) {
+	for _, h := range m.handles() {
+		h.cancel(err)
+	}
+}
+
+// Kill fails place p mid-run for every job, as the paper's recovery
+// experiments do. Killing place 0 aborts everything (Resilient X10
+// limitation, §VI-D).
+func (m *JobManager) Kill(p int) {
+	m.KillUnannounced(p)
+	if p == 0 {
+		return
+	}
+	m.placeDead(p)
+}
+
+// KillUnannounced fails place p without telling any coordinator: the
+// crash is only discoverable through communication errors or the
+// heartbeat detector. Regression tests use it to bound detection.
+func (m *JobManager) KillUnannounced(p int) {
+	m.fabric.Kill(p)
+	if p == 0 {
+		m.abortAll(placeDead(0))
+		return
+	}
+	// A real crash takes the place's workers and every job's local state
+	// with it.
+	m.hosts[p].stop()
+	for _, h := range m.handles() {
+		h.placeKilled(p)
+	}
+}
+
+// JobState classifies a submitted job for introspection.
+type JobState int
+
+const (
+	// JobQueued: submitted but waiting for an admission slot.
+	JobQueued JobState = iota
+	// JobRunning: admitted and executing (or finishing up).
+	JobRunning
+	// JobFinished: the job's run goroutine has exited.
+	JobFinished
+)
+
+// String names the state for logs and dumps.
+func (s JobState) String() string {
+	switch s {
+	case JobQueued:
+		return "queued"
+	case JobRunning:
+		return "running"
+	case JobFinished:
+		return "finished"
+	}
+	return "unknown"
+}
+
+// JobInfo describes one submitted job.
+type JobInfo struct {
+	ID    uint32
+	State JobState
+}
+
+// Jobs lists every submitted job in submission order with its current
+// state.
+func (m *JobManager) Jobs() []JobInfo {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	queued := make(map[uint32]bool, len(m.queue))
+	for _, t := range m.queue {
+		queued[t.job] = true
+	}
+	out := make([]JobInfo, 0, len(m.order))
+	for _, id := range m.order {
+		info := JobInfo{ID: id, State: JobRunning}
+		switch {
+		case queued[id]:
+			info.State = JobQueued
+		case m.jobs[id] != nil && m.jobs[id].finished():
+			info.State = JobFinished
+		}
+		out = append(out, info)
+	}
+	return out
+}
+
+// JobIDs returns every submitted job id in submission order.
+func (m *JobManager) JobIDs() []uint32 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]uint32, len(m.order))
+	copy(out, m.order)
+	return out
+}
+
+// ActiveJobs returns how many jobs currently hold admission slots and
+// how many are queued behind the bound.
+func (m *JobManager) ActiveJobs() (active, queued int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.active, len(m.queue)
+}
+
+// placeSnapshot reads place p's registry, overlaying the live cache
+// counters of every job still running there (finished jobs folded their
+// final epoch into the registry already).
+func (m *JobManager) placeSnapshot(p int) *metrics.Snapshot {
+	s := m.regs[p].Snapshot()
+	if !m.regs[p].Enabled() {
+		return s
+	}
+	for _, h := range m.handles() {
+		h.overlayCache(p, s)
+	}
+	return s
+}
+
+// statsHandler serves place p's metrics snapshot over kindStats (TCP
+// deployments; in-process callers read MetricsSnapshots directly).
+func (m *JobManager) statsHandler(p int) transport.Handler {
+	return func(from int, payload []byte) ([]byte, error) {
+		return metrics.EncodeSnapshot(nil, m.placeSnapshot(p)), nil
+	}
+}
+
+// MetricsSnapshots reads every place's registry; nil when metrics are
+// off. Exact once the jobs have stopped; mid-run it is a
+// consistent-enough read.
+func (m *JobManager) MetricsSnapshots() []*metrics.Snapshot {
+	if !m.common.Metrics {
+		return nil
+	}
+	out := make([]*metrics.Snapshot, 0, m.common.Places)
+	for p := 0; p < m.common.Places; p++ {
+		out = append(out, m.placeSnapshot(p))
+	}
+	return out
+}
+
+// Common exposes the manager's normalized cluster configuration; job
+// submissions inherit it for the cluster-scoped fields.
+func (m *JobManager) Common() *Common { return &m.common }
+
+// Close cancels every unfinished job, waits them out, and tears the
+// places down. Idempotent.
+func (m *JobManager) Close() error {
+	m.closeOnce.Do(func() {
+		m.mu.Lock()
+		m.closed = true
+		m.mu.Unlock()
+		close(m.closeCh)
+		hs := m.handles()
+		for _, h := range hs {
+			h.cancel(ErrCanceled)
+		}
+		for _, h := range hs {
+			h.awaitDone()
+		}
+		close(m.detStop)
+		for _, h := range m.hosts {
+			h.stop()
+		}
+		for _, ff := range m.chaos {
+			ff.Close()
+		}
+		m.fabric.Close()
+		m.sink.close()
+		if m.common.MetricsObserver != nil {
+			m.common.MetricsObserver(m.MetricsSnapshots())
+		}
+	})
+	return nil
+}

@@ -37,9 +37,23 @@ type epochState[T any] struct {
 	cache *vcache.Cache[T]
 	agg   *aggregator[T] // outbound decrement aggregator; nil when disabled
 
-	workers      sync.WaitGroup
+	// runGate serializes tile execution against recovery pause. Workers
+	// hold it shared for the duration of one tile; the pause handler takes
+	// it exclusively — once, forever, the epoch is dead after a pause — to
+	// wait out in-flight tiles without joining worker goroutines, which
+	// the place host owns and which outlive every epoch and every job.
+	runGate   sync.RWMutex
+	pauseOnce sync.Once
+
 	doneReported atomic.Bool
 	quitOnce     sync.Once
+}
+
+// drainWorkers blocks until no worker is mid-tile on this epoch, then
+// keeps the gate closed so none re-enters. Idempotent: a restarted
+// recovery may re-pause an epoch it already paused.
+func (st *epochState[T]) drainWorkers() {
+	st.pauseOnce.Do(func() { st.runGate.Lock() })
 }
 
 // closeQuit tears the epoch's workers down; safe to call repeatedly (a
@@ -54,6 +68,24 @@ type placeEngine[T any] struct {
 	self int
 	cfg  *Config[T]
 	tr   transport.Transport
+
+	// host is the place's shared worker pool and job this engine's id on
+	// it (0 for single-job runs). The engine is a jobRunner: the host's
+	// workers call tryRun/idlePull rather than the engine owning
+	// goroutines, which is what lets many jobs share one pool.
+	host   *placeHost
+	job    uint32
+	jobKey uint8
+
+	// workers holds per-worker persistent execution state (scratch, RNG,
+	// picker), indexed by the host's worker id — the locals the dedicated
+	// worker goroutines used to keep on their stacks.
+	workers []workerCtx[T]
+
+	// spanTile/spanSteal carry a "j<id>:" prefix for non-zero jobs so
+	// concurrent jobs' spans stay separable in one SpanLog.
+	spanTile  string
+	spanSteal string
 
 	st    atomic.Pointer[epochState[T]]
 	alive []atomic.Bool
@@ -73,6 +105,11 @@ type placeEngine[T any] struct {
 
 	snapSeq atomic.Int64 // local completions since the last snapshot
 
+	// foldOnce/folded guard the one-time fold of the final epoch's cache
+	// counters into the registry when the job ends (see foldFinalCache).
+	foldOnce sync.Once
+	folded   atomic.Bool
+
 	// scratchPool recycles per-worker hot-path buffers; protocol handlers
 	// (exec, steal-done, aggregated decrements) draw from the same pool.
 	scratchPool sync.Pool
@@ -90,6 +127,7 @@ type placeEngine[T any] struct {
 	mVCMiss   *metrics.Vec
 	mVCEvict  *metrics.Vec
 	mEpoch    *metrics.Gauge
+	mJobTiles *metrics.Vec
 
 	// counters for Stats
 	computed       atomic.Int64
@@ -164,15 +202,42 @@ func (pe *placeEngine[T]) getScratch() *scratch[T] {
 
 func (pe *placeEngine[T]) putScratch(sc *scratch[T]) { pe.scratchPool.Put(sc) }
 
-func newPlaceEngine[T any](self int, cfg *Config[T], tr transport.Transport, abort func(error), reg *metrics.Registry) *placeEngine[T] {
+// workerCtx is one host worker's persistent per-engine state. The picker
+// is epoch-scoped (it captures the epoch's distribution), so it is
+// rebuilt lazily whenever the worker first touches a new epoch.
+type workerCtx[T any] struct {
+	sc   *scratch[T]
+	rng  *rand.Rand
+	pk   *sched.Picker
+	pkSt *epochState[T]
+}
+
+func newPlaceEngine[T any](self int, cfg *Config[T], tr transport.Transport, abort func(error), reg *metrics.Registry, host *placeHost, job uint32) *placeEngine[T] {
 	pe := &placeEngine[T]{
-		self:   self,
-		cfg:    cfg,
-		tr:     tr,
-		alive:  make([]atomic.Bool, cfg.Places),
-		abort:  abort,
-		stopCh: make(chan struct{}),
-		reg:    reg,
+		self:     self,
+		cfg:      cfg,
+		tr:       tr,
+		host:     host,
+		job:      job,
+		jobKey:   uint8(job),
+		workers:  make([]workerCtx[T], cfg.Threads),
+		spanTile: "tile",
+		spanSteal: "steal",
+		alive:    make([]atomic.Bool, cfg.Places),
+		abort:    abort,
+		stopCh:   make(chan struct{}),
+		reg:      reg,
+	}
+	if job != 0 {
+		pe.spanTile = fmt.Sprintf("j%d:tile", job)
+		pe.spanSteal = fmt.Sprintf("j%d:steal", job)
+	}
+	for w := range pe.workers {
+		pe.workers[w].sc = &scratch[T]{
+			remote:   make(map[int][]dag.VertexID, 4),
+			fetchIdx: make(map[int][]int, 4),
+			wkr:      w,
+		}
 	}
 	pe.mTiles = reg.Counter(metrics.SchedTilesExecuted)
 	pe.mStealAtt = reg.Counter(metrics.SchedStealsAttempted)
@@ -182,6 +247,7 @@ func newPlaceEngine[T any](self int, cfg *Config[T], tr transport.Transport, abo
 	pe.mVCMiss = reg.Vec(metrics.VCacheMisses)
 	pe.mVCEvict = reg.Vec(metrics.VCacheEvictions)
 	pe.mEpoch = reg.Gauge(metrics.EngineEpoch)
+	pe.mJobTiles = reg.Vec(metrics.JobTilesExecuted)
 	for p := 0; p < cfg.Places; p++ {
 		pe.alive[p].Store(true)
 	}
@@ -216,7 +282,7 @@ func (pe *placeEngine[T]) newEpochState(epoch uint64, d dist.Dist, chunk *distar
 		epoch: epoch,
 		d:     d,
 		chunk: chunk,
-		sched: newTileSched(pe.cfg.Threads, chunk.NumTiles()),
+		sched: newTileSched(pe.cfg.Threads, pe.host.notify),
 		quit:  make(chan struct{}),
 		cache: pe.newCache(),
 	}
@@ -228,95 +294,96 @@ func (pe *placeEngine[T]) newEpochState(epoch uint64, d dist.Dist, chunk *distar
 	return st
 }
 
-// launch starts the worker pool on the prepared epoch-0 state
-// (paper §VI-A step 2).
+// launch makes the prepared epoch-0 state runnable on the shared worker
+// pool (paper §VI-A step 2). The pool itself is started by the job
+// manager; launch only signals that this engine's deques have work.
 func (pe *placeEngine[T]) launch() {
 	st := pe.current()
-	pe.spawnWorkers(st)
 	pe.maybeReportDone(st)
+	pe.host.wakeAll()
 }
 
-func (pe *placeEngine[T]) spawnWorkers(st *epochState[T]) {
-	for w := 0; w < pe.cfg.Threads; w++ {
-		st.workers.Add(1)
+// workerFor returns worker w's persistent context, rebuilding its picker
+// when the worker first touches a new epoch (the picker captures the
+// epoch's distribution; the seed mirrors the old per-spawn formula so
+// random placement stays deterministic per (place, worker, epoch)).
+func (pe *placeEngine[T]) workerFor(st *epochState[T], w int) *workerCtx[T] {
+	wc := &pe.workers[w]
+	if wc.pkSt != st {
 		seed := int64(pe.self)<<32 | int64(w)<<8 | int64(st.epoch&0xff)
-		go pe.worker(st, w, seed)
+		wc.pk = sched.NewPicker(pe.cfg.Strategy, st.d, pe.isAlive, pe.valueSize(), seed)
+		wc.rng = rand.New(rand.NewSource(seed ^ 0x5bd1e995))
+		wc.pkSt = st
 	}
+	return wc
 }
 
-// worker pulls ready tiles and executes them until the epoch is torn
-// down or the run stops. One Picker per worker keeps random scheduling
-// deterministic per seed without locking.
-func (pe *placeEngine[T]) worker(st *epochState[T], w int, seed int64) {
-	defer st.workers.Done()
+// tryRun executes at most one ready tile for host worker w, holding the
+// epoch's run gate shared so a recovery pause can drain in-flight tiles.
+// It reports whether any work was done (jobRunner contract).
+func (pe *placeEngine[T]) tryRun(w int) bool {
+	st := pe.st.Load()
+	if st == nil {
+		return false
+	}
+	select {
+	case <-st.quit:
+		return false
+	case <-pe.stopCh:
+		return false
+	default:
+	}
+	if !st.runGate.TryRLock() {
+		return false // epoch is being paused
+	}
+	t, ok := st.sched.take(w)
+	if !ok {
+		st.runGate.RUnlock()
+		return false
+	}
+	defer st.runGate.RUnlock()
 	defer func() {
 		if r := recover(); r != nil {
 			pe.abort(fmt.Errorf("core: place %d worker panic: %v", pe.self, r))
 		}
 	}()
-	pk := sched.NewPicker(pe.cfg.Strategy, st.d, pe.isAlive, pe.valueSize(), seed)
-	rng := rand.New(rand.NewSource(seed ^ 0x5bd1e995))
-	sc := pe.getScratch()
-	sc.wkr = w
-	defer pe.putScratch(sc)
-	// One reusable timer paces remote steal retries; the old code built a
-	// fresh time.After timer on every idle iteration of every worker.
-	var park *time.Timer
+	wc := pe.workerFor(st, w)
+	pe.runTile(st, wc.pk, wc.sc, t)
+	return true
+}
+
+// idlePull is the jobRunner idle path: one remote steal attempt for a
+// Steal-strategy job. The host paces retries (stealRetryDelay) so the
+// engine only attempts; it never parks.
+func (pe *placeEngine[T]) idlePull(w int) bool {
+	if pe.cfg.Strategy != sched.Steal {
+		return false
+	}
+	st := pe.st.Load()
+	if st == nil {
+		return false
+	}
+	select {
+	case <-st.quit:
+		return false
+	case <-pe.stopCh:
+		return false
+	default:
+	}
+	if !st.runGate.TryRLock() {
+		return false
+	}
+	defer st.runGate.RUnlock()
 	defer func() {
-		if park != nil {
-			park.Stop()
+		if r := recover(); r != nil {
+			pe.abort(fmt.Errorf("core: place %d worker panic: %v", pe.self, r))
 		}
 	}()
-	for {
-		select {
-		case <-st.quit:
-			return
-		case <-pe.stopCh:
-			return
-		default:
-		}
-		if t, ok := st.sched.take(w); ok {
-			pe.runTile(st, pk, sc, t)
-			continue
-		}
-		// Idle: park without flushing the aggregation buffers — the flusher
-		// tick bounds how long buffered decrements wait (AggWindow), and on
-		// wavefront workloads workers park constantly at the distribution
-		// boundary, so flushing here would collapse batches to ~1 record.
-		// Under the stealing strategy, try to pull work from a peer, then
-		// park briefly and retry; other strategies park on the wake
-		// semaphore without polling.
-		if pe.cfg.Strategy == sched.Steal {
-			if pe.trySteal(st, sc, rng) {
-				continue
-			}
-			if park == nil {
-				park = time.NewTimer(stealRetryDelay)
-			} else {
-				park.Reset(stealRetryDelay)
-			}
-			pe.mParks.Inc(w)
-			select {
-			case <-st.quit:
-				return
-			case <-pe.stopCh:
-				return
-			case <-st.sched.wake:
-			case <-park.C:
-				// Retry cadence for the next steal attempt.
-			}
-			continue
-		}
-		pe.mParks.Inc(w)
-		select {
-		case <-st.quit:
-			return
-		case <-pe.stopCh:
-			return
-		case <-st.sched.wake:
-		}
-	}
+	wc := pe.workerFor(st, w)
+	return pe.trySteal(st, wc.sc, wc.rng)
 }
+
+func (pe *placeEngine[T]) usesSteal() bool { return pe.cfg.Strategy == sched.Steal }
 
 // runTile executes one claimed tile: its unfinished cells, in intra-tile
 // dependency order, as one stack-local loop — no channel operations, no
@@ -326,7 +393,7 @@ func (pe *placeEngine[T]) runTile(st *epochState[T], pk *sched.Picker, sc *scrat
 	lo, hi := st.chunk.TileRange(tile)
 	if sp := pe.cfg.Spans; sp != nil {
 		t0 := sp.Start()
-		defer func() { sp.Add("tile", pe.self, sc.wkr, t0) }()
+		defer func() { sp.Add(pe.spanTile, pe.self, sc.wkr, t0) }()
 	}
 	if hi-lo == 1 {
 		// Single-cell tile (TileSize=1): the per-vertex path, with the
@@ -334,6 +401,7 @@ func (pe *placeEngine[T]) runTile(st *epochState[T], pk *sched.Picker, sc *scrat
 		if !st.chunk.Finished(lo) {
 			pe.tilesRun.Add(1)
 			pe.mTiles.Inc(sc.wkr)
+			pe.mJobTiles.Add(pe.jobKey, 1)
 			pe.runVertex(st, pk, sc, lo)
 		}
 		return
@@ -344,6 +412,7 @@ func (pe *placeEngine[T]) runTile(st *epochState[T], pk *sched.Picker, sc *scrat
 	}
 	pe.tilesRun.Add(1)
 	pe.mTiles.Inc(sc.wkr)
+	pe.mJobTiles.Add(pe.jobKey, 1)
 	// One placement decision for the whole tile.
 	var ext []dag.VertexID
 	if pe.cfg.Strategy == sched.MinComm {
@@ -547,12 +616,13 @@ func (pe *placeEngine[T]) trySteal(st *epochState[T], sc *scratch[T], rng *rand.
 	pe.stolen.Add(int64(done))
 	pe.tilesRun.Add(1)
 	pe.mTiles.Inc(sc.wkr)
+	pe.mJobTiles.Add(pe.jobKey, 1)
 	pe.mStealOK.Inc(sc.wkr)
 	if _, err := pe.tr.Call(victim, kindStealDone, sc.out); err != nil {
 		pe.peerError(victim, err)
 	}
 	if sp != nil {
-		sp.Add("steal", pe.self, sc.wkr, spanStart)
+		sp.Add(pe.spanSteal, pe.self, sc.wkr, spanStart)
 	}
 	return true
 }
@@ -936,6 +1006,46 @@ func (pe *placeEngine[T]) foldCacheStats(c *vcache.Cache[T]) {
 	}
 }
 
+// foldFinalCache folds the live epoch's cache counters into the
+// registry, once, when the job ends. The registry outlives the job (it
+// belongs to the place), so without this fold a finished job's final
+// epoch would vanish from the vcache vecs; the folded flag stops
+// metricsSnapshot from overlaying the same counters a second time.
+func (pe *placeEngine[T]) foldFinalCache() {
+	pe.foldOnce.Do(func() {
+		if st := pe.current(); st != nil {
+			pe.foldCacheStats(st.cache)
+		}
+		pe.folded.Store(true)
+	})
+}
+
+// overlayCacheStats adds this engine's live cache shard counters onto a
+// snapshot of the shared registry (no-op once the final fold ran). Many
+// engines can share one place registry, so the snapshot is taken by the
+// caller and each active engine overlays in turn.
+func (pe *placeEngine[T]) overlayCacheStats(s *metrics.Snapshot) {
+	if pe.folded.Load() {
+		return
+	}
+	st := pe.current()
+	if st == nil || st.cache == nil {
+		return
+	}
+	for i, sh := range st.cache.ShardStats() {
+		k := uint8(i)
+		if sh.Hits != 0 {
+			s.Vecs[metrics.VCacheHits][k] += sh.Hits
+		}
+		if sh.Misses != 0 {
+			s.Vecs[metrics.VCacheMisses][k] += sh.Misses
+		}
+		if sh.Evicted != 0 {
+			s.Vecs[metrics.VCacheEvictions][k] += sh.Evicted
+		}
+	}
+}
+
 // metricsSnapshot reads this place's registry, overlaying the live
 // epoch's cache shard counters (prior epochs were folded in at rebuild,
 // so the result is cumulative across recoveries).
@@ -944,20 +1054,7 @@ func (pe *placeEngine[T]) metricsSnapshot() *metrics.Snapshot {
 	if !pe.reg.Enabled() {
 		return s
 	}
-	if st := pe.current(); st != nil && st.cache != nil {
-		for i, sh := range st.cache.ShardStats() {
-			k := uint8(i)
-			if sh.Hits != 0 {
-				s.Vecs[metrics.VCacheHits][k] += sh.Hits
-			}
-			if sh.Misses != 0 {
-				s.Vecs[metrics.VCacheMisses][k] += sh.Misses
-			}
-			if sh.Evicted != 0 {
-				s.Vecs[metrics.VCacheEvictions][k] += sh.Evicted
-			}
-		}
-	}
+	pe.overlayCacheStats(s)
 	return s
 }
 

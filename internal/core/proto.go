@@ -140,6 +140,52 @@ func splitEnvelope(payload []byte) (seq uint64, body []byte, err error) {
 	return binary.LittleEndian.Uint64(payload), payload[8:], nil
 }
 
+// --- job envelope -----------------------------------------------------
+//
+// A multi-job cluster multiplexes every job-scoped kind over one shared
+// per-place delivery stack. Job-scoped payloads travel wrapped in a
+// [jobID u32] envelope ahead of their ordinary payload, added by the
+// sending jobPort and stripped by the receiving jobRouter. The envelope
+// sits *inside* the reliable-delivery envelope, so a tracked kind's wire
+// form is [seq u64][jobID u32][payload]; untracked job-scoped kinds
+// (kindReadVal) travel as [jobID u32][payload]. Place-scoped kinds
+// (ping, hello, begin, stats) keep the bare wire format — they describe
+// the place, not any one job, and raw-transport callers (the failure
+// detector, the TCP startup barrier, post-run stats reads) must
+// interoperate without a router.
+
+// jobScopedKind marks the kinds whose payloads carry the job envelope.
+var jobScopedKind = func() (t [256]bool) {
+	for _, k := range []uint8{
+		kindFetch, kindDecrement, kindExec, kindPlaceDone, kindFault,
+		kindPause, kindRebuild, kindRestore, kindRestoreTx,
+		kindReplay, kindReplayTx, kindResume, kindStop, kindReadVal,
+		kindSteal, kindStealDone, kindDecrBatch,
+	} {
+		t[k] = true
+	}
+	return t
+}()
+
+// errUnknownJob is returned when a job envelope names a job the receiving
+// place has no port for — the job finished and was torn down, or the
+// sender raced its own submission. Senders treat it like a stale epoch.
+var errUnknownJob = errors.New("core: unknown job")
+
+// appendJobEnvelope prefixes payload with the owning job's id.
+func appendJobEnvelope(dst []byte, job uint32, payload []byte) []byte {
+	dst = putU32(dst, job)
+	return append(dst, payload...)
+}
+
+// splitJobEnvelope separates the job id from the wrapped payload.
+func splitJobEnvelope(payload []byte) (job uint32, body []byte, err error) {
+	if len(payload) < 4 {
+		return 0, nil, fmt.Errorf("core: job envelope truncated (%d bytes)", len(payload))
+	}
+	return binary.LittleEndian.Uint32(payload), payload[4:], nil
+}
+
 // --- wire helpers -----------------------------------------------------
 //
 // All payloads are little-endian. IDs are encoded as two uint32 words.

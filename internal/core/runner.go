@@ -2,7 +2,6 @@ package core
 
 import (
 	"fmt"
-	"sync"
 	"time"
 
 	"github.com/dpx10/dpx10/internal/dag"
@@ -10,102 +9,52 @@ import (
 	"github.com/dpx10/dpx10/internal/transport"
 )
 
-// Cluster is a single-process DPX10 deployment: cfg.Places place engines
-// wired to a transport.LocalFabric, with the coordinator on place 0. It is
-// the Go analogue of launching an X10 program with X10_NPLACES=n on one
-// host — and, with Kill, the harness for every fault-tolerance experiment.
+// Cluster is a single-process, single-job DPX10 deployment: a JobManager
+// hosting exactly one job, run synchronously. It is the Go analogue of
+// launching an X10 program with X10_NPLACES=n on one host — and, with
+// Kill, the harness for every fault-tolerance experiment. Multi-job
+// sessions use the JobManager/SubmitJob surface directly.
 type Cluster[T any] struct {
-	cfg     Config[T]
+	m  *JobManager
+	jr *JobRun[T]
+
+	// Shared-infrastructure views, exposed for the test harnesses that
+	// reach into the stack (fault injection, registry assertions).
 	fabric  *transport.LocalFabric
 	chaos   []*transport.FaultFabric
 	rel     []*reliableTransport
 	regs    []*metrics.Registry // per-place; all nil when cfg.Metrics is off
 	engines []*placeEngine[T]
 	co      *coordinator[T]
-	sink    *eventSink
 
-	abortCh   chan struct{}
-	abortOnce sync.Once
-	abortErr  error
-	abortMu   sync.Mutex
-
-	ran      bool
-	elapsed  time.Duration
-	runError error
+	ran bool
 }
 
-// NewCluster validates cfg and builds the places. Run starts the
-// computation.
+// NewCluster validates cfg and builds the places around a single job.
+// Run starts the computation.
 func NewCluster[T any](cfg Config[T]) (*Cluster[T], error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
-	cl := &Cluster[T]{
-		cfg:     cfg,
-		fabric:  transport.NewLocalFabric(cfg.Places),
-		abortCh: make(chan struct{}),
+	m, err := NewJobManager(cfg.Common)
+	if err != nil {
+		return nil, err
 	}
-	cl.sink = newEventSink(cl.cfg.Events)
-	if cl.cfg.Chaos != nil && cl.sink != nil {
-		prev := cl.cfg.Chaos.OnInject
-		sink := cl.sink
-		cl.cfg.Chaos.OnInject = func(ev transport.InjectEvent) {
-			if prev != nil {
-				prev(ev)
-			}
-			sink.emit(RunEvent{
-				Kind:   EventChaosInject,
-				Place:  ev.To,
-				Detail: fmt.Sprintf("%s %d->%d kind=%d delay=%s", ev.Fault, ev.From, ev.To, ev.Kind, ev.Delay),
-			})
-		}
+	jr, err := newJobRun(m, cfg)
+	if err != nil {
+		m.Close()
+		return nil, err
 	}
-	cl.engines = make([]*placeEngine[T], cfg.Places)
-	cl.regs = make([]*metrics.Registry, cfg.Places)
-	for p := 0; p < cfg.Places; p++ {
-		// Per-place transport stack: endpoint, then the metrics meter
-		// (directly above the endpoint so its per-kind counts equal the
-		// fabric's own Stats number for number), then chaos injection on
-		// the send side, then reliable delivery on top so retries
-		// re-traverse the faulty layer (exactly what a lossy network
-		// would see).
-		if cl.cfg.Metrics {
-			cl.regs[p] = metrics.New(p)
-		}
-		var tr transport.Transport = cl.fabric.Endpoint(p)
-		tr = transport.NewMetered(tr, cl.regs[p])
-		if cl.cfg.Chaos != nil {
-			ff := transport.NewFaultFabric(tr, cl.cfg.Chaos)
-			cl.chaos = append(cl.chaos, ff)
-			tr = ff
-		}
-		if cl.cfg.Reliable {
-			rt := newReliableTransport(tr, &cl.cfg.Common, cl.abortCh, cl.regs[p])
-			cl.rel = append(cl.rel, rt)
-			tr = rt
-		}
-		cl.engines[p] = newPlaceEngine[T](p, &cl.cfg, tr, cl.abortWith, cl.regs[p])
-	}
-	cl.co = newCoordinator(cl.engines[0], cl.abortCh, cl.abortError, true)
-	cl.co.sink = cl.sink
-	cl.engines[0].events = cl.co.events
-	return cl, nil
-}
-
-// abortError returns the recorded abort cause, if any.
-func (cl *Cluster[T]) abortError() error {
-	cl.abortMu.Lock()
-	defer cl.abortMu.Unlock()
-	return cl.abortErr
-}
-
-func (cl *Cluster[T]) abortWith(err error) {
-	cl.abortOnce.Do(func() {
-		cl.abortMu.Lock()
-		cl.abortErr = err
-		cl.abortMu.Unlock()
-		close(cl.abortCh)
-	})
+	return &Cluster[T]{
+		m:       m,
+		jr:      jr,
+		fabric:  m.fabric,
+		chaos:   m.chaos,
+		rel:     m.rel,
+		regs:    m.regs,
+		engines: jr.engines,
+		co:      jr.co,
+	}, nil
 }
 
 // Run executes the computation to completion and returns the terminal
@@ -115,154 +64,32 @@ func (cl *Cluster[T]) Run() error {
 		return fmt.Errorf("core: cluster already ran")
 	}
 	cl.ran = true
-	start := time.Now()
-	h, w := cl.cfg.Pattern.Bounds()
-	d := cl.cfg.NewDist(h, w, cl.cfg.Places)
-	if got := len(d.Places()); got != cl.cfg.Places {
-		return fmt.Errorf("core: distribution covers %d places, cluster has %d", got, cl.cfg.Places)
-	}
-	// Two-phase start: every place installs its epoch-0 state before any
-	// worker runs, so no early message finds a place without state.
-	for _, pe := range cl.engines {
-		pe.prepare(d)
-	}
-	for _, pe := range cl.engines {
-		pe.launch()
-	}
-	// The detector's lifetime spans the entire run, including the stop
-	// broadcast: stop messages to an undetected-unreachable place retry
-	// until the detector declares it dead, so tying the detector to an
-	// engine's stop channel (place 0 stops first) would deadlock shutdown.
-	var detStop chan struct{}
-	if cl.cfg.ProbeInterval > 0 {
-		detStop = make(chan struct{})
-		go cl.detector(detStop).run()
-	}
-	err := cl.co.run()
-	if err == nil {
-		// Make sure every place observed the stop before returning. A place
-		// the detector declared dead after the coordinator's last recovery
-		// (so co.alive is stale) never receives the stop broadcast — the
-		// fabric check is race-free because a failed stop send implies the
-		// dead mark landed before it.
-		for _, pe := range cl.engines {
-			if cl.co.alive[pe.self] && cl.fabric.Alive(pe.self) {
-				pe.wait()
-			}
-		}
-	} else {
-		cl.abortWith(err)
-	}
-	// Stop every engine unconditionally: a place the failure detector
-	// declared dead (including chaos-induced false positives) never
-	// receives the stop broadcast, yet its workers are still running.
-	for _, pe := range cl.engines {
-		pe.stop()
-	}
-	if detStop != nil {
-		close(detStop)
-	}
-	cl.elapsed = time.Since(start)
-	cl.runError = err
-	for _, ff := range cl.chaos {
-		ff.Close()
-	}
-	cl.fabric.Close()
-	cl.sink.close()
-	if cl.cfg.MetricsObserver != nil {
-		cl.cfg.MetricsObserver(cl.MetricsSnapshots())
-	}
+	cl.jr.start()
+	err := cl.jr.Wait()
+	cl.m.Close()
 	return err
-}
-
-// detector builds the heartbeat failure detector run by place 0 (paper
-// §VI-D assumes the X10 runtime raises DeadPlaceException runtime-wide; the
-// detector guarantees detection even when no survivor has cause to contact
-// the dead place). Suspicion misses surface as events; a declaration feeds
-// the coordinator exactly like a communication-observed fault.
-func (cl *Cluster[T]) detector(stop <-chan struct{}) *detector {
-	return &detector{
-		tr:        cl.engines[0].tr,
-		targets:   peerTargets(cl.cfg.Places, 0),
-		interval:  cl.cfg.ProbeInterval,
-		threshold: cl.cfg.SuspicionThreshold,
-		onSuspect: func(p, misses int) {
-			cl.sink.emit(RunEvent{Kind: EventPlaceSuspected, Place: p, Misses: misses})
-		},
-		onDead: func(p int) {
-			select {
-			case cl.co.events <- coEvent{fault: true, place: p}:
-			case <-cl.abortCh:
-			case <-stop:
-			}
-		},
-		mMisses: cl.regs[0].Counter(metrics.TransportHeartbeatMisses),
-		abortCh: cl.abortCh,
-		stopCh:  stop,
-	}
 }
 
 // Cancel aborts the run with ErrCanceled. Safe to call at any time; a
 // run that already finished is unaffected.
-func (cl *Cluster[T]) Cancel() {
-	cl.abortWith(ErrCanceled)
-	for _, pe := range cl.engines {
-		pe.stop()
-	}
-}
+func (cl *Cluster[T]) Cancel() { cl.jr.Cancel() }
 
 // Kill fails place p mid-run, as the paper's recovery experiments do by
 // triggering a failure "manually in the middle of the execution". Killing
 // place 0 aborts the run (Resilient X10 limitation, §VI-D).
-func (cl *Cluster[T]) Kill(p int) {
-	cl.KillUnannounced(p)
-	if p == 0 {
-		return
-	}
-	// Runtime-level failure detection: X10 raises DeadPlaceException at
-	// every place when a place dies, not only on the next communication
-	// attempt. Without this, a dead place that no survivor happens to
-	// contact again would stall its dependents forever.
-	select {
-	case cl.co.events <- coEvent{fault: true, place: p}:
-	case <-cl.abortCh:
-	}
-}
+func (cl *Cluster[T]) Kill(p int) { cl.m.Kill(p) }
 
 // KillUnannounced fails place p without telling the coordinator: the crash
 // is only discoverable through communication errors or the heartbeat
 // failure detector. Regression tests use it to bound the detection window.
-func (cl *Cluster[T]) KillUnannounced(p int) {
-	cl.fabric.Kill(p)
-	if p == 0 {
-		cl.abortWith(placeDead(0))
-		return
-	}
-	// Stop the dead place's workers; a real crash would take them too.
-	if st := cl.engines[p].current(); st != nil {
-		st.closeQuit()
-	}
-	cl.engines[p].stop()
-}
+func (cl *Cluster[T]) KillUnannounced(p int) { cl.m.KillUnannounced(p) }
 
 // Progress returns the number of vertices finished in the current epoch
 // across alive places; the fault-injection harness polls it to time kills.
-func (cl *Cluster[T]) Progress() int64 {
-	var n int64
-	for p, pe := range cl.engines {
-		st := pe.current()
-		if st == nil { // Run not started yet
-			continue
-		}
-		if cl.fabric.Alive(p) {
-			n += st.chunk.FinishedCount()
-		}
-	}
-	return n
-}
+func (cl *Cluster[T]) Progress() int64 { return cl.jr.Progress() }
 
-// Elapsed returns the wall time of Run.
-func (cl *Cluster[T]) Elapsed() time.Duration { return cl.elapsed }
+// Elapsed returns the wall time of the run.
+func (cl *Cluster[T]) Elapsed() time.Duration { return cl.jr.Elapsed() }
 
 // Result gives read access to the finished vertex values. Call after Run
 // returned nil.
@@ -270,75 +97,23 @@ func (cl *Cluster[T]) Result() (*Result[T], error) {
 	if !cl.ran {
 		return nil, fmt.Errorf("core: Result before Run")
 	}
-	if cl.runError != nil {
-		return nil, fmt.Errorf("core: run failed: %w", cl.runError)
-	}
-	var ref *placeEngine[T]
-	for p, pe := range cl.engines {
-		if cl.co.alive[p] {
-			ref = pe
-			break
-		}
-	}
-	if ref == nil {
-		return nil, fmt.Errorf("core: no surviving places")
-	}
-	return &Result[T]{cluster: cl, d: ref.current().d, pattern: cl.cfg.Pattern}, nil
+	return cl.jr.Result()
 }
 
 // Stats aggregates counters across places; meaningful after Run.
-func (cl *Cluster[T]) Stats() Stats {
-	s := Stats{
-		Places:        cl.cfg.Places,
-		Epochs:        int(cl.co.epoch) + 1,
-		Recoveries:    cl.co.recoveries,
-		RecoveryNanos: cl.co.recoveryNanos,
-	}
-	for _, pe := range cl.engines {
-		s.ComputedCells += pe.computed.Load()
-		s.RemoteFetches += pe.remoteFetches.Load()
-		s.LocalReads += pe.localReads.Load()
-		s.ExecMigrated += pe.execMigrated.Load()
-		s.Stolen += pe.stolen.Load()
-		s.TilesExecuted += pe.tilesRun.Load()
-		s.CacheHits += pe.cacheHits.Load()
-		s.CacheMisses += pe.cacheMisses.Load()
-		s.FetchCalls += pe.fetchCalls.Load()
-		s.AggBatches += pe.aggBatches.Load()
-		s.DecrsCoalesced += pe.decrsCoalesced.Load()
-		s.ValuesPushed += pe.valuesPushed.Load()
-		s.PushDeposits += pe.pushDeposits.Load()
-		s.PushConsumed += pe.pushConsumed.Load()
-		ts := pe.tr.Stats().Snapshot()
-		s.MsgsSent += ts.SendsOut + ts.CallsOut
-		s.BytesSent += ts.BytesOut
-		s.SendsOut += ts.SendsOut
-	}
-	for _, rt := range cl.rel {
-		s.Retries += rt.retries.Load()
-		s.DedupHits += rt.dedupHits.Load()
-	}
-	return s
-}
+func (cl *Cluster[T]) Stats() Stats { return cl.jr.Stats() }
 
 // MetricsSnapshots reads every place's metrics registry (in-process, so
 // no kindStats traffic is needed). Returns nil when cfg.Metrics is off.
 // Exact once the run has stopped; mid-run it is a consistent-enough read.
 func (cl *Cluster[T]) MetricsSnapshots() []*metrics.Snapshot {
-	if !cl.cfg.Metrics {
-		return nil
-	}
-	out := make([]*metrics.Snapshot, 0, len(cl.engines))
-	for _, pe := range cl.engines {
-		out = append(out, pe.metricsSnapshot())
-	}
-	return out
+	return cl.m.MetricsSnapshots()
 }
 
 // Result reads finished vertex values after a successful run — the dag
 // argument handed to the paper's appFinished() callback.
 type Result[T any] struct {
-	cluster *Cluster[T]
+	engines []*placeEngine[T]
 	d       interface {
 		Bounds() (int32, int32)
 		Place(i, j int32) int
@@ -353,12 +128,12 @@ func (r *Result[T]) Bounds() (h, w int32) { return r.d.Bounds() }
 // Finished reports whether cell (i,j) holds a computed value. Inactive
 // cells report true with the zero value.
 func (r *Result[T]) Finished(i, j int32) bool {
-	pe := r.cluster.engines[r.d.Place(i, j)]
+	pe := r.engines[r.d.Place(i, j)]
 	return pe.current().chunk.Finished(r.d.LocalOffset(i, j))
 }
 
 // Value returns the computed value of cell (i,j).
 func (r *Result[T]) Value(i, j int32) T {
-	pe := r.cluster.engines[r.d.Place(i, j)]
+	pe := r.engines[r.d.Place(i, j)]
 	return pe.current().chunk.Value(r.d.LocalOffset(i, j))
 }

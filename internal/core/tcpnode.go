@@ -14,15 +14,24 @@ import (
 // runs in its own OS process (as X10's Socket runtime launches places)
 // and communicates over TCP. All processes must be started with the same
 // Config and address table; place 0 coordinates and exposes the result.
+//
+// With cfg.Jobs > 1 the node hosts that many identical jobs on its one
+// set of places: one shared transport stack, worker pool and registry,
+// one engine + coordinator pair per job, multiplexed by the jobID
+// envelope. Every process must agree on Jobs (it shapes the run, not the
+// wire). Admission control is not applied over TCP — all jobs start at
+// the begin barrier.
 type TCPNode[T any] struct {
 	cfg   Config[T]
 	self  int
 	tr    *transport.TCP
+	top   transport.Transport // top of the shared delivery stack
 	chaos *transport.FaultFabric
 	rel   *reliableTransport
 	reg   *metrics.Registry // nil when cfg.Metrics is off
-	pe    *placeEngine[T]
-	co    *coordinator[T]
+	host  *placeHost
+	pes   []*placeEngine[T]  // one per job
+	cos   []*coordinator[T]  // place 0 only; one per job
 	sink  *eventSink
 
 	abortCh  chan struct{}
@@ -32,8 +41,8 @@ type TCPNode[T any] struct {
 	elapsed  time.Duration
 
 	// detStop bounds the failure detector's lifetime to the whole node,
-	// not the engine: Close's stop broadcast still needs the detector to
-	// declare unreachable peers, and place 0's own engine stops first.
+	// not the engines: Close's stop broadcast still needs the detector to
+	// declare unreachable peers, and place 0's own engines stop first.
 	detStop chan struct{}
 	detOnce sync.Once
 
@@ -41,9 +50,9 @@ type TCPNode[T any] struct {
 	beginCh chan struct{} // non-zero places: closed when place 0 says go
 }
 
-// StartTCPNode binds place `self` to addrs[self] and prepares the engine.
-// Run starts the computation; all places must call Run within each
-// other's dial window.
+// StartTCPNode binds place `self` to addrs[self] and prepares the
+// engines. Run starts the computation; all places must call Run within
+// each other's dial window.
 func StartTCPNode[T any](cfg Config[T], self int, addrs []string) (*TCPNode[T], error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
@@ -72,11 +81,12 @@ func StartTCPNode[T any](cfg Config[T], self int, addrs []string) (*TCPNode[T], 
 		}
 	}
 	n.sink = newEventSink(n.cfg.Events)
-	// Engine transport stack: TCP endpoint, the metrics meter (directly
+	// Shared transport stack: TCP endpoint, the metrics meter (directly
 	// above the endpoint so per-kind counts track the wire exactly), chaos
-	// injection (if any), then reliable delivery so retries re-traverse
-	// the faulty layer. The raw TCP endpoint stays around for the startup
-	// barrier and post-run reads (all untracked kinds).
+	// injection (if any), reliable delivery so retries re-traverse the
+	// faulty layer, then the job router multiplexing the jobs' traffic.
+	// The raw TCP endpoint stays around for the startup barrier and
+	// post-run reads (untracked kinds).
 	if n.cfg.Metrics {
 		n.reg = metrics.New(self)
 	}
@@ -90,11 +100,23 @@ func StartTCPNode[T any](cfg Config[T], self int, addrs []string) (*TCPNode[T], 
 		n.rel = newReliableTransport(ptr, &n.cfg.Common, n.abortCh, n.reg)
 		ptr = n.rel
 	}
-	n.pe = newPlaceEngine[T](self, &n.cfg, ptr, abort, n.reg)
+	n.top = ptr
+	router := newJobRouter(ptr, n.reg)
+	n.host = newPlaceHost(self, cfg.Threads, n.reg)
+	n.host.registerPlaceHandlers(ptr, n.statsHandler())
+	n.pes = make([]*placeEngine[T], cfg.Jobs)
+	for j := 0; j < cfg.Jobs; j++ {
+		port := router.newPort(uint32(j))
+		n.pes[j] = newPlaceEngine[T](self, &n.cfg, port, abort, n.reg, n.host, uint32(j))
+		router.add(port)
+	}
 	if self == 0 {
-		n.co = newCoordinator(n.pe, n.abortCh, n.abortReason, false)
-		n.co.sink = n.sink
-		n.pe.events = n.co.events
+		n.cos = make([]*coordinator[T], cfg.Jobs)
+		for j := 0; j < cfg.Jobs; j++ {
+			n.cos[j] = newCoordinator(n.pes[j], n.abortCh, n.abortReason, false)
+			n.cos[j].sink = n.sink
+			n.pes[j].events = n.cos[j].events
+		}
 		n.helloCh = make(chan int, cfg.Places)
 		tr.Handle(kindHello, func(from int, _ []byte) ([]byte, error) {
 			select {
@@ -108,10 +130,10 @@ func StartTCPNode[T any](cfg Config[T], self int, addrs []string) (*TCPNode[T], 
 		var beginOnce sync.Once
 		tr.Handle(kindBegin, func(int, []byte) ([]byte, error) {
 			// Launch inside the handler: the coordinator's begin Call must
-			// not return until this place's workers exist, or a fast
-			// recovery pause could race worker spawning.
+			// not return until this place's jobs are runnable, or a fast
+			// recovery pause could race the launch.
 			beginOnce.Do(func() {
-				n.pe.launch()
+				n.launchJobs()
 				close(n.beginCh)
 			})
 			return nil, nil
@@ -132,9 +154,9 @@ func (n *TCPNode[T]) abortReason() error {
 }
 
 // Run executes this place's share of the computation. On place 0 it
-// returns when the whole computation finished (or failed); on other
-// places it returns once the coordinator broadcast stop or the place
-// becomes unreachable from the cluster.
+// returns when every job finished (or failed); on other places it
+// returns once the coordinators broadcast stop or the place becomes
+// unreachable from the cluster.
 func (n *TCPNode[T]) Run() error {
 	if n.ran {
 		return fmt.Errorf("core: node already ran")
@@ -143,7 +165,10 @@ func (n *TCPNode[T]) Run() error {
 	start := time.Now()
 	h, w := n.cfg.Pattern.Bounds()
 	d := n.cfg.NewDist(h, w, n.cfg.Places)
-	n.pe.prepare(d)
+	for _, pe := range n.pes {
+		pe.prepare(d)
+	}
+	n.host.start()
 
 	// Startup barrier: no place may launch workers before every place has
 	// prepared its state, or early messages could find a place with
@@ -154,13 +179,29 @@ func (n *TCPNode[T]) Run() error {
 			return err
 		}
 		n.sink.emit(RunEvent{Kind: EventClusterFormed, Place: 0})
-		n.pe.launch()
+		n.launchJobs()
 		if n.cfg.ProbeInterval > 0 {
 			go n.peerDetector().run()
 		}
-		err := n.co.run()
+		// One coordinator per job, run concurrently; the node's verdict is
+		// the first failure (identical jobs share fate on a place death).
+		errs := make([]error, len(n.cos))
+		var wg sync.WaitGroup
+		for j, co := range n.cos {
+			wg.Add(1)
+			go func(j int, co *coordinator[T]) {
+				defer wg.Done()
+				errs[j] = co.run()
+			}(j, co)
+		}
+		wg.Wait()
 		n.elapsed = time.Since(start)
-		return err
+		for _, err := range errs {
+			if err != nil {
+				return err
+			}
+		}
+		return nil
 	}
 	if _, err := n.tr.Call(0, kindHello, nil); err != nil {
 		return fmt.Errorf("core: place %d cannot reach the coordinator: %w", n.self, err)
@@ -170,15 +211,28 @@ func (n *TCPNode[T]) Run() error {
 	if n.cfg.ProbeInterval > 0 {
 		go n.coordinatorDetector().run()
 	}
-	// The begin handler launches the workers; serve until stopped or
-	// aborted.
-	select {
-	case <-n.pe.stopCh:
-		n.elapsed = time.Since(start)
-		return nil
-	case <-n.abortCh:
-		n.elapsed = time.Since(start)
-		return n.abortReason()
+	// The begin handler launches the jobs; serve until every job stopped
+	// or the node aborted.
+	for _, pe := range n.pes {
+		select {
+		case <-pe.stopCh:
+		case <-n.abortCh:
+			n.elapsed = time.Since(start)
+			return n.abortReason()
+		}
+	}
+	n.elapsed = time.Since(start)
+	return nil
+}
+
+// launchJobs makes the jobs visible to the shared workers and launches
+// them. Attach must wait for the startup barrier: the host's workers run
+// for the node's whole lifetime, so a job attached before the cluster
+// formed would start computing — and messaging peers — too early.
+func (n *TCPNode[T]) launchJobs() {
+	for _, pe := range n.pes {
+		n.host.attach(pe, n.cfg.Weight)
+		pe.launch()
 	}
 }
 
@@ -210,7 +264,7 @@ func (n *TCPNode[T]) awaitCluster() error {
 // including places still waiting at the startup barrier.
 func (n *TCPNode[T]) coordinatorDetector() *detector {
 	return &detector{
-		tr:        n.pe.tr,
+		tr:        n.top,
 		targets:   []int{0},
 		interval:  n.cfg.ProbeInterval,
 		threshold: n.cfg.SuspicionThreshold,
@@ -218,7 +272,9 @@ func (n *TCPNode[T]) coordinatorDetector() *detector {
 			n.sink.emit(RunEvent{Kind: EventPlaceSuspected, Place: p, Misses: misses})
 		},
 		onDead: func(int) {
-			n.pe.abort(placeDead(0))
+			for _, pe := range n.pes {
+				pe.abort(placeDead(0))
+			}
 		},
 		mMisses: n.reg.Counter(metrics.TransportHeartbeatMisses),
 		abortCh: n.abortCh,
@@ -227,12 +283,11 @@ func (n *TCPNode[T]) coordinatorDetector() *detector {
 }
 
 // peerDetector builds the heartbeat detector place 0 runs against its
-// peers, mirroring Cluster.detector for the TCP deployment: a declared
-// death marks the peer dead at the transport and reports the fault to the
-// coordinator.
+// peers: one detector for the node, its verdicts fanned out to every
+// job's coordinator — each job recovers independently.
 func (n *TCPNode[T]) peerDetector() *detector {
 	return &detector{
-		tr:        n.pe.tr,
+		tr:        n.top,
 		targets:   peerTargets(n.cfg.Places, 0),
 		interval:  n.cfg.ProbeInterval,
 		threshold: n.cfg.SuspicionThreshold,
@@ -240,10 +295,12 @@ func (n *TCPNode[T]) peerDetector() *detector {
 			n.sink.emit(RunEvent{Kind: EventPlaceSuspected, Place: p, Misses: misses})
 		},
 		onDead: func(p int) {
-			select {
-			case n.co.events <- coEvent{fault: true, place: p}:
-			case <-n.abortCh:
-			case <-n.detStop:
+			for _, co := range n.cos {
+				select {
+				case co.events <- coEvent{fault: true, place: p}:
+				case <-n.abortCh:
+				case <-n.detStop:
+				}
 			}
 		},
 		mMisses: n.reg.Counter(metrics.TransportHeartbeatMisses),
@@ -255,33 +312,90 @@ func (n *TCPNode[T]) peerDetector() *detector {
 // Elapsed returns this node's wall time for Run.
 func (n *TCPNode[T]) Elapsed() time.Duration { return n.elapsed }
 
-// Stats returns this node's local counters (not cluster-aggregated).
+// JobStats returns job j's local counters on this node.
+func (n *TCPNode[T]) JobStats(j int) Stats {
+	s := Stats{Places: n.cfg.Places}
+	if j < 0 || j >= len(n.pes) {
+		return s
+	}
+	pe := n.pes[j]
+	s.ComputedCells = pe.computed.Load()
+	s.RemoteFetches = pe.remoteFetches.Load()
+	s.LocalReads = pe.localReads.Load()
+	s.ExecMigrated = pe.execMigrated.Load()
+	s.CacheHits = pe.cacheHits.Load()
+	s.CacheMisses = pe.cacheMisses.Load()
+	s.FetchCalls = pe.fetchCalls.Load()
+	s.AggBatches = pe.aggBatches.Load()
+	s.DecrsCoalesced = pe.decrsCoalesced.Load()
+	s.ValuesPushed = pe.valuesPushed.Load()
+	s.PushDeposits = pe.pushDeposits.Load()
+	s.PushConsumed = pe.pushConsumed.Load()
+	ts := pe.tr.Stats().Snapshot()
+	s.MsgsSent = ts.SendsOut + ts.CallsOut
+	s.BytesSent = ts.BytesOut
+	s.SendsOut = ts.SendsOut
+	if n.cos != nil {
+		s.Epochs = int(n.cos[j].epoch) + 1
+		s.Recoveries = n.cos[j].recoveries
+		s.RecoveryNanos = n.cos[j].recoveryNanos
+	}
+	return s
+}
+
+// Stats returns this node's local counters (not cluster-aggregated),
+// summed across jobs. Transport counts come from the shared endpoint;
+// epoch numbers from job 0's coordinator, recovery totals summed.
 func (n *TCPNode[T]) Stats() Stats {
 	s := Stats{Places: n.cfg.Places}
-	s.ComputedCells = n.pe.computed.Load()
-	s.RemoteFetches = n.pe.remoteFetches.Load()
-	s.LocalReads = n.pe.localReads.Load()
-	s.ExecMigrated = n.pe.execMigrated.Load()
-	s.CacheHits = n.pe.cacheHits.Load()
-	s.CacheMisses = n.pe.cacheMisses.Load()
-	s.FetchCalls = n.pe.fetchCalls.Load()
-	s.AggBatches = n.pe.aggBatches.Load()
-	s.DecrsCoalesced = n.pe.decrsCoalesced.Load()
-	s.ValuesPushed = n.pe.valuesPushed.Load()
-	s.PushDeposits = n.pe.pushDeposits.Load()
-	s.PushConsumed = n.pe.pushConsumed.Load()
+	for _, pe := range n.pes {
+		s.ComputedCells += pe.computed.Load()
+		s.RemoteFetches += pe.remoteFetches.Load()
+		s.LocalReads += pe.localReads.Load()
+		s.ExecMigrated += pe.execMigrated.Load()
+		s.CacheHits += pe.cacheHits.Load()
+		s.CacheMisses += pe.cacheMisses.Load()
+		s.FetchCalls += pe.fetchCalls.Load()
+		s.AggBatches += pe.aggBatches.Load()
+		s.DecrsCoalesced += pe.decrsCoalesced.Load()
+		s.ValuesPushed += pe.valuesPushed.Load()
+		s.PushDeposits += pe.pushDeposits.Load()
+		s.PushConsumed += pe.pushConsumed.Load()
+	}
 	ts := n.tr.Stats().Snapshot()
 	s.MsgsSent = ts.SendsOut + ts.CallsOut
 	s.BytesSent = ts.BytesOut
 	s.SendsOut = ts.SendsOut
-	if n.co != nil {
-		s.Epochs = int(n.co.epoch) + 1
-		s.Recoveries = n.co.recoveries
-		s.RecoveryNanos = n.co.recoveryNanos
+	if n.cos != nil {
+		s.Epochs = int(n.cos[0].epoch) + 1
+		for _, co := range n.cos {
+			s.Recoveries += co.recoveries
+			s.RecoveryNanos += co.recoveryNanos
+		}
 	}
 	if n.rel != nil {
 		s.Retries = n.rel.retries.Load()
 		s.DedupHits = n.rel.dedupHits.Load()
+	}
+	return s
+}
+
+// statsHandler serves this place's metrics snapshot over kindStats.
+func (n *TCPNode[T]) statsHandler() transport.Handler {
+	return func(int, []byte) ([]byte, error) {
+		return metrics.EncodeSnapshot(nil, n.placeSnapshot()), nil
+	}
+}
+
+// placeSnapshot reads the node's registry, overlaying every job's live
+// cache counters.
+func (n *TCPNode[T]) placeSnapshot() *metrics.Snapshot {
+	s := n.reg.Snapshot()
+	if !n.reg.Enabled() {
+		return s
+	}
+	for _, pe := range n.pes {
+		pe.overlayCacheStats(s)
 	}
 	return s
 }
@@ -295,7 +409,7 @@ func (n *TCPNode[T]) MetricsSnapshots() ([]*metrics.Snapshot, error) {
 	if !n.cfg.Metrics {
 		return nil, nil
 	}
-	snaps := []*metrics.Snapshot{n.pe.metricsSnapshot()}
+	snaps := []*metrics.Snapshot{n.placeSnapshot()}
 	if n.self != 0 {
 		return snaps, nil
 	}
@@ -316,12 +430,18 @@ func (n *TCPNode[T]) MetricsSnapshots() ([]*metrics.Snapshot, error) {
 	return snaps, nil
 }
 
-// Value reads a finished vertex value after a successful run. On place 0
-// it fetches remote values with a readval call; other places can read
-// their local cells only.
-func (n *TCPNode[T]) Value(i, j int32) (T, error) {
+// Value reads a finished vertex value of job 0 after a successful run.
+// On place 0 it fetches remote values with a readval call; other places
+// can read their local cells only.
+func (n *TCPNode[T]) Value(i, j int32) (T, error) { return n.JobValue(0, i, j) }
+
+// JobValue reads a finished vertex value of job jb.
+func (n *TCPNode[T]) JobValue(jb int, i, j int32) (T, error) {
 	var zero T
-	st := n.pe.current()
+	if jb < 0 || jb >= len(n.pes) {
+		return zero, fmt.Errorf("core: job %d out of range", jb)
+	}
+	st := n.pes[jb].current()
 	if st == nil {
 		return zero, fmt.Errorf("core: node not started")
 	}
@@ -333,7 +453,10 @@ func (n *TCPNode[T]) Value(i, j int32) (T, error) {
 		}
 		return st.chunk.Value(off), nil
 	}
-	payload := putID(nil, dag.VertexID{I: i, J: j})
+	// kindReadVal is job-scoped: the raw-transport call carries the job
+	// envelope explicitly (the engine's port would add it on the stacked
+	// path).
+	payload := appendJobEnvelope(make([]byte, 0, 12), uint32(jb), putID(nil, dag.VertexID{I: i, J: j}))
 	reply, err := n.tr.Call(owner, kindReadVal, payload)
 	if err != nil {
 		return zero, err
@@ -349,11 +472,14 @@ func (n *TCPNode[T]) Value(i, j int32) (T, error) {
 // the other places (which keep serving post-run reads until then); call it
 // after all result access is done.
 func (n *TCPNode[T]) Close() error {
-	if n.self == 0 && n.co != nil {
-		n.co.broadcastStop()
+	for _, co := range n.cos {
+		co.broadcastStop()
 	}
 	n.detOnce.Do(func() { close(n.detStop) })
-	n.pe.stop()
+	for _, pe := range n.pes {
+		pe.stop()
+	}
+	n.host.stop()
 	if n.chaos != nil {
 		n.chaos.Close()
 	}

@@ -7,6 +7,7 @@ import (
 
 	"github.com/dpx10/dpx10/internal/codec"
 	"github.com/dpx10/dpx10/internal/dag/patterns"
+	"github.com/dpx10/dpx10/internal/metrics"
 )
 
 // startTCPNodes boots an n-place TCP deployment on loopback with
@@ -137,6 +138,67 @@ func TestTCPNodeValidation(t *testing.T) {
 	}
 }
 
+func TestTCPNodeMultiJob(t *testing.T) {
+	pat := patterns.NewDiagonal(20, 20)
+	cfg := Config[int64]{
+		Common:  Common{Places: 3, Threads: 2, Pattern: pat, Jobs: 2, Metrics: true},
+		Compute: sumCompute,
+		Codec:   codec.Int64{},
+	}
+	nodes := startTCPNodes(t, cfg, 3)
+	var workers sync.WaitGroup
+	errs := make([]error, 3)
+	for p := 2; p >= 1; p-- {
+		workers.Add(1)
+		go func(p int) {
+			defer workers.Done()
+			errs[p] = nodes[p].Run()
+		}(p)
+	}
+	if err := nodes[0].Run(); err != nil {
+		t.Fatalf("coordinator: %v", err)
+	}
+	want := refValues(pat)
+	for jb := 0; jb < 2; jb++ {
+		for id, wv := range want {
+			got, err := nodes[0].JobValue(jb, id.I, id.J)
+			if err != nil {
+				t.Fatalf("JobValue(%d, %v): %v", jb, id, err)
+			}
+			if got != wv {
+				t.Fatalf("job %d cell %v = %d, want %d", jb, id, got, wv)
+			}
+		}
+		if st := nodes[0].JobStats(jb); st.ComputedCells == 0 {
+			t.Fatalf("job %d computed no cells locally", jb)
+		}
+	}
+	// Per-job tile accounting partitions the node totals exactly.
+	snaps, err := nodes[0].MetricsSnapshots()
+	if err != nil {
+		t.Fatalf("MetricsSnapshots: %v", err)
+	}
+	if len(snaps) != 3 {
+		t.Fatalf("got %d snapshots, want 3", len(snaps))
+	}
+	for _, s := range snaps {
+		var jobs int64
+		for _, v := range s.Vecs[metrics.JobTilesExecuted] {
+			jobs += v
+		}
+		if want := s.Counters[metrics.SchedTilesExecuted]; jobs != want {
+			t.Fatalf("place %d: job tile slots sum to %d, scheduler counter %d", s.Place, jobs, want)
+		}
+	}
+	nodes[0].Close()
+	workers.Wait()
+	for p := 1; p < 3; p++ {
+		if errs[p] != nil {
+			t.Fatalf("place %d: %v", p, errs[p])
+		}
+	}
+}
+
 func TestTCPNodeCoordinatorCrashTerminatesWorkers(t *testing.T) {
 	pat := patterns.NewDiagonal(30, 30)
 	cfg, gate, release := gatedConfig(pat, 3, 100)
@@ -156,7 +218,9 @@ func TestTCPNodeCoordinatorCrashTerminatesWorkers(t *testing.T) {
 	// broadcast Close performs. Workers must notice and exit with an
 	// error rather than waiting forever.
 	nodes[0].tr.Close()
-	nodes[0].pe.stop()
+	for _, pe := range nodes[0].pes {
+		pe.stop()
+	}
 	release()
 	done := make(chan struct{})
 	go func() { wg.Wait(); close(done) }()

@@ -48,6 +48,15 @@ const (
 	RecoveryRestoreNs = "recovery.restore_ns"
 	RecoveryReplayNs  = "recovery.replay_ns"
 	RecoveryResumeNs  = "recovery.resume_ns"
+
+	// Per-job accounting on multi-job clusters, one Vec key per job id
+	// (low byte). Tiles and outbound traffic are recorded by the place
+	// that did the work; queue-wait is recorded once per admitted job, on
+	// place 0, when the job leaves the admission queue.
+	JobTilesExecuted = "job.tiles_executed"
+	JobMsgsOut       = "job.msgs_out"
+	JobBytesOut      = "job.bytes_out"
+	JobQueueWaitNs   = "job.queue_wait_ns"
 )
 
 // instruments is the closed registry of instrument names: the single
@@ -79,6 +88,11 @@ var instruments = map[string]Kind{
 	RecoveryRestoreNs: KindHistogram,
 	RecoveryReplayNs:  KindHistogram,
 	RecoveryResumeNs:  KindHistogram,
+
+	JobTilesExecuted: KindVec,
+	JobMsgsOut:       KindVec,
+	JobBytesOut:      KindVec,
+	JobQueueWaitNs:   KindVec,
 }
 
 // DurationBounds are the default bucket upper bounds for nanosecond

@@ -19,8 +19,16 @@ import (
 //
 // Only value-typed settings (WithCodec, WithSnapshotRecovery) remain
 // generic; both forms mix freely in one option list. The interface is
-// satisfied through an unexported method whose signature does not mention
-// T, which is what lets an untyped option satisfy Option[T] for every T.
+// satisfied through unexported methods whose signatures do not mention T,
+// which is what lets an untyped option satisfy Option[T] for every T.
+//
+// Every option has a scope. Cluster-scoped options shape the places
+// (Places, Threads, transport, chaos, metrics, admission); job-scoped
+// options shape one computation (strategy, cache, tile size, codec,
+// distribution, recovery). The one-shot entry points (Run, Launch) accept
+// both in one list; the session API enforces the split — NewCluster
+// rejects job-scoped options and Submit rejects cluster-scoped ones, each
+// with an *OptionScopeError.
 //
 // Earlier releases required a type argument on every option
 // (dpx10.Places[int32](8)); those forms remain available as deprecated
@@ -30,42 +38,120 @@ type Option[T any] interface {
 	// type-independent core.Common via the CommonConfig accessor or assert
 	// the concrete config type.
 	applyTo(cfg any)
+	// optionInfo names the option and reports its scope, for the session
+	// API's scope enforcement.
+	optionInfo() (name string, scope optionScope)
 }
 
 // UntypedOption is the type returned by the type-independent option
 // constructors. It satisfies Option[T] for every vertex value type T.
 type UntypedOption = Option[any]
 
+// optionScope classifies where an option may appear.
+type optionScope uint8
+
+const (
+	// scopeCluster: configures the places; valid in NewCluster and the
+	// one-shot entry points, rejected by Submit.
+	scopeCluster optionScope = iota + 1
+	// scopeJob: configures one computation; valid in Submit and the
+	// one-shot entry points, rejected by NewCluster.
+	scopeJob
+)
+
+func (s optionScope) String() string {
+	if s == scopeCluster {
+		return "cluster"
+	}
+	return "job"
+}
+
+// OptionScopeError reports an option passed where its scope does not
+// allow: a job-scoped option in NewCluster, or a cluster-scoped option in
+// Submit. The one-shot entry points accept both scopes and never return
+// it.
+type OptionScopeError struct {
+	// Option is the constructor name, e.g. "Places" or "WithTileSize".
+	Option string
+	// Scope is the option's scope: "cluster" or "job".
+	Scope string
+	// Call is where the option was misplaced: "NewCluster" or "Submit".
+	Call string
+}
+
+func (e *OptionScopeError) Error() string {
+	return fmt.Sprintf("dpx10: %s is a %s-scoped option and cannot be passed to %s", e.Option, e.Scope, e.Call)
+}
+
 // commonOption mutates the type-independent half of the configuration.
-type commonOption func(*core.Common)
+type commonOption struct {
+	name  string
+	scope optionScope
+	fn    func(*core.Common)
+}
 
 func (o commonOption) applyTo(cfg any) {
 	cc, ok := cfg.(interface{ CommonConfig() *core.Common })
 	if !ok {
 		panic(fmt.Sprintf("dpx10: option applied to unsupported config %T", cfg))
 	}
-	o(cc.CommonConfig())
+	o.fn(cc.CommonConfig())
 }
 
-// typedOption mutates the full, value-typed configuration.
-type typedOption[T any] func(*core.Config[T])
+func (o commonOption) optionInfo() (string, optionScope) { return o.name, o.scope }
+
+// clusterOpt and jobOpt build the untyped option values.
+func clusterOpt(name string, fn func(*core.Common)) UntypedOption {
+	return commonOption{name: name, scope: scopeCluster, fn: fn}
+}
+
+func jobOpt(name string, fn func(*core.Common)) UntypedOption {
+	return commonOption{name: name, scope: scopeJob, fn: fn}
+}
+
+// typedOption mutates the full, value-typed configuration. Every typed
+// option is job-scoped: it configures the computation, not the places.
+type typedOption[T any] struct {
+	name string
+	fn   func(*core.Config[T])
+}
 
 func (o typedOption[T]) applyTo(cfg any) {
 	c, ok := cfg.(*core.Config[T])
 	if !ok {
 		panic(fmt.Sprintf("dpx10: option for value type %T applied to config %T", o, cfg))
 	}
-	o(c)
+	o.fn(c)
 }
 
+func (o typedOption[T]) optionInfo() (string, optionScope) { return o.name, scopeJob }
+
 // Places sets the number of places — X10_NPLACES (default 1).
+// Cluster-scoped.
 func Places(n int) UntypedOption {
-	return commonOption(func(c *core.Common) { c.Places = n })
+	return clusterOpt("Places", func(c *core.Common) { c.Places = n })
 }
 
 // Threads sets the per-place worker pool width — X10_NTHREADS (default 2).
+// Cluster-scoped: the worker pools are shared by every job on the places.
 func Threads(n int) UntypedOption {
-	return commonOption(func(c *core.Common) { c.Threads = n })
+	return clusterOpt("Threads", func(c *core.Common) { c.Threads = n })
+}
+
+// MaxActiveJobs bounds how many jobs a cluster admits concurrently;
+// submissions beyond the bound queue FIFO until a running job finishes.
+// 0 keeps the default of 2; negative removes the bound. Cluster-scoped.
+func MaxActiveJobs(n int) UntypedOption {
+	return clusterOpt("MaxActiveJobs", func(c *core.Common) { c.MaxActiveJobs = n })
+}
+
+// WithWeight sets a job's fair-share weight on the shared worker pools:
+// the number of tiles a worker runs for this job per scheduling pass
+// before moving on to the next job's slot. Equal weights (the default, 8)
+// give tile-granular round-robin between concurrent jobs; a heavier job
+// gets proportionally longer bursts. Job-scoped.
+func WithWeight(n int) UntypedOption {
+	return jobOpt("WithWeight", func(c *core.Common) { c.Weight = n })
 }
 
 // Strategy selects the vertex scheduling policy (paper §VI-C).
@@ -82,15 +168,16 @@ const (
 	StealScheduling = sched.Steal
 )
 
-// WithStrategy sets the scheduling strategy (default local).
+// WithStrategy sets the scheduling strategy (default local). Job-scoped.
 func WithStrategy(s Strategy) UntypedOption {
-	return commonOption(func(c *core.Common) { c.Strategy = s })
+	return jobOpt("WithStrategy", func(c *core.Common) { c.Strategy = s })
 }
 
 // CacheSize sets the per-place remote-vertex cache capacity in entries;
-// 0 disables the cache (paper §VI-E "Cache size").
+// 0 disables the cache (paper §VI-E "Cache size"). Job-scoped: every job
+// has its own cache.
 func CacheSize(entries int) UntypedOption {
-	return commonOption(func(c *core.Common) { c.CacheSize = entries })
+	return jobOpt("CacheSize", func(c *core.Common) { c.CacheSize = entries })
 }
 
 // WithTileSize sets the scheduling granularity: each place partitions its
@@ -100,18 +187,18 @@ func CacheSize(entries int) UntypedOption {
 // 0 (the default) auto-sizes per place; 1 restores per-vertex scheduling.
 // Patterns whose tile quotient graph would be cyclic under the chosen size
 // fall back to per-vertex scheduling automatically (the run stays correct,
-// just untiled).
+// just untiled). Job-scoped.
 func WithTileSize(cells int) UntypedOption {
-	return commonOption(func(c *core.Common) { c.TileSize = cells })
+	return jobOpt("WithTileSize", func(c *core.Common) { c.TileSize = cells })
 }
 
 // WithAggregation tunes the outbound decrement aggregator, which is on by
 // default: window bounds how long a buffered decrement may wait before
 // its batch is flushed, maxBatch is the record count that flushes a
 // destination's batch immediately. Zero values keep the defaults
-// (1ms, 256 records).
+// (1ms, 256 records). Job-scoped.
 func WithAggregation(window time.Duration, maxBatch int) UntypedOption {
-	return commonOption(func(c *core.Common) {
+	return jobOpt("WithAggregation", func(c *core.Common) {
 		c.AggDisabled = false
 		c.AggWindow = window
 		c.AggMaxBatch = maxBatch
@@ -120,35 +207,36 @@ func WithAggregation(window time.Duration, maxBatch int) UntypedOption {
 
 // WithoutAggregation disables cross-place decrement aggregation and value
 // push, restoring one message per completed vertex per destination — the
-// baseline arm of the agg ablation.
+// baseline arm of the agg ablation. Job-scoped.
 func WithoutAggregation() UntypedOption {
-	return commonOption(func(c *core.Common) { c.AggDisabled = true })
+	return jobOpt("WithoutAggregation", func(c *core.Common) { c.AggDisabled = true })
 }
 
 // WithoutValuePush keeps decrement aggregation but stops piggybacking
 // finished vertex values onto the batches, isolating coalescing from
-// fetch avoidance for measurement.
+// fetch avoidance for measurement. Job-scoped.
 func WithoutValuePush() UntypedOption {
-	return commonOption(func(c *core.Common) { c.PushDisabled = true })
+	return jobOpt("WithoutValuePush", func(c *core.Common) { c.PushDisabled = true })
 }
 
 // RestoreRemote makes recovery copy finished vertices to their new owners
 // instead of recomputing them — the paper's §VI-E "Restore manner" switch
-// for computations that cost more than communication.
+// for computations that cost more than communication. Job-scoped.
 func RestoreRemote() UntypedOption {
-	return commonOption(func(c *core.Common) { c.RestoreRemote = true })
+	return jobOpt("RestoreRemote", func(c *core.Common) { c.RestoreRemote = true })
 }
 
 // WithHeartbeat configures the failure detector: place 0 heartbeats every
 // other place (and every other place heartbeats place 0 in the TCP
 // deployment) once per interval, and threshold consecutive missed
 // heartbeats declare a place dead. interval 0 disables the detector;
-// threshold 0 keeps the default of 3.
+// threshold 0 keeps the default of 3. Cluster-scoped: one detector serves
+// every job.
 //
 // The detection window for an unannounced crash is therefore bounded by
 // roughly interval × threshold plus one round-trip.
 func WithHeartbeat(interval time.Duration, threshold int) UntypedOption {
-	return commonOption(func(c *core.Common) {
+	return clusterOpt("WithHeartbeat", func(c *core.Common) {
 		c.ProbeInterval = interval
 		c.SuspicionThreshold = threshold
 	})
@@ -158,16 +246,17 @@ func WithHeartbeat(interval time.Duration, threshold int) UntypedOption {
 // messages carry sequence numbers, transient send failures are retried
 // with exponential backoff and jitter, and receivers suppress duplicate
 // deliveries. Chaos injection (WithChaos) enables it automatically.
+// Cluster-scoped: it changes the shared wire format.
 func WithReliableDelivery() UntypedOption {
-	return commonOption(func(c *core.Common) { c.Reliable = true })
+	return clusterOpt("WithReliableDelivery", func(c *core.Common) { c.Reliable = true })
 }
 
 // WithRetry tunes the reliable delivery layer (and enables it): max is the
 // attempt budget per message (0 = retry until the destination is declared
 // dead), base the initial backoff and maxDelay its cap. Zero durations
-// keep the defaults (500µs, 50ms).
+// keep the defaults (500µs, 50ms). Cluster-scoped.
 func WithRetry(max int, base, maxDelay time.Duration) UntypedOption {
-	return commonOption(func(c *core.Common) {
+	return clusterOpt("WithRetry", func(c *core.Common) {
 		c.Reliable = true
 		c.RetryMax = max
 		c.RetryBase = base
@@ -178,33 +267,35 @@ func WithRetry(max int, base, maxDelay time.Duration) UntypedOption {
 // WithChaos wires a fault-injection plan into the run's transport: every
 // place's outbound messages pass through a FaultFabric driven by the plan.
 // Reliable delivery is enabled automatically — injected faults are meant
-// to be tolerated, not to corrupt the run.
+// to be tolerated, not to corrupt the run. Cluster-scoped: the fabric
+// carries every job's traffic.
 func WithChaos(plan *ChaosPlan) UntypedOption {
-	return commonOption(func(c *core.Common) { c.Chaos = plan })
+	return clusterOpt("WithChaos", func(c *core.Common) { c.Chaos = plan })
 }
 
 // WithEvents registers a structured run-event callback: place suspicion
 // and death, recovery start/finish, chaos injections. fn runs on a
 // dedicated goroutine; slow consumers drop events rather than stall the
-// run.
+// run. Cluster-scoped.
 func WithEvents(fn func(Event)) UntypedOption {
-	return commonOption(func(c *core.Common) { c.Events = fn })
+	return clusterOpt("WithEvents", func(c *core.Common) { c.Events = fn })
 }
 
 // WithMetrics turns on the per-place metrics registry: scheduler, cache,
-// transport and recovery instruments, readable after the run through
-// Dag.Metrics / Job.Metrics. Off by default; the disabled path costs
-// nothing on the hot paths.
+// transport, recovery and per-job instruments, readable after the run
+// through Dag.Metrics / Job.Metrics / Cluster.Metrics. Off by default;
+// the disabled path costs nothing on the hot paths. Cluster-scoped: jobs
+// share the registries, isolated through the job.* vec instruments.
 func WithMetrics() UntypedOption {
-	return commonOption(func(c *core.Common) { c.Metrics = true })
+	return clusterOpt("WithMetrics", func(c *core.Common) { c.Metrics = true })
 }
 
 // WithMetricsObserver enables metrics and delivers the per-place
-// snapshots when the run stops, just before Run/Wait returns — for
-// harnesses that execute many computations and want each run's
-// instruments without holding the Job. Single-process runtime only.
+// snapshots when the cluster closes — for harnesses that execute many
+// computations and want the instruments without holding the Job.
+// Single-process runtime only. Cluster-scoped.
 func WithMetricsObserver(fn func([]*MetricsSnapshot)) UntypedOption {
-	return commonOption(func(c *core.Common) { c.MetricsObserver = fn })
+	return clusterOpt("WithMetricsObserver", func(c *core.Common) { c.MetricsObserver = fn })
 }
 
 // SpanLog collects timed spans (epochs, tiles, steal round-trips,
@@ -217,15 +308,16 @@ func NewSpanLog(maxSpans int) *SpanLog { return trace.NewSpanLog(maxSpans) }
 
 // WithSpans records the run's spans into sl. Write the result with
 // SpanLog.WriteChromeTrace and load it in chrome://tracing or Perfetto.
-// Span collection is independent of WithMetrics.
+// Span collection is independent of WithMetrics. Job-scoped; on a
+// multi-job cluster each job's spans carry a "j<id>:" prefix.
 func WithSpans(sl *SpanLog) UntypedOption {
-	return commonOption(func(c *core.Common) { c.Spans = sl })
+	return jobOpt("WithSpans", func(c *core.Common) { c.Spans = sl })
 }
 
 // WithCodec overrides the value codec (default: gob; use the fixed-width
-// scalar codecs or a custom implementation on hot paths).
+// scalar codecs or a custom implementation on hot paths). Job-scoped.
 func WithCodec[T any](cd Codec[T]) Option[T] {
-	return typedOption[T](func(c *core.Config[T]) { c.Codec = cd })
+	return typedOption[T]{name: "WithCodec", fn: func(c *core.Config[T]) { c.Codec = cd }}
 }
 
 // DistKind names a built-in distribution of the DAG over places
@@ -241,9 +333,10 @@ const (
 )
 
 // WithDist selects a built-in distribution (default BlockRowDist, the
-// paper's "divided by the row" layout).
+// paper's "divided by the row" layout). Job-scoped: each job distributes
+// its own array.
 func WithDist(kind DistKind) UntypedOption {
-	return commonOption(func(c *core.Common) {
+	return jobOpt("WithDist", func(c *core.Common) {
 		switch kind {
 		case BlockColDist:
 			c.NewDist = func(h, w int32, n int) dist.Dist { return dist.NewBlockCol(h, w, n) }
@@ -259,9 +352,9 @@ func WithDist(kind DistKind) UntypedOption {
 
 // WithBlockCyclicDist deals fixed-size row blocks round-robin — the HPC
 // compromise between BlockRow's locality and CyclicRow's wavefront
-// balance.
+// balance. Job-scoped.
 func WithBlockCyclicDist(blockRows int32) UntypedOption {
-	return commonOption(func(c *core.Common) {
+	return jobOpt("WithBlockCyclicDist", func(c *core.Common) {
 		c.NewDist = func(h, w int32, n int) dist.Dist {
 			return dist.NewBlockCyclicRow(h, w, blockRows, n)
 		}
@@ -271,8 +364,9 @@ func WithBlockCyclicDist(blockRows int32) UntypedOption {
 // WithBlock2DDist tiles the matrix into a pr×pc grid of blocks; the run
 // must use exactly pr*pc places. Shorter per-place borders in both
 // directions lower communication for diagonal-dependency patterns.
+// Job-scoped.
 func WithBlock2DDist(pr, pc int) UntypedOption {
-	return commonOption(func(c *core.Common) {
+	return jobOpt("WithBlock2DDist", func(c *core.Common) {
 		c.NewDist = func(h, w int32, n int) dist.Dist {
 			return dist.NewBlock2D(h, w, pr, pc)
 		}
@@ -281,9 +375,9 @@ func WithBlock2DDist(pr, pc int) UntypedOption {
 
 // WithCustomDist installs a user-supplied cell→place mapping, the
 // fully-flexible form of the paper's Dist refinement. fn must map every
-// cell to a place in [0, places).
+// cell to a place in [0, places). Job-scoped.
 func WithCustomDist(fn func(i, j int32, places int) int) UntypedOption {
-	return commonOption(func(c *core.Common) {
+	return jobOpt("WithCustomDist", func(c *core.Common) {
 		c.NewDist = func(h, w int32, n int) dist.Dist {
 			ps := make([]int, n)
 			for k := range ps {
@@ -311,13 +405,13 @@ func NewSnapshotStore[T any](valueSize int) *SnapshotStore[T] {
 // WithSnapshotRecovery switches recovery to the periodic-snapshot
 // baseline: every place saves its finished vertices to store every
 // `every` completions, and recovery restores from the store instead of
-// redistributing survivor state.
+// redistributing survivor state. Job-scoped.
 func WithSnapshotRecovery[T any](store *SnapshotStore[T], every int64) Option[T] {
-	return typedOption[T](func(c *core.Config[T]) {
+	return typedOption[T]{name: "WithSnapshotRecovery", fn: func(c *core.Config[T]) {
 		c.Recovery = core.RecoverSnapshot
 		c.Snapshot = store
 		c.SnapshotEvery = every
-	})
+	}}
 }
 
 // Trace collects per-place telemetry from a run: busy time, vertices
@@ -328,29 +422,30 @@ type Trace = trace.Collector
 // maxEvents timeline events.
 func NewTrace(places, maxEvents int) *Trace { return trace.New(places, maxEvents) }
 
-// WithTrace attaches a telemetry collector to the run.
+// WithTrace attaches a telemetry collector to the run. Job-scoped.
 func WithTrace(tr *Trace) UntypedOption {
-	return commonOption(func(c *core.Common) { c.Trace = tr })
+	return jobOpt("WithTrace", func(c *core.Common) { c.Trace = tr })
 }
 
 // WithSpill keeps vertex values in a paged disk-backed store instead of
 // RAM — the paper's §X future work for problems larger than memory.
 // pageVals values per page, residentPages pages kept in RAM per place;
 // zero values select the defaults (4096 and 64). dir is the scratch
-// directory ("" = the OS temp dir).
+// directory ("" = the OS temp dir). Job-scoped.
 func WithSpill(dir string, pageVals, residentPages int) UntypedOption {
-	return commonOption(func(c *core.Common) {
+	return jobOpt("WithSpill", func(c *core.Common) {
 		c.Spill = &core.SpillConfig{Dir: dir, PageVals: pageVals, ResidentPages: residentPages}
 	})
 }
 
 // WithSnapshotOverheadOnly keeps the paper's recovery mechanism but also
 // writes periodic snapshots, to measure the baseline's fault-free cost.
+// Job-scoped.
 func WithSnapshotOverheadOnly[T any](store *SnapshotStore[T], every int64) Option[T] {
-	return typedOption[T](func(c *core.Config[T]) {
+	return typedOption[T]{name: "WithSnapshotOverheadOnly", fn: func(c *core.Config[T]) {
 		c.Snapshot = store
 		c.SnapshotEvery = every
-	})
+	}}
 }
 
 // ChaosPlan is a seeded fault-injection schedule applied to a run's
@@ -369,7 +464,9 @@ type ChaosStats = transport.InjectStats
 
 // Deprecated generic forms of the untyped options above, kept so pre-chaos
 // call sites (dpx10.PlacesT[int32](8), formerly dpx10.Places[int32](8))
-// migrate mechanically. New code should use the untyped constructors.
+// migrate mechanically. New code should use the untyped constructors;
+// DESIGN.md §9 schedules these aliases for removal with the next major
+// revision.
 
 // PlacesT is the deprecated generic form of Places.
 //

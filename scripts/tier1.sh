@@ -19,10 +19,17 @@ if [ "$vet_elapsed" -gt 30 ]; then
     exit 1
 fi
 # Fast chaos signal before the full suite: the soak matrix in short mode
-# (fewer seeds per fault profile, kill arms skipped).
+# (fewer seeds per fault profile, one kill arm each). The TestChaosSoak
+# prefix deliberately matches the two-job variant as well, so enveloped
+# multi-job traffic gets the same quick chaos pass.
 go test -short -run TestChaosSoak -count=1 ./internal/core/
 go test ./...
 go test -race -timeout 10m ./...
 # Metrics-invariant suite again under the race detector: every snapshot
 # read races against live increments unless the registry is correct.
 go test -race -run 'TestMetrics' -count=1 ./internal/core/
+# Multi-job scheduling and the session API again under the race
+# detector: concurrent jobs' tiles interleave on shared worker deques,
+# and the admission queue hands slots across goroutines.
+go test -race -run 'TestMultiJob|TestManagerClose' -count=1 ./internal/core/
+go test -race -run 'TestCluster|TestSubmit|TestNewCluster' -count=1 .
