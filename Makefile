@@ -1,6 +1,6 @@
 # Convenience targets; the repository is plain `go build`-able.
 
-.PHONY: tier1 test vet vet-json vet-sarif bench bench-sched fuzz chaos
+.PHONY: tier1 test vet vet-json vet-sarif bench bench-sched bench-net fuzz chaos
 
 # The merge gate: build, vet (standard + dpx10-vet), full tests, race
 # detector across the tree. Same contract as scripts/tier1.sh.
@@ -26,13 +26,19 @@ vet-json:
 vet-sarif:
 	go run ./cmd/dpx10-vet -sarif ./...
 
-bench: bench-sched
+bench: bench-sched bench-net
 	go run ./cmd/dpx10-bench -fig all -quick
 
 # Scheduling microbenchmarks (per-vertex overhead across tile sizes,
 # vcache contention), summarized into results/BENCH_sched.json.
 bench-sched:
 	./scripts/bench_sched.sh results/BENCH_sched.json
+
+# Cross-place wire cost over real TCP sockets (pipelined data plane on
+# vs off), summarized into results/BENCH_net.json. Fails if the
+# pipeline's wire bytes/vertex is not >= 2x below the direct arm.
+bench-net:
+	./scripts/bench_net.sh results/BENCH_net.json
 
 fuzz:
 	go test ./internal/core/ -run xxx -fuzz FuzzDecodeDecrBatch -fuzztime 30s

@@ -18,9 +18,11 @@
 // (transitively) performs a blocking operation is itself treated as
 // blocking, via call-graph summaries. Blocking operations are channel
 // sends and receives, range-over-channel, select statements without a
-// default case, time.Sleep, sync.WaitGroup.Wait / sync.Cond.Wait, net
+// default case, time.Sleep, sync.WaitGroup.Wait, net
 // dial/listen/accept calls, and calls to methods named Send or Call
-// (the transport.Transport verbs). Function literals are analyzed
+// (the transport.Transport verbs). sync.Cond.Wait is exempt — it
+// atomically releases its mutex while parked, so holding cond.L across
+// Wait is the API's required pattern. Function literals are analyzed
 // separately with an empty held set, since the driver cannot know when
 // they run; lock acquisitions are recognized as expression statements
 // (`mu.Lock()`), matching the runtime's idiom.
@@ -286,6 +288,14 @@ func (s *state) blockingCall(c *ast.CallExpr) (string, bool) {
 	switch {
 	case pkgPath == "time" && name == "Sleep":
 	case pkgPath == "sync" && name == "Wait":
+		// sync.Cond.Wait atomically releases its mutex while parked —
+		// holding cond.L across Wait is the API's required pattern, not
+		// a stall. (Waiting while a second, unrelated mutex is held
+		// would still be a bug, but identifying which mutex is cond.L
+		// is beyond this analysis.)
+		if isCondMethod(s.pass.TypesInfo, sel) {
+			return "", false
+		}
 	case pkgPath == "net" && (strings.HasPrefix(name, "Dial") || strings.HasPrefix(name, "Listen") || name == "Accept"):
 	case name == "Send" || name == "Call":
 		// Transport verbs, wherever they are defined — but not the
@@ -297,6 +307,21 @@ func (s *state) blockingCall(c *ast.CallExpr) (string, bool) {
 		return "", false
 	}
 	return render(s.pass.Fset, c.Fun), true
+}
+
+// isCondMethod reports a method call on sync.Cond (or *sync.Cond).
+func isCondMethod(info *types.Info, sel *ast.SelectorExpr) bool {
+	selInfo, ok := info.Selections[sel]
+	if !ok {
+		return false
+	}
+	t := selInfo.Recv()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Name() == "Cond" &&
+		named.Obj().Pkg() != nil && named.Obj().Pkg().Path() == "sync"
 }
 
 func methodObj(info *types.Info, sel *ast.SelectorExpr) types.Object {

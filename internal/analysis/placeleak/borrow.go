@@ -1,0 +1,354 @@
+package placeleak
+
+// borrow.go implements the borrowed-buffer rule, the second half of the
+// payload-ownership contract: pooled, ref-counted receive buffers (any
+// named type with retain/release methods, like the transport's recvBuf)
+// must not be used after their release call. release returns the bytes
+// to a pool; a later read through the buffer — or through a byte-slice
+// view carved out of it earlier — races with whoever the pool hands the
+// buffer to next.
+//
+// The scan is intraprocedural and flow-ordered: statements run in source
+// order, a branch's releases propagate past the branch only when the
+// branch falls through (a release on an early-return error path does not
+// poison the happy path), and reassigning the buffer variable starts a
+// fresh borrow. `defer x.release()` is the sanctioned idiom — it runs
+// after every use in the function — and is never treated as a release
+// point. A second release of an already-released buffer is not flagged
+// either: with retains in play the refcount may still be positive, and
+// balance checking is the runtime panic's job, not the analyzer's.
+
+import (
+	"go/ast"
+	"go/types"
+
+	"github.com/dpx10/dpx10/internal/analysis/framework"
+)
+
+// borrowScan is the per-function state: which pooled buffers have been
+// released at the current program point, and which byte-slice locals are
+// views into which buffer.
+type borrowScan struct {
+	pass     *framework.Pass
+	released map[types.Object]bool
+	aliases  map[types.Object]types.Object // byte view -> pooled buffer
+	reported map[types.Object]bool
+}
+
+func borrowCheck(pass *framework.Pass, body *ast.BlockStmt) {
+	bs := &borrowScan{
+		pass:     pass,
+		released: map[types.Object]bool{},
+		aliases:  map[types.Object]types.Object{},
+		reported: map[types.Object]bool{},
+	}
+	bs.stmts(body.List)
+}
+
+// pooledBuffer reports types shaped like a pooled ref-counted buffer: a
+// named type (behind any pointers) declaring both retain and release
+// methods.
+func pooledBuffer(t types.Type) bool {
+	for {
+		p, ok := t.(*types.Pointer)
+		if !ok {
+			p2, ok2 := t.Underlying().(*types.Pointer)
+			if !ok2 {
+				break
+			}
+			p = p2
+		}
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	var retain, release bool
+	for i := 0; i < named.NumMethods(); i++ {
+		switch named.Method(i).Name() {
+		case "retain", "Retain":
+			retain = true
+		case "release", "Release":
+			release = true
+		}
+	}
+	return retain && release
+}
+
+// releaseTarget returns the pooled-buffer object when c is `x.release()`
+// (or Release) on a plain identifier.
+func (bs *borrowScan) releaseTarget(e ast.Expr) types.Object {
+	c, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok || len(c.Args) != 0 {
+		return nil
+	}
+	sel, ok := ast.Unparen(c.Fun).(*ast.SelectorExpr)
+	if !ok || (sel.Sel.Name != "release" && sel.Sel.Name != "Release") {
+		return nil
+	}
+	id, ok := ast.Unparen(sel.X).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	obj := bs.pass.TypesInfo.Uses[id]
+	if obj == nil || !pooledBuffer(obj.Type()) {
+		return nil
+	}
+	return obj
+}
+
+// bufferRoot resolves an expression to the pooled buffer it views, if
+// any: the buffer itself, a field/slice chain rooted at it, or a local
+// previously recorded as a view.
+func (bs *borrowScan) bufferRoot(e ast.Expr) types.Object {
+	base := baseIdent(e)
+	if base == nil {
+		return nil
+	}
+	obj := bs.pass.TypesInfo.Uses[base]
+	if obj == nil {
+		obj = bs.pass.TypesInfo.Defs[base]
+	}
+	if obj == nil {
+		return nil
+	}
+	if pooledBuffer(obj.Type()) {
+		return obj
+	}
+	if buf, ok := bs.aliases[obj]; ok {
+		return buf
+	}
+	return nil
+}
+
+// uses reports any read of a released buffer — or of a view into one —
+// inside n. Function literal bodies are skipped: they are scanned as
+// their own targets, and whether a closure runs before or after the
+// release is not decidable here.
+func (bs *borrowScan) uses(n ast.Node) {
+	if n == nil {
+		return
+	}
+	ast.Inspect(n, func(m ast.Node) bool {
+		if _, ok := m.(*ast.FuncLit); ok {
+			return false
+		}
+		id, ok := m.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := bs.pass.TypesInfo.Uses[id]
+		if obj == nil || bs.reported[obj] {
+			return true
+		}
+		if bs.released[obj] {
+			bs.reported[obj] = true
+			bs.pass.Reportf(id.Pos(), "uses pooled buffer %s after release; the pool may have recycled its bytes — release only after the last use", obj.Name())
+			return true
+		}
+		if buf, ok := bs.aliases[obj]; ok && bs.released[buf] {
+			bs.reported[obj] = true
+			bs.pass.Reportf(id.Pos(), "uses %s, a borrowed view of pooled buffer %s, after the buffer's release; copy the bytes before releasing", obj.Name(), buf.Name())
+		}
+		return true
+	})
+}
+
+func (bs *borrowScan) snapshot() map[types.Object]bool {
+	m := make(map[types.Object]bool, len(bs.released))
+	for k, v := range bs.released {
+		m[k] = v
+	}
+	return m
+}
+
+// stmts walks a statement list in flow order; the return value reports
+// whether the list terminates (ends control flow via return/branch), so
+// callers know not to propagate its releases.
+func (bs *borrowScan) stmts(list []ast.Stmt) bool {
+	for _, st := range list {
+		if bs.stmt(st) {
+			return true
+		}
+	}
+	return false
+}
+
+func (bs *borrowScan) stmt(st ast.Stmt) bool {
+	switch st := st.(type) {
+	case *ast.ReturnStmt:
+		bs.uses(st)
+		return true
+	case *ast.BranchStmt:
+		return true
+	case *ast.ExprStmt:
+		if obj := bs.releaseTarget(st.X); obj != nil {
+			bs.released[obj] = true
+			return false
+		}
+		bs.uses(st)
+	case *ast.DeferStmt:
+		// defer x.release() runs after every use: never a release point.
+		if bs.releaseTarget(st.Call) == nil {
+			bs.uses(st.Call)
+		}
+	case *ast.GoStmt:
+		bs.uses(st.Call)
+	case *ast.AssignStmt:
+		bs.assign(st)
+	case *ast.DeclStmt:
+		if gd, ok := st.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for i, name := range vs.Names {
+						if i < len(vs.Values) {
+							bs.uses(vs.Values[i])
+							bs.recordView(name, vs.Values[i])
+						}
+					}
+				}
+			}
+		}
+	case *ast.IfStmt:
+		if st.Init != nil {
+			bs.stmt(st.Init)
+		}
+		bs.uses(st.Cond)
+		bs.branch(st.Body.List)
+		switch e := st.Else.(type) {
+		case *ast.BlockStmt:
+			bs.branch(e.List)
+		case ast.Stmt:
+			bs.stmt(e)
+		}
+	case *ast.ForStmt:
+		if st.Init != nil {
+			bs.stmt(st.Init)
+		}
+		bs.uses(st.Cond)
+		bs.branch(st.Body.List)
+		if st.Post != nil {
+			bs.stmt(st.Post)
+		}
+	case *ast.RangeStmt:
+		bs.uses(st.X)
+		bs.branch(st.Body.List)
+	case *ast.BlockStmt:
+		return bs.stmts(st.List)
+	case *ast.LabeledStmt:
+		return bs.stmt(st.Stmt)
+	case *ast.SwitchStmt:
+		if st.Init != nil {
+			bs.stmt(st.Init)
+		}
+		bs.uses(st.Tag)
+		for _, cl := range st.Body.List {
+			if cc, ok := cl.(*ast.CaseClause); ok {
+				for _, e := range cc.List {
+					bs.uses(e)
+				}
+				bs.branch(cc.Body)
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		for _, cl := range st.Body.List {
+			if cc, ok := cl.(*ast.CaseClause); ok {
+				bs.branch(cc.Body)
+			}
+		}
+	case *ast.SelectStmt:
+		for _, cl := range st.Body.List {
+			if cc, ok := cl.(*ast.CommClause); ok {
+				if cc.Comm != nil {
+					bs.stmt(cc.Comm)
+				}
+				bs.branch(cc.Body)
+			}
+		}
+	case *ast.SendStmt:
+		bs.uses(st)
+	default:
+		bs.uses(st)
+	}
+	return false
+}
+
+// branch runs a conditional body; its releases stick only when the body
+// falls through (a release followed by return stays on that path).
+func (bs *borrowScan) branch(list []ast.Stmt) {
+	pre := bs.snapshot()
+	if bs.stmts(list) {
+		bs.released = pre
+	}
+}
+
+func (bs *borrowScan) assign(st *ast.AssignStmt) {
+	for _, r := range st.Rhs {
+		bs.uses(r)
+	}
+	for _, l := range st.Lhs {
+		// Reads embedded in the target (index expressions etc).
+		if _, ok := l.(*ast.Ident); !ok {
+			bs.uses(l)
+		}
+	}
+	if len(st.Lhs) == len(st.Rhs) {
+		for i, l := range st.Lhs {
+			id, ok := ast.Unparen(l).(*ast.Ident)
+			if !ok || id.Name == "_" {
+				continue
+			}
+			bs.recordView(id, st.Rhs[i])
+		}
+		return
+	}
+	// Multi-value: every pooled target gets a fresh borrow.
+	for _, l := range st.Lhs {
+		if id, ok := ast.Unparen(l).(*ast.Ident); ok {
+			bs.clearTarget(id)
+		}
+	}
+}
+
+// recordView updates state for `id = rhs`: a pooled target starts a
+// fresh borrow; a byte-slice target rooted in a pooled buffer becomes a
+// view of it (or stops being one).
+func (bs *borrowScan) recordView(id *ast.Ident, rhs ast.Expr) {
+	obj := bs.pass.TypesInfo.Defs[id]
+	if obj == nil {
+		obj = bs.pass.TypesInfo.Uses[id]
+	}
+	if obj == nil {
+		return
+	}
+	if pooledBuffer(obj.Type()) {
+		delete(bs.released, obj)
+		delete(bs.reported, obj)
+		return
+	}
+	if !isByteSlice(obj.Type()) {
+		return
+	}
+	if buf := bs.bufferRoot(rhs); buf != nil {
+		bs.aliases[obj] = buf
+	} else {
+		delete(bs.aliases, obj)
+	}
+}
+
+func (bs *borrowScan) clearTarget(id *ast.Ident) {
+	obj := bs.pass.TypesInfo.Defs[id]
+	if obj == nil {
+		obj = bs.pass.TypesInfo.Uses[id]
+	}
+	if obj == nil {
+		return
+	}
+	if pooledBuffer(obj.Type()) {
+		delete(bs.released, obj)
+		delete(bs.reported, obj)
+	} else {
+		delete(bs.aliases, obj)
+	}
+}

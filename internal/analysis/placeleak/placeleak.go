@@ -28,6 +28,11 @@
 // Interface and type-parameter results (e.g. codec.Codec[T].Decode) are
 // treated as non-aliasing: DPX10 codecs are required to produce owned
 // values, and that contract is checked by their own fuzz tests.
+//
+// A second, independent rule covers the pipelined transport's pooled
+// receive buffers: any value of a retain/release-shaped type must not be
+// read — directly or through a byte-slice view — after its release call
+// returns the bytes to the pool. See borrow.go.
 package placeleak
 
 import (
@@ -43,7 +48,7 @@ import (
 
 var Analyzer = &framework.Analyzer{
 	Name:     "placeleak",
-	Doc:      "flag transport handlers and decode paths that retain or return an alias of the incoming payload []byte",
+	Doc:      "flag transport handlers and decode paths that retain or return an alias of the incoming payload []byte, and uses of pooled receive buffers after release",
 	Severity: framework.SevError,
 	Run:      run,
 }
@@ -63,11 +68,13 @@ func run(pass *framework.Pass) error {
 				if handlerShaped(sig) || decodeNamed(fn.Name.Name, sig) {
 					analyze(pass, fn.Type, fn.Body, sig)
 				}
+				borrowCheck(pass, fn.Body)
 			case *ast.FuncLit:
 				sig, _ := pass.TypesInfo.TypeOf(fn).(*types.Signature)
 				if sig != nil && handlerShaped(sig) {
 					analyze(pass, fn.Type, fn.Body, sig)
 				}
+				borrowCheck(pass, fn.Body)
 			}
 			return true
 		})

@@ -93,6 +93,16 @@ func (s *server) waitWhileLocked(wg *sync.WaitGroup) {
 	wg.Wait() // want `call to wg.Wait while mutex "s.mu" is held`
 }
 
+// sync.Cond.Wait releases its mutex while parked: holding cond.L across
+// Wait is the condition-variable pattern, not a stall.
+func (s *server) condWaitIsClean(cond *sync.Cond, ready *bool) {
+	s.mu.Lock()
+	for !*ready {
+		cond.Wait()
+	}
+	s.mu.Unlock()
+}
+
 // A goroutine body runs outside the critical section; it is analyzed with
 // an empty held set.
 func (s *server) goroutineIsClean() {

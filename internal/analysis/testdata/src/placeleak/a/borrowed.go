@@ -1,0 +1,102 @@
+package a
+
+// Borrowed-buffer rule: pooled ref-counted buffers (retain/release
+// shaped, like the transport's recvBuf) must not be used after release.
+
+type pooled struct {
+	b   []byte
+	ref int32
+}
+
+func (p *pooled) retain()  { p.ref++ }
+func (p *pooled) release() { p.ref-- }
+
+func getBuf(n int) *pooled { return &pooled{b: make([]byte, n)} }
+
+func useAfterRelease() byte {
+	rb := getBuf(64)
+	rb.release()
+	return rb.b[0] // want `uses pooled buffer rb after release`
+}
+
+func viewAfterRelease() []byte {
+	rb := getBuf(64)
+	p := rb.b[:16]
+	rb.release()
+	return cloneBytes(p) // want `uses p, a borrowed view of pooled buffer rb`
+}
+
+func chainedViewAfterRelease() byte {
+	rb := getBuf(64)
+	p := rb.b[8:]
+	q := p[:4]
+	rb.release()
+	return q[0] // want `uses q, a borrowed view of pooled buffer rb`
+}
+
+func releaseLast() []byte {
+	rb := getBuf(64)
+	out := cloneBytes(rb.b)
+	rb.release()
+	return out // clean: the copy happened before release
+}
+
+func deferredRelease() []byte {
+	rb := getBuf(64)
+	defer rb.release()
+	return cloneBytes(rb.b) // clean: defer runs after every use
+}
+
+func errorPathRelease(ok bool) []byte {
+	rb := getBuf(64)
+	if !ok {
+		rb.release()
+		return nil
+	}
+	out := cloneBytes(rb.b) // clean: the releasing branch returned
+	rb.release()
+	return out
+}
+
+func conditionalRelease(ok bool) byte {
+	rb := getBuf(64)
+	if ok {
+		rb.release() // falls through: rb is dead on a live path
+	}
+	return rb.b[0] // want `uses pooled buffer rb after release`
+}
+
+func reassigned() byte {
+	rb := getBuf(64)
+	rb.release()
+	rb = getBuf(32)
+	v := rb.b[0] // clean: a fresh borrow
+	rb.release()
+	return v
+}
+
+func doubleRelease() {
+	rb := getBuf(64)
+	rb.retain()
+	rb.release()
+	rb.release() // clean: refcount balance is the runtime's job
+}
+
+func borrowInGoroutine() {
+	rb := getBuf(64)
+	rb.retain()
+	go func() {
+		defer rb.release() // clean: the closure owns its own reference
+		process(rb.b)
+	}()
+	process(rb.b)
+	rb.release()
+}
+
+func escapesToGoroutineAfterRelease(ch chan byte) {
+	rb := getBuf(64)
+	rb.release()
+	go sendFirst(ch, rb.b) // want `uses pooled buffer rb after release`
+}
+
+func sendFirst(ch chan byte, b []byte) { ch <- b[0] }

@@ -1,0 +1,103 @@
+package a
+
+// Multi-frame batch envelope, as the pipelined data plane packs it: an
+// outer count, then per frame a sub-header (kind u8 | flags u8 | seq u64
+// | len u32) followed by the payload verbatim. The raw-tail append makes
+// each repetition end in `bytes`, which absorbs the sub-payload reads on
+// the decode side — the sub-header fields before it are still checked.
+
+const (
+	kFrames    uint8 = 11
+	kFramesBad uint8 = 12
+)
+
+type subframe struct {
+	kind, flags uint8
+	seq         uint64
+	body        []byte
+}
+
+func appendSubFrames(dst []byte, frames []subframe) []byte {
+	dst = putU32(dst, uint32(len(frames)))
+	for _, f := range frames {
+		dst = append(dst, f.kind)
+		dst = append(dst, f.flags)
+		dst = putU64(dst, f.seq)
+		dst = putU32(dst, uint32(len(f.body)))
+		dst = append(dst, f.body...)
+	}
+	return dst
+}
+
+// appendSubFramesBad truncates the sub-header's seq to u32 — the handler
+// still reads u64, so every frame after the first misparses.
+func appendSubFramesBad(dst []byte, frames []subframe) []byte {
+	dst = putU32(dst, uint32(len(frames)))
+	for _, f := range frames {
+		dst = append(dst, f.kind)
+		dst = append(dst, f.flags)
+		dst = putU32(dst, uint32(f.seq))
+		dst = putU32(dst, uint32(len(f.body)))
+		dst = append(dst, f.body...)
+	}
+	return dst
+}
+
+func (e *engine) registerBatches() {
+	e.tr.Handle(kFrames, e.handleFrames)
+	e.tr.Handle(kFramesBad, e.handleFramesBad)
+}
+
+func (e *engine) handleFrames(from int, payload []byte) ([]byte, error) {
+	r := reader{b: payload}
+	n := r.u32()
+	for k := uint32(0); k < n; k++ {
+		_ = r.u8()  // kind
+		_ = r.u8()  // flags
+		_ = r.u64() // seq
+		_ = r.u32() // len
+	}
+	return nil, r.err
+}
+
+func (e *engine) handleFramesBad(from int, payload []byte) ([]byte, error) {
+	r := reader{b: payload}
+	n := r.u32()
+	for k := uint32(0); k < n; k++ {
+		_ = r.u8()
+		_ = r.u8()
+		_ = r.u64()
+		_ = r.u32()
+	}
+	return nil, r.err
+}
+
+func (e *engine) sendFrames(frames []subframe) error {
+	return e.tr.Send(1, kFrames, appendSubFrames(nil, frames))
+}
+
+func (e *engine) sendFramesBad(frames []subframe) error {
+	return e.tr.Send(1, kFramesBad, appendSubFramesBad(nil, frames)) // want `wire kind kFramesBad: encoder builds \[u32 rep\( u8 u8 u32 u32 bytes \)\] but handler handleFramesBad decodes \[u32 rep\( u8 u8 u64 u32 \)\]`
+}
+
+// Named pair for the same envelope: checked without any call site.
+
+func encodeFrameBatch(frames []subframe) []byte {
+	return appendSubFrames(nil, frames)
+}
+
+func decodeFrameBatch(payload []byte) ([]subframe, error) {
+	r := reader{b: payload}
+	n := r.u32()
+	out := make([]subframe, 0, n)
+	for k := uint32(0); k < n; k++ {
+		var f subframe
+		f.kind = r.u8()
+		f.flags = r.u8()
+		f.seq = r.u64()
+		_ = r.u32()
+		f.body = r.rest()
+		out = append(out, f)
+	}
+	return out, r.err
+}

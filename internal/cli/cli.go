@@ -8,6 +8,7 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"sync"
 	"time"
 
 	"github.com/dpx10/dpx10"
@@ -42,6 +43,11 @@ type Params struct {
 	Cache         int
 	TileSize      int // scheduling granularity in cells; 0 auto, 1 per-vertex
 	RestoreRemote bool
+
+	// TCP data plane (worker mode only; the in-process fabric ignores them).
+	NoPipeline  bool // write each frame directly instead of batched writev
+	NoCompress  bool // never compress payloads
+	CompressMin int  // smallest payload to try compressing; 0 = default 1 KiB
 
 	Verify bool
 	Kill   int  // place to kill at ~50% progress; -1 disables
@@ -515,6 +521,10 @@ func RunWorker(p Params, self int, addrs []string, w io.Writer) error {
 func driveWorker[T any](p Params, self int, addrs []string, w io.Writer,
 	compute core.ComputeFunc[T], pattern dag.Pattern, cd codec.Codec[T]) error {
 
+	// The cluster-formed announcement below arrives on the event sink's
+	// goroutine, concurrent with this function's own progress prints;
+	// serialize the writer so both paths may interleave safely.
+	w = &syncWriter{w: w}
 	st, _ := sched.ParseStrategy(p.Strategy)
 	cfg := core.Config[T]{
 		Common: core.Common{
@@ -528,6 +538,9 @@ func driveWorker[T any](p Params, self int, addrs []string, w io.Writer,
 			RestoreRemote: p.RestoreRemote,
 			NewDist:       distFactory(p.Dist),
 			Metrics:       p.metricsOn(),
+			NoPipeline:    p.NoPipeline,
+			NoCompress:    p.NoCompress,
+			CompressMin:   p.CompressMin,
 		},
 		Compute: compute,
 		Codec:   cd,
@@ -617,4 +630,18 @@ func distFactory(name string) func(h, w int32, n int) dist.Dist {
 	default:
 		return func(h, w int32, n int) dist.Dist { return dist.NewBlockRow(h, w, n) }
 	}
+}
+
+// syncWriter makes an io.Writer safe for the driver's two print sources
+// (the main flow and the event-sink goroutine). os.Stdout tolerates the
+// concurrency anyway; the tests' bytes.Buffer does not.
+type syncWriter struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+func (s *syncWriter) Write(b []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.w.Write(b)
 }

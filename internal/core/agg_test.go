@@ -36,6 +36,60 @@ func TestAggregationMatchesReference(t *testing.T) {
 	}
 }
 
+// TestAggregatorFreeListBounded pins the free-list policy: the list may
+// retain at most one buffer per destination and aggFreeTotalMax bytes in
+// total, and buffers over aggFreeBufMax never come back at all — a run
+// with huge pushed values must not leave every retired buffer pinned at
+// its high-water capacity.
+func TestAggregatorFreeListBounded(t *testing.T) {
+	ag := &aggregator[int64]{bufs: make([]aggBuf, 4)}
+
+	ag.recycle(make([]byte, 0, aggFreeBufMax+1))
+	if len(ag.free) != 0 {
+		t.Fatalf("oversized buffer (%d bytes) was retained", aggFreeBufMax+1)
+	}
+
+	// Entry cap: one buffer per destination.
+	for i := 0; i < 10; i++ {
+		ag.recycle(make([]byte, 0, 64))
+	}
+	if len(ag.free) != len(ag.bufs) {
+		t.Fatalf("free list holds %d buffers, cap is %d", len(ag.free), len(ag.bufs))
+	}
+	if ag.freeBytes != len(ag.bufs)*64 {
+		t.Fatalf("freeBytes = %d, want %d", ag.freeBytes, len(ag.bufs)*64)
+	}
+
+	// Byte cap: near-max buffers stop being retained once the total would
+	// exceed aggFreeTotalMax, even with entry slots to spare.
+	ag.free, ag.freeBytes = nil, 0
+	big := aggFreeBufMax // 4 of these hit aggFreeTotalMax exactly
+	for i := 0; i < 4; i++ {
+		ag.recycle(make([]byte, 0, big))
+	}
+	if ag.freeBytes > aggFreeTotalMax {
+		t.Fatalf("freeBytes = %d exceeds cap %d", ag.freeBytes, aggFreeTotalMax)
+	}
+	kept := len(ag.free)
+	ag.recycle(make([]byte, 0, big))
+	if len(ag.free) != kept {
+		t.Fatalf("free list grew past the byte cap: %d -> %d buffers, %d bytes",
+			kept, len(ag.free), ag.freeBytes)
+	}
+
+	// Reuse must give the bytes back: after taking a buffer out, there is
+	// room again.
+	n := len(ag.free)
+	msg := ag.free[n-1][:0]
+	ag.free[n-1] = nil
+	ag.free = ag.free[:n-1]
+	ag.freeBytes -= cap(msg)
+	ag.recycle(msg)
+	if len(ag.free) != n {
+		t.Fatalf("recycling a borrowed buffer was refused: %d buffers, %d bytes", len(ag.free), ag.freeBytes)
+	}
+}
+
 // TestAggregationReducesTraffic is the engine-level version of the agg
 // ablation's acceptance numbers: coalescing must cut outbound one-way
 // messages and value push must cut fetch round-trips, on a pattern with

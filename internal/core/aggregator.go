@@ -33,10 +33,21 @@ type aggregator[T any] struct {
 	// pending counts buffered records so idle-path probes stay lock-free.
 	pending atomic.Int64
 
-	mu   sync.Mutex
-	bufs []aggBuf // per destination place
-	free [][]byte // retired message buffers, ready for reuse
+	mu        sync.Mutex
+	bufs      []aggBuf // per destination place
+	free      [][]byte // retired message buffers, ready for reuse
+	freeBytes int      // total capacity retained in free
 }
+
+// The free list is bounded in bytes, not just entries: one run with huge
+// pushed values (or a pathological pattern fanout) would otherwise leave
+// every retired buffer at its high-water capacity for the rest of the
+// epoch. Buffers over aggFreeBufMax go back to the GC instead of the
+// list, and the list as a whole retains at most aggFreeTotalMax.
+const (
+	aggFreeBufMax   = 1 << 20 // largest single buffer worth keeping
+	aggFreeTotalMax = 4 << 20 // total bytes the free list may pin
+)
 
 // aggBuf is one destination's open message: the incrementally built
 // kindDecrBatch payload and the record count backpatched at flush.
@@ -63,7 +74,10 @@ func (ag *aggregator[T]) add(dest int, src dag.VertexID, value T, targets []dag.
 	b := &ag.bufs[dest]
 	if len(b.msg) == 0 {
 		if n := len(ag.free); n > 0 {
-			b.msg, ag.free = ag.free[n-1][:0], ag.free[:n-1]
+			b.msg = ag.free[n-1][:0]
+			ag.free[n-1] = nil
+			ag.free = ag.free[:n-1]
+			ag.freeBytes -= cap(b.msg)
 		}
 		b.msg = putU32(putU64(b.msg, ag.epoch), 0) // count backpatched at flush
 	}
@@ -101,15 +115,28 @@ func (ag *aggregator[T]) takeLocked(dest int) []byte {
 	return msg
 }
 
-// send puts one finalized message on the wire and recycles its buffer
-// (both transports copy payloads before Send returns).
+// send puts one finalized message on the wire and recycles its buffer.
+// Recycling is safe because Send does not return until the payload is off
+// this side: the local fabric copies it into a pooled buffer up front, and
+// the TCP pipeline parks the sender until the writer has flushed the frame
+// to the socket (group commit) — either way the buffer is ours again here.
 func (ag *aggregator[T]) send(dest int, msg []byte) {
 	if err := ag.pe.tr.Send(dest, kindDecrBatch, msg); err != nil {
 		ag.pe.peerError(dest, err)
 	}
+	ag.recycle(msg)
+}
+
+// recycle offers a retired message buffer back to the free list, subject
+// to the byte caps above.
+func (ag *aggregator[T]) recycle(msg []byte) {
+	if cap(msg) > aggFreeBufMax {
+		return // oversized: let the GC have it
+	}
 	ag.mu.Lock()
-	if len(ag.free) < len(ag.bufs) {
+	if len(ag.free) < len(ag.bufs) && ag.freeBytes+cap(msg) <= aggFreeTotalMax {
 		ag.free = append(ag.free, msg)
+		ag.freeBytes += cap(msg)
 	}
 	ag.mu.Unlock()
 }

@@ -87,6 +87,13 @@ type Common struct {
 	// disk-backed store instead of RAM — the paper's §X future work for
 	// problems larger than memory. Indegrees and flags stay resident.
 	Spill *SpillConfig
+	// NoDepCache disables the per-epoch dependency-resolution cache that
+	// the tile activation scans fill and the tile walks read (roughly
+	// 16 + 16·deg bytes per local cell). The cache is on by default and
+	// auto-disabled for spilled runs, where its memory footprint would
+	// defeat the point of spilling; set this for very large in-memory
+	// grids where the same trade applies.
+	NoDepCache bool
 	// ProbeInterval is the failure-detector heartbeat period. Place 0
 	// pings every place at this interval, mirroring the X10 runtime's own
 	// failure detection — pure communication-based detection can deadlock
@@ -167,6 +174,14 @@ type Common struct {
 	// on the shared places (every node must agree). Default 1. The
 	// in-process runtime ignores it — jobs arrive through Submit there.
 	Jobs int
+	// NoPipeline disables the TCP data-plane pipeline (batched writev
+	// framing), writing each frame directly. In-process fabrics ignore it.
+	NoPipeline bool
+	// NoCompress keeps the pipeline but never compresses payloads.
+	NoCompress bool
+	// CompressMin is the smallest payload the pipeline will try to
+	// compress, in bytes. 0 means the transport default (1024).
+	CompressMin int
 }
 
 // normalize defaults and checks the type-independent fields. The job
@@ -254,6 +269,9 @@ func (c *Common) normalize() error {
 	}
 	if c.Jobs < 1 {
 		return fmt.Errorf("core: Jobs = %d, need >= 1", c.Jobs)
+	}
+	if c.CompressMin < 0 {
+		return fmt.Errorf("core: CompressMin = %d, need >= 0 (0 = default)", c.CompressMin)
 	}
 	return nil
 }

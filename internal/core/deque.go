@@ -9,11 +9,15 @@ import (
 // plus a wake semaphore. It replaces the old single shared ready channel,
 // which made every enqueue and dequeue contend on one MPMC queue.
 //
-// Discipline: a worker pushes tiles it enables onto its own deque and pops
-// from its own tail (LIFO — the freshest tile's inputs are still cache-
-// hot); an idle worker steals from a sibling's head (FIFO — the oldest,
-// least cache-relevant work); protocol handlers, which have no worker
-// identity, spread their pushes round-robin.
+// Discipline: tiles carry their anti-diagonal wavefront index (i+j of the
+// tile's first cell), and each deque keeps its entries sorted by it. A
+// worker pushes tiles it enables onto its own deque and pops its own
+// minimum — the place advances diagonal by diagonal, so successive tiles
+// share cache-resident dependency rows and the front's width (the DAG's
+// available parallelism) is released as early as possible. Thieves, local
+// and remote, pop a victim's maximum: the tile farthest ahead of the
+// front, where they least disturb the owner's locality. Protocol handlers,
+// which have no worker identity, spread their pushes round-robin.
 type tileSched struct {
 	deques []workDeque
 	// notify wakes the place's shared worker pool after a push has made
@@ -34,25 +38,25 @@ func newTileSched(workers int, notify func()) *tileSched {
 	}
 }
 
-// push makes tile t claimable. wkr >= 0 targets that worker's own deque;
-// handlers pass -1.
-func (ts *tileSched) push(t, wkr int) {
+// push makes tile t claimable at wavefront position wave. wkr >= 0 targets
+// that worker's own deque; handlers pass -1.
+func (ts *tileSched) push(t, wkr int, wave int32) {
 	if wkr < 0 || wkr >= len(ts.deques) {
 		wkr = int(ts.rr.Add(1)) % len(ts.deques)
 	}
-	ts.deques[wkr].push(t)
+	ts.deques[wkr].push(t, wave)
 	ts.notify()
 }
 
-// take returns a runnable tile for worker w: its own tail first, then its
-// siblings' heads.
+// take returns a runnable tile for worker w: the earliest wave of its own
+// deque first, then the latest wave of each sibling.
 func (ts *tileSched) take(w int) (int, bool) {
-	if t, ok := ts.deques[w].popTail(); ok {
+	if t, ok := ts.deques[w].popMin(); ok {
 		return t, true
 	}
 	n := len(ts.deques)
 	for k := 1; k < n; k++ {
-		if t, ok := ts.deques[(w+k)%n].popHead(); ok {
+		if t, ok := ts.deques[(w+k)%n].popMax(); ok {
 			return t, true
 		}
 	}
@@ -60,56 +64,70 @@ func (ts *tileSched) take(w int) (int, bool) {
 }
 
 // steal pops one queued tile on behalf of a remote thief (the kindSteal
-// victim side) or any caller without a worker identity.
+// victim side) or any caller without a worker identity. Remote thieves get
+// the latest-wave tile — the one whose inputs are coldest here.
 func (ts *tileSched) steal() (int, bool) {
 	for i := range ts.deques {
-		if t, ok := ts.deques[i].popHead(); ok {
+		if t, ok := ts.deques[i].popMax(); ok {
 			return t, true
 		}
 	}
 	return 0, false
 }
 
-// workDeque is a mutex-protected deque of tile indexes. Contention is low
-// by construction — the owner is the only LIFO end user and thieves only
-// arrive when their own deque is empty — so a plain mutex beats a lock-
-// free design for this footprint.
+// waveEntry is one queued tile and its anti-diagonal wavefront index.
+type waveEntry struct {
+	tile int
+	wave int32
+}
+
+// workDeque is a mutex-protected wave-sorted deque of tiles. Contention is
+// low by construction — the owner is the only min-end user and thieves
+// only arrive when their own deque is empty — so a plain mutex beats a
+// lock-free design for this footprint. Entries in [head:] are sorted
+// ascending by wave; pushes arrive in near-ascending order as the front
+// advances, so the insertion bubble almost always stops immediately.
 type workDeque struct {
 	mu   sync.Mutex
-	buf  []int
+	buf  []waveEntry
 	head int
 }
 
-func (q *workDeque) push(t int) {
+func (q *workDeque) push(t int, wave int32) {
 	q.mu.Lock()
-	q.buf = append(q.buf, t)
+	q.buf = append(q.buf, waveEntry{tile: t, wave: wave})
+	for i := len(q.buf) - 1; i > q.head && q.buf[i-1].wave > q.buf[i].wave; i-- {
+		q.buf[i-1], q.buf[i] = q.buf[i], q.buf[i-1]
+	}
 	q.mu.Unlock()
 }
 
-func (q *workDeque) popTail() (int, bool) {
+// popMin takes the earliest-wave tile (the owner's end).
+func (q *workDeque) popMin() (int, bool) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	if q.head >= len(q.buf) {
 		q.reset()
 		return 0, false
 	}
-	t := q.buf[len(q.buf)-1]
-	q.buf = q.buf[:len(q.buf)-1]
+	t := q.buf[q.head].tile
+	q.head++
 	if q.head >= len(q.buf) {
 		q.reset()
 	}
 	return t, true
 }
 
-func (q *workDeque) popHead() (int, bool) {
+// popMax takes the latest-wave tile (the thieves' end).
+func (q *workDeque) popMax() (int, bool) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	if q.head >= len(q.buf) {
 		q.reset()
 		return 0, false
 	}
-	t := q.buf[q.head]
-	q.head++
+	t := q.buf[len(q.buf)-1].tile
+	q.buf = q.buf[:len(q.buf)-1]
 	if q.head >= len(q.buf) {
 		q.reset()
 	}

@@ -333,7 +333,9 @@ func (pe *placeEngine[T]) handleRebuild(from int, payload []byte) ([]byte, error
 	// The old epoch's cache is about to be discarded with it; bank its
 	// shard counters in the registry so cumulative totals survive.
 	pe.foldCacheStats(old.cache)
+	pe.transferMu.Lock()
 	pe.pendingTransfers = transfers
+	pe.transferMu.Unlock()
 	pe.st.Store(pe.newEpochState(newEpoch, newDist, chunk))
 	return nil, nil
 }
@@ -346,8 +348,12 @@ func (pe *placeEngine[T]) handleRestore(from int, payload []byte) ([]byte, error
 	if r.err != nil {
 		return nil, r.err
 	}
+	pe.transferMu.Lock()
+	pending := pe.pendingTransfers
+	pe.pendingTransfers = nil
+	pe.transferMu.Unlock()
 	byDest := make(map[int][]distarray.Transfer[T])
-	for _, tr := range pe.pendingTransfers {
+	for _, tr := range pending {
 		byDest[tr.To] = append(byDest[tr.To], tr)
 	}
 	for dest, trs := range byDest {
@@ -362,7 +368,6 @@ func (pe *placeEngine[T]) handleRestore(from int, payload []byte) ([]byte, error
 			return nil, err
 		}
 	}
-	pe.pendingTransfers = nil
 	return nil, nil
 }
 

@@ -33,6 +33,7 @@ type epochState[T any] struct {
 	d     dist.Dist
 	chunk *distarray.Chunk[T]
 	sched *tileSched // per-worker deques of schedulable tiles
+	waves []int32    // per-tile anti-diagonal index (i+j of first cell)
 	quit  chan struct{}
 	cache *vcache.Cache[T]
 	agg   *aggregator[T] // outbound decrement aggregator; nil when disabled
@@ -99,11 +100,15 @@ type placeEngine[T any] struct {
 	stopOnce sync.Once
 
 	// pendingTransfers buffers outbound restore-remote values between the
-	// rebuild and restore recovery phases; only the serialized recovery
-	// protocol touches it.
+	// rebuild and restore recovery phases. The recovery protocol serializes
+	// the two phases in time, but their handlers run on distinct dispatch
+	// goroutines, so the mutex supplies the happens-before edge the wire
+	// ordering alone cannot.
+	transferMu       sync.Mutex
 	pendingTransfers []distarray.Transfer[T]
 
 	snapSeq atomic.Int64 // local completions since the last snapshot
+	snapOn  bool         // snapshotting configured; hoists maybeSnapshot's check out of the per-vertex path
 
 	// foldOnce/folded guard the one-time fold of the final epoch's cache
 	// counters into the registry when the job ends (see foldFinalCache).
@@ -160,7 +165,7 @@ type scratch[T any] struct {
 
 	fetchIdx    map[int][]int // gatherDeps: owner -> indexes into cells
 	fetchOwners []int
-	cells       []Cell[T] // deps passed to Compute; valid only during the call
+	cells       []Cell[T]      // deps passed to Compute; valid only during the call
 	ids         []dag.VertexID // fetch request id batch
 	enc         []byte         // wire encode buffer
 	out         []byte         // second encode buffer for messages built across computeHere calls
@@ -169,12 +174,30 @@ type scratch[T any] struct {
 	targets []dag.VertexID
 	vals    []T
 
-	// Tile walk state.
-	tileRem   []int32 // remaining unfinished same-tile deps, indexed off-lo
-	tileStack []int
-	tileOrder []int
-	extDeps   []dag.VertexID            // PickTile inputs (MinComm)
-	extSeen   map[dag.VertexID]struct{} // dedup for extDeps; lazily allocated
+	// Tile walk state. The ordering scan resolves every cell's coordinates,
+	// dependencies and anti-dependencies exactly once; the execution loop
+	// and completeVertex reuse the resolutions instead of re-deriving them.
+	tileRem    []int32        // remaining unfinished same-tile deps, indexed off-lo
+	tileIJ     []dag.VertexID // cell coordinates, indexed off-lo (computed once per tile)
+	tileDeps   []dag.VertexID // flattened per-cell dependency lists
+	tileDepAt  []int32        // tileDeps start per cell, indexed off-lo, len n+1
+	tileDepRes []cellRef      // owner/offset per entry of tileDeps
+	tileAnti   []resolvedAnti // flattened anti-deps in execution (pop) order
+	tileAntiAt []int32        // tileAnti start per order position, len(order)+1
+	antiRes    []resolvedAnti // completeVertex scratch for the uncached path
+	tileStack  []int
+	tileOrder  []int
+
+	// Deferred-completion state, active only inside a runTile walk (the
+	// walk owns its cells exclusively). Completions use relaxed stores and
+	// park their done-counter adds and cross-tile counter decrements here;
+	// flushTileWalk settles both when the walk ends.
+	deferOn  bool
+	doneN    int64
+	pendTile []int32                   // target tiles with parked decrements (tiny; linear scan)
+	pendCnt  []int32                   // parked decrement count per entry of pendTile
+	extDeps  []dag.VertexID            // PickTile inputs (MinComm)
+	extSeen  map[dag.VertexID]struct{} // dedup for extDeps; lazily allocated
 	// stolenIDs/stolenVals carry a thief's stolen tile: the cell list in
 	// the victim's stated order (a dedicated buffer — gatherDeps reuses
 	// sc.ids mid-loop) and the in-flight results, so gatherDeps resolves
@@ -202,6 +225,20 @@ func (pe *placeEngine[T]) getScratch() *scratch[T] {
 
 func (pe *placeEngine[T]) putScratch(sc *scratch[T]) { pe.scratchPool.Put(sc) }
 
+// cellRef is a dist.PlaceOffset resolution: the owning place and the dense
+// local offset of a cell within it. It aliases distarray's type so the
+// chunk's dependency-resolution cache feeds the tile walk without
+// conversion.
+type cellRef = distarray.CellRef
+
+// resolvedAnti is one anti-dependency with its ownership pre-resolved, so
+// completeVertex can propagate decrements without re-querying the dist.
+type resolvedAnti struct {
+	id    dag.VertexID
+	owner int32
+	off   int
+}
+
 // workerCtx is one host worker's persistent per-engine state. The picker
 // is epoch-scoped (it captures the epoch's distribution), so it is
 // rebuilt lazily whenever the worker first touches a new epoch.
@@ -214,19 +251,19 @@ type workerCtx[T any] struct {
 
 func newPlaceEngine[T any](self int, cfg *Config[T], tr transport.Transport, abort func(error), reg *metrics.Registry, host *placeHost, job uint32) *placeEngine[T] {
 	pe := &placeEngine[T]{
-		self:     self,
-		cfg:      cfg,
-		tr:       tr,
-		host:     host,
-		job:      job,
-		jobKey:   uint8(job),
-		workers:  make([]workerCtx[T], cfg.Threads),
-		spanTile: "tile",
+		self:      self,
+		cfg:       cfg,
+		tr:        tr,
+		host:      host,
+		job:       job,
+		jobKey:    uint8(job),
+		workers:   make([]workerCtx[T], cfg.Threads),
+		spanTile:  "tile",
 		spanSteal: "steal",
-		alive:    make([]atomic.Bool, cfg.Places),
-		abort:    abort,
-		stopCh:   make(chan struct{}),
-		reg:      reg,
+		alive:     make([]atomic.Bool, cfg.Places),
+		abort:     abort,
+		stopCh:    make(chan struct{}),
+		reg:       reg,
 	}
 	if job != 0 {
 		pe.spanTile = fmt.Sprintf("j%d:tile", job)
@@ -251,6 +288,7 @@ func newPlaceEngine[T any](self int, cfg *Config[T], tr transport.Transport, abo
 	for p := 0; p < cfg.Places; p++ {
 		pe.alive[p].Store(true)
 	}
+	pe.snapOn = cfg.Snapshot != nil && cfg.SnapshotEvery > 0
 	pe.registerHandlers()
 	return pe
 }
@@ -262,9 +300,11 @@ func newPlaceEngine[T any](self int, cfg *Config[T], tr transport.Transport, abo
 // no state to receive it and be lost with nothing to replay it.
 func (pe *placeEngine[T]) prepare(d dist.Dist) {
 	chunk := pe.newChunk(d)
-	chunk.InitIndegrees(pe.cfg.Pattern)
 	st := pe.newEpochState(0, d, chunk)
-	for _, t := range chunk.ActivateTiles(pe.cfg.Pattern) {
+	// Epoch 0 initializes indegrees and derives the tile counters in one
+	// fused scan (the chunk is unpublished, so nothing races it); recovery
+	// keeps the split InitIndegrees / replay / ActivateTiles sequence.
+	for _, t := range chunk.InitActivateTiles(pe.cfg.Pattern) {
 		pe.enqueueTile(st, t, -1)
 	}
 	pe.st.Store(st)
@@ -283,6 +323,7 @@ func (pe *placeEngine[T]) newEpochState(epoch uint64, d dist.Dist, chunk *distar
 		d:     d,
 		chunk: chunk,
 		sched: newTileSched(pe.cfg.Threads, pe.host.notify),
+		waves: tileWaves(d, chunk, pe.self),
 		quit:  make(chan struct{}),
 		cache: pe.newCache(),
 	}
@@ -420,7 +461,13 @@ func (pe *placeEngine[T]) runTile(st *epochState[T], pk *sched.Picker, sc *scrat
 	}
 	exec := pk.PickTile(pe.self, len(order), ext)
 	migrate := exec != pe.self && pe.isAlive(exec)
-	for _, off := range order {
+	// The walk owns every cell it executes, so completions run in deferred
+	// mode: relaxed result stores, parked cross-tile counter decrements and
+	// one batched done-count add, settled by flushTileWalk on every exit.
+	sc.deferOn = true
+	defer pe.flushTileWalk(st, sc)
+	cached := st.chunk.DepCached()
+	for k, off := range order {
 		select {
 		case <-st.quit:
 			// Pause or stop: abandon the rest of the tile. Completed cells
@@ -429,8 +476,21 @@ func (pe *placeEngine[T]) runTile(st *epochState[T], pk *sched.Picker, sc *scrat
 			return
 		default:
 		}
-		i, j := st.d.CellAt(pe.self, off)
-		sc.depIDs = pe.cfg.Pattern.Dependencies(i, j, sc.depIDs[:0])
+		// Coordinates, dependency lists and anti-dep resolutions come from
+		// the chunk's activation-scan cache (or tileOrder's scratch on the
+		// uncached path) instead of being re-derived per cell.
+		var id dag.VertexID
+		var deps []dag.VertexID
+		var depRes []cellRef
+		if cached {
+			id = st.chunk.CellID(off)
+			deps, depRes = st.chunk.CellDeps(off)
+		} else {
+			id = sc.tileIJ[off-lo]
+			deps = sc.tileDeps[sc.tileDepAt[off-lo]:sc.tileDepAt[off-lo+1]]
+			depRes = sc.tileDepRes[sc.tileDepAt[off-lo]:sc.tileDepAt[off-lo+1]]
+		}
+		i, j := id.I, id.J
 		var value T
 		var err error
 		if migrate {
@@ -442,14 +502,15 @@ func (pe *placeEngine[T]) runTile(st *epochState[T], pk *sched.Picker, sc *scrat
 				pe.execMigrated.Add(1)
 			}
 		} else {
-			value, err = pe.computeHere(st, sc, i, j, sc.depIDs)
+			value, err = pe.computeWith(st, sc, i, j, deps, depRes)
 		}
 		if err != nil || pe.stale(st) {
 			// Dead peer or superseded epoch: the tile's remaining cells will
 			// be rescheduled by the recovery's rebuilt tile counters.
 			return
 		}
-		pe.completeVertex(st, sc, off, i, j, value)
+		anti := sc.tileAnti[sc.tileAntiAt[k]:sc.tileAntiAt[k+1]]
+		pe.completeResolved(st, sc, off, i, j, value, anti)
 	}
 }
 
@@ -458,49 +519,123 @@ func (pe *placeEngine[T]) runTile(st *epochState[T], pk *sched.Picker, sc *scrat
 // Cross-tile dependencies of a claimed tile are already finished — that
 // is precisely what the tile counter tracked — so only internal edges
 // constrain the order.
+//
+// When the chunk's dependency-resolution cache is live (the common case)
+// the ordering pass reads the activation scan's cached coordinates, dep
+// lists and PlaceOffset resolutions; the uncached path re-derives them
+// into the scratch buffers as before.
 func (pe *placeEngine[T]) tileOrder(st *epochState[T], sc *scratch[T], lo, hi int) []int {
 	n := hi - lo
 	if cap(sc.tileRem) < n {
 		sc.tileRem = make([]int32, n)
+		sc.tileIJ = make([]dag.VertexID, n)
+		sc.tileDepAt = make([]int32, n+1)
 	}
 	rem := sc.tileRem[:n]
 	sc.tileStack = sc.tileStack[:0]
 	sc.tileOrder = sc.tileOrder[:0]
-	pending := 0
-	for off := lo; off < hi; off++ {
-		if st.chunk.Finished(off) {
-			rem[off-lo] = -1
-			continue
-		}
-		i, j := st.d.CellAt(pe.self, off)
-		sc.depIDs = pe.cfg.Pattern.Dependencies(i, j, sc.depIDs[:0])
-		cnt := int32(0)
-		for _, dep := range sc.depIDs {
-			if st.d.Place(dep.I, dep.J) != pe.self {
+	if cap(sc.tileAntiAt) < n+1 {
+		sc.tileAntiAt = make([]int32, 0, n+1)
+	}
+	sc.tileAnti = sc.tileAnti[:0]
+	sc.tileAntiAt = sc.tileAntiAt[:0]
+	cached := st.chunk.DepCached()
+	if cached && st.chunk.DepMonotone() {
+		// Wavefront fast path: the activation scan proved every same-place
+		// dependency resolves to a smaller local offset, so ascending offset
+		// order is already topological within the tile — skip the rem-count
+		// fill and the Kahn walk and only resolve the anti-dep lists the
+		// deferred-completion walk consumes.
+		for off := lo; off < hi; off++ {
+			if st.chunk.Finished(off) {
 				continue
 			}
-			doff := st.d.LocalOffset(dep.I, dep.J)
-			if doff >= lo && doff < hi && !st.chunk.Finished(doff) {
-				cnt++
+			sc.tileOrder = append(sc.tileOrder, off)
+			sc.tileAntiAt = append(sc.tileAntiAt, int32(len(sc.tileAnti)))
+			id := st.chunk.CellID(off)
+			sc.antiBuf = pe.cfg.Pattern.AntiDependencies(id.I, id.J, sc.antiBuf[:0])
+			for _, a := range sc.antiBuf {
+				owner, aoff := st.d.PlaceOffset(a.I, a.J)
+				sc.tileAnti = append(sc.tileAnti, resolvedAnti{id: a, owner: int32(owner), off: aoff})
 			}
 		}
-		rem[off-lo] = cnt
-		pending++
-		if cnt == 0 {
-			sc.tileStack = append(sc.tileStack, off)
+		sc.tileAntiAt = append(sc.tileAntiAt, int32(len(sc.tileAnti)))
+		return sc.tileOrder
+	}
+	pending := 0
+	if cached {
+		for off := lo; off < hi; off++ {
+			if st.chunk.Finished(off) {
+				rem[off-lo] = -1
+				continue
+			}
+			_, res := st.chunk.CellDeps(off)
+			cnt := int32(0)
+			for _, r := range res {
+				if int(r.Owner) != pe.self {
+					continue
+				}
+				if doff := int(r.Off); doff >= lo && doff < hi && !st.chunk.Finished(doff) {
+					cnt++
+				}
+			}
+			rem[off-lo] = cnt
+			pending++
+			if cnt == 0 {
+				sc.tileStack = append(sc.tileStack, off)
+			}
 		}
+	} else {
+		sc.tileIJ = sc.tileIJ[:n]
+		sc.tileDepAt = sc.tileDepAt[:n+1]
+		sc.tileDeps = sc.tileDeps[:0]
+		sc.tileDepRes = sc.tileDepRes[:0]
+		for off := lo; off < hi; off++ {
+			sc.tileDepAt[off-lo] = int32(len(sc.tileDeps))
+			if st.chunk.Finished(off) {
+				rem[off-lo] = -1
+				continue
+			}
+			i, j := st.d.CellAt(pe.self, off)
+			sc.tileIJ[off-lo] = dag.VertexID{I: i, J: j}
+			sc.tileDeps = pe.cfg.Pattern.Dependencies(i, j, sc.tileDeps)
+			cnt := int32(0)
+			for _, dep := range sc.tileDeps[sc.tileDepAt[off-lo]:] {
+				owner, doff := st.d.PlaceOffset(dep.I, dep.J)
+				sc.tileDepRes = append(sc.tileDepRes, cellRef{Owner: int32(owner), Off: int32(doff)})
+				if owner != pe.self {
+					continue
+				}
+				if doff >= lo && doff < hi && !st.chunk.Finished(doff) {
+					cnt++
+				}
+			}
+			rem[off-lo] = cnt
+			pending++
+			if cnt == 0 {
+				sc.tileStack = append(sc.tileStack, off)
+			}
+		}
+		sc.tileDepAt[n] = int32(len(sc.tileDeps))
 	}
 	for len(sc.tileStack) > 0 {
 		off := sc.tileStack[len(sc.tileStack)-1]
 		sc.tileStack = sc.tileStack[:len(sc.tileStack)-1]
 		sc.tileOrder = append(sc.tileOrder, off)
-		i, j := st.d.CellAt(pe.self, off)
-		sc.antiBuf = pe.cfg.Pattern.AntiDependencies(i, j, sc.antiBuf[:0])
+		sc.tileAntiAt = append(sc.tileAntiAt, int32(len(sc.tileAnti)))
+		var id dag.VertexID
+		if cached {
+			id = st.chunk.CellID(off)
+		} else {
+			id = sc.tileIJ[off-lo]
+		}
+		sc.antiBuf = pe.cfg.Pattern.AntiDependencies(id.I, id.J, sc.antiBuf[:0])
 		for _, a := range sc.antiBuf {
-			if st.d.Place(a.I, a.J) != pe.self {
+			owner, aoff := st.d.PlaceOffset(a.I, a.J)
+			sc.tileAnti = append(sc.tileAnti, resolvedAnti{id: a, owner: int32(owner), off: aoff})
+			if owner != pe.self {
 				continue
 			}
-			aoff := st.d.LocalOffset(a.I, a.J)
 			if aoff < lo || aoff >= hi {
 				continue
 			}
@@ -512,6 +647,7 @@ func (pe *placeEngine[T]) tileOrder(st *epochState[T], sc *scratch[T], lo, hi in
 			}
 		}
 	}
+	sc.tileAntiAt = append(sc.tileAntiAt, int32(len(sc.tileAnti)))
 	if len(sc.tileOrder) != pending {
 		// The intra-tile subgraph of a DAG cannot be cyclic; an incomplete
 		// walk means the pattern's deps/anti-deps disagree.
@@ -530,14 +666,24 @@ func (pe *placeEngine[T]) tileExtDeps(st *epochState[T], sc *scratch[T], lo, hi 
 		sc.extSeen = make(map[dag.VertexID]struct{}, 16)
 	}
 	clear(sc.extSeen)
+	cached := st.chunk.DepCached()
 	for _, off := range order {
-		i, j := st.d.CellAt(pe.self, off)
-		sc.depIDs = pe.cfg.Pattern.Dependencies(i, j, sc.depIDs[:0])
-		for _, dep := range sc.depIDs {
-			if st.d.Place(dep.I, dep.J) == pe.self {
-				if doff := st.d.LocalOffset(dep.I, dep.J); doff >= lo && doff < hi {
-					continue
-				}
+		var deps []dag.VertexID
+		var res []cellRef
+		if cached {
+			deps, res = st.chunk.CellDeps(off)
+		} else {
+			deps = sc.tileDeps[sc.tileDepAt[off-lo]:sc.tileDepAt[off-lo+1]]
+		}
+		for k, dep := range deps {
+			var owner, doff int
+			if cached {
+				owner, doff = int(res[k].Owner), int(res[k].Off)
+			} else {
+				owner, doff = st.d.PlaceOffset(dep.I, dep.J)
+			}
+			if owner == pe.self && doff >= lo && doff < hi {
+				continue
 			}
 			if _, dup := sc.extSeen[dep]; dup {
 				continue
@@ -648,9 +794,13 @@ func (pe *placeEngine[T]) newChunk(d dist.Dist) *distarray.Chunk[T] {
 			pe.abort(fmt.Errorf("core: place %d spill store: %w", pe.self, err))
 			return distarray.NewChunk[T](pe.self, d)
 		}
+		// No dep cache for spilled runs: a run too large for dense values
+		// in memory cannot afford dense dependency lists either.
 		return distarray.NewChunkBacked[T](pe.self, d, store)
 	}
-	return distarray.NewChunk[T](pe.self, d)
+	ch := distarray.NewChunk[T](pe.self, d)
+	ch.SetDepCache(!pe.cfg.NoDepCache)
+	return ch
 }
 
 // spillRemap picks the spill store's page-locality permutation. Under a
@@ -695,19 +845,31 @@ func (pe *placeEngine[T]) stale(st *epochState[T]) bool { return pe.st.Load() !=
 // run (or ship) compute, publish the result and propagate decrements
 // (paper §VI-C). It is the whole-tile path when TileSize is 1.
 func (pe *placeEngine[T]) runVertex(st *epochState[T], pk *sched.Picker, sc *scratch[T], off int) {
-	i, j := st.d.CellAt(pe.self, off)
-	sc.depIDs = pe.cfg.Pattern.Dependencies(i, j, sc.depIDs[:0])
+	// The activation scan's cache already holds this cell's coordinates,
+	// dependency list and PlaceOffset resolutions.
+	var i, j int32
+	var deps []dag.VertexID
+	var depRes []cellRef
+	if st.chunk.DepCached() {
+		id := st.chunk.CellID(off)
+		i, j = id.I, id.J
+		deps, depRes = st.chunk.CellDeps(off)
+	} else {
+		i, j = st.d.CellAt(pe.self, off)
+		sc.depIDs = pe.cfg.Pattern.Dependencies(i, j, sc.depIDs[:0])
+		deps = sc.depIDs
+	}
 
 	var value T
 	var err error
-	exec := pk.Pick(pe.self, i, j, sc.depIDs)
+	exec := pk.Pick(pe.self, i, j, deps)
 	if exec != pe.self && pe.isAlive(exec) {
 		value, err = pe.execRemote(st, sc, exec, i, j)
 		if err == nil {
 			pe.execMigrated.Add(1)
 		}
 	} else {
-		value, err = pe.computeHere(st, sc, i, j, sc.depIDs)
+		value, err = pe.computeWith(st, sc, i, j, deps, depRes)
 	}
 	if err != nil {
 		// Dead peer or superseded epoch: the vertex will be rescheduled
@@ -728,9 +890,32 @@ func (pe *placeEngine[T]) runVertex(st *epochState[T], pk *sched.Picker, sc *scr
 // report place completion. Called from the tile walk and from the
 // steal-done handler.
 func (pe *placeEngine[T]) completeVertex(st *epochState[T], sc *scratch[T], off int, i, j int32, value T) {
-	st.chunk.SetResult(off, value)
-	pe.computed.Add(1)
-	pe.maybeSnapshot(st)
+	sc.antiBuf = pe.cfg.Pattern.AntiDependencies(i, j, sc.antiBuf[:0])
+	sc.antiRes = sc.antiRes[:0]
+	for _, a := range sc.antiBuf {
+		owner, aoff := st.d.PlaceOffset(a.I, a.J)
+		sc.antiRes = append(sc.antiRes, resolvedAnti{id: a, owner: int32(owner), off: aoff})
+	}
+	pe.completeResolved(st, sc, off, i, j, value, sc.antiRes)
+}
+
+// completeResolved is completeVertex with the anti-dependency resolutions
+// supplied by the caller — the tile walk resolves them once in tileOrder's
+// Kahn scan and replays them here for every cell it executes.
+func (pe *placeEngine[T]) completeResolved(st *epochState[T], sc *scratch[T], off int, i, j int32, value T, anti []resolvedAnti) {
+	if sc.deferOn {
+		// Tile walk: the cell is exclusively owned, so publish with a
+		// release store and batch the done-count — and the shared computed
+		// counter, contended across workers — into flushTileWalk.
+		st.chunk.SetResultOwned(off, value)
+		sc.doneN++
+	} else {
+		st.chunk.SetResult(off, value)
+		pe.computed.Add(1)
+	}
+	if pe.snapOn {
+		pe.maybeSnapshot(st)
+	}
 
 	// Clear grouping state a previous, error-aborted use may have left.
 	for _, owner := range sc.owners {
@@ -739,18 +924,22 @@ func (pe *placeEngine[T]) completeVertex(st *epochState[T], sc *scratch[T], off 
 	sc.owners = sc.owners[:0]
 
 	tile := st.chunk.TileOf(off)
-	sc.antiBuf = pe.cfg.Pattern.AntiDependencies(i, j, sc.antiBuf[:0])
-	for _, a := range sc.antiBuf {
-		owner := st.d.Place(a.I, a.J)
+	for _, a := range anti {
+		owner := int(a.owner)
 		if owner == pe.self {
-			aoff := st.d.LocalOffset(a.I, a.J)
-			if st.chunk.TileOf(aoff) == tile {
+			if st.chunk.TileOf(a.off) == tile {
 				// Intra-tile edge: no counter tracks it. The executing walk
 				// (runTile's order, or the thief's batch order) schedules
 				// the dependent after this cell.
 				continue
 			}
-			if t, ready := st.chunk.TileDecrement(aoff); ready {
+			if sc.deferOn {
+				// Park the tile-counter half of the decrement; the vertex
+				// indegree (recovery's source of truth) drops immediately.
+				if t, counts := st.chunk.VertexDecrement(a.off); counts {
+					sc.noteTileDec(t)
+				}
+			} else if t, ready := st.chunk.TileDecrement(a.off); ready {
 				pe.enqueueTile(st, t, sc.wkr)
 			}
 			continue
@@ -759,7 +948,7 @@ func (pe *placeEngine[T]) completeVertex(st *epochState[T], sc *scratch[T], off 
 		if len(lst) == 0 {
 			sc.owners = append(sc.owners, owner)
 		}
-		sc.remote[owner] = append(lst, a)
+		sc.remote[owner] = append(lst, a.id)
 	}
 	for _, owner := range sc.owners {
 		ids := sc.remote[owner]
@@ -774,6 +963,12 @@ func (pe *placeEngine[T]) completeVertex(st *epochState[T], sc *scratch[T], off 
 		}
 	}
 	sc.owners = sc.owners[:0]
+	if sc.deferOn {
+		// The done counter lags inside a walk (AddDone is batched), so the
+		// completion checks below would misfire; flushTileWalk runs them
+		// once the parked completions have been settled.
+		return
+	}
 	if st.agg != nil && st.chunk.AllFinished() {
 		// The last local vertex just finished: nothing more will coalesce
 		// onto the open buffers, so push them out instead of waiting a
@@ -781,6 +976,47 @@ func (pe *placeEngine[T]) completeVertex(st *epochState[T], sc *scratch[T], off 
 		st.agg.flushAll()
 	}
 	pe.maybeReportDone(st)
+}
+
+// noteTileDec parks one cross-tile counter decrement against tile t. A
+// walk touches very few distinct target tiles, so a linear scan beats any
+// map.
+func (sc *scratch[T]) noteTileDec(t int) {
+	for k, pt := range sc.pendTile {
+		if int(pt) == t {
+			sc.pendCnt[k]++
+			return
+		}
+	}
+	sc.pendTile = append(sc.pendTile, int32(t))
+	sc.pendCnt = append(sc.pendCnt, 1)
+}
+
+// flushTileWalk leaves deferred-completion mode and settles everything the
+// walk parked: the per-target-tile counter decrements (scheduling tiles
+// they complete) and the batched done count, then runs the completion
+// checks the per-cell path skipped. Registered as a defer by runTile so an
+// early exit (pause, stale epoch, peer error, panic) settles too —
+// harmless when the epoch is being torn down, since recovery rebuilds the
+// counters from the per-vertex indegrees.
+func (pe *placeEngine[T]) flushTileWalk(st *epochState[T], sc *scratch[T]) {
+	sc.deferOn = false
+	for k, pt := range sc.pendTile {
+		if st.chunk.TileAdd(int(pt), sc.pendCnt[k]) {
+			pe.enqueueTile(st, int(pt), sc.wkr)
+		}
+	}
+	sc.pendTile = sc.pendTile[:0]
+	sc.pendCnt = sc.pendCnt[:0]
+	if sc.doneN > 0 {
+		st.chunk.AddDone(sc.doneN)
+		pe.computed.Add(sc.doneN)
+		sc.doneN = 0
+		if st.agg != nil && st.chunk.AllFinished() {
+			st.agg.flushAll()
+		}
+		pe.maybeReportDone(st)
+	}
 }
 
 // applyDecrement lowers the tile-readiness counter (and the per-vertex
@@ -795,12 +1031,28 @@ func (pe *placeEngine[T]) applyDecrement(st *epochState[T], sc *scratch[T], id d
 }
 
 // enqueueTile puts a ready tile on the place's work deques, exactly once
-// per epoch (the chunk's tileQueued flag arbitrates concurrent paths).
+// per epoch (the chunk's tileQueued flag arbitrates concurrent paths),
+// keyed by its wavefront index so workers drain the front in
+// anti-diagonal order.
 func (pe *placeEngine[T]) enqueueTile(st *epochState[T], t, wkr int) {
 	if !st.chunk.TryMarkTileQueued(t) {
 		return
 	}
-	st.sched.push(t, wkr)
+	st.sched.push(t, wkr, st.waves[t])
+}
+
+// tileWaves precomputes each tile's anti-diagonal wavefront index — i+j of
+// its first local cell — once per epoch. For the row/column/block
+// distributions local offsets advance in scan order, so the first cell is
+// the tile's earliest point on the front.
+func tileWaves[T any](d dist.Dist, chunk *distarray.Chunk[T], self int) []int32 {
+	waves := make([]int32, chunk.NumTiles())
+	for t := range waves {
+		lo, _ := chunk.TileRange(t)
+		i, j := d.CellAt(self, lo)
+		waves[t] = i + j
+	}
+	return waves
 }
 
 // computeHere gathers dependency values (locally, from the cache, or by
@@ -809,11 +1061,18 @@ func (pe *placeEngine[T]) enqueueTile(st *epochState[T], t, wkr int) {
 // target under exec migration, the thief under stealing — so telemetry
 // recorded here attributes work to where it actually ran.
 func (pe *placeEngine[T]) computeHere(st *epochState[T], sc *scratch[T], i, j int32, depIDs []dag.VertexID) (T, error) {
+	return pe.computeWith(st, sc, i, j, depIDs, nil)
+}
+
+// computeWith is computeHere with optional pre-resolved dependency
+// ownership (parallel to depIDs); the tile walk supplies it from
+// tileOrder's scan so the dist is not queried twice per edge.
+func (pe *placeEngine[T]) computeWith(st *epochState[T], sc *scratch[T], i, j int32, depIDs []dag.VertexID, depRes []cellRef) (T, error) {
 	var t0 time.Time
 	if pe.cfg.Trace != nil {
 		t0 = time.Now()
 	}
-	cells, err := pe.gatherDeps(st, sc, depIDs)
+	cells, err := pe.gatherDeps(st, sc, depIDs, depRes)
 	if err != nil {
 		var zero T
 		return zero, err
@@ -829,7 +1088,7 @@ func (pe *placeEngine[T]) computeHere(st *epochState[T], sc *scratch[T], i, j in
 // thief's in-flight stolen results, local chunk reads, cache hits
 // (including sender-pushed values), then one batched kindFetch round-trip
 // per remaining owner.
-func (pe *placeEngine[T]) gatherDeps(st *epochState[T], sc *scratch[T], depIDs []dag.VertexID) ([]Cell[T], error) {
+func (pe *placeEngine[T]) gatherDeps(st *epochState[T], sc *scratch[T], depIDs []dag.VertexID, depRes []cellRef) ([]Cell[T], error) {
 	if cap(sc.cells) < len(depIDs) {
 		sc.cells = make([]Cell[T], len(depIDs))
 	}
@@ -839,6 +1098,7 @@ func (pe *placeEngine[T]) gatherDeps(st *epochState[T], sc *scratch[T], depIDs [
 		sc.fetchIdx[owner] = sc.fetchIdx[owner][:0]
 	}
 	sc.fetchOwners = sc.fetchOwners[:0]
+	localReads := 0
 	for k, id := range depIDs {
 		cells[k].ID = id
 		if len(sc.stolenVals) > 0 {
@@ -847,14 +1107,18 @@ func (pe *placeEngine[T]) gatherDeps(st *epochState[T], sc *scratch[T], depIDs [
 				continue
 			}
 		}
-		owner := st.d.Place(id.I, id.J)
+		var owner, off int
+		if depRes != nil {
+			owner, off = int(depRes[k].Owner), int(depRes[k].Off)
+		} else {
+			owner, off = st.d.PlaceOffset(id.I, id.J)
+		}
 		if owner == pe.self {
-			off := st.d.LocalOffset(id.I, id.J)
 			if !st.chunk.Finished(off) {
 				return nil, fmt.Errorf("core: place %d scheduled a vertex before local dependency %v finished", pe.self, id)
 			}
 			cells[k].Value = st.chunk.Value(off)
-			pe.localReads.Add(1)
+			localReads++
 			continue
 		}
 		if v, ok, pushed := st.cache.GetTagged(id); ok {
@@ -874,6 +1138,9 @@ func (pe *placeEngine[T]) gatherDeps(st *epochState[T], sc *scratch[T], depIDs [
 			sc.fetchOwners = append(sc.fetchOwners, owner)
 		}
 		sc.fetchIdx[owner] = append(idxs, k)
+	}
+	if localReads > 0 {
+		pe.localReads.Add(int64(localReads))
 	}
 	for _, owner := range sc.fetchOwners {
 		idxs := sc.fetchIdx[owner]

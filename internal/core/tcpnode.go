@@ -63,7 +63,11 @@ func StartTCPNode[T any](cfg Config[T], self int, addrs []string) (*TCPNode[T], 
 	if self < 0 || self >= cfg.Places {
 		return nil, fmt.Errorf("core: place %d out of range", self)
 	}
-	tr, err := transport.NewTCP(self, addrs)
+	tr, err := transport.NewTCPOpts(self, addrs, transport.TCPOptions{
+		NoPipeline:  cfg.NoPipeline,
+		NoCompress:  cfg.NoCompress,
+		CompressMin: cfg.CompressMin,
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -89,6 +93,22 @@ func StartTCPNode[T any](cfg Config[T], self int, addrs []string) (*TCPNode[T], 
 	// post-run reads (untracked kinds).
 	if n.cfg.Metrics {
 		n.reg = metrics.New(self)
+		batchFrames := n.reg.Histogram(metrics.TransportBatchFrames)
+		batchBytes := n.reg.Histogram(metrics.TransportBatchBytes)
+		compRaw := n.reg.Counter(metrics.TransportCompressRaw)
+		compWire := n.reg.Counter(metrics.TransportCompressWire)
+		tr.SetPipeObserver(transport.PipeObserver{
+			Flush: func(frames, wireBytes int) {
+				batchFrames.Observe(int64(frames))
+				batchBytes.Observe(int64(wireBytes))
+			},
+			Compress: func(rawBytes, wireBytes int) {
+				// Shard 0: compression happens on per-connection writer
+				// goroutines, which have no worker identity.
+				compRaw.Add(0, int64(rawBytes))
+				compWire.Add(0, int64(wireBytes))
+			},
+		})
 	}
 	var ptr transport.Transport = tr
 	ptr = transport.NewMetered(ptr, n.reg)

@@ -99,3 +99,25 @@ func TestTilingCoarseTasks(t *testing.T) {
 		t.Fatalf("tiling not engaged: %d tile tasks for %d cells", s.TilesExecuted, s.ComputedCells)
 	}
 }
+
+// TestTilingNoDepCacheParity re-runs tiled execution with the
+// dependency-resolution cache disabled (the spilled-run configuration):
+// the walk's on-the-fly resolution path must stay cell-for-cell identical
+// to the reference for both a monotone wavefront pattern (whose cached
+// runs take the ascending-offset fast path) and an interval pattern
+// (whose same-tile deps point at larger offsets, forcing the Kahn walk).
+func TestTilingNoDepCacheParity(t *testing.T) {
+	pats := map[string]func() Config[int64]{
+		"diagonal": func() Config[int64] { return baseConfig(patterns.NewDiagonal(24, 18), 3) },
+		"interval": func() Config[int64] { return baseConfig(patterns.NewInterval(12), 3) },
+	}
+	for name, mk := range pats {
+		name, mk := name, mk
+		t.Run(name, func(t *testing.T) {
+			cfg := mk()
+			cfg.NoDepCache = true
+			cfg.TileSize = 4
+			runAndCheck(t, cfg)
+		})
+	}
+}

@@ -9,6 +9,9 @@ type BlockRow struct {
 	h, w   int32
 	places []int
 	starts []int32 // row boundaries, len(places)+1
+	look   blockLookup
+	rank   []int16
+	invW   float64
 }
 
 // NewBlockRow builds a row-block distribution of an h×w space over n
@@ -19,7 +22,9 @@ func NewBlockRow(h, w int32, n int) *BlockRow {
 
 func newBlockRowOver(h, w int32, places []int) *BlockRow {
 	checkArgs(h, w, places)
-	return &BlockRow{h: h, w: w, places: places, starts: blockStarts(h, len(places))}
+	look := newBlockLookup(h, len(places))
+	return &BlockRow{h: h, w: w, places: places, starts: look.starts,
+		look: look, rank: rankTable(places), invW: 1 / float64(w)}
 }
 
 func (d *BlockRow) Name() string           { return "blockrow" }
@@ -27,11 +32,11 @@ func (d *BlockRow) Bounds() (int32, int32) { return d.h, d.w }
 func (d *BlockRow) Places() []int          { return d.places }
 
 func (d *BlockRow) Place(i, j int32) int {
-	return d.places[blockIndex(i, d.h, len(d.places))]
+	return d.places[d.look.index(i)]
 }
 
 func (d *BlockRow) LocalCount(p int) int {
-	k := rankOf(d.places, p)
+	k := rankIn(d.rank, p)
 	if k < 0 {
 		return 0
 	}
@@ -39,13 +44,19 @@ func (d *BlockRow) LocalCount(p int) int {
 }
 
 func (d *BlockRow) LocalOffset(i, j int32) int {
-	k := blockIndex(i, d.h, len(d.places))
+	k := d.look.index(i)
 	return int(i-d.starts[k])*int(d.w) + int(j)
 }
 
+func (d *BlockRow) PlaceOffset(i, j int32) (int, int) {
+	k := d.look.index(i)
+	return d.places[k], int(i-d.starts[k])*int(d.w) + int(j)
+}
+
 func (d *BlockRow) CellAt(p int, off int) (int32, int32) {
-	k := rankOf(d.places, p)
-	return d.starts[k] + int32(off/int(d.w)), int32(off % int(d.w))
+	k := rankIn(d.rank, p)
+	r, c := rowColOf(off, int(d.w), d.invW)
+	return d.starts[k] + int32(r), int32(c)
 }
 
 func (d *BlockRow) Restrict(alive func(p int) bool) (Dist, error) {
@@ -63,6 +74,10 @@ type BlockCol struct {
 	h, w   int32
 	places []int
 	starts []int32 // column boundaries
+	look   blockLookup
+	rank   []int16
+	cols   []int     // per-rank block width
+	invCol []float64 // per-rank 1/width
 }
 
 // NewBlockCol builds a column-block distribution over n places.
@@ -72,7 +87,18 @@ func NewBlockCol(h, w int32, n int) *BlockCol {
 
 func newBlockColOver(h, w int32, places []int) *BlockCol {
 	checkArgs(h, w, places)
-	return &BlockCol{h: h, w: w, places: places, starts: blockStarts(w, len(places))}
+	look := newBlockLookup(w, len(places))
+	d := &BlockCol{h: h, w: w, places: places, starts: look.starts,
+		look: look, rank: rankTable(places),
+		cols: make([]int, len(places)), invCol: make([]float64, len(places))}
+	for k := range places {
+		c := int(d.starts[k+1] - d.starts[k])
+		d.cols[k] = c
+		if c > 0 {
+			d.invCol[k] = 1 / float64(c)
+		}
+	}
+	return d
 }
 
 func (d *BlockCol) Name() string           { return "blockcol" }
@@ -80,27 +106,31 @@ func (d *BlockCol) Bounds() (int32, int32) { return d.h, d.w }
 func (d *BlockCol) Places() []int          { return d.places }
 
 func (d *BlockCol) Place(i, j int32) int {
-	return d.places[blockIndex(j, d.w, len(d.places))]
+	return d.places[d.look.index(j)]
 }
 
 func (d *BlockCol) LocalCount(p int) int {
-	k := rankOf(d.places, p)
+	k := rankIn(d.rank, p)
 	if k < 0 {
 		return 0
 	}
-	return int(d.starts[k+1]-d.starts[k]) * int(d.h)
+	return d.cols[k] * int(d.h)
 }
 
 func (d *BlockCol) LocalOffset(i, j int32) int {
-	k := blockIndex(j, d.w, len(d.places))
-	cols := int(d.starts[k+1] - d.starts[k])
-	return int(i)*cols + int(j-d.starts[k])
+	k := d.look.index(j)
+	return int(i)*d.cols[k] + int(j-d.starts[k])
+}
+
+func (d *BlockCol) PlaceOffset(i, j int32) (int, int) {
+	k := d.look.index(j)
+	return d.places[k], int(i)*d.cols[k] + int(j-d.starts[k])
 }
 
 func (d *BlockCol) CellAt(p int, off int) (int32, int32) {
-	k := rankOf(d.places, p)
-	cols := int(d.starts[k+1] - d.starts[k])
-	return int32(off / cols), d.starts[k] + int32(off%cols)
+	k := rankIn(d.rank, p)
+	r, c := rowColOf(off, d.cols[k], d.invCol[k])
+	return int32(r), d.starts[k] + int32(c)
 }
 
 func (d *BlockCol) Restrict(alive func(p int) bool) (Dist, error) {

@@ -13,6 +13,11 @@ type Block2D struct {
 	places    []int
 	rowStarts []int32
 	colStarts []int32
+	rowLook   blockLookup
+	colLook   blockLookup
+	rank      []int16
+	cols      []int     // per-rank block width
+	invCol    []float64 // per-rank 1/width
 }
 
 // NewBlock2D builds a pr×pc block grid over pr*pc places numbered 0..n-1.
@@ -25,11 +30,24 @@ func newBlock2DOver(h, w int32, pr, pc int, places []int) *Block2D {
 		panic(fmt.Sprintf("dist: block2d grid %dx%d does not match %d places", pr, pc, len(places)))
 	}
 	checkArgs(h, w, places)
-	return &Block2D{
+	d := &Block2D{
 		h: h, w: w, pr: pr, pc: pc, places: places,
-		rowStarts: blockStarts(h, pr),
-		colStarts: blockStarts(w, pc),
+		rowLook: newBlockLookup(h, pr),
+		colLook: newBlockLookup(w, pc),
+		rank:    rankTable(places),
+		cols:    make([]int, len(places)),
+		invCol:  make([]float64, len(places)),
 	}
+	d.rowStarts, d.colStarts = d.rowLook.starts, d.colLook.starts
+	for k := range places {
+		bc := k % pc
+		c := int(d.colStarts[bc+1] - d.colStarts[bc])
+		d.cols[k] = c
+		if c > 0 {
+			d.invCol[k] = 1 / float64(c)
+		}
+	}
+	return d
 }
 
 func (d *Block2D) Name() string           { return fmt.Sprintf("block2d(%dx%d)", d.pr, d.pc) }
@@ -40,7 +58,7 @@ func (d *Block2D) Places() []int          { return d.places }
 func (d *Block2D) Grid() (pr, pc int) { return d.pr, d.pc }
 
 func (d *Block2D) gridCell(i, j int32) (br, bc int) {
-	return blockIndex(i, d.h, d.pr), blockIndex(j, d.w, d.pc)
+	return d.rowLook.index(i), d.colLook.index(j)
 }
 
 func (d *Block2D) Place(i, j int32) int {
@@ -49,12 +67,12 @@ func (d *Block2D) Place(i, j int32) int {
 }
 
 func (d *Block2D) blockDims(k int) (rows, cols int) {
-	br, bc := k/d.pc, k%d.pc
-	return int(d.rowStarts[br+1] - d.rowStarts[br]), int(d.colStarts[bc+1] - d.colStarts[bc])
+	br := k / d.pc
+	return int(d.rowStarts[br+1] - d.rowStarts[br]), d.cols[k]
 }
 
 func (d *Block2D) LocalCount(p int) int {
-	k := rankOf(d.places, p)
+	k := rankIn(d.rank, p)
 	if k < 0 {
 		return 0
 	}
@@ -64,15 +82,20 @@ func (d *Block2D) LocalCount(p int) int {
 
 func (d *Block2D) LocalOffset(i, j int32) int {
 	br, bc := d.gridCell(i, j)
-	_, cols := d.blockDims(br*d.pc + bc)
-	return int(i-d.rowStarts[br])*cols + int(j-d.colStarts[bc])
+	return int(i-d.rowStarts[br])*d.cols[br*d.pc+bc] + int(j-d.colStarts[bc])
+}
+
+func (d *Block2D) PlaceOffset(i, j int32) (int, int) {
+	br, bc := d.gridCell(i, j)
+	k := br*d.pc + bc
+	return d.places[k], int(i-d.rowStarts[br])*d.cols[k] + int(j-d.colStarts[bc])
 }
 
 func (d *Block2D) CellAt(p int, off int) (int32, int32) {
-	k := rankOf(d.places, p)
+	k := rankIn(d.rank, p)
 	br, bc := k/d.pc, k%d.pc
-	_, cols := d.blockDims(k)
-	return d.rowStarts[br] + int32(off/cols), d.colStarts[bc] + int32(off%cols)
+	r, c := rowColOf(off, d.cols[k], d.invCol[k])
+	return d.rowStarts[br] + int32(r), d.colStarts[bc] + int32(c)
 }
 
 // Restrict rebuilds the grid over the survivors. The 2-D grid shape cannot

@@ -74,6 +74,10 @@ func (d *BlockCyclicRow) LocalOffset(i, j int32) int {
 	return int(d.localRowIndex(i))*int(d.w) + int(j)
 }
 
+func (d *BlockCyclicRow) PlaceOffset(i, j int32) (int, int) {
+	return d.Place(i, j), d.LocalOffset(i, j)
+}
+
 func (d *BlockCyclicRow) CellAt(p int, off int) (int32, int32) {
 	k := rankOf(d.places, p)
 	localRow := int32(off / int(d.w))

@@ -52,6 +52,10 @@ func (d *CyclicRow) LocalOffset(i, j int32) int {
 	return int(i)/len(d.places)*int(d.w) + int(j)
 }
 
+func (d *CyclicRow) PlaceOffset(i, j int32) (int, int) {
+	return d.Place(i, j), d.LocalOffset(i, j)
+}
+
 func (d *CyclicRow) CellAt(p int, off int) (int32, int32) {
 	k := rankOf(d.places, p)
 	localRow := off / int(d.w)
@@ -110,6 +114,10 @@ func (d *CyclicCol) LocalCount(p int) int {
 func (d *CyclicCol) LocalOffset(i, j int32) int {
 	k := int(j) % len(d.places)
 	return int(i)*d.localCols(k) + int(j)/len(d.places)
+}
+
+func (d *CyclicCol) PlaceOffset(i, j int32) (int, int) {
+	return d.Place(i, j), d.LocalOffset(i, j)
 }
 
 func (d *CyclicCol) CellAt(p int, off int) (int32, int32) {

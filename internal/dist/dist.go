@@ -39,6 +39,10 @@ type Dist interface {
 	// LocalOffset returns the dense offset of (i,j) within its owner's
 	// chunk. Calling it for a cell and a non-owner is undefined.
 	LocalOffset(i, j int32) int
+	// PlaceOffset returns Place(i,j) and LocalOffset(i,j) together. The
+	// engine's per-edge hot paths always need both, and the structured
+	// distributions resolve them from one block lookup.
+	PlaceOffset(i, j int32) (place int, off int)
 	// CellAt is the inverse of LocalOffset for place p.
 	CellAt(p int, off int) (i, j int32)
 	// Restrict rebuilds this distribution shape over only the places for
@@ -66,6 +70,38 @@ func blockIndex(x, total int32, n int) int {
 	}
 	for k < n-1 && int32(int64(k+1)*int64(total)/int64(n)) <= x {
 		k++
+	}
+	return k
+}
+
+// blockLookup resolves an index to its block with one float multiply and a
+// boundary fixup against the precomputed starts, instead of blockIndex's
+// 64-bit divisions. Place/LocalOffset sit on the per-edge hot path of the
+// tile walk (profiled at ~39% of BenchmarkSchedulePerVertex before this),
+// so the block distributions embed one of these per axis.
+type blockLookup struct {
+	starts []int32 // block boundaries, len n+1 (blockStarts output)
+	scale  float64 // n / total: maps an index to an approximate block
+}
+
+func newBlockLookup(total int32, n int) blockLookup {
+	return blockLookup{starts: blockStarts(total, n), scale: float64(n) / float64(total)}
+}
+
+// index returns k such that starts[k] <= x < starts[k+1]. The float
+// estimate is within one block of the answer for any representable input;
+// the fixup loops make the result exact regardless, walking the boundary
+// array without dividing.
+func (b *blockLookup) index(x int32) int {
+	k := int(float64(x) * b.scale)
+	if k > len(b.starts)-2 {
+		k = len(b.starts) - 2
+	}
+	for b.starts[k+1] <= x {
+		k++
+	}
+	for b.starts[k] > x {
+		k--
 	}
 	return k
 }
@@ -109,4 +145,42 @@ func rankOf(places []int, p int) int {
 		return i
 	}
 	return -1
+}
+
+// rankTable precomputes rankOf for every place id up to the maximum owner,
+// turning the binary search on the CellAt/LocalCount paths into one load.
+// Place ids are small and dense (survivor subsets of 0..n-1), so the table
+// stays tiny.
+func rankTable(places []int) []int16 {
+	t := make([]int16, places[len(places)-1]+1)
+	for i := range t {
+		t[i] = -1
+	}
+	for k, p := range places {
+		t[p] = int16(k)
+	}
+	return t
+}
+
+// rankIn looks p up in a rankTable, mirroring rankOf's -1 for non-owners.
+func rankIn(t []int16, p int) int {
+	if p < 0 || p >= len(t) {
+		return -1
+	}
+	return int(t[p])
+}
+
+// rowColOf splits a dense offset into (off/w, off%w) without the integer
+// divide: a reciprocal estimate refined by exact multiply comparisons.
+// CellAt runs once per cell in the tile walk, where a hardware divide by a
+// non-constant width is measurable.
+func rowColOf(off, w int, invW float64) (int, int) {
+	r := int(float64(off) * invW)
+	for (r+1)*w <= off {
+		r++
+	}
+	for r*w > off {
+		r--
+	}
+	return r, off - r*w
 }

@@ -64,6 +64,10 @@ func (d *Func) LocalOffset(i, j int32) int {
 	return int(d.offset[int64(i)*int64(d.w)+int64(j)])
 }
 
+func (d *Func) PlaceOffset(i, j int32) (int, int) {
+	return d.fn(i, j), int(d.offset[int64(i)*int64(d.w)+int64(j)])
+}
+
 func (d *Func) CellAt(p int, off int) (int32, int32) {
 	lin := d.cells[d.ranks[p]][off]
 	return int32(lin / int64(d.w)), int32(lin % int64(d.w))

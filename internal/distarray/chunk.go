@@ -52,6 +52,16 @@ type Chunk[T any] struct {
 	tileQueued []uint32
 	tileMu     sync.Mutex  // serializes ActivateTiles against early decrements
 	tileLive   atomic.Bool // true once the tile counters are authoritative
+
+	// Dependency-resolution cache (depcache.go), filled by the activation
+	// scans so tile walks read resolutions instead of re-deriving them.
+	depOn   bool // cache enabled for this run
+	depLive bool // cache holds the current epoch's resolutions
+	depMono bool // every local dep resolved to a smaller offset (DepMonotone)
+	cids    []dag.VertexID
+	cdeps   []dag.VertexID
+	cdepAt  []int32
+	cres    []CellRef
 }
 
 // ValueStore is pluggable storage for a chunk's vertex values — the hook
@@ -183,6 +193,29 @@ func (c *Chunk[T]) SetResult(off int, v T) {
 		panic(fmt.Sprintf("distarray: vertex (%d,%d) finished twice", i, j))
 	}
 	c.done.Add(1)
+}
+
+// SetResultOwned is SetResult for a caller that owns the cell exclusively
+// (a tile walk: the tile was claimed once and only its worker completes
+// its cells). The finished flag is published with a release store instead
+// of a compare-and-swap, and the done counter is NOT advanced — the walk
+// batches its completions into one AddDone at the end of the tile.
+func (c *Chunk[T]) SetResultOwned(off int, v T) {
+	//dpx10:allow atomicmix only the claiming worker writes this cell's flag; the plain load sees its own prior stores
+	if c.flags[off] == 1 {
+		i, j := c.d.CellAt(c.place, off)
+		panic(fmt.Sprintf("distarray: vertex (%d,%d) finished twice", i, j))
+	}
+	c.setValue(off, v)
+	atomic.StoreUint32(&c.flags[off], 1)
+}
+
+// AddDone advances the finished-cell counter by n — the batched
+// counterpart of the per-cell add inside SetResult.
+func (c *Chunk[T]) AddDone(n int64) {
+	if n != 0 {
+		c.done.Add(n)
+	}
 }
 
 // TryMarkQueued atomically claims the right to enqueue the cell on the

@@ -53,6 +53,7 @@ func (c *Chunk[T]) ConfigureTiles(size int) {
 	c.tileIndeg = make([]int32, c.numTiles)
 	c.tileQueued = make([]uint32, c.numTiles)
 	c.tileLive.Store(false)
+	c.depLive = false // resolutions are per-epoch; the next scan refills
 }
 
 // TileSize returns the configured tile size (1 = per-vertex scheduling).
@@ -94,25 +95,49 @@ func (c *Chunk[T]) ActivateTiles(pat dag.Pattern) []int {
 	defer c.tileMu.Unlock()
 	var ready []int
 	var buf []dag.VertexID
+	if c.depOn {
+		c.depReset()
+	}
 	for t := 0; t < c.numTiles; t++ {
 		lo, hi := c.TileRange(t)
 		var indeg int32
 		pending := false
 		for off := lo; off < hi; off++ {
 			if c.Finished(off) {
+				// Restored cells never execute, so the cache keeps an empty
+				// dependency list for them.
+				if c.depOn {
+					c.cdepAt[off+1] = int32(len(c.cdeps))
+				}
 				continue
 			}
 			pending = true
 			n := atomic.LoadInt32(&c.indeg[off])
 			i, j := c.d.CellAt(c.place, off)
 			buf = pat.Dependencies(i, j, buf[:0])
+			if c.depOn {
+				c.cids[off] = dag.VertexID{I: i, J: j}
+				c.cdeps = append(c.cdeps, buf...)
+			}
 			for _, dep := range buf {
-				if c.d.Place(dep.I, dep.J) != c.place {
+				owner, doff := c.d.PlaceOffset(dep.I, dep.J)
+				if c.depOn {
+					c.cres = append(c.cres, CellRef{Owner: int32(owner), Off: int32(doff)})
+				}
+				if owner != c.place {
 					continue
 				}
-				doff := c.d.LocalOffset(dep.I, dep.J)
+				if doff >= off {
+					c.depMono = false
+				}
 				if doff >= lo && doff < hi && !c.Finished(doff) {
 					n--
+				}
+			}
+			if c.depOn {
+				c.cdepAt[off+1] = int32(len(c.cdeps))
+				if len(c.cdeps) > depCacheMaxEntries {
+					c.depAbandon()
 				}
 			}
 			if n < 0 {
@@ -125,6 +150,93 @@ func (c *Chunk[T]) ActivateTiles(pat dag.Pattern) []int {
 			ready = append(ready, t)
 		}
 	}
+	c.depLive = c.depOn
+	c.tileLive.Store(true)
+	return ready
+}
+
+// InitActivateTiles fuses InitIndegrees and ActivateTiles into one scan
+// for epoch 0, where no cell is finished yet and no decrement can be in
+// flight: each cell's dependency list is computed once and used for both
+// the per-vertex indegree and the tile counter derivation. Recovery keeps
+// the two-phase form — the decrement replay must run between them.
+// ConfigureTiles must have run; the chunk must be fresh (unpublished), so
+// plain stores suffice.
+func (c *Chunk[T]) InitActivateTiles(pat dag.Pattern) []int {
+	c.tileMu.Lock()
+	defer c.tileMu.Unlock()
+	var ready []int
+	var buf []dag.VertexID
+	if c.depOn {
+		c.depReset()
+	}
+	c.done.Store(0)
+	c.active = 0
+	t := 0
+	lo, hi := c.TileRange(0)
+	var tindeg int32
+	pending := false
+	closeTile := func() {
+		c.tileIndeg[t] = tindeg //dpx10:allow atomicmix fresh unpublished chunk; no reader exists yet (see func doc)
+		if pending && tindeg == 0 {
+			ready = append(ready, t)
+		}
+	}
+	for off := 0; off < c.n; off++ {
+		if off >= hi {
+			closeTile()
+			t++
+			lo, hi = c.TileRange(t)
+			tindeg, pending = 0, false
+		}
+		i, j := c.d.CellAt(c.place, off)
+		if !dag.IsActive(pat, i, j) {
+			c.indeg[off] = 0 //dpx10:allow atomicmix fresh unpublished chunk; no reader exists yet (see func doc)
+			c.flags[off] = 1 //dpx10:allow atomicmix fresh unpublished chunk; no reader exists yet (see func doc)
+			if c.depOn {
+				c.cdepAt[off+1] = int32(len(c.cdeps))
+			}
+			continue
+		}
+		c.active++
+		pending = true
+		buf = pat.Dependencies(i, j, buf[:0])
+		c.indeg[off] = int32(len(buf)) //dpx10:allow atomicmix fresh unpublished chunk; no reader exists yet (see func doc)
+		c.flags[off] = 0               //dpx10:allow atomicmix fresh unpublished chunk; no reader exists yet (see func doc)
+		if c.depOn {
+			c.cids[off] = dag.VertexID{I: i, J: j}
+			c.cdeps = append(c.cdeps, buf...)
+		}
+		// Cross-tile indegree: total deps minus the active same-tile ones.
+		n := int32(len(buf))
+		for _, dep := range buf {
+			owner, doff := c.d.PlaceOffset(dep.I, dep.J)
+			if c.depOn {
+				c.cres = append(c.cres, CellRef{Owner: int32(owner), Off: int32(doff)})
+			}
+			if owner == c.place && doff >= off {
+				c.depMono = false
+			}
+			if owner != c.place || doff < lo || doff >= hi {
+				continue
+			}
+			di, dj := dep.I, dep.J
+			if dag.IsActive(pat, di, dj) {
+				n--
+			}
+		}
+		if c.depOn {
+			c.cdepAt[off+1] = int32(len(c.cdeps))
+			if len(c.cdeps) > depCacheMaxEntries {
+				c.depAbandon()
+			}
+		}
+		tindeg += n
+	}
+	if c.numTiles > 0 {
+		closeTile()
+	}
+	c.depLive = c.depOn
 	c.tileLive.Store(true)
 	return ready
 }
@@ -150,6 +262,29 @@ func (c *Chunk[T]) TileDecrement(off int) (tile int, ready bool) {
 		return 0, false
 	}
 	return c.tileDecrementLive(off)
+}
+
+// VertexDecrement lowers only the per-vertex indegree for one cross-tile
+// edge and reports whether the edge counts toward the owning tile's
+// counter (it does unless the target was restored finished by a recovery).
+// It is the deferred half of TileDecrement: a tile walk calls it per edge,
+// accumulates the counts per target tile, and settles them in one TileAdd
+// each when the walk ends. Callers must know the counters are live
+// (walks only run after activation), so the pre-activation regime of
+// TileDecrement does not apply.
+func (c *Chunk[T]) VertexDecrement(off int) (tile int, counts bool) {
+	c.DecrementIndegree(off)
+	return off / c.tileSize, !c.Finished(off)
+}
+
+// TileAdd settles n deferred cross-tile decrements against tile t's
+// readiness counter and reports whether the tile just became ready.
+func (c *Chunk[T]) TileAdd(t int, n int32) bool {
+	nv := atomic.AddInt32(&c.tileIndeg[t], -n)
+	if nv < 0 {
+		panic(fmt.Sprintf("distarray: tile %d counter went negative at place %d", t, c.place))
+	}
+	return nv == 0
 }
 
 func (c *Chunk[T]) tileDecrementLive(off int) (int, bool) {

@@ -125,3 +125,97 @@ func TestConfigureTilesResetsPerEpoch(t *testing.T) {
 		t.Fatal("tile counters still live after ConfigureTiles")
 	}
 }
+
+// --- dependency-resolution cache (depcache.go) ---
+
+func TestDepCacheFilledByInitActivateTiles(t *testing.T) {
+	pat := patterns.NewGrid(6, 6)
+	d := dist.NewBlockRow(6, 6, 1)
+	c := NewChunk[int32](0, d)
+	c.SetDepCache(true)
+	c.ConfigureTiles(6)
+	if c.DepCached() {
+		t.Fatal("cache live before the activation scan ran")
+	}
+	c.InitActivateTiles(pat)
+	if !c.DepCached() {
+		t.Fatal("cache not live after InitActivateTiles")
+	}
+	if !c.DepMonotone() {
+		t.Fatal("Grid deps (up, left) all have smaller offsets; want monotone")
+	}
+	var buf []dag.VertexID
+	for off := 0; off < c.Len(); off++ {
+		i, j := d.CellAt(0, off)
+		if id := c.CellID(off); id.I != i || id.J != j {
+			t.Fatalf("CellID(%d) = %v, want (%d,%d)", off, id, i, j)
+		}
+		buf = pat.Dependencies(i, j, buf[:0])
+		deps, res := c.CellDeps(off)
+		if len(deps) != len(buf) || len(res) != len(buf) {
+			t.Fatalf("CellDeps(%d): %d deps / %d res, want %d", off, len(deps), len(res), len(buf))
+		}
+		for k, dep := range buf {
+			if deps[k] != dep {
+				t.Fatalf("CellDeps(%d)[%d] = %v, want %v", off, k, deps[k], dep)
+			}
+			owner, doff := d.PlaceOffset(dep.I, dep.J)
+			if int(res[k].Owner) != owner || int(res[k].Off) != doff {
+				t.Fatalf("CellDeps(%d) res[%d] = %+v, want (%d,%d)", off, k, res[k], owner, doff)
+			}
+		}
+	}
+}
+
+func TestDepCacheColWaveNotMonotone(t *testing.T) {
+	// ColWave: (i,j) depends on all of column j-1, including rows below i —
+	// larger row-major offsets — so ascending order is not topological.
+	pat := patterns.NewColWave(6, 6)
+	d := dist.NewBlockRow(6, 6, 1)
+	c := NewChunk[int32](0, d)
+	c.SetDepCache(true)
+	c.ConfigureTiles(6)
+	c.InitActivateTiles(pat)
+	if !c.DepCached() {
+		t.Fatal("cache not live after InitActivateTiles")
+	}
+	if c.DepMonotone() {
+		t.Fatal("ColWave has column deps below the dependent; want non-monotone")
+	}
+}
+
+func TestDepCacheRecoveryRefillSkipsFinished(t *testing.T) {
+	pat := patterns.NewGrid(6, 6)
+	d := dist.NewBlockRow(6, 6, 1)
+	c := NewChunk[int32](0, d)
+	c.SetDepCache(true)
+	c.InitIndegrees(pat)
+	c.SetResult(0, 7) // (0,0) restored finished before the epoch activates
+	c.ConfigureTiles(6)
+	c.ActivateTiles(pat)
+	if !c.DepCached() || !c.DepMonotone() {
+		t.Fatalf("cache live=%v mono=%v after ActivateTiles, want true/true", c.DepCached(), c.DepMonotone())
+	}
+	if deps, res := c.CellDeps(0); len(deps) != 0 || len(res) != 0 {
+		t.Fatalf("finished cell cached %d deps, want 0", len(deps))
+	}
+	if deps, _ := c.CellDeps(7); len(deps) != 2 { // (1,1): up + left
+		t.Fatalf("cell (1,1) cached %d deps, want 2", len(deps))
+	}
+}
+
+func TestConfigureTilesInvalidatesDepCache(t *testing.T) {
+	pat := patterns.NewGrid(6, 6)
+	d := dist.NewBlockRow(6, 6, 1)
+	c := NewChunk[int32](0, d)
+	c.SetDepCache(true)
+	c.ConfigureTiles(6)
+	c.InitActivateTiles(pat)
+	if !c.DepCached() {
+		t.Fatal("cache not live after scan")
+	}
+	c.ConfigureTiles(6) // next epoch assembly
+	if c.DepCached() || c.DepMonotone() {
+		t.Fatal("cache still live after ConfigureTiles; resolutions are per-epoch")
+	}
+}

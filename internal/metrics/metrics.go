@@ -249,8 +249,9 @@ func (r *Registry) Gauge(name string) *Gauge {
 	return g
 }
 
-// Histogram returns the named histogram, creating it with DurationBounds
-// on first use.
+// Histogram returns the named histogram, creating it on first use with the
+// name's registered bucket bounds (DurationBounds unless histBounds says
+// otherwise).
 func (r *Registry) Histogram(name string) *Histogram {
 	check(name, KindHistogram)
 	if r == nil {
@@ -260,7 +261,11 @@ func (r *Registry) Histogram(name string) *Histogram {
 	defer r.mu.Unlock()
 	h := r.hists[name]
 	if h == nil {
-		h = &Histogram{bounds: DurationBounds, counts: make([]atomic.Int64, len(DurationBounds)+1)}
+		bounds := DurationBounds
+		if b, ok := histBounds[name]; ok {
+			bounds = b
+		}
+		h = &Histogram{bounds: bounds, counts: make([]atomic.Int64, len(bounds)+1)}
 		r.hists[name] = h
 	}
 	return h

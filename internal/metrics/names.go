@@ -42,6 +42,12 @@ const (
 	TransportDedupDrops      = "transport.dedup_drops"
 	TransportHeartbeatMisses = "transport.heartbeat_misses"
 
+	// Data-plane pipeline: per-writev batch shape and compression yield.
+	TransportBatchFrames  = "transport.batch_frames"
+	TransportBatchBytes   = "transport.batch_bytes"
+	TransportCompressRaw  = "transport.compress_raw_bytes"
+	TransportCompressWire = "transport.compress_wire_bytes"
+
 	// Recovery phase durations (nanoseconds), one histogram per phase.
 	RecoveryPauseNs   = "recovery.pause_ns"
 	RecoveryRebuildNs = "recovery.rebuild_ns"
@@ -83,6 +89,11 @@ var instruments = map[string]Kind{
 	TransportDedupDrops:      KindCounter,
 	TransportHeartbeatMisses: KindCounter,
 
+	TransportBatchFrames:  KindHistogram,
+	TransportBatchBytes:   KindHistogram,
+	TransportCompressRaw:  KindCounter,
+	TransportCompressWire: KindCounter,
+
 	RecoveryPauseNs:   KindHistogram,
 	RecoveryRebuildNs: KindHistogram,
 	RecoveryRestoreNs: KindHistogram,
@@ -98,3 +109,12 @@ var instruments = map[string]Kind{
 // DurationBounds are the default bucket upper bounds for nanosecond
 // duration histograms: 10µs up to 10s, one decade per bucket.
 var DurationBounds = []int64{1e4, 1e5, 1e6, 1e7, 1e8, 1e9, 1e10}
+
+// histBounds overrides the bucket bounds for histograms that are not
+// nanosecond durations; names absent here get DurationBounds.
+var histBounds = map[string][]int64{
+	// Frames per writev: 1 = no coalescing happened, powers of two up.
+	TransportBatchFrames: {1, 2, 4, 8, 16, 32, 64, 128, 256},
+	// Wire bytes per writev.
+	TransportBatchBytes: {256, 1 << 10, 4 << 10, 16 << 10, 64 << 10, 256 << 10, 1 << 20},
+}

@@ -164,7 +164,24 @@ type FaultFabric struct {
 
 	closed    chan struct{}
 	closeOnce sync.Once
+	closeMu   sync.RWMutex   // serializes track() against Close's Wait
 	wg        sync.WaitGroup // delayed sends and async duplicates
+}
+
+// track registers one async delivery goroutine with the fabric, unless it
+// is closing. wg.Add must not race Close's Wait (a documented WaitGroup
+// misuse); the read lock orders every Add before the close, so Wait sees a
+// settled counter.
+func (f *FaultFabric) track() bool {
+	f.closeMu.RLock()
+	defer f.closeMu.RUnlock()
+	select {
+	case <-f.closed:
+		return false
+	default:
+	}
+	f.wg.Add(1)
+	return true
 }
 
 var _ Transport = (*FaultFabric)(nil)
@@ -197,7 +214,11 @@ func (f *FaultFabric) MarkDead(p int) {
 // waiting out async duplicates). It does not close the inner transport —
 // the fabric that created the endpoint owns that.
 func (f *FaultFabric) Close() error {
-	f.closeOnce.Do(func() { close(f.closed) })
+	f.closeOnce.Do(func() {
+		f.closeMu.Lock()
+		close(f.closed)
+		f.closeMu.Unlock()
+	})
 	f.wg.Wait()
 	return nil
 }
@@ -288,8 +309,10 @@ func (f *FaultFabric) Send(to int, kind uint8, payload []byte) error {
 		return nil // silent loss; Stats still count the attempt as injected
 	}
 	if d.delay > 0 {
+		if !f.track() {
+			return ErrClosed
+		}
 		buf := append([]byte(nil), payload...)
-		f.wg.Add(1)
 		go func() {
 			defer f.wg.Done()
 			if f.sleep(d.delay) != nil {
@@ -329,9 +352,8 @@ func (f *FaultFabric) Call(to int, kind uint8, payload []byte) ([]byte, error) {
 			return nil, err
 		}
 	}
-	if d.dup {
+	if d.dup && f.track() {
 		buf := append([]byte(nil), payload...)
-		f.wg.Add(1)
 		go func() {
 			defer f.wg.Done()
 			f.inner.Call(to, kind, buf) //nolint:errcheck // replayed request: result discarded

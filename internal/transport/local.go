@@ -13,6 +13,9 @@ import (
 // Payloads are copied at the fabric boundary so that a handler can never
 // alias the sender's buffer — the same isolation a real wire gives, which
 // keeps the engine honest about what data actually moves between places.
+// The copies land in the same pooled receive buffers the TCP read path
+// uses (recvBuf) and are recycled when the handler returns, so steady-state
+// traffic allocates nothing.
 //
 // Kill(p) fails place p: all subsequent traffic to or from p reports
 // ErrDeadPlace and p's queued messages are dropped.
@@ -69,7 +72,16 @@ func (f *LocalFabric) Close() error {
 type localMsg struct {
 	from    int
 	kind    uint8
-	payload []byte
+	payload []byte   // sub-slice of rb's buffer
+	rb      *recvBuf // released after dispatch
+}
+
+// copyToPool copies b into a fresh pooled buffer (refcount 1).
+func copyToPool(b []byte) (*recvBuf, []byte) {
+	rb := getRecvBuf(len(b))
+	p := rb.b[:len(b)]
+	copy(p, b)
+	return rb, p
 }
 
 type localEndpoint struct {
@@ -137,10 +149,12 @@ func (e *localEndpoint) Send(to int, kind uint8, payload []byte) error {
 		return err
 	}
 	dst := e.fabric.eps[to]
-	msg := localMsg{from: e.self, kind: kind, payload: cloneBytes(payload)}
+	rb, p := copyToPool(payload)
+	msg := localMsg{from: e.self, kind: kind, payload: p, rb: rb}
 	select {
 	case dst.queue <- msg:
 	case <-dst.closed:
+		rb.release()
 		return ErrClosed
 	}
 	e.stats.SendsOut.Add(1)
@@ -162,7 +176,9 @@ func (e *localEndpoint) Call(to int, kind uint8, payload []byte) ([]byte, error)
 	e.stats.BytesOut.Add(int64(len(payload)))
 	dst.stats.MsgsIn.Add(1)
 	dst.stats.BytesIn.Add(int64(len(payload)))
-	reply, err := h(e.self, cloneBytes(payload))
+	rb, p := copyToPool(payload)
+	defer rb.release() // after the reply clone below: the reply may alias p
+	reply, err := h(e.self, p)
 	if err != nil {
 		return nil, err
 	}
@@ -179,14 +195,14 @@ func (e *localEndpoint) dispatch() {
 	for {
 		select {
 		case msg := <-e.queue:
-			if !e.fabric.Alive(e.self) || !e.fabric.Alive(msg.from) {
-				continue // dead places neither receive nor are heard from
+			if e.fabric.Alive(e.self) && e.fabric.Alive(msg.from) {
+				if h := e.handler(msg.kind); h != nil {
+					e.stats.MsgsIn.Add(1)
+					e.stats.BytesIn.Add(int64(len(msg.payload)))
+					h(msg.from, msg.payload) //nolint:errcheck // one-way: no reply path
+				}
 			}
-			if h := e.handler(msg.kind); h != nil {
-				e.stats.MsgsIn.Add(1)
-				e.stats.BytesIn.Add(int64(len(msg.payload)))
-				h(msg.from, msg.payload) //nolint:errcheck // one-way: no reply path
-			}
+			msg.rb.release()
 		case <-e.closed:
 			return
 		}

@@ -1,0 +1,339 @@
+package transport
+
+import (
+	"compress/flate"
+	"encoding/binary"
+	"hash/crc32"
+	"net"
+	"sync"
+)
+
+// TCPOptions tunes the pipelined data plane of a TCP endpoint. The zero
+// value enables everything with defaults: batched writev framing and
+// payload compression above 1 KiB.
+type TCPOptions struct {
+	// NoPipeline disables the per-peer send pipeline: every frame is
+	// written directly under a per-connection mutex, one header+payload
+	// write pair per message, exactly the pre-pipeline wire dialect (no
+	// preamble, no batches, no compression). Peers in either mode
+	// interoperate — the preamble marks the dialect per connection.
+	NoPipeline bool
+	// NoCompress keeps the pipeline but never compresses payloads.
+	NoCompress bool
+	// CompressMin is the smallest payload the writer will try to
+	// compress; below it the flate overhead outweighs the saving.
+	// Default 1024.
+	CompressMin int
+}
+
+func (o *TCPOptions) normalize() {
+	if o.CompressMin <= 0 {
+		o.CompressMin = 1024
+	}
+}
+
+// PipeObserver receives data-plane events from a TCP endpoint's send
+// pipeline; the node layer uses it to feed metrics histograms without the
+// transport importing the metrics package. Set it before any traffic.
+// Callbacks run on writer goroutines and must not block.
+type PipeObserver struct {
+	// Flush observes one writev batch: how many frames it carried and
+	// its total wire size.
+	Flush func(frames, wireBytes int)
+	// Compress observes one compressed payload: original and wire sizes.
+	Compress func(rawBytes, wireBytes int)
+}
+
+// outFrame is one queued outbound frame. The payload slice is the
+// sender's own buffer — never copied; the sender blocks until the writer
+// has flushed the frame, so the buffer is free for reuse the moment Send
+// or Call returns (group commit).
+type outFrame struct {
+	kind, flags uint8
+	seq         uint64
+	payload     []byte
+}
+
+// tcpConn is one established connection and its send pipeline.
+//
+// Exactly one side writes to any given connection (each endpoint dials
+// its own conn for outbound traffic, including Call responses), so the
+// writer goroutine is the connection's single writer. Senders append to
+// the queue under mu and wait on cond until the writer reports their
+// frame flushed; the writer swaps the whole queue out, packs it into one
+// net.Buffers writev — headers from a per-connection arena, payloads
+// referenced in place — and broadcasts completion. Batching is emergent:
+// while one writev is in flight, every new sender parks in the queue, and
+// the next swap takes them all at once.
+type tcpConn struct {
+	c net.Conn
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	q       []outFrame
+	enq     uint64 // frames ever queued
+	flushed uint64 // frames confirmed on the wire
+	werr    error  // sticky pipeline error; set once, with down
+	down    bool
+
+	// Writer-owned state; no locking (single writer goroutine). In
+	// NoPipeline mode mu serializes direct writes instead and none of
+	// this is used.
+	features     uint64
+	preambleSent bool
+	compressMin  int // 0 = compression off
+	hdr          []byte
+	spans        []span
+	iov          net.Buffers
+	cw           *flate.Writer
+	cbuf         []byte
+	res          []pendFrame
+	free         []outFrame // previous batch, payloads already nilled
+}
+
+// pendFrame is a frame's resolved wire form within one flush: final flags,
+// wire payload length, and the compressed payload's arena span when
+// flagCompressed was applied.
+type pendFrame struct {
+	flags uint8
+	plen  int
+	comp  span
+}
+
+// span marks a region of a writer arena (header block or compressed
+// payload scratch), recorded as offsets because the arena may reallocate
+// while the batch is being assembled.
+type span struct{ off, end int }
+
+func newTCPConn(c net.Conn, opts *TCPOptions) *tcpConn {
+	tc := &tcpConn{c: c}
+	tc.cond = sync.NewCond(&tc.mu)
+	if !opts.NoPipeline {
+		tc.features = featBatch
+		if !opts.NoCompress {
+			tc.features |= featCompress
+			tc.compressMin = opts.CompressMin
+		}
+	}
+	return tc
+}
+
+// enqueue hands one frame to the writer and blocks until it has been
+// flushed to the socket (or the pipeline died). On return the payload
+// buffer is no longer referenced by the transport.
+func (tc *tcpConn) enqueue(kind, flags uint8, seq uint64, payload []byte) error {
+	tc.mu.Lock()
+	if tc.down {
+		err := tc.werr
+		tc.mu.Unlock()
+		return err
+	}
+	ticket := tc.enq
+	tc.enq++
+	tc.q = append(tc.q, outFrame{kind: kind, flags: flags, seq: seq, payload: payload})
+	tc.cond.Broadcast() // wake the writer (and no one else is waiting on this ticket yet)
+	for tc.flushed <= ticket && !tc.down {
+		tc.cond.Wait()
+	}
+	var err error
+	if tc.flushed <= ticket {
+		err = tc.werr
+	}
+	tc.mu.Unlock()
+	return err
+}
+
+// shutdown kills the pipeline: the writer exits, parked senders fail with
+// err, future enqueues fail immediately. Idempotent.
+func (tc *tcpConn) shutdown(err error) {
+	tc.mu.Lock()
+	if !tc.down {
+		tc.down = true
+		tc.werr = err
+	}
+	tc.cond.Broadcast()
+	tc.mu.Unlock()
+}
+
+// writeLoop is the connection's writer goroutine: swap out everything
+// queued, pack it into one vectored write, confirm, repeat. It exits when
+// the pipeline is shut down (connection drop or endpoint close).
+func (t *TCP) writeLoop(tc *tcpConn) {
+	for {
+		tc.mu.Lock()
+		for len(tc.q) == 0 && !tc.down {
+			tc.cond.Wait()
+		}
+		if tc.down {
+			tc.mu.Unlock()
+			return
+		}
+		batch := tc.q
+		tc.q = tc.free[:0]
+		tc.mu.Unlock()
+
+		wire, err := tc.flush(t, batch)
+		if err == nil {
+			t.stats.WriteCalls.Add(1)
+			t.stats.FramesOut.Add(int64(len(batch)))
+			t.stats.WireBytesOut.Add(int64(wire))
+			if f := t.obs.Flush; f != nil {
+				f(len(batch), wire)
+			}
+		}
+
+		// Drop payload references before confirming: once flushed is
+		// advanced the senders will reuse those buffers.
+		for i := range batch {
+			batch[i].payload = nil
+		}
+		tc.free = batch
+
+		tc.mu.Lock()
+		tc.flushed += uint64(len(batch))
+		if err != nil && !tc.down {
+			tc.down = true
+			tc.werr = err
+		}
+		tc.cond.Broadcast()
+		tc.mu.Unlock()
+		if err != nil {
+			return
+		}
+	}
+}
+
+// flush writes one batch as a single vectored write: [preamble] plus
+// either one classic frame or a multi-frame batch envelope. Headers live
+// in the connection's arena; payloads are referenced where the senders
+// put them — the only bytes ever copied are compressed payloads, which
+// are transformed, not moved. Returns the wire size written.
+func (tc *tcpConn) flush(t *TCP, batch []outFrame) (int, error) {
+	tc.hdr = tc.hdr[:0]
+	tc.cbuf = tc.cbuf[:0]
+	tc.spans = tc.spans[:0]
+	iov := tc.iov[:0]
+
+	// Resolve payloads first (compression grows cbuf, so only offsets are
+	// stable until the arena stops moving).
+	res := tc.res[:0]
+	for i := range batch {
+		f := &batch[i]
+		r := pendFrame{flags: f.flags, plen: len(f.payload)}
+		if tc.compressMin > 0 && len(f.payload) >= tc.compressMin && f.flags&flagControl == 0 {
+			if sp, ok := tc.compress(f.payload); ok {
+				r.flags |= flagCompressed
+				r.plen = sp.end - sp.off
+				r.comp = sp
+				if cb := t.obs.Compress; cb != nil {
+					cb(len(f.payload), r.plen)
+				}
+			}
+		}
+		res = append(res, r)
+	}
+	tc.res = res
+
+	// Header arena, then iovec assembly from stable offsets.
+	preamble := span{-1, -1}
+	if !tc.preambleSent && tc.features != 0 {
+		s := len(tc.hdr)
+		tc.hdr = putFrameHeader(tc.hdr, 0, flagControl, t.self, tc.features, 0, 0)
+		preamble = span{s, len(tc.hdr)}
+		tc.preambleSent = true
+	}
+	outer := span{-1, -1}
+	if len(batch) == 1 {
+		f, r := &batch[0], &res[0]
+		crc := crc32.Checksum(tc.payloadOf(f, r.comp, r.flags), crcTable)
+		s := len(tc.hdr)
+		tc.hdr = putFrameHeader(tc.hdr, f.kind, r.flags, t.self, f.seq, r.plen, crc)
+		outer = span{s, len(tc.hdr)}
+	} else {
+		total := 0
+		for i := range res {
+			total += subHeaderLen + res[i].plen
+		}
+		s := len(tc.hdr)
+		tc.hdr = putFrameHeader(tc.hdr, 0, flagBatch, t.self, uint64(len(batch)), total, 0)
+		outer = span{s, len(tc.hdr)}
+		crc := uint32(0)
+		for i := range batch {
+			f, r := &batch[i], &res[i]
+			hs := len(tc.hdr)
+			tc.hdr = putSubHeader(tc.hdr, f.kind, r.flags, f.seq, r.plen)
+			tc.spans = append(tc.spans, span{hs, len(tc.hdr)})
+			crc = crc32.Update(crc, crcTable, tc.hdr[hs:len(tc.hdr)])
+			crc = crc32.Update(crc, crcTable, tc.payloadOf(f, r.comp, r.flags))
+		}
+		binary.LittleEndian.PutUint32(tc.hdr[outer.off+18:outer.off+22], crc)
+	}
+
+	// The arenas are final; build the iovec list.
+	wire := 0
+	add := func(b []byte) {
+		if len(b) > 0 {
+			iov = append(iov, b)
+			wire += len(b)
+		}
+	}
+	if preamble.off >= 0 {
+		add(tc.hdr[preamble.off:preamble.end])
+	}
+	add(tc.hdr[outer.off:outer.end])
+	for i := range batch {
+		if len(batch) > 1 {
+			sp := tc.spans[i]
+			add(tc.hdr[sp.off:sp.end])
+		}
+		add(tc.payloadOf(&batch[i], res[i].comp, res[i].flags))
+	}
+
+	arena := iov
+	_, err := iov.WriteTo(tc.c) // WriteTo consumes iov; arena keeps the backing array
+	full := arena[:cap(arena)]
+	for i := range full {
+		full[i] = nil // drop payload references so senders' buffers aren't pinned
+	}
+	tc.iov = full[:0]
+	return wire, err
+}
+
+// payloadOf returns the wire payload for a frame: the sender's buffer, or
+// its compressed form in the cbuf arena.
+func (tc *tcpConn) payloadOf(f *outFrame, comp span, flags uint8) []byte {
+	if flags&flagCompressed != 0 {
+		return tc.cbuf[comp.off:comp.end]
+	}
+	return f.payload
+}
+
+// compress appends `origLen u32 | DEFLATE(p)` to the cbuf arena and
+// returns its span. Reports false — leaving the frame uncompressed — when
+// deflate does not actually shrink the payload.
+func (tc *tcpConn) compress(p []byte) (span, bool) {
+	start := len(tc.cbuf)
+	var lenb [4]byte
+	binary.LittleEndian.PutUint32(lenb[:], uint32(len(p)))
+	tc.cbuf = append(tc.cbuf, lenb[:]...)
+	if tc.cw == nil {
+		tc.cw, _ = flate.NewWriter((*sliceSink)(&tc.cbuf), flate.BestSpeed)
+	} else {
+		tc.cw.Reset((*sliceSink)(&tc.cbuf))
+	}
+	tc.cw.Write(p) //nolint:errcheck // sliceSink cannot fail
+	tc.cw.Close()  //nolint:errcheck
+	if len(tc.cbuf)-start >= len(p) {
+		tc.cbuf = tc.cbuf[:start]
+		return span{}, false
+	}
+	return span{start, len(tc.cbuf)}, true
+}
+
+// sliceSink is an io.Writer appending to a byte-slice arena in place.
+type sliceSink []byte
+
+func (s *sliceSink) Write(p []byte) (int, error) {
+	*s = append(*s, p...)
+	return len(p), nil
+}

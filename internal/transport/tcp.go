@@ -1,6 +1,9 @@
 package transport
 
 import (
+	"bufio"
+	"bytes"
+	"compress/flate"
 	"encoding/binary"
 	"fmt"
 	"hash/crc32"
@@ -11,39 +14,22 @@ import (
 	"time"
 )
 
-// Wire format, little-endian:
-//
-//	kind   uint8   message kind (application-defined)
-//	flags  uint8   bit0: response frame
-//	from   uint32  sender place id
-//	seq    uint64  request sequence number (echoed in the response)
-//	length uint32  payload length
-//	crc    uint32  IEEE CRC-32 of the payload
-//	payload [length]byte
-//
-// Response frames carry kind=0 and, when bit1 of flags is set, the payload
-// is an error string instead of reply data. The checksum guards against
-// framing bugs and partial writes — a corrupted frame kills the
-// connection rather than delivering garbage to a handler.
-const (
-	frameHeaderLen = 1 + 1 + 4 + 8 + 4 + 4
-
-	flagResponse = 1 << 0
-	flagError    = 1 << 1
-)
-
-// maxFrameLen bounds a single payload; larger frames indicate corruption.
-const maxFrameLen = 1 << 28 // 256 MiB
-
 // TCP is a Transport where each place is reachable at a TCP address,
 // matching the deployment model of X10's Socket runtime (one process per
 // place). Connections are dialed lazily and kept open; a connection error
 // marks the peer dead and surfaces ErrDeadPlace to the engine.
+//
+// The data plane is pipelined (see pipeline.go): each connection has a
+// single writer goroutine that packs queued frames into vectored writes,
+// and the read side parses frames out of pooled, reference-counted
+// buffers that handlers borrow. See wire.go for the frame dialects.
 type TCP struct {
 	self  int
 	addrs []string
 	ln    net.Listener
 	stats Stats
+	opts  TCPOptions
+	obs   PipeObserver
 
 	hmu      sync.RWMutex
 	handlers [256]Handler
@@ -55,6 +41,13 @@ type TCP struct {
 
 	dead      []atomic.Bool
 	connected []atomic.Bool // peer reached at least once
+
+	// contact[p] closes the first time any traffic arrives from p (or we
+	// reach p ourselves): the broadcast that wakes dial retry loops the
+	// moment the peer is known to be up, instead of leaving them to their
+	// timed fallback poll.
+	contact   []chan struct{}
+	contacted []atomic.Bool
 
 	seq     atomic.Uint64
 	pmu     sync.Mutex
@@ -71,16 +64,17 @@ type tcpReply struct {
 	err     error
 }
 
-type tcpConn struct {
-	mu sync.Mutex // serializes writes
-	c  net.Conn
-}
-
 var _ Transport = (*TCP)(nil)
 
-// NewTCP creates the endpoint for place self, listening on addrs[self].
-// All places must share the same addrs slice (place id -> address).
+// NewTCP creates the endpoint for place self, listening on addrs[self],
+// with the default pipelined data plane. All places must share the same
+// addrs slice (place id -> address).
 func NewTCP(self int, addrs []string) (*TCP, error) {
+	return NewTCPOpts(self, addrs, TCPOptions{})
+}
+
+// NewTCPOpts is NewTCP with explicit data-plane options.
+func NewTCPOpts(self int, addrs []string, opts TCPOptions) (*TCP, error) {
 	if self < 0 || self >= len(addrs) {
 		return nil, fmt.Errorf("transport: place %d out of range (%d places)", self, len(addrs))
 	}
@@ -88,18 +82,28 @@ func NewTCP(self int, addrs []string) (*TCP, error) {
 	if err != nil {
 		return nil, fmt.Errorf("transport: listen %s: %w", addrs[self], err)
 	}
+	opts.normalize()
 	t := &TCP{
-		self:        self,
-		addrs:       addrs,
+		self: self,
+		// Copied, not aliased: callers (and in-process tests) share one
+		// table across every endpoint, and SetAddrs on one endpoint must
+		// not mutate storage another endpoint's dial loop is reading.
+		addrs:       append([]string(nil), addrs...),
 		ln:          ln,
+		opts:        opts,
 		conns:       make([]*tcpConn, len(addrs)),
 		dialing:     make([]chan struct{}, len(addrs)),
 		accepted:    make(map[net.Conn]struct{}),
 		dead:        make([]atomic.Bool, len(addrs)),
 		connected:   make([]atomic.Bool, len(addrs)),
+		contact:     make([]chan struct{}, len(addrs)),
+		contacted:   make([]atomic.Bool, len(addrs)),
 		pending:     make(map[uint64]chan tcpReply),
 		closed:      make(chan struct{}),
 		dialTimeout: 10 * time.Second,
+	}
+	for p := range t.contact {
+		t.contact[p] = make(chan struct{})
 	}
 	go t.accept()
 	return t, nil
@@ -126,6 +130,10 @@ func (t *TCP) SetAddrs(addrs []string) error {
 	copy(t.addrs, addrs)
 	return nil
 }
+
+// SetPipeObserver installs the data-plane event observer. It must be set
+// before any traffic flows.
+func (t *TCP) SetPipeObserver(o PipeObserver) { t.obs = o }
 
 func (t *TCP) Self() int     { return t.self }
 func (t *TCP) NPlaces() int  { return len(t.addrs) }
@@ -156,6 +164,17 @@ func (t *TCP) MarkDead(p int) {
 	}
 }
 
+// noteContact records that peer p is demonstrably up (traffic arrived from
+// it, or we reached it), broadcasting to any dial loop waiting on it.
+func (t *TCP) noteContact(p int) {
+	if p < 0 || p >= len(t.contacted) || t.contacted[p].Load() {
+		return
+	}
+	if t.contacted[p].CompareAndSwap(false, true) {
+		close(t.contact[p])
+	}
+}
+
 func (t *TCP) accept() {
 	for {
 		c, err := t.ln.Accept()
@@ -175,9 +194,6 @@ func (t *TCP) accept() {
 }
 
 // conn returns an established connection to peer p, dialing if needed.
-// Until a peer has been reached once, dial failures are retried within the
-// startup grace window (the peer's process may simply not be listening
-// yet); after first contact, a failed re-dial means the peer died.
 // The dial itself runs with cmu released: holding the connection table
 // lock across a retry loop of up to dialTimeout would stall traffic to
 // every other (healthy) peer and block Close for the duration — the exact
@@ -221,8 +237,11 @@ func (t *TCP) conn(p int) (*tcpConn, error) {
 			c.Close()
 			err = ErrClosed
 		default:
-			tc = &tcpConn{c: c}
+			tc = newTCPConn(c, &t.opts)
 			t.conns[p] = tc
+			if !t.opts.NoPipeline {
+				go t.writeLoop(tc)
+			}
 			go t.readLoop(c, p)
 		}
 	}
@@ -237,13 +256,24 @@ func (t *TCP) conn(p int) (*tcpConn, error) {
 // dial establishes a raw connection to peer p. Until a peer has been
 // reached once, failures are retried within the startup grace window (the
 // peer's process may simply not be listening yet); after first contact, a
-// failed re-dial means the peer died.
+// failed re-dial means the peer died. Retries wake on the peer's contact
+// broadcast — the instant its first frame reaches us we know its process
+// is up — with a timed poll only as fallback.
 func (t *TCP) dial(p int) (net.Conn, error) {
 	deadline := time.Now().Add(t.dialTimeout)
+	wake := t.contact[p]
 	for {
-		c, err := net.DialTimeout("tcp", t.addrs[p], 500*time.Millisecond)
+		// Snapshot the peer address under cmu: a worker installs the real
+		// table via SetAddrs concurrently with early dial attempts, and the
+		// string header read must not race that copy. Re-read every retry so
+		// a table installed mid-grace-window takes effect.
+		t.cmu.Lock()
+		addr := t.addrs[p]
+		t.cmu.Unlock()
+		c, err := net.DialTimeout("tcp", addr, 500*time.Millisecond)
 		if err == nil {
 			t.connected[p].Store(true)
+			t.noteContact(p)
 			return c, nil
 		}
 		if t.connected[p].Load() || time.Now().After(deadline) {
@@ -253,6 +283,10 @@ func (t *TCP) dial(p int) (net.Conn, error) {
 		select {
 		case <-t.closed:
 			return nil, ErrClosed
+		case <-wake:
+			// The peer spoke to us: retry immediately, then fall back to
+			// the timed poll (the broadcast only fires once).
+			wake = nil
 		case <-time.After(100 * time.Millisecond):
 		}
 	}
@@ -260,69 +294,48 @@ func (t *TCP) dial(p int) (net.Conn, error) {
 
 func (t *TCP) dropConn(p int) {
 	t.cmu.Lock()
-	if tc := t.conns[p]; tc != nil {
-		tc.c.Close()
+	tc := t.conns[p]
+	if tc != nil {
 		t.conns[p] = nil
 	}
 	t.cmu.Unlock()
+	if tc != nil {
+		tc.shutdown(ErrDeadPlace)
+		tc.c.Close()
+	}
 	t.dead[p].Store(true)
 }
 
-func writeFrame(w io.Writer, kind, flags uint8, from int, seq uint64, payload []byte) error {
-	var hdr [frameHeaderLen]byte
-	hdr[0] = kind
-	hdr[1] = flags
-	binary.LittleEndian.PutUint32(hdr[2:6], uint32(from))
-	binary.LittleEndian.PutUint64(hdr[6:14], seq)
-	binary.LittleEndian.PutUint32(hdr[14:18], uint32(len(payload)))
-	binary.LittleEndian.PutUint32(hdr[18:22], crc32.ChecksumIEEE(payload))
-	if _, err := w.Write(hdr[:]); err != nil {
-		return err
-	}
-	if len(payload) > 0 {
-		if _, err := w.Write(payload); err != nil {
-			return err
-		}
-	}
-	return nil
-}
-
-func readFrame(r io.Reader) (kind, flags uint8, from int, seq uint64, payload []byte, err error) {
-	var hdr [frameHeaderLen]byte
-	if _, err = io.ReadFull(r, hdr[:]); err != nil {
-		return
-	}
-	kind = hdr[0]
-	flags = hdr[1]
-	from = int(binary.LittleEndian.Uint32(hdr[2:6]))
-	seq = binary.LittleEndian.Uint64(hdr[6:14])
-	n := binary.LittleEndian.Uint32(hdr[14:18])
-	sum := binary.LittleEndian.Uint32(hdr[18:22])
-	if n > maxFrameLen {
-		err = fmt.Errorf("transport: frame too large (%d bytes)", n)
-		return
-	}
-	if n > 0 {
-		payload = make([]byte, n)
-		if _, err = io.ReadFull(r, payload); err != nil {
-			return
-		}
-	}
-	if crc32.ChecksumIEEE(payload) != sum {
-		err = fmt.Errorf("transport: frame checksum mismatch (kind %d, %d bytes)", kind, n)
-	}
-	return
-}
-
+// send delivers one frame to peer p through its pipeline (or directly in
+// NoPipeline mode) and returns once the frame is on the wire — the
+// payload buffer is the caller's again when send returns.
 func (t *TCP) send(p int, kind, flags uint8, seq uint64, payload []byte) error {
 	tc, err := t.conn(p)
 	if err != nil {
 		return err
 	}
-	tc.mu.Lock()
-	err = writeFrame(tc.c, kind, flags, t.self, seq, payload)
-	tc.mu.Unlock()
+	if t.opts.NoPipeline {
+		tc.mu.Lock()
+		err = writeFrame(tc.c, kind, flags, t.self, seq, payload)
+		tc.mu.Unlock()
+		if err == nil {
+			writes := int64(1)
+			if len(payload) > 0 {
+				writes = 2
+			}
+			t.stats.WriteCalls.Add(writes)
+			t.stats.FramesOut.Add(1)
+			t.stats.WireBytesOut.Add(int64(frameHeaderLen + len(payload)))
+		}
+	} else {
+		err = tc.enqueue(kind, flags, seq, payload)
+	}
 	if err != nil {
+		select {
+		case <-t.closed:
+			return ErrClosed
+		default:
+		}
 		t.dropConn(p)
 		return ErrDeadPlace
 	}
@@ -390,12 +403,14 @@ func (t *TCP) Call(to int, kind uint8, payload []byte) ([]byte, error) {
 	}
 }
 
-// flagRequestMarker distinguishes Call requests (which need a response)
-// from Send traffic on the wire.
-const flagRequestMarker = 1 << 2
-
 // readLoop drains one connection. peer is the place at the other end when
 // known at dial time (-1 for accepted connections, learned from frames).
+//
+// Frames are read through a buffered reader into pooled recvBufs; handler
+// goroutines borrow sub-slices under the recvBuf's refcount, and response
+// payloads are copied out (Call callers retain them). A malformed frame —
+// bad CRC, bad batch structure, unknown preamble features — kills the
+// connection rather than risking misframed traffic.
 //
 // Places are fail-stop (the paper's model, like X10's socket runtime), so
 // an established connection breaking means the peer died — unless this
@@ -407,12 +422,17 @@ func (t *TCP) readLoop(c net.Conn, peer int) {
 		c.Close()
 		t.cmu.Lock()
 		delete(t.accepted, c)
+		var tc *tcpConn
 		if peer >= 0 {
-			if tc := t.conns[peer]; tc != nil && tc.c == c {
+			if cur := t.conns[peer]; cur != nil && cur.c == c {
+				tc = cur
 				t.conns[peer] = nil
 			}
 		}
 		t.cmu.Unlock()
+		if tc != nil {
+			tc.shutdown(ErrDeadPlace) // stop the writer; fail parked senders
+		}
 		select {
 		case <-t.closed: // our own shutdown, not the peer's death
 		default:
@@ -421,42 +441,147 @@ func (t *TCP) readLoop(c net.Conn, peer int) {
 			}
 		}
 	}()
+	br := bufio.NewReaderSize(c, 64<<10)
+	var inf io.ReadCloser // lazily created flate reader, reused across frames
+	var infSrc bytes.Reader
 	for {
-		kind, flags, from, seq, payload, err := readFrame(c)
-		if err != nil {
+		var hdr [frameHeaderLen]byte
+		if _, err := io.ReadFull(br, hdr[:]); err != nil {
+			return
+		}
+		kind := hdr[0]
+		flags := hdr[1]
+		from := int(binary.LittleEndian.Uint32(hdr[2:6]))
+		seq := binary.LittleEndian.Uint64(hdr[6:14])
+		n := binary.LittleEndian.Uint32(hdr[14:18])
+		sum := binary.LittleEndian.Uint32(hdr[18:22])
+		if n > maxFrameLen {
 			return
 		}
 		if peer < 0 {
 			peer = from
 		}
-		switch {
-		case flags&flagResponse != 0:
-			t.pmu.Lock()
-			ch := t.pending[seq]
-			t.pmu.Unlock()
-			if ch != nil {
-				r := tcpReply{payload: payload}
-				if flags&flagError != 0 {
-					r.payload = nil
-					r.err = decodeWireError(payload)
-				}
-				select {
-				case ch <- r:
-				default:
+		t.noteContact(from)
+		if flags&flagControl != 0 {
+			// Connection preamble: the writer declares the frame forms it
+			// will use. Unknown features mean a peer from the future —
+			// dying here beats misparsing its traffic.
+			if seq&^uint64(featAll) != 0 {
+				return
+			}
+			if n > 0 {
+				if _, err := io.CopyN(io.Discard, br, int64(n)); err != nil {
+					return
 				}
 			}
-		case flags&flagRequestMarker != 0:
-			t.stats.MsgsIn.Add(1)
-			t.stats.BytesIn.Add(int64(len(payload)))
-			go t.serve(from, kind, seq, payload)
-		default:
-			t.stats.MsgsIn.Add(1)
-			t.stats.BytesIn.Add(int64(len(payload)))
-			if h := t.handler(kind); h != nil {
-				go h(from, payload)
-			}
+			continue
+		}
+		rb := getRecvBuf(int(n))
+		buf := rb.b[:n]
+		if _, err := io.ReadFull(br, buf); err != nil {
+			rb.release()
+			return
+		}
+		if crc32.ChecksumIEEE(buf) != sum {
+			rb.release()
+			return
+		}
+		ok := true
+		if flags&flagBatch != 0 {
+			ok = kind == 0 && t.dispatchBatch(rb, from, seq, buf, &inf, &infSrc)
+		} else {
+			ok = t.dispatch(rb, from, kind, flags, seq, buf, &inf, &infSrc)
+		}
+		rb.release()
+		if !ok {
+			return
 		}
 	}
+}
+
+// dispatchBatch walks a batch envelope's sub-frames, dispatching each.
+// The envelope CRC was already verified; structural damage (counts or
+// lengths that do not add up) reports false and kills the connection.
+func (t *TCP) dispatchBatch(rb *recvBuf, from int, count uint64, buf []byte, inf *io.ReadCloser, infSrc *bytes.Reader) bool {
+	return walkBatch(buf, count, func(kind, flags uint8, seq uint64, payload []byte) bool {
+		return t.dispatch(rb, from, kind, flags, seq, payload, inf, infSrc)
+	})
+}
+
+// dispatch routes one frame: responses complete pending Calls (payload
+// copied — the caller outlives the pooled buffer), requests and one-way
+// messages run their handler on a borrowed reference to the buffer.
+func (t *TCP) dispatch(rb *recvBuf, from int, kind, flags uint8, seq uint64, payload []byte, inf *io.ReadCloser, infSrc *bytes.Reader) bool {
+	if flags&flagCompressed != 0 {
+		dec, n, err := inflatePayload(inf, infSrc, payload)
+		if err != nil {
+			return false
+		}
+		ok := t.dispatch(dec, from, kind, flags&^flagCompressed, seq, dec.b[:n], inf, infSrc)
+		dec.release()
+		return ok
+	}
+	switch {
+	case flags&flagResponse != 0:
+		t.pmu.Lock()
+		ch := t.pending[seq]
+		t.pmu.Unlock()
+		if ch != nil {
+			var r tcpReply
+			if flags&flagError != 0 {
+				r.err = decodeWireError(payload)
+			} else {
+				r.payload = cloneBytes(payload)
+			}
+			select {
+			case ch <- r:
+			default:
+			}
+		}
+	case flags&flagRequestMarker != 0:
+		t.stats.MsgsIn.Add(1)
+		t.stats.BytesIn.Add(int64(len(payload)))
+		rb.retain()
+		go func() {
+			defer rb.release()
+			t.serve(from, kind, seq, payload)
+		}()
+	default:
+		t.stats.MsgsIn.Add(1)
+		t.stats.BytesIn.Add(int64(len(payload)))
+		if h := t.handler(kind); h != nil {
+			rb.retain()
+			go func() {
+				defer rb.release()
+				h(from, payload) //nolint:errcheck // one-way: no reply path
+			}()
+		}
+	}
+	return true
+}
+
+// inflatePayload decodes a compressed payload (`origLen u32 | DEFLATE`)
+// into a fresh pooled buffer, reusing the loop's flate reader.
+func inflatePayload(inf *io.ReadCloser, src *bytes.Reader, payload []byte) (*recvBuf, int, error) {
+	if len(payload) < 4 {
+		return nil, 0, fmt.Errorf("transport: compressed payload truncated")
+	}
+	orig := binary.LittleEndian.Uint32(payload[:4])
+	if orig > maxFrameLen {
+		return nil, 0, fmt.Errorf("transport: compressed payload too large (%d bytes)", orig)
+	}
+	src.Reset(payload[4:])
+	if *inf == nil {
+		*inf = flate.NewReader(src)
+	} else if err := (*inf).(flate.Resetter).Reset(src, nil); err != nil {
+		return nil, 0, err
+	}
+	rb := getRecvBuf(int(orig))
+	if _, err := io.ReadFull(*inf, rb.b[:orig]); err != nil {
+		rb.release()
+		return nil, 0, err
+	}
+	return rb, int(orig), nil
 }
 
 func (t *TCP) serve(from int, kind uint8, seq uint64, payload []byte) {
@@ -476,34 +601,16 @@ func (t *TCP) serve(from int, kind uint8, seq uint64, payload []byte) {
 	t.send(from, 0, flags, seq, reply) //nolint:errcheck // peer gone: nothing to do
 }
 
-// Wire errors preserve ErrDeadPlace identity across the connection so the
-// engine's recovery trigger works in multi-process mode too.
-func encodeWireError(err error) []byte {
-	if err == ErrDeadPlace {
-		return []byte("\x01" + err.Error())
-	}
-	return []byte("\x00" + err.Error())
-}
-
-func decodeWireError(b []byte) error {
-	if len(b) == 0 {
-		return fmt.Errorf("transport: remote error")
-	}
-	if b[0] == 1 {
-		return ErrDeadPlace
-	}
-	return fmt.Errorf("transport: remote error: %s", b[1:])
-}
-
 // Close shuts the endpoint down and drops all connections.
 func (t *TCP) Close() error {
 	t.closeOnce.Do(func() {
 		close(t.closed)
 		t.ln.Close()
 		t.cmu.Lock()
+		conns := make([]*tcpConn, 0, len(t.conns))
 		for i, tc := range t.conns {
 			if tc != nil {
-				tc.c.Close()
+				conns = append(conns, tc)
 				t.conns[i] = nil
 			}
 		}
@@ -512,6 +619,10 @@ func (t *TCP) Close() error {
 		}
 		t.accepted = make(map[net.Conn]struct{})
 		t.cmu.Unlock()
+		for _, tc := range conns {
+			tc.shutdown(ErrClosed)
+			tc.c.Close()
+		}
 	})
 	return nil
 }

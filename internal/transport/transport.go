@@ -75,6 +75,14 @@ type Stats struct {
 	MsgsIn    atomic.Int64 // messages received (requests + one-way)
 	BytesIn   atomic.Int64 // payload bytes received
 	RepliesIn atomic.Int64 // call replies received
+
+	// Data-plane counters (TCP endpoints only): actual socket activity
+	// after batching and compression, as opposed to the logical message
+	// counters above. WireBytesOut/FramesOut vs BytesOut is the framing
+	// overhead; FramesOut/WriteCalls is the mean writev batch size.
+	WriteCalls   atomic.Int64 // write/writev syscalls issued
+	FramesOut    atomic.Int64 // frames put on the wire (batch sub-frames count individually)
+	WireBytesOut atomic.Int64 // total bytes written, headers and compression included
 }
 
 // Snapshot returns a plain-value copy of the counters.
@@ -86,6 +94,10 @@ func (s *Stats) Snapshot() StatsSnapshot {
 		MsgsIn:    s.MsgsIn.Load(),
 		BytesIn:   s.BytesIn.Load(),
 		RepliesIn: s.RepliesIn.Load(),
+
+		WriteCalls:   s.WriteCalls.Load(),
+		FramesOut:    s.FramesOut.Load(),
+		WireBytesOut: s.WireBytesOut.Load(),
 	}
 }
 
@@ -97,6 +109,10 @@ type StatsSnapshot struct {
 	MsgsIn    int64
 	BytesIn   int64
 	RepliesIn int64
+
+	WriteCalls   int64
+	FramesOut    int64
+	WireBytesOut int64
 }
 
 // Add accumulates another snapshot into s.
@@ -107,9 +123,12 @@ func (s *StatsSnapshot) Add(o StatsSnapshot) {
 	s.MsgsIn += o.MsgsIn
 	s.BytesIn += o.BytesIn
 	s.RepliesIn += o.RepliesIn
+	s.WriteCalls += o.WriteCalls
+	s.FramesOut += o.FramesOut
+	s.WireBytesOut += o.WireBytesOut
 }
 
 func (s StatsSnapshot) String() string {
-	return fmt.Sprintf("sends=%d calls=%d bytesOut=%d msgsIn=%d bytesIn=%d",
-		s.SendsOut, s.CallsOut, s.BytesOut, s.MsgsIn, s.BytesIn)
+	return fmt.Sprintf("sends=%d calls=%d bytesOut=%d msgsIn=%d bytesIn=%d wireOut=%d writes=%d",
+		s.SendsOut, s.CallsOut, s.BytesOut, s.MsgsIn, s.BytesIn, s.WireBytesOut, s.WriteCalls)
 }
