@@ -1,6 +1,6 @@
 # Convenience targets; the repository is plain `go build`-able.
 
-.PHONY: tier1 test vet vet-json vet-sarif bench bench-sched bench-net fuzz chaos
+.PHONY: tier1 test vet vet-json vet-sarif bench bench-sched bench-net bench-skew fuzz chaos
 
 # The merge gate: build, vet (standard + dpx10-vet), full tests, race
 # detector across the tree. Same contract as scripts/tier1.sh.
@@ -39,6 +39,13 @@ bench-sched:
 # pipeline's wire bytes/vertex is not >= 2x below the direct arm.
 bench-net:
 	./scripts/bench_net.sh results/BENCH_net.json
+
+# Lifeline load-balancing ablation on a skewed last-wave DAG,
+# summarized into results/BENCH_skew.json. Fails unless lifelines
+# improve tile spread >= 2x and cut steal probes >= 5x vs plain
+# random-victim stealing.
+bench-skew:
+	./scripts/bench_skew.sh results/BENCH_skew.json
 
 fuzz:
 	go test ./internal/core/ -run xxx -fuzz FuzzDecodeDecrBatch -fuzztime 30s

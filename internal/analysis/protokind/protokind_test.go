@@ -20,3 +20,9 @@ func TestProtokindFindings(t *testing.T) {
 func TestProtokindMissingTables(t *testing.T) {
 	analysistest.RunGlobal(t, analysistest.TestData(), protokind.Analyzer, "protokind/notables")
 }
+
+// A registered wire kind the name table and fuzz corpus never learned
+// about — the standard way a new protocol kind ships half-wired.
+func TestProtokindUnlistedKind(t *testing.T) {
+	analysistest.RunGlobal(t, analysistest.TestData(), protokind.Analyzer, "protokind/lifeline")
+}

@@ -1,9 +1,10 @@
 package good
 
 const (
-	kindPing uint8 = 1
-	kindData uint8 = 2
-	kindJob  uint8 = 3
+	kindPing            uint8 = 1
+	kindData            uint8 = 2
+	kindJob             uint8 = 3
+	kindLifelineDeliver uint8 = 22
 )
 
 type tr struct{}
@@ -21,12 +22,14 @@ func register(t tr, p port) {
 	t.Handle(kindPing, nil)
 	t.Handle(kindData, nil)
 	p.Handle(kindJob, nil)
+	p.Handle(kindLifelineDeliver, nil)
 }
 
 var kindNames = map[uint8]string{
-	1: "ping",
-	2: "data",
-	3: "job",
+	1:  "ping",
+	2:  "data",
+	3:  "job",
+	22: "lifelineDeliver",
 }
 
-var fuzzedWireKinds = []uint8{kindPing, kindData, kindJob}
+var fuzzedWireKinds = []uint8{kindPing, kindData, kindJob, kindLifelineDeliver}

@@ -1,0 +1,32 @@
+// Package lifeline models the exact regression adding a wire kind tends
+// to cause: kindLifelineDeliver (=22) is registered with the transport,
+// but the display-name table and the fuzz corpus were not extended — so
+// logs would print a bare number and the protocol fuzzer would never
+// exercise the new kind.
+package lifeline
+
+const (
+	kindSteal           uint8 = 20
+	kindStealDone       uint8 = 21
+	kindLifelineDeliver uint8 = 22
+)
+
+type tr struct{}
+
+func (tr) Handle(kind uint8, h func(int, []byte) ([]byte, error)) {}
+
+func register(t tr) {
+	t.Handle(kindSteal, nil)
+	t.Handle(kindStealDone, nil)
+	t.Handle(kindLifelineDeliver, nil)
+}
+
+var kindNames = map[uint8]string{ // want `kindNames is missing kindLifelineDeliver \(=22\)`
+	20: "steal",
+	21: "stealDone",
+}
+
+var fuzzedWireKinds = []uint8{ // want `fuzzedWireKinds is missing kindLifelineDeliver \(=22\)`
+	kindSteal,
+	kindStealDone,
+}

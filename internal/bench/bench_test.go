@@ -318,6 +318,35 @@ func TestAblationStealShape(t *testing.T) {
 	}
 }
 
+func TestAblationSkewShape(t *testing.T) {
+	rep, err := AblationSkew(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != 2 {
+		t.Fatalf("%d rows, want off + on", len(rep.Rows))
+	}
+	off, on := rep.Rows[0], rep.Rows[1]
+	// Columns: arm, time(s), spread, probes, parks, pushes, migrated.
+	for _, col := range []int{4, 5, 6} {
+		if v := cellFloat(t, off[col]); v != 0 {
+			t.Errorf("lifelines-off %s = %s, want 0", rep.Header[col], off[col])
+		}
+	}
+	if p, m := cellFloat(t, on[5]), cellFloat(t, on[6]); p != m {
+		t.Errorf("pushes %s != migrated %s", on[5], on[6])
+	}
+	if cellFloat(t, on[5]) == 0 {
+		t.Errorf("lifelines on but no pushes: %v", on)
+	}
+	if so, sn := cellFloat(t, off[2]), cellFloat(t, on[2]); sn >= so {
+		t.Errorf("spread did not improve: off %.2f, on %.2f", so, sn)
+	}
+	if po, pn := cellFloat(t, off[3]), cellFloat(t, on[3]); pn >= po {
+		t.Errorf("probes did not drop: off %.0f, on %.0f", po, pn)
+	}
+}
+
 func TestAblationSpillShape(t *testing.T) {
 	rep, err := AblationSpill(true)
 	if err != nil {

@@ -42,6 +42,10 @@ var Figures = map[string]func(quick bool) ([]Report, error){
 		r, err := AblationSteal(quick)
 		return []Report{r}, err
 	},
+	"skew": func(quick bool) ([]Report, error) {
+		r, err := AblationSkew(quick)
+		return []Report{r}, err
+	},
 	"tilesize": func(quick bool) ([]Report, error) {
 		r, err := AblationTileSize(quick)
 		return []Report{r}, err

@@ -10,6 +10,7 @@ import (
 
 	"github.com/dpx10/dpx10/internal/dag"
 	"github.com/dpx10/dpx10/internal/dag/patterns"
+	"github.com/dpx10/dpx10/internal/metrics"
 	"github.com/dpx10/dpx10/internal/sched"
 	"github.com/dpx10/dpx10/internal/transport"
 )
@@ -78,8 +79,10 @@ func soakSeeds(t *testing.T) int {
 
 // soakRun executes one chaos arm and verifies every cell against the
 // fault-free Kahn reference. killPlace < 0 runs without an injected crash
-// (the chaos plan still fires).
-func soakRun(t *testing.T, pat dag.Pattern, plan *transport.FaultPlan, killPlace int) {
+// (the chaos plan still fires). lifelines runs the arm under GLB lifeline
+// load balancing, so registrations, deliveries and steal-done results all
+// cross the lossy links too.
+func soakRun(t *testing.T, pat dag.Pattern, plan *transport.FaultPlan, killPlace int, lifelines bool) {
 	t.Helper()
 	const places = 3
 	var (
@@ -91,6 +94,11 @@ func soakRun(t *testing.T, pat dag.Pattern, plan *transport.FaultPlan, killPlace
 		cfg, gate, release = gatedConfig(pat, places, 60)
 	} else {
 		cfg = baseConfig(pat, places)
+	}
+	if lifelines {
+		cfg.Strategy = sched.Steal
+		cfg.Lifelines = true
+		cfg.TileSize = 2
 	}
 	cfg.Chaos = plan
 	cfg.ProbeInterval = 2 * time.Millisecond
@@ -136,7 +144,7 @@ func TestChaosSoak(t *testing.T) {
 			seed := int64(1000*s + 17)
 			t.Run(fmt.Sprintf("%s/seed%d", prof.name, seed), func(t *testing.T) {
 				t.Parallel()
-				soakRun(t, pat, prof.make(seed), -1)
+				soakRun(t, pat, prof.make(seed), -1, false)
 			})
 		}
 		kills := seeds - 1
@@ -148,7 +156,7 @@ func TestChaosSoak(t *testing.T) {
 			kill := 1 + s%2 // alternate the killed place
 			t.Run(fmt.Sprintf("%s/kill%d/seed%d", prof.name, kill, seed), func(t *testing.T) {
 				t.Parallel()
-				soakRun(t, pat, prof.make(seed), kill)
+				soakRun(t, pat, prof.make(seed), kill, false)
 			})
 		}
 	}
@@ -227,6 +235,98 @@ func soakRunMultiJob(t *testing.T, pat dag.Pattern, plan *transport.FaultPlan, k
 		if j1.Stats().Recoveries < 1 || j2.Stats().Recoveries < 1 {
 			t.Fatal("kill arm recorded no recovery on one of the jobs")
 		}
+	}
+}
+
+// lifelineChaosProfiles target the lifeline protocol specifically: drops
+// eat registrations and deliveries (the reliable layer must retry or the
+// parked place must re-register), and the partition window severs the
+// 1↔2 lifeline edge while pushes are in flight.
+func lifelineChaosProfiles() []chaosProfile {
+	return []chaosProfile{
+		{"lifeline-drop", func(s int64) *transport.FaultPlan {
+			return &transport.FaultPlan{Seed: s, Drop: 0.05}
+		}},
+		{"lifeline-partition", func(s int64) *transport.FaultPlan {
+			return &transport.FaultPlan{Seed: s, Partitions: linkWindow()}
+		}},
+		{"lifeline-mixed", func(s int64) *transport.FaultPlan {
+			return &transport.FaultPlan{
+				Seed: s, Drop: 0.03, Dup: 0.05,
+				Delay: 0.10, DelayMin: 100 * time.Microsecond, DelayMax: time.Millisecond,
+				Partitions: linkWindow(),
+			}
+		}},
+	}
+}
+
+// TestChaosSoakLifelines soaks the lifeline protocol under seeded chaos:
+// a skewed last-wave DAG (so parks, pushes and steal-done results really
+// flow) over lossy links, with and without a mid-run kill of a thief
+// place, every run verified cell-for-cell.
+func TestChaosSoakLifelines(t *testing.T) {
+	seeds := soakSeeds(t)
+	pat := lastWave{h: 12, w: 24, hot: 10}
+	for _, prof := range lifelineChaosProfiles() {
+		for s := 0; s < seeds; s++ {
+			seed := int64(1000*s + 41)
+			t.Run(fmt.Sprintf("%s/seed%d", prof.name, seed), func(t *testing.T) {
+				t.Parallel()
+				soakRun(t, pat, prof.make(seed), -1, true)
+			})
+		}
+		kills := seeds - 1
+		if testing.Short() {
+			kills = 1 // keep one kill arm per profile even in short mode
+		}
+		for s := 0; s < kills; s++ {
+			seed := int64(1000*s + 47)
+			kill := 1 + s%2 // alternate the killed place
+			t.Run(fmt.Sprintf("%s/kill%d/seed%d", prof.name, kill, seed), func(t *testing.T) {
+				t.Parallel()
+				soakRun(t, pat, prof.make(seed), kill, true)
+			})
+		}
+	}
+}
+
+// TestLifelineTerminationAllParked is the termination-detection
+// regression: every place except 0 owns nothing, so the whole cluster
+// ends up parked on its lifelines with empty deques while place 0 walks
+// a slow sequential chain. The run must still reach placeDone and
+// terminate promptly, and the parked places must wait quietly — probe
+// traffic stays bounded by the probe budget instead of spinning on the
+// park timer for the duration.
+func TestLifelineTerminationAllParked(t *testing.T) {
+	// Only row 0 is active (hot >= h disables the wave), owned by place 0.
+	pat := lastWave{h: 16, w: 40, hot: 16}
+	cfg := lifelineConfig(pat, 4)
+	cfg.Metrics = true
+	// 1ms per chain cell keeps the cluster all-parked for ~40ms: a wake
+	// storm would rack up thousands of probes in that window.
+	cfg.Compute = skewCompute(func(i, j int32) bool { return true }, time.Millisecond, 0)
+	cl, err := NewCluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- cl.Run() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("run with all places parked did not terminate")
+	}
+	checkResult(t, cl, pat)
+	agg := metrics.MergeAll(cl.MetricsSnapshots())
+	probes := agg.Counters[metrics.SchedStealsAttempted]
+	if probes > 400 {
+		t.Errorf("parked cluster made %d steal probes over a ~40ms chain; parking is not quiescent", probes)
+	}
+	if parks := agg.Counters[metrics.SchedLifelineParks]; parks == 0 {
+		t.Error("no park episodes recorded; scenario not exercised")
 	}
 }
 

@@ -74,6 +74,20 @@ type Common struct {
 	// tileCheck memoizes the tile-quotient acyclicity verdict; shared by
 	// every place of an in-process cluster through the common Config.
 	tileCheck *tileQuotientCache
+	// Lifelines enables GLB-style lifeline load balancing for Steal jobs:
+	// an idle place makes LifelineProbes bounded random-victim steal
+	// attempts, then parks on its LifelineEdges lifeline buddies (a cyclic
+	// hypercube over the places); a buddy that later enqueues ready tiles
+	// pushes whole tiles, with the dependency values it can serve, to its
+	// parked thieves instead of waiting to be probed. Requires (and with
+	// WithLifelines, implies) Strategy == Steal.
+	Lifelines bool
+	// LifelineProbes is w: random steal probes an idle worker makes before
+	// parking on its lifelines. Default 2.
+	LifelineProbes int
+	// LifelineEdges is z: outgoing lifeline edges per place. 0 (default)
+	// auto-sizes to the binary-hypercube fanout ceil(log2(places)).
+	LifelineEdges int
 	// RestoreRemote, when set, copies finished vertices to their new
 	// owners during recovery instead of recomputing them (§VI-E).
 	RestoreRemote bool
@@ -244,6 +258,20 @@ func (c *Common) normalize() error {
 	if c.TileSize < 0 {
 		return fmt.Errorf("core: TileSize = %d, need >= 0 (0 = auto)", c.TileSize)
 	}
+	if c.Lifelines {
+		if c.Strategy != sched.Steal {
+			return fmt.Errorf("core: Lifelines requires Strategy = steal, have %v", c.Strategy)
+		}
+		if c.LifelineProbes == 0 {
+			c.LifelineProbes = 2
+		}
+		if c.LifelineProbes < 0 {
+			return fmt.Errorf("core: LifelineProbes = %d, need >= 1", c.LifelineProbes)
+		}
+		if c.LifelineEdges < 0 {
+			return fmt.Errorf("core: LifelineEdges = %d, need >= 0 (0 = auto)", c.LifelineEdges)
+		}
+	}
 	if c.tileCheck == nil {
 		c.tileCheck = &tileQuotientCache{}
 	}
@@ -368,4 +396,7 @@ type Stats struct {
 	PushConsumed   int64 // dependency reads served by a pushed value (fetches avoided)
 	Retries        int64 // reliable-delivery resends after transient failures
 	DedupHits      int64 // duplicate deliveries suppressed by the receiver
+	LifelinePushes int64 // tiles pushed to parked lifeline buddies (accepted deliveries, per hop)
+	TilesMigrated  int64 // migrated tiles accepted from lifeline victims (per hop)
+	MigratedRuns   int64 // migrated tiles executed here (the rest were forwarded onward)
 }

@@ -75,6 +75,27 @@ func (ts *tileSched) steal() (int, bool) {
 	return 0, false
 }
 
+// queued returns the number of tiles currently claimable across the
+// place's deques. Racy by nature (pushes and pops continue), which is
+// fine for its one caller: the lifeline pusher's surplus estimate.
+func (ts *tileSched) queued() int {
+	n := 0
+	for i := range ts.deques {
+		n += ts.deques[i].size()
+	}
+	return n
+}
+
+// stealIfOver is steal with a don't-starve-yourself guard: it pops a tile
+// only while more than keep tiles are queued place-wide, so the lifeline
+// pusher never gives away work the local workers are about to want.
+func (ts *tileSched) stealIfOver(keep int) (int, bool) {
+	if ts.queued() <= keep {
+		return 0, false
+	}
+	return ts.steal()
+}
+
 // waveEntry is one queued tile and its anti-diagonal wavefront index.
 type waveEntry struct {
 	tile int
@@ -100,6 +121,13 @@ func (q *workDeque) push(t int, wave int32) {
 		q.buf[i-1], q.buf[i] = q.buf[i], q.buf[i-1]
 	}
 	q.mu.Unlock()
+}
+
+// size returns the number of queued entries.
+func (q *workDeque) size() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.buf) - q.head
 }
 
 // popMin takes the earliest-wave tile (the owner's end).

@@ -18,7 +18,7 @@ var fuzzedWireKinds = []uint8{
 	kindPause, kindRebuild, kindRestore, kindRestoreTx, kindReplay,
 	kindReplayTx, kindResume, kindStop, kindReadVal, kindPing,
 	kindHello, kindBegin, kindSteal, kindStealDone, kindDecrBatch,
-	kindStats,
+	kindStats, kindLifelineDeliver,
 }
 
 // wireProbes maps each kind to a decode of its payload grammar, mirroring
@@ -61,7 +61,7 @@ var wireProbes = map[uint8]func(data []byte){
 	kindPing:     func(b []byte) { _, _ = handlePing(0, b) }, // heartbeat echo, total for any input
 	kindHello:    func(b []byte) {},                          // no payload
 	kindBegin:    func(b []byte) {},                          // no payload
-	kindSteal:    func(b []byte) { r := reader{b: b}; _ = r.u64() },
+	kindSteal:    func(b []byte) { r := reader{b: b}; _ = r.u64(); _ = r.u8() },
 	kindStealDone: func(b []byte) {
 		r := reader{b: b}
 		_ = r.u64()
@@ -77,6 +77,9 @@ var wireProbes = map[uint8]func(data []byte){
 	},
 	kindDecrBatch: func(b []byte) { _, _, _, _ = decodeDecrBatch[int64](b, codec.Int64{}, nil, nil) },
 	kindStats:     func(b []byte) {}, // request has no payload; the reply decoder is FuzzSnapshotWire's target
+	kindLifelineDeliver: func(b []byte) {
+		_, _, _, _, _ = decodeLifelineDeliver[int64](b, codec.Int64{}, nil, nil, nil)
+	},
 }
 
 // TestWireKindsCovered pins the coverage table's shape: every listed kind
@@ -333,10 +336,12 @@ var wireRoundTrips = map[uint8]func(data []byte) ([]byte, bool){
 	kindRestore:   rtU64,
 	kindReplay:    rtU64,
 	kindResume:    rtU64,
-	kindSteal:     rtU64,
+	kindSteal:     rtSteal,
 	kindStop:      rtU64, // broadcastStop stamps the epoch even though handleStop ignores it
 	kindRestoreTx: rtIDVals,
 	kindStealDone: rtIDVals,
+
+	kindLifelineDeliver: rtLifelineDeliver,
 	kindReadVal:   rtID,
 	kindPing:      rtPing, // [seq u64][sendNanos u64] echoed verbatim
 	kindHello:     rtEmpty,
@@ -438,6 +443,27 @@ func rtIDVals(data []byte) ([]byte, bool) {
 	return out, true
 }
 
+// rtSteal is the steal probe's [epoch u64][lifeline u8] payload; the flag
+// must be 0 or 1 on the wire.
+func rtSteal(data []byte) ([]byte, bool) {
+	r := reader{b: data}
+	epoch := r.u64()
+	flag := r.u8()
+	if r.err != nil || flag > 1 {
+		return nil, false
+	}
+	return append(putU64(nil, epoch), flag), true
+}
+
+func rtLifelineDeliver(data []byte) ([]byte, bool) {
+	cd := codec.Int64{}
+	epoch, cells, depIDs, depVals, err := decodeLifelineDeliver[int64](data, cd, nil, nil, nil)
+	if err != nil {
+		return nil, false
+	}
+	return encodeLifelineDeliver(nil, cd, epoch, cells, depIDs, depVals), true
+}
+
 func rtID(data []byte) ([]byte, bool) {
 	r := reader{b: data}
 	id := r.id()
@@ -489,10 +515,12 @@ func wireSeeds() map[uint8][]byte {
 		kindRestore:   putU64(nil, 2),
 		kindReplay:    putU64(nil, 3),
 		kindResume:    putU64(nil, 4),
-		kindSteal:     putU64(nil, 5),
+		kindSteal:     append(putU64(nil, 5), 1),
 		kindStop:      putU64(nil, 6),
 		kindRestoreTx: idVals,
 		kindStealDone: idVals,
+		kindLifelineDeliver: encodeLifelineDeliver(nil, cd, 8,
+			[]dag.VertexID{{I: 4, J: 5}, {I: 4, J: 6}}, ids, []int64{-7, 1 << 40}),
 		kindReadVal:   putID(nil, ids[1]),
 		kindPing:      putU64(putU64(nil, 11), 12),
 		kindHello:     {},

@@ -25,6 +25,7 @@ func (pe *placeEngine[T]) registerHandlers() {
 	pe.tr.Handle(kindSteal, pe.handleSteal)
 	pe.tr.Handle(kindStealDone, pe.handleStealDone)
 	pe.tr.Handle(kindDecrBatch, pe.handleDecrBatch)
+	pe.tr.Handle(kindLifelineDeliver, pe.handleLifelineDeliver)
 }
 
 // handlePing echoes the failure detector's heartbeat payload ([seq u64]
@@ -194,9 +195,14 @@ func (pe *placeEngine[T]) handleExec(from int, payload []byte) ([]byte, error) {
 // the thief's steal-done arrives. If the thief (or this place) dies first,
 // the cells are neither finished nor queued — exactly the state the
 // recovery's rebuilt tile counters cover.
+// The payload's trailing lifeline flag turns an unlucky probe into a
+// registration: when set and nothing is queued, the empty reply also
+// parks the thief as a lifeline buddy this place will push surplus
+// ready tiles to (kindLifelineDeliver) as they appear.
 func (pe *placeEngine[T]) handleSteal(from int, payload []byte) ([]byte, error) {
 	r := reader{b: payload}
 	epoch := r.u64()
+	lifeline := r.u8()
 	if r.err != nil {
 		return nil, r.err
 	}
@@ -209,6 +215,12 @@ func (pe *placeEngine[T]) handleSteal(from int, payload []byte) ([]byte, error) 
 	for {
 		t, ok := st.sched.steal()
 		if !ok {
+			if lifeline == 1 && st.life != nil && from != pe.self {
+				st.life.addParked(from)
+				// Surplus may already sit in the forwarding inbox even
+				// though the deques are empty; let the pusher check.
+				st.life.kickPush()
+			}
 			return []byte{0}, nil
 		}
 		lo, hi := st.chunk.TileRange(t)
@@ -258,6 +270,45 @@ func (pe *placeEngine[T]) handleStealDone(from int, payload []byte) ([]byte, err
 		pe.completeVertex(st, sc, off, id.I, id.J, v)
 	}
 	return nil, nil
+}
+
+// handleLifelineDeliver accepts a tile pushed along a lifeline — its
+// cells in execution order plus the dependency values the sender could
+// serve — into the inbox, and wakes the worker pool. Reply [1] is the
+// acceptance the pusher's accounting keys on; a stale epoch errors so the
+// pusher keeps the tile runnable on its side. The decode allocates fresh
+// slices (nil buffers): the tile outlives this handler, so it must not
+// alias the transport's payload.
+func (pe *placeEngine[T]) handleLifelineDeliver(from int, payload []byte) ([]byte, error) {
+	epoch, cells, depIDs, depVals, err := decodeLifelineDeliver[T](payload, pe.cfg.Codec, nil, nil, nil)
+	if err != nil {
+		return nil, err
+	}
+	st, serr := pe.stateAt(epoch)
+	if serr != nil {
+		return nil, serr
+	}
+	if st.life == nil {
+		return nil, fmt.Errorf("core: place %d received a lifeline push with lifelines disabled", pe.self)
+	}
+	if len(cells) == 0 {
+		return nil, fmt.Errorf("core: place %d received an empty lifeline push from %d", pe.self, from)
+	}
+	st.life.deposit(migratedTile[T]{tile: -1, cells: cells, depIDs: depIDs, depVals: depVals})
+	// Note: a delivery does NOT clear the armed latch — our registrations
+	// with upstream victims persist, and only new *local* work (enqueueTile)
+	// re-arms probing. Pushed tiles drain through the inbox without a fresh
+	// probe/park round trip per batch.
+	// Diffusion: if buddies are parked on this place, let the pusher
+	// forward whatever lands beyond the local keep — a bulk push to one
+	// buddy cascades along the lifeline graph instead of pooling here.
+	if st.life.parkedCount() > 0 {
+		st.life.kickPush()
+	}
+	pe.migrRecv.Add(1)
+	pe.mTilesMigr.Inc(-1)
+	pe.host.notify()
+	return []byte{1}, nil
 }
 
 // --- recovery protocol (paper §VI-D) ----------------------------------

@@ -12,11 +12,14 @@ import (
 // jobRunner is one job's claim on a place's shared worker pool. tryRun
 // executes at most one ready tile for worker w and reports whether it did
 // any work; idlePull is the idle-path hook (remote stealing) consulted
-// only when no runner on the place had local work.
+// only when no runner on the place had local work; parkDelay is how long
+// worker w may sleep before the job wants another idle pull (lifeline-
+// parked jobs stretch it — their progress is message-driven).
 type jobRunner interface {
 	tryRun(w int) bool
 	idlePull(w int) bool
 	usesSteal() bool
+	parkDelay(w int) time.Duration
 }
 
 // hostSlot is one active job on a host plus its fair-share weight: the
@@ -183,8 +186,12 @@ func (h *placeHost) worker(w int) {
 		// Idle: offer each job a remote steal attempt (only Steal-strategy
 		// jobs act on it). Any success re-enters the scan loop.
 		steal := false
+		delay := stealRetryDelay
 		for _, s := range slots {
 			if s.runner.usesSteal() {
+				if !steal || s.runner.parkDelay(w) < delay {
+					delay = s.runner.parkDelay(w)
+				}
 				steal = true
 				if s.runner.idlePull(w) {
 					progressed = true
@@ -197,12 +204,13 @@ func (h *placeHost) worker(w int) {
 		}
 		h.mParks.Inc(w)
 		if steal {
-			// Park briefly and retry: a victim may have work before any
-			// local push wakes us.
+			// Park and retry on the shortest delay any steal job asked for:
+			// the usual brief pace while probes remain, the long lifeline
+			// pace when every such job is parked on its lifelines.
 			if park == nil {
-				park = time.NewTimer(stealRetryDelay)
+				park = time.NewTimer(delay)
 			} else {
-				park.Reset(stealRetryDelay)
+				park.Reset(delay)
 			}
 			select {
 			case <-h.stopCh:

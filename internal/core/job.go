@@ -345,6 +345,9 @@ func (jr *JobRun[T]) Stats() Stats {
 		s.ValuesPushed += pe.valuesPushed.Load()
 		s.PushDeposits += pe.pushDeposits.Load()
 		s.PushConsumed += pe.pushConsumed.Load()
+		s.LifelinePushes += pe.lifePushes.Load()
+		s.TilesMigrated += pe.migrRecv.Load()
+		s.MigratedRuns += pe.migrRun.Load()
 		ts := pe.tr.Stats().Snapshot()
 		s.MsgsSent += ts.SendsOut + ts.CallsOut
 		s.BytesSent += ts.BytesOut

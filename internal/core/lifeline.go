@@ -1,0 +1,455 @@
+package core
+
+import (
+	"encoding/binary"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/dpx10/dpx10/internal/dag"
+)
+
+// Lifeline-based global load balancing (GLB, Saraswat et al.), adapted to
+// tiled DP DAGs. An idle place spends a bounded budget of random steal
+// probes (Config.LifelineProbes); when all are spent it registers itself
+// as a parked buddy on its lifeline edges — a cyclic hypercube over the
+// epoch's alive places (internal/sched.LifelineEdges) — and goes quiet.
+// A victim that later has surplus ready tiles pushes whole tiles, with
+// the dependency values it can serve, to its parked buddies over
+// kindLifelineDeliver. Registrations are persistent: a buddy stays in the
+// victim's parked list across any number of pushes, and only new *local*
+// work on the buddy (enqueueTile) re-arms its probing — so a long burst of
+// surplus streams out with no per-batch probe/park round trips. A buddy
+// with more pushed work than its own workers can drain forwards the
+// excess along its own lifelines, so work diffuses over the strongly
+// connected lifeline graph no matter where it appears.
+// Results return over the ordinary steal-done path, so the owner stores
+// values and propagates decrements exactly as for a random steal.
+
+// lifelineParkDelay is the park interval of a worker whose steal probes
+// are all spent: progress is then message-driven (a push wakes the pool),
+// so the timer is only a belt-and-braces rescan.
+const lifelineParkDelay = 5 * time.Millisecond
+
+// migratedTile is one ready tile in flight between places: its unfinished
+// cells in intra-tile dependency order plus the dependency values the
+// sender could serve (finished local cells and cache hits). tile is the
+// local tile index when the sender packed it from its own deques (so a
+// failed push can requeue it), -1 for a tile received over the wire.
+type migratedTile[T any] struct {
+	tile    int
+	cells   []dag.VertexID
+	depIDs  []dag.VertexID
+	depVals []T
+}
+
+// lifelineState is the epoch-owned lifeline bookkeeping of one place: the
+// buddies parked on this place, the inbox of tiles pushed here, and the
+// kick channel that wakes the epoch's pusher goroutine.
+type lifelineState[T any] struct {
+	edges []int // this place's outgoing lifeline edges (alive-place ids)
+
+	mu     sync.Mutex
+	parked []int            // places parked on this place, dedup, FIFO
+	inbox  []migratedTile[T] // tiles pushed here, not yet claimed
+
+	nParked atomic.Int32 // len(parked) mirror for lock-free fast paths
+	nInbox  atomic.Int32 // len(inbox) mirror
+
+	// armed is set once a registration pass has parked this place on its
+	// lifelines, and cleared only when new *local* work is enqueued — a
+	// lifeline delivery leaves it set, so registrations persist across
+	// pushes and the victim keeps streaming without re-registration churn.
+	armed atomic.Bool
+
+	kick chan struct{} // capacity 1; coalesced pusher wakeups
+}
+
+func newLifelineState[T any](edges []int) *lifelineState[T] {
+	return &lifelineState[T]{edges: edges, kick: make(chan struct{}, 1)}
+}
+
+// kickPush wakes the pusher; a full channel already guarantees a drain.
+func (l *lifelineState[T]) kickPush() {
+	select {
+	case l.kick <- struct{}{}:
+	default:
+	}
+}
+
+// addParked registers a parked buddy (idempotent). Registrations are
+// persistent: a buddy stays parked across any number of pushes — the
+// registration means "idle until further notice", and the notice is a
+// failed delivery (removeParked) or the buddy's own re-registration after
+// running local work (a no-op here thanks to the dedup).
+func (l *lifelineState[T]) addParked(p int) {
+	l.mu.Lock()
+	for _, q := range l.parked {
+		if q == p {
+			l.mu.Unlock()
+			return
+		}
+	}
+	l.parked = append(l.parked, p)
+	l.nParked.Store(int32(len(l.parked)))
+	l.mu.Unlock()
+}
+
+// parkedList snapshots the parked buddies into buf.
+func (l *lifelineState[T]) parkedList(buf []int) []int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append(buf[:0], l.parked...)
+}
+
+// removeParked forgets a buddy whose delivery failed (dead, stale or
+// refusing); it re-registers itself if it is in fact alive and idle.
+func (l *lifelineState[T]) removeParked(p int) {
+	l.mu.Lock()
+	for k, q := range l.parked {
+		if q == p {
+			l.parked = append(l.parked[:k], l.parked[k+1:]...)
+			l.nParked.Store(int32(len(l.parked)))
+			break
+		}
+	}
+	l.mu.Unlock()
+}
+
+func (l *lifelineState[T]) parkedCount() int { return int(l.nParked.Load()) }
+
+// deposit appends a delivered tile to the inbox.
+func (l *lifelineState[T]) deposit(mt migratedTile[T]) {
+	l.mu.Lock()
+	l.inbox = append(l.inbox, mt)
+	l.nInbox.Store(int32(len(l.inbox)))
+	l.mu.Unlock()
+}
+
+// popInbox claims the oldest pushed tile (worker execution path).
+func (l *lifelineState[T]) popInbox() (migratedTile[T], bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if len(l.inbox) == 0 {
+		var zero migratedTile[T]
+		return zero, false
+	}
+	mt := l.inbox[0]
+	l.inbox[0] = migratedTile[T]{}
+	l.inbox = append(l.inbox[:0], l.inbox[1:]...)
+	l.nInbox.Store(int32(len(l.inbox)))
+	return mt, true
+}
+
+// popInboxOver claims the newest pushed tile, but only while more than
+// keep remain — the diffusion source: a buddy forwards pushed work it
+// cannot drain itself, keeping the oldest tiles for its own workers.
+func (l *lifelineState[T]) popInboxOver(keep int) (migratedTile[T], bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if len(l.inbox) <= keep {
+		var zero migratedTile[T]
+		return zero, false
+	}
+	mt := l.inbox[len(l.inbox)-1]
+	l.inbox[len(l.inbox)-1] = migratedTile[T]{}
+	l.inbox = l.inbox[:len(l.inbox)-1]
+	l.nInbox.Store(int32(len(l.inbox)))
+	return mt, true
+}
+
+func (l *lifelineState[T]) inboxLen() int { return int(l.nInbox.Load()) }
+
+// lifelinesOn reports whether this engine runs the lifeline protocol.
+func (pe *placeEngine[T]) lifelinesOn() bool {
+	return pe.cfg.Lifelines && pe.cfg.Places > 1
+}
+
+// lifelineLoop is the epoch's pusher goroutine: woken by kickPush when
+// ready tiles appear while buddies are parked, it drains the surplus to
+// them. Epoch-owned: it exits when the epoch's quit channel closes (pause
+// or stop), like the decrement aggregator's flusher.
+func (pe *placeEngine[T]) lifelineLoop(st *epochState[T]) {
+	for {
+		select {
+		case <-st.quit:
+			return
+		case <-pe.stopCh:
+			return
+		case <-st.life.kick:
+		}
+		pe.drainLifelines(st)
+	}
+}
+
+// drainLifelines pushes surplus ready work to parked buddies: each buddy
+// gets an equal share of the tiles beyond what this place's own workers
+// need (one per thread), drawn from the forwarding inbox first, then from
+// the place's own deques. Buddies stay registered across pushes, so a
+// burst of ready tiles streams out round after round with no registration
+// round trips in between. Runs on the pusher goroutine only.
+func (pe *placeEngine[T]) drainLifelines(st *epochState[T]) {
+	life := st.life
+	sc := pe.getScratch()
+	defer pe.putScratch(sc)
+	keep := pe.cfg.Threads
+	var buddies []int
+	for {
+		if pe.stale(st) {
+			return
+		}
+		select {
+		case <-st.quit:
+			return
+		case <-pe.stopCh:
+			return
+		default:
+		}
+		buddies = life.parkedList(buddies)
+		n := len(buddies)
+		if n == 0 {
+			return
+		}
+		avail := st.sched.queued() + life.inboxLen()
+		if avail <= keep {
+			return
+		}
+		share := (avail - keep + n) / (n + 1)
+		if share < 1 {
+			share = 1
+		}
+		pushed := false
+		for _, buddy := range buddies {
+			for sent := 0; sent < share; sent++ {
+				mt, ok := pe.takeSurplus(st, sc, keep)
+				if !ok {
+					break
+				}
+				if !pe.pushMigrated(st, sc, buddy, mt) {
+					// The buddy is gone, stale or refusing; keep the tile
+					// runnable here and stop feeding it — it re-registers
+					// if it is in fact alive and idle.
+					life.removeParked(buddy)
+					pe.depositMigrated(st, mt)
+					break
+				}
+				pushed = true
+			}
+		}
+		if !pushed {
+			return
+		}
+	}
+}
+
+// takeSurplus claims one surplus ready tile: pushed tiles beyond the local
+// keep first (forwarding), then the place's own queued tiles. Own tiles
+// that a recovery fully restored are consumed and skipped.
+func (pe *placeEngine[T]) takeSurplus(st *epochState[T], sc *scratch[T], keep int) (migratedTile[T], bool) {
+	if mt, ok := st.life.popInboxOver(keep); ok {
+		return mt, true
+	}
+	for {
+		t, ok := st.sched.stealIfOver(keep)
+		if !ok {
+			var zero migratedTile[T]
+			return zero, false
+		}
+		if mt, ok := pe.packTile(st, sc, t); ok {
+			return mt, true
+		}
+	}
+}
+
+// packTile turns one of this place's own queued tiles into a migrated
+// tile: the unfinished cells in intra-tile dependency order, plus every
+// distinct dependency value this place can serve — finished local cells
+// and remote-vertex cache hits. Unfinished local dependencies are the
+// tile's own cells; the receiver computes them in the stated order.
+func (pe *placeEngine[T]) packTile(st *epochState[T], sc *scratch[T], t int) (migratedTile[T], bool) {
+	lo, hi := st.chunk.TileRange(t)
+	order := pe.tileOrder(st, sc, lo, hi)
+	if len(order) == 0 {
+		var zero migratedTile[T]
+		return zero, false
+	}
+	mt := migratedTile[T]{tile: t, cells: make([]dag.VertexID, 0, len(order))}
+	for _, off := range order {
+		i, j := st.d.CellAt(pe.self, off)
+		mt.cells = append(mt.cells, dag.VertexID{I: i, J: j})
+	}
+	if sc.extSeen == nil {
+		sc.extSeen = make(map[dag.VertexID]struct{}, 16)
+	}
+	clear(sc.extSeen)
+	for _, id := range mt.cells {
+		sc.depIDs = pe.cfg.Pattern.Dependencies(id.I, id.J, sc.depIDs[:0])
+		for _, dep := range sc.depIDs {
+			if _, dup := sc.extSeen[dep]; dup {
+				continue
+			}
+			sc.extSeen[dep] = struct{}{}
+			owner, off := st.d.PlaceOffset(dep.I, dep.J)
+			if owner == pe.self {
+				if st.chunk.Finished(off) {
+					mt.depIDs = append(mt.depIDs, dep)
+					mt.depVals = append(mt.depVals, st.chunk.Value(off))
+				}
+				continue
+			}
+			// Mirror gatherDeps' counter discipline: GetTagged bumps the
+			// shard counters, so the engine totals must follow.
+			if v, ok, pushed := st.cache.GetTagged(dep); ok {
+				pe.cacheHits.Add(1)
+				if pushed {
+					pe.pushConsumed.Add(1)
+				}
+				mt.depIDs = append(mt.depIDs, dep)
+				mt.depVals = append(mt.depVals, v)
+				continue
+			}
+			pe.cacheMisses.Add(1)
+		}
+	}
+	return mt, true
+}
+
+// pushMigrated delivers one tile to a parked buddy and reports acceptance.
+func (pe *placeEngine[T]) pushMigrated(st *epochState[T], sc *scratch[T], buddy int, mt migratedTile[T]) bool {
+	if !pe.isAlive(buddy) {
+		return false
+	}
+	sc.enc = encodeLifelineDeliver(sc.enc[:0], pe.cfg.Codec, st.epoch, mt.cells, mt.depIDs, mt.depVals)
+	reply, err := pe.tr.Call(buddy, kindLifelineDeliver, sc.enc)
+	if err != nil {
+		pe.peerError(buddy, err)
+		return false
+	}
+	if len(reply) == 0 || reply[0] != 1 {
+		return false
+	}
+	pe.lifePushes.Add(1)
+	pe.mLifePush.Inc(-1)
+	return true
+}
+
+// depositMigrated keeps an unpushable tile runnable on this place: own
+// tiles go back on the deques (their queued flag is still set), received
+// tiles back into the inbox. Stale epochs drop the tile — the recovery's
+// rebuilt counters cover it.
+func (pe *placeEngine[T]) depositMigrated(st *epochState[T], mt migratedTile[T]) {
+	if pe.stale(st) {
+		return
+	}
+	if mt.tile >= 0 {
+		st.sched.push(mt.tile, -1, st.waves[mt.tile])
+		return
+	}
+	st.life.deposit(mt)
+	pe.host.notify()
+}
+
+// maybePark registers this place as a parked buddy on its alive lifeline
+// edges, once per idle episode (the armed flag; incoming work re-arms).
+// Registration rides the steal payload's lifeline flag, so a victim with
+// work ready hands a tile back immediately instead of parking us; the
+// pass reports whether any such steal did work.
+func (pe *placeEngine[T]) maybePark(st *epochState[T], sc *scratch[T]) bool {
+	life := st.life
+	if !life.armed.CompareAndSwap(false, true) {
+		return false
+	}
+	got := false
+	registered := 0
+	for _, buddy := range life.edges {
+		if !pe.isAlive(buddy) {
+			continue
+		}
+		if pe.stealFrom(st, sc, buddy, true) {
+			// The edge handed work back — this was no park at all. Stop
+			// probing: the remaining registrations can wait for the next
+			// genuinely idle episode.
+			got = true
+			break
+		}
+		registered++
+	}
+	pe.mLifeParks.Inc(sc.wkr)
+	if got || registered == 0 {
+		// Either we found work, or no buddy heard us (all dead or
+		// failing): stay un-armed so the next idle pass probes and tries
+		// to register again.
+		life.armed.Store(false)
+	}
+	return got
+}
+
+// runMigrated executes a pushed tile: dependency values delivered with it
+// seed the in-flight map (gatherDeps falls back to local reads, cache and
+// fetches for the rest), cells compute in the sender's stated order, and
+// the results return to the owning place over the ordinary steal-done
+// path. A tile that diffused back to its own owner completes locally.
+func (pe *placeEngine[T]) runMigrated(st *epochState[T], sc *scratch[T], mt migratedTile[T]) {
+	if len(mt.cells) == 0 {
+		return
+	}
+	owner := st.d.Place(mt.cells[0].I, mt.cells[0].J)
+	if sc.stolenVals == nil {
+		sc.stolenVals = make(map[dag.VertexID]T, len(mt.cells)+len(mt.depIDs))
+	}
+	defer clear(sc.stolenVals)
+	for k, id := range mt.depIDs {
+		sc.stolenVals[id] = mt.depVals[k]
+	}
+	sc.stolenIDs = append(sc.stolenIDs[:0], mt.cells...)
+	if owner == pe.self {
+		// Forwarded full circle: we own these cells, so complete them
+		// directly — the same store-and-propagate the steal-done handler
+		// would have run for us.
+		ran := false
+		for _, id := range sc.stolenIDs {
+			sc.depIDs = pe.cfg.Pattern.Dependencies(id.I, id.J, sc.depIDs[:0])
+			v, err := pe.computeHere(st, sc, id.I, id.J, sc.depIDs)
+			if err != nil || pe.stale(st) {
+				break
+			}
+			sc.stolenVals[id] = v
+			ran = true
+			pe.completeVertex(st, sc, st.d.LocalOffset(id.I, id.J), id.I, id.J, v)
+		}
+		if ran {
+			pe.tilesRun.Add(1)
+			pe.mTiles.Inc(sc.wkr)
+			pe.mJobTiles.Add(pe.jobKey, 1)
+		}
+		return
+	}
+	// [epoch][count][(id, value)...], count backpatched — the steal-done
+	// wire shape, truncated to the finished prefix on a mid-tile error.
+	sc.out = putU64(sc.out[:0], st.epoch)
+	cntAt := len(sc.out)
+	sc.out = putU32(sc.out, 0)
+	done := 0
+	for _, id := range sc.stolenIDs {
+		sc.depIDs = pe.cfg.Pattern.Dependencies(id.I, id.J, sc.depIDs[:0])
+		v, err := pe.computeHere(st, sc, id.I, id.J, sc.depIDs)
+		if err != nil {
+			break // the owner's recovery will reschedule the rest
+		}
+		sc.stolenVals[id] = v
+		sc.out = putID(sc.out, id)
+		sc.out = pe.cfg.Codec.Encode(sc.out, v)
+		done++
+	}
+	if done == 0 {
+		return
+	}
+	binary.LittleEndian.PutUint32(sc.out[cntAt:], uint32(done))
+	pe.tilesRun.Add(1)
+	pe.mTiles.Inc(sc.wkr)
+	pe.mJobTiles.Add(pe.jobKey, 1)
+	pe.migrRun.Add(1)
+	if _, err := pe.tr.Call(owner, kindStealDone, sc.out); err != nil {
+		pe.peerError(owner, err)
+	}
+}

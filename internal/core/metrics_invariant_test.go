@@ -33,27 +33,34 @@ func TestMetricsInvariants(t *testing.T) {
 		"colwave": patterns.NewColWave(24, 30),
 	}
 	cases := []struct {
-		pat      string
-		strategy sched.Strategy
-		tile     int
-		cache    int
+		pat       string
+		strategy  sched.Strategy
+		tile      int
+		cache     int
+		lifelines bool
 	}{
-		{"swlag", sched.Local, 0, 128},
-		{"swlag", sched.Steal, 1, 16},
-		{"swlag", sched.Steal, 0, 512},
-		{"colwave", sched.Local, 1, 0},
-		{"colwave", sched.MinComm, 0, 128},
-		{"colwave", sched.Random, 4, 64},
+		{"swlag", sched.Local, 0, 128, false},
+		{"swlag", sched.Steal, 1, 16, false},
+		{"swlag", sched.Steal, 0, 512, false},
+		{"swlag", sched.Steal, 2, 64, true},
+		{"colwave", sched.Local, 1, 0, false},
+		{"colwave", sched.MinComm, 0, 128, false},
+		{"colwave", sched.Random, 4, 64, false},
+		{"colwave", sched.Steal, 1, 128, true},
 	}
 	for _, tc := range cases {
 		tc := tc
 		name := fmt.Sprintf("%s/%v/tile=%d/cache=%d", tc.pat, tc.strategy, tc.tile, tc.cache)
+		if tc.lifelines {
+			name += "/lifelines"
+		}
 		t.Run(name, func(t *testing.T) {
 			cfg := baseConfig(pats[tc.pat], 4)
 			cfg.Metrics = true
 			cfg.Strategy = tc.strategy
 			cfg.TileSize = tc.tile
 			cfg.CacheSize = tc.cache
+			cfg.Lifelines = tc.lifelines
 			cfg.ProbeInterval = -1 // no heartbeats: deterministic traffic
 			cl := runAndCheck(t, cfg)
 
@@ -129,10 +136,13 @@ func TestMetricsInvariants(t *testing.T) {
 
 			// Steal accounting: every successful steal ships exactly one
 			// kindStealDone call back to the victim and transfers >= 1
-			// vertex; failures only count as attempts.
+			// vertex; failures only count as attempts. Migrated tiles that
+			// ran away from home return results over the same wire kind,
+			// one call per tile.
 			stealOK := agg.Counters[metrics.SchedStealsSucceeded]
-			if got := agg.Vecs[metrics.TransportMsgsOut][kindStealDone]; got != stealOK {
-				t.Errorf("msgs_out[stealDone] = %d, steals_succeeded = %d", got, stealOK)
+			if got := agg.Vecs[metrics.TransportMsgsOut][kindStealDone]; got != stealOK+st.MigratedRuns {
+				t.Errorf("msgs_out[stealDone] = %d, steals_succeeded (%d) + migrated runs (%d) = %d",
+					got, stealOK, st.MigratedRuns, stealOK+st.MigratedRuns)
 			}
 			if att := agg.Counters[metrics.SchedStealsAttempted]; stealOK > att {
 				t.Errorf("steals_succeeded %d > steals_attempted %d", stealOK, att)
@@ -142,6 +152,45 @@ func TestMetricsInvariants(t *testing.T) {
 			}
 			if tc.strategy != sched.Steal && stealOK != 0 {
 				t.Errorf("steals_succeeded = %d under non-steal strategy", stealOK)
+			}
+
+			// Lifeline ledger: every accepted delivery was counted once by
+			// the pushing victim and once by the receiving thief, so the
+			// cluster-wide counters must balance exactly — and agree with
+			// the engine's own atomics.
+			pushes := agg.Counters[metrics.SchedLifelinePushes]
+			migrated := agg.Counters[metrics.SchedTilesMigrated]
+			if pushes != migrated {
+				t.Errorf("sched.lifeline_pushes = %d, sched.tiles_migrated = %d (must match)", pushes, migrated)
+			}
+			if pushes != st.LifelinePushes {
+				t.Errorf("sched.lifeline_pushes = %d, Stats.LifelinePushes = %d", pushes, st.LifelinePushes)
+			}
+			if migrated != st.TilesMigrated {
+				t.Errorf("sched.tiles_migrated = %d, Stats.TilesMigrated = %d", migrated, st.TilesMigrated)
+			}
+			if !tc.lifelines {
+				for _, name := range []string{
+					metrics.SchedLifelineProbes, metrics.SchedLifelineParks,
+					metrics.SchedLifelinePushes, metrics.SchedTilesMigrated,
+				} {
+					if got := agg.Counters[name]; got != 0 {
+						t.Errorf("%s = %d with lifelines off", name, got)
+					}
+				}
+			} else {
+				// Probes and parks are timing-dependent but never negative,
+				// and every random probe is also a steal attempt.
+				probes := agg.Counters[metrics.SchedLifelineProbes]
+				if att := agg.Counters[metrics.SchedStealsAttempted]; probes > att {
+					t.Errorf("lifeline_probes %d > steals_attempted %d", probes, att)
+				}
+			}
+
+			// Per-job slots roll up to the scheduler total even when tiles
+			// ran away from their owning place.
+			if got := vecTotal(agg, metrics.JobTilesExecuted); got != agg.Counters[metrics.SchedTilesExecuted] {
+				t.Errorf("job.tiles_executed total = %d, sched.tiles_executed = %d", got, agg.Counters[metrics.SchedTilesExecuted])
 			}
 
 			// Cache off means the vecs stay silent.

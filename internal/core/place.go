@@ -36,7 +36,8 @@ type epochState[T any] struct {
 	waves []int32    // per-tile anti-diagonal index (i+j of first cell)
 	quit  chan struct{}
 	cache *vcache.Cache[T]
-	agg   *aggregator[T] // outbound decrement aggregator; nil when disabled
+	agg   *aggregator[T]    // outbound decrement aggregator; nil when disabled
+	life  *lifelineState[T] // lifeline balancing state; nil when disabled
 
 	// runGate serializes tile execution against recovery pause. Workers
 	// hold it shared for the duration of one tile; the pause handler takes
@@ -123,16 +124,20 @@ type placeEngine[T any] struct {
 	// off). The m* instrument handles are wired unconditionally: a nil
 	// registry hands out nil handles whose methods are inert no-ops, so
 	// the hot paths below never branch on whether metrics are enabled.
-	reg       *metrics.Registry
-	mTiles    *metrics.Counter
-	mStealAtt *metrics.Counter
-	mStealOK  *metrics.Counter
-	mParks    *metrics.Counter
-	mVCHits   *metrics.Vec
-	mVCMiss   *metrics.Vec
-	mVCEvict  *metrics.Vec
-	mEpoch    *metrics.Gauge
-	mJobTiles *metrics.Vec
+	reg         *metrics.Registry
+	mTiles      *metrics.Counter
+	mStealAtt   *metrics.Counter
+	mStealOK    *metrics.Counter
+	mParks      *metrics.Counter
+	mLifeProbes *metrics.Counter
+	mLifeParks  *metrics.Counter
+	mLifePush   *metrics.Counter
+	mTilesMigr  *metrics.Counter
+	mVCHits     *metrics.Vec
+	mVCMiss     *metrics.Vec
+	mVCEvict    *metrics.Vec
+	mEpoch      *metrics.Gauge
+	mJobTiles   *metrics.Vec
 
 	// counters for Stats
 	computed       atomic.Int64
@@ -149,6 +154,9 @@ type placeEngine[T any] struct {
 	valuesPushed   atomic.Int64
 	pushDeposits   atomic.Int64
 	pushConsumed   atomic.Int64
+	lifePushes     atomic.Int64
+	migrRecv       atomic.Int64
+	migrRun        atomic.Int64
 }
 
 // scratch bundles the reusable buffers of the vertex hot path —
@@ -247,6 +255,12 @@ type workerCtx[T any] struct {
 	rng  *rand.Rand
 	pk   *sched.Picker
 	pkSt *epochState[T]
+
+	// probesLeft is the worker's remaining random-steal probe budget for
+	// the current idle episode (lifeline mode only): refilled whenever the
+	// worker runs a tile, spent one per idle pull; at zero the worker parks
+	// the place on its lifelines instead of probing.
+	probesLeft int
 }
 
 func newPlaceEngine[T any](self int, cfg *Config[T], tr transport.Transport, abort func(error), reg *metrics.Registry, host *placeHost, job uint32) *placeEngine[T] {
@@ -280,6 +294,10 @@ func newPlaceEngine[T any](self int, cfg *Config[T], tr transport.Transport, abo
 	pe.mStealAtt = reg.Counter(metrics.SchedStealsAttempted)
 	pe.mStealOK = reg.Counter(metrics.SchedStealsSucceeded)
 	pe.mParks = reg.Counter(metrics.SchedDequeParks)
+	pe.mLifeProbes = reg.Counter(metrics.SchedLifelineProbes)
+	pe.mLifeParks = reg.Counter(metrics.SchedLifelineParks)
+	pe.mLifePush = reg.Counter(metrics.SchedLifelinePushes)
+	pe.mTilesMigr = reg.Counter(metrics.SchedTilesMigrated)
 	pe.mVCHits = reg.Vec(metrics.VCacheHits)
 	pe.mVCMiss = reg.Vec(metrics.VCacheMisses)
 	pe.mVCEvict = reg.Vec(metrics.VCacheEvictions)
@@ -331,8 +349,36 @@ func (pe *placeEngine[T]) newEpochState(epoch uint64, d dist.Dist, chunk *distar
 		st.agg = newAggregator(pe, epoch)
 		go st.agg.loop(st.quit)
 	}
+	if pe.lifelinesOn() {
+		st.life = newLifelineState[T](pe.lifelineEdges(d))
+		go pe.lifelineLoop(st)
+	}
 	pe.mEpoch.Set(int64(epoch))
 	return st
+}
+
+// lifelineEdges derives this place's outgoing lifeline edges for an
+// epoch: the cyclic hypercube is laid over the distribution's alive
+// places (by rank), so a recovery's shrunken place set keeps the graph
+// strongly connected instead of leaving edges pointing at the dead.
+func (pe *placeEngine[T]) lifelineEdges(d dist.Dist) []int {
+	places := d.Places()
+	rank := -1
+	for k, p := range places {
+		if p == pe.self {
+			rank = k
+			break
+		}
+	}
+	if rank < 0 {
+		return nil
+	}
+	ranks := sched.LifelineEdges(rank, len(places), pe.cfg.LifelineEdges)
+	edges := make([]int, len(ranks))
+	for k, r := range ranks {
+		edges[k] = places[r]
+	}
+	return edges
 }
 
 // launch makes the prepared epoch-0 state runnable on the shared worker
@@ -355,6 +401,7 @@ func (pe *placeEngine[T]) workerFor(st *epochState[T], w int) *workerCtx[T] {
 		wc.pk = sched.NewPicker(pe.cfg.Strategy, st.d, pe.isAlive, pe.valueSize(), seed)
 		wc.rng = rand.New(rand.NewSource(seed ^ 0x5bd1e995))
 		wc.pkSt = st
+		wc.probesLeft = pe.cfg.LifelineProbes
 	}
 	return wc
 }
@@ -379,6 +426,20 @@ func (pe *placeEngine[T]) tryRun(w int) bool {
 	}
 	t, ok := st.sched.take(w)
 	if !ok {
+		if life := st.life; life != nil {
+			if mt, mok := life.popInbox(); mok {
+				defer st.runGate.RUnlock()
+				defer func() {
+					if r := recover(); r != nil {
+						pe.abort(fmt.Errorf("core: place %d worker panic: %v", pe.self, r))
+					}
+				}()
+				wc := pe.workerFor(st, w)
+				wc.probesLeft = pe.cfg.LifelineProbes
+				pe.runMigrated(st, wc.sc, mt)
+				return true
+			}
+		}
 		st.runGate.RUnlock()
 		return false
 	}
@@ -389,6 +450,7 @@ func (pe *placeEngine[T]) tryRun(w int) bool {
 		}
 	}()
 	wc := pe.workerFor(st, w)
+	wc.probesLeft = pe.cfg.LifelineProbes
 	pe.runTile(st, wc.pk, wc.sc, t)
 	return true
 }
@@ -421,10 +483,41 @@ func (pe *placeEngine[T]) idlePull(w int) bool {
 		}
 	}()
 	wc := pe.workerFor(st, w)
-	return pe.trySteal(st, wc.sc, wc.rng)
+	if st.life == nil {
+		return pe.trySteal(st, wc.sc, wc.rng)
+	}
+	// Lifeline mode: a bounded budget of random probes per idle episode,
+	// then one registration pass that parks this place on its lifelines.
+	// Progress after that is message-driven (a push wakes the pool), so an
+	// armed place sends no further probes at all.
+	if wc.probesLeft <= 0 {
+		if pe.maybePark(st, wc.sc) {
+			wc.probesLeft = pe.cfg.LifelineProbes
+			return true
+		}
+		return false
+	}
+	wc.probesLeft--
+	pe.mLifeProbes.Inc(wc.sc.wkr)
+	if pe.trySteal(st, wc.sc, wc.rng) {
+		wc.probesLeft = pe.cfg.LifelineProbes
+		return true
+	}
+	return false
 }
 
 func (pe *placeEngine[T]) usesSteal() bool { return pe.cfg.Strategy == sched.Steal }
+
+// parkDelay is the host's park interval for worker w when this job found
+// no work: the ordinary short steal-retry pace while probes remain, the
+// long message-driven pace once the worker's place is parked on its
+// lifelines (jobRunner contract).
+func (pe *placeEngine[T]) parkDelay(w int) time.Duration {
+	if pe.cfg.Lifelines && pe.workers[w].probesLeft <= 0 {
+		return lifelineParkDelay
+	}
+	return stealRetryDelay
+}
 
 // runTile executes one claimed tile: its unfinished cells, in intra-tile
 // dependency order, as one stack-local loop — no channel operations, no
@@ -706,13 +799,26 @@ func (pe *placeEngine[T]) trySteal(st *epochState[T], sc *scratch[T], rng *rand.
 	if victim == pe.self || !pe.isAlive(victim) {
 		return false
 	}
+	return pe.stealFrom(st, sc, victim, false)
+}
+
+// stealFrom asks one victim for a ready tile. The payload's lifeline flag
+// piggybacks parking on the probe: when set and the victim has nothing
+// ready, its empty reply doubles as a registration — this place becomes a
+// parked buddy the victim will push surplus tiles to later.
+func (pe *placeEngine[T]) stealFrom(st *epochState[T], sc *scratch[T], victim int, lifeline bool) bool {
 	pe.mStealAtt.Inc(sc.wkr)
 	sp := pe.cfg.Spans
 	var spanStart time.Time
 	if sp != nil {
 		spanStart = sp.Start()
 	}
-	reply, err := pe.tr.Call(victim, kindSteal, putU64(sc.enc[:0], st.epoch))
+	flag := byte(0)
+	if lifeline {
+		flag = 1
+	}
+	sc.enc = append(putU64(sc.enc[:0], st.epoch), flag)
+	reply, err := pe.tr.Call(victim, kindSteal, sc.enc)
 	if err != nil {
 		pe.peerError(victim, err)
 		return false
@@ -1039,6 +1145,14 @@ func (pe *placeEngine[T]) enqueueTile(st *epochState[T], t, wkr int) {
 		return
 	}
 	st.sched.push(t, wkr, st.waves[t])
+	if life := st.life; life != nil {
+		// New local work: leave the parked state (idle workers may probe
+		// again) and, if buddies are parked on us, offer them the surplus.
+		life.armed.Store(false)
+		if life.parkedCount() > 0 {
+			life.kickPush()
+		}
+	}
 }
 
 // tileWaves precomputes each tile's anti-diagonal wavefront index — i+j of

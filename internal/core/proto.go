@@ -50,6 +50,13 @@ const (
 	kindStealDone uint8 = 19 // Call: thief returns the stolen vertex's value
 	kindDecrBatch uint8 = 20 // Send: aggregated decrements, optionally carrying values
 	kindStats     uint8 = 21 // Call: place 0 -> place, read the metrics snapshot
+	// kindLifelineDeliver migrates one whole ready tile from a victim to a
+	// lifeline buddy that parked on it: the tile's unfinished cells in
+	// intra-tile dependency order plus the dependency values the victim
+	// already holds (local finished cells and cache hits), so the thief
+	// starts computing without a fetch round-trip. The thief returns results
+	// over the ordinary kindStealDone path, truncation semantics included.
+	kindLifelineDeliver uint8 = 22 // Call: victim -> parked thief, pushed ready tile
 )
 
 // errStaleEpoch is returned by handlers that receive a message from a
@@ -119,7 +126,7 @@ var reliableKind = func() (t [256]bool) {
 		kindFetch, kindDecrement, kindExec, kindPlaceDone, kindFault,
 		kindPause, kindRebuild, kindRestore, kindRestoreTx,
 		kindReplay, kindReplayTx, kindResume, kindStop,
-		kindSteal, kindStealDone, kindDecrBatch,
+		kindSteal, kindStealDone, kindDecrBatch, kindLifelineDeliver,
 	} {
 		t[k] = true
 	}
@@ -160,7 +167,7 @@ var jobScopedKind = func() (t [256]bool) {
 		kindFetch, kindDecrement, kindExec, kindPlaceDone, kindFault,
 		kindPause, kindRebuild, kindRestore, kindRestoreTx,
 		kindReplay, kindReplayTx, kindResume, kindStop, kindReadVal,
-		kindSteal, kindStealDone, kindDecrBatch,
+		kindSteal, kindStealDone, kindDecrBatch, kindLifelineDeliver,
 	} {
 		t[k] = true
 	}
@@ -396,4 +403,72 @@ func decodeDecrBatch[T any](payload []byte, cd codec.Codec[T], recs []decrRecord
 		recs = append(recs, rec)
 	}
 	return epoch, recs, targets, nil
+}
+
+// --- lifeline tile migration (kindLifelineDeliver) --------------------
+//
+// One delivery migrates one whole ready tile from a victim to a lifeline
+// buddy parked on it:
+//
+//	[epoch u64][nCells u32][cell ids 8B each]
+//	[nDeps u32][(dep id 8B, dep value codec)...]
+//
+// Cells are the tile's unfinished vertices in intra-tile dependency order
+// — exactly the kindSteal reply's contract — and the dep section carries
+// the dependency values the victim could serve without a round-trip (its
+// own finished cells and its cache hits). The thief preloads them, computes
+// the cells in order and answers the victim with an ordinary kindStealDone
+// batch, mid-tile truncation semantics included.
+
+// encodeLifelineDeliver builds a kindLifelineDeliver payload.
+func encodeLifelineDeliver[T any](dst []byte, cd codec.Codec[T], epoch uint64, cells []dag.VertexID, depIDs []dag.VertexID, depVals []T) []byte {
+	dst = putU64(dst, epoch)
+	dst = putU32(dst, uint32(len(cells)))
+	for _, id := range cells {
+		dst = putID(dst, id)
+	}
+	dst = putU32(dst, uint32(len(depIDs)))
+	for k, id := range depIDs {
+		dst = putID(dst, id)
+		dst = cd.Encode(dst, depVals[k])
+	}
+	return dst
+}
+
+// decodeLifelineDeliver parses a kindLifelineDeliver payload, appending
+// cells, dep ids and dep values to the caller's buffers (nil buffers give
+// fresh allocations, so handler output never aliases the wire payload).
+// Counts are bounds-checked against the payload length before any
+// allocation they imply.
+func decodeLifelineDeliver[T any](payload []byte, cd codec.Codec[T], cells, depIDs []dag.VertexID, depVals []T) (epoch uint64, outCells, outDepIDs []dag.VertexID, outDepVals []T, err error) {
+	r := reader{b: payload}
+	epoch = r.u64()
+	nc := r.u32()
+	if r.err != nil {
+		return 0, cells, depIDs, depVals, r.err
+	}
+	if int(nc) > (len(payload)-16)/8 {
+		return 0, cells, depIDs, depVals, fmt.Errorf("core: lifeline deliver cell count %d exceeds payload", nc)
+	}
+	for k := uint32(0); k < nc; k++ {
+		cells = append(cells, r.id())
+	}
+	nd := r.u32()
+	if r.err != nil {
+		return 0, cells, depIDs, depVals, r.err
+	}
+	if int(nd) > (len(payload)-r.off)/8 {
+		return 0, cells, depIDs, depVals, fmt.Errorf("core: lifeline deliver dep count %d exceeds payload", nd)
+	}
+	for k := uint32(0); k < nd; k++ {
+		id := r.id()
+		v, used, derr := cd.Decode(r.rest())
+		if derr != nil {
+			return 0, cells, depIDs, depVals, fmt.Errorf("core: lifeline deliver value decode: %w", derr)
+		}
+		r.off += used
+		depIDs = append(depIDs, id)
+		depVals = append(depVals, v)
+	}
+	return epoch, cells, depIDs, depVals, r.err
 }

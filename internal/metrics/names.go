@@ -24,6 +24,15 @@ const (
 	SchedStealsSucceeded = "sched.steals_succeeded"
 	SchedDequeParks      = "sched.deque_parks"
 
+	// Lifeline load balancing: bounded random-victim steal probes made
+	// before parking, completed park episodes (all probes spent,
+	// registrations placed on the lifeline edges), ready tiles pushed to
+	// parked buddies, and migrated tiles accepted.
+	SchedLifelineProbes = "sched.lifeline_probes"
+	SchedLifelineParks  = "sched.lifeline_parks"
+	SchedLifelinePushes = "sched.lifeline_pushes"
+	SchedTilesMigrated  = "sched.tiles_migrated"
+
 	// Engine-wide state.
 	EngineEpoch = "engine.epoch"
 
@@ -73,6 +82,10 @@ var instruments = map[string]Kind{
 	SchedStealsAttempted: KindCounter,
 	SchedStealsSucceeded: KindCounter,
 	SchedDequeParks:      KindCounter,
+	SchedLifelineProbes:  KindCounter,
+	SchedLifelineParks:   KindCounter,
+	SchedLifelinePushes:  KindCounter,
+	SchedTilesMigrated:   KindCounter,
 
 	EngineEpoch: KindGauge,
 

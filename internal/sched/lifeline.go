@@ -1,0 +1,78 @@
+package sched
+
+// Lifeline graph (GLB's cyclic hypercube, Saraswat et al.): places are
+// numbered in base b with z digits, where b is the smallest integer with
+// b^z >= places, and each place has one outgoing lifeline edge per digit
+// position — to the place with that digit incremented mod b, wrapping
+// further past any number >= places so every edge lands on a real place.
+// The graph is deterministic from (places, z) alone, so every place
+// derives the same topology without coordination, and the per-dimension
+// increment cycles make it strongly connected: pushed work can diffuse
+// from any place to any other along parked lifelines.
+
+// DefaultLifelineFanout returns the default number of lifeline edges per
+// place: the smallest z with 2^z >= places (a binary hypercube), the shape
+// GLB found robust across scales.
+func DefaultLifelineFanout(places int) int {
+	z := 1
+	for 1<<z < places {
+		z++
+	}
+	return z
+}
+
+// LifelineEdges returns place self's outgoing lifeline edges in the cyclic
+// hypercube over places. z <= 0 selects DefaultLifelineFanout. The result
+// is deterministic, contains no self-edge and no duplicates, and is empty
+// only when places == 1.
+func LifelineEdges(self, places, z int) []int {
+	if places <= 1 {
+		return nil
+	}
+	if z <= 0 {
+		z = DefaultLifelineFanout(places)
+	}
+	if z > places-1 {
+		z = places - 1
+	}
+	b := 2
+	for pow(b, z) < places {
+		b++
+	}
+	edges := make([]int, 0, z)
+	for k := 0; k < z; k++ {
+		step := pow(b, k)
+		digit := (self / step) % b
+		// Increment the digit mod b; wrap past candidates beyond the place
+		// count so the edge always lands on a real, distinct place.
+		for t := 1; t < b; t++ {
+			d := (digit + t) % b
+			cand := self + (d-digit)*step
+			if cand >= places || cand == self {
+				continue
+			}
+			if !contains(edges, cand) {
+				edges = append(edges, cand)
+			}
+			break
+		}
+	}
+	return edges
+}
+
+func pow(b, e int) int {
+	p := 1
+	for i := 0; i < e; i++ {
+		p *= b
+	}
+	return p
+}
+
+func contains(s []int, v int) bool {
+	for _, x := range s {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,91 @@
+package sched
+
+import "testing"
+
+// TestLifelineEdgesShape pins the structural contract: deterministic,
+// in-range, no self-edges, no duplicates, and at least one edge whenever
+// there is more than one place.
+func TestLifelineEdgesShape(t *testing.T) {
+	for places := 1; places <= 33; places++ {
+		for _, z := range []int{0, 1, 2, 3} {
+			for self := 0; self < places; self++ {
+				edges := LifelineEdges(self, places, z)
+				if places == 1 {
+					if len(edges) != 0 {
+						t.Fatalf("places=1: edges = %v, want none", edges)
+					}
+					continue
+				}
+				if len(edges) == 0 {
+					t.Fatalf("places=%d z=%d self=%d: no edges", places, z, self)
+				}
+				seen := map[int]bool{}
+				for _, e := range edges {
+					if e < 0 || e >= places {
+						t.Fatalf("places=%d z=%d self=%d: edge %d out of range", places, z, self, e)
+					}
+					if e == self {
+						t.Fatalf("places=%d z=%d self=%d: self-edge", places, z, self)
+					}
+					if seen[e] {
+						t.Fatalf("places=%d z=%d self=%d: duplicate edge %d", places, z, self, e)
+					}
+					seen[e] = true
+				}
+				again := LifelineEdges(self, places, z)
+				if len(again) != len(edges) {
+					t.Fatalf("places=%d z=%d self=%d: nondeterministic", places, z, self)
+				}
+				for k := range edges {
+					if edges[k] != again[k] {
+						t.Fatalf("places=%d z=%d self=%d: nondeterministic", places, z, self)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestLifelineEdgesConnected asserts the directed lifeline graph is
+// strongly connected for every place count the runtime will see — the
+// property that lets pushed work diffuse from any place to any other.
+func TestLifelineEdgesConnected(t *testing.T) {
+	for places := 2; places <= 33; places++ {
+		for _, z := range []int{0, 2, 3} {
+			adj := make([][]int, places)
+			for p := 0; p < places; p++ {
+				adj[p] = LifelineEdges(p, places, z)
+			}
+			for src := 0; src < places; src++ {
+				reach := make([]bool, places)
+				reach[src] = true
+				queue := []int{src}
+				for len(queue) > 0 {
+					p := queue[0]
+					queue = queue[1:]
+					for _, q := range adj[p] {
+						if !reach[q] {
+							reach[q] = true
+							queue = append(queue, q)
+						}
+					}
+				}
+				for q := 0; q < places; q++ {
+					if !reach[q] {
+						t.Fatalf("places=%d z=%d: %d cannot reach %d over lifelines", places, z, src, q)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestDefaultLifelineFanout pins the binary-hypercube default.
+func TestDefaultLifelineFanout(t *testing.T) {
+	cases := map[int]int{1: 1, 2: 1, 3: 2, 4: 2, 5: 3, 8: 3, 9: 4, 16: 4, 17: 5}
+	for places, want := range cases {
+		if got := DefaultLifelineFanout(places); got != want {
+			t.Errorf("DefaultLifelineFanout(%d) = %d, want %d", places, got, want)
+		}
+	}
+}

@@ -29,6 +29,7 @@ var kindNames = map[uint8]string{
 	19: "stealDone",
 	20: "decrBatch",
 	21: "stats",
+	22: "lifelineDeliver",
 }
 
 // KindName returns the human-readable name of a wire-protocol message

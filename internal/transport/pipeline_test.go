@@ -83,6 +83,18 @@ func FuzzFrameBatchRoundTrip(f *testing.F) {
 	f.Add([]byte("aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa"), uint8(3), uint16(8))
 	f.Add(bytes.Repeat([]byte{0xAB, 0xCD}, 3000), uint8(5), uint16(64))
 	f.Add([]byte{}, uint8(2), uint16(0))
+	// A lifelineDeliver-shaped payload (kind 22 on the wire): epoch u64,
+	// cell count u32, two 8-byte vertex ids, dep count u32, one (id, value)
+	// pair — the newest protocol kind must batch and decode like the rest.
+	f.Add([]byte{
+		7, 0, 0, 0, 0, 0, 0, 0, // epoch
+		2, 0, 0, 0, // nCells
+		1, 0, 0, 0, 0, 0, 0, 0, // cell id 1
+		2, 0, 0, 0, 0, 0, 0, 0, // cell id 2
+		1, 0, 0, 0, // nDeps
+		3, 0, 0, 0, 0, 0, 0, 0, // dep id
+		42, 0, 0, 0, 0, 0, 0, 0, // dep value (int64)
+	}, uint8(1), uint16(0))
 
 	f.Fuzz(func(t *testing.T, data []byte, nsplit uint8, compressMin uint16) {
 		if len(data) > 1<<14 {

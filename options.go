@@ -173,6 +173,27 @@ func WithStrategy(s Strategy) UntypedOption {
 	return jobOpt("WithStrategy", func(c *core.Common) { c.Strategy = s })
 }
 
+// WithLifelines enables GLB-style lifeline load balancing and implies the
+// Steal strategy: an idle place makes w bounded random-victim steal probes,
+// then parks on its z lifeline buddies (a cyclic hypercube over the alive
+// places) and goes quiet; a victim with surplus ready tiles pushes whole
+// tiles, dependencies attached, to its parked buddies, and the buddies
+// forward their own excess so work diffuses along the lifeline graph.
+// w <= 0 keeps the default of 2 probes; z <= 0 auto-sizes to
+// ceil(log2(places)) edges. Job-scoped.
+func WithLifelines(w, z int) UntypedOption {
+	return jobOpt("WithLifelines", func(c *core.Common) {
+		c.Strategy = sched.Steal
+		c.Lifelines = true
+		if w > 0 {
+			c.LifelineProbes = w
+		}
+		if z > 0 {
+			c.LifelineEdges = z
+		}
+	})
+}
+
 // CacheSize sets the per-place remote-vertex cache capacity in entries;
 // 0 disables the cache (paper §VI-E "Cache size"). Job-scoped: every job
 // has its own cache.
